@@ -1,0 +1,198 @@
+//! Synthetic genome + read generation and k-mer utilities.
+//!
+//! Stands in for the paper's real DNA read sets (DESIGN.md substitution
+//! #9): a seeded random genome, reads sampled with an error model, and
+//! 2-bit-packed k-mers (k ≤ 32 fits in a `u64`).
+
+/// The four bases in 2-bit encoding order.
+pub const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+fn base_code(b: u8) -> u64 {
+    match b {
+        b'A' => 0,
+        b'C' => 1,
+        b'G' => 2,
+        b'T' => 3,
+        _ => panic!("invalid base {b}"),
+    }
+}
+
+/// Deterministic xorshift generator for data synthesis.
+#[derive(Debug, Clone)]
+pub struct GenRng(u64);
+
+impl GenRng {
+    /// Seeded constructor (splitmix-style mixing so close seeds diverge).
+    pub fn new(seed: u64) -> Self {
+        let mut x = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        GenRng(x | 1)
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Generate a random genome of `len` bases.
+pub fn synth_genome(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = GenRng::new(seed);
+    (0..len).map(|_| BASES[rng.below(4) as usize]).collect()
+}
+
+/// A sequencing read sampled from a genome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Read {
+    /// Base characters (`ACGT`).
+    pub bases: Vec<u8>,
+}
+
+/// Sample `count` reads of `read_len` bases with per-base substitution
+/// error probability `error_rate`.
+pub fn sample_reads(
+    genome: &[u8],
+    read_len: usize,
+    count: usize,
+    error_rate: f64,
+    seed: u64,
+) -> Vec<Read> {
+    assert!(genome.len() >= read_len, "genome shorter than read length");
+    let mut rng = GenRng::new(seed);
+    (0..count)
+        .map(|_| {
+            let start = rng.below((genome.len() - read_len + 1) as u64) as usize;
+            let bases = genome[start..start + read_len]
+                .iter()
+                .map(|&b| {
+                    if rng.chance(error_rate) {
+                        BASES[rng.below(4) as usize]
+                    } else {
+                        b
+                    }
+                })
+                .collect();
+            Read { bases }
+        })
+        .collect()
+}
+
+/// Pack the k-mer starting at `seq[0..k]` into a `u64` (2 bits per base,
+/// k ≤ 32).
+pub fn pack_kmer(seq: &[u8], k: usize) -> u64 {
+    assert!(k <= 32 && seq.len() >= k);
+    let mut v = 0u64;
+    for &b in &seq[..k] {
+        v = (v << 2) | base_code(b);
+    }
+    v
+}
+
+/// Unpack a packed k-mer back into bases.
+pub fn unpack_kmer(mut v: u64, k: usize) -> Vec<u8> {
+    let mut out = vec![0u8; k];
+    for i in (0..k).rev() {
+        out[i] = BASES[(v & 3) as usize];
+        v >>= 2;
+    }
+    out
+}
+
+/// Iterate all k-mers of a sequence (packed).
+pub fn kmers_of(seq: &[u8], k: usize) -> Vec<u64> {
+    if seq.len() < k {
+        return Vec::new();
+    }
+    (0..=seq.len() - k).map(|i| pack_kmer(&seq[i..], k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn genome_is_deterministic_and_valid() {
+        let g1 = synth_genome(1000, 42);
+        let g2 = synth_genome(1000, 42);
+        assert_eq!(g1, g2);
+        assert!(g1.iter().all(|b| BASES.contains(b)));
+        let g3 = synth_genome(1000, 43);
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn reads_without_errors_are_substrings() {
+        let g = synth_genome(500, 7);
+        let reads = sample_reads(&g, 50, 20, 0.0, 9);
+        for r in &reads {
+            assert_eq!(r.bases.len(), 50);
+            let found = g.windows(50).any(|w| w == &r.bases[..]);
+            assert!(found, "error-free read must be a genome substring");
+        }
+    }
+
+    #[test]
+    fn reads_with_errors_mutate_some_bases() {
+        let g = synth_genome(500, 7);
+        let clean = sample_reads(&g, 50, 50, 0.0, 11);
+        let noisy = sample_reads(&g, 50, 50, 0.2, 11);
+        // Same sampling positions (same seed stream length differs due to
+        // error draws), so just check noisy reads aren't all substrings.
+        let all_substrings = noisy.iter().all(|r| g.windows(50).any(|w| w == &r.bases[..]));
+        assert!(!all_substrings);
+        assert_eq!(clean.len(), noisy.len());
+    }
+
+    #[test]
+    fn kmer_pack_unpack_roundtrip() {
+        let seq = b"ACGTACGTGGCCTTAA";
+        for k in [1usize, 4, 8, 16] {
+            for i in 0..=seq.len() - k {
+                let packed = pack_kmer(&seq[i..], k);
+                assert_eq!(unpack_kmer(packed, k), &seq[i..i + k]);
+            }
+        }
+    }
+
+    #[test]
+    fn kmer_enumeration_count() {
+        let seq = b"ACGTACGT";
+        assert_eq!(kmers_of(seq, 4).len(), 5);
+        assert_eq!(kmers_of(seq, 8).len(), 1);
+        assert_eq!(kmers_of(seq, 9).len(), 0);
+    }
+
+    #[test]
+    fn kmer_histogram_matches_naive() {
+        let g = synth_genome(300, 123);
+        let k = 8;
+        let mut hist: HashMap<u64, u64> = HashMap::new();
+        for km in kmers_of(&g, k) {
+            *hist.entry(km).or_default() += 1;
+        }
+        // Distinct packed kmers decode to distinct base strings.
+        let mut seen = HashMap::new();
+        for (&km, &c) in &hist {
+            let bases = unpack_kmer(km, k);
+            assert!(seen.insert(bases, c).is_none());
+        }
+    }
+}

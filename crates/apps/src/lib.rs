@@ -1,0 +1,18 @@
+//! # hcl-apps — the paper's real-workload kernels (§IV-D)
+//!
+//! * [`isx`] — the ISx integer-sort mini-app: uniformly distributed keys are
+//!   bucketed to nodes and globally sorted. The HCL port pushes keys into
+//!   per-bucket **priority queues**, so "the cost of sorting gets hidden
+//!   behind the data movement"; the BCL port pushes into circular queues and
+//!   pays a separate local sort.
+//! * [`meraculous`] — the Meraculous genome-assembly kernels: **k-mer
+//!   counting** (a distributed histogram over a hash map) and **contig
+//!   generation** (de Bruijn graph traversal through distributed lookups).
+//!   Input data is synthesized ([`genome`]) since the original reads are not
+//!   available (DESIGN.md substitution #9) — the access pattern (hot-key
+//!   histogram inserts, pointer-chasing finds) is what the benchmark
+//!   exercises, and that is preserved.
+
+pub mod genome;
+pub mod isx;
+pub mod meraculous;

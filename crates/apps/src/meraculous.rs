@@ -1,0 +1,338 @@
+//! Meraculous genome-assembly kernels (paper §IV-D2).
+//!
+//! * **k-mer counting** — "uses an unordered map to compute a histogram
+//!   describing the number of occurrences of each k-mer across reads".
+//!   The HCL port uses [`hcl::UnorderedMap::put_merge`]: the increment
+//!   executes atomically at the owner, one invocation per k-mer. The BCL
+//!   port must read-modify-write from the client (find + insert), which is
+//!   both slower (2× remote protocols per update) and racy under
+//!   concurrency — we serialize BCL updates per rank stripe to keep counts
+//!   exact, mirroring how BCL applications must coordinate.
+//! * **contig generation** — "a de novo genome assembly pipeline that uses
+//!   an unordered map to traverse a de Bruijn graph of overlapping
+//!   symbols": k-mer nodes carry left/right extension masks; ranks walk
+//!   maximal unique paths with distributed lookups.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hcl::{UnorderedMap, UnorderedMapConfig};
+use hcl_runtime::Rank;
+
+use crate::genome::{kmers_of, unpack_kmer, Read};
+
+/// Count k-mers across this rank's `reads` into a shared distributed
+/// histogram. Collective; returns the *global* histogram snapshot (taken on
+/// every rank after a barrier).
+pub fn count_kmers_hcl(
+    rank: &Rank,
+    name: &str,
+    reads: &[Read],
+    k: usize,
+) -> HashMap<u64, u64> {
+    let map: UnorderedMap<u64, u64> = UnorderedMap::with_merger(
+        rank,
+        name,
+        UnorderedMapConfig::default(),
+        Arc::new(|old: Option<&u64>, delta: &u64| old.copied().unwrap_or(0) + delta),
+    );
+    rank.barrier();
+    for read in reads {
+        for km in kmers_of(&read.bases, k) {
+            map.put_merge(km, 1).expect("kmer increment");
+        }
+    }
+    rank.barrier();
+    let snap = map.snapshot_all().expect("kmer snapshot");
+    rank.barrier();
+    snap.into_iter().collect()
+}
+
+/// BCL-style k-mer counting: client-side find + insert per update. To keep
+/// counts exact (BCL gives no atomic read-modify-write), ranks take turns
+/// per update stripe — the coordination cost the paper's §I(b) describes.
+pub fn count_kmers_bcl(
+    rank: &Rank,
+    name: &str,
+    reads: &[Read],
+    k: usize,
+) -> HashMap<u64, u64> {
+    let map: bcl::BclHashMap<u64, u64> = bcl::BclHashMap::with_config(
+        rank,
+        name,
+        bcl::BclMapConfig { buckets_per_partition: 1 << 14, ..Default::default() },
+    );
+    rank.barrier();
+    // Serialized rounds: one rank updates at a time (lock-step turns).
+    for turn in 0..rank.world_size() {
+        if rank.id() == turn {
+            for read in reads {
+                for km in kmers_of(&read.bases, k) {
+                    let cur = map.find(&km).expect("bcl find").unwrap_or(0);
+                    map.insert(&km, &(cur + 1)).expect("bcl insert");
+                }
+            }
+        }
+        rank.barrier();
+    }
+    let mut out = HashMap::new();
+    // Reconstruct the histogram by probing every k-mer this rank saw and
+    // merging via allgather of local views is unnecessary: all ranks can
+    // read the shared map directly.
+    for read in reads {
+        for km in kmers_of(&read.bases, k) {
+            if let Some(c) = map.find(&km).expect("bcl find") {
+                out.insert(km, c);
+            }
+        }
+    }
+    rank.barrier();
+    out
+}
+
+/// Extension record of a de Bruijn node: bit `b` of `left`/`right` set when
+/// base `b` precedes/follows this k-mer somewhere in the input.
+pub type ExtMask = (u64, u64);
+
+/// Build the distributed de Bruijn graph: k-mer -> extension masks.
+pub fn build_graph<'a>(
+    rank: &'a Rank,
+    name: &str,
+    reads: &[Read],
+    k: usize,
+) -> UnorderedMap<'a, u64, ExtMask> {
+    let map: UnorderedMap<u64, ExtMask> = UnorderedMap::with_merger(
+        rank,
+        name,
+        UnorderedMapConfig::default(),
+        Arc::new(|old: Option<&ExtMask>, new: &ExtMask| {
+            let (ol, or) = old.copied().unwrap_or((0, 0));
+            (ol | new.0, or | new.1)
+        }),
+    );
+    rank.barrier();
+    for read in reads {
+        let b = &read.bases;
+        if b.len() < k {
+            continue;
+        }
+        for i in 0..=b.len() - k {
+            let km = crate::genome::pack_kmer(&b[i..], k);
+            let left = if i > 0 { 1u64 << base_idx(b[i - 1]) } else { 0 };
+            let right = if i + k < b.len() { 1u64 << base_idx(b[i + k]) } else { 0 };
+            map.put_merge(km, (left, right)).expect("graph merge");
+        }
+    }
+    rank.barrier();
+    map
+}
+
+fn base_idx(b: u8) -> u32 {
+    match b {
+        b'A' => 0,
+        b'C' => 1,
+        b'G' => 2,
+        b'T' => 3,
+        _ => panic!("invalid base"),
+    }
+}
+
+fn unique_base(mask: u64) -> Option<u32> {
+    if mask.count_ones() == 1 {
+        Some(mask.trailing_zeros())
+    } else {
+        None
+    }
+}
+
+/// Generate contigs by walking maximal unique paths from seed k-mers owned
+/// by this rank (`stable_hash(kmer) % world_size == rank.id`). Every lookup
+/// during the walk is a distributed `get` — the access pattern the paper
+/// benchmarks.
+pub fn generate_contigs(
+    rank: &Rank,
+    graph: &UnorderedMap<'_, u64, ExtMask>,
+    seeds: &[u64],
+    k: usize,
+) -> Vec<Vec<u8>> {
+    let mut contigs = Vec::new();
+    for &seed in seeds {
+        if hcl::stable_hash(&seed) % rank.world_size() as u64 != rank.id() as u64 {
+            continue;
+        }
+        let Some((left, _right)) = graph.get(&seed).expect("seed lookup") else { continue };
+        // Start only at path heads: no unique predecessor continues into us.
+        let is_head = match unique_base(left) {
+            None => true,
+            Some(prev_base) => {
+                let prev = prev_kmer(seed, prev_base, k);
+                match graph.get(&prev).expect("pred lookup") {
+                    // Predecessor exists: we are a head only if it branches.
+                    Some((_, pr)) => unique_base(pr).is_none(),
+                    None => true,
+                }
+            }
+        };
+        if !is_head {
+            continue;
+        }
+        // Walk right while the extension is unique in both directions.
+        let mut bases = unpack_kmer(seed, k);
+        let mut cur = seed;
+        loop {
+            let Some((_, right)) = graph.get(&cur).expect("walk lookup") else { break };
+            let Some(next_base) = unique_base(right) else { break };
+            let next = next_kmer(cur, next_base, k);
+            let Some((nl, _)) = graph.get(&next).expect("next lookup") else { break };
+            // The next node must have exactly one predecessor (us);
+            // otherwise it is a join point and the path ends here.
+            if nl.count_ones() != 1 {
+                break;
+            }
+            bases.push(crate::genome::BASES[next_base as usize]);
+            cur = next;
+        }
+        contigs.push(bases);
+    }
+    contigs
+}
+
+fn next_kmer(cur: u64, next_base: u32, k: usize) -> u64 {
+    let mask = if k == 32 { u64::MAX } else { (1u64 << (2 * k)) - 1 };
+    ((cur << 2) | next_base as u64) & mask
+}
+
+fn prev_kmer(cur: u64, prev_base: u32, k: usize) -> u64 {
+    (cur >> 2) | ((prev_base as u64) << (2 * (k - 1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::{sample_reads, synth_genome};
+    use hcl_runtime::{World, WorldConfig};
+    use std::collections::HashMap;
+
+    fn world() -> WorldConfig {
+        WorldConfig { nodes: 2, ranks_per_node: 2, ..WorldConfig::small() }
+    }
+
+    fn reference_counts(reads: &[Vec<Read>], k: usize) -> HashMap<u64, u64> {
+        let mut h = HashMap::new();
+        for rr in reads {
+            for r in rr {
+                for km in kmers_of(&r.bases, k) {
+                    *h.entry(km).or_default() += 1;
+                }
+            }
+        }
+        h
+    }
+
+    fn rank_reads(genome: &[u8], rank_id: u32) -> Vec<Read> {
+        sample_reads(genome, 40, 15, 0.0, 1000 + rank_id as u64)
+    }
+
+    #[test]
+    fn hcl_kmer_counts_match_sequential_reference() {
+        let genome = synth_genome(800, 77);
+        let k = 15;
+        let g2 = genome.clone();
+        let results = World::run(world(), move |rank| {
+            let reads = rank_reads(&g2, rank.id());
+            count_kmers_hcl(rank, "kc1", &reads, k)
+        });
+        let all_reads: Vec<Vec<Read>> =
+            (0..4).map(|r| rank_reads(&genome, r)).collect();
+        let reference = reference_counts(&all_reads, k);
+        for got in results {
+            assert_eq!(got, reference, "distributed histogram diverges from reference");
+        }
+    }
+
+    #[test]
+    fn bcl_kmer_counts_match_reference_when_serialized() {
+        let genome = synth_genome(400, 78);
+        let k = 15;
+        let g2 = genome.clone();
+        let results = World::run(world(), move |rank| {
+            let reads = sample_reads(&g2, 30, 5, 0.0, 2000 + rank.id() as u64);
+            count_kmers_bcl(rank, "kcb", &reads, k)
+        });
+        let all_reads: Vec<Vec<Read>> = (0..4)
+            .map(|r| sample_reads(&genome, 30, 5, 0.0, 2000 + r))
+            .collect();
+        let reference = reference_counts(&all_reads, k);
+        // Each rank's view covers at least its own k-mers with the global
+        // (serialized, hence exact) counts.
+        for (r, got) in results.iter().enumerate() {
+            for (km, c) in got {
+                assert_eq!(reference.get(km), Some(c), "rank {r} count mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn contigs_reconstruct_an_unambiguous_genome() {
+        // A genome with unique k-mers yields a single contig == genome.
+        let genome = synth_genome(600, 79);
+        let k = 15;
+        let g2 = genome.clone();
+        let results = World::run(world(), move |rank| {
+            // Every rank holds a slice of the "reads": here one error-free
+            // read covering the whole genome split with k-1 overlap.
+            let chunk = g2.len() / 4;
+            let start = rank.id() as usize * chunk;
+            // Overlap chunks by k bases so boundary k-mers keep both
+            // their left and right extensions.
+            let end = (start + chunk + k).min(g2.len());
+            let reads = vec![Read { bases: g2[start..end].to_vec() }];
+            let graph = build_graph(rank, "cg1", &reads, k);
+            let seeds: Vec<u64> = kmers_of(&g2[..], k);
+            let contigs = generate_contigs(rank, &graph, &seeds, k);
+            rank.barrier();
+            contigs
+        });
+        let all: Vec<Vec<u8>> = results.into_iter().flatten().collect();
+        // With unique k-mers there is exactly one maximal path: the genome.
+        assert_eq!(all.len(), 1, "expected a single contig, got {}", all.len());
+        assert_eq!(all[0], genome);
+    }
+
+    #[test]
+    fn contigs_split_at_branch_points() {
+        // Construct a sequence with a repeated k-mer to force a branch:
+        // two different bases follow the same k-mer.
+        let k = 5;
+        let core = b"ACGTG";
+        let seq1 = [&b"TTTTT"[..], core, b"AAAAA"].concat();
+        let seq2 = [&b"CCCCC"[..], core, b"GGGGG"].concat();
+        let results = World::run(world(), move |rank| {
+            let reads = vec![
+                Read { bases: seq1.clone() },
+                Read { bases: seq2.clone() },
+            ];
+            let graph = build_graph(rank, "cg2", &reads, k);
+            let mut seeds: Vec<u64> = Vec::new();
+            seeds.extend(kmers_of(&seq1, k));
+            seeds.extend(kmers_of(&seq2, k));
+            seeds.sort_unstable();
+            seeds.dedup();
+            let contigs = generate_contigs(rank, &graph, &seeds, k);
+            rank.barrier();
+            contigs
+        });
+        let all: Vec<Vec<u8>> = results.into_iter().flatten().collect();
+        // The shared core forces path breaks: more than one contig.
+        assert!(all.len() > 1, "branch point must split contigs, got {}", all.len());
+        // No contig may span across the branch (i.e., contain core+A and
+        // core+G continuations together with both prefixes).
+        for c in &all {
+            let s = String::from_utf8_lossy(c);
+            assert!(
+                !(s.contains("TTTTTACGTGGGGGG")),
+                "contig crossed a branch: {s}"
+            );
+        }
+    }
+}

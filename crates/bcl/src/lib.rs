@@ -1,0 +1,137 @@
+//! # bcl — reproduction of the Berkeley Container Library baseline
+//!
+//! BCL (Brock, Buluç & Yelick, *"BCL: A Cross-Platform Distributed Data
+//! Structures Library"*, ICPP 2019) is the state of the art the HCL paper
+//! compares against. Its architecture (paper §II-B) is **client-side
+//! imperative**: the caller manipulates remote memory directly with
+//! one-sided reads/writes and remote compare-and-swap — the target CPU never
+//! participates, but every structural step is a separate network operation.
+//!
+//! We reproduce exactly the protocol the paper measures:
+//!
+//! * [`BclHashMap::insert`] — "(a) CAS to reserve the hashmap bucket, (b)
+//!   RDMA write to put the data in the bucket, and (c) CAS to set the new
+//!   bucket state to ready" — ≥ 2 remote CAS + 1 remote write per insert,
+//!   plus extra rounds on every collision ("the client will retry on the
+//!   next bucket in sequence");
+//! * [`BclHashMap::find`] — remote read(s), fewer atomics than insert
+//!   (which is why BCL finds outperform BCL inserts in Figs. 5/6);
+//! * [`BclCircularQueue`] — remote fetch-add/CAS on head/tail plus a remote
+//!   write/read per element;
+//! * **static pre-allocated partitions with fixed entry sizes** (§I(e,f)):
+//!   bucket count and entry capacity are fixed at construction; an
+//!   over-full map reports failure instead of rebalancing, and oversized
+//!   entries are rejected — the limitations HCL's dynamic allocation
+//!   removes.
+//!
+//! The same [`hcl_fabric::Fabric`] providers used by HCL carry BCL's
+//! traffic, so benchmark comparisons isolate the *protocol* difference
+//! (1 RPC round vs 3+ RMA rounds), which is the paper's central claim.
+
+pub mod map;
+pub mod queue;
+
+pub use map::{BclHashMap, BclMapConfig};
+pub use queue::{BclCircularQueue, BclQueueConfig};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket/slot states used by the client-side protocols.
+pub const STATE_EMPTY: u64 = 0;
+/// Reserved by a client mid-insert.
+pub const STATE_RESERVED: u64 = 1;
+/// Data present and readable.
+pub const STATE_READY: u64 = 2;
+
+/// Errors surfaced by BCL operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BclError {
+    /// Transport failure.
+    Fabric(hcl_fabric::FabricError),
+    /// A serialized key/value exceeded the fixed slot capacity
+    /// (BCL's static entry size, §I(f)).
+    EntryTooLarge {
+        /// Serialized size.
+        got: usize,
+        /// Fixed capacity.
+        cap: usize,
+    },
+    /// The probe limit was exhausted: the statically sized table is
+    /// effectively full (BCL cannot rebalance without global agreement,
+    /// §I(e)).
+    TableFull,
+}
+
+impl std::fmt::Display for BclError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BclError::Fabric(e) => write!(f, "bcl fabric error: {e}"),
+            BclError::EntryTooLarge { got, cap } => {
+                write!(f, "entry of {got} bytes exceeds fixed slot capacity {cap}")
+            }
+            BclError::TableFull => write!(f, "bcl table full (static allocation exhausted)"),
+        }
+    }
+}
+
+impl std::error::Error for BclError {}
+
+impl From<hcl_fabric::FabricError> for BclError {
+    fn from(e: hcl_fabric::FabricError) -> Self {
+        BclError::Fabric(e)
+    }
+}
+
+/// Result alias for BCL operations.
+pub type BclResult<T> = Result<T, BclError>;
+
+/// Client-side remote-operation counters: the cost profile that
+/// distinguishes BCL from HCL (Fig. 1's breakdown).
+#[derive(Debug, Default)]
+pub struct BclCosts {
+    /// Remote CAS operations issued.
+    pub remote_cas: AtomicU64,
+    /// Remote fetch-add operations issued.
+    pub remote_fadd: AtomicU64,
+    /// Remote reads issued.
+    pub remote_reads: AtomicU64,
+    /// Remote writes issued.
+    pub remote_writes: AtomicU64,
+    /// Bucket-collision retries (extra probe rounds).
+    pub probe_retries: AtomicU64,
+}
+
+impl BclCosts {
+    /// Copy the counters out.
+    pub fn snapshot(&self) -> BclCostSnapshot {
+        BclCostSnapshot {
+            remote_cas: self.remote_cas.load(Ordering::Relaxed),
+            remote_fadd: self.remote_fadd.load(Ordering::Relaxed),
+            remote_reads: self.remote_reads.load(Ordering::Relaxed),
+            remote_writes: self.remote_writes.load(Ordering::Relaxed),
+            probe_retries: self.probe_retries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`BclCosts`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BclCostSnapshot {
+    /// Remote CAS count.
+    pub remote_cas: u64,
+    /// Remote fetch-add count.
+    pub remote_fadd: u64,
+    /// Remote read count.
+    pub remote_reads: u64,
+    /// Remote write count.
+    pub remote_writes: u64,
+    /// Probe retries.
+    pub probe_retries: u64,
+}
+
+impl BclCostSnapshot {
+    /// Total remote operations (each is a network round).
+    pub fn total_remote_ops(&self) -> u64 {
+        self.remote_cas + self.remote_fadd + self.remote_reads + self.remote_writes
+    }
+}

@@ -1,0 +1,306 @@
+//! The BCL hash map: client-side linear-probing over one-sided RMA.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use hcl_databox::DataBox;
+use hcl_fabric::{EpId, RegionKey};
+use hcl_mem::{align8, Segment};
+use hcl_runtime::Rank;
+
+use crate::{BclCostSnapshot, BclCosts, BclError, BclResult, STATE_EMPTY, STATE_READY, STATE_RESERVED};
+
+/// Deleted-bucket marker (linear probing requires tombstones).
+pub const STATE_TOMBSTONE: u64 = 3;
+
+/// Static configuration of a [`BclHashMap`] — all sizes fixed up front,
+/// per BCL's architecture ("a static pre-allocated partitioning that the
+/// clients must agree upon", HCL paper §I(e)).
+#[derive(Debug, Clone, Copy)]
+pub struct BclMapConfig {
+    /// Buckets per partition (fixed; no rehashing).
+    pub buckets_per_partition: usize,
+    /// Fixed serialized-key capacity per bucket.
+    pub key_cap: usize,
+    /// Fixed serialized-value capacity per bucket.
+    pub val_cap: usize,
+    /// Linear-probe limit before reporting [`BclError::TableFull`].
+    pub probe_limit: usize,
+}
+
+impl Default for BclMapConfig {
+    fn default() -> Self {
+        BclMapConfig { buckets_per_partition: 1024, key_cap: 64, val_cap: 256, probe_limit: 512 }
+    }
+}
+
+const HDR: usize = 24; // [state u64][klen u64][vlen u64]
+
+struct Core {
+    region_base: u32,
+    servers: Vec<u32>,
+    cfg: BclMapConfig,
+    bucket_size: usize,
+}
+
+/// A distributed hash map in the BCL style: every operation is a sequence
+/// of one-sided RMA verbs issued by the *client*.
+pub struct BclHashMap<'a, K, V>
+where
+    K: DataBox + Hash + Eq + Clone + Send + Sync + 'static,
+    V: DataBox + Clone + Send + Sync + 'static,
+{
+    core: Arc<Core>,
+    rank: &'a Rank,
+    costs: BclCosts,
+    _kv: std::marker::PhantomData<fn() -> (K, V)>,
+}
+
+impl<'a, K, V> BclHashMap<'a, K, V>
+where
+    K: DataBox + Hash + Eq + Clone + Send + Sync + 'static,
+    V: DataBox + Clone + Send + Sync + 'static,
+{
+    /// Collective constructor with defaults.
+    pub fn new(rank: &'a Rank, name: &str) -> Self {
+        Self::with_config(rank, name, BclMapConfig::default())
+    }
+
+    /// Collective constructor: pre-allocates one fixed segment per node and
+    /// registers it for one-sided access. Every rank must call it with the
+    /// same `name` and configuration.
+    pub fn with_config(rank: &'a Rank, name: &str, cfg: BclMapConfig) -> Self {
+        let world = Arc::clone(rank.world());
+        let bucket_size = HDR + align8(cfg.key_cap) + align8(cfg.val_cap);
+        let core = rank.get_or_create_shared(&format!("bcl.map.{name}"), move || {
+            let wcfg = world.config();
+            let servers: Vec<u32> =
+                (0..wcfg.nodes).map(|n| n * wcfg.ranks_per_node).collect();
+            let region_base = world.alloc_fn_ids(1); // shared id space is fine
+            for &owner in &servers {
+                // BCL allocates the whole partition up front (the memory
+                // behaviour Fig. 4(b) shows).
+                let seg = Segment::new(cfg.buckets_per_partition * bucket_size);
+                world
+                    .fabric()
+                    .register_region(
+                        RegionKey { ep: wcfg.ep_of(owner), region: region_base },
+                        seg,
+                    )
+                    .expect("register BCL partition");
+            }
+            Core { region_base, servers, cfg, bucket_size }
+        });
+        BclHashMap { core, rank, costs: BclCosts::default(), _kv: std::marker::PhantomData }
+    }
+
+    fn total_buckets(&self) -> usize {
+        self.core.servers.len() * self.core.cfg.buckets_per_partition
+    }
+
+    fn bucket_location(&self, global_bucket: usize) -> (RegionKey, usize) {
+        let bpp = self.core.cfg.buckets_per_partition;
+        let partition = global_bucket / bpp;
+        let local = global_bucket % bpp;
+        let owner = self.core.servers[partition];
+        let key = RegionKey {
+            ep: self.rank.world().config().ep_of(owner),
+            region: self.core.region_base,
+        };
+        (key, local * self.core.bucket_size)
+    }
+
+    fn cas(&self, key: RegionKey, off: usize, exp: u64, new: u64) -> BclResult<u64> {
+        self.costs.remote_cas.fetch_add(1, Ordering::Relaxed);
+        Ok(self.rank.world().fabric().cas64(self.rank.ep(), key, off, exp, new)?)
+    }
+
+    fn read(&self, key: RegionKey, off: usize, len: usize) -> BclResult<Vec<u8>> {
+        self.costs.remote_reads.fetch_add(1, Ordering::Relaxed);
+        Ok(self.rank.world().fabric().read(self.rank.ep(), key, off, len)?)
+    }
+
+    fn write(&self, key: RegionKey, off: usize, data: &[u8]) -> BclResult<()> {
+        self.costs.remote_writes.fetch_add(1, Ordering::Relaxed);
+        Ok(self.rank.world().fabric().write(self.rank.ep(), key, off, data)?)
+    }
+
+    /// Insert `key -> value`. The paper's three-step client-side protocol:
+    /// CAS-reserve, RDMA-write, CAS-ready — plus retries on collisions.
+    pub fn insert(&self, key: &K, value: &V) -> BclResult<bool> {
+        let kb = key.to_bytes();
+        let vb = value.to_bytes();
+        if kb.len() > self.core.cfg.key_cap {
+            return Err(BclError::EntryTooLarge { got: kb.len(), cap: self.core.cfg.key_cap });
+        }
+        if vb.len() > self.core.cfg.val_cap {
+            return Err(BclError::EntryTooLarge { got: vb.len(), cap: self.core.cfg.val_cap });
+        }
+        let total = self.total_buckets();
+        let start = (hcl::stable_hash(key) as usize) % total;
+        for probe in 0..self.core.cfg.probe_limit {
+            let (region, off) = self.bucket_location((start + probe) % total);
+            let mut spins = 0;
+            loop {
+                // (a) CAS to reserve the bucket.
+                let prev = self.cas(region, off, STATE_EMPTY, STATE_RESERVED)?;
+                let prev = if prev == STATE_TOMBSTONE {
+                    // Reuse a deleted bucket.
+                    self.cas(region, off, STATE_TOMBSTONE, STATE_RESERVED)?
+                } else {
+                    prev
+                };
+                if prev == STATE_EMPTY || prev == STATE_TOMBSTONE {
+                    // (b) RDMA write of the data.
+                    let mut buf = Vec::with_capacity(self.core.bucket_size - 8);
+                    buf.extend_from_slice(&(kb.len() as u64).to_le_bytes());
+                    buf.extend_from_slice(&(vb.len() as u64).to_le_bytes());
+                    buf.extend_from_slice(&kb);
+                    buf.resize(16 + align8(self.core.cfg.key_cap), 0);
+                    buf.extend_from_slice(&vb);
+                    self.write(region, off + 8, &buf)?;
+                    // (c) CAS the state to ready.
+                    self.cas(region, off, STATE_RESERVED, STATE_READY)?;
+                    return Ok(true);
+                }
+                if prev == STATE_READY {
+                    // Occupied: check the resident key.
+                    let hdr = self.read(region, off + 8, 16 + self.core.cfg.key_cap)?;
+                    let klen = u64::from_le_bytes(hdr[0..8].try_into().unwrap()) as usize;
+                    if &hdr[16..16 + klen] == &kb[..] {
+                        // Same key: overwrite under a fresh reservation.
+                        let p2 = self.cas(region, off, STATE_READY, STATE_RESERVED)?;
+                        if p2 != STATE_READY {
+                            self.costs.probe_retries.fetch_add(1, Ordering::Relaxed);
+                            continue; // lost the race; retry this bucket
+                        }
+                        let mut buf = Vec::new();
+                        buf.extend_from_slice(&(vb.len() as u64).to_le_bytes());
+                        buf.extend_from_slice(&vb);
+                        self.write(region, off + 16, &buf[0..8])?;
+                        self.write(region, off + HDR + align8(self.core.cfg.key_cap), &vb)?;
+                        self.cas(region, off, STATE_RESERVED, STATE_READY)?;
+                        return Ok(true);
+                    }
+                    // Different key: collision — next bucket.
+                    self.costs.probe_retries.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                // RESERVED by someone mid-insert: spin briefly on this
+                // bucket, then treat as a collision.
+                spins += 1;
+                if spins > 1_000 {
+                    self.costs.probe_retries.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+        Err(BclError::TableFull)
+    }
+
+    /// Look up `key`: one remote read of the full bucket per probe (fewer
+    /// atomics than insert — the asymmetry visible in Figs. 5/6).
+    pub fn find(&self, key: &K) -> BclResult<Option<V>> {
+        let kb = key.to_bytes();
+        let total = self.total_buckets();
+        let start = (hcl::stable_hash(key) as usize) % total;
+        for probe in 0..self.core.cfg.probe_limit {
+            let (region, off) = self.bucket_location((start + probe) % total);
+            let mut spins = 0;
+            loop {
+                let bucket = self.read(region, off, self.core.bucket_size)?;
+                let state = u64::from_le_bytes(bucket[0..8].try_into().unwrap());
+                match state {
+                    STATE_EMPTY => return Ok(None),
+                    STATE_TOMBSTONE => break, // deleted; keep probing
+                    STATE_READY => {
+                        let klen = u64::from_le_bytes(bucket[8..16].try_into().unwrap()) as usize;
+                        let vlen = u64::from_le_bytes(bucket[16..24].try_into().unwrap()) as usize;
+                        if &bucket[HDR..HDR + klen] == &kb[..] {
+                            let voff = HDR + align8(self.core.cfg.key_cap);
+                            let v = V::from_bytes(&bucket[voff..voff + vlen])
+                                .map_err(|_| BclError::Fabric(
+                                    hcl_fabric::FabricError::Io("decode".into()),
+                                ))?;
+                            return Ok(Some(v));
+                        }
+                        self.costs.probe_retries.fetch_add(1, Ordering::Relaxed);
+                        break; // other key; next bucket
+                    }
+                    _ => {
+                        // RESERVED: writer in flight; retry this bucket.
+                        spins += 1;
+                        if spins > 1_000 {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Remove `key`; leaves a tombstone (linear probing cannot reclaim).
+    pub fn erase(&self, key: &K) -> BclResult<bool> {
+        let kb = key.to_bytes();
+        let total = self.total_buckets();
+        let start = (hcl::stable_hash(key) as usize) % total;
+        for probe in 0..self.core.cfg.probe_limit {
+            let (region, off) = self.bucket_location((start + probe) % total);
+            let bucket = self.read(region, off, HDR + self.core.cfg.key_cap)?;
+            let state = u64::from_le_bytes(bucket[0..8].try_into().unwrap());
+            match state {
+                STATE_EMPTY => return Ok(false),
+                STATE_READY => {
+                    let klen = u64::from_le_bytes(bucket[8..16].try_into().unwrap()) as usize;
+                    if &bucket[HDR..HDR + klen] == &kb[..] {
+                        let prev = self.cas(region, off, STATE_READY, STATE_TOMBSTONE)?;
+                        return Ok(prev == STATE_READY);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(false)
+    }
+
+    /// Count entries with a full scan (BCL keeps no global count; one bulk
+    /// remote read per partition).
+    pub fn count_entries(&self) -> BclResult<u64> {
+        let mut count = 0;
+        let bpp = self.core.cfg.buckets_per_partition;
+        for p in 0..self.core.servers.len() {
+            let (region, _) = self.bucket_location(p * bpp);
+            let blob = self.read(region, 0, bpp * self.core.bucket_size)?;
+            for b in 0..bpp {
+                let off = b * self.core.bucket_size;
+                if u64::from_le_bytes(blob[off..off + 8].try_into().unwrap()) == STATE_READY {
+                    count += 1;
+                }
+            }
+        }
+        Ok(count)
+    }
+
+    /// Client-side remote-op counters.
+    pub fn costs(&self) -> BclCostSnapshot {
+        self.costs.snapshot()
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.core.servers.len()
+    }
+
+    /// Total statically allocated bytes across partitions.
+    pub fn allocated_bytes(&self) -> usize {
+        self.total_buckets() * self.core.bucket_size
+    }
+}
+
+/// Reserved so callers can name the endpoint map type without generics.
+pub type OwnerMap = HashMap<usize, EpId>;

@@ -1,0 +1,210 @@
+//! The BCL circular queue: client-side ring buffer over one-sided RMA.
+//!
+//! Push and pop each cost several remote rounds (reads of head/tail, a CAS
+//! claim, a data write/read, a state write) — the client-side
+//! synchronization the HCL paper shows collapsing at scale ("BCL's multiple
+//! client-side CAS operations on the remote memory (per each push and pop)
+//! ... lowers the throughput", §IV-C).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use hcl_databox::DataBox;
+use hcl_fabric::RegionKey;
+use hcl_mem::{align8, Segment};
+use hcl_runtime::Rank;
+
+use crate::{BclCostSnapshot, BclCosts, BclError, BclResult, STATE_EMPTY, STATE_READY};
+
+/// Static configuration of a [`BclCircularQueue`].
+#[derive(Debug, Clone, Copy)]
+pub struct BclQueueConfig {
+    /// The rank hosting the ring.
+    pub owner: u32,
+    /// Ring capacity in slots (fixed; a full ring rejects pushes).
+    pub capacity: usize,
+    /// Fixed serialized-element capacity per slot.
+    pub elem_cap: usize,
+}
+
+impl Default for BclQueueConfig {
+    fn default() -> Self {
+        BclQueueConfig { owner: 0, capacity: 4096, elem_cap: 256 }
+    }
+}
+
+const HEAD_OFF: usize = 0;
+const TAIL_OFF: usize = 8;
+const RING_OFF: usize = 16;
+const SLOT_HDR: usize = 16; // [state u64][len u64]
+
+struct Core {
+    region: u32,
+    cfg: BclQueueConfig,
+    slot_size: usize,
+}
+
+/// A distributed circular FIFO queue in the BCL style.
+pub struct BclCircularQueue<'a, T>
+where
+    T: DataBox + Clone + Send + Sync + 'static,
+{
+    core: Arc<Core>,
+    rank: &'a Rank,
+    costs: BclCosts,
+    _t: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<'a, T> BclCircularQueue<'a, T>
+where
+    T: DataBox + Clone + Send + Sync + 'static,
+{
+    /// Collective constructor with defaults (hosted on rank 0).
+    pub fn new(rank: &'a Rank, name: &str) -> Self {
+        Self::with_config(rank, name, BclQueueConfig::default())
+    }
+
+    /// Collective constructor: pre-allocates the fixed ring on the owner.
+    pub fn with_config(rank: &'a Rank, name: &str, cfg: BclQueueConfig) -> Self {
+        let world = Arc::clone(rank.world());
+        let slot_size = SLOT_HDR + align8(cfg.elem_cap);
+        let core = rank.get_or_create_shared(&format!("bcl.queue.{name}"), move || {
+            let region = world.alloc_fn_ids(1);
+            let seg = Segment::new(RING_OFF + cfg.capacity * slot_size);
+            world
+                .fabric()
+                .register_region(
+                    RegionKey { ep: world.config().ep_of(cfg.owner), region },
+                    seg,
+                )
+                .expect("register BCL ring");
+            Core { region, cfg, slot_size }
+        });
+        BclCircularQueue { core, rank, costs: BclCosts::default(), _t: std::marker::PhantomData }
+    }
+
+    fn region(&self) -> RegionKey {
+        RegionKey {
+            ep: self.rank.world().config().ep_of(self.core.cfg.owner),
+            region: self.core.region,
+        }
+    }
+
+    fn read_u64(&self, off: usize) -> BclResult<u64> {
+        self.costs.remote_reads.fetch_add(1, Ordering::Relaxed);
+        Ok(self.rank.world().fabric().read_u64(self.rank.ep(), self.region(), off)?)
+    }
+
+    fn cas(&self, off: usize, exp: u64, new: u64) -> BclResult<u64> {
+        self.costs.remote_cas.fetch_add(1, Ordering::Relaxed);
+        Ok(self.rank.world().fabric().cas64(self.rank.ep(), self.region(), off, exp, new)?)
+    }
+
+    /// Push one element; `false` when the fixed ring is full.
+    pub fn push(&self, value: &T) -> BclResult<bool> {
+        let vb = value.to_bytes();
+        if vb.len() > self.core.cfg.elem_cap {
+            return Err(BclError::EntryTooLarge { got: vb.len(), cap: self.core.cfg.elem_cap });
+        }
+        loop {
+            // Remote reads of the ring indices.
+            let tail = self.read_u64(TAIL_OFF)?;
+            let head = self.read_u64(HEAD_OFF)?;
+            if tail - head >= self.core.cfg.capacity as u64 {
+                return Ok(false);
+            }
+            // Remote CAS to claim the slot.
+            if self.cas(TAIL_OFF, tail, tail + 1)? != tail {
+                self.costs.probe_retries.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let slot = (tail as usize) % self.core.cfg.capacity;
+            let off = RING_OFF + slot * self.core.slot_size;
+            // Wait for the consumer of a previous lap to clear the slot.
+            let mut spins = 0u32;
+            while self.read_u64(off)? != STATE_EMPTY {
+                spins += 1;
+                if spins > 100 {
+                    std::thread::yield_now();
+                }
+            }
+            // Remote write of the data, then the ready flag.
+            let mut buf = Vec::with_capacity(8 + vb.len());
+            buf.extend_from_slice(&(vb.len() as u64).to_le_bytes());
+            buf.extend_from_slice(&vb);
+            self.costs.remote_writes.fetch_add(1, Ordering::Relaxed);
+            self.rank.world().fabric().write(self.rank.ep(), self.region(), off + 8, &buf)?;
+            self.costs.remote_writes.fetch_add(1, Ordering::Relaxed);
+            self.rank
+                .world()
+                .fabric()
+                .write_u64(self.rank.ep(), self.region(), off, STATE_READY)?;
+            return Ok(true);
+        }
+    }
+
+    /// Pop one element; `None` when empty.
+    pub fn pop(&self) -> BclResult<Option<T>> {
+        loop {
+            let head = self.read_u64(HEAD_OFF)?;
+            let tail = self.read_u64(TAIL_OFF)?;
+            if head >= tail {
+                return Ok(None);
+            }
+            if self.cas(HEAD_OFF, head, head + 1)? != head {
+                self.costs.probe_retries.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let slot = (head as usize) % self.core.cfg.capacity;
+            let off = RING_OFF + slot * self.core.slot_size;
+            // Wait for the producer's ready flag.
+            let mut spins = 0u32;
+            while self.read_u64(off)? != STATE_READY {
+                spins += 1;
+                if spins > 100 {
+                    std::thread::yield_now();
+                }
+            }
+            // One remote read for the payload, one remote write to clear.
+            self.costs.remote_reads.fetch_add(1, Ordering::Relaxed);
+            let blob = self.rank.world().fabric().read(
+                self.rank.ep(),
+                self.region(),
+                off + 8,
+                8 + self.core.cfg.elem_cap,
+            )?;
+            let len = u64::from_le_bytes(blob[0..8].try_into().unwrap()) as usize;
+            let v = T::from_bytes(&blob[8..8 + len]).map_err(|_| {
+                BclError::Fabric(hcl_fabric::FabricError::Io("decode".into()))
+            })?;
+            self.costs.remote_writes.fetch_add(1, Ordering::Relaxed);
+            self.rank
+                .world()
+                .fabric()
+                .write_u64(self.rank.ep(), self.region(), off, STATE_EMPTY)?;
+            return Ok(Some(v));
+        }
+    }
+
+    /// Elements currently queued (two remote reads).
+    pub fn len(&self) -> BclResult<u64> {
+        let head = self.read_u64(HEAD_OFF)?;
+        let tail = self.read_u64(TAIL_OFF)?;
+        Ok(tail.saturating_sub(head))
+    }
+
+    /// True when the queue appears empty.
+    pub fn is_empty(&self) -> BclResult<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Client-side remote-op counters.
+    pub fn costs(&self) -> BclCostSnapshot {
+        self.costs.snapshot()
+    }
+
+    /// Total statically allocated bytes.
+    pub fn allocated_bytes(&self) -> usize {
+        RING_OFF + self.core.cfg.capacity * self.core.slot_size
+    }
+}

@@ -1,0 +1,307 @@
+//! SPMD tests for the BCL baseline, including the cost-profile assertions
+//! that distinguish it from HCL.
+
+use std::collections::HashSet;
+
+use bcl::{BclCircularQueue, BclError, BclHashMap, BclMapConfig, BclQueueConfig};
+use hcl_runtime::{World, WorldConfig};
+
+fn small_world() -> WorldConfig {
+    WorldConfig { nodes: 2, ranks_per_node: 2, ..WorldConfig::small() }
+}
+
+#[test]
+fn map_insert_find_across_nodes() {
+    World::run(small_world(), |rank| {
+        let map: BclHashMap<String, u64> = BclHashMap::new(rank, "bm1");
+        map.insert(&format!("key-{}", rank.id()), &(rank.id() as u64 * 7)).unwrap();
+        rank.barrier();
+        for r in 0..rank.world_size() {
+            assert_eq!(map.find(&format!("key-{r}")).unwrap(), Some(r as u64 * 7));
+        }
+        assert_eq!(map.find(&"nope".to_string()).unwrap(), None);
+        rank.barrier();
+        assert_eq!(map.count_entries().unwrap(), 4);
+    });
+}
+
+#[test]
+fn map_overwrite_and_erase() {
+    World::run(small_world(), |rank| {
+        let map: BclHashMap<u64, String> = BclHashMap::new(rank, "bm2");
+        if rank.id() == 0 {
+            map.insert(&1, &"one".to_string()).unwrap();
+            map.insert(&1, &"uno".to_string()).unwrap();
+        }
+        rank.barrier();
+        assert_eq!(map.find(&1).unwrap(), Some("uno".to_string()));
+        rank.barrier();
+        if rank.id() == 3 {
+            assert!(map.erase(&1).unwrap());
+            assert!(!map.erase(&1).unwrap());
+        }
+        rank.barrier();
+        assert_eq!(map.find(&1).unwrap(), None);
+    });
+}
+
+#[test]
+fn map_insert_cost_is_at_least_two_cas_and_one_write() {
+    World::run(small_world(), |rank| {
+        let map: BclHashMap<u64, u64> = BclHashMap::new(rank, "bm3");
+        if rank.id() == 0 {
+            let n = 100u64;
+            for k in 0..n {
+                map.insert(&k, &k).unwrap();
+            }
+            let c = map.costs();
+            // The paper's protocol: >= 2 CAS + 1 write per insert.
+            assert!(c.remote_cas >= 2 * n, "CAS {} < {}", c.remote_cas, 2 * n);
+            assert!(c.remote_writes >= n);
+            // Finds cost reads, no CAS.
+            let before = map.costs();
+            for k in 0..n {
+                assert!(map.find(&k).unwrap().is_some());
+            }
+            let after = map.costs();
+            assert_eq!(after.remote_cas, before.remote_cas, "finds must not CAS");
+            assert!(after.remote_reads > before.remote_reads);
+        }
+        rank.barrier();
+    });
+}
+
+#[test]
+fn map_collisions_probe_to_next_bucket() {
+    // A tiny table forces collisions; all entries must still be found.
+    World::run(small_world(), |rank| {
+        let map: BclHashMap<u64, u64> = BclHashMap::with_config(
+            rank,
+            "bm4",
+            BclMapConfig { buckets_per_partition: 8, probe_limit: 16, ..Default::default() },
+        );
+        // Pick 12 keys that are *guaranteed* to include a bucket collision
+        // under the deterministic first-level hash (16 global buckets).
+        let mut keys: Vec<u64> = Vec::new();
+        let bucket = |k: &u64| (hcl::stable_hash(k) % 16) as u64;
+        'scan: for a in 0..1_000u64 {
+            for b in a + 1..1_000u64 {
+                if bucket(&a) == bucket(&b) {
+                    keys.push(a);
+                    keys.push(b);
+                    break 'scan;
+                }
+            }
+        }
+        let mut next = 0u64;
+        while keys.len() < 12 {
+            if !keys.contains(&next) {
+                keys.push(next);
+            }
+            next += 1;
+        }
+        if rank.id() == 0 {
+            for &k in &keys {
+                map.insert(&k, &(k + 100)).unwrap();
+            }
+            assert!(map.costs().probe_retries > 0, "constructed collision did not probe");
+        }
+        rank.barrier();
+        for &k in &keys {
+            assert_eq!(map.find(&k).unwrap(), Some(k + 100));
+        }
+    });
+}
+
+#[test]
+fn map_static_allocation_fills_up() {
+    World::run(small_world(), |rank| {
+        let map: BclHashMap<u64, u64> = BclHashMap::with_config(
+            rank,
+            "bm5",
+            BclMapConfig { buckets_per_partition: 4, probe_limit: 8, ..Default::default() },
+        );
+        if rank.id() == 0 {
+            // Capacity is 2 partitions × 4 buckets = 8; the 9th insert
+            // cannot rebalance — BCL's static-allocation limitation.
+            let mut err = None;
+            for k in 0..100u64 {
+                match map.insert(&k, &k) {
+                    Ok(_) => {}
+                    Err(e) => {
+                        err = Some(e);
+                        break;
+                    }
+                }
+            }
+            assert!(matches!(err, Some(BclError::TableFull)));
+        }
+        rank.barrier();
+    });
+}
+
+#[test]
+fn map_fixed_entry_size_rejected() {
+    World::run(small_world(), |rank| {
+        let map: BclHashMap<String, String> = BclHashMap::with_config(
+            rank,
+            "bm6",
+            BclMapConfig { key_cap: 16, val_cap: 16, ..Default::default() },
+        );
+        if rank.id() == 0 {
+            let big = "x".repeat(64);
+            assert!(matches!(
+                map.insert(&"k".to_string(), &big),
+                Err(BclError::EntryTooLarge { .. })
+            ));
+        }
+        rank.barrier();
+    });
+}
+
+#[test]
+fn map_concurrent_inserts_all_found() {
+    let cfg = WorldConfig { nodes: 2, ranks_per_node: 4, ..WorldConfig::small() };
+    World::run(cfg, |rank| {
+        let map: BclHashMap<u64, u64> = BclHashMap::with_config(
+            rank,
+            "bm7",
+            BclMapConfig { buckets_per_partition: 4096, ..Default::default() },
+        );
+        let n = 200u64;
+        for i in 0..n {
+            map.insert(&(rank.id() as u64 * n + i), &i).unwrap();
+        }
+        rank.barrier();
+        for r in 0..rank.world_size() as u64 {
+            for i in 0..n {
+                assert_eq!(map.find(&(r * n + i)).unwrap(), Some(i));
+            }
+        }
+    });
+}
+
+#[test]
+fn queue_push_pop_fifo() {
+    World::run(small_world(), |rank| {
+        let q: BclCircularQueue<u64> = BclCircularQueue::new(rank, "bq1");
+        if rank.id() == 1 {
+            for i in 0..50u64 {
+                assert!(q.push(&i).unwrap());
+            }
+        }
+        rank.barrier();
+        assert_eq!(q.len().unwrap(), 50);
+        rank.barrier();
+        if rank.id() == 2 {
+            for i in 0..50u64 {
+                assert_eq!(q.pop().unwrap(), Some(i), "FIFO order broken at {i}");
+            }
+            assert_eq!(q.pop().unwrap(), None);
+        }
+        rank.barrier();
+    });
+}
+
+#[test]
+fn queue_fixed_capacity_rejects_when_full() {
+    World::run(small_world(), |rank| {
+        let q: BclCircularQueue<u64> = BclCircularQueue::with_config(
+            rank,
+            "bq2",
+            BclQueueConfig { owner: 0, capacity: 8, elem_cap: 64 },
+        );
+        if rank.id() == 0 {
+            for i in 0..8u64 {
+                assert!(q.push(&i).unwrap());
+            }
+            assert!(!q.push(&99).unwrap(), "ring must report full");
+            q.pop().unwrap();
+            assert!(q.push(&99).unwrap(), "slot must be reusable after pop");
+        }
+        rank.barrier();
+    });
+}
+
+#[test]
+fn queue_mwmr_conserves_elements() {
+    let cfg = WorldConfig { nodes: 2, ranks_per_node: 2, ..WorldConfig::small() };
+    let results = World::run(cfg, |rank| {
+        let q: BclCircularQueue<u64> = BclCircularQueue::with_config(
+            rank,
+            "bq3",
+            BclQueueConfig { owner: 0, capacity: 2048, elem_cap: 64 },
+        );
+        let per = 100u64;
+        for i in 0..per {
+            q.push(&(rank.id() as u64 * per + i)).unwrap();
+        }
+        rank.barrier();
+        let mut got = Vec::new();
+        for _ in 0..per {
+            if let Some(v) = q.pop().unwrap() {
+                got.push(v);
+            }
+        }
+        rank.barrier();
+        if rank.id() == 0 {
+            while let Some(v) = q.pop().unwrap() {
+                got.push(v);
+            }
+        }
+        got
+    });
+    let all: Vec<u64> = results.into_iter().flatten().collect();
+    let set: HashSet<u64> = all.iter().copied().collect();
+    assert_eq!(all.len(), 400);
+    assert_eq!(set.len(), 400);
+}
+
+#[test]
+fn queue_ops_cost_multiple_remote_rounds() {
+    World::run(small_world(), |rank| {
+        let q: BclCircularQueue<u64> = BclCircularQueue::new(rank, "bq4");
+        if rank.id() == 3 {
+            let n = 50u64;
+            for i in 0..n {
+                q.push(&i).unwrap();
+            }
+            let c = q.costs();
+            // Per push: >= 2 reads (head+tail) + 1 CAS + 2 writes.
+            assert!(c.remote_reads >= 2 * n);
+            assert!(c.remote_cas >= n);
+            assert!(c.remote_writes >= 2 * n);
+            assert!(c.total_remote_ops() >= 5 * n, "BCL push must cost >= 5 rounds");
+        }
+        rank.barrier();
+    });
+}
+
+#[test]
+fn hcl_uses_fewer_remote_ops_than_bcl_for_same_work() {
+    // The motivating comparison (Fig. 1) at the op-count level: one HCL
+    // insert = 1 remote invocation; one BCL insert >= 3 remote ops.
+    World::run(small_world(), |rank| {
+        let hmap: hcl::UnorderedMap<u64, u64> = hcl::UnorderedMap::with_config(
+            rank,
+            "cmp-h",
+            hcl::UnorderedMapConfig { hybrid: false, ..Default::default() },
+        );
+        let bmap: BclHashMap<u64, u64> = BclHashMap::new(rank, "cmp-b");
+        if rank.id() == 0 {
+            let n = 200u64;
+            for k in 0..n {
+                hmap.put(k, k).unwrap();
+                bmap.insert(&k, &k).unwrap();
+            }
+            let hcl_remote = hmap.costs().f;
+            let bcl_remote = bmap.costs().total_remote_ops();
+            assert_eq!(hcl_remote, n, "HCL: exactly one invocation per insert");
+            assert!(
+                bcl_remote >= 3 * n,
+                "BCL: at least 3 remote ops per insert (got {bcl_remote})"
+            );
+        }
+        rank.barrier();
+    });
+}

@@ -1,0 +1,76 @@
+//! Criterion benchmarks of the DataBox serialization backends (§III-C2):
+//! the byte-copyable fast path vs the framed codecs, across payload shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hcl_databox::codec::{AnyCodec, Codec};
+use hcl_databox::DataBox;
+
+fn fixed_payload() -> (u64, u64, u64, u64) {
+    (1, 2, 3, 4)
+}
+
+fn variable_payload() -> (String, Vec<u64>, Vec<String>) {
+    (
+        "a moderately sized key string".to_string(),
+        (0..64).collect(),
+        (0..8).map(|i| format!("field-{i}")).collect(),
+    )
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec/encode");
+    for codec in [AnyCodec::Fixed, AnyCodec::Pack, AnyCodec::SelfDescribing] {
+        g.bench_with_input(
+            BenchmarkId::new("fixed-32B", codec.name()),
+            &codec,
+            |b, codec| {
+                let v = fixed_payload();
+                b.iter(|| codec.encode(&v))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("variable-~700B", codec.name()),
+            &codec,
+            |b, codec| {
+                let v = variable_payload();
+                b.iter(|| codec.encode(&v))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec/decode");
+    for codec in [AnyCodec::Fixed, AnyCodec::Pack, AnyCodec::SelfDescribing] {
+        let fv = codec.encode(&fixed_payload());
+        g.bench_with_input(BenchmarkId::new("fixed-32B", codec.name()), &codec, |b, codec| {
+            b.iter(|| codec.decode::<(u64, u64, u64, u64)>(&fv).unwrap())
+        });
+        let vv = codec.encode(&variable_payload());
+        g.bench_with_input(
+            BenchmarkId::new("variable-~700B", codec.name()),
+            &codec,
+            |b, codec| {
+                b.iter(|| codec.decode::<(String, Vec<u64>, Vec<String>)>(&vv).unwrap())
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_bulk_bytes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec/bulk-4KB-values");
+    let payload = vec![0xA5u8; 4096];
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("pack-vec-u8", |b| {
+        b.iter(|| {
+            let enc = payload.to_bytes();
+            Vec::<u8>::from_bytes(&enc).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_bulk_bytes);
+criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! Criterion micro-benchmarks of the local lock-free building blocks
+//! against their std sequential counterparts, plus an ablation of the
+//! concurrency scaling HCL's partition structures rely on (§III-A3).
+
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hcl_containers::{CuckooMap, LockFreeQueue, SkipListMap, SkipListPq};
+
+fn bench_hash_maps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("local/hash-insert-find");
+    let n = 10_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("cuckoo", |b| {
+        b.iter(|| {
+            let m = CuckooMap::with_buckets(128);
+            for i in 0..n {
+                m.insert(i, i);
+            }
+            let mut hits = 0;
+            for i in 0..n {
+                if m.get(&i).is_some() {
+                    hits += 1;
+                }
+            }
+            assert_eq!(hits, n);
+        })
+    });
+    g.bench_function("std-hashmap", |b| {
+        b.iter(|| {
+            let mut m = HashMap::new();
+            for i in 0..n {
+                m.insert(i, i);
+            }
+            let mut hits = 0;
+            for i in 0..n {
+                if m.get(&i).is_some() {
+                    hits += 1;
+                }
+            }
+            assert_eq!(hits, n);
+        })
+    });
+    g.finish();
+}
+
+fn bench_ordered_maps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("local/ordered-insert-find");
+    let n = 10_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("skiplist", |b| {
+        b.iter(|| {
+            let m = SkipListMap::new();
+            for i in 0..n {
+                m.insert(i.wrapping_mul(0x9E3779B9) % n, i);
+            }
+            for i in 0..n {
+                let _ = m.get(&(i % n));
+            }
+        })
+    });
+    g.bench_function("std-btreemap", |b| {
+        b.iter(|| {
+            let mut m = BTreeMap::new();
+            for i in 0..n {
+                m.insert(i.wrapping_mul(0x9E3779B9) % n, i);
+            }
+            for i in 0..n {
+                let _ = m.get(&(i % n));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("local/queue-push-pop");
+    let n = 10_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("ms-queue", |b| {
+        b.iter(|| {
+            let q = LockFreeQueue::new();
+            for i in 0..n {
+                q.push(i);
+            }
+            while q.pop().is_some() {}
+        })
+    });
+    g.bench_function("std-vecdeque", |b| {
+        b.iter(|| {
+            let mut q = VecDeque::new();
+            for i in 0..n {
+                q.push_back(i);
+            }
+            while q.pop_front().is_some() {}
+        })
+    });
+    g.finish();
+}
+
+fn bench_pqueues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("local/pq-push-pop");
+    let n = 10_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("skiplist-pq", |b| {
+        b.iter(|| {
+            let q = SkipListPq::new();
+            for i in 0..n {
+                q.push(i.wrapping_mul(0x9E3779B9) % n);
+            }
+            while q.pop().is_some() {}
+        })
+    });
+    g.bench_function("std-binaryheap", |b| {
+        b.iter(|| {
+            let mut q = BinaryHeap::new();
+            for i in 0..n {
+                q.push(std::cmp::Reverse(i.wrapping_mul(0x9E3779B9) % n));
+            }
+            while q.pop().is_some() {}
+        })
+    });
+    g.finish();
+}
+
+/// Ablation: MWMR scaling of the cuckoo map with thread count — the
+/// concurrency property HCL's handler execution depends on.
+fn bench_cuckoo_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("local/cuckoo-mwmr-scaling");
+    let per_thread = 20_000u64;
+    for threads in [1u64, 2, 4, 8] {
+        g.throughput(Throughput::Elements(per_thread * threads));
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let m = Arc::new(CuckooMap::with_buckets(1 << 14));
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        let m = Arc::clone(&m);
+                        s.spawn(move || {
+                            for i in 0..per_thread {
+                                m.insert(t * per_thread + i, i);
+                            }
+                        });
+                    }
+                });
+                assert_eq!(m.len() as u64, per_thread * threads);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hash_maps,
+    bench_ordered_maps,
+    bench_queues,
+    bench_pqueues,
+    bench_cuckoo_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Criterion benchmarks of the RoR framework itself: sync vs async vs
+//! batched invocation, and the one-sided verb costs on the memory provider.
+//! This quantifies, at the real-execution level, the round-count argument
+//! of §II-C (one RPC vs multiple RMA rounds).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hcl_databox::DataBox;
+use hcl_fabric::memory::MemoryFabric;
+use hcl_fabric::{EpId, Fabric, RegionKey};
+use hcl_mem::Segment;
+use hcl_rpc::client::RpcClient;
+use hcl_rpc::server::{RpcServer, ServerConfig};
+use hcl_rpc::RpcRegistry;
+
+struct Env {
+    _server: RpcServer,
+    client: RpcClient,
+    server_ep: EpId,
+    fabric: Arc<MemoryFabric>,
+    data_region: RegionKey,
+}
+
+fn env() -> Env {
+    let fabric = Arc::new(MemoryFabric::new());
+    let server_ep = EpId::new(0, 0);
+    let reg = Arc::new(RpcRegistry::new());
+    reg.bind_typed(1, |_, _, v: u64| v + 1);
+    reg.bind_typed(2, |_, _, v: Vec<u8>| v.len() as u64);
+    let server = RpcServer::start(
+        server_ep,
+        fabric.clone() as Arc<dyn Fabric>,
+        reg,
+        ServerConfig { max_clients: 8, slot_cap: 64 * 1024, nic_cores: 2 },
+    );
+    let client = RpcClient::new(EpId::new(1, 1), fabric.clone() as Arc<dyn Fabric>, 64 * 1024);
+    let data_region = RegionKey { ep: server_ep, region: 7 };
+    fabric.register_region(data_region, Segment::new(1 << 20)).unwrap();
+    Env { _server: server, client, server_ep, fabric, data_region }
+}
+
+fn bench_invoke(c: &mut Criterion) {
+    let e = env();
+    let mut g = c.benchmark_group("rpc/invoke");
+    g.bench_function("sync-u64", |b| {
+        b.iter(|| {
+            let r: u64 = e.client.invoke(e.server_ep, 1, &41u64).unwrap();
+            assert_eq!(r, 42);
+        })
+    });
+    g.bench_function("async-pipeline-4", |b| {
+        b.iter(|| {
+            let futs: Vec<_> = (0..4u64)
+                .map(|i| e.client.invoke_async::<u64, u64>(e.server_ep, 1, &i).unwrap())
+                .collect();
+            for f in &futs {
+                f.wait().unwrap();
+            }
+        })
+    });
+    g.bench_function("batch-16", |b| {
+        let calls: Vec<(u32, Vec<u8>)> =
+            (0..16u64).map(|i| (1u32, i.to_bytes().to_vec())).collect();
+        b.iter(|| {
+            let f = e.client.invoke_batch(e.server_ep, &calls).unwrap();
+            assert_eq!(f.wait().unwrap().len(), 16);
+        })
+    });
+    g.finish();
+}
+
+fn bench_payload_sizes(c: &mut Criterion) {
+    let e = env();
+    let mut g = c.benchmark_group("rpc/payload");
+    for size in [256usize, 4096, 65536] {
+        g.throughput(Throughput::Bytes(size as u64));
+        let payload = vec![7u8; size];
+        g.bench_function(format!("invoke-{size}B"), |b| {
+            b.iter(|| {
+                let r: u64 = e.client.invoke(e.server_ep, 2, &payload).unwrap();
+                assert_eq!(r as usize, size);
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The protocol comparison at verb level: 1 RPC vs the 3 one-sided rounds of
+/// a BCL insert (CAS + write + CAS) on identical fabric.
+fn bench_protocol_rounds(c: &mut Criterion) {
+    let e = env();
+    let from = EpId::new(1, 1);
+    let mut g = c.benchmark_group("rpc/one-insert-protocol");
+    let payload = vec![1u8; 4096];
+    g.bench_function("hcl-style-1-rpc", |b| {
+        b.iter(|| {
+            let _: u64 = e.client.invoke(e.server_ep, 2, &payload).unwrap();
+        })
+    });
+    g.bench_function("bcl-style-cas-write-cas", |b| {
+        let mut slot = 0usize;
+        b.iter(|| {
+            // reserve; write; publish — three dependent rounds.
+            let off = (slot % 64) * 8192;
+            slot += 1;
+            while e.fabric.cas64(from, e.data_region, off, 0, 1).unwrap() != 0 {
+                e.fabric.write_u64(from, e.data_region, off, 0).unwrap();
+            }
+            e.fabric.write(from, e.data_region, off + 8, &payload).unwrap();
+            e.fabric.cas64(from, e.data_region, off, 1, 0).unwrap();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_invoke, bench_payload_sizes, bench_protocol_rounds);
+criterion_main!(benches);

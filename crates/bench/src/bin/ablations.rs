@@ -1,0 +1,190 @@
+//! Ablations of HCL's design choices (simulator): quantifies each of the
+//! paper's architectural arguments in isolation.
+//!
+//! 1. **NIC cores** — the paper's premise that multi-core NICs (BlueField-
+//!    class) make server-side execution viable: RPC throughput vs core
+//!    count.
+//! 2. **Hybrid access model** — throughput as the co-located fraction of
+//!    ops varies 0% → 100% (§III-C5's "significantly boost performance").
+//! 3. **Request aggregation** — one message carrying N ops vs N messages
+//!    (§III-B).
+//! 4. **Network latency sensitivity** — BCL's 3-round protocol pays 3× the
+//!    per-op latency, so the BCL/HCL gap must *grow* with link latency.
+//!
+//! Usage: `ablations [cores|hybrid|batch|latency|all]`
+
+use hcl_bench::{header, ops as fmt_ops, ratio, row, verdict};
+use hcl_cluster_sim::engine::{ClientPlan, Engine};
+use hcl_cluster_sim::protocol::{self, OpParams};
+use hcl_cluster_sim::{ClusterSpec, SimRng};
+
+fn run_throughput(
+    spec: &ClusterSpec,
+    clients: usize,
+    ops: u64,
+    build: impl Fn(&protocol::ClusterResources, &mut SimRng, u64) -> Vec<hcl_cluster_sim::Phase>
+        + Copy
+        + 'static,
+) -> f64 {
+    let mut e = Engine::new();
+    let r = protocol::build_resources(&mut e, spec, 1, None);
+    let plans: Vec<ClientPlan> = (0..clients)
+        .map(|c| {
+            let r = r.clone();
+            let mut rng = SimRng::new(c as u64 * 7 + 1);
+            ClientPlan { ops, builder: Box::new(move |op| build(&r, &mut rng, op)) }
+        })
+        .collect();
+    let result = e.run(plans);
+    clients as f64 * ops as f64 / result.makespan_seconds()
+}
+
+fn nic_cores() {
+    header("Ablation 1 — NIC cores vs RPC throughput");
+    row("nic cores", &["throughput".into()]);
+    let mut last = 0.0;
+    let mut first = 0.0;
+    for cores in [1u32, 2, 4, 8] {
+        let mut spec = ClusterSpec::ares(2);
+        spec.nic_cores = cores;
+        // Handler-heavy ops (small payload, big handler) expose the cores.
+        let p = OpParams { size: 512, part_service_ns: 0, ..Default::default() };
+        let t = run_throughput(&spec, 64, 512, move |r, _, _| {
+            let mut phases = protocol::hcl_insert_remote(&spec, r, 1, 0, &p, false);
+            // Inflate handler work to make the NIC the bottleneck.
+            for ph in phases.iter_mut() {
+                if ph.resource == Some(r.nic[1]) {
+                    ph.service_ns *= 8;
+                }
+            }
+            phases
+        });
+        if cores == 1 {
+            first = t;
+        }
+        last = t;
+        row(&cores.to_string(), &[fmt_ops(t)]);
+    }
+    verdict(
+        "multi-core NIC scales handler throughput",
+        last > 3.0 * first,
+        &format!("1 -> 8 cores: {}", ratio(last, first)),
+    );
+}
+
+fn hybrid() {
+    header("Ablation 2 — hybrid access model (co-located fraction sweep)");
+    let spec = ClusterSpec::ares(2);
+    row("local fraction", &["throughput".into()]);
+    let mut t0 = 0.0;
+    let mut t100 = 0.0;
+    for pct in [0u64, 25, 50, 75, 100] {
+        let p = OpParams { size: 64 * 1024, ..Default::default() };
+        let t = run_throughput(&spec, 40, 512, move |r, rng, _| {
+            if rng.below(100) < pct {
+                protocol::hcl_local(&spec, r, 0, &p)
+            } else {
+                protocol::hcl_insert_remote(&spec, r, 1, 0, &p, false)
+            }
+        });
+        if pct == 0 {
+            t0 = t;
+        }
+        if pct == 100 {
+            t100 = t;
+        }
+        row(&format!("{pct}%"), &[fmt_ops(t)]);
+    }
+    verdict(
+        "local bypass dominates (paper: 'significantly boost performance')",
+        t100 > 5.0 * t0,
+        &format!("0% -> 100% local: {}", ratio(t100, t0)),
+    );
+}
+
+fn batch() {
+    header("Ablation 3 — request aggregation (ops per message)");
+    let spec = ClusterSpec::ares(2);
+    row("batch size", &["throughput".into()]);
+    let mut b1 = 0.0;
+    let mut b16 = 0.0;
+    for bsz in [1u64, 4, 16] {
+        let p = OpParams { size: 1024, ..Default::default() };
+        // One aggregated message carries bsz ops: amortizes the round-trip
+        // latency and per-message overhead; the handler executes bsz times.
+        // Run latency-bound (one client) — aggregation is a *latency*
+        // optimization; at link saturation it cannot add bandwidth.
+        let t = run_throughput(&spec, 1, 2_000, move |r, _, _| {
+            let mut phases = protocol::hcl_insert_remote(&spec, r, 1, 0, &p, false);
+            for ph in phases.iter_mut() {
+                if ph.resource == Some(r.link_in[1]) {
+                    ph.service_ns =
+                        spec.wire_ns(p.size * bsz) + spec.client_overhead_ns;
+                    ph.bytes = p.size * bsz;
+                    ph.packets = spec.packets(p.size * bsz);
+                }
+                if ph.resource == Some(r.nic[1]) {
+                    ph.service_ns *= bsz;
+                }
+            }
+            phases
+        }) * bsz as f64;
+        if bsz == 1 {
+            b1 = t;
+        }
+        if bsz == 16 {
+            b16 = t;
+        }
+        row(&bsz.to_string(), &[fmt_ops(t)]);
+    }
+    verdict(
+        "aggregation amortizes per-message costs (§III-B)",
+        b16 > 1.5 * b1,
+        &format!("1 -> 16 ops/msg: {}", ratio(b16, b1)),
+    );
+}
+
+fn latency() {
+    header("Ablation 4 — BCL/HCL gap vs link latency (single client)");
+    row("one-way latency", &["BCL/HCL time ratio".into()]);
+    let mut first = 0.0;
+    let mut last = 0.0;
+    for lat_us in [1u64, 2, 5, 10, 20] {
+        let mut spec = ClusterSpec::ares(2);
+        spec.link_latency_ns = lat_us * 1_000;
+        let p = OpParams { size: 4096, ..Default::default() };
+        let hcl = run_throughput(&spec, 1, 2_000, move |r, _, _| {
+            protocol::hcl_insert_remote(&spec, r, 1, 0, &p, false)
+        });
+        let bcl = run_throughput(&spec, 1, 2_000, move |r, rng, _| {
+            protocol::bcl_insert_remote(&spec, r, 1, 0, &p, rng)
+        });
+        let gap = hcl / bcl; // throughput ratio = time ratio
+        if lat_us == 1 {
+            first = gap;
+        }
+        last = gap;
+        row(&format!("{lat_us} us"), &[format!("{gap:.2}x")]);
+    }
+    verdict(
+        "round-count penalty grows with latency (§II-C)",
+        last > first,
+        &format!("{first:.2}x at 1us -> {last:.2}x at 20us"),
+    );
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match mode.as_str() {
+        "cores" => nic_cores(),
+        "hybrid" => hybrid(),
+        "batch" => batch(),
+        "latency" => latency(),
+        _ => {
+            nic_cores();
+            hybrid();
+            batch();
+            latency();
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Regenerates **Figure 1** (motivating test case): 40 clients × 8192
+//! inserts of 4 KB to a remote hashmap partition; BCL's client-side
+//! protocol vs procedural RPC (with CAS, and lock-free).
+//!
+//! Paper reference: BCL total ≈ 1.062 s/client with remote CAS ≈ 2/3 of it;
+//! RPC ≈ 2× faster (~0.53 s); lock-free ≈ 2.5× faster (~0.42 s).
+
+use hcl_bench::{header, ratio, row, secs, verdict};
+use hcl_cluster_sim::scenarios;
+
+fn main() {
+    header("Figure 1 — motivating test case (sim)");
+    let bars = scenarios::fig1();
+    row("system", &["total".into(), "paper".into()]);
+    let paper = [1.062, 0.53, 0.42];
+    for (bar, p) in bars.iter().zip(paper) {
+        row(bar.system, &[secs(bar.total_s), secs(p)]);
+        for (name, s) in &bar.components {
+            row(&format!("  - {name}"), &[secs(*s), String::new()]);
+        }
+    }
+    let bcl = bars[0].total_s;
+    let rpc = bars[1].total_s;
+    let lf = bars[2].total_s;
+    println!();
+    verdict(
+        "BCL vs RPC (paper ~2x)",
+        bcl / rpc > 1.5,
+        &format!("measured {}", ratio(bcl, rpc)),
+    );
+    verdict(
+        "BCL vs lock-free (paper ~2.5x)",
+        bcl / lf > 1.5,
+        &format!("measured {}", ratio(bcl, lf)),
+    );
+    let cas: f64 = bars[0]
+        .components
+        .iter()
+        .filter(|(n, _)| n.contains("reserve") || n.contains("state"))
+        .map(|(_, s)| s)
+        .sum();
+    verdict(
+        "remote CAS dominates BCL (paper ~2/3)",
+        cas / bcl > 0.4,
+        &format!("measured share {:.0}%", 100.0 * cas / bcl),
+    );
+}

@@ -1,0 +1,73 @@
+//! Regenerates **Figure 5** (hybrid access model): insert/find bandwidth of
+//! BCL vs HCL for op sizes 4 KB → 8 MB, intra-node (a) and inter-node (b).
+//!
+//! Paper reference — intra: HCL 2–20× faster inserts, 1.5–7.2× finds,
+//! plateauing ~45/55 GB/s vs BCL ~4/12 GB/s. Inter: HCL 3.1–12× inserts,
+//! 1.1–9× finds; HCL ~4–4.2 GB/s at 1 MB vs BCL 1.3/4; BCL runs out of
+//! memory above 1 MB.
+//!
+//! Usage: `fig5 [intra|inter|both] [ops_per_client]`
+
+use hcl_bench::{header, mbs, row, size, verdict};
+use hcl_cluster_sim::scenarios;
+
+fn run(intra: bool, ops: u64) {
+    header(&format!(
+        "Figure 5({}) — {} access bandwidth (sim)",
+        if intra { "a" } else { "b" },
+        if intra { "intra-node" } else { "inter-node" }
+    ));
+    let pts = scenarios::fig5(intra, ops);
+    row(
+        "size",
+        &["BCL insert".into(), "BCL find".into(), "HCL insert".into(), "HCL find".into()],
+    );
+    for p in &pts {
+        row(
+            &size(p.size),
+            &[
+                p.bcl_insert.map(mbs).unwrap_or_else(|| "OOM".into()),
+                p.bcl_find.map(mbs).unwrap_or_else(|| "OOM".into()),
+                mbs(p.hcl_insert),
+                mbs(p.hcl_find),
+            ],
+        );
+    }
+    println!();
+    if intra {
+        let p = pts.iter().find(|p| p.size == 64 * 1024).unwrap();
+        let r = p.hcl_insert / p.bcl_insert.unwrap();
+        verdict("HCL insert 2-20x at 64KB (paper 20x)", r > 2.0, &format!("{r:.1}x"));
+        let big = pts.last().unwrap();
+        verdict(
+            "HCL intra plateaus near memory bandwidth (paper 45-55 GB/s)",
+            big.hcl_insert > 20_000.0,
+            &mbs(big.hcl_insert),
+        );
+    } else {
+        let oom = pts.iter().filter(|p| p.bcl_insert.is_none()).count();
+        verdict("BCL OOM above 1MB (paper)", oom >= 3, &format!("{oom} sizes OOM"));
+        let mb = pts.iter().find(|p| p.size == 1 << 20).unwrap();
+        let r = mb.hcl_insert / mb.bcl_insert.unwrap();
+        verdict("HCL insert 3.1x at 1MB (paper)", r > 1.8, &format!("{r:.1}x"));
+        verdict(
+            "HCL ~4-4.2 GB/s at 1MB (paper)",
+            (3_500.0..5_000.0).contains(&mb.hcl_insert),
+            &mbs(mb.hcl_insert),
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mode = args.get(1).map(String::as_str).unwrap_or("both");
+    let ops: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2048);
+    match mode {
+        "intra" => run(true, ops),
+        "inter" => run(false, ops),
+        _ => {
+            run(true, ops);
+            run(false, ops);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Regenerates **Figure 6** (scaling HCL data structures): maps and sets
+//! over 8 → 64 partitions with 2560 clients, and queues over 320 → 2560
+//! clients with one partition.
+//!
+//! Paper reference — maps: `HCL::unordered_map` scales linearly to ~650 K
+//! op/s at 64 partitions; `HCL::map` ~54% slower; BCL inserts ~9.1× and
+//! finds ~4.5× slower than HCL. Sets: like maps but 7–14% faster. Queues:
+//! throughput peaks around 1280 clients then plateaus; FIFO peak ~130 K
+//! push/s; priority ~30% slower; BCL peaks at 35 K push / 43 K pop.
+//!
+//! Usage: `fig6 [maps|sets|queues|all] [ops_per_client]`
+
+use hcl_bench::{header, ops as fmt_ops, row, verdict};
+use hcl_cluster_sim::scenarios;
+
+fn print_tables(tables: &[(&'static str, Vec<scenarios::Fig6Point>)], xlabel: &str) {
+    for (op, pts) in tables {
+        println!("\n{op}:");
+        let names: Vec<String> =
+            pts[0].series.iter().map(|(n, _)| n.to_string()).collect();
+        row(xlabel, &names);
+        for p in pts {
+            row(
+                &p.x.to_string(),
+                &p.series.iter().map(|(_, v)| fmt_ops(*v)).collect::<Vec<_>>(),
+            );
+        }
+    }
+}
+
+fn get(p: &scenarios::Fig6Point, name: &str) -> f64 {
+    p.series.iter().find(|(n, _)| n.contains(name)).unwrap().1
+}
+
+fn maps(set: bool, ops: u64) {
+    header(&format!(
+        "Figure 6({}) — scaling {} (sim)",
+        if set { "b" } else { "a" },
+        if set { "sets" } else { "maps" }
+    ));
+    let tables = scenarios::fig6_maps(set, ops);
+    print_tables(&tables, "#partitions");
+    println!();
+    let insert = &tables[0].1;
+    let find = &tables[1].1;
+    let last_i = insert.last().unwrap();
+    let first_i = insert.first().unwrap();
+    let unordered = if set { "unordered_set" } else { "unordered_map" };
+    let ordered = if set { "HCL::set" } else { "HCL::map" };
+    let scale = get(last_i, unordered) / get(first_i, unordered);
+    verdict("unordered scales ~linearly 8->64 (paper)", scale > 4.0, &format!("{scale:.1}x"));
+    let slow = 1.0 - get(last_i, ordered) / get(last_i, unordered);
+    verdict(
+        "ordered slower than unordered (paper ~54%)",
+        slow > 0.2,
+        &format!("{:.0}% slower", slow * 100.0),
+    );
+    if !set {
+        let bi = get(last_i, unordered) / get(last_i, "BCL");
+        let bf = get(find.last().unwrap(), unordered) / get(find.last().unwrap(), "BCL");
+        verdict("HCL insert >> BCL (paper 9.1x)", bi > 2.0, &format!("{bi:.1}x"));
+        verdict("HCL find >> BCL (paper 4.5x)", bf > 1.5, &format!("{bf:.1}x"));
+        verdict(
+            "BCL finds scale better than BCL inserts (paper)",
+            bf < bi,
+            &format!("find gap {bf:.1}x < insert gap {bi:.1}x"),
+        );
+    }
+}
+
+fn queues(ops: u64) {
+    header("Figure 6(c) — scaling queues (sim)");
+    let tables = scenarios::fig6_queues(ops);
+    print_tables(&tables, "#clients");
+    println!();
+    let push = &tables[0].1;
+    let t320 = get(&push[0], "FIFO");
+    let t1280 = get(&push[2], "FIFO");
+    let t2560 = get(&push[3], "FIFO");
+    verdict(
+        "throughput grows to ~1280 clients (paper)",
+        t1280 > 1.8 * t320,
+        &format!("{} -> {}", fmt_ops(t320), fmt_ops(t1280)),
+    );
+    verdict(
+        "plateau after 1280 clients (paper)",
+        t2560 < 1.3 * t1280,
+        &format!("{} at 2560", fmt_ops(t2560)),
+    );
+    let prio = get(&push[3], "priority");
+    verdict(
+        "priority ~30% slower than FIFO (paper)",
+        prio < t2560,
+        &format!("{:.0}% slower", (1.0 - prio / t2560) * 100.0),
+    );
+    let bcl = get(&push[3], "BCL");
+    verdict("BCL far below HCL (paper 35K vs 130K)", bcl * 2.0 < t2560, &fmt_ops(bcl));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mode = args.get(1).map(String::as_str).unwrap_or("all");
+    let ops: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(256);
+    match mode {
+        "maps" => maps(false, ops),
+        "sets" => maps(true, ops),
+        "queues" => queues(ops),
+        _ => {
+            maps(false, ops);
+            maps(true, ops);
+            queues(ops);
+        }
+    }
+}

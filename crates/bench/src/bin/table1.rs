@@ -1,0 +1,181 @@
+//! Regenerates **Table I** empirically: every HCL data-structure operation
+//! compiles down to **one remote invocation (`F`)** plus local terms. Runs
+//! the *real* containers in a 2×2 world, drives each op against a remote
+//! partition, and prints the measured per-op cost terms next to the paper's
+//! formulas.
+
+use hcl_bench::{header, row, verdict};
+use hcl_runtime::{World, WorldConfig};
+
+struct Line {
+    structure: &'static str,
+    op: &'static str,
+    formula: &'static str,
+    measured_f: f64,
+    send_per_op: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record(
+    out: &mut Vec<Line>,
+    last_sends: &mut u64,
+    world: &std::sync::Arc<hcl_runtime::WorldShared>,
+    structure: &'static str,
+    op: &'static str,
+    formula: &'static str,
+    f_delta: u64,
+    per: u64,
+) {
+    let t = world.traffic();
+    let sends = t.sends - *last_sends;
+    *last_sends = t.sends;
+    out.push(Line {
+        structure,
+        op,
+        formula,
+        measured_f: f_delta as f64 / per as f64,
+        send_per_op: sends as f64 / per as f64,
+    });
+}
+
+fn main() {
+    header("Table I — operation cost model, measured on the real library");
+    let cfg = WorldConfig { nodes: 2, ranks_per_node: 2, ..WorldConfig::small() };
+    let shared = World::shared(cfg);
+    let ops_n = 256u64;
+
+    let lines = World::run_on(shared.clone(), move |rank| {
+        let mut out: Vec<Line> = Vec::new();
+        if rank.id() != 0 {
+            // Only rank 0 measures. The other ranks' RPC servers keep
+            // serving regardless of what their rank threads do.
+            return out;
+        }
+        let world = rank.world().clone();
+        let mut last_sends = world.traffic().sends;
+
+        // unordered_map: partition for each key may be node 0 (local) or
+        // node 1 (remote); force remote by filtering keys owned by node 1.
+        let m: hcl::UnorderedMap<u64, u64> = hcl::UnorderedMap::with_config(
+            rank,
+            "t1.umap",
+            hcl::UnorderedMapConfig { hybrid: true, ..Default::default() },
+        );
+        let remote_keys: Vec<u64> =
+            (0..100_000u64).filter(|k| m.partition_of(k) == 1).take(ops_n as usize).collect();
+
+        let c0 = m.costs();
+        for &k in &remote_keys {
+            m.put(k, k).unwrap();
+        }
+        record(&mut out, &mut last_sends, &world, "unordered_map", "insert", "F + L + W", m.costs().since(&c0).f, ops_n);
+        let c0 = m.costs();
+        for &k in &remote_keys {
+            m.get(&k).unwrap();
+        }
+        record(&mut out, &mut last_sends, &world, "unordered_map", "find", "F + L + R", m.costs().since(&c0).f, ops_n);
+        let c0 = m.costs();
+        m.resize(1, 4096).unwrap();
+        let f = m.costs().since(&c0).f;
+        record(&mut out, &mut last_sends, &world, "unordered_map", "resize", "F + N(R+W)", f, 1);
+
+        // ordered map.
+        let om: hcl::OrderedMap<u64, u64> = hcl::OrderedMap::new(rank, "t1.omap");
+        let om_remote: Vec<u64> =
+            (0..100_000u64).filter(|k| om.partition_of(k) == 1).take(ops_n as usize).collect();
+        let c0 = om.costs();
+        for &k in &om_remote {
+            om.put(k, k).unwrap();
+        }
+        record(&mut out, &mut last_sends, &world, "map", "insert", "F + L log(N) + W", om.costs().since(&c0).f, ops_n);
+        let c0 = om.costs();
+        for &k in &om_remote {
+            om.get(&k).unwrap();
+        }
+        record(&mut out, &mut last_sends, &world, "map", "find", "F + L log(N) + R", om.costs().since(&c0).f, ops_n);
+
+        // unordered set.
+        let s: hcl::UnorderedSet<u64> = hcl::UnorderedSet::new(rank, "t1.uset");
+        let c0 = s.costs();
+        for &k in &remote_keys {
+            s.insert(k).unwrap();
+        }
+        // Not all keys of the umap hash identically here; count actual F.
+        let f = s.costs().since(&c0).f;
+        record(&mut out, &mut last_sends, &world, "unordered_set", "insert", "F + L + W", f, ops_n);
+
+        // ordered set.
+        let os: hcl::OrderedSet<u64> = hcl::OrderedSet::new(rank, "t1.oset");
+        let c0 = os.costs();
+        for &k in &remote_keys {
+            os.insert(k).unwrap();
+        }
+        let f = os.costs().since(&c0).f;
+        record(&mut out, &mut last_sends, &world, "set", "insert", "F + L log(N) + W", f, ops_n);
+
+        // FIFO queue on node 1 (remote for rank 0).
+        let q: hcl::Queue<u64> = hcl::Queue::with_config(
+            rank,
+            "t1.q",
+            hcl::queue::QueueConfig { owner: 2, hybrid: true },
+        );
+        let c0 = q.costs();
+        for i in 0..ops_n {
+            q.push(i).unwrap();
+        }
+        record(&mut out, &mut last_sends, &world, "queue", "push", "F + L + W", q.costs().since(&c0).f, ops_n);
+        let c0 = q.costs();
+        for _ in 0..ops_n {
+            q.pop().unwrap();
+        }
+        record(&mut out, &mut last_sends, &world, "queue", "pop", "F + L + R", q.costs().since(&c0).f, ops_n);
+        let c0 = q.costs();
+        q.push_bulk((0..ops_n).collect()).unwrap();
+        let f = q.costs().since(&c0).f;
+        record(&mut out, &mut last_sends, &world, "queue", "push(bulk E)", "F + L + E*W", f, 1);
+        let c0 = q.costs();
+        q.pop_bulk(ops_n).unwrap();
+        let f = q.costs().since(&c0).f;
+        record(&mut out, &mut last_sends, &world, "queue", "pop(bulk E)", "F + L + E*R", f, 1);
+
+        // Priority queue on node 1.
+        let pq: hcl::PriorityQueue<u64> = hcl::PriorityQueue::with_config(
+            rank,
+            "t1.pq",
+            hcl::queue::QueueConfig { owner: 2, hybrid: true },
+        );
+        let c0 = pq.costs();
+        for i in 0..ops_n {
+            pq.push(i).unwrap();
+        }
+        record(&mut out, &mut last_sends, &world, "priority_queue", "push", "F + L log(N) + W", pq.costs().since(&c0).f, ops_n);
+        let c0 = pq.costs();
+        for _ in 0..ops_n {
+            pq.pop().unwrap();
+        }
+        record(&mut out, &mut last_sends, &world, "priority_queue", "pop", "F + L + R", pq.costs().since(&c0).f, ops_n);
+        out
+    });
+
+    let lines: Vec<Line> = lines.into_iter().flatten().collect();
+    row(
+        "structure.op",
+        &["paper formula".into(), "F / op".into(), "sends / op".into()],
+    );
+    let mut all_single = true;
+    for l in &lines {
+        row(
+            &format!("{}.{}", l.structure, l.op),
+            &[l.formula.to_string(), format!("{:.2}", l.measured_f), format!("{:.2}", l.send_per_op)],
+        );
+        if l.measured_f > 1.01 {
+            all_single = false;
+        }
+    }
+    println!();
+    verdict(
+        "every op is exactly one remote invocation",
+        all_single,
+        "max F/op <= 1 (bulk ops amortize E elements into one F)",
+    );
+}

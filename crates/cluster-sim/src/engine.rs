@@ -1,0 +1,475 @@
+//! The discrete-event engine: resources, closed-loop clients, metrics.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Index of a resource registered with the engine.
+pub type ResourceId = usize;
+
+/// A multi-server FIFO resource (NIC core pool, link pipe, memory-region
+/// lock, memory bus). `servers` parallel units; work occupies one unit for
+/// its service time, queueing when all are busy.
+pub struct Resource {
+    name: String,
+    /// Earliest-free time of each server unit.
+    free_at: BinaryHeap<Reverse<u64>>,
+    /// Metric group to charge busy time to (e.g. "server NIC").
+    metric_group: Option<usize>,
+    /// Total busy nanoseconds.
+    busy_ns: u64,
+}
+
+impl Resource {
+    fn new(name: &str, servers: usize, metric_group: Option<usize>) -> Self {
+        let mut free_at = BinaryHeap::with_capacity(servers);
+        for _ in 0..servers.max(1) {
+            free_at.push(Reverse(0));
+        }
+        Resource { name: name.to_string(), free_at, metric_group, busy_ns: 0 }
+    }
+
+    /// Acquire one server unit at `now` for `service` ns; returns
+    /// `(start, end)`.
+    fn acquire(&mut self, now: u64, service: u64) -> (u64, u64) {
+        let Reverse(free) = self.free_at.pop().expect("resource has servers");
+        let start = now.max(free);
+        let end = start + service;
+        self.free_at.push(Reverse(end));
+        self.busy_ns += service;
+        (start, end)
+    }
+}
+
+/// One step of an operation: optionally occupy a resource for `service_ns`,
+/// then wait `latency_ns` (propagation; overlaps with other clients freely).
+#[derive(Debug, Clone, Copy)]
+pub struct Phase {
+    /// The contended resource, or `None` for a pure delay.
+    pub resource: Option<ResourceId>,
+    /// Service time on the resource.
+    pub service_ns: u64,
+    /// Post-service propagation delay.
+    pub latency_ns: u64,
+    /// Packets this phase puts on the wire (for Fig. 4(c) accounting).
+    pub packets: u64,
+    /// Payload bytes (for bandwidth accounting).
+    pub bytes: u64,
+    /// Breakdown tag (Fig. 1's per-component bars).
+    pub tag: usize,
+}
+
+impl Phase {
+    /// A pure delay phase.
+    pub fn delay(ns: u64, tag: usize) -> Self {
+        Phase { resource: None, service_ns: 0, latency_ns: ns, packets: 0, bytes: 0, tag }
+    }
+}
+
+/// Per-second metric buckets (the Fig. 4 time series).
+#[derive(Debug, Default, Clone)]
+pub struct Metrics {
+    /// Bucket width in ns (1 s by default).
+    pub bucket_ns: u64,
+    /// Packets sent per bucket.
+    pub packets: Vec<u64>,
+    /// Payload bytes per bucket.
+    pub bytes: Vec<u64>,
+    /// Busy ns per bucket, per metric group.
+    pub group_busy: HashMap<usize, Vec<u64>>,
+    /// Memory-delta events `(t, signed delta bytes)`.
+    pub mem_events: Vec<(u64, i64)>,
+}
+
+impl Metrics {
+    fn bucket(&self, t: u64) -> usize {
+        (t / self.bucket_ns) as usize
+    }
+
+    fn grow(v: &mut Vec<u64>, idx: usize) {
+        if v.len() <= idx {
+            v.resize(idx + 1, 0);
+        }
+    }
+
+    fn add_packets(&mut self, t: u64, packets: u64, bytes: u64) {
+        let b = self.bucket(t);
+        Self::grow(&mut self.packets, b);
+        Self::grow(&mut self.bytes, b);
+        self.packets[b] += packets;
+        self.bytes[b] += bytes;
+    }
+
+    fn add_busy(&mut self, group: usize, start: u64, end: u64) {
+        // Spread the busy interval across the buckets it overlaps.
+        let mut t = start;
+        while t < end {
+            let b = self.bucket(t);
+            let bucket_end = ((b as u64) + 1) * self.bucket_ns;
+            let chunk = end.min(bucket_end) - t;
+            let v = self.group_busy.entry(group).or_default();
+            Self::grow(v, b);
+            v[b] += chunk;
+            t += chunk;
+        }
+    }
+
+    /// Record a memory allocation/free at time `t`.
+    pub fn mem_event(&mut self, t: u64, delta: i64) {
+        self.mem_events.push((t, delta));
+    }
+
+    /// Memory in use sampled at each bucket boundary.
+    pub fn mem_series(&self, buckets: usize) -> Vec<u64> {
+        let mut events = self.mem_events.clone();
+        events.sort_by_key(|&(t, _)| t);
+        let mut series = Vec::with_capacity(buckets);
+        let mut cur: i64 = 0;
+        let mut i = 0;
+        for b in 0..buckets {
+            let boundary = (b as u64 + 1) * self.bucket_ns;
+            while i < events.len() && events[i].0 <= boundary {
+                cur += events[i].1;
+                i += 1;
+            }
+            series.push(cur.max(0) as u64);
+        }
+        series
+    }
+
+    /// Utilization (0..=1) of a metric group per bucket given its capacity
+    /// in server-ns per bucket.
+    pub fn utilization(&self, group: usize, servers: u64) -> Vec<f64> {
+        let cap = (self.bucket_ns * servers) as f64;
+        self.group_busy
+            .get(&group)
+            .map(|v| v.iter().map(|&b| b as f64 / cap).collect())
+            .unwrap_or_default()
+    }
+}
+
+/// A closed-loop client: issues `ops` operations back-to-back, each built
+/// by `builder(op_index)`.
+pub struct ClientPlan {
+    /// Operations to perform.
+    pub ops: u64,
+    /// Phase-sequence builder per op.
+    pub builder: Box<dyn FnMut(u64) -> Vec<Phase>>,
+}
+
+/// The result of a simulation run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Finish time (ns) of each client.
+    pub client_finish: Vec<u64>,
+    /// Time the last client finished.
+    pub makespan_ns: u64,
+    /// Client-observed time per breakdown tag (wait + service + latency),
+    /// summed over all clients.
+    pub tag_ns: HashMap<usize, u64>,
+    /// Per-second metrics.
+    pub metrics: Metrics,
+    /// Per-resource total busy ns, by name.
+    pub resource_busy: HashMap<String, u64>,
+}
+
+impl RunResult {
+    /// Average per-client completion time in seconds (what Fig. 1 reports).
+    pub fn avg_client_seconds(&self) -> f64 {
+        if self.client_finish.is_empty() {
+            return 0.0;
+        }
+        self.client_finish.iter().map(|&t| t as f64).sum::<f64>()
+            / self.client_finish.len() as f64
+            / 1e9
+    }
+
+    /// Makespan in seconds.
+    pub fn makespan_seconds(&self) -> f64 {
+        self.makespan_ns as f64 / 1e9
+    }
+
+    /// Average per-client seconds attributed to `tag`.
+    pub fn tag_avg_seconds(&self, tag: usize) -> f64 {
+        if self.client_finish.is_empty() {
+            return 0.0;
+        }
+        *self.tag_ns.get(&tag).unwrap_or(&0) as f64 / self.client_finish.len() as f64 / 1e9
+    }
+}
+
+/// The simulation engine.
+pub struct Engine {
+    resources: Vec<Resource>,
+    metrics: Metrics,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// New engine with 1-second metric buckets.
+    pub fn new() -> Self {
+        Engine {
+            resources: Vec::new(),
+            metrics: Metrics { bucket_ns: 1_000_000_000, ..Default::default() },
+        }
+    }
+
+    /// Override the metric bucket width.
+    pub fn with_bucket_ns(mut self, bucket_ns: u64) -> Self {
+        self.metrics.bucket_ns = bucket_ns;
+        self
+    }
+
+    /// Register a resource with `servers` parallel units.
+    pub fn add_resource(
+        &mut self,
+        name: &str,
+        servers: usize,
+        metric_group: Option<usize>,
+    ) -> ResourceId {
+        self.resources.push(Resource::new(name, servers, metric_group));
+        self.resources.len() - 1
+    }
+
+    /// Record a memory event (protocol drivers call this).
+    pub fn mem_event(&mut self, t: u64, delta: i64) {
+        self.metrics.mem_event(t, delta);
+    }
+
+    /// Run all clients to completion (closed loop).
+    pub fn run(mut self, mut clients: Vec<ClientPlan>) -> RunResult {
+        struct ClientState {
+            op_idx: u64,
+            phases: std::collections::VecDeque<Phase>,
+            op_start: u64,
+            finished: bool,
+            finish_time: u64,
+        }
+        let n = clients.len();
+        let mut states: Vec<ClientState> = (0..n)
+            .map(|_| ClientState {
+                op_idx: 0,
+                phases: Default::default(),
+                op_start: 0,
+                finished: false,
+                finish_time: 0,
+            })
+            .collect();
+        let mut tag_ns: HashMap<usize, u64> = HashMap::new();
+        // Event calendar: (ready_time, seq, client). The seq breaks ties
+        // deterministically.
+        let mut calendar: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for c in 0..n {
+            calendar.push(Reverse((0, seq, c)));
+            seq += 1;
+        }
+        let mut makespan = 0u64;
+        while let Some(Reverse((now, _, c))) = calendar.pop() {
+            let st = &mut states[c];
+            if st.finished {
+                continue;
+            }
+            if st.phases.is_empty() {
+                // Start the next op or finish.
+                if st.op_idx >= clients[c].ops {
+                    st.finished = true;
+                    st.finish_time = now;
+                    makespan = makespan.max(now);
+                    continue;
+                }
+                let phases = (clients[c].builder)(st.op_idx);
+                st.op_idx += 1;
+                st.phases = phases.into();
+                st.op_start = now;
+            }
+            let phase = st.phases.pop_front().expect("non-empty phase queue");
+            if phase.packets > 0 || phase.bytes > 0 {
+                self.metrics.add_packets(now, phase.packets, phase.bytes);
+            }
+            let ready = match phase.resource {
+                Some(rid) => {
+                    let (start, end) = self.resources[rid].acquire(now, phase.service_ns);
+                    if let Some(g) = self.resources[rid].metric_group {
+                        self.metrics.add_busy(g, start, end);
+                    }
+                    end + phase.latency_ns
+                }
+                None => now + phase.service_ns + phase.latency_ns,
+            };
+            *tag_ns.entry(phase.tag).or_default() += ready - now;
+            calendar.push(Reverse((ready, seq, c)));
+            seq += 1;
+        }
+        let resource_busy =
+            self.resources.iter().map(|r| (r.name.clone(), r.busy_ns)).collect();
+        RunResult {
+            client_finish: states.iter().map(|s| s.finish_time).collect(),
+            makespan_ns: makespan,
+            tag_ns,
+            metrics: self.metrics,
+            resource_busy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_client_sums_phase_times() {
+        let mut e = Engine::new();
+        let r = e.add_resource("link", 1, None);
+        let result = e.run(vec![ClientPlan {
+            ops: 10,
+            builder: Box::new(move |_| {
+                vec![Phase {
+                    resource: Some(r),
+                    service_ns: 100,
+                    latency_ns: 50,
+                    packets: 1,
+                    bytes: 8,
+                    tag: 0,
+                }]
+            }),
+        }]);
+        assert_eq!(result.client_finish[0], 10 * 150);
+        assert_eq!(result.makespan_ns, 1_500);
+        assert_eq!(result.tag_ns[&0], 1_500);
+    }
+
+    #[test]
+    fn contended_single_server_serializes() {
+        // 4 clients × 10 ops on a 1-server resource: total busy = 40 ×
+        // service, makespan >= busy.
+        let mut e = Engine::new();
+        let r = e.add_resource("lock", 1, None);
+        let clients = (0..4)
+            .map(|_| ClientPlan {
+                ops: 10,
+                builder: Box::new(move |_| {
+                    vec![Phase {
+                        resource: Some(r),
+                        service_ns: 1_000,
+                        latency_ns: 0,
+                        packets: 0,
+                        bytes: 0,
+                        tag: 0,
+                    }]
+                }),
+            })
+            .collect();
+        let result = e.run(clients);
+        assert_eq!(result.makespan_ns, 40_000, "perfect serialization");
+        assert_eq!(result.resource_busy["lock"], 40_000);
+    }
+
+    #[test]
+    fn multi_server_resource_gives_parallel_speedup() {
+        let run = |servers: usize| {
+            let mut e = Engine::new();
+            let r = e.add_resource("pool", servers, None);
+            let clients = (0..8)
+                .map(|_| ClientPlan {
+                    ops: 10,
+                    builder: Box::new(move |_| {
+                        vec![Phase {
+                            resource: Some(r),
+                            service_ns: 1_000,
+                            latency_ns: 0,
+                            packets: 0,
+                            bytes: 0,
+                            tag: 0,
+                        }]
+                    }),
+                })
+                .collect();
+            e.run(clients).makespan_ns
+        };
+        let t1 = run(1);
+        let t4 = run(4);
+        assert_eq!(t1, 80_000);
+        assert_eq!(t4, 20_000, "4 servers -> 4x");
+    }
+
+    #[test]
+    fn latency_overlaps_across_clients() {
+        // Pure-latency phases do not serialize: 100 clients each waiting
+        // 1 ms finish at 10 ms (10 ops), not 1 s.
+        let e = Engine::new();
+        let clients = (0..100)
+            .map(|_| ClientPlan {
+                ops: 10,
+                builder: Box::new(|_| vec![Phase::delay(1_000_000, 0)]),
+            })
+            .collect();
+        let result = e.run(clients);
+        assert_eq!(result.makespan_ns, 10_000_000);
+    }
+
+    #[test]
+    fn metrics_buckets_accumulate() {
+        let mut e = Engine::new().with_bucket_ns(1_000);
+        let r = e.add_resource("nic", 1, Some(0));
+        let result = e.run(vec![ClientPlan {
+            ops: 4,
+            builder: Box::new(move |_| {
+                vec![Phase {
+                    resource: Some(r),
+                    service_ns: 500,
+                    latency_ns: 0,
+                    packets: 2,
+                    bytes: 100,
+                    tag: 0,
+                }]
+            }),
+        }]);
+        // 4 ops × 500 ns = 2 µs busy over two 1 µs buckets.
+        let util = result.metrics.utilization(0, 1);
+        assert_eq!(util.len(), 2);
+        assert!((util[0] - 1.0).abs() < 1e-9);
+        assert!((util[1] - 1.0).abs() < 1e-9);
+        assert_eq!(result.metrics.packets.iter().sum::<u64>(), 8);
+        assert_eq!(result.metrics.bytes.iter().sum::<u64>(), 400);
+    }
+
+    #[test]
+    fn mem_series_tracks_events() {
+        let mut m = Metrics { bucket_ns: 1_000, ..Default::default() };
+        m.mem_event(0, 500);
+        m.mem_event(1_500, 300);
+        m.mem_event(2_500, -200);
+        let series = m.mem_series(3);
+        assert_eq!(series, vec![500, 800, 600]);
+    }
+
+    #[test]
+    fn deterministic_repeat_runs() {
+        let run = || {
+            let mut e = Engine::new();
+            let r = e.add_resource("x", 2, None);
+            let clients = (0..5)
+                .map(|i| ClientPlan {
+                    ops: 20,
+                    builder: Box::new(move |op| {
+                        vec![Phase {
+                            resource: Some(r),
+                            service_ns: 100 + (i as u64 * 7 + op) % 50,
+                            latency_ns: 10,
+                            packets: 1,
+                            bytes: 64,
+                            tag: 0,
+                        }]
+                    }),
+                })
+                .collect();
+            e.run(clients).makespan_ns
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,535 @@
+//! Per-operation phase builders: the exact op sequences of the BCL and HCL
+//! protocols, expressed as resource/latency phases for the engine.
+//!
+//! BCL insert (paper §II-B / Fig. 1): CAS-reserve (remote round, serialized
+//! at the partition's memory region) → exclusive-buffer registration
+//! (serialized per partition) → RDMA write of the payload → CAS-ready
+//! (remote round). Collisions retry the reserve with another full round.
+//!
+//! HCL insert (paper §III-B / Fig. 2): one `RDMA_SEND` carrying op + data →
+//! NIC-core handler executing the whole bucket protocol at local-memory
+//! speed → client pull of the small response. Intra-node HCL ops bypass
+//! everything and run at memory speed (hybrid model, §III-C5).
+
+use crate::engine::{Engine, Phase, ResourceId};
+use crate::rng::SimRng;
+use crate::spec::ClusterSpec;
+
+/// Breakdown tags (Fig. 1's bar components).
+pub mod tags {
+    /// BCL: remote CAS to reserve a bucket.
+    pub const CAS_RESERVE: usize = 0;
+    /// Payload transfer.
+    pub const DATA: usize = 1;
+    /// BCL: remote CAS to publish the bucket.
+    pub const CAS_READY: usize = 2;
+    /// HCL: the RPC round (send + response pull).
+    pub const RPC_CALL: usize = 3;
+    /// Work executed locally at the target (handler CAS/bucket walk).
+    pub const LOCAL_WORK: usize = 4;
+    /// BCL: exclusive-buffer registration.
+    pub const REGISTRATION: usize = 5;
+    /// Client-side software overhead / think time.
+    pub const CLIENT: usize = 6;
+    /// Human-readable names, indexed by tag.
+    pub const NAMES: [&str; 7] =
+        ["cas-reserve", "data", "cas-ready", "rpc-call", "local-work", "registration", "client"];
+}
+
+/// Resource handles for one simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterResources {
+    /// Ingress link pipe per node (serializes inbound wire transfers).
+    pub link_in: Vec<ResourceId>,
+    /// Egress link pipe per node.
+    pub link_out: Vec<ResourceId>,
+    /// NIC core pool per node (executes RPC handlers); metric group 0 on
+    /// the *server* nodes feeds Fig. 4(a).
+    pub nic: Vec<ResourceId>,
+    /// Memory bus per node (hybrid local path).
+    pub mem: Vec<ResourceId>,
+    /// Per-partition atomic/memory-region unit (serializes remote CAS and
+    /// BCL buffer registration).
+    pub part: Vec<ResourceId>,
+    /// Per-partition structure-service unit (the software cost of actually
+    /// applying an op at a partition; single-threaded per partition).
+    pub part_service: Vec<ResourceId>,
+}
+
+/// Build the standard resource set for `nodes` nodes and `partitions`
+/// partitions. `metric_server_node` selects which node's NIC feeds metric
+/// group 0 (the profiled server of Fig. 4).
+pub fn build_resources(
+    engine: &mut Engine,
+    spec: &ClusterSpec,
+    partitions: usize,
+    metric_server_node: Option<u32>,
+) -> ClusterResources {
+    let mut r = ClusterResources {
+        link_in: Vec::new(),
+        link_out: Vec::new(),
+        nic: Vec::new(),
+        mem: Vec::new(),
+        part: Vec::new(),
+        part_service: Vec::new(),
+    };
+    for n in 0..spec.nodes {
+        let metric = if Some(n) == metric_server_node { Some(0) } else { None };
+        r.link_in.push(engine.add_resource(&format!("link-in-{n}"), 1, None));
+        r.link_out.push(engine.add_resource(&format!("link-out-{n}"), 1, None));
+        r.nic.push(engine.add_resource(&format!("nic-{n}"), spec.nic_cores as usize, metric));
+        r.mem.push(engine.add_resource(&format!("mem-{n}"), 1, None));
+    }
+    for p in 0..partitions {
+        r.part.push(engine.add_resource(&format!("part-{p}"), 1, None));
+        r.part_service.push(engine.add_resource(&format!("psvc-{p}"), 1, None));
+    }
+    r
+}
+
+/// Parameters shared by the op builders.
+#[derive(Debug, Clone, Copy)]
+pub struct OpParams {
+    /// Payload size in bytes.
+    pub size: u64,
+    /// Probability a BCL CAS-reserve collides and retries (another full
+    /// remote round). Grows with concurrency/load factor.
+    pub bcl_retry_p: f64,
+    /// Extra handler service factor for ordered structures
+    /// (log(N) descent vs O(1) bucket). 1.0 for unordered.
+    pub ordered_factor: f64,
+    /// Per-op software service at the partition, ns (calibrated from the
+    /// paper's absolute throughputs; see EXPERIMENTS.md).
+    pub part_service_ns: u64,
+    /// Client-side think/overhead time per op, ns.
+    pub client_ns: u64,
+}
+
+impl Default for OpParams {
+    fn default() -> Self {
+        OpParams {
+            size: 4096,
+            bcl_retry_p: 0.0,
+            ordered_factor: 1.0,
+            part_service_ns: 0,
+            client_ns: 0,
+        }
+    }
+}
+
+fn rtt(spec: &ClusterSpec) -> u64 {
+    2 * spec.link_latency_ns
+}
+
+/// BCL insert to a *remote* partition: the paper's 3-remote-op protocol.
+pub fn bcl_insert_remote(
+    spec: &ClusterSpec,
+    r: &ClusterResources,
+    target_node: usize,
+    part: usize,
+    p: &OpParams,
+    rng: &mut SimRng,
+) -> Vec<Phase> {
+    let mut phases = Vec::with_capacity(6);
+    if p.client_ns > 0 {
+        phases.push(Phase::delay(p.client_ns, tags::CLIENT));
+    }
+    // CAS reserve, plus collision retries — each one a full remote round
+    // serialized at the partition's memory region.
+    loop {
+        phases.push(Phase {
+            resource: Some(r.part[part]),
+            service_ns: spec.remote_cas_ns,
+            latency_ns: rtt(spec),
+            packets: 2,
+            bytes: 16,
+            tag: tags::CAS_RESERVE,
+        });
+        if !rng.chance(p.bcl_retry_p) {
+            break;
+        }
+    }
+    // Exclusive-buffer registration on the target (serialized per
+    // partition; the root of BCL's insert-bandwidth ceiling and its memory
+    // blowup — §IV-B2).
+    phases.push(Phase {
+        resource: Some(r.part[part]),
+        service_ns: spec.packets(p.size) * spec.bcl_pin_remote_ns_per_page,
+        latency_ns: 0,
+        packets: 0,
+        bytes: 0,
+        tag: tags::REGISTRATION,
+    });
+    // RDMA write of the payload through the target's ingress pipe.
+    phases.push(Phase {
+        resource: Some(r.link_in[target_node]),
+        service_ns: spec.wire_ns(p.size),
+        latency_ns: spec.link_latency_ns,
+        packets: spec.packets(p.size),
+        bytes: p.size,
+        tag: tags::DATA,
+    });
+    // Optional structure service (Fig. 6 software cost).
+    if p.part_service_ns > 0 {
+        phases.push(Phase {
+            resource: Some(r.part_service[part]),
+            service_ns: (p.part_service_ns as f64 * 3.0) as u64,
+            latency_ns: 0,
+            packets: 0,
+            bytes: 0,
+            tag: tags::LOCAL_WORK,
+        });
+    }
+    // CAS ready.
+    phases.push(Phase {
+        resource: Some(r.part[part]),
+        service_ns: spec.remote_cas_ns,
+        latency_ns: rtt(spec),
+        packets: 2,
+        bytes: 16,
+        tag: tags::CAS_READY,
+    });
+    phases
+}
+
+/// BCL find on a *remote* partition: one full-bucket remote read per probe
+/// (no CAS) — cheaper than insert, as the paper observes.
+pub fn bcl_find_remote(
+    spec: &ClusterSpec,
+    r: &ClusterResources,
+    target_node: usize,
+    part: usize,
+    p: &OpParams,
+    rng: &mut SimRng,
+) -> Vec<Phase> {
+    let mut phases = Vec::with_capacity(3);
+    if p.client_ns > 0 {
+        phases.push(Phase::delay(p.client_ns, tags::CLIENT));
+    }
+    loop {
+        phases.push(Phase {
+            resource: Some(r.link_out[target_node]),
+            service_ns: spec.wire_ns(p.size),
+            latency_ns: rtt(spec),
+            packets: spec.packets(p.size) + 1,
+            bytes: p.size,
+            tag: tags::DATA,
+        });
+        if !rng.chance(p.bcl_retry_p) {
+            break;
+        }
+    }
+    if p.part_service_ns > 0 {
+        phases.push(Phase {
+            resource: Some(r.part_service[part]),
+            service_ns: p.part_service_ns,
+            latency_ns: 0,
+            packets: 0,
+            bytes: 0,
+            tag: tags::LOCAL_WORK,
+        });
+    }
+    phases
+}
+
+/// BCL insert through the NIC loopback (intra-node; BCL has no hybrid
+/// bypass, so the CAS/registration protocol runs even locally).
+pub fn bcl_insert_local(
+    spec: &ClusterSpec,
+    r: &ClusterResources,
+    node: usize,
+    part: usize,
+    p: &OpParams,
+    rng: &mut SimRng,
+) -> Vec<Phase> {
+    let mut phases = Vec::with_capacity(5);
+    let loop_lat = 300; // loopback RTT ~0.3 µs
+    loop {
+        phases.push(Phase {
+            resource: Some(r.part[part]),
+            service_ns: spec.remote_cas_ns,
+            latency_ns: loop_lat,
+            packets: 0,
+            bytes: 0,
+            tag: tags::CAS_RESERVE,
+        });
+        if !rng.chance(p.bcl_retry_p) {
+            break;
+        }
+    }
+    phases.push(Phase {
+        resource: Some(r.part[part]),
+        service_ns: spec.packets(p.size) * spec.bcl_pin_local_ns_per_page,
+        latency_ns: 0,
+        packets: 0,
+        bytes: 0,
+        tag: tags::REGISTRATION,
+    });
+    // Data moves over the single PCIe pipe into the pinned partition
+    // region (serialized with the partition's other traffic).
+    let _ = node;
+    phases.push(Phase {
+        resource: Some(r.part[part]),
+        service_ns: (p.size as f64 * spec.pcie_ns_per_byte) as u64,
+        latency_ns: loop_lat,
+        packets: 0,
+        bytes: 0,
+        tag: tags::DATA,
+    });
+    phases.push(Phase {
+        resource: Some(r.part[part]),
+        service_ns: spec.remote_cas_ns,
+        latency_ns: loop_lat,
+        packets: 0,
+        bytes: 0,
+        tag: tags::CAS_READY,
+    });
+    phases
+}
+
+/// BCL find through the NIC loopback (intra-node): PCIe-bound read.
+pub fn bcl_find_local(
+    spec: &ClusterSpec,
+    r: &ClusterResources,
+    _node: usize,
+    part: usize,
+    p: &OpParams,
+    _rng: &mut SimRng,
+) -> Vec<Phase> {
+    // One PCIe round trip through the NIC loopback; the pipe is shared, so
+    // aggregate intra-node find bandwidth plateaus at PCIe speed — the
+    // ~12 GB/s ceiling Fig. 5(a) shows for BCL finds.
+    vec![Phase {
+        resource: Some(r.part[part]),
+        service_ns: (p.size as f64 * spec.pcie_ns_per_byte) as u64,
+        latency_ns: 300,
+        packets: 0,
+        bytes: 0,
+        tag: tags::DATA,
+    }]
+}
+
+/// HCL insert on a *remote* partition: one RPC (send → NIC handler →
+/// client-pull response).
+pub fn hcl_insert_remote(
+    spec: &ClusterSpec,
+    r: &ClusterResources,
+    target_node: usize,
+    part: usize,
+    p: &OpParams,
+    lock_free: bool,
+) -> Vec<Phase> {
+    let mut phases = Vec::with_capacity(4);
+    if p.client_ns > 0 {
+        phases.push(Phase::delay(p.client_ns, tags::CLIENT));
+    }
+    phases.push(Phase {
+        resource: Some(r.link_in[target_node]),
+        service_ns: spec.wire_ns(p.size) + spec.client_overhead_ns,
+        latency_ns: spec.link_latency_ns,
+        packets: spec.packets(p.size),
+        bytes: p.size,
+        tag: tags::RPC_CALL,
+    });
+    // Handler on a NIC core: demarshal + (CAS-based or lock-free) bucket
+    // work at local-memory speed.
+    let cas_work = if lock_free { 0 } else { 2 * spec.local_cas_ns };
+    let handler =
+        ((spec.rpc_handler_ns + cas_work + spec.memcpy_ns(p.size)) as f64 * p.ordered_factor)
+            as u64;
+    phases.push(Phase {
+        resource: Some(r.nic[target_node]),
+        service_ns: handler,
+        latency_ns: 0,
+        packets: 0,
+        bytes: 0,
+        tag: tags::LOCAL_WORK,
+    });
+    if p.part_service_ns > 0 {
+        phases.push(Phase {
+            resource: Some(r.part_service[part]),
+            service_ns: (p.part_service_ns as f64 * p.ordered_factor) as u64,
+            latency_ns: 0,
+            packets: 0,
+            bytes: 0,
+            tag: tags::LOCAL_WORK,
+        });
+    }
+    // Client pulls the small response.
+    phases.push(Phase {
+        resource: Some(r.link_out[target_node]),
+        service_ns: spec.wire_ns(64),
+        latency_ns: rtt(spec),
+        packets: 1,
+        bytes: 64,
+        tag: tags::RPC_CALL,
+    });
+    phases
+}
+
+/// HCL find on a *remote* partition: small request, payload-sized pull.
+pub fn hcl_find_remote(
+    spec: &ClusterSpec,
+    r: &ClusterResources,
+    target_node: usize,
+    part: usize,
+    p: &OpParams,
+) -> Vec<Phase> {
+    let mut phases = Vec::with_capacity(4);
+    if p.client_ns > 0 {
+        phases.push(Phase::delay(p.client_ns, tags::CLIENT));
+    }
+    phases.push(Phase {
+        resource: Some(r.link_in[target_node]),
+        service_ns: spec.wire_ns(64) + spec.client_overhead_ns,
+        latency_ns: spec.link_latency_ns,
+        packets: 1,
+        bytes: 64,
+        tag: tags::RPC_CALL,
+    });
+    let handler = ((spec.rpc_handler_ns + spec.memcpy_ns(p.size)) as f64 * p.ordered_factor) as u64;
+    phases.push(Phase {
+        resource: Some(r.nic[target_node]),
+        service_ns: handler,
+        latency_ns: 0,
+        packets: 0,
+        bytes: 0,
+        tag: tags::LOCAL_WORK,
+    });
+    if p.part_service_ns > 0 {
+        phases.push(Phase {
+            resource: Some(r.part_service[part]),
+            service_ns: (p.part_service_ns as f64 * 0.8 * p.ordered_factor) as u64,
+            latency_ns: 0,
+            packets: 0,
+            bytes: 0,
+            tag: tags::LOCAL_WORK,
+        });
+    }
+    phases.push(Phase {
+        resource: Some(r.link_out[target_node]),
+        service_ns: spec.wire_ns(p.size),
+        latency_ns: rtt(spec),
+        packets: spec.packets(p.size),
+        bytes: p.size,
+        tag: tags::RPC_CALL,
+    });
+    phases
+}
+
+/// HCL intra-node op: the hybrid bypass — a straight memory access.
+pub fn hcl_local(spec: &ClusterSpec, r: &ClusterResources, node: usize, p: &OpParams) -> Vec<Phase> {
+    vec![Phase {
+        resource: Some(r.mem[node]),
+        service_ns: spec.memcpy_ns(p.size) + 100,
+        latency_ns: 0,
+        packets: 0,
+        bytes: 0,
+        tag: tags::LOCAL_WORK,
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ClientPlan;
+
+    fn spec2() -> ClusterSpec {
+        ClusterSpec::ares(2)
+    }
+
+    #[test]
+    fn bcl_insert_has_three_remote_ops_minimum() {
+        let spec = spec2();
+        let mut e = Engine::new();
+        let r = build_resources(&mut e, &spec, 1, None);
+        let mut rng = SimRng::new(1);
+        let phases =
+            bcl_insert_remote(&spec, &r, 1, 0, &OpParams { size: 4096, ..Default::default() }, &mut rng);
+        let remote_packets: u64 = phases.iter().map(|p| p.packets).sum();
+        // reserve(2) + data(1) + ready(2).
+        assert_eq!(remote_packets, 5);
+        assert_eq!(phases.iter().filter(|p| p.tag == tags::CAS_RESERVE).count(), 1);
+        assert_eq!(phases.iter().filter(|p| p.tag == tags::CAS_READY).count(), 1);
+    }
+
+    #[test]
+    fn bcl_retries_add_cas_rounds() {
+        let spec = spec2();
+        let mut e = Engine::new();
+        let r = build_resources(&mut e, &spec, 1, None);
+        let mut rng = SimRng::new(7);
+        let mut total_reserve = 0;
+        for _ in 0..1_000 {
+            let phases = bcl_insert_remote(
+                &spec,
+                &r,
+                1,
+                0,
+                &OpParams { size: 64, bcl_retry_p: 0.5, ..Default::default() },
+                &mut rng,
+            );
+            total_reserve += phases.iter().filter(|p| p.tag == tags::CAS_RESERVE).count();
+        }
+        // Expected ~2 reserves per op at p=0.5.
+        assert!((1_800..2_300).contains(&total_reserve), "reserves {total_reserve}");
+    }
+
+    #[test]
+    fn hcl_insert_is_one_network_round_plus_pull() {
+        let spec = spec2();
+        let mut e = Engine::new();
+        let r = build_resources(&mut e, &spec, 1, None);
+        let phases =
+            hcl_insert_remote(&spec, &r, 1, 0, &OpParams { size: 4096, ..Default::default() }, false);
+        // Exactly one request phase and one response phase touch the wire.
+        let wire_phases = phases.iter().filter(|p| p.packets > 0).count();
+        assert_eq!(wire_phases, 2);
+    }
+
+    #[test]
+    fn single_client_hcl_beats_bcl_on_remote_inserts() {
+        // The Fig. 1 relationship must hold structurally, before any
+        // calibration: 3 serialized rounds > 1 round + local work.
+        let spec = spec2();
+        let run = |is_hcl: bool| {
+            let mut e = Engine::new();
+            let r = build_resources(&mut e, &spec, 1, None);
+            let spec2 = spec;
+            let mut rng = SimRng::new(3);
+            let p = OpParams { size: 4096, ..Default::default() };
+            let plans = vec![ClientPlan {
+                ops: 1_000,
+                builder: Box::new(move |_| {
+                    if is_hcl {
+                        hcl_insert_remote(&spec2, &r, 1, 0, &p, false)
+                    } else {
+                        bcl_insert_remote(&spec2, &r, 1, 0, &p, &mut rng)
+                    }
+                }),
+            }];
+            e.run(plans).makespan_ns
+        };
+        let bcl = run(false);
+        let hcl = run(true);
+        // A single client sees the round-count difference (3 rounds vs
+        // send+pull); the full ~2x of Fig. 1 needs 40-way concurrency,
+        // which the fig1 scenario test covers.
+        assert!(
+            bcl as f64 > 1.25 * hcl as f64,
+            "bcl {bcl} should be >1.25x hcl {hcl}"
+        );
+    }
+
+    #[test]
+    fn hcl_local_is_memory_speed() {
+        let spec = spec2();
+        let mut e = Engine::new();
+        let r = build_resources(&mut e, &spec, 1, None);
+        let p = OpParams { size: 1 << 20, ..Default::default() };
+        let phases = hcl_local(&spec, &r, 0, &p);
+        assert_eq!(phases.len(), 1);
+        // ~16 µs for 1 MB at 65 GB/s.
+        assert!((10_000..25_000).contains(&phases[0].service_ns));
+    }
+}

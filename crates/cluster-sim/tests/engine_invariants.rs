@@ -1,0 +1,129 @@
+//! Property-based invariants of the discrete-event engine: conservation
+//! laws that must hold for any workload, or every figure built on it is
+//! suspect.
+
+use hcl_cluster_sim::engine::{ClientPlan, Engine, Phase};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A resource can never be busy for more than servers × makespan, and
+    /// total busy time equals the sum of requested service times.
+    #[test]
+    fn resource_busy_conservation(
+        clients in 1usize..8,
+        ops in 1u64..40,
+        servers in 1usize..4,
+        service in 1u64..5_000,
+        latency in 0u64..5_000,
+    ) {
+        let mut e = Engine::new();
+        let r = e.add_resource("x", servers, None);
+        let plans: Vec<ClientPlan> = (0..clients)
+            .map(|_| ClientPlan {
+                ops,
+                builder: Box::new(move |_| {
+                    vec![Phase {
+                        resource: Some(r),
+                        service_ns: service,
+                        latency_ns: latency,
+                        packets: 1,
+                        bytes: 8,
+                        tag: 0,
+                    }]
+                }),
+            })
+            .collect();
+        let result = e.run(plans);
+        let busy = result.resource_busy["x"];
+        prop_assert_eq!(busy, clients as u64 * ops * service);
+        prop_assert!(busy <= servers as u64 * result.makespan_ns + service);
+        // Makespan is at least the critical path of one client.
+        prop_assert!(result.makespan_ns >= ops * (service + latency));
+        // All packets/bytes accounted.
+        let pk: u64 = result.metrics.packets.iter().sum();
+        prop_assert_eq!(pk, clients as u64 * ops);
+    }
+
+    /// Client finish times are monotone in workload: more ops per client
+    /// can never finish earlier.
+    #[test]
+    fn monotone_in_ops(ops_a in 1u64..30, extra in 1u64..30) {
+        let run = |ops: u64| {
+            let mut e = Engine::new();
+            let r = e.add_resource("x", 1, None);
+            e.run(vec![ClientPlan {
+                ops,
+                builder: Box::new(move |_| {
+                    vec![Phase {
+                        resource: Some(r),
+                        service_ns: 100,
+                        latency_ns: 10,
+                        packets: 0,
+                        bytes: 0,
+                        tag: 0,
+                    }]
+                }),
+            }])
+            .makespan_ns
+        };
+        prop_assert!(run(ops_a + extra) > run(ops_a));
+    }
+
+    /// Adding servers never slows a run down.
+    #[test]
+    fn monotone_in_servers(clients in 1usize..8, s1 in 1usize..4, extra in 1usize..4) {
+        let run = |servers: usize| {
+            let mut e = Engine::new();
+            let r = e.add_resource("x", servers, None);
+            let plans: Vec<ClientPlan> = (0..clients)
+                .map(|_| ClientPlan {
+                    ops: 20,
+                    builder: Box::new(move |_| {
+                        vec![Phase {
+                            resource: Some(r),
+                            service_ns: 500,
+                            latency_ns: 0,
+                            packets: 0,
+                            bytes: 0,
+                            tag: 0,
+                        }]
+                    }),
+                })
+                .collect();
+            e.run(plans).makespan_ns
+        };
+        prop_assert!(run(s1 + extra) <= run(s1));
+    }
+
+    /// Tag accounting sums to each client's total elapsed time.
+    #[test]
+    fn tag_time_accounts_for_everything(
+        services in proptest::collection::vec(1u64..2_000, 1..5),
+    ) {
+        let mut e = Engine::new();
+        let r = e.add_resource("x", 1, None);
+        let svc = services.clone();
+        let result = e.run(vec![ClientPlan {
+            ops: 10,
+            builder: Box::new(move |_| {
+                svc.iter()
+                    .enumerate()
+                    .map(|(i, &s)| Phase {
+                        resource: Some(r),
+                        service_ns: s,
+                        latency_ns: 7,
+                        packets: 0,
+                        bytes: 0,
+                        tag: i,
+                    })
+                    .collect()
+            }),
+        }]);
+        let tag_total: u64 = result.tag_ns.values().sum();
+        prop_assert_eq!(tag_total, result.client_finish[0]);
+        let expected: u64 = 10 * services.iter().map(|&s| s + 7).sum::<u64>();
+        prop_assert_eq!(result.client_finish[0], expected);
+    }
+}

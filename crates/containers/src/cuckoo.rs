@@ -1,0 +1,704 @@
+//! A concurrent cuckoo hash map — the local building block of HCL's
+//! `unordered_map`/`unordered_set` (paper §III-D1).
+//!
+//! The paper uses the lock-free cuckoo hash of Nguyen & Tsigas \[30\]. We
+//! implement the libcuckoo-style design (DESIGN.md substitution #4) that
+//! preserves every property HCL relies on:
+//!
+//! * **two-choice hashing** — every key lives in one of two candidate
+//!   buckets of [`SLOTS`] slots ("resolves cache collisions using a
+//!   secondary array of buckets");
+//! * **lock-free reads** — `get` never takes a lock: slots are epoch-managed
+//!   atomic pointers, readers just traverse them;
+//! * **fine-grained writers** — writers serialize per bucket *stripe*, not
+//!   globally, so disjoint inserts proceed in parallel;
+//! * **displacement** — a full bucket pair relocates a resident entry to its
+//!   alternate bucket before giving up and resizing;
+//! * **in-place resize** — the table doubles when the load factor crosses
+//!   [`LOAD_FACTOR`] (0.75 in the paper), moving entry pointers (not data).
+
+use std::hash::{BuildHasher, Hash, Hasher, RandomState};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam::epoch::{self, Atomic, Guard, Owned, Shared};
+use parking_lot::{Mutex, MutexGuard};
+
+/// Slots per bucket.
+pub const SLOTS: usize = 4;
+/// Resize threshold: grow when `len > LOAD_FACTOR * capacity`.
+pub const LOAD_FACTOR: f64 = 0.75;
+/// Writer lock stripes.
+const STRIPES: usize = 64;
+/// Default bucket count (the paper's containers "start with a default size
+/// of 128 buckets").
+pub const DEFAULT_BUCKETS: usize = 128;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+}
+
+struct Bucket<K, V> {
+    slots: [Atomic<Entry<K, V>>; SLOTS],
+}
+
+impl<K, V> Bucket<K, V> {
+    fn empty() -> Self {
+        Bucket { slots: Default::default() }
+    }
+}
+
+struct Table<K, V> {
+    buckets: Box<[Bucket<K, V>]>,
+    mask: usize,
+}
+
+impl<K, V> Table<K, V> {
+    fn with_buckets(n: usize) -> Self {
+        let n = n.next_power_of_two().max(2);
+        let buckets = (0..n).map(|_| Bucket::empty()).collect();
+        Table { buckets, mask: n - 1 }
+    }
+}
+
+/// A concurrent hash map with lock-free reads and striped-lock writers.
+pub struct CuckooMap<K, V> {
+    table: Atomic<Table<K, V>>,
+    stripes: Box<[Mutex<()>]>,
+    resize_lock: Mutex<()>,
+    len: AtomicUsize,
+    h1: RandomState,
+    h2: RandomState,
+}
+
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for CuckooMap<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for CuckooMap<K, V> {}
+
+impl<K, V> Default for CuckooMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> CuckooMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Create a map with the paper's default 128 buckets.
+    pub fn new() -> Self {
+        Self::with_buckets(DEFAULT_BUCKETS)
+    }
+
+    /// Create a map with at least `buckets` buckets (rounded to a power of
+    /// two).
+    pub fn with_buckets(buckets: usize) -> Self {
+        CuckooMap {
+            table: Atomic::new(Table::with_buckets(buckets)),
+            stripes: (0..STRIPES).map(|_| Mutex::new(())).collect(),
+            resize_lock: Mutex::new(()),
+            len: AtomicUsize::new(0),
+            h1: RandomState::new(),
+            h2: RandomState::new(),
+        }
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// True when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current bucket count (capacity is `buckets() * SLOTS`).
+    pub fn buckets(&self) -> usize {
+        let guard = &epoch::pin();
+        let t = self.table.load(Ordering::Acquire, guard);
+        unsafe { t.deref() }.mask + 1
+    }
+
+    fn hash1(&self, key: &K) -> u64 {
+        let mut h = self.h1.build_hasher();
+        key.hash(&mut h);
+        h.finish()
+    }
+
+    fn hash2(&self, key: &K) -> u64 {
+        let mut h = self.h2.build_hasher();
+        key.hash(&mut h);
+        h.finish()
+    }
+
+    fn bucket_pair(&self, t: &Table<K, V>, key: &K) -> (usize, usize) {
+        let b1 = (self.hash1(key) as usize) & t.mask;
+        let mut b2 = (self.hash2(key) as usize) & t.mask;
+        if b1 == b2 {
+            b2 = (b1 + 1) & t.mask;
+        }
+        (b1, b2)
+    }
+
+    fn stripe_of(b: usize) -> usize {
+        b % STRIPES
+    }
+
+    /// Lock the stripes for the given bucket indices in order; dedup'd.
+    fn lock_stripes(&self, mut idx: Vec<usize>) -> Vec<MutexGuard<'_, ()>> {
+        idx.sort_unstable();
+        idx.dedup();
+        idx.into_iter().map(|s| self.stripes[s].lock()).collect()
+    }
+
+    /// Lock-free lookup.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let guard = &epoch::pin();
+        let t = unsafe { self.table.load(Ordering::Acquire, guard).deref() };
+        let (b1, b2) = self.bucket_pair(t, key);
+        for &b in &[b1, b2] {
+            for slot in &t.buckets[b].slots {
+                let e = slot.load(Ordering::Acquire, guard);
+                if let Some(er) = unsafe { e.as_ref() } {
+                    if er.key == *key {
+                        return Some(er.value.clone());
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// True when `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Insert `key -> value`; returns the previous value on overwrite.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        let guard = &epoch::pin();
+        loop {
+            let t_shared = self.table.load(Ordering::Acquire, guard);
+            let t = unsafe { t_shared.deref() };
+            let (b1, b2) = self.bucket_pair(t, &key);
+            let locks =
+                self.lock_stripes(vec![Self::stripe_of(b1), Self::stripe_of(b2)]);
+            if self.table.load(Ordering::Acquire, guard) != t_shared {
+                drop(locks);
+                continue; // table swapped while we were locking
+            }
+            // 1) Overwrite in place if present.
+            for &b in &[b1, b2] {
+                for slot in &t.buckets[b].slots {
+                    let e = slot.load(Ordering::Acquire, guard);
+                    if let Some(er) = unsafe { e.as_ref() } {
+                        if er.key == key {
+                            let old = er.value.clone();
+                            let new = Owned::new(Entry { key, value });
+                            slot.store(new, Ordering::Release);
+                            unsafe { guard.defer_destroy(e) };
+                            return Some(old);
+                        }
+                    }
+                }
+            }
+            // 2) Empty slot in either candidate bucket.
+            if let Some(slot) = self.first_empty(t, b1, b2, guard) {
+                slot.store(Owned::new(Entry { key, value }), Ordering::Release);
+                self.len.fetch_add(1, Ordering::Relaxed);
+                drop(locks);
+                self.maybe_grow(guard);
+                return None;
+            }
+            // 3) Displacement: move one resident to its alternate bucket.
+            if self.displace(t, b1, b2, &locks, guard) {
+                let slot = self
+                    .first_empty(t, b1, b2, guard)
+                    .expect("displacement freed a slot under our locks");
+                slot.store(Owned::new(Entry { key, value }), Ordering::Release);
+                self.len.fetch_add(1, Ordering::Relaxed);
+                drop(locks);
+                self.maybe_grow(guard);
+                return None;
+            }
+            // 4) No room: resize and retry.
+            drop(locks);
+            self.resize(t_shared, (t.mask + 1) * 2, guard);
+        }
+    }
+
+    fn first_empty<'t>(
+        &self,
+        t: &'t Table<K, V>,
+        b1: usize,
+        b2: usize,
+        guard: &Guard,
+    ) -> Option<&'t Atomic<Entry<K, V>>> {
+        for &b in &[b1, b2] {
+            for slot in &t.buckets[b].slots {
+                if slot.load(Ordering::Acquire, guard).is_null() {
+                    return Some(slot);
+                }
+            }
+        }
+        None
+    }
+
+    /// Try to relocate one entry from `b1`/`b2` to its alternate bucket
+    /// (depth-1 cuckoo path). Requires the caller to hold the stripes for
+    /// `b1` and `b2`; takes the alternate's stripe with `try_lock` to stay
+    /// deadlock-free.
+    fn displace(
+        &self,
+        t: &Table<K, V>,
+        b1: usize,
+        b2: usize,
+        _held: &[MutexGuard<'_, ()>],
+        guard: &Guard,
+    ) -> bool {
+        let held_stripes = {
+            let mut v = vec![Self::stripe_of(b1), Self::stripe_of(b2)];
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        for &b in &[b1, b2] {
+            for slot in &t.buckets[b].slots {
+                let e = slot.load(Ordering::Acquire, guard);
+                let Some(er) = (unsafe { e.as_ref() }) else { continue };
+                let (eb1, eb2) = self.bucket_pair(t, &er.key);
+                let alt = if eb1 == b { eb2 } else { eb1 };
+                if alt == b1 || alt == b2 {
+                    continue; // alternate is also full (we're in this branch)
+                }
+                let alt_stripe = Self::stripe_of(alt);
+                let _alt_guard;
+                if !held_stripes.contains(&alt_stripe) {
+                    match self.stripes[alt_stripe].try_lock() {
+                        Some(g) => _alt_guard = Some(g),
+                        None => continue, // contended; try another victim
+                    }
+                } else {
+                    _alt_guard = None;
+                }
+                // Find an empty slot in the alternate bucket.
+                for alt_slot in &t.buckets[alt].slots {
+                    if alt_slot.load(Ordering::Acquire, guard).is_null() {
+                        // Publish in the alternate first, then clear the old
+                        // slot: readers may briefly see the entry twice but
+                        // never zero times.
+                        alt_slot.store(e.with_tag(0), Ordering::Release);
+                        slot.store(Shared::null(), Ordering::Release);
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn maybe_grow(&self, guard: &Guard) {
+        let t_shared = self.table.load(Ordering::Acquire, guard);
+        let t = unsafe { t_shared.deref() };
+        let capacity = (t.mask + 1) * SLOTS;
+        if (self.len() as f64) > LOAD_FACTOR * capacity as f64 {
+            self.resize(t_shared, (t.mask + 1) * 2, guard);
+        }
+    }
+
+    /// Explicitly resize to `new_buckets` (the paper's
+    /// `resize(partition_id, new_size)` surface; growth only).
+    pub fn resize_to(&self, new_buckets: usize) {
+        let guard = &epoch::pin();
+        let t_shared = self.table.load(Ordering::Acquire, guard);
+        self.resize(t_shared, new_buckets, guard);
+    }
+
+    fn resize(&self, old_shared: Shared<'_, Table<K, V>>, new_buckets: usize, guard: &Guard) {
+        let _resize = self.resize_lock.lock();
+        let cur = self.table.load(Ordering::Acquire, guard);
+        if cur != old_shared {
+            return; // someone else already resized
+        }
+        let old = unsafe { cur.deref() };
+        if new_buckets <= old.mask + 1 {
+            return;
+        }
+        // Block all writers.
+        let _all: Vec<MutexGuard<'_, ()>> = self.stripes.iter().map(|m| m.lock()).collect();
+        let mut size = new_buckets.next_power_of_two();
+        'grow: loop {
+            let new_t = Table::<K, V>::with_buckets(size);
+            for bucket in old.buckets.iter() {
+                for slot in &bucket.slots {
+                    let e = slot.load(Ordering::Acquire, guard);
+                    let Some(er) = (unsafe { e.as_ref() }) else { continue };
+                    let (nb1, nb2) = {
+                        let b1 = (self.hash1(&er.key) as usize) & new_t.mask;
+                        let mut b2 = (self.hash2(&er.key) as usize) & new_t.mask;
+                        if b1 == b2 {
+                            b2 = (b1 + 1) & new_t.mask;
+                        }
+                        (b1, b2)
+                    };
+                    let mut placed = false;
+                    'place: for &nb in &[nb1, nb2] {
+                        for nslot in &new_t.buckets[nb].slots {
+                            if nslot.load(Ordering::Relaxed, guard).is_null() {
+                                nslot.store(e.with_tag(0), Ordering::Relaxed);
+                                placed = true;
+                                break 'place;
+                            }
+                        }
+                    }
+                    if !placed {
+                        // Pathological distribution: double again and redo.
+                        size *= 2;
+                        continue 'grow;
+                    }
+                }
+            }
+            self.table.store(Owned::new(new_t), Ordering::Release);
+            unsafe { guard.defer_destroy(cur) };
+            return;
+        }
+    }
+
+    /// Atomically read-modify-write the value for `key`: `f` receives the
+    /// current value (if any) and returns the new one. Runs under the
+    /// bucket-pair stripe locks, so concurrent upserts to the same key
+    /// never lose updates — this is what HCL's server-side execution gives
+    /// histogram workloads like Meraculous k-mer counting for free.
+    pub fn upsert(&self, key: K, f: impl Fn(Option<&V>) -> V) -> V {
+        let guard = &epoch::pin();
+        loop {
+            let t_shared = self.table.load(Ordering::Acquire, guard);
+            let t = unsafe { t_shared.deref() };
+            let (b1, b2) = self.bucket_pair(t, &key);
+            let locks = self.lock_stripes(vec![Self::stripe_of(b1), Self::stripe_of(b2)]);
+            if self.table.load(Ordering::Acquire, guard) != t_shared {
+                drop(locks);
+                continue;
+            }
+            // Modify in place if present.
+            for &b in &[b1, b2] {
+                for slot in &t.buckets[b].slots {
+                    let e = slot.load(Ordering::Acquire, guard);
+                    if let Some(er) = unsafe { e.as_ref() } {
+                        if er.key == key {
+                            let new_val = f(Some(&er.value));
+                            let ret = new_val.clone();
+                            slot.store(
+                                Owned::new(Entry { key, value: new_val }),
+                                Ordering::Release,
+                            );
+                            unsafe { guard.defer_destroy(e) };
+                            return ret;
+                        }
+                    }
+                }
+            }
+            // Absent: fresh insert.
+            let new_val = f(None);
+            if let Some(slot) = self.first_empty(t, b1, b2, guard) {
+                let ret = new_val.clone();
+                slot.store(Owned::new(Entry { key, value: new_val }), Ordering::Release);
+                self.len.fetch_add(1, Ordering::Relaxed);
+                drop(locks);
+                self.maybe_grow(guard);
+                return ret;
+            }
+            if self.displace(t, b1, b2, &locks, guard) {
+                let slot = self
+                    .first_empty(t, b1, b2, guard)
+                    .expect("displacement freed a slot under our locks");
+                let ret = new_val.clone();
+                slot.store(Owned::new(Entry { key, value: new_val }), Ordering::Release);
+                self.len.fetch_add(1, Ordering::Relaxed);
+                drop(locks);
+                self.maybe_grow(guard);
+                return ret;
+            }
+            drop(locks);
+            self.resize(t_shared, (t.mask + 1) * 2, guard);
+        }
+    }
+
+    /// Remove `key`; returns its value when present.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let guard = &epoch::pin();
+        loop {
+            let t_shared = self.table.load(Ordering::Acquire, guard);
+            let t = unsafe { t_shared.deref() };
+            let (b1, b2) = self.bucket_pair(t, key);
+            let locks =
+                self.lock_stripes(vec![Self::stripe_of(b1), Self::stripe_of(b2)]);
+            if self.table.load(Ordering::Acquire, guard) != t_shared {
+                drop(locks);
+                continue;
+            }
+            for &b in &[b1, b2] {
+                for slot in &t.buckets[b].slots {
+                    let e = slot.load(Ordering::Acquire, guard);
+                    if let Some(er) = unsafe { e.as_ref() } {
+                        if er.key == *key {
+                            let v = er.value.clone();
+                            slot.store(Shared::null(), Ordering::Release);
+                            self.len.fetch_sub(1, Ordering::Relaxed);
+                            unsafe { guard.defer_destroy(e) };
+                            return Some(v);
+                        }
+                    }
+                }
+            }
+            return None;
+        }
+    }
+
+    /// Clone out every entry (not atomic; used for migration/persistence).
+    pub fn iter_snapshot(&self) -> Vec<(K, V)> {
+        let guard = &epoch::pin();
+        let t = unsafe { self.table.load(Ordering::Acquire, guard).deref() };
+        let mut out = Vec::with_capacity(self.len());
+        for bucket in t.buckets.iter() {
+            for slot in &bucket.slots {
+                if let Some(er) = unsafe { slot.load(Ordering::Acquire, guard).as_ref() } {
+                    out.push((er.key.clone(), er.value.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<K, V> Drop for CuckooMap<K, V> {
+    fn drop(&mut self) {
+        let guard = unsafe { epoch::unprotected() };
+        let t_shared = self.table.load(Ordering::Relaxed, guard);
+        let t = unsafe { t_shared.deref() };
+        for bucket in t.buckets.iter() {
+            for slot in &bucket.slots {
+                let e = slot.load(Ordering::Relaxed, guard);
+                if !e.is_null() {
+                    unsafe { drop(e.into_owned()) };
+                }
+            }
+        }
+        unsafe { drop(t_shared.into_owned()) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_get_remove_basic() {
+        let m = CuckooMap::new();
+        assert_eq!(m.insert("a".to_string(), 1u32), None);
+        assert_eq!(m.insert("b".to_string(), 2), None);
+        assert_eq!(m.get(&"a".to_string()), Some(1));
+        assert_eq!(m.get(&"z".to_string()), None);
+        assert_eq!(m.insert("a".to_string(), 10), Some(1));
+        assert_eq!(m.get(&"a".to_string()), Some(10));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.remove(&"a".to_string()), Some(10));
+        assert_eq!(m.remove(&"a".to_string()), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let m = CuckooMap::with_buckets(2); // capacity 8
+        for i in 0..1_000u64 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1_000);
+        assert!(m.buckets() * SLOTS >= 1_000);
+        for i in 0..1_000u64 {
+            assert_eq!(m.get(&i), Some(i * 2), "key {i} lost in resize");
+        }
+    }
+
+    #[test]
+    fn explicit_resize_preserves_entries() {
+        let m = CuckooMap::with_buckets(4);
+        for i in 0..10u64 {
+            m.insert(i, i);
+        }
+        let before = m.buckets();
+        m.resize_to(before * 8);
+        assert!(m.buckets() >= before * 8);
+        for i in 0..10u64 {
+            assert_eq!(m.get(&i), Some(i));
+        }
+    }
+
+    #[test]
+    fn matches_hashmap_oracle_sequential() {
+        let m = CuckooMap::with_buckets(4);
+        let mut oracle = HashMap::new();
+        let mut x = 99u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = (x >> 33) % 500;
+            match (x >> 2) % 4 {
+                0 | 1 => assert_eq!(m.insert(k, x), oracle.insert(k, x)),
+                2 => assert_eq!(m.get(&k), oracle.get(&k).copied()),
+                _ => assert_eq!(m.remove(&k), oracle.remove(&k)),
+            }
+            assert_eq!(m.len(), oracle.len());
+        }
+        let mut snap = m.iter_snapshot();
+        snap.sort_unstable();
+        let mut want: Vec<(u64, u64)> = oracle.into_iter().collect();
+        want.sort_unstable();
+        assert_eq!(snap, want);
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        let m = Arc::new(CuckooMap::with_buckets(4));
+        let threads = 8u64;
+        let per = 5_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..per {
+                        assert_eq!(m.insert(t * per + i, i), None);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.len() as u64, threads * per);
+        for t in 0..threads {
+            for i in 0..per {
+                assert_eq!(m.get(&(t * per + i)), Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_during_writes_and_resizes() {
+        let m = Arc::new(CuckooMap::with_buckets(2));
+        // Pre-populate stable keys that readers assert on throughout.
+        for i in 0..100u64 {
+            m.insert(i, i);
+        }
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        m.insert(1_000 + t * 10_000 + i, i); // force growth
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for round in 0..20_000u64 {
+                        let k = round % 100;
+                        assert_eq!(m.get(&k), Some(k), "stable key {k} vanished");
+                    }
+                });
+            }
+        });
+        assert_eq!(m.len() as u64, 100 + 4 * 10_000);
+    }
+
+    #[test]
+    fn concurrent_same_key_overwrites_keep_one_value() {
+        let m = Arc::new(CuckooMap::with_buckets(4));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..5_000 {
+                        m.insert(42u64, t);
+                    }
+                });
+            }
+        });
+        let v = m.get(&42).unwrap();
+        assert!(v < 8);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_remove_claims_unique() {
+        let m = Arc::new(CuckooMap::with_buckets(4));
+        let n = 5_000u64;
+        for i in 0..n {
+            m.insert(i, i);
+        }
+        let claimed = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = Arc::clone(&m);
+                let claimed = Arc::clone(&claimed);
+                s.spawn(move || {
+                    for i in 0..n {
+                        if m.remove(&i).is_some() {
+                            claimed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(claimed.load(Ordering::Relaxed) as u64, n);
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn concurrent_upserts_never_lose_increments() {
+        let m = Arc::new(CuckooMap::<u64, u64>::with_buckets(4));
+        let threads = 8u64;
+        let per = 5_000u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..per {
+                        m.upsert(i % 16, |old| old.copied().unwrap_or(0) + 1);
+                    }
+                });
+            }
+        });
+        let total: u64 = (0..16u64).map(|k| m.get(&k).unwrap()).sum();
+        assert_eq!(total, threads * per, "lost increments under contention");
+    }
+
+    #[test]
+    fn upsert_inserts_when_absent_and_grows() {
+        let m = CuckooMap::<u64, String>::with_buckets(2);
+        for i in 0..200u64 {
+            let v = m.upsert(i, |old| {
+                assert!(old.is_none());
+                format!("v{i}")
+            });
+            assert_eq!(v, format!("v{i}"));
+        }
+        assert_eq!(m.len(), 200);
+        assert_eq!(m.upsert(7, |old| format!("{}!", old.unwrap())), "v7!");
+    }
+
+    #[test]
+    fn variable_length_values() {
+        let m = CuckooMap::new();
+        for i in 0..100usize {
+            m.insert(i, vec![i as u8; i]); // sizes 0..99
+        }
+        for i in 0..100usize {
+            assert_eq!(m.get(&i).unwrap().len(), i);
+        }
+    }
+}

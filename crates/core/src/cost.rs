@@ -1,0 +1,126 @@
+//! Operation-cost accounting for Table I.
+//!
+//! Table I of the paper gives each container operation's worst-case cost in
+//! terms of: `F` — the cost of invoking a function on remote memory, `L` —
+//! a local memory operation, `R` — a local read, `W` — a local write, `N` —
+//! entries, `E` — elements in a bulk op. The headline property is that
+//! *"each high-level data structure operation is compiled down to only one
+//! remote invocation and a few local operations"*.
+//!
+//! Every container instance carries a [`CostCounters`] block: the client
+//! side counts `F` (one per RPC issued) and the local-path `L`/`R`/`W`
+//! terms; partition handlers count their `L`/`R`/`W` server-side. The
+//! `table1` bench binary and the `table1_costs` integration test read these
+//! to verify the cost model empirically.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters for the Table I cost terms.
+#[derive(Debug, Default)]
+pub struct CostCounters {
+    /// `F`: remote function invocations issued.
+    pub remote_invocations: AtomicU64,
+    /// `L`: local memory operations (hash computations, bucket walks,
+    /// tree descents).
+    pub local_ops: AtomicU64,
+    /// `R`: local reads of entry payloads.
+    pub local_reads: AtomicU64,
+    /// `W`: local writes of entry payloads.
+    pub local_writes: AtomicU64,
+}
+
+impl CostCounters {
+    /// Count one remote invocation (`F`).
+    #[inline]
+    pub fn f(&self) {
+        self.remote_invocations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count `n` local memory operations (`L`).
+    #[inline]
+    pub fn l(&self, n: u64) {
+        self.local_ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` local reads (`R`).
+    #[inline]
+    pub fn r(&self, n: u64) {
+        self.local_reads.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` local writes (`W`).
+    #[inline]
+    pub fn w(&self, n: u64) {
+        self.local_writes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Copy the counters out.
+    pub fn snapshot(&self) -> CostSnapshot {
+        CostSnapshot {
+            f: self.remote_invocations.load(Ordering::Relaxed),
+            l: self.local_ops.load(Ordering::Relaxed),
+            r: self.local_reads.load(Ordering::Relaxed),
+            w: self.local_writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters (benchmark harness convenience).
+    pub fn reset(&self) {
+        self.remote_invocations.store(0, Ordering::Relaxed);
+        self.local_ops.store(0, Ordering::Relaxed);
+        self.local_reads.store(0, Ordering::Relaxed);
+        self.local_writes.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`CostCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostSnapshot {
+    /// Remote invocations (`F`).
+    pub f: u64,
+    /// Local memory ops (`L`).
+    pub l: u64,
+    /// Local reads (`R`).
+    pub r: u64,
+    /// Local writes (`W`).
+    pub w: u64,
+}
+
+impl CostSnapshot {
+    /// Difference since `earlier` (counters are monotonic).
+    pub fn since(&self, earlier: &CostSnapshot) -> CostSnapshot {
+        CostSnapshot {
+            f: self.f - earlier.f,
+            l: self.l - earlier.l,
+            r: self.r - earlier.r,
+            w: self.w - earlier.w,
+        }
+    }
+}
+
+impl std::fmt::Display for CostSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "F={} L={} R={} W={}", self.f, self.l, self.r, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = CostCounters::default();
+        c.f();
+        c.f();
+        c.l(3);
+        c.r(1);
+        c.w(2);
+        let s = c.snapshot();
+        assert_eq!(s, CostSnapshot { f: 2, l: 3, r: 1, w: 2 });
+        let s2 = c.snapshot().since(&s);
+        assert_eq!(s2, CostSnapshot::default());
+        c.reset();
+        assert_eq!(c.snapshot(), CostSnapshot::default());
+    }
+}

@@ -1,0 +1,250 @@
+//! `HCL::priority_queue` (paper §III-D3B).
+//!
+//! Single-partitioned like the FIFO queue, but pops deliver the *minimum*
+//! element. The local structure is the lock-free logical-deletion priority
+//! queue of [`hcl_containers::SkipListPq`] (DESIGN.md substitution #6), with
+//! its background purge exposed through [`PriorityQueue::purge`].
+//!
+//! Push cost is `F + L·log(N) + W` (Table I): one invocation, then an
+//! ordered O(log n) placement at local-memory speed on the owner — this is
+//! exactly what lets the ISx port keep data sorted "for free" while it
+//! arrives (§IV-D1).
+
+use std::sync::Arc;
+
+use hcl_containers::SkipListPq;
+use hcl_databox::DataBox;
+use hcl_fabric::EpId;
+use hcl_rpc::FnId;
+use hcl_runtime::Rank;
+
+use crate::cost::{CostCounters, CostSnapshot};
+use crate::queue::QueueConfig;
+use crate::{HclFuture, HclResult};
+
+const FN_PUSH: u32 = 0;
+const FN_POP: u32 = 1;
+const FN_PEEK: u32 = 2;
+const FN_PUSH_BULK: u32 = 3;
+const FN_POP_BULK: u32 = 4;
+const FN_LEN: u32 = 5;
+const FN_PURGE: u32 = 6;
+const FN_SNAPSHOT: u32 = 7;
+const N_FNS: u32 = 8;
+
+struct Core<T>
+where
+    T: DataBox + Ord + Clone + Send + Sync + 'static,
+{
+    fn_base: FnId,
+    owner: u32,
+    pq: Arc<SkipListPq<T>>,
+    cfg: QueueConfig,
+}
+
+/// A distributed min-priority queue hosted on one rank.
+pub struct PriorityQueue<'a, T>
+where
+    T: DataBox + Ord + Clone + Send + Sync + 'static,
+{
+    core: Arc<Core<T>>,
+    rank: &'a Rank,
+    costs: CostCounters,
+}
+
+impl<'a, T> PriorityQueue<'a, T>
+where
+    T: DataBox + Ord + Clone + Send + Sync + 'static,
+{
+    /// Collective constructor with defaults (hosted on rank 0).
+    pub fn new(rank: &'a Rank, name: &str) -> Self {
+        Self::with_config(rank, name, QueueConfig::default())
+    }
+
+    /// Collective constructor with configuration.
+    pub fn with_config(rank: &'a Rank, name: &str, cfg: QueueConfig) -> Self {
+        let world = Arc::clone(rank.world());
+        let core = rank.get_or_create_shared(&format!("hcl.pq.{name}"), move || {
+            let fn_base = world.alloc_fn_ids(N_FNS);
+            let pq = Arc::new(SkipListPq::new());
+            let reg = world.registry();
+            let q = Arc::clone(&pq);
+            reg.bind_typed(fn_base + FN_PUSH, move |_: EpId, _, v: T| {
+                q.push(v);
+                true
+            });
+            let q = Arc::clone(&pq);
+            reg.bind_typed(fn_base + FN_POP, move |_: EpId, _, ()| q.pop());
+            let q = Arc::clone(&pq);
+            reg.bind_typed(fn_base + FN_PEEK, move |_: EpId, _, ()| q.peek());
+            let q = Arc::clone(&pq);
+            reg.bind_typed(fn_base + FN_PUSH_BULK, move |_: EpId, _, vs: Vec<T>| {
+                q.push_bulk(vs) as u64
+            });
+            let q = Arc::clone(&pq);
+            reg.bind_typed(fn_base + FN_POP_BULK, move |_: EpId, _, max: u64| {
+                q.pop_bulk(max as usize)
+            });
+            let q = Arc::clone(&pq);
+            reg.bind_typed(fn_base + FN_LEN, move |_: EpId, _, ()| q.len() as u64);
+            let q = Arc::clone(&pq);
+            reg.bind_typed(fn_base + FN_PURGE, move |_: EpId, _, ()| q.purge() as u64);
+            let q = Arc::clone(&pq);
+            reg.bind_typed(fn_base + FN_SNAPSHOT, move |_: EpId, _, ()| q.iter_snapshot());
+            Core { fn_base, owner: cfg.owner, pq, cfg }
+        });
+        PriorityQueue { core, rank, costs: CostCounters::default() }
+    }
+
+    /// The hosting rank.
+    pub fn owner(&self) -> u32 {
+        self.core.owner
+    }
+
+    fn is_local(&self) -> bool {
+        self.core.cfg.hybrid && self.rank.same_node(self.core.owner)
+    }
+
+    fn owner_ep(&self) -> EpId {
+        self.rank.world().config().ep_of(self.core.owner)
+    }
+
+    /// Push one element (Table I: `F + L·log(N) + W`).
+    pub fn push(&self, value: T) -> HclResult<bool> {
+        if self.is_local() {
+            self.costs.l(1);
+            self.costs.w(1);
+            self.core.pq.push(value);
+            Ok(true)
+        } else {
+            self.costs.f();
+            Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_PUSH, &value)?)
+        }
+    }
+
+    /// Asynchronous push.
+    pub fn push_async(&self, value: T) -> HclResult<HclFuture<bool>> {
+        if self.is_local() {
+            self.costs.l(1);
+            self.costs.w(1);
+            self.core.pq.push(value);
+            Ok(HclFuture::Ready(true))
+        } else {
+            self.costs.f();
+            Ok(HclFuture::Remote(self.rank.client().invoke_async(
+                self.owner_ep(),
+                self.core.fn_base + FN_PUSH,
+                &value,
+            )?))
+        }
+    }
+
+    /// Pop the minimum element (Table I: `F + L + R`).
+    pub fn pop(&self) -> HclResult<Option<T>> {
+        if self.is_local() {
+            self.costs.l(1);
+            self.costs.r(1);
+            Ok(self.core.pq.pop())
+        } else {
+            self.costs.f();
+            Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_POP, &())?)
+        }
+    }
+
+    /// Clone of the minimum without removing it.
+    pub fn peek(&self) -> HclResult<Option<T>> {
+        if self.is_local() {
+            self.costs.l(1);
+            self.costs.r(1);
+            Ok(self.core.pq.peek())
+        } else {
+            self.costs.f();
+            Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_PEEK, &())?)
+        }
+    }
+
+    /// Bulk push (Table I: `F + L·log(N) + E·W`).
+    pub fn push_bulk(&self, values: Vec<T>) -> HclResult<u64> {
+        if self.is_local() {
+            self.costs.l(1);
+            self.costs.w(values.len() as u64);
+            Ok(self.core.pq.push_bulk(values) as u64)
+        } else {
+            self.costs.f();
+            Ok(self
+                .rank
+                .client()
+                .invoke(self.owner_ep(), self.core.fn_base + FN_PUSH_BULK, &values)?)
+        }
+    }
+
+    /// Bulk pop of up to `max` elements, in priority order.
+    pub fn pop_bulk(&self, max: u64) -> HclResult<Vec<T>> {
+        if self.is_local() {
+            self.costs.l(1);
+            self.costs.r(max);
+            Ok(self.core.pq.pop_bulk(max as usize))
+        } else {
+            self.costs.f();
+            Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_POP_BULK, &max)?)
+        }
+    }
+
+    /// Live elements (approximate under concurrency).
+    pub fn len(&self) -> HclResult<u64> {
+        if self.is_local() {
+            Ok(self.core.pq.len() as u64)
+        } else {
+            self.costs.f();
+            Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_LEN, &())?)
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> HclResult<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Run one physical-unlink pass over logically deleted nodes (the
+    /// paper's background purge, on demand).
+    pub fn purge(&self) -> HclResult<u64> {
+        if self.is_local() {
+            Ok(self.core.pq.purge() as u64)
+        } else {
+            self.costs.f();
+            Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_PURGE, &())?)
+        }
+    }
+
+    /// Clone out the live elements in priority order without popping.
+    pub fn snapshot(&self) -> HclResult<Vec<T>> {
+        if self.is_local() {
+            Ok(self.core.pq.iter_snapshot())
+        } else {
+            self.costs.f();
+            Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_SNAPSHOT, &())?)
+        }
+    }
+
+    /// Persist the current contents to `path` (§III-C6).
+    pub fn persist_snapshot(&self, path: impl AsRef<std::path::Path>) -> HclResult<()> {
+        let snap = self.snapshot()?;
+        std::fs::write(path, &snap.to_bytes())
+            .map_err(|e| crate::HclError::Persist(e.to_string()))
+    }
+
+    /// Reload a snapshot written by [`PriorityQueue::persist_snapshot`];
+    /// returns the number of restored elements.
+    pub fn restore_snapshot(&self, path: impl AsRef<std::path::Path>) -> HclResult<u64> {
+        let bytes =
+            std::fs::read(path).map_err(|e| crate::HclError::Persist(e.to_string()))?;
+        let snap: Vec<T> = hcl_databox::DataBox::from_bytes(&bytes)
+            .map_err(|e| crate::HclError::Persist(e.to_string()))?;
+        self.push_bulk(snap)
+    }
+
+    /// Client-side cost counters.
+    pub fn costs(&self) -> CostSnapshot {
+        self.costs.snapshot()
+    }
+}

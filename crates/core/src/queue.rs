@@ -1,0 +1,236 @@
+//! `HCL::queue` — the distributed MWMR FIFO queue (paper §III-D3A).
+//!
+//! "HCL queues are implemented as a single-partitioned structure, but are
+//! globally visible. The queues are identified by the process ID that hosts
+//! the partition." Elements may be of variable length; the queue grows
+//! dynamically (our lock-free MS queue is unbounded, so the paper's
+//! stall-pushes-during-migration resize protocol is satisfied without
+//! stalls).
+
+use std::sync::Arc;
+
+use hcl_containers::LockFreeQueue;
+use hcl_databox::DataBox;
+use hcl_fabric::EpId;
+use hcl_rpc::FnId;
+use hcl_runtime::Rank;
+
+use crate::cost::{CostCounters, CostSnapshot};
+use crate::{HclFuture, HclResult};
+
+const FN_PUSH: u32 = 0;
+const FN_POP: u32 = 1;
+const FN_PUSH_BULK: u32 = 2;
+const FN_POP_BULK: u32 = 3;
+const FN_LEN: u32 = 4;
+const FN_SNAPSHOT: u32 = 5;
+const N_FNS: u32 = 6;
+
+/// Configuration for [`Queue`].
+#[derive(Debug, Clone, Copy)]
+pub struct QueueConfig {
+    /// The rank hosting the single partition (default: rank 0).
+    pub owner: u32,
+    /// Hybrid access model toggle.
+    pub hybrid: bool,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig { owner: 0, hybrid: true }
+    }
+}
+
+struct Core<T>
+where
+    T: DataBox + Clone + Send + Sync + 'static,
+{
+    fn_base: FnId,
+    owner: u32,
+    q: Arc<LockFreeQueue<T>>,
+    cfg: QueueConfig,
+}
+
+/// A distributed FIFO queue hosted on one rank, pushed/popped by all.
+pub struct Queue<'a, T>
+where
+    T: DataBox + Clone + Send + Sync + 'static,
+{
+    core: Arc<Core<T>>,
+    rank: &'a Rank,
+    costs: CostCounters,
+}
+
+impl<'a, T> Queue<'a, T>
+where
+    T: DataBox + Clone + Send + Sync + 'static,
+{
+    /// Collective constructor with defaults (hosted on rank 0).
+    pub fn new(rank: &'a Rank, name: &str) -> Self {
+        Self::with_config(rank, name, QueueConfig::default())
+    }
+
+    /// Collective constructor with configuration.
+    pub fn with_config(rank: &'a Rank, name: &str, cfg: QueueConfig) -> Self {
+        let world = Arc::clone(rank.world());
+        let core = rank.get_or_create_shared(&format!("hcl.queue.{name}"), move || {
+            let fn_base = world.alloc_fn_ids(N_FNS);
+            let q = Arc::new(LockFreeQueue::new());
+            let owner = cfg.owner;
+            let reg = world.registry();
+            let q2 = Arc::clone(&q);
+            reg.bind_typed(fn_base + FN_PUSH, move |_: EpId, _, v: T| {
+                q2.push(v);
+                true
+            });
+            let q2 = Arc::clone(&q);
+            reg.bind_typed(fn_base + FN_POP, move |_: EpId, _, ()| q2.pop());
+            let q2 = Arc::clone(&q);
+            reg.bind_typed(fn_base + FN_PUSH_BULK, move |_: EpId, _, vs: Vec<T>| {
+                q2.push_bulk(vs) as u64
+            });
+            let q2 = Arc::clone(&q);
+            reg.bind_typed(fn_base + FN_POP_BULK, move |_: EpId, _, max: u64| {
+                q2.pop_bulk(max as usize)
+            });
+            let q2 = Arc::clone(&q);
+            reg.bind_typed(fn_base + FN_LEN, move |_: EpId, _, ()| q2.len() as u64);
+            let q2 = Arc::clone(&q);
+            reg.bind_typed(fn_base + FN_SNAPSHOT, move |_: EpId, _, ()| q2.iter_snapshot());
+            Core { fn_base, owner, q, cfg }
+        });
+        Queue { core, rank, costs: CostCounters::default() }
+    }
+
+    /// The hosting rank.
+    pub fn owner(&self) -> u32 {
+        self.core.owner
+    }
+
+    fn is_local(&self) -> bool {
+        self.core.cfg.hybrid && self.rank.same_node(self.core.owner)
+    }
+
+    fn owner_ep(&self) -> EpId {
+        self.rank.world().config().ep_of(self.core.owner)
+    }
+
+    /// Push one element (Table I: `F + L + W`).
+    pub fn push(&self, value: T) -> HclResult<bool> {
+        if self.is_local() {
+            self.costs.l(1);
+            self.costs.w(1);
+            self.core.q.push(value);
+            Ok(true)
+        } else {
+            self.costs.f();
+            Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_PUSH, &value)?)
+        }
+    }
+
+    /// Asynchronous push.
+    pub fn push_async(&self, value: T) -> HclResult<HclFuture<bool>> {
+        if self.is_local() {
+            self.costs.l(1);
+            self.costs.w(1);
+            self.core.q.push(value);
+            Ok(HclFuture::Ready(true))
+        } else {
+            self.costs.f();
+            Ok(HclFuture::Remote(self.rank.client().invoke_async(
+                self.owner_ep(),
+                self.core.fn_base + FN_PUSH,
+                &value,
+            )?))
+        }
+    }
+
+    /// Pop one element (Table I: `F + L + R`).
+    pub fn pop(&self) -> HclResult<Option<T>> {
+        if self.is_local() {
+            self.costs.l(1);
+            self.costs.r(1);
+            Ok(self.core.q.pop())
+        } else {
+            self.costs.f();
+            Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_POP, &())?)
+        }
+    }
+
+    /// Bulk push (Table I: `F + L + E·W`): one invocation carries `E`
+    /// elements.
+    pub fn push_bulk(&self, values: Vec<T>) -> HclResult<u64> {
+        if self.is_local() {
+            self.costs.l(1);
+            self.costs.w(values.len() as u64);
+            Ok(self.core.q.push_bulk(values) as u64)
+        } else {
+            self.costs.f();
+            Ok(self
+                .rank
+                .client()
+                .invoke(self.owner_ep(), self.core.fn_base + FN_PUSH_BULK, &values)?)
+        }
+    }
+
+    /// Bulk pop of up to `max` elements (Table I: `F + L + E·R`).
+    pub fn pop_bulk(&self, max: u64) -> HclResult<Vec<T>> {
+        if self.is_local() {
+            self.costs.l(1);
+            self.costs.r(max);
+            Ok(self.core.q.pop_bulk(max as usize))
+        } else {
+            self.costs.f();
+            Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_POP_BULK, &max)?)
+        }
+    }
+
+    /// Elements currently queued (approximate under concurrency).
+    pub fn len(&self) -> HclResult<u64> {
+        if self.is_local() {
+            Ok(self.core.q.len() as u64)
+        } else {
+            self.costs.f();
+            Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_LEN, &())?)
+        }
+    }
+
+    /// True when the queue appears empty.
+    pub fn is_empty(&self) -> HclResult<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Clone out the queued elements front-to-back without consuming them.
+    pub fn snapshot(&self) -> HclResult<Vec<T>> {
+        if self.is_local() {
+            Ok(self.core.q.iter_snapshot())
+        } else {
+            self.costs.f();
+            Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_SNAPSHOT, &())?)
+        }
+    }
+
+    /// Persist the current contents to `path` as a DataBox-encoded snapshot
+    /// (§III-C6 durability for single-partition structures).
+    pub fn persist_snapshot(&self, path: impl AsRef<std::path::Path>) -> HclResult<()> {
+        let snap = self.snapshot()?;
+        let bytes = snap.to_bytes();
+        std::fs::write(path, &bytes).map_err(|e| crate::HclError::Persist(e.to_string()))
+    }
+
+    /// Reload a snapshot written by [`Queue::persist_snapshot`], appending
+    /// its elements (call on an empty queue for exact recovery). Returns
+    /// the number of restored elements.
+    pub fn restore_snapshot(&self, path: impl AsRef<std::path::Path>) -> HclResult<u64> {
+        let bytes =
+            std::fs::read(path).map_err(|e| crate::HclError::Persist(e.to_string()))?;
+        let snap: Vec<T> = hcl_databox::DataBox::from_bytes(&bytes)
+            .map_err(|e| crate::HclError::Persist(e.to_string()))?;
+        self.push_bulk(snap)
+    }
+
+    /// Client-side cost counters.
+    pub fn costs(&self) -> CostSnapshot {
+        self.costs.snapshot()
+    }
+}

@@ -1,0 +1,816 @@
+//! `HCL::unordered_map` / `HCL::unordered_set` (paper §III-D1).
+//!
+//! Multi-partition hash structures: "a single logically contiguous array of
+//! buckets distributed block-wise among multiple partitions in the global
+//! address space", with **two levels of hashing** — one choosing the
+//! partition, one locating the bucket inside it (the in-partition level is
+//! the concurrent cuckoo hash of [`hcl_containers::CuckooMap`]).
+//!
+//! Operations follow the paper exactly:
+//! * the caller hashes the key to a partition;
+//! * **hybrid access** — "If a node-local partition is chosen, the RPC
+//!   infrastructure is bypassed and the insertion (find) is performed on the
+//!   shared memory (i.e., without involving the NIC)";
+//! * otherwise one RPC (`F`) carries the whole operation to the owner, where
+//!   all bucket work happens at local-memory speed.
+//!
+//! Also here: per-partition resize (`resize(partition_id, new_size)`),
+//! asynchronous variants, durability via per-partition op logs, and
+//! asynchronous server-side replication (§III-A4: "Replication occurs
+//! asynchronously at the server side, where the target process will further
+//! hash an operation to more servers").
+
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+use std::sync::Arc;
+
+use hcl_containers::CuckooMap;
+use hcl_databox::DataBox;
+use hcl_fabric::EpId;
+use hcl_rpc::client::{RawFuture, RpcClient};
+use hcl_rpc::FnId;
+use hcl_runtime::{Rank, WorldShared};
+use parking_lot::{Mutex, RwLock};
+
+use crate::cost::{CostCounters, CostSnapshot};
+use crate::persist::{OpLog, PersistConfig};
+use crate::{default_servers, HclError, HclFuture, HclResult};
+
+const FN_PUT: u32 = 0;
+const FN_GET: u32 = 1;
+const FN_ERASE: u32 = 2;
+const FN_CONTAINS: u32 = 3;
+const FN_LEN: u32 = 4;
+const FN_RESIZE: u32 = 5;
+const FN_SNAPSHOT: u32 = 6;
+const FN_REPL_PUT: u32 = 7;
+const FN_REPL_GET: u32 = 8;
+const FN_REPL_FLUSH: u32 = 9;
+const FN_MERGE: u32 = 10;
+const N_FNS: u32 = 11;
+
+/// Op-log record: `(tag, key, value)`; tag 0 = put, 1 = erase.
+type LogRec<K, V> = (u8, K, Option<V>);
+
+/// A server-side merge function: receives the current value (if any) and
+/// the incoming one, returns the stored result. Registered at construction
+/// so the whole read-modify-write executes atomically *at the target* —
+/// one invocation per update, no client-side CAS loop (this is the k-mer
+/// histogram pattern of §IV-D2).
+pub type Merger<V> = Arc<dyn Fn(Option<&V>, &V) -> V + Send + Sync>;
+
+/// Configuration for [`UnorderedMap`] / [`UnorderedSet`].
+#[derive(Debug, Clone)]
+pub struct UnorderedMapConfig {
+    /// Ranks owning a partition; `None` = the first rank of every node.
+    pub servers: Option<Vec<u32>>,
+    /// Initial buckets per partition (the paper's default is 128).
+    pub initial_buckets: usize,
+    /// Enable the hybrid data access model (§III-C5). Disable to force every
+    /// operation through RPC — the ablation the Fig. 5(a) comparison needs.
+    pub hybrid: bool,
+    /// Durability (per-partition op logs).
+    pub persist: Option<PersistConfig>,
+    /// Asynchronous replication factor (0 = off). Each partition forwards
+    /// its mutations to the next `replicas` partition owners.
+    pub replicas: usize,
+}
+
+impl Default for UnorderedMapConfig {
+    fn default() -> Self {
+        UnorderedMapConfig {
+            servers: None,
+            initial_buckets: 128,
+            hybrid: true,
+            persist: None,
+            replicas: 0,
+        }
+    }
+}
+
+/// Server-side state of one partition.
+struct Part<K, V>
+where
+    K: DataBox + Hash + Eq + Clone + Send + Sync + 'static,
+    V: DataBox + Clone + Send + Sync + 'static,
+{
+    index: usize,
+    map: CuckooMap<K, V>,
+    /// Entries replicated *to* this partition from others.
+    replica: CuckooMap<K, V>,
+    log: Option<OpLog<LogRec<K, V>>>,
+    merger: Option<Merger<V>>,
+    /// Outstanding asynchronous replication futures.
+    repl_outstanding: Mutex<Vec<RawFuture>>,
+    repl_client: std::sync::OnceLock<RpcClient>,
+    world: Arc<WorldShared>,
+    fn_base: FnId,
+    servers: Vec<u32>,
+    replicas: usize,
+    costs: CostCounters,
+}
+
+impl<K, V> Part<K, V>
+where
+    K: DataBox + Hash + Eq + Clone + Send + Sync + 'static,
+    V: DataBox + Clone + Send + Sync + 'static,
+{
+    fn apply_put(&self, key: K, value: V) -> bool {
+        self.costs.l(1);
+        self.costs.w(1);
+        if let Some(log) = &self.log {
+            let _ = log.append(&(0, key.clone(), Some(value.clone())));
+        }
+        let existed = self.map.insert(key.clone(), value.clone()).is_some();
+        if self.replicas > 0 {
+            self.replicate(FN_REPL_PUT, (key, Some(value)));
+        }
+        !existed
+    }
+
+    fn apply_erase(&self, key: &K) -> Option<V> {
+        self.costs.l(1);
+        self.costs.w(1);
+        if let Some(log) = &self.log {
+            let _ = log.append(&(1, key.clone(), None));
+        }
+        let prev = self.map.remove(key);
+        if self.replicas > 0 {
+            self.replicate(FN_REPL_PUT, (key.clone(), None::<V>));
+        }
+        prev
+    }
+
+    fn apply_get(&self, key: &K) -> Option<V> {
+        self.costs.l(1);
+        self.costs.r(1);
+        self.map.get(key)
+    }
+
+    fn apply_merge(&self, key: K, value: V) -> V {
+        self.costs.l(1);
+        self.costs.r(1);
+        self.costs.w(1);
+        let merger = self.merger.as_ref().expect("container built without a merger");
+        let merged = self.map.upsert(key.clone(), |old| merger(old, &value));
+        if let Some(log) = &self.log {
+            let _ = log.append(&(0, key.clone(), Some(merged.clone())));
+        }
+        if self.replicas > 0 {
+            self.replicate(FN_REPL_PUT, (key, Some(merged.clone())));
+        }
+        merged
+    }
+
+    /// Forward a mutation asynchronously to the next `replicas` partitions —
+    /// the server-side re-hash of §III-A4. The invocation futures are kept
+    /// so `flush_replication` can await them.
+    fn replicate(&self, fn_off: u32, args: (K, Option<V>)) {
+        let nparts = self.servers.len();
+        if nparts <= 1 {
+            return;
+        }
+        let client = self.repl_client.get_or_init(|| {
+            let cfg = self.world.config();
+            // Replication clients use ranks past the world: the servers'
+            // slot tables reserve room for them.
+            let ep = EpId {
+                node: self.servers[self.index] / cfg.ranks_per_node,
+                rank: cfg.world_size() + self.index as u32,
+            };
+            RpcClient::new(ep, Arc::clone(self.world.fabric()), cfg.slot_cap)
+        });
+        let encoded = args.to_bytes();
+        let mut outstanding = self.repl_outstanding.lock();
+        // Opportunistically drop already-completed futures.
+        outstanding.retain(|f| !f.is_ready());
+        for i in 1..=self.replicas.min(nparts - 1) {
+            let target = self.servers[(self.index + i) % nparts];
+            let target_ep = self.world.config().ep_of(target);
+            if let Ok(f) = client.invoke_raw(target_ep, self.fn_base + fn_off, &encoded) {
+                outstanding.push(f);
+            }
+        }
+    }
+
+    fn flush_replication(&self) {
+        let futures: Vec<RawFuture> = std::mem::take(&mut *self.repl_outstanding.lock());
+        for f in futures {
+            let _ = f.wait();
+        }
+    }
+}
+
+/// World-shared core of one container.
+struct Core<K, V>
+where
+    K: DataBox + Hash + Eq + Clone + Send + Sync + 'static,
+    V: DataBox + Clone + Send + Sync + 'static,
+{
+    fn_base: FnId,
+    servers: Vec<u32>,
+    parts: HashMap<u32, Arc<Part<K, V>>>,
+    cfg: UnorderedMapConfig,
+}
+
+fn bind_handlers<K, V>(
+    world: &Arc<WorldShared>,
+    fn_base: FnId,
+    parts: &HashMap<u32, Arc<Part<K, V>>>,
+) where
+    K: DataBox + Hash + Eq + Clone + Send + Sync + 'static,
+    V: DataBox + Clone + Send + Sync + 'static,
+{
+    let reg = world.registry();
+    let p = parts.clone();
+    reg.bind_typed(fn_base + FN_PUT, move |server: EpId, _, (k, v): (K, V)| {
+        p[&server.rank].apply_put(k, v)
+    });
+    let p = parts.clone();
+    reg.bind_typed(fn_base + FN_GET, move |server: EpId, _, k: K| p[&server.rank].apply_get(&k));
+    let p = parts.clone();
+    reg.bind_typed(fn_base + FN_ERASE, move |server: EpId, _, k: K| {
+        p[&server.rank].apply_erase(&k)
+    });
+    let p = parts.clone();
+    reg.bind_typed(fn_base + FN_CONTAINS, move |server: EpId, _, k: K| {
+        p[&server.rank].apply_get(&k).is_some()
+    });
+    let p = parts.clone();
+    reg.bind_typed(fn_base + FN_LEN, move |server: EpId, _, ()| {
+        p[&server.rank].map.len() as u64
+    });
+    let p = parts.clone();
+    reg.bind_typed(fn_base + FN_RESIZE, move |server: EpId, _, new_buckets: u64| {
+        p[&server.rank].map.resize_to(new_buckets as usize);
+        true
+    });
+    let p = parts.clone();
+    reg.bind_typed(fn_base + FN_SNAPSHOT, move |server: EpId, _, ()| {
+        p[&server.rank].map.iter_snapshot()
+    });
+    let p = parts.clone();
+    reg.bind_typed(
+        fn_base + FN_REPL_PUT,
+        move |server: EpId, _, (k, v): (K, Option<V>)| {
+            let part = &p[&server.rank];
+            match v {
+                Some(v) => {
+                    part.replica.insert(k, v);
+                }
+                None => {
+                    part.replica.remove(&k);
+                }
+            }
+            true
+        },
+    );
+    let p = parts.clone();
+    reg.bind_typed(fn_base + FN_REPL_GET, move |server: EpId, _, k: K| {
+        p[&server.rank].replica.get(&k)
+    });
+    let p = parts.clone();
+    reg.bind_typed(fn_base + FN_REPL_FLUSH, move |server: EpId, _, ()| {
+        p[&server.rank].flush_replication();
+        true
+    });
+    let p = parts.clone();
+    reg.bind_typed(fn_base + FN_MERGE, move |server: EpId, _, (k, v): (K, V)| {
+        p[&server.rank].apply_merge(k, v)
+    });
+}
+
+/// A distributed unordered (hash) map.
+pub struct UnorderedMap<'a, K, V>
+where
+    K: DataBox + Hash + Eq + Clone + Send + Sync + 'static,
+    V: DataBox + Clone + Send + Sync + 'static,
+{
+    core: Arc<Core<K, V>>,
+    rank: &'a Rank,
+    costs: CostCounters,
+    downed: RwLock<HashSet<u32>>,
+}
+
+impl<'a, K, V> UnorderedMap<'a, K, V>
+where
+    K: DataBox + Hash + Eq + Clone + Send + Sync + 'static,
+    V: DataBox + Clone + Send + Sync + 'static,
+{
+    /// Collective constructor with defaults (one partition per node, 128
+    /// buckets, hybrid access on). Every rank must call it with the same
+    /// `name`.
+    pub fn new(rank: &'a Rank, name: &str) -> Self {
+        Self::with_config(rank, name, UnorderedMapConfig::default())
+    }
+
+    /// Collective constructor with explicit configuration.
+    pub fn with_config(rank: &'a Rank, name: &str, cfg: UnorderedMapConfig) -> Self {
+        Self::build(rank, name, cfg, None)
+    }
+
+    /// Collective constructor that also registers a server-side [`Merger`],
+    /// enabling [`UnorderedMap::put_merge`].
+    pub fn with_merger(
+        rank: &'a Rank,
+        name: &str,
+        cfg: UnorderedMapConfig,
+        merger: Merger<V>,
+    ) -> Self {
+        Self::build(rank, name, cfg, Some(merger))
+    }
+
+    fn build(
+        rank: &'a Rank,
+        name: &str,
+        cfg: UnorderedMapConfig,
+        merger: Option<Merger<V>>,
+    ) -> Self {
+        let world = Arc::clone(rank.world());
+        let cfg2 = cfg.clone();
+        let name2 = name.to_string();
+        let core = rank.get_or_create_shared(&format!("hcl.umap.{name}"), move || {
+            let servers = cfg2.servers.clone().unwrap_or_else(|| default_servers(&world));
+            let fn_base = world.alloc_fn_ids(N_FNS);
+            let mut parts = HashMap::new();
+            for (i, &owner) in servers.iter().enumerate() {
+                let map = CuckooMap::with_buckets(cfg2.initial_buckets);
+                let log = cfg2.persist.as_ref().map(|p| {
+                    let path = p.log_path(&name2, i);
+                    OpLog::open(path, p.mode_of(), |rec: LogRec<K, V>| match rec {
+                        (0, k, Some(v)) => {
+                            map.insert(k, v);
+                        }
+                        (1, k, None) => {
+                            map.remove(&k);
+                        }
+                        _ => {}
+                    })
+                    .expect("open partition op log")
+                });
+                parts.insert(
+                    owner,
+                    Arc::new(Part {
+                        index: i,
+                        map,
+                        replica: CuckooMap::with_buckets(cfg2.initial_buckets),
+                        log,
+                        merger: merger.clone(),
+                        repl_outstanding: Mutex::new(Vec::new()),
+                        repl_client: std::sync::OnceLock::new(),
+                        world: Arc::clone(&world),
+                        fn_base,
+                        servers: servers.clone(),
+                        replicas: cfg2.replicas,
+                        costs: CostCounters::default(),
+                    }),
+                );
+            }
+            bind_handlers(&world, fn_base, &parts);
+            Core { fn_base, servers, parts, cfg: cfg2 }
+        });
+        UnorderedMap { core, rank, costs: CostCounters::default(), downed: RwLock::new(HashSet::new()) }
+    }
+
+    /// First-level hash: which partition owns `key`.
+    pub fn partition_of(&self, key: &K) -> usize {
+        (crate::stable_hash(key) as usize) % self.core.servers.len()
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.core.servers.len()
+    }
+
+    /// The owner rank of partition `p`.
+    pub fn server_of(&self, p: usize) -> u32 {
+        self.core.servers[p]
+    }
+
+    fn owner_of(&self, key: &K) -> u32 {
+        self.core.servers[self.partition_of(key)]
+    }
+
+    fn is_local(&self, owner: u32) -> bool {
+        self.core.cfg.hybrid && self.rank.same_node(owner)
+    }
+
+    /// Insert `key -> value`; returns `true` when the key was newly
+    /// inserted (`false` = overwrite). One remote invocation worst case
+    /// (Table I: `F + L + W`).
+    pub fn put(&self, key: K, value: V) -> HclResult<bool> {
+        let owner = self.owner_of(&key);
+        if self.is_local(owner) {
+            self.costs.l(1);
+            self.costs.w(1);
+            Ok(self.core.parts[&owner].apply_put(key, value))
+        } else {
+            self.costs.f();
+            let ep = self.rank.world().config().ep_of(owner);
+            Ok(self.rank.client().invoke(ep, self.core.fn_base + FN_PUT, &(key, value))?)
+        }
+    }
+
+    /// Asynchronous insert (§III-C4).
+    pub fn put_async(&self, key: K, value: V) -> HclResult<HclFuture<bool>> {
+        let owner = self.owner_of(&key);
+        if self.is_local(owner) {
+            self.costs.l(1);
+            self.costs.w(1);
+            Ok(HclFuture::Ready(self.core.parts[&owner].apply_put(key, value)))
+        } else {
+            self.costs.f();
+            let ep = self.rank.world().config().ep_of(owner);
+            Ok(HclFuture::Remote(
+                self.rank.client().invoke_async(ep, self.core.fn_base + FN_PUT, &(key, value))?,
+            ))
+        }
+    }
+
+    /// Look up `key` (Table I: `F + L + R`). Falls back to a replica when
+    /// the owner has been marked down.
+    pub fn get(&self, key: &K) -> HclResult<Option<V>> {
+        let p = self.partition_of(key);
+        let owner = self.core.servers[p];
+        if self.downed.read().contains(&owner) {
+            return self.get_from_replica(p, key);
+        }
+        if self.is_local(owner) {
+            self.costs.l(1);
+            self.costs.r(1);
+            Ok(self.core.parts[&owner].apply_get(key))
+        } else {
+            self.costs.f();
+            let ep = self.rank.world().config().ep_of(owner);
+            Ok(self.rank.client().invoke(ep, self.core.fn_base + FN_GET, key)?)
+        }
+    }
+
+    /// Asynchronous lookup.
+    pub fn get_async(&self, key: &K) -> HclResult<HclFuture<Option<V>>> {
+        let owner = self.owner_of(key);
+        if self.is_local(owner) {
+            self.costs.l(1);
+            self.costs.r(1);
+            Ok(HclFuture::Ready(self.core.parts[&owner].apply_get(key)))
+        } else {
+            self.costs.f();
+            let ep = self.rank.world().config().ep_of(owner);
+            Ok(HclFuture::Remote(
+                self.rank.client().invoke_async(ep, self.core.fn_base + FN_GET, key)?,
+            ))
+        }
+    }
+
+    /// Atomically merge `value` into the entry for `key` using the
+    /// registered [`Merger`]; returns the stored result. One remote
+    /// invocation — the read-modify-write happens *at the target*, which is
+    /// exactly what BCL's client-side model cannot express without a CAS
+    /// retry loop.
+    pub fn put_merge(&self, key: K, value: V) -> HclResult<V> {
+        let owner = self.owner_of(&key);
+        if self.is_local(owner) {
+            self.costs.l(1);
+            self.costs.r(1);
+            self.costs.w(1);
+            Ok(self.core.parts[&owner].apply_merge(key, value))
+        } else {
+            self.costs.f();
+            let ep = self.rank.world().config().ep_of(owner);
+            Ok(self.rank.client().invoke(ep, self.core.fn_base + FN_MERGE, &(key, value))?)
+        }
+    }
+
+    /// Asynchronous [`UnorderedMap::put_merge`].
+    pub fn put_merge_async(&self, key: K, value: V) -> HclResult<HclFuture<V>> {
+        let owner = self.owner_of(&key);
+        if self.is_local(owner) {
+            self.costs.l(1);
+            self.costs.r(1);
+            self.costs.w(1);
+            Ok(HclFuture::Ready(self.core.parts[&owner].apply_merge(key, value)))
+        } else {
+            self.costs.f();
+            let ep = self.rank.world().config().ep_of(owner);
+            Ok(HclFuture::Remote(
+                self.rank.client().invoke_async(ep, self.core.fn_base + FN_MERGE, &(key, value))?,
+            ))
+        }
+    }
+
+    /// Insert many entries with **request aggregation** (§III-B): entries
+    /// are grouped by partition and each remote partition receives *one*
+    /// aggregated message carrying all of its operations, which the NIC
+    /// workers unpack and execute. Returns the number of newly inserted
+    /// keys.
+    pub fn put_batch(&self, entries: Vec<(K, V)>) -> HclResult<u64> {
+        use std::collections::HashMap as StdMap;
+        let mut by_owner: StdMap<u32, Vec<(K, V)>> = StdMap::new();
+        for (k, v) in entries {
+            by_owner.entry(self.owner_of(&k)).or_default().push((k, v));
+        }
+        let mut new_keys = 0u64;
+        let mut futures = Vec::new();
+        for (owner, group) in by_owner {
+            if self.is_local(owner) {
+                for (k, v) in group {
+                    self.costs.l(1);
+                    self.costs.w(1);
+                    if self.core.parts[&owner].apply_put(k, v) {
+                        new_keys += 1;
+                    }
+                }
+            } else {
+                // One aggregated request for the whole group.
+                self.costs.f();
+                let calls: Vec<(hcl_rpc::FnId, Vec<u8>)> = group
+                    .into_iter()
+                    .map(|kv| (self.core.fn_base + FN_PUT, kv.to_bytes().to_vec()))
+                    .collect();
+                let ep = self.rank.world().config().ep_of(owner);
+                futures.push(self.rank.client().invoke_batch(ep, &calls)?);
+            }
+        }
+        for f in futures {
+            let results: Vec<bool> = f.wait_typed().map_err(crate::HclError::from)?;
+            new_keys += results.into_iter().filter(|b| *b).count() as u64;
+        }
+        Ok(new_keys)
+    }
+
+    /// Look up many keys with request aggregation; results are returned in
+    /// the order of `keys`.
+    pub fn get_batch(&self, keys: &[K]) -> HclResult<Vec<Option<V>>> {
+        use std::collections::HashMap as StdMap;
+        let mut by_owner: StdMap<u32, Vec<usize>> = StdMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            by_owner.entry(self.owner_of(k)).or_default().push(i);
+        }
+        let mut out: Vec<Option<V>> = (0..keys.len()).map(|_| None).collect();
+        let mut pending = Vec::new();
+        for (owner, idxs) in by_owner {
+            if self.is_local(owner) {
+                for i in idxs {
+                    self.costs.l(1);
+                    self.costs.r(1);
+                    out[i] = self.core.parts[&owner].apply_get(&keys[i]);
+                }
+            } else {
+                self.costs.f();
+                let calls: Vec<(hcl_rpc::FnId, Vec<u8>)> = idxs
+                    .iter()
+                    .map(|&i| (self.core.fn_base + FN_GET, keys[i].to_bytes().to_vec()))
+                    .collect();
+                let ep = self.rank.world().config().ep_of(owner);
+                pending.push((idxs, self.rank.client().invoke_batch(ep, &calls)?));
+            }
+        }
+        for (idxs, f) in pending {
+            let results: Vec<Option<V>> = f.wait_typed().map_err(crate::HclError::from)?;
+            for (i, r) in idxs.into_iter().zip(results) {
+                out[i] = r;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Remove `key`, returning its value.
+    pub fn erase(&self, key: &K) -> HclResult<Option<V>> {
+        let owner = self.owner_of(key);
+        if self.is_local(owner) {
+            self.costs.l(1);
+            self.costs.w(1);
+            Ok(self.core.parts[&owner].apply_erase(key))
+        } else {
+            self.costs.f();
+            let ep = self.rank.world().config().ep_of(owner);
+            Ok(self.rank.client().invoke(ep, self.core.fn_base + FN_ERASE, key)?)
+        }
+    }
+
+    /// Presence check.
+    pub fn contains(&self, key: &K) -> HclResult<bool> {
+        Ok(self.get(key)?.is_some())
+    }
+
+    /// Total entries across all partitions (collective-free; issues one
+    /// call per remote partition).
+    pub fn len(&self) -> HclResult<u64> {
+        let mut total = 0u64;
+        for &owner in &self.core.servers {
+            if self.is_local(owner) {
+                total += self.core.parts[&owner].map.len() as u64;
+            } else {
+                self.costs.f();
+                let ep = self.rank.world().config().ep_of(owner);
+                let n: u64 = self.rank.client().invoke(ep, self.core.fn_base + FN_LEN, &())?;
+                total += n;
+            }
+        }
+        Ok(total)
+    }
+
+    /// True when no partition holds entries.
+    pub fn is_empty(&self) -> HclResult<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Resize one partition (the paper's `resize(partition_id, new_size)`;
+    /// Table I: `F + N(R+W)`). "This operation is localized to the involved
+    /// partition."
+    pub fn resize(&self, partition_id: usize, new_buckets: usize) -> HclResult<bool> {
+        let owner = *self
+            .core
+            .servers
+            .get(partition_id)
+            .ok_or(HclError::BadPartition(partition_id))?;
+        if self.is_local(owner) {
+            self.core.parts[&owner].map.resize_to(new_buckets);
+            Ok(true)
+        } else {
+            self.costs.f();
+            let ep = self.rank.world().config().ep_of(owner);
+            Ok(self
+                .rank
+                .client()
+                .invoke(ep, self.core.fn_base + FN_RESIZE, &(new_buckets as u64))?)
+        }
+    }
+
+    /// Bucket count of a partition (diagnostics).
+    pub fn partition_buckets(&self, partition_id: usize) -> usize {
+        let owner = self.core.servers[partition_id];
+        self.core.parts[&owner].map.buckets()
+    }
+
+    /// Clone out every entry of every partition (not atomic).
+    pub fn snapshot_all(&self) -> HclResult<Vec<(K, V)>> {
+        let mut out = Vec::new();
+        for &owner in &self.core.servers {
+            if self.is_local(owner) {
+                out.extend(self.core.parts[&owner].map.iter_snapshot());
+            } else {
+                self.costs.f();
+                let ep = self.rank.world().config().ep_of(owner);
+                let part: Vec<(K, V)> =
+                    self.rank.client().invoke(ep, self.core.fn_base + FN_SNAPSHOT, &())?;
+                out.extend(part);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Mark a partition owner as failed: subsequent `get`s for its keys are
+    /// served from the replica on the next partition (requires
+    /// `replicas >= 1`).
+    pub fn mark_down(&self, owner_rank: u32) {
+        self.downed.write().insert(owner_rank);
+    }
+
+    /// Clear a failure mark.
+    pub fn mark_up(&self, owner_rank: u32) {
+        self.downed.write().remove(&owner_rank);
+    }
+
+    fn get_from_replica(&self, partition: usize, key: &K) -> HclResult<Option<V>> {
+        let nparts = self.core.servers.len();
+        let replica_owner = self.core.servers[(partition + 1) % nparts];
+        if self.is_local(replica_owner) {
+            Ok(self.core.parts[&replica_owner].replica.get(key))
+        } else {
+            self.costs.f();
+            let ep = self.rank.world().config().ep_of(replica_owner);
+            Ok(self.rank.client().invoke(ep, self.core.fn_base + FN_REPL_GET, key)?)
+        }
+    }
+
+    /// Wait until every partition's outstanding replication forwards have
+    /// been acknowledged.
+    pub fn flush_replication(&self) -> HclResult<()> {
+        for &owner in &self.core.servers {
+            if self.is_local(owner) {
+                self.core.parts[&owner].flush_replication();
+            } else {
+                self.costs.f();
+                let ep = self.rank.world().config().ep_of(owner);
+                let _: bool =
+                    self.rank.client().invoke(ep, self.core.fn_base + FN_REPL_FLUSH, &())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush and compact every *local* partition's op log to a snapshot.
+    pub fn compact_local_logs(&self) -> HclResult<()> {
+        for &owner in &self.core.servers {
+            if self.rank.same_node(owner) {
+                let part = &self.core.parts[&owner];
+                if let Some(log) = &part.log {
+                    let snapshot: Vec<LogRec<K, V>> = part
+                        .map
+                        .iter_snapshot()
+                        .into_iter()
+                        .map(|(k, v)| (0u8, k, Some(v)))
+                        .collect();
+                    log.compact(snapshot.iter())
+                        .map_err(|e| HclError::Persist(e.to_string()))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Client-side cost counters (Table I terms observed by this rank).
+    pub fn costs(&self) -> CostSnapshot {
+        self.costs.snapshot()
+    }
+
+    /// Aggregated server-side cost counters across all partitions.
+    pub fn server_costs(&self) -> CostSnapshot {
+        let mut out = CostSnapshot::default();
+        for part in self.core.parts.values() {
+            let s = part.costs.snapshot();
+            out.f += s.f;
+            out.l += s.l;
+            out.r += s.r;
+            out.w += s.w;
+        }
+        out
+    }
+}
+
+impl PersistConfig {
+    pub(crate) fn mode_of(&self) -> crate::persist::PersistMode {
+        self.mode
+    }
+}
+
+/// A distributed unordered (hash) set: the same two-level hash structure
+/// with key-only buckets ("sets only contain a single key per element,
+/// which reduces the serialization cost", §IV-C).
+pub struct UnorderedSet<'a, K>
+where
+    K: DataBox + Hash + Eq + Clone + Send + Sync + 'static,
+{
+    inner: UnorderedMap<'a, K, ()>,
+}
+
+impl<'a, K> UnorderedSet<'a, K>
+where
+    K: DataBox + Hash + Eq + Clone + Send + Sync + 'static,
+{
+    /// Collective constructor with defaults.
+    pub fn new(rank: &'a Rank, name: &str) -> Self {
+        UnorderedSet { inner: UnorderedMap::new(rank, name) }
+    }
+
+    /// Collective constructor with configuration.
+    pub fn with_config(rank: &'a Rank, name: &str, cfg: UnorderedMapConfig) -> Self {
+        UnorderedSet { inner: UnorderedMap::with_config(rank, name, cfg) }
+    }
+
+    /// Insert `key`; `true` when newly inserted.
+    pub fn insert(&self, key: K) -> HclResult<bool> {
+        self.inner.put(key, ())
+    }
+
+    /// Asynchronous insert.
+    pub fn insert_async(&self, key: K) -> HclResult<HclFuture<bool>> {
+        self.inner.put_async(key, ())
+    }
+
+    /// Membership test (Table I: `F + L + R`).
+    pub fn contains(&self, key: &K) -> HclResult<bool> {
+        self.inner.contains(key)
+    }
+
+    /// Remove `key`; `true` when it was present.
+    pub fn remove(&self, key: &K) -> HclResult<bool> {
+        Ok(self.inner.erase(key)?.is_some())
+    }
+
+    /// Total elements.
+    pub fn len(&self) -> HclResult<u64> {
+        self.inner.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> HclResult<bool> {
+        self.inner.is_empty()
+    }
+
+    /// Resize one partition.
+    pub fn resize(&self, partition_id: usize, new_buckets: usize) -> HclResult<bool> {
+        self.inner.resize(partition_id, new_buckets)
+    }
+
+    /// All elements (not atomic).
+    pub fn snapshot_all(&self) -> HclResult<Vec<K>> {
+        Ok(self.inner.snapshot_all()?.into_iter().map(|(k, ())| k).collect())
+    }
+
+    /// Client-side cost counters.
+    pub fn costs(&self) -> CostSnapshot {
+        self.inner.costs()
+    }
+}

@@ -1,0 +1,236 @@
+//! Pluggable serialization backends (paper §III-C2).
+//!
+//! HCL supports MSGPACK, Cereal and FlatBuffers as interchangeable backends;
+//! we mirror the same *spectrum* with three in-tree codecs behind one trait
+//! (DESIGN.md substitution #8):
+//!
+//! * [`FixedCodec`] — zero framing; the raw DataBox bytes. Matches the
+//!   FlatBuffers role: cheapest, only safe when both sides agree on the type.
+//! * [`PackCodec`] — a 2-byte header (magic + version) and a varint payload
+//!   length. Matches the MSGPACK role: compact with minimal validation.
+//! * [`SelfDescribingCodec`] — header plus a 64-bit type tag checked on
+//!   decode. Matches the Cereal role: safest, detects cross-type decoding.
+
+use bytes::Bytes;
+
+use crate::varint;
+use crate::{type_tag, CodecError, DataBox, Reader};
+
+/// A serialization backend: encodes/decodes any [`DataBox`] value.
+pub trait Codec: Send + Sync {
+    /// Human-readable backend name.
+    fn name(&self) -> &'static str;
+    /// Encode a value.
+    fn encode<T: DataBox + 'static>(&self, v: &T) -> Bytes;
+    /// Decode a value.
+    fn decode<T: DataBox + 'static>(&self, buf: &[u8]) -> Result<T, CodecError>;
+}
+
+/// Raw DataBox bytes, no framing at all. The byte-copyable fast path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FixedCodec;
+
+impl Codec for FixedCodec {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+    fn encode<T: DataBox + 'static>(&self, v: &T) -> Bytes {
+        v.to_bytes()
+    }
+    fn decode<T: DataBox + 'static>(&self, buf: &[u8]) -> Result<T, CodecError> {
+        T::from_bytes(buf)
+    }
+}
+
+const PACK_MAGIC: u8 = 0xB0;
+const PACK_VERSION: u8 = 1;
+
+/// Compact framed encoding: `[magic, version, varint len, payload]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PackCodec;
+
+impl Codec for PackCodec {
+    fn name(&self) -> &'static str {
+        "pack"
+    }
+    fn encode<T: DataBox + 'static>(&self, v: &T) -> Bytes {
+        let mut payload = Vec::new();
+        v.pack(&mut payload);
+        let mut out = Vec::with_capacity(payload.len() + 4);
+        out.push(PACK_MAGIC);
+        out.push(PACK_VERSION);
+        varint::encode(payload.len() as u64, &mut out);
+        out.extend_from_slice(&payload);
+        Bytes::from(out)
+    }
+    fn decode<T: DataBox + 'static>(&self, buf: &[u8]) -> Result<T, CodecError> {
+        let mut r = Reader::new(buf);
+        if r.take_u8("pack.magic")? != PACK_MAGIC {
+            return Err(CodecError::Invalid { context: "pack.magic" });
+        }
+        if r.take_u8("pack.version")? != PACK_VERSION {
+            return Err(CodecError::Invalid { context: "pack.version" });
+        }
+        let len = r.take_varint("pack.len")? as usize;
+        let payload = r.take(len, "pack.payload")?;
+        if r.remaining() != 0 {
+            return Err(CodecError::TrailingBytes(r.remaining()));
+        }
+        T::from_bytes(payload)
+    }
+}
+
+const SELF_MAGIC: u8 = 0xB1;
+
+/// Tagged encoding: `[magic, version, u64 type tag, varint len, payload]`;
+/// the tag is validated against the requested type on decode.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SelfDescribingCodec;
+
+impl Codec for SelfDescribingCodec {
+    fn name(&self) -> &'static str {
+        "self-describing"
+    }
+    fn encode<T: DataBox + 'static>(&self, v: &T) -> Bytes {
+        let mut payload = Vec::new();
+        v.pack(&mut payload);
+        let mut out = Vec::with_capacity(payload.len() + 12);
+        out.push(SELF_MAGIC);
+        out.push(PACK_VERSION);
+        out.extend_from_slice(&type_tag::<T>().to_le_bytes());
+        varint::encode(payload.len() as u64, &mut out);
+        out.extend_from_slice(&payload);
+        Bytes::from(out)
+    }
+    fn decode<T: DataBox + 'static>(&self, buf: &[u8]) -> Result<T, CodecError> {
+        let mut r = Reader::new(buf);
+        if r.take_u8("self.magic")? != SELF_MAGIC {
+            return Err(CodecError::Invalid { context: "self.magic" });
+        }
+        if r.take_u8("self.version")? != PACK_VERSION {
+            return Err(CodecError::Invalid { context: "self.version" });
+        }
+        let tag_bytes = r.take(8, "self.tag")?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(tag_bytes);
+        let found = u64::from_le_bytes(a);
+        let expected = type_tag::<T>();
+        if found != expected {
+            return Err(CodecError::TypeMismatch { found, expected });
+        }
+        let len = r.take_varint("self.len")? as usize;
+        let payload = r.take(len, "self.payload")?;
+        if r.remaining() != 0 {
+            return Err(CodecError::TrailingBytes(r.remaining()));
+        }
+        T::from_bytes(payload)
+    }
+}
+
+/// Runtime-selectable codec, so constructors can take a codec choice the way
+/// HCL's CMake build selects a serialization module.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum AnyCodec {
+    /// See [`FixedCodec`].
+    Fixed,
+    /// See [`PackCodec`].
+    #[default]
+    Pack,
+    /// See [`SelfDescribingCodec`].
+    SelfDescribing,
+}
+
+impl Codec for AnyCodec {
+    fn name(&self) -> &'static str {
+        match self {
+            AnyCodec::Fixed => FixedCodec.name(),
+            AnyCodec::Pack => PackCodec.name(),
+            AnyCodec::SelfDescribing => SelfDescribingCodec.name(),
+        }
+    }
+    fn encode<T: DataBox + 'static>(&self, v: &T) -> Bytes {
+        match self {
+            AnyCodec::Fixed => FixedCodec.encode(v),
+            AnyCodec::Pack => PackCodec.encode(v),
+            AnyCodec::SelfDescribing => SelfDescribingCodec.encode(v),
+        }
+    }
+    fn decode<T: DataBox + 'static>(&self, buf: &[u8]) -> Result<T, CodecError> {
+        match self {
+            AnyCodec::Fixed => FixedCodec.decode(buf),
+            AnyCodec::Pack => PackCodec.decode(buf),
+            AnyCodec::SelfDescribing => SelfDescribingCodec.decode(buf),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codecs() -> Vec<AnyCodec> {
+        vec![AnyCodec::Fixed, AnyCodec::Pack, AnyCodec::SelfDescribing]
+    }
+
+    #[test]
+    fn all_codecs_roundtrip() {
+        for c in codecs() {
+            let v = (42u64, "payload".to_string(), vec![1u8, 2, 3]);
+            let b = c.encode(&v);
+            let got: (u64, String, Vec<u8>) = c.decode(&b).unwrap();
+            assert_eq!(got, v, "codec {}", c.name());
+        }
+    }
+
+    #[test]
+    fn framing_overhead_ordering() {
+        // fixed < pack < self-describing for the same payload.
+        let v = 7u64;
+        let f = AnyCodec::Fixed.encode(&v).len();
+        let p = AnyCodec::Pack.encode(&v).len();
+        let s = AnyCodec::SelfDescribing.encode(&v).len();
+        assert!(f < p && p < s, "{f} {p} {s}");
+        assert_eq!(f, 8);
+    }
+
+    #[test]
+    fn self_describing_detects_type_mismatch() {
+        let b = SelfDescribingCodec.encode(&1u64);
+        let got: Result<String, _> = SelfDescribingCodec.decode(&b);
+        assert!(matches!(got, Err(CodecError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn pack_rejects_bad_magic_and_version() {
+        let mut b = PackCodec.encode(&1u32).to_vec();
+        b[0] ^= 0xff;
+        assert!(matches!(
+            PackCodec.decode::<u32>(&b),
+            Err(CodecError::Invalid { context: "pack.magic" })
+        ));
+        let mut b = PackCodec.encode(&1u32).to_vec();
+        b[1] = 99;
+        assert!(matches!(
+            PackCodec.decode::<u32>(&b),
+            Err(CodecError::Invalid { context: "pack.version" })
+        ));
+    }
+
+    #[test]
+    fn pack_rejects_trailing_garbage() {
+        let mut b = PackCodec.encode(&1u32).to_vec();
+        b.push(0);
+        assert!(matches!(PackCodec.decode::<u32>(&b), Err(CodecError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn truncated_inputs_fail_cleanly() {
+        for c in codecs() {
+            let b = c.encode(&(123u64, "abc".to_string()));
+            for cut in 0..b.len() {
+                let r: Result<(u64, String), _> = c.decode(&b[..cut]);
+                assert!(r.is_err(), "codec {} accepted truncated input at {cut}", c.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! LEB128-style unsigned varints, used for all variable-length framing.
+
+/// Append the varint encoding of `v` to `out`.
+pub fn encode(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode a varint from the front of `buf`; returns `(value, bytes_consumed)`
+/// or `None` when the input is truncated or overlong (> 10 bytes).
+pub fn decode(buf: &[u8]) -> Option<(u64, usize)> {
+    let mut v: u64 = 0;
+    for (i, &b) in buf.iter().enumerate().take(10) {
+        v |= ((b & 0x7f) as u64) << (7 * i);
+        if b & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+    }
+    None
+}
+
+/// Encoded length of `v` in bytes.
+pub fn encoded_len(v: u64) -> usize {
+    if v == 0 {
+        return 1;
+    }
+    (64 - v.leading_zeros() as usize).div_ceil(7)
+}
+
+/// ZigZag-map a signed value for varint encoding.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_edge_values() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            encode(v, &mut buf);
+            assert_eq!(buf.len(), encoded_len(v), "len for {v}");
+            let (got, n) = decode(&buf).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(n, buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_none() {
+        let mut buf = Vec::new();
+        encode(u64::MAX, &mut buf);
+        assert!(decode(&buf[..buf.len() - 1]).is_none());
+        assert!(decode(&[]).is_none());
+    }
+
+    #[test]
+    fn overlong_rejected() {
+        // 11 continuation bytes never terminate within the 10-byte budget.
+        assert!(decode(&[0x80; 11]).is_none());
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, -1, 1, -2, 2, i64::MIN, i64::MAX, -123_456_789] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes stay small.
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+}

@@ -1,0 +1,338 @@
+//! # hcl-fabric — the communication fabric (paper §III, "HCL uses the Open
+//! Fabric Interface (OFI) to build a portable cross-platform communication
+//! fabric able to interface with any underlying network protocols").
+//!
+//! The [`Fabric`] trait is our OFI-provider surface. It exposes exactly the
+//! verb set both HCL and BCL are built on:
+//!
+//! * two-sided messaging — [`Fabric::send`] / [`Fabric::recv`]
+//!   (`RDMA_SEND` + work-queue receive in Fig. 2);
+//! * one-sided RMA — [`Fabric::read`] / [`Fabric::write`]
+//!   (`IBV_WR_RDMA_READ` / `RDMA WRITE`), which execute **without any
+//!   involvement of the target's CPU threads**;
+//! * remote atomics — [`Fabric::cas64`] / [`Fabric::fadd64`], the primitives
+//!   BCL's client-side protocol requires ("Without CAS support, BCL
+//!   structures cannot be implemented", §II-B).
+//!
+//! Two providers are included (DESIGN.md substitution #1):
+//!
+//! * [`memory::MemoryFabric`] — endpoints share the process; one-sided ops
+//!   act directly on registered [`Segment`]s, which is semantically what
+//!   RDMA hardware does (the initiator's "NIC" touches target memory with no
+//!   target-CPU participation). An optional [`LatencyModel`] injects
+//!   per-message latency and bandwidth costs so inter- vs intra-node gaps
+//!   are observable in real time.
+//! * [`tcp::TcpFabric`] — endpoints are served by per-connection agent
+//!   threads over loopback TCP; the agent thread plays the role of the NIC
+//!   (this is the "emulate RPC over TCP" path).
+//!
+//! Every operation updates a [`TrafficStats`] block — packets and bytes by
+//! class — which is what the Fig. 4(c) network-profiling comparison reads.
+
+pub mod memory;
+pub mod tcp;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use bytes::Bytes;
+use hcl_mem::MemError;
+
+/// Endpoint identity: `(node, rank)`. The node component is what the hybrid
+/// access model compares ("if the target process has the same nodeID as the
+/// caller-process, then a Direct Memory Access call is made", §III-C5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EpId {
+    /// Node (machine) index.
+    pub node: u32,
+    /// Rank (process) index, global across nodes.
+    pub rank: u32,
+}
+
+impl EpId {
+    /// Shorthand constructor.
+    pub fn new(node: u32, rank: u32) -> Self {
+        EpId { node, rank }
+    }
+
+    /// True when `other` lives on the same node (intra-node access).
+    pub fn same_node(&self, other: &EpId) -> bool {
+        self.node == other.node
+    }
+}
+
+impl std::fmt::Display for EpId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}r{}", self.node, self.rank)
+    }
+}
+
+/// A registered memory region: `(owner endpoint, region id)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionKey {
+    /// The endpoint that registered (owns) the region.
+    pub ep: EpId,
+    /// Region id, unique per endpoint.
+    pub region: u32,
+}
+
+/// Fabric errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricError {
+    /// Destination endpoint was never registered.
+    UnknownEndpoint(EpId),
+    /// Region was never registered.
+    UnknownRegion(RegionKey),
+    /// Underlying memory error (bounds/alignment).
+    Mem(MemError),
+    /// Transport-level I/O failure.
+    Io(String),
+    /// The fabric (or peer) has shut down.
+    Closed,
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricError::UnknownEndpoint(ep) => write!(f, "unknown endpoint {ep}"),
+            FabricError::UnknownRegion(k) => write!(f, "unknown region {}:{}", k.ep, k.region),
+            FabricError::Mem(e) => write!(f, "memory error: {e}"),
+            FabricError::Io(e) => write!(f, "fabric I/O error: {e}"),
+            FabricError::Closed => write!(f, "fabric closed"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+impl From<MemError> for FabricError {
+    fn from(e: MemError) -> Self {
+        FabricError::Mem(e)
+    }
+}
+
+/// Result alias for fabric operations.
+pub type FabricResult<T> = Result<T, FabricError>;
+
+/// Traffic counters, split intra- vs inter-node (the hybrid access model's
+/// two classes). All counters are monotonically increasing.
+#[derive(Debug, Default)]
+pub struct TrafficStats {
+    /// Two-sided messages sent.
+    pub sends: AtomicU64,
+    /// Bytes carried by two-sided messages.
+    pub send_bytes: AtomicU64,
+    /// One-sided reads issued.
+    pub reads: AtomicU64,
+    /// Bytes fetched by one-sided reads.
+    pub read_bytes: AtomicU64,
+    /// One-sided writes issued.
+    pub writes: AtomicU64,
+    /// Bytes pushed by one-sided writes.
+    pub write_bytes: AtomicU64,
+    /// Remote atomic CAS operations.
+    pub cas_ops: AtomicU64,
+    /// Remote atomic fetch-add operations.
+    pub fadd_ops: AtomicU64,
+    /// Operations whose initiator and target share a node.
+    pub intra_node_ops: AtomicU64,
+    /// Operations that crossed nodes.
+    pub inter_node_ops: AtomicU64,
+}
+
+impl TrafficStats {
+    /// Record one operation's locality class.
+    pub fn count_locality(&self, from: &EpId, to: &EpId) {
+        if from.same_node(to) {
+            self.intra_node_ops.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.inter_node_ops.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Copy the counters out.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        TrafficSnapshot {
+            sends: self.sends.load(Ordering::Relaxed),
+            send_bytes: self.send_bytes.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            read_bytes: self.read_bytes.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            write_bytes: self.write_bytes.load(Ordering::Relaxed),
+            cas_ops: self.cas_ops.load(Ordering::Relaxed),
+            fadd_ops: self.fadd_ops.load(Ordering::Relaxed),
+            intra_node_ops: self.intra_node_ops.load(Ordering::Relaxed),
+            inter_node_ops: self.inter_node_ops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`TrafficStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficSnapshot {
+    /// Two-sided messages sent.
+    pub sends: u64,
+    /// Bytes carried by two-sided messages.
+    pub send_bytes: u64,
+    /// One-sided reads issued.
+    pub reads: u64,
+    /// Bytes fetched by one-sided reads.
+    pub read_bytes: u64,
+    /// One-sided writes issued.
+    pub writes: u64,
+    /// Bytes pushed by one-sided writes.
+    pub write_bytes: u64,
+    /// Remote atomic CAS operations.
+    pub cas_ops: u64,
+    /// Remote atomic fetch-add operations.
+    pub fadd_ops: u64,
+    /// Same-node operations.
+    pub intra_node_ops: u64,
+    /// Cross-node operations.
+    pub inter_node_ops: u64,
+}
+
+impl TrafficSnapshot {
+    /// Total remote "packets" (every one-sided or two-sided op counts one
+    /// round on the wire; reads/CAS imply the response too).
+    pub fn total_ops(&self) -> u64 {
+        self.sends + self.reads + self.writes + self.cas_ops + self.fadd_ops
+    }
+}
+
+/// Injected latency/bandwidth model so the *relative* intra/inter-node cost
+/// structure of the Ares testbed is observable in real-time benches.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// One-way latency for intra-node operations.
+    pub intra_node: Duration,
+    /// One-way latency for inter-node operations.
+    pub inter_node: Duration,
+    /// Per-byte cost for inter-node payloads (models link bandwidth);
+    /// zero disables the bandwidth term.
+    pub inter_node_per_byte_ns: u64,
+}
+
+impl LatencyModel {
+    /// No injected delay (the default).
+    pub const NONE: LatencyModel = LatencyModel {
+        intra_node: Duration::ZERO,
+        inter_node: Duration::ZERO,
+        inter_node_per_byte_ns: 0,
+    };
+
+    /// Delay appropriate for an op from `from` to `to` carrying `bytes`.
+    pub fn delay(&self, from: &EpId, to: &EpId, bytes: usize) -> Duration {
+        if from.same_node(to) {
+            self.intra_node
+        } else {
+            self.inter_node + Duration::from_nanos(self.inter_node_per_byte_ns * bytes as u64)
+        }
+    }
+
+    /// Busy-wait/sleep for the modeled delay.
+    pub fn apply(&self, from: &EpId, to: &EpId, bytes: usize) {
+        let d = self.delay(from, to, bytes);
+        if d > Duration::ZERO {
+            if d < Duration::from_micros(50) {
+                let start = std::time::Instant::now();
+                while start.elapsed() < d {
+                    std::hint::spin_loop();
+                }
+            } else {
+                std::thread::sleep(d);
+            }
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::NONE
+    }
+}
+
+/// The OFI-provider surface shared by HCL and BCL.
+pub trait Fabric: Send + Sync {
+    /// Register an endpoint so it can receive messages.
+    fn register_endpoint(&self, ep: EpId) -> FabricResult<()>;
+
+    /// Expose a memory segment for one-sided access under `key`.
+    fn register_region(&self, key: RegionKey, seg: std::sync::Arc<hcl_mem::Segment>)
+        -> FabricResult<()>;
+
+    /// Two-sided message send (`RDMA_SEND` into the target's request queue).
+    fn send(&self, from: EpId, to: EpId, msg: Bytes) -> FabricResult<()>;
+
+    /// Receive the next message for `ep`; `None` on timeout.
+    fn recv(&self, ep: EpId, timeout: Option<Duration>) -> FabricResult<Option<(EpId, Bytes)>>;
+
+    /// One-sided read of `len` bytes at `off` in the remote region.
+    fn read(&self, from: EpId, key: RegionKey, off: usize, len: usize) -> FabricResult<Vec<u8>>;
+
+    /// One-sided write of `data` at `off` in the remote region.
+    fn write(&self, from: EpId, key: RegionKey, off: usize, data: &[u8]) -> FabricResult<()>;
+
+    /// Remote atomic compare-and-swap on an 8-aligned u64; returns the
+    /// previous value.
+    fn cas64(&self, from: EpId, key: RegionKey, off: usize, expected: u64, new: u64)
+        -> FabricResult<u64>;
+
+    /// Remote atomic fetch-add on an 8-aligned u64; returns the previous
+    /// value.
+    fn fadd64(&self, from: EpId, key: RegionKey, off: usize, delta: u64) -> FabricResult<u64>;
+
+    /// Atomic read of an 8-aligned u64 (one-sided).
+    fn read_u64(&self, from: EpId, key: RegionKey, off: usize) -> FabricResult<u64> {
+        let b = self.read(from, key, off, 8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(&b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Atomic store of an 8-aligned u64 (one-sided).
+    fn write_u64(&self, from: EpId, key: RegionKey, off: usize, val: u64) -> FabricResult<()> {
+        self.write(from, key, off, &val.to_le_bytes())
+    }
+
+    /// Cumulative traffic counters.
+    fn stats(&self) -> TrafficSnapshot;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epid_same_node() {
+        let a = EpId::new(0, 0);
+        let b = EpId::new(0, 5);
+        let c = EpId::new(1, 6);
+        assert!(a.same_node(&b));
+        assert!(!a.same_node(&c));
+    }
+
+    #[test]
+    fn latency_model_classes() {
+        let m = LatencyModel {
+            intra_node: Duration::from_nanos(100),
+            inter_node: Duration::from_micros(2),
+            inter_node_per_byte_ns: 1,
+        };
+        let a = EpId::new(0, 0);
+        let b = EpId::new(0, 1);
+        let c = EpId::new(1, 2);
+        assert_eq!(m.delay(&a, &b, 1000), Duration::from_nanos(100));
+        assert_eq!(m.delay(&a, &c, 1000), Duration::from_micros(3));
+        assert_eq!(LatencyModel::NONE.delay(&a, &c, 1 << 20), Duration::ZERO);
+    }
+
+    #[test]
+    fn traffic_snapshot_totals() {
+        let s = TrafficStats::default();
+        s.sends.store(3, Ordering::Relaxed);
+        s.reads.store(2, Ordering::Relaxed);
+        s.cas_ops.store(5, Ordering::Relaxed);
+        assert_eq!(s.snapshot().total_ops(), 10);
+    }
+}

@@ -1,0 +1,291 @@
+//! In-process provider: one-sided ops act directly on registered segments.
+//!
+//! This is the highest-fidelity emulation of RDMA semantics available
+//! without the hardware: the *initiating* thread performs the memory access
+//! on the target's registered segment, so — exactly as with a real
+//! RDMA-capable NIC — no thread of the target rank participates. Two-sided
+//! sends go through per-endpoint unbounded queues (the "request buffer
+//! residing at the server's main memory" of Fig. 2).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use hcl_mem::Segment;
+use parking_lot::RwLock;
+
+use crate::{
+    EpId, Fabric, FabricError, FabricResult, LatencyModel, RegionKey, TrafficSnapshot,
+    TrafficStats,
+};
+
+struct Endpoint {
+    tx: Sender<(EpId, Bytes)>,
+    rx: Receiver<(EpId, Bytes)>,
+}
+
+/// The in-process fabric provider.
+pub struct MemoryFabric {
+    endpoints: RwLock<HashMap<EpId, Endpoint>>,
+    regions: RwLock<HashMap<RegionKey, Arc<Segment>>>,
+    stats: TrafficStats,
+    latency: LatencyModel,
+}
+
+impl Default for MemoryFabric {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemoryFabric {
+    /// A fabric with no injected latency.
+    pub fn new() -> Self {
+        Self::with_latency(LatencyModel::NONE)
+    }
+
+    /// A fabric that injects the given latency model on every operation.
+    pub fn with_latency(latency: LatencyModel) -> Self {
+        MemoryFabric {
+            endpoints: RwLock::new(HashMap::new()),
+            regions: RwLock::new(HashMap::new()),
+            stats: TrafficStats::default(),
+            latency,
+        }
+    }
+
+    fn segment(&self, key: &RegionKey) -> FabricResult<Arc<Segment>> {
+        self.regions.read().get(key).cloned().ok_or(FabricError::UnknownRegion(*key))
+    }
+}
+
+impl Fabric for MemoryFabric {
+    fn register_endpoint(&self, ep: EpId) -> FabricResult<()> {
+        let mut eps = self.endpoints.write();
+        eps.entry(ep).or_insert_with(|| {
+            let (tx, rx) = unbounded();
+            Endpoint { tx, rx }
+        });
+        Ok(())
+    }
+
+    fn register_region(&self, key: RegionKey, seg: Arc<Segment>) -> FabricResult<()> {
+        self.regions.write().insert(key, seg);
+        Ok(())
+    }
+
+    fn send(&self, from: EpId, to: EpId, msg: Bytes) -> FabricResult<()> {
+        self.latency.apply(&from, &to, msg.len());
+        self.stats.sends.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats.send_bytes.fetch_add(msg.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        self.stats.count_locality(&from, &to);
+        let eps = self.endpoints.read();
+        let ep = eps.get(&to).ok_or(FabricError::UnknownEndpoint(to))?;
+        ep.tx.send((from, msg)).map_err(|_| FabricError::Closed)
+    }
+
+    fn recv(&self, ep: EpId, timeout: Option<Duration>) -> FabricResult<Option<(EpId, Bytes)>> {
+        let rx = {
+            let eps = self.endpoints.read();
+            eps.get(&ep).ok_or(FabricError::UnknownEndpoint(ep))?.rx.clone()
+        };
+        match timeout {
+            None => rx.recv().map(Some).map_err(|_| FabricError::Closed),
+            Some(t) => match rx.recv_timeout(t) {
+                Ok(m) => Ok(Some(m)),
+                Err(RecvTimeoutError::Timeout) => Ok(None),
+                Err(RecvTimeoutError::Disconnected) => Err(FabricError::Closed),
+            },
+        }
+    }
+
+    fn read(&self, from: EpId, key: RegionKey, off: usize, len: usize) -> FabricResult<Vec<u8>> {
+        self.latency.apply(&from, &key.ep, len);
+        self.stats.reads.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats.read_bytes.fetch_add(len as u64, std::sync::atomic::Ordering::Relaxed);
+        self.stats.count_locality(&from, &key.ep);
+        let seg = self.segment(&key)?;
+        let mut buf = vec![0u8; len];
+        seg.read(off, &mut buf)?;
+        Ok(buf)
+    }
+
+    fn write(&self, from: EpId, key: RegionKey, off: usize, data: &[u8]) -> FabricResult<()> {
+        self.latency.apply(&from, &key.ep, data.len());
+        self.stats.writes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats.write_bytes.fetch_add(data.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        self.stats.count_locality(&from, &key.ep);
+        let seg = self.segment(&key)?;
+        seg.write(off, data)?;
+        Ok(())
+    }
+
+    fn cas64(
+        &self,
+        from: EpId,
+        key: RegionKey,
+        off: usize,
+        expected: u64,
+        new: u64,
+    ) -> FabricResult<u64> {
+        self.latency.apply(&from, &key.ep, 8);
+        self.stats.cas_ops.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats.count_locality(&from, &key.ep);
+        let seg = self.segment(&key)?;
+        Ok(seg.cas_u64(off, expected, new)?)
+    }
+
+    fn fadd64(&self, from: EpId, key: RegionKey, off: usize, delta: u64) -> FabricResult<u64> {
+        self.latency.apply(&from, &key.ep, 8);
+        self.stats.fadd_ops.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats.count_locality(&from, &key.ep);
+        let seg = self.segment(&key)?;
+        Ok(seg.fadd_u64(off, delta)?)
+    }
+
+    fn stats(&self) -> TrafficSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Arc<MemoryFabric>, EpId, EpId, RegionKey) {
+        let f = Arc::new(MemoryFabric::new());
+        let a = EpId::new(0, 0);
+        let b = EpId::new(1, 1);
+        f.register_endpoint(a).unwrap();
+        f.register_endpoint(b).unwrap();
+        let key = RegionKey { ep: b, region: 0 };
+        f.register_region(key, Segment::new(4096)).unwrap();
+        (f, a, b, key)
+    }
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (f, a, b, _) = setup();
+        f.send(a, b, Bytes::from_static(b"hello")).unwrap();
+        let (src, msg) = f.recv(b, Some(Duration::from_secs(1))).unwrap().unwrap();
+        assert_eq!(src, a);
+        assert_eq!(&msg[..], b"hello");
+    }
+
+    #[test]
+    fn recv_timeout_returns_none() {
+        let (f, _a, b, _) = setup();
+        let got = f.recv(b, Some(Duration::from_millis(10))).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn unknown_endpoint_rejected() {
+        let (f, a, _b, _) = setup();
+        let ghost = EpId::new(9, 9);
+        assert!(matches!(
+            f.send(a, ghost, Bytes::new()),
+            Err(FabricError::UnknownEndpoint(_))
+        ));
+        assert!(matches!(f.recv(ghost, None), Err(FabricError::UnknownEndpoint(_))));
+    }
+
+    #[test]
+    fn one_sided_read_write() {
+        let (f, a, _b, key) = setup();
+        f.write(a, key, 64, b"remote write").unwrap();
+        let got = f.read(a, key, 64, 12).unwrap();
+        assert_eq!(&got, b"remote write");
+    }
+
+    #[test]
+    fn one_sided_atomics() {
+        let (f, a, _b, key) = setup();
+        f.write_u64(a, key, 0, 10).unwrap();
+        assert_eq!(f.cas64(a, key, 0, 10, 20).unwrap(), 10);
+        assert_eq!(f.cas64(a, key, 0, 10, 30).unwrap(), 20); // failed CAS
+        assert_eq!(f.fadd64(a, key, 0, 5).unwrap(), 20);
+        assert_eq!(f.read_u64(a, key, 0).unwrap(), 25);
+    }
+
+    #[test]
+    fn unknown_region_rejected() {
+        let (f, a, b, _) = setup();
+        let ghost = RegionKey { ep: b, region: 77 };
+        assert!(matches!(f.read(a, ghost, 0, 8), Err(FabricError::UnknownRegion(_))));
+    }
+
+    #[test]
+    fn stats_track_classes_and_locality() {
+        let (f, a, b, key) = setup();
+        // a (node 0) -> b (node 1): inter-node.
+        f.send(a, b, Bytes::from_static(b"xyz")).unwrap();
+        f.write(a, key, 0, &[0u8; 16]).unwrap();
+        f.read(a, key, 0, 16).unwrap();
+        f.cas64(a, key, 0, 0, 1).unwrap();
+        // b -> own region: intra-node.
+        f.read(b, key, 0, 4).unwrap();
+        let s = f.stats();
+        assert_eq!(s.sends, 1);
+        assert_eq!(s.send_bytes, 3);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.write_bytes, 16);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.cas_ops, 1);
+        assert_eq!(s.inter_node_ops, 4);
+        assert_eq!(s.intra_node_ops, 1);
+    }
+
+    #[test]
+    fn concurrent_remote_cas_serializes() {
+        let (f, _a, _b, key) = setup();
+        let clients: Vec<EpId> = (0..8).map(|r| EpId::new(2, 10 + r)).collect();
+        for c in &clients {
+            f.register_endpoint(*c).unwrap();
+        }
+        std::thread::scope(|s| {
+            for &c in &clients {
+                let f = Arc::clone(&f);
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        loop {
+                            let cur = f.read_u64(c, key, 8).unwrap();
+                            if f.cas64(c, key, 8, cur, cur + 1).unwrap() == cur {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(f.read_u64(clients[0], key, 8).unwrap(), 8_000);
+    }
+
+    #[test]
+    fn latency_model_slows_inter_node_ops() {
+        let f = MemoryFabric::with_latency(LatencyModel {
+            intra_node: Duration::ZERO,
+            inter_node: Duration::from_micros(200),
+            inter_node_per_byte_ns: 0,
+        });
+        let a = EpId::new(0, 0);
+        let local = RegionKey { ep: a, region: 0 };
+        let remote_ep = EpId::new(1, 1);
+        let remote = RegionKey { ep: remote_ep, region: 0 };
+        f.register_region(local, Segment::new(64)).unwrap();
+        f.register_region(remote, Segment::new(64)).unwrap();
+        let t0 = std::time::Instant::now();
+        for _ in 0..20 {
+            f.read(a, local, 0, 8).unwrap();
+        }
+        let intra = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        for _ in 0..20 {
+            f.read(a, remote, 0, 8).unwrap();
+        }
+        let inter = t1.elapsed();
+        assert!(inter > intra + Duration::from_millis(2), "intra {intra:?} inter {inter:?}");
+    }
+}

@@ -1,0 +1,535 @@
+//! TCP provider: one-sided verbs served by per-connection agent threads.
+//!
+//! The repro plan's "emulate RPC over TCP" path. Each registered endpoint
+//! owns a loopback listener; a per-connection *agent thread* decodes verb
+//! frames and executes them against the registered segments — playing
+//! exactly the role the RDMA NIC plays in Fig. 2 (the target rank's own
+//! threads never participate in one-sided ops). Two-sided sends are
+//! delivered into the destination endpoint's receive queue by the agent.
+//!
+//! Wire format (all little-endian):
+//!
+//! ```text
+//! SEND : [0u8][from:8][len:u32][payload]                      (no reply)
+//! READ : [1u8][key:12][off:u64][len:u64]       -> [st:u8][len:u32][data]
+//! WRITE: [2u8][key:12][off:u64][len:u32][data] -> [st:u8]
+//! CAS  : [3u8][key:12][off:u64][exp:u64][new:u64] -> [st:u8][prev:u64]
+//! FADD : [4u8][key:12][off:u64][delta:u64]     -> [st:u8][prev:u64]
+//! ```
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use hcl_mem::Segment;
+use parking_lot::{Mutex, RwLock};
+
+use crate::{
+    EpId, Fabric, FabricError, FabricResult, RegionKey, TrafficSnapshot, TrafficStats,
+};
+
+const OP_SEND: u8 = 0;
+const OP_READ: u8 = 1;
+const OP_WRITE: u8 = 2;
+const OP_CAS: u8 = 3;
+const OP_FADD: u8 = 4;
+
+const ST_OK: u8 = 0;
+const ST_ERR: u8 = 1;
+
+fn io_err(e: std::io::Error) -> FabricError {
+    FabricError::Io(e.to_string())
+}
+
+fn put_ep(buf: &mut Vec<u8>, ep: EpId) {
+    buf.extend_from_slice(&ep.node.to_le_bytes());
+    buf.extend_from_slice(&ep.rank.to_le_bytes());
+}
+
+fn get_ep(b: &[u8]) -> EpId {
+    EpId {
+        node: u32::from_le_bytes(b[0..4].try_into().unwrap()),
+        rank: u32::from_le_bytes(b[4..8].try_into().unwrap()),
+    }
+}
+
+fn put_key(buf: &mut Vec<u8>, key: RegionKey) {
+    put_ep(buf, key.ep);
+    buf.extend_from_slice(&key.region.to_le_bytes());
+}
+
+fn get_key(b: &[u8]) -> RegionKey {
+    RegionKey { ep: get_ep(&b[0..8]), region: u32::from_le_bytes(b[8..12].try_into().unwrap()) }
+}
+
+struct EndpointState {
+    tx: Sender<(EpId, Bytes)>,
+    rx: Receiver<(EpId, Bytes)>,
+    addr: SocketAddr,
+}
+
+struct Inner {
+    endpoints: RwLock<HashMap<EpId, EndpointState>>,
+    regions: RwLock<HashMap<RegionKey, Arc<Segment>>>,
+    stats: TrafficStats,
+    stop: AtomicBool,
+}
+
+impl Inner {
+    /// Agent-side execution of one decoded frame; returns the reply bytes
+    /// (empty for SEND).
+    fn serve(&self, op: u8, body: &[u8]) -> Vec<u8> {
+        match op {
+            OP_SEND => {
+                let from = get_ep(&body[0..8]);
+                let len = u32::from_le_bytes(body[8..12].try_into().unwrap()) as usize;
+                let to = get_ep(&body[12..20]);
+                let payload = Bytes::copy_from_slice(&body[20..20 + len]);
+                if let Some(ep) = self.endpoints.read().get(&to) {
+                    let _ = ep.tx.send((from, payload));
+                }
+                Vec::new()
+            }
+            OP_READ => {
+                let key = get_key(&body[0..12]);
+                let off = u64::from_le_bytes(body[12..20].try_into().unwrap()) as usize;
+                let len = u64::from_le_bytes(body[20..28].try_into().unwrap()) as usize;
+                match self.regions.read().get(&key) {
+                    Some(seg) => {
+                        let mut data = vec![0u8; len];
+                        match seg.read(off, &mut data) {
+                            Ok(()) => {
+                                let mut out = Vec::with_capacity(5 + len);
+                                out.push(ST_OK);
+                                out.extend_from_slice(&(len as u32).to_le_bytes());
+                                out.extend_from_slice(&data);
+                                out
+                            }
+                            Err(_) => vec![ST_ERR, 0, 0, 0, 0],
+                        }
+                    }
+                    None => vec![ST_ERR, 0, 0, 0, 0],
+                }
+            }
+            OP_WRITE => {
+                let key = get_key(&body[0..12]);
+                let off = u64::from_le_bytes(body[12..20].try_into().unwrap()) as usize;
+                let len = u32::from_le_bytes(body[20..24].try_into().unwrap()) as usize;
+                let data = &body[24..24 + len];
+                match self.regions.read().get(&key) {
+                    Some(seg) if seg.write(off, data).is_ok() => vec![ST_OK],
+                    _ => vec![ST_ERR],
+                }
+            }
+            OP_CAS | OP_FADD => {
+                let key = get_key(&body[0..12]);
+                let off = u64::from_le_bytes(body[12..20].try_into().unwrap()) as usize;
+                let a = u64::from_le_bytes(body[20..28].try_into().unwrap());
+                let result = self.regions.read().get(&key).ok_or(()).and_then(|seg| {
+                    if op == OP_CAS {
+                        let b = u64::from_le_bytes(body[28..36].try_into().unwrap());
+                        seg.cas_u64(off, a, b).map_err(|_| ())
+                    } else {
+                        seg.fadd_u64(off, a).map_err(|_| ())
+                    }
+                });
+                match result {
+                    Ok(prev) => {
+                        let mut out = vec![ST_OK];
+                        out.extend_from_slice(&prev.to_le_bytes());
+                        out
+                    }
+                    Err(()) => vec![ST_ERR, 0, 0, 0, 0, 0, 0, 0, 0],
+                }
+            }
+            _ => vec![ST_ERR],
+        }
+    }
+}
+
+/// The TCP fabric provider.
+pub struct TcpFabric {
+    inner: Arc<Inner>,
+    conns: Mutex<HashMap<(EpId, EpId), Arc<Mutex<TcpStream>>>>,
+    listeners: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Default for TcpFabric {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TcpFabric {
+    /// Create an empty TCP fabric.
+    pub fn new() -> Self {
+        TcpFabric {
+            inner: Arc::new(Inner {
+                endpoints: RwLock::new(HashMap::new()),
+                regions: RwLock::new(HashMap::new()),
+                stats: TrafficStats::default(),
+                stop: AtomicBool::new(false),
+            }),
+            conns: Mutex::new(HashMap::new()),
+            listeners: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn connect(&self, from: EpId, to: EpId) -> FabricResult<Arc<Mutex<TcpStream>>> {
+        if let Some(c) = self.conns.lock().get(&(from, to)) {
+            return Ok(Arc::clone(c));
+        }
+        let addr = {
+            let eps = self.inner.endpoints.read();
+            eps.get(&to).ok_or(FabricError::UnknownEndpoint(to))?.addr
+        };
+        let stream = TcpStream::connect(addr).map_err(io_err)?;
+        stream.set_nodelay(true).map_err(io_err)?;
+        let conn = Arc::new(Mutex::new(stream));
+        self.conns.lock().insert((from, to), Arc::clone(&conn));
+        Ok(conn)
+    }
+
+    /// Issue a framed request; when `reply_len_hint` is `None` the op has no
+    /// reply (SEND); otherwise read the status byte and reply body.
+    fn roundtrip(
+        &self,
+        from: EpId,
+        to: EpId,
+        frame: &[u8],
+        has_reply: bool,
+    ) -> FabricResult<Vec<u8>> {
+        let conn = self.connect(from, to)?;
+        let mut stream = conn.lock();
+        stream.write_all(frame).map_err(io_err)?;
+        if !has_reply {
+            return Ok(Vec::new());
+        }
+        let mut st = [0u8; 1];
+        stream.read_exact(&mut st).map_err(io_err)?;
+        if st[0] != ST_OK {
+            // Drain the fixed error tails by opcode.
+            let tail = match frame[0] {
+                OP_READ => 4,
+                OP_CAS | OP_FADD => 8,
+                _ => 0,
+            };
+            let mut sink = vec![0u8; tail];
+            let _ = stream.read_exact(&mut sink);
+            return Err(FabricError::Io("remote op failed".into()));
+        }
+        match frame[0] {
+            OP_READ => {
+                let mut lenb = [0u8; 4];
+                stream.read_exact(&mut lenb).map_err(io_err)?;
+                let len = u32::from_le_bytes(lenb) as usize;
+                let mut data = vec![0u8; len];
+                stream.read_exact(&mut data).map_err(io_err)?;
+                Ok(data)
+            }
+            OP_CAS | OP_FADD => {
+                let mut prev = [0u8; 8];
+                stream.read_exact(&mut prev).map_err(io_err)?;
+                Ok(prev.to_vec())
+            }
+            OP_WRITE => Ok(Vec::new()),
+            _ => Ok(Vec::new()),
+        }
+    }
+}
+
+/// Read one frame from the agent side; returns `(opcode, body)`.
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<(u8, Vec<u8>)>> {
+    let mut op = [0u8; 1];
+    match stream.read_exact(&mut op) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let body = match op[0] {
+        OP_SEND => {
+            // [from:8][len:4][to:8][payload]
+            let mut hdr = [0u8; 12];
+            stream.read_exact(&mut hdr)?;
+            let len = u32::from_le_bytes(hdr[8..12].try_into().unwrap()) as usize;
+            let mut rest = vec![0u8; 8 + len];
+            stream.read_exact(&mut rest)?;
+            let mut body = hdr.to_vec();
+            body.extend_from_slice(&rest);
+            body
+        }
+        OP_READ => {
+            let mut b = vec![0u8; 12 + 16];
+            stream.read_exact(&mut b)?;
+            b
+        }
+        OP_WRITE => {
+            let mut hdr = vec![0u8; 12 + 8 + 4];
+            stream.read_exact(&mut hdr)?;
+            let len = u32::from_le_bytes(hdr[20..24].try_into().unwrap()) as usize;
+            let mut data = vec![0u8; len];
+            stream.read_exact(&mut data)?;
+            hdr.extend_from_slice(&data);
+            hdr
+        }
+        OP_CAS => {
+            let mut b = vec![0u8; 12 + 24];
+            stream.read_exact(&mut b)?;
+            b
+        }
+        OP_FADD => {
+            let mut b = vec![0u8; 12 + 16];
+            stream.read_exact(&mut b)?;
+            b
+        }
+        _ => return Err(std::io::Error::other("bad opcode")),
+    };
+    Ok(Some((op[0], body)))
+}
+
+impl Fabric for TcpFabric {
+    fn register_endpoint(&self, ep: EpId) -> FabricResult<()> {
+        {
+            let eps = self.inner.endpoints.read();
+            if eps.contains_key(&ep) {
+                return Ok(());
+            }
+        }
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(io_err)?;
+        let addr = listener.local_addr().map_err(io_err)?;
+        let (tx, rx) = unbounded();
+        self.inner.endpoints.write().insert(ep, EndpointState { tx, rx, addr });
+        let inner = Arc::clone(&self.inner);
+        let handle = std::thread::Builder::new()
+            .name(format!("hcl-tcp-agent-{ep}"))
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if inner.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(mut stream) = stream else { continue };
+                    let inner = Arc::clone(&inner);
+                    // One agent thread per connection: the "NIC core".
+                    std::thread::Builder::new()
+                        .name(format!("hcl-tcp-nic-{ep}"))
+                        .spawn(move || {
+                            let _ = stream.set_nodelay(true);
+                            while let Ok(Some((op, body))) = read_frame(&mut stream) {
+                                let reply = inner.serve(op, &body);
+                                if !reply.is_empty() && stream.write_all(&reply).is_err() {
+                                    break;
+                                }
+                            }
+                        })
+                        .expect("spawn agent thread");
+                }
+            })
+            .expect("spawn listener thread");
+        self.listeners.lock().push(handle);
+        Ok(())
+    }
+
+    fn register_region(&self, key: RegionKey, seg: Arc<Segment>) -> FabricResult<()> {
+        self.inner.regions.write().insert(key, seg);
+        Ok(())
+    }
+
+    fn send(&self, from: EpId, to: EpId, msg: Bytes) -> FabricResult<()> {
+        self.inner.stats.sends.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.send_bytes.fetch_add(msg.len() as u64, Ordering::Relaxed);
+        self.inner.stats.count_locality(&from, &to);
+        let mut frame = Vec::with_capacity(21 + msg.len());
+        frame.push(OP_SEND);
+        put_ep(&mut frame, from);
+        frame.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+        put_ep(&mut frame, to);
+        frame.extend_from_slice(&msg);
+        self.roundtrip(from, to, &frame, false)?;
+        Ok(())
+    }
+
+    fn recv(&self, ep: EpId, timeout: Option<Duration>) -> FabricResult<Option<(EpId, Bytes)>> {
+        let rx = {
+            let eps = self.inner.endpoints.read();
+            eps.get(&ep).ok_or(FabricError::UnknownEndpoint(ep))?.rx.clone()
+        };
+        match timeout {
+            None => rx.recv().map(Some).map_err(|_| FabricError::Closed),
+            Some(t) => match rx.recv_timeout(t) {
+                Ok(m) => Ok(Some(m)),
+                Err(RecvTimeoutError::Timeout) => Ok(None),
+                Err(RecvTimeoutError::Disconnected) => Err(FabricError::Closed),
+            },
+        }
+    }
+
+    fn read(&self, from: EpId, key: RegionKey, off: usize, len: usize) -> FabricResult<Vec<u8>> {
+        self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.read_bytes.fetch_add(len as u64, Ordering::Relaxed);
+        self.inner.stats.count_locality(&from, &key.ep);
+        let mut frame = Vec::with_capacity(29);
+        frame.push(OP_READ);
+        put_key(&mut frame, key);
+        frame.extend_from_slice(&(off as u64).to_le_bytes());
+        frame.extend_from_slice(&(len as u64).to_le_bytes());
+        self.roundtrip(from, key.ep, &frame, true)
+    }
+
+    fn write(&self, from: EpId, key: RegionKey, off: usize, data: &[u8]) -> FabricResult<()> {
+        self.inner.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.write_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.inner.stats.count_locality(&from, &key.ep);
+        let mut frame = Vec::with_capacity(25 + data.len());
+        frame.push(OP_WRITE);
+        put_key(&mut frame, key);
+        frame.extend_from_slice(&(off as u64).to_le_bytes());
+        frame.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        frame.extend_from_slice(data);
+        self.roundtrip(from, key.ep, &frame, true)?;
+        Ok(())
+    }
+
+    fn cas64(
+        &self,
+        from: EpId,
+        key: RegionKey,
+        off: usize,
+        expected: u64,
+        new: u64,
+    ) -> FabricResult<u64> {
+        self.inner.stats.cas_ops.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.count_locality(&from, &key.ep);
+        let mut frame = Vec::with_capacity(37);
+        frame.push(OP_CAS);
+        put_key(&mut frame, key);
+        frame.extend_from_slice(&(off as u64).to_le_bytes());
+        frame.extend_from_slice(&expected.to_le_bytes());
+        frame.extend_from_slice(&new.to_le_bytes());
+        let reply = self.roundtrip(from, key.ep, &frame, true)?;
+        Ok(u64::from_le_bytes(reply[..8].try_into().unwrap()))
+    }
+
+    fn fadd64(&self, from: EpId, key: RegionKey, off: usize, delta: u64) -> FabricResult<u64> {
+        self.inner.stats.fadd_ops.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.count_locality(&from, &key.ep);
+        let mut frame = Vec::with_capacity(29);
+        frame.push(OP_FADD);
+        put_key(&mut frame, key);
+        frame.extend_from_slice(&(off as u64).to_le_bytes());
+        frame.extend_from_slice(&delta.to_le_bytes());
+        let reply = self.roundtrip(from, key.ep, &frame, true)?;
+        Ok(u64::from_le_bytes(reply[..8].try_into().unwrap()))
+    }
+
+    fn stats(&self) -> TrafficSnapshot {
+        self.inner.stats.snapshot()
+    }
+}
+
+impl Drop for TcpFabric {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::Release);
+        // Close client connections so agent threads see EOF and exit.
+        self.conns.lock().clear();
+        // Wake every listener's accept() with a dummy connection.
+        let addrs: Vec<SocketAddr> =
+            self.inner.endpoints.read().values().map(|e| e.addr).collect();
+        for addr in addrs {
+            let _ = TcpStream::connect(addr);
+        }
+        for h in self.listeners.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Arc<TcpFabric>, EpId, EpId, RegionKey) {
+        let f = Arc::new(TcpFabric::new());
+        let a = EpId::new(0, 0);
+        let b = EpId::new(1, 1);
+        f.register_endpoint(a).unwrap();
+        f.register_endpoint(b).unwrap();
+        let key = RegionKey { ep: b, region: 0 };
+        f.register_region(key, Segment::new(4096)).unwrap();
+        (f, a, b, key)
+    }
+
+    #[test]
+    fn send_recv_over_tcp() {
+        let (f, a, b, _) = setup();
+        f.send(a, b, Bytes::from_static(b"over the wire")).unwrap();
+        let (src, msg) = f.recv(b, Some(Duration::from_secs(5))).unwrap().unwrap();
+        assert_eq!(src, a);
+        assert_eq!(&msg[..], b"over the wire");
+    }
+
+    #[test]
+    fn one_sided_ops_over_tcp() {
+        let (f, a, _b, key) = setup();
+        f.write(a, key, 128, b"tcp rma write").unwrap();
+        assert_eq!(&f.read(a, key, 128, 13).unwrap(), b"tcp rma write");
+        f.write_u64(a, key, 0, 100).unwrap();
+        assert_eq!(f.cas64(a, key, 0, 100, 200).unwrap(), 100);
+        assert_eq!(f.fadd64(a, key, 0, 1).unwrap(), 200);
+        assert_eq!(f.read_u64(a, key, 0).unwrap(), 201);
+    }
+
+    #[test]
+    fn unknown_region_fails_cleanly() {
+        let (f, a, b, _) = setup();
+        let ghost = RegionKey { ep: b, region: 9 };
+        assert!(f.read(a, ghost, 0, 8).is_err());
+        // The connection must still be usable after an error reply.
+        let ok = RegionKey { ep: b, region: 0 };
+        f.write(a, ok, 0, &[1, 2, 3]).unwrap();
+        assert_eq!(f.read(a, ok, 0, 3).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn concurrent_clients_cas_serialize() {
+        let (f, _a, _b, key) = setup();
+        let clients: Vec<EpId> = (0..4).map(|r| EpId::new(2, 10 + r)).collect();
+        for c in &clients {
+            f.register_endpoint(*c).unwrap();
+        }
+        std::thread::scope(|s| {
+            for &c in &clients {
+                let f = Arc::clone(&f);
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        f.fadd64(c, key, 8, 1).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(f.read_u64(clients[0], key, 8).unwrap(), 800);
+    }
+
+    #[test]
+    fn large_payload_roundtrip() {
+        let (f, a, _b, key) = setup();
+        let seg = { f.inner.regions.read().get(&key).unwrap().clone() };
+        seg.grow(1 << 20);
+        let data: Vec<u8> = (0..(1 << 20)).map(|i| (i % 251) as u8).collect();
+        f.write(a, key, 0, &data).unwrap();
+        assert_eq!(f.read(a, key, 0, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn drop_shuts_down_threads() {
+        let (f, a, b, key) = setup();
+        f.write(a, key, 0, &[9]).unwrap();
+        f.send(a, b, Bytes::from_static(b"x")).unwrap();
+        let f = Arc::try_unwrap(f).map_err(|_| ()).expect("sole owner");
+        drop(f); // must not hang
+    }
+}

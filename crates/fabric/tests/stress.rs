@@ -1,0 +1,138 @@
+//! Stress/interleaving tests of both fabric providers: many endpoints,
+//! mixed two-sided and one-sided traffic, full-mesh messaging.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use hcl_fabric::memory::MemoryFabric;
+use hcl_fabric::tcp::TcpFabric;
+use hcl_fabric::{EpId, Fabric, RegionKey};
+use hcl_mem::Segment;
+
+fn full_mesh(fabric: Arc<dyn Fabric>, nodes: u32, ranks_per_node: u32) {
+    let eps: Vec<EpId> = (0..nodes)
+        .flat_map(|n| {
+            (0..ranks_per_node).map(move |r| EpId { node: n, rank: n * ranks_per_node + r })
+        })
+        .collect();
+    for ep in &eps {
+        fabric.register_endpoint(*ep).unwrap();
+    }
+    // One region per endpoint.
+    for ep in &eps {
+        fabric
+            .register_region(RegionKey { ep: *ep, region: 1 }, Segment::new(4096))
+            .unwrap();
+    }
+    let msgs_per_pair = 20u64;
+    std::thread::scope(|s| {
+        // Senders: every endpoint sends to every other.
+        for &from in &eps {
+            let fabric = Arc::clone(&fabric);
+            let eps = eps.clone();
+            s.spawn(move || {
+                for &to in &eps {
+                    if to == from {
+                        continue;
+                    }
+                    for i in 0..msgs_per_pair {
+                        let payload =
+                            format!("{}->{} #{i}", from.rank, to.rank).into_bytes();
+                        fabric.send(from, to, Bytes::from(payload)).unwrap();
+                        // Interleave one-sided traffic on the target region.
+                        fabric
+                            .fadd64(from, RegionKey { ep: to, region: 1 }, 0, 1)
+                            .unwrap();
+                    }
+                }
+            });
+        }
+        // Receivers: drain expected message counts.
+        for &me in &eps {
+            let fabric = Arc::clone(&fabric);
+            let expect = (eps.len() as u64 - 1) * msgs_per_pair;
+            s.spawn(move || {
+                let mut got = 0u64;
+                while got < expect {
+                    match fabric.recv(me, Some(Duration::from_secs(20))).unwrap() {
+                        Some((src, payload)) => {
+                            let text = String::from_utf8(payload.to_vec()).unwrap();
+                            assert!(
+                                text.starts_with(&format!("{}->", src.rank)),
+                                "message source mismatch: {text} from {src}"
+                            );
+                            got += 1;
+                        }
+                        None => panic!("timed out at {got}/{expect} messages"),
+                    }
+                }
+            });
+        }
+    });
+    // Every endpoint's counter saw exactly (eps-1) * msgs fadds.
+    for &ep in &eps {
+        let v = fabric
+            .read_u64(eps[0], RegionKey { ep, region: 1 }, 0)
+            .unwrap();
+        assert_eq!(v, (eps.len() as u64 - 1) * msgs_per_pair);
+    }
+}
+
+#[test]
+fn memory_fabric_full_mesh_stress() {
+    full_mesh(Arc::new(MemoryFabric::new()), 3, 2);
+}
+
+#[test]
+fn tcp_fabric_full_mesh_stress() {
+    full_mesh(Arc::new(TcpFabric::new()), 2, 2);
+}
+
+#[test]
+fn interleaved_writes_to_disjoint_offsets_are_exact() {
+    let fabric: Arc<dyn Fabric> = Arc::new(MemoryFabric::new());
+    let owner = EpId::new(0, 0);
+    let key = RegionKey { ep: owner, region: 0 };
+    fabric.register_region(key, Segment::new(8 * 64)).unwrap();
+    std::thread::scope(|s| {
+        for w in 0..8u32 {
+            let fabric = Arc::clone(&fabric);
+            s.spawn(move || {
+                let me = EpId::new(1, 10 + w);
+                let block = vec![w as u8 + 1; 64];
+                for _ in 0..100 {
+                    fabric.write(me, key, w as usize * 64, &block).unwrap();
+                }
+            });
+        }
+    });
+    for w in 0..8usize {
+        let got = fabric.read(EpId::new(0, 0), key, w * 64, 64).unwrap();
+        assert!(got.iter().all(|&b| b == w as u8 + 1), "writer {w} corrupted");
+    }
+}
+
+#[test]
+fn tcp_fabric_concurrent_connections_to_one_server() {
+    let fabric = Arc::new(TcpFabric::new());
+    let server = EpId::new(0, 0);
+    fabric.register_endpoint(server).unwrap();
+    let key = RegionKey { ep: server, region: 0 };
+    fabric.register_region(key, Segment::new(4096)).unwrap();
+    std::thread::scope(|s| {
+        for c in 0..12u32 {
+            let fabric = Arc::clone(&fabric);
+            s.spawn(move || {
+                let me = EpId::new(1 + c % 3, 100 + c);
+                for i in 0..100u64 {
+                    fabric.fadd64(me, key, 8, 1).unwrap();
+                    if i % 10 == 0 {
+                        fabric.write(me, key, 64 + (c as usize * 8), &i.to_le_bytes()).unwrap();
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(fabric.read_u64(server, key, 8).unwrap(), 1_200);
+}

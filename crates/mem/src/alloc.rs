@@ -1,0 +1,288 @@
+//! A coalescing free-list allocator over a [`Segment`].
+//!
+//! HCL partitions hold *variable-length* entries (§III-D: "all DDSs support
+//! complex data types and their entries can be of variable-length"), in
+//! contrast to BCL's statically sized buckets. The allocator hands out
+//! 8-aligned ranges inside a segment, growing the segment when the free list
+//! cannot satisfy a request — this is the `realloc`-on-demand behaviour the
+//! paper describes for partition resizing.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::align8;
+use crate::segment::Segment;
+
+/// Errors from the segment allocator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// `free`/`size_of` called with an offset that was never allocated
+    /// (or was already freed).
+    UnknownAllocation(usize),
+    /// Allocation of zero bytes requested.
+    ZeroSize,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::UnknownAllocation(off) => {
+                write!(f, "offset {off} is not a live allocation")
+            }
+            AllocError::ZeroSize => write!(f, "zero-size allocation requested"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+#[derive(Debug, Default)]
+struct AllocState {
+    /// Free ranges: start -> len. Invariant: no two ranges overlap or abut.
+    free: BTreeMap<usize, usize>,
+    /// Live allocations: start -> len (as rounded up).
+    live: HashMap<usize, usize>,
+    /// Total bytes handed out (rounded sizes).
+    used: usize,
+}
+
+/// First-fit free-list allocator with coalescing, over a shared [`Segment`].
+pub struct SegmentAllocator {
+    seg: Arc<Segment>,
+    state: Mutex<AllocState>,
+}
+
+impl SegmentAllocator {
+    /// Manage the whole of `seg`, starting with `reserved` bytes at offset 0
+    /// excluded (containers keep headers/metadata there).
+    pub fn new(seg: Arc<Segment>, reserved: usize) -> Self {
+        let reserved = align8(reserved);
+        let mut free = BTreeMap::new();
+        let len = seg.len();
+        if len > reserved {
+            free.insert(reserved, len - reserved);
+        }
+        SegmentAllocator {
+            seg,
+            state: Mutex::new(AllocState { free, live: HashMap::new(), used: 0 }),
+        }
+    }
+
+    /// The underlying segment.
+    pub fn segment(&self) -> &Arc<Segment> {
+        &self.seg
+    }
+
+    /// Allocate `len` bytes (rounded up to 8); returns the segment offset.
+    /// Grows the segment (doubling) when the free list cannot satisfy the
+    /// request.
+    pub fn alloc(&self, len: usize) -> Result<usize, AllocError> {
+        if len == 0 {
+            return Err(AllocError::ZeroSize);
+        }
+        let len = align8(len);
+        let mut st = self.state.lock();
+        if let Some(off) = Self::take_first_fit(&mut st, len) {
+            st.live.insert(off, len);
+            st.used += len;
+            return Ok(off);
+        }
+        // Grow: at least double, and enough for this request.
+        let old_len = self.seg.len();
+        let mut new_len = (old_len * 2).max(64);
+        while new_len < old_len + len {
+            new_len *= 2;
+        }
+        self.seg.grow(new_len);
+        Self::insert_free(&mut st, old_len, new_len - old_len);
+        let off = Self::take_first_fit(&mut st, len).expect("grow made room");
+        st.live.insert(off, len);
+        st.used += len;
+        Ok(off)
+    }
+
+    /// Release the allocation at `off`.
+    pub fn free(&self, off: usize) -> Result<(), AllocError> {
+        let mut st = self.state.lock();
+        let len = st.live.remove(&off).ok_or(AllocError::UnknownAllocation(off))?;
+        st.used -= len;
+        Self::insert_free(&mut st, off, len);
+        Ok(())
+    }
+
+    /// The rounded size of the live allocation at `off`.
+    pub fn size_of(&self, off: usize) -> Result<usize, AllocError> {
+        self.state.lock().live.get(&off).copied().ok_or(AllocError::UnknownAllocation(off))
+    }
+
+    /// Bytes currently handed out.
+    pub fn used_bytes(&self) -> usize {
+        self.state.lock().used
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocations(&self) -> usize {
+        self.state.lock().live.len()
+    }
+
+    /// Number of free-list fragments (diagnostic; coalescing keeps this low).
+    pub fn fragments(&self) -> usize {
+        self.state.lock().free.len()
+    }
+
+    fn take_first_fit(st: &mut AllocState, len: usize) -> Option<usize> {
+        let (off, flen) = st.free.iter().find(|(_, &l)| l >= len).map(|(&o, &l)| (o, l))?;
+        st.free.remove(&off);
+        if flen > len {
+            st.free.insert(off + len, flen - len);
+        }
+        Some(off)
+    }
+
+    fn insert_free(st: &mut AllocState, off: usize, len: usize) {
+        let mut start = off;
+        let mut end = off + len;
+        // Coalesce with predecessor.
+        if let Some((&ps, &pl)) = st.free.range(..off).next_back() {
+            if ps + pl == start {
+                st.free.remove(&ps);
+                start = ps;
+            }
+        }
+        // Coalesce with successor.
+        if let Some(&sl) = st.free.get(&end) {
+            st.free.remove(&end);
+            end += sl;
+        }
+        st.free.insert(start, end - start);
+    }
+}
+
+impl std::fmt::Debug for SegmentAllocator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("SegmentAllocator")
+            .field("segment_len", &self.seg.len())
+            .field("used", &st.used)
+            .field("live", &st.live.len())
+            .field("fragments", &st.free.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh(len: usize) -> SegmentAllocator {
+        SegmentAllocator::new(Segment::new(len), 0)
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let a = fresh(256);
+        let o1 = a.alloc(10).unwrap();
+        let o2 = a.alloc(10).unwrap();
+        assert_ne!(o1, o2);
+        assert_eq!(a.size_of(o1).unwrap(), 16); // rounded to 8
+        assert_eq!(a.used_bytes(), 32);
+        a.free(o1).unwrap();
+        assert_eq!(a.used_bytes(), 16);
+        assert!(matches!(a.free(o1), Err(AllocError::UnknownAllocation(_))));
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let a = fresh(64);
+        assert!(matches!(a.alloc(0), Err(AllocError::ZeroSize)));
+    }
+
+    #[test]
+    fn coalescing_restores_single_fragment() {
+        let a = fresh(256);
+        let offs: Vec<usize> = (0..8).map(|_| a.alloc(32).unwrap()).collect();
+        assert_eq!(a.used_bytes(), 256);
+        // Free in interleaved order; coalescing must merge everything back.
+        for &o in offs.iter().step_by(2) {
+            a.free(o).unwrap();
+        }
+        for &o in offs.iter().skip(1).step_by(2) {
+            a.free(o).unwrap();
+        }
+        assert_eq!(a.fragments(), 1);
+        assert_eq!(a.used_bytes(), 0);
+        // And the whole range is reusable.
+        let big = a.alloc(256).unwrap();
+        assert_eq!(big, 0);
+    }
+
+    #[test]
+    fn grows_segment_when_exhausted() {
+        let a = fresh(64);
+        let o1 = a.alloc(64).unwrap();
+        let seg_before = a.segment().len();
+        let o2 = a.alloc(128).unwrap();
+        assert!(a.segment().len() > seg_before);
+        assert_ne!(o1, o2);
+    }
+
+    #[test]
+    fn respects_reserved_header() {
+        let a = SegmentAllocator::new(Segment::new(256), 24);
+        let o = a.alloc(8).unwrap();
+        assert!(o >= 24);
+    }
+
+    #[test]
+    fn reuses_freed_space_first_fit() {
+        let a = fresh(256);
+        let o1 = a.alloc(64).unwrap();
+        let _o2 = a.alloc(64).unwrap();
+        a.free(o1).unwrap();
+        let o3 = a.alloc(32).unwrap();
+        assert_eq!(o3, o1); // first fit lands in the hole
+    }
+
+    #[test]
+    fn concurrent_alloc_free_is_consistent() {
+        let a = std::sync::Arc::new(fresh(1024));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let a = std::sync::Arc::clone(&a);
+                s.spawn(move || {
+                    let mut mine = Vec::new();
+                    for i in 0..200 {
+                        mine.push(a.alloc(8 + (i % 5) * 16).unwrap());
+                        if i % 3 == 0 {
+                            if let Some(o) = mine.pop() {
+                                a.free(o).unwrap();
+                            }
+                        }
+                    }
+                    for o in mine {
+                        a.free(o).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(a.used_bytes(), 0);
+        assert_eq!(a.live_allocations(), 0);
+        assert_eq!(a.fragments(), 1);
+    }
+
+    #[test]
+    fn disjoint_allocations_never_overlap() {
+        let a = fresh(128);
+        let mut live: Vec<(usize, usize)> = Vec::new();
+        for i in 1..=50 {
+            let len = align8(i);
+            let off = a.alloc(len).unwrap();
+            for &(o, l) in &live {
+                assert!(off + len <= o || o + l <= off, "overlap: [{off},{len}) vs [{o},{l})");
+            }
+            live.push((off, len));
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! The RoR client stub: invoke / invoke_async / invoke_batch, futures with
+//! client-pull completion.
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use hcl_databox::DataBox;
+use hcl_fabric::{EpId, Fabric};
+use parking_lot::Mutex;
+
+use crate::{
+    decode_batch_response, encode_batch, resp_key, slot_offset, FnId, RequestHeader, RpcError,
+    RpcResult, FLAG_BATCH, SLOTS_PER_CLIENT, SLOT_HDR,
+};
+
+/// Default time to wait for a response before reporting [`RpcError::Timeout`].
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// What a future needs to pull its response.
+struct PendingResponse {
+    fabric: Arc<dyn Fabric>,
+    client_ep: EpId,
+    server: EpId,
+    slot: u32,
+    slot_cap: usize,
+    req_id: u64,
+    timeout: Duration,
+}
+
+impl PendingResponse {
+    /// Poll the slot header once; pull and return the payload when complete.
+    fn try_pull(&self) -> RpcResult<Option<Bytes>> {
+        let key = resp_key(self.server);
+        let hdr = slot_offset(self.client_ep.rank, self.slot, self.slot_cap);
+        let seq = self.fabric.read_u64(self.client_ep, key, hdr)?;
+        if seq != self.req_id {
+            return Ok(None);
+        }
+        let len = self.fabric.read_u64(self.client_ep, key, hdr + 8)? as usize;
+        let payload_off = hdr + SLOT_HDR;
+        let data = if len <= self.slot_cap {
+            self.fabric.read(self.client_ep, key, payload_off, len)?
+        } else {
+            // Overflow: the slot payload starts with the spill offset.
+            let off = self.fabric.read_u64(self.client_ep, key, payload_off)? as usize;
+            self.fabric.read(self.client_ep, key, off, len)?
+        };
+        Ok(Some(Bytes::from(data)))
+    }
+
+    /// Block (poll + backoff) until the response arrives.
+    fn pull_blocking(&self) -> RpcResult<Bytes> {
+        let start = Instant::now();
+        let mut spins = 0u32;
+        loop {
+            if let Some(b) = self.try_pull()? {
+                return Ok(b);
+            }
+            if start.elapsed() > self.timeout {
+                return Err(RpcError::Timeout);
+            }
+            // Responses usually land within the handler turnaround. Spin
+            // briefly, then yield (on low-core hosts the handler thread
+            // needs our core), and only sleep after ~10k tries.
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else if spins < 10_000 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+    }
+}
+
+enum FutureState {
+    Pending(PendingResponse),
+    Ready(RpcResult<Bytes>),
+}
+
+/// Shared raw future: completed by client-pull on demand.
+#[derive(Clone)]
+pub struct RawFuture {
+    state: Arc<Mutex<FutureState>>,
+}
+
+impl RawFuture {
+    fn new(p: PendingResponse) -> Self {
+        RawFuture { state: Arc::new(Mutex::new(FutureState::Pending(p))) }
+    }
+
+    /// Non-blocking check; `Some` once the response has been pulled.
+    pub fn try_get(&self) -> Option<RpcResult<Bytes>> {
+        let mut st = self.state.lock();
+        match &mut *st {
+            FutureState::Ready(r) => Some(r.clone()),
+            FutureState::Pending(p) => match p.try_pull() {
+                Ok(Some(b)) => {
+                    *st = FutureState::Ready(Ok(b.clone()));
+                    Some(Ok(b))
+                }
+                Ok(None) => None,
+                Err(e) => {
+                    *st = FutureState::Ready(Err(e.clone()));
+                    Some(Err(e))
+                }
+            },
+        }
+    }
+
+    /// True once complete (does one poll).
+    pub fn is_ready(&self) -> bool {
+        self.try_get().is_some()
+    }
+
+    /// Block until the response is available.
+    pub fn wait(&self) -> RpcResult<Bytes> {
+        let mut st = self.state.lock();
+        match &mut *st {
+            FutureState::Ready(r) => r.clone(),
+            FutureState::Pending(p) => {
+                let r = p.pull_blocking();
+                let out = r.clone();
+                *st = FutureState::Ready(r);
+                out
+            }
+        }
+    }
+}
+
+/// A typed asynchronous RPC result (paper §III-C4: "Each function invocation
+/// creates a future object ... synchronous and asynchronous models is a
+/// matter of timing when the caller waits").
+pub struct RpcFuture<T> {
+    raw: RawFuture,
+    _t: PhantomData<fn() -> T>,
+}
+
+impl<T: DataBox> RpcFuture<T> {
+    /// Block for the response and decode it.
+    pub fn wait(&self) -> RpcResult<T> {
+        let b = self.raw.wait()?;
+        T::from_bytes(&b).map_err(|e| RpcError::Decode(e.to_string()))
+    }
+
+    /// Non-blocking completion check.
+    pub fn try_get(&self) -> Option<RpcResult<T>> {
+        self.raw.try_get().map(|r| {
+            r.and_then(|b| T::from_bytes(&b).map_err(|e| RpcError::Decode(e.to_string())))
+        })
+    }
+
+    /// True once the response has arrived.
+    pub fn is_ready(&self) -> bool {
+        self.raw.is_ready()
+    }
+}
+
+/// A future for an aggregated batch: resolves to one response per call.
+pub struct BatchFuture {
+    raw: RawFuture,
+}
+
+impl BatchFuture {
+    /// Block for all responses.
+    pub fn wait(&self) -> RpcResult<Vec<Bytes>> {
+        let b = self.raw.wait()?;
+        decode_batch_response(&b).ok_or_else(|| RpcError::Decode("batch response".into()))
+    }
+
+    /// Block and decode every response as `T`.
+    pub fn wait_typed<T: DataBox>(&self) -> RpcResult<Vec<T>> {
+        self.wait()?
+            .iter()
+            .map(|b| T::from_bytes(b).map_err(|e| RpcError::Decode(e.to_string())))
+            .collect()
+    }
+}
+
+/// The client stub for one rank.
+pub struct RpcClient {
+    ep: EpId,
+    fabric: Arc<dyn Fabric>,
+    next_req: AtomicU64,
+    /// Per (server, slot): the future of the last request that used it.
+    /// A slot may be reused only after its previous response was pulled.
+    slots: Mutex<HashMap<(EpId, u32), RawFuture>>,
+    slot_cap: usize,
+    timeout: Duration,
+}
+
+impl RpcClient {
+    /// Create a client stub for endpoint `ep`. `slot_cap` must match the
+    /// target servers' configured slot capacity.
+    pub fn new(ep: EpId, fabric: Arc<dyn Fabric>, slot_cap: usize) -> Self {
+        fabric.register_endpoint(ep).expect("register client endpoint");
+        RpcClient {
+            ep,
+            fabric,
+            next_req: AtomicU64::new(1),
+            slots: Mutex::new(HashMap::new()),
+            slot_cap,
+            timeout: DEFAULT_TIMEOUT,
+        }
+    }
+
+    /// Override the response timeout.
+    pub fn set_timeout(&mut self, t: Duration) {
+        self.timeout = t;
+    }
+
+    /// This client's endpoint.
+    pub fn endpoint(&self) -> EpId {
+        self.ep
+    }
+
+    fn issue(&self, server: EpId, chain: Vec<FnId>, args: &[u8], flags: u8) -> RpcResult<RawFuture> {
+        let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
+        let slot = (req_id % SLOTS_PER_CLIENT) as u32;
+        // Enforce slot reuse discipline: drain the previous occupant.
+        let prev = self.slots.lock().get(&(server, slot)).cloned();
+        if let Some(prev) = prev {
+            let _ = prev.wait();
+        }
+        let hdr = RequestHeader { req_id, slot, flags, chain };
+        let msg = hdr.encode(args);
+        self.fabric.send(self.ep, server, msg)?;
+        let fut = RawFuture::new(PendingResponse {
+            fabric: Arc::clone(&self.fabric),
+            client_ep: self.ep,
+            server,
+            slot,
+            slot_cap: self.slot_cap,
+            req_id,
+            timeout: self.timeout,
+        });
+        self.slots.lock().insert((server, slot), fut.clone());
+        Ok(fut)
+    }
+
+    /// Asynchronous invocation of `fn_id` on `server`.
+    pub fn invoke_async<A, R>(&self, server: EpId, fn_id: FnId, args: &A) -> RpcResult<RpcFuture<R>>
+    where
+        A: DataBox,
+        R: DataBox,
+    {
+        let raw = self.issue(server, vec![fn_id], &args.to_bytes(), 0)?;
+        Ok(RpcFuture { raw, _t: PhantomData })
+    }
+
+    /// Synchronous invocation: issue and wait.
+    pub fn invoke<A, R>(&self, server: EpId, fn_id: FnId, args: &A) -> RpcResult<R>
+    where
+        A: DataBox,
+        R: DataBox,
+    {
+        self.invoke_async::<A, R>(server, fn_id, args)?.wait()
+    }
+
+    /// Invoke a *callback chain* (§III-C3): `chain[0]` receives `args`, each
+    /// subsequent function receives the previous output, and the final
+    /// output is the response — "multiple data-local operations ... with one
+    /// call".
+    pub fn invoke_chain<A, R>(
+        &self,
+        server: EpId,
+        chain: Vec<FnId>,
+        args: &A,
+    ) -> RpcResult<RpcFuture<R>>
+    where
+        A: DataBox,
+        R: DataBox,
+    {
+        let raw = self.issue(server, chain, &args.to_bytes(), 0)?;
+        Ok(RpcFuture { raw, _t: PhantomData })
+    }
+
+    /// Aggregate several calls into one network message (§III-B request
+    /// aggregation).
+    pub fn invoke_batch(&self, server: EpId, calls: &[(FnId, Vec<u8>)]) -> RpcResult<BatchFuture> {
+        let payload = encode_batch(calls);
+        let raw = self.issue(server, Vec::new(), &payload, FLAG_BATCH)?;
+        Ok(BatchFuture { raw })
+    }
+
+    /// Raw-bytes invocation (used by layers that do their own encoding).
+    pub fn invoke_raw(&self, server: EpId, fn_id: FnId, args: &[u8]) -> RpcResult<RawFuture> {
+        self.issue(server, vec![fn_id], args, 0)
+    }
+}

@@ -1,0 +1,363 @@
+//! # hcl-rpc — the RPC-over-RDMA (RoR) framework (paper §III-B, Fig. 2)
+//!
+//! The RoR protocol, step by step as in Fig. 2, and where each step lives
+//! here:
+//!
+//! 1. users submit functions with [`RpcRegistry::bind`] (*"calling the
+//!    `bind()` method that maps them to an RPC invocation registry"*);
+//! 2. [`RpcClient::invoke`] marshals the request and `RDMA_SEND`s it into
+//!    the server's request buffer ([`hcl_fabric::Fabric::send`]);
+//! 3. the RPC server *running on the NIC core* pulls requests from the work
+//!    queue — [`server::RpcServer`]'s worker threads, which are dedicated
+//!    threads distinct from any application rank (DESIGN.md
+//!    substitution #2);
+//! 4. the server stub de-marshals and executes the invoked function (or the
+//!    whole *callback chain*, §III-C3);
+//! 5. the response is placed in a **response buffer** — a slot region
+//!    registered for one-sided access;
+//! 6. + 7. the client gets completion by polling the slot header and *pulls*
+//!    the result with `IBV_WR_RDMA_READ` ([`hcl_fabric::Fabric::read`]) —
+//!    the paper's client-pull response paradigm.
+//!
+//! Also implemented: **request aggregation** (§III-B: "aggregate multiple
+//! instructions before execution") via [`RpcClient::invoke_batch`], and
+//! **asynchronous RPC** (§III-C4) — every invocation returns an
+//! [`RpcFuture`]; synchronous execution is just `invoke(...).wait()`.
+
+pub mod client;
+pub mod server;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use hcl_databox::DataBox;
+use hcl_fabric::{EpId, FabricError, RegionKey};
+use parking_lot::RwLock;
+
+/// Registered function identifier.
+pub type FnId = u32;
+
+/// A server-side handler: `(server, caller, args) -> response bytes`.
+///
+/// The *server* endpoint identifies which partition's state the handler
+/// should touch — all in-process NIC workers share one registry, exactly as
+/// all NIC cores of one machine share one function table.
+pub type Handler = Arc<dyn Fn(EpId, EpId, &[u8]) -> Vec<u8> + Send + Sync>;
+
+/// Reserved region id for a server's response buffer.
+pub const RESP_REGION: u32 = 0xFFFF_0000;
+
+/// Number of response slots per client (maximum outstanding async
+/// invocations per (client, server) pair).
+pub const SLOTS_PER_CLIENT: u64 = 4;
+
+/// Default inline response capacity per slot; larger responses spill into
+/// the overflow area of the response segment.
+pub const DEFAULT_SLOT_CAP: usize = 64 * 1024;
+
+/// Slot header: `[seq: u64][len: u64]` then `cap` payload bytes.
+pub const SLOT_HDR: usize = 16;
+
+/// Errors surfaced to RPC callers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// Transport failure.
+    Fabric(FabricError),
+    /// The response payload failed to decode as the requested type.
+    Decode(String),
+    /// No response arrived within the configured timeout.
+    Timeout,
+    /// The server reported an unknown function id.
+    UnknownFunction(FnId),
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Fabric(e) => write!(f, "rpc fabric error: {e}"),
+            RpcError::Decode(e) => write!(f, "rpc decode error: {e}"),
+            RpcError::Timeout => write!(f, "rpc timeout"),
+            RpcError::UnknownFunction(id) => write!(f, "unknown rpc function {id}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<FabricError> for RpcError {
+    fn from(e: FabricError) -> Self {
+        RpcError::Fabric(e)
+    }
+}
+
+/// Result alias for RPC operations.
+pub type RpcResult<T> = Result<T, RpcError>;
+
+/// The invocation registry: fn id -> handler (paper's `bind()`).
+#[derive(Default)]
+pub struct RpcRegistry {
+    fns: RwLock<HashMap<FnId, Handler>>,
+}
+
+impl RpcRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind a raw handler.
+    pub fn bind(
+        &self,
+        id: FnId,
+        f: impl Fn(EpId, EpId, &[u8]) -> Vec<u8> + Send + Sync + 'static,
+    ) {
+        self.fns.write().insert(id, Arc::new(f));
+    }
+
+    /// Bind a typed handler: args and return value cross the wire as
+    /// [`DataBox`] encodings.
+    pub fn bind_typed<A, R>(&self, id: FnId, f: impl Fn(EpId, EpId, A) -> R + Send + Sync + 'static)
+    where
+        A: DataBox + 'static,
+        R: DataBox + 'static,
+    {
+        self.bind(id, move |server, caller, raw| {
+            let args = A::from_bytes(raw).expect("rpc argument decode");
+            let ret = f(server, caller, args);
+            ret.to_bytes().to_vec()
+        });
+    }
+
+    /// Remove a binding (container teardown).
+    pub fn unbind(&self, id: FnId) {
+        self.fns.write().remove(&id);
+    }
+
+    /// Look up a handler.
+    pub fn get(&self, id: FnId) -> Option<Handler> {
+        self.fns.read().get(&id).cloned()
+    }
+
+    /// Number of bound functions.
+    pub fn len(&self) -> usize {
+        self.fns.read().len()
+    }
+
+    /// True when nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.fns.read().is_empty()
+    }
+}
+
+/// Wire header of a request message.
+///
+/// `[req_id u64][slot u32][flags u8][chain_len u8][fn_ids u32×chain][args]`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestHeader {
+    /// Per-client monotonically increasing request id (slot seq value).
+    pub req_id: u64,
+    /// Response slot index within the caller's slot ring.
+    pub slot: u32,
+    /// Bit 0: batch request.
+    pub flags: u8,
+    /// The callback chain: `chain[0]` receives the args, each subsequent
+    /// function receives the previous function's output (§III-C3).
+    pub chain: Vec<FnId>,
+}
+
+/// Flag bit: the payload is an aggregated batch.
+pub const FLAG_BATCH: u8 = 1;
+
+impl RequestHeader {
+    /// Serialize the header followed by `args` into one message.
+    pub fn encode(&self, args: &[u8]) -> Bytes {
+        let mut out = Vec::with_capacity(14 + 4 * self.chain.len() + args.len());
+        out.extend_from_slice(&self.req_id.to_le_bytes());
+        out.extend_from_slice(&self.slot.to_le_bytes());
+        out.push(self.flags);
+        out.push(self.chain.len() as u8);
+        for id in &self.chain {
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        out.extend_from_slice(args);
+        Bytes::from(out)
+    }
+
+    /// Parse a request message; returns the header and the args offset.
+    pub fn decode(msg: &[u8]) -> Option<(RequestHeader, usize)> {
+        if msg.len() < 14 {
+            return None;
+        }
+        let req_id = u64::from_le_bytes(msg[0..8].try_into().ok()?);
+        let slot = u32::from_le_bytes(msg[8..12].try_into().ok()?);
+        let flags = msg[12];
+        let chain_len = msg[13] as usize;
+        let mut chain = Vec::with_capacity(chain_len);
+        let mut off = 14;
+        for _ in 0..chain_len {
+            if msg.len() < off + 4 {
+                return None;
+            }
+            chain.push(u32::from_le_bytes(msg[off..off + 4].try_into().ok()?));
+            off += 4;
+        }
+        Some((RequestHeader { req_id, slot, flags, chain }, off))
+    }
+}
+
+/// Compute the byte offset of a client's response slot within the server's
+/// response buffer.
+pub fn slot_offset(client_rank: u32, slot: u32, cap: usize) -> usize {
+    let slot_size = SLOT_HDR + cap;
+    (client_rank as usize) * (SLOTS_PER_CLIENT as usize) * slot_size
+        + (slot as usize) * slot_size
+}
+
+/// The response-buffer region key of a server endpoint.
+pub fn resp_key(server: EpId) -> RegionKey {
+    RegionKey { ep: server, region: RESP_REGION }
+}
+
+/// Encode a batch payload: `[count u32][(fn_id u32, len u32, args)...]`.
+pub fn encode_batch(calls: &[(FnId, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(calls.len() as u32).to_le_bytes());
+    for (id, args) in calls {
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&(args.len() as u32).to_le_bytes());
+        out.extend_from_slice(args);
+    }
+    out
+}
+
+/// Decode a batch payload (server side).
+pub fn decode_batch(buf: &[u8]) -> Option<Vec<(FnId, &[u8])>> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let count = u32::from_le_bytes(buf[0..4].try_into().ok()?) as usize;
+    let mut out = Vec::with_capacity(count);
+    let mut off = 4;
+    for _ in 0..count {
+        if buf.len() < off + 8 {
+            return None;
+        }
+        let id = u32::from_le_bytes(buf[off..off + 4].try_into().ok()?);
+        let len = u32::from_le_bytes(buf[off + 4..off + 8].try_into().ok()?) as usize;
+        off += 8;
+        if buf.len() < off + len {
+            return None;
+        }
+        out.push((id, &buf[off..off + len]));
+        off += len;
+    }
+    Some(out)
+}
+
+/// Encode a batch *response*: `[count u32][(len u32, resp)...]`.
+pub fn encode_batch_response(resps: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(resps.len() as u32).to_le_bytes());
+    for r in resps {
+        out.extend_from_slice(&(r.len() as u32).to_le_bytes());
+        out.extend_from_slice(r);
+    }
+    out
+}
+
+/// Decode a batch response (client side).
+pub fn decode_batch_response(buf: &[u8]) -> Option<Vec<Bytes>> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let count = u32::from_le_bytes(buf[0..4].try_into().ok()?) as usize;
+    let mut out = Vec::with_capacity(count);
+    let mut off = 4;
+    for _ in 0..count {
+        if buf.len() < off + 4 {
+            return None;
+        }
+        let len = u32::from_le_bytes(buf[off..off + 4].try_into().ok()?) as usize;
+        off += 4;
+        if buf.len() < off + len {
+            return None;
+        }
+        out.push(Bytes::copy_from_slice(&buf[off..off + len]));
+        off += len;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_bind_lookup_unbind() {
+        let r = RpcRegistry::new();
+        assert!(r.is_empty());
+        r.bind(7, |_, _, args| args.to_vec());
+        assert_eq!(r.len(), 1);
+        let h = r.get(7).unwrap();
+        assert_eq!(h(EpId::new(0, 0), EpId::new(0, 1), b"echo"), b"echo");
+        assert!(r.get(8).is_none());
+        r.unbind(7);
+        assert!(r.get(7).is_none());
+    }
+
+    #[test]
+    fn typed_binding_roundtrips() {
+        let r = RpcRegistry::new();
+        r.bind_typed(1, |_, _, (a, b): (u64, u64)| a + b);
+        let h = r.get(1).unwrap();
+        let resp = h(EpId::new(0, 0), EpId::new(0, 1), &(20u64, 22u64).to_bytes());
+        assert_eq!(u64::from_bytes(&resp).unwrap(), 42);
+    }
+
+    #[test]
+    fn request_header_roundtrip() {
+        let hdr = RequestHeader { req_id: 99, slot: 3, flags: FLAG_BATCH, chain: vec![1, 2, 3] };
+        let msg = hdr.encode(b"argbytes");
+        let (got, off) = RequestHeader::decode(&msg).unwrap();
+        assert_eq!(got, hdr);
+        assert_eq!(&msg[off..], b"argbytes");
+    }
+
+    #[test]
+    fn request_header_rejects_truncation() {
+        let hdr = RequestHeader { req_id: 1, slot: 0, flags: 0, chain: vec![1, 2] };
+        let msg = hdr.encode(b"");
+        assert!(RequestHeader::decode(&msg[..10]).is_none());
+        assert!(RequestHeader::decode(&msg[..15]).is_none());
+    }
+
+    #[test]
+    fn batch_encoding_roundtrip() {
+        let calls = vec![(1u32, b"one".to_vec()), (2, vec![]), (3, b"three".to_vec())];
+        let enc = encode_batch(&calls);
+        let dec = decode_batch(&enc).unwrap();
+        assert_eq!(dec.len(), 3);
+        assert_eq!(dec[0], (1, &b"one"[..]));
+        assert_eq!(dec[1], (2, &b""[..]));
+        assert_eq!(dec[2], (3, &b"three"[..]));
+        let resps = vec![b"r1".to_vec(), vec![], b"r3".to_vec()];
+        let enc = encode_batch_response(&resps);
+        let dec = decode_batch_response(&enc).unwrap();
+        assert_eq!(dec, vec![Bytes::from_static(b"r1"), Bytes::new(), Bytes::from_static(b"r3")]);
+    }
+
+    #[test]
+    fn slot_offsets_do_not_overlap() {
+        let cap = 128;
+        let mut seen = std::collections::HashSet::new();
+        for rank in 0..10u32 {
+            for slot in 0..SLOTS_PER_CLIENT as u32 {
+                let off = slot_offset(rank, slot, cap);
+                assert!(seen.insert(off));
+                // No overlap with the next slot.
+                assert!(off % (SLOT_HDR + cap) == 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! The RoR server: worker threads playing the NIC cores of Fig. 2.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hcl_fabric::{EpId, Fabric};
+use hcl_mem::{Segment, SegmentAllocator};
+use parking_lot::Mutex;
+
+use crate::{
+    decode_batch, encode_batch_response, resp_key, slot_offset, RequestHeader, RpcRegistry,
+    FLAG_BATCH, SLOTS_PER_CLIENT, SLOT_HDR,
+};
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Highest client rank + 1 (sizes the response slot table).
+    pub max_clients: u32,
+    /// Inline response capacity per slot (larger responses spill).
+    pub slot_cap: usize,
+    /// Worker threads — the emulated NIC cores (Mellanox BlueField-class
+    /// NICs are multi-core, §I).
+    pub nic_cores: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { max_clients: 64, slot_cap: crate::DEFAULT_SLOT_CAP, nic_cores: 2 }
+    }
+}
+
+/// Profiling counters for the server (feeds the Fig. 4-style comparisons at
+/// the real-execution level).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Requests executed (batch counts once per inner call).
+    pub requests: AtomicU64,
+    /// Nanoseconds NIC cores spent executing handlers.
+    pub busy_ns: AtomicU64,
+    /// Requests that spilled to the overflow area.
+    pub overflow_responses: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServerStats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStatsSnapshot {
+    /// Requests executed.
+    pub requests: u64,
+    /// Nanoseconds spent in handlers.
+    pub busy_ns: u64,
+    /// Overflow responses.
+    pub overflow_responses: u64,
+}
+
+/// The RPC server bound to one endpoint.
+pub struct RpcServer {
+    ep: EpId,
+    stop: Arc<AtomicBool>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    stats: Arc<ServerStats>,
+    resp_seg: Arc<Segment>,
+}
+
+impl RpcServer {
+    /// Start a server on `ep`: registers the response buffer region and
+    /// spawns `cfg.nic_cores` worker threads pulling from the request queue.
+    pub fn start(
+        ep: EpId,
+        fabric: Arc<dyn Fabric>,
+        registry: Arc<RpcRegistry>,
+        cfg: ServerConfig,
+    ) -> Self {
+        let slot_size = SLOT_HDR + cfg.slot_cap;
+        let header_area =
+            cfg.max_clients as usize * SLOTS_PER_CLIENT as usize * slot_size;
+        let resp_seg = Segment::new(header_area + 4096);
+        fabric.register_endpoint(ep).expect("register server endpoint");
+        fabric
+            .register_region(resp_key(ep), Arc::clone(&resp_seg))
+            .expect("register response region");
+        let overflow = Arc::new(SegmentAllocator::new(Arc::clone(&resp_seg), header_area));
+        let overflow_live: Arc<Mutex<HashMap<(u32, u32), usize>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+        let mut workers = Vec::with_capacity(cfg.nic_cores);
+        for core in 0..cfg.nic_cores {
+            let fabric = Arc::clone(&fabric);
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            let resp_seg = Arc::clone(&resp_seg);
+            let overflow = Arc::clone(&overflow);
+            let overflow_live = Arc::clone(&overflow_live);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("hcl-nic-{ep}-c{core}"))
+                    .spawn(move || {
+                        while !stop.load(Ordering::Acquire) {
+                            let msg = match fabric.recv(ep, Some(Duration::from_millis(20))) {
+                                Ok(Some(m)) => m,
+                                Ok(None) => continue,
+                                Err(_) => break,
+                            };
+                            let (caller, payload) = msg;
+                            let Some((hdr, args_off)) = RequestHeader::decode(&payload) else {
+                                continue;
+                            };
+                            let t0 = Instant::now();
+                            let response = if hdr.flags & FLAG_BATCH != 0 {
+                                // Aggregated request: run every bundled call.
+                                let calls = decode_batch(&payload[args_off..])
+                                    .unwrap_or_default();
+                                let mut resps = Vec::with_capacity(calls.len());
+                                for (id, args) in calls {
+                                    stats.requests.fetch_add(1, Ordering::Relaxed);
+                                    resps.push(match registry.get(id) {
+                                        Some(h) => h(ep, caller, args),
+                                        None => Vec::new(),
+                                    });
+                                }
+                                encode_batch_response(&resps)
+                            } else {
+                                // Callback chain: each output feeds the next.
+                                stats.requests.fetch_add(1, Ordering::Relaxed);
+                                let mut data = payload[args_off..].to_vec();
+                                for id in &hdr.chain {
+                                    match registry.get(*id) {
+                                        Some(h) => data = h(ep, caller, &data),
+                                        None => {
+                                            data.clear();
+                                            break;
+                                        }
+                                    }
+                                }
+                                data
+                            };
+                            stats
+                                .busy_ns
+                                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            // Publish the response into the caller's slot.
+                            let slot_off =
+                                slot_offset(caller.rank, hdr.slot, cfg.slot_cap);
+                            let payload_off = slot_off + SLOT_HDR;
+                            // Free the overflow block this slot used last time
+                            // (its response was necessarily consumed: the
+                            // client may not reuse a slot before that).
+                            if let Some(prev) =
+                                overflow_live.lock().remove(&(caller.rank, hdr.slot))
+                            {
+                                let _ = overflow.free(prev);
+                            }
+                            if response.len() <= cfg.slot_cap {
+                                resp_seg
+                                    .write(payload_off, &response)
+                                    .expect("slot payload write");
+                            } else {
+                                stats.overflow_responses.fetch_add(1, Ordering::Relaxed);
+                                let off = overflow
+                                    .alloc(response.len())
+                                    .expect("overflow allocation");
+                                resp_seg.write(off, &response).expect("overflow write");
+                                resp_seg
+                                    .store_u64(payload_off, off as u64)
+                                    .expect("overflow pointer write");
+                                overflow_live
+                                    .lock()
+                                    .insert((caller.rank, hdr.slot), off);
+                            }
+                            resp_seg
+                                .store_u64(slot_off + 8, response.len() as u64)
+                                .expect("slot len write");
+                            // Sequence word last: this is the completion the
+                            // client polls for.
+                            resp_seg
+                                .store_u64(slot_off, hdr.req_id)
+                                .expect("slot seq write");
+                        }
+                    })
+                    .expect("spawn NIC worker"),
+            );
+        }
+        RpcServer { ep, stop, workers, stats, resp_seg }
+    }
+
+    /// The endpoint this server listens on.
+    pub fn endpoint(&self) -> EpId {
+        self.ep
+    }
+
+    /// Profiling counters.
+    pub fn stats(&self) -> ServerStatsSnapshot {
+        ServerStatsSnapshot {
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            busy_ns: self.stats.busy_ns.load(Ordering::Relaxed),
+            overflow_responses: self.stats.overflow_responses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Current size of the response segment (memory-profiling hook).
+    pub fn response_buffer_bytes(&self) -> usize {
+        self.resp_seg.len()
+    }
+
+    /// Stop the workers and wait for them to exit.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RpcServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}

@@ -1,0 +1,501 @@
+//! # hcl-runtime — the SPMD substrate (MPI-rank model) for the HCL
+//! reproduction
+//!
+//! The paper runs every experiment as an MPI program: `R` ranks spread over
+//! `N` nodes (Ares: 40 ranks/node, up to 64 nodes). This crate provides that
+//! execution model with **threads as ranks**:
+//!
+//! * [`World::run`] spawns one OS thread per rank and hands each a [`Rank`]
+//!   handle carrying its identity, an RPC client stub, and the shared
+//!   fabric;
+//! * every rank also *hosts* an RPC server (HCL's "one or more processes in
+//!   the node can create a shared memory segment that other processes ...
+//!   can read and write to by invoking functions", §III);
+//! * node-locality is modeled by the `node` component of [`EpId`]: ranks on
+//!   the same node may share state directly (that *is* the shared-memory
+//!   segment of a real deployment), ranks on different nodes must go through
+//!   the fabric;
+//! * collectives (barrier / broadcast / allgather / allreduce) are provided
+//!   for test/benchmark orchestration.
+//!
+//! The object store ([`Rank::get_or_create_shared`]) is how containers
+//! materialize their per-node partitions: the first rank of a node creates
+//! the partition, every other rank of that node attaches to it — mirroring
+//! `shm_open`+attach in the C++ original.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use hcl_fabric::memory::MemoryFabric;
+use hcl_fabric::tcp::TcpFabric;
+use hcl_fabric::{EpId, Fabric, LatencyModel, TrafficSnapshot};
+use hcl_rpc::client::RpcClient;
+use hcl_rpc::server::{RpcServer, ServerConfig, ServerStatsSnapshot};
+use hcl_rpc::{FnId, RpcRegistry};
+use parking_lot::Mutex;
+
+/// Which fabric provider a world runs on.
+#[derive(Debug, Clone, Copy)]
+pub enum FabricKind {
+    /// In-process provider (optionally with injected latency).
+    Memory(LatencyModel),
+    /// Loopback-TCP provider with agent threads as NICs.
+    Tcp,
+}
+
+/// World configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct WorldConfig {
+    /// Number of (emulated) nodes.
+    pub nodes: u32,
+    /// Ranks per node.
+    pub ranks_per_node: u32,
+    /// Fabric provider.
+    pub fabric: FabricKind,
+    /// Response-slot capacity for the RoR servers.
+    pub slot_cap: usize,
+    /// NIC cores (worker threads) per rank's server.
+    pub nic_cores: usize,
+}
+
+impl WorldConfig {
+    /// A small default world: 2 nodes × 2 ranks over the memory fabric.
+    pub fn small() -> Self {
+        WorldConfig {
+            nodes: 2,
+            ranks_per_node: 2,
+            fabric: FabricKind::Memory(LatencyModel::NONE),
+            slot_cap: hcl_rpc::DEFAULT_SLOT_CAP,
+            nic_cores: 1,
+        }
+    }
+
+    /// Total number of ranks.
+    pub fn world_size(&self) -> u32 {
+        self.nodes * self.ranks_per_node
+    }
+
+    /// The endpoint of a global rank id.
+    pub fn ep_of(&self, rank: u32) -> EpId {
+        EpId { node: rank / self.ranks_per_node, rank }
+    }
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+struct Collectives {
+    barrier: Barrier,
+    slots: Mutex<Vec<Option<Box<dyn Any + Send>>>>,
+}
+
+/// State shared by all ranks of a world.
+pub struct WorldShared {
+    cfg: WorldConfig,
+    fabric: Arc<dyn Fabric>,
+    registry: Arc<RpcRegistry>,
+    collectives: Collectives,
+    objects: Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>>,
+    next_fn_id: AtomicU32,
+    servers: Mutex<Vec<RpcServer>>,
+}
+
+impl WorldShared {
+    /// World configuration.
+    pub fn config(&self) -> &WorldConfig {
+        &self.cfg
+    }
+
+    /// The shared fabric.
+    pub fn fabric(&self) -> &Arc<dyn Fabric> {
+        &self.fabric
+    }
+
+    /// The shared invocation registry (all servers of the world dispatch
+    /// from it; handlers receive the server endpoint to select partition
+    /// state).
+    pub fn registry(&self) -> &Arc<RpcRegistry> {
+        &self.registry
+    }
+
+    /// Allocate a contiguous range of `n` fresh function ids.
+    pub fn alloc_fn_ids(&self, n: u32) -> FnId {
+        self.next_fn_id.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// Aggregate server-side profiling counters across all rank servers.
+    pub fn server_stats(&self) -> ServerStatsSnapshot {
+        let servers = self.servers.lock();
+        let mut out = ServerStatsSnapshot::default();
+        for s in servers.iter() {
+            let st = s.stats();
+            out.requests += st.requests;
+            out.busy_ns += st.busy_ns;
+            out.overflow_responses += st.overflow_responses;
+        }
+        out
+    }
+
+    /// Total bytes currently held by all response buffers.
+    pub fn response_buffer_bytes(&self) -> usize {
+        self.servers.lock().iter().map(|s| s.response_buffer_bytes()).sum()
+    }
+
+    /// Fabric traffic counters.
+    pub fn traffic(&self) -> TrafficSnapshot {
+        self.fabric.stats()
+    }
+}
+
+/// Handle given to each rank's closure.
+pub struct Rank {
+    id: u32,
+    world: Arc<WorldShared>,
+    client: RpcClient,
+}
+
+impl Rank {
+    /// Global rank id (0-based, dense).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Node this rank lives on.
+    pub fn node(&self) -> u32 {
+        self.id / self.world.cfg.ranks_per_node
+    }
+
+    /// This rank's endpoint.
+    pub fn ep(&self) -> EpId {
+        self.world.cfg.ep_of(self.id)
+    }
+
+    /// Total ranks in the world.
+    pub fn world_size(&self) -> u32 {
+        self.world.cfg.world_size()
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u32 {
+        self.world.cfg.nodes
+    }
+
+    /// Ranks per node.
+    pub fn ranks_per_node(&self) -> u32 {
+        self.world.cfg.ranks_per_node
+    }
+
+    /// True when `other_rank` is on this rank's node (the hybrid access
+    /// model's test).
+    pub fn same_node(&self, other_rank: u32) -> bool {
+        self.node() == other_rank / self.world.cfg.ranks_per_node
+    }
+
+    /// The RPC client stub for this rank.
+    pub fn client(&self) -> &RpcClient {
+        &self.client
+    }
+
+    /// Shared world state.
+    pub fn world(&self) -> &Arc<WorldShared> {
+        &self.world
+    }
+
+    /// Block until every rank reaches the barrier.
+    pub fn barrier(&self) {
+        self.world.collectives.barrier.wait();
+    }
+
+    /// Broadcast `value` from `root` to all ranks.
+    pub fn broadcast<T: Clone + Send + 'static>(&self, root: u32, value: Option<T>) -> T {
+        if self.id == root {
+            let mut slots = self.world.collectives.slots.lock();
+            slots[root as usize] = Some(Box::new(value.expect("root must supply a value")));
+        }
+        self.barrier();
+        let out = {
+            let slots = self.world.collectives.slots.lock();
+            slots[root as usize]
+                .as_ref()
+                .and_then(|b| b.downcast_ref::<T>())
+                .expect("broadcast type mismatch")
+                .clone()
+        };
+        self.barrier();
+        if self.id == root {
+            self.world.collectives.slots.lock()[root as usize] = None;
+        }
+        out
+    }
+
+    /// Gather one value from every rank; everyone receives the full vector
+    /// indexed by rank.
+    pub fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
+        {
+            let mut slots = self.world.collectives.slots.lock();
+            slots[self.id as usize] = Some(Box::new(value));
+        }
+        self.barrier();
+        let out: Vec<T> = {
+            let slots = self.world.collectives.slots.lock();
+            slots
+                .iter()
+                .map(|s| {
+                    s.as_ref()
+                        .and_then(|b| b.downcast_ref::<T>())
+                        .expect("allgather type mismatch")
+                        .clone()
+                })
+                .collect()
+        };
+        self.barrier();
+        {
+            let mut slots = self.world.collectives.slots.lock();
+            slots[self.id as usize] = None;
+        }
+        self.barrier();
+        out
+    }
+
+    /// Reduce across ranks with `op`; every rank receives the result.
+    pub fn allreduce<T: Clone + Send + 'static>(&self, value: T, op: impl Fn(T, T) -> T) -> T {
+        let all = self.allgather(value);
+        let mut it = all.into_iter();
+        let first = it.next().expect("non-empty world");
+        it.fold(first, op)
+    }
+
+    /// Fetch-or-create a world-shared object by name. The closure runs in
+    /// exactly one rank (whichever arrives first); everyone else attaches.
+    /// This is the shared-memory-segment attach of a real deployment.
+    pub fn get_or_create_shared<T: Send + Sync + 'static>(
+        &self,
+        name: &str,
+        create: impl FnOnce() -> T,
+    ) -> Arc<T> {
+        let mut objects = self.world.objects.lock();
+        let entry = objects
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(create()) as Arc<dyn Any + Send + Sync>);
+        Arc::clone(entry).downcast::<T>().expect("shared object type mismatch")
+    }
+}
+
+/// The world runner.
+pub struct World;
+
+impl World {
+    /// Construct the shared state (fabric, registry, servers) for `cfg`.
+    pub fn shared(cfg: WorldConfig) -> Arc<WorldShared> {
+        let fabric: Arc<dyn Fabric> = match cfg.fabric {
+            FabricKind::Memory(latency) => Arc::new(MemoryFabric::with_latency(latency)),
+            FabricKind::Tcp => Arc::new(TcpFabric::new()),
+        };
+        let registry = Arc::new(RpcRegistry::new());
+        let shared = Arc::new(WorldShared {
+            cfg,
+            fabric: Arc::clone(&fabric),
+            registry: Arc::clone(&registry),
+            collectives: Collectives {
+                barrier: Barrier::new(cfg.world_size() as usize),
+                slots: Mutex::new((0..cfg.world_size()).map(|_| None).collect()),
+            },
+            objects: Mutex::new(HashMap::new()),
+            next_fn_id: AtomicU32::new(1_000),
+            servers: Mutex::new(Vec::new()),
+        });
+        // Every rank hosts a server (any rank may own partitions).
+        {
+            let mut servers = shared.servers.lock();
+            for r in 0..cfg.world_size() {
+                servers.push(RpcServer::start(
+                    cfg.ep_of(r),
+                    Arc::clone(&fabric),
+                    Arc::clone(&registry),
+                    ServerConfig {
+                        // Extra slots beyond the rank count serve auxiliary
+                        // clients (e.g. server-side replication forwarders).
+                        max_clients: cfg.world_size() + 64,
+                        slot_cap: cfg.slot_cap,
+                        nic_cores: cfg.nic_cores,
+                    },
+                ));
+            }
+        }
+        shared
+    }
+
+    /// Run an SPMD closure on every rank; returns the per-rank results
+    /// ordered by rank id.
+    pub fn run<R, F>(cfg: WorldConfig, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(&Rank) -> R + Send + Sync,
+    {
+        let shared = Self::shared(cfg);
+        Self::run_on(shared, f)
+    }
+
+    /// Run an SPMD closure on a pre-built world (lets callers inspect the
+    /// shared state — traffic counters, server stats — afterwards).
+    pub fn run_on<R, F>(shared: Arc<WorldShared>, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(&Rank) -> R + Send + Sync,
+    {
+        let cfg = shared.cfg;
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(cfg.world_size() as usize);
+            for r in 0..cfg.world_size() {
+                let shared = Arc::clone(&shared);
+                let f = &f;
+                handles.push(s.spawn(move || {
+                    let mut client =
+                        RpcClient::new(cfg.ep_of(r), Arc::clone(&shared.fabric), cfg.slot_cap);
+                    client.set_timeout(Duration::from_secs(120));
+                    let rank = Rank { id: r, world: shared, client };
+                    f(&rank)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_get_correct_identity() {
+        let cfg = WorldConfig { nodes: 3, ranks_per_node: 4, ..WorldConfig::small() };
+        let ids = World::run(cfg, |rank| (rank.id(), rank.node(), rank.world_size()));
+        assert_eq!(ids.len(), 12);
+        for (i, (id, node, ws)) in ids.into_iter().enumerate() {
+            assert_eq!(id as usize, i);
+            assert_eq!(node, id / 4);
+            assert_eq!(ws, 12);
+        }
+    }
+
+    #[test]
+    fn same_node_check() {
+        let cfg = WorldConfig { nodes: 2, ranks_per_node: 2, ..WorldConfig::small() };
+        let got = World::run(cfg, |rank| (rank.same_node(0), rank.same_node(3)));
+        assert_eq!(got, vec![(true, false), (true, false), (false, true), (false, true)]);
+    }
+
+    #[test]
+    fn broadcast_delivers_to_all() {
+        let cfg = WorldConfig { nodes: 2, ranks_per_node: 3, ..WorldConfig::small() };
+        let got = World::run(cfg, |rank| {
+            let v = if rank.id() == 2 { Some("payload".to_string()) } else { None };
+            rank.broadcast(2, v)
+        });
+        assert!(got.iter().all(|v| v == "payload"));
+    }
+
+    #[test]
+    fn allgather_orders_by_rank() {
+        let cfg = WorldConfig { nodes: 2, ranks_per_node: 2, ..WorldConfig::small() };
+        let got = World::run(cfg, |rank| rank.allgather(rank.id() * 10));
+        for v in got {
+            assert_eq!(v, vec![0, 10, 20, 30]);
+        }
+    }
+
+    #[test]
+    fn allreduce_sums() {
+        let cfg = WorldConfig { nodes: 2, ranks_per_node: 2, ..WorldConfig::small() };
+        let got = World::run(cfg, |rank| rank.allreduce(rank.id() as u64 + 1, |a, b| a + b));
+        assert!(got.iter().all(|&v| v == 1 + 2 + 3 + 4));
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_cross_talk() {
+        let cfg = WorldConfig { nodes: 1, ranks_per_node: 4, ..WorldConfig::small() };
+        World::run(cfg, |rank| {
+            for round in 0..50u64 {
+                let sum = rank.allreduce(round + rank.id() as u64, |a, b| a + b);
+                assert_eq!(sum, 4 * round + 6);
+                let root_val = rank.broadcast(
+                    (round % 4) as u32,
+                    (rank.id() as u64 == round % 4).then_some(round),
+                );
+                assert_eq!(root_val, round);
+            }
+        });
+    }
+
+    #[test]
+    fn shared_object_created_once() {
+        use std::sync::atomic::AtomicU64;
+        let cfg = WorldConfig { nodes: 2, ranks_per_node: 4, ..WorldConfig::small() };
+        let got = World::run(cfg, |rank| {
+            let counter = rank.get_or_create_shared("counter", || AtomicU64::new(0));
+            counter.fetch_add(1, Ordering::Relaxed);
+            rank.barrier();
+            counter.load(Ordering::Relaxed)
+        });
+        assert!(got.iter().all(|&v| v == 8));
+    }
+
+    #[test]
+    fn rpc_between_ranks_works_inside_world() {
+        let cfg = WorldConfig { nodes: 2, ranks_per_node: 2, ..WorldConfig::small() };
+        let shared = World::shared(cfg);
+        let fn_id = shared.alloc_fn_ids(1);
+        shared.registry().bind_typed(fn_id, |server: EpId, caller: EpId, x: u64| {
+            x + (server.rank as u64) * 100 + caller.rank as u64
+        });
+        let got = World::run_on(shared, move |rank| {
+            // Every rank invokes on rank 3's server.
+            let target = rank.world().config().ep_of(3);
+            let r: u64 = rank.client().invoke(target, fn_id, &7u64).unwrap();
+            r
+        });
+        assert_eq!(got, vec![300 + 7, 301 + 7, 302 + 7, 303 + 7]);
+    }
+
+    #[test]
+    fn world_over_tcp_fabric() {
+        let cfg = WorldConfig {
+            nodes: 2,
+            ranks_per_node: 2,
+            fabric: FabricKind::Tcp,
+            ..WorldConfig::small()
+        };
+        let shared = World::shared(cfg);
+        let fn_id = shared.alloc_fn_ids(1);
+        shared.registry().bind_typed(fn_id, |_, _, x: u64| x * 3);
+        let got = World::run_on(shared, move |rank| {
+            let target = rank.world().config().ep_of(0);
+            let r: u64 = rank.client().invoke(target, fn_id, &(rank.id() as u64)).unwrap();
+            r
+        });
+        assert_eq!(got, vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn traffic_counters_visible_after_run() {
+        let cfg = WorldConfig { nodes: 2, ranks_per_node: 2, ..WorldConfig::small() };
+        let shared = World::shared(cfg);
+        let fn_id = shared.alloc_fn_ids(1);
+        shared.registry().bind_typed(fn_id, |_, _, ()| 1u64);
+        let shared2 = Arc::clone(&shared);
+        World::run_on(shared2, move |rank| {
+            let target = rank.world().config().ep_of(0);
+            let _: u64 = rank.client().invoke(target, fn_id, &()).unwrap();
+        });
+        let t = shared.traffic();
+        assert!(t.sends >= 4, "each rank sent one request");
+        assert!(t.reads >= 4, "each rank pulled one response");
+        assert!(shared.server_stats().requests >= 4);
+    }
+}

@@ -1,0 +1,3 @@
+//! Workspace-level crate: hosts the cross-crate integration tests in
+//! `tests/` and the runnable examples in `examples/`. See README.md.
+

@@ -1,0 +1,176 @@
+//! Property-based tests (proptest) on the core invariants:
+//! serialization roundtrips, log replay equivalence, container-vs-model
+//! equivalence, and ISx validation.
+
+use std::collections::{BTreeMap, HashMap};
+
+use hcl_containers::{CuckooMap, SkipListMap, SkipListPq};
+use hcl_databox::codec::{AnyCodec, Codec};
+use hcl_databox::DataBox;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every codec roundtrips arbitrary nested values.
+    #[test]
+    fn databox_roundtrip_nested(
+        a in any::<u64>(),
+        s in ".{0,40}",
+        v in proptest::collection::vec(any::<u32>(), 0..50),
+        opt in proptest::option::of(any::<i64>()),
+        pairs in proptest::collection::vec((any::<u16>(), ".{0,10}"), 0..20),
+    ) {
+        let value = (a, s.clone(), v.clone(), opt, pairs.clone());
+        for codec in [AnyCodec::Fixed, AnyCodec::Pack, AnyCodec::SelfDescribing] {
+            let enc = codec.encode(&value);
+            let dec: (u64, String, Vec<u32>, Option<i64>, Vec<(u16, String)>) =
+                codec.decode(&enc).unwrap();
+            prop_assert_eq!(&dec, &value);
+        }
+    }
+
+    /// Decoding never panics on arbitrary garbage (errors only).
+    #[test]
+    fn databox_decode_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = <(u64, String, Vec<u32>)>::from_bytes(&bytes);
+        let _ = AnyCodec::Pack.decode::<Vec<String>>(&bytes);
+        let _ = AnyCodec::SelfDescribing.decode::<u64>(&bytes);
+        let _ = String::from_bytes(&bytes);
+        let _ = <HashMap<u64, String>>::from_bytes(&bytes);
+    }
+
+    /// CuckooMap behaves exactly like HashMap under any op sequence.
+    #[test]
+    fn cuckoo_matches_hashmap_model(
+        ops in proptest::collection::vec((0u8..3, 0u64..64, any::<u64>()), 0..400)
+    ) {
+        let m = CuckooMap::with_buckets(2);
+        let mut model = HashMap::new();
+        for (op, k, v) in ops {
+            match op {
+                0 => prop_assert_eq!(m.insert(k, v), model.insert(k, v)),
+                1 => prop_assert_eq!(m.get(&k), model.get(&k).copied()),
+                _ => prop_assert_eq!(m.remove(&k), model.remove(&k)),
+            }
+            prop_assert_eq!(m.len(), model.len());
+        }
+    }
+
+    /// SkipListMap behaves exactly like BTreeMap, including order.
+    #[test]
+    fn skiplist_matches_btreemap_model(
+        ops in proptest::collection::vec((0u8..3, 0u64..64, any::<u64>()), 0..400)
+    ) {
+        let m = SkipListMap::new();
+        let mut model = BTreeMap::new();
+        for (op, k, v) in ops {
+            match op {
+                0 => prop_assert_eq!(m.insert(k, v), model.insert(k, v)),
+                1 => prop_assert_eq!(m.get(&k), model.get(&k).copied()),
+                _ => prop_assert_eq!(m.remove(&k), model.remove(&k)),
+            }
+        }
+        let snap: Vec<(u64, u64)> = m.iter_snapshot();
+        let want: Vec<(u64, u64)> = model.into_iter().collect();
+        prop_assert_eq!(snap, want);
+    }
+
+    /// The priority queue drains any multiset in sorted order.
+    #[test]
+    fn pq_drains_sorted(values in proptest::collection::vec(any::<u32>(), 0..300)) {
+        let pq = SkipListPq::new();
+        for &v in &values {
+            pq.push(v);
+        }
+        let drained = pq.drain_sorted();
+        let mut want = values.clone();
+        want.sort_unstable();
+        prop_assert_eq!(drained, want);
+    }
+
+    /// Op-log replay reconstructs exactly the map state that produced it.
+    #[test]
+    fn oplog_replay_reconstructs_state(
+        ops in proptest::collection::vec((0u8..2, 0u64..32, any::<u64>()), 0..200)
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "hcl-prop-oplog-{}-{}",
+            std::process::id(),
+            rand::random::<u64>()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.log");
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        {
+            let log: hcl::OpLog<(u8, u64, Option<u64>)> =
+                hcl::OpLog::open(&path, hcl::PersistMode::Strict, |_| {}).unwrap();
+            for (op, k, v) in ops {
+                if op == 0 {
+                    log.append(&(0, k, Some(v))).unwrap();
+                    model.insert(k, v);
+                } else {
+                    log.append(&(1, k, None)).unwrap();
+                    model.remove(&k);
+                }
+            }
+        }
+        let mut replayed: HashMap<u64, u64> = HashMap::new();
+        let _: hcl::OpLog<(u8, u64, Option<u64>)> =
+            hcl::OpLog::open(&path, hcl::PersistMode::Strict, |(op, k, v): (u8, u64, Option<u64>)| {
+                if op == 0 {
+                    replayed.insert(k, v.unwrap());
+                } else {
+                    replayed.remove(&k);
+                }
+            })
+            .unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        prop_assert_eq!(replayed, model);
+    }
+
+    /// ISx bucket assignment is total and order-preserving across buckets.
+    #[test]
+    fn isx_bucketing_is_monotone(keys in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        use hcl_apps::isx::bucket_of;
+        let buckets = 8u64;
+        let space = 1_000_000u64;
+        for &k in &keys {
+            let b = bucket_of(k, space, buckets);
+            prop_assert!(b < buckets);
+        }
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        let bs: Vec<u64> = sorted.iter().map(|&k| bucket_of(k, space, buckets)).collect();
+        prop_assert!(bs.windows(2).all(|w| w[0] <= w[1]), "bucket ids must be monotone in key");
+    }
+
+    /// k-mer pack/unpack roundtrips arbitrary base strings.
+    #[test]
+    fn kmer_roundtrip(idx in proptest::collection::vec(0usize..4, 1..32)) {
+        use hcl_apps::genome::{pack_kmer, unpack_kmer, BASES};
+        let seq: Vec<u8> = idx.iter().map(|&i| BASES[i]).collect();
+        let k = seq.len();
+        prop_assert_eq!(unpack_kmer(pack_kmer(&seq, k), k), seq);
+    }
+
+    /// The segment allocator never hands out overlapping live ranges.
+    #[test]
+    fn allocator_no_overlap(sizes in proptest::collection::vec(1usize..256, 1..60)) {
+        use hcl_mem::{Segment, SegmentAllocator};
+        let a = SegmentAllocator::new(Segment::new(128), 0);
+        let mut live: Vec<(usize, usize)> = Vec::new();
+        for (i, &len) in sizes.iter().enumerate() {
+            let off = a.alloc(len).unwrap();
+            let rounded = hcl_mem::align8(len);
+            for &(o, l) in &live {
+                prop_assert!(off + rounded <= o || o + l <= off, "overlap");
+            }
+            live.push((off, rounded));
+            if i % 3 == 2 {
+                let (o, _) = live.swap_remove(i % live.len());
+                a.free(o).unwrap();
+            }
+        }
+    }
+}
