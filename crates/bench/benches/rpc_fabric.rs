@@ -32,7 +32,7 @@ fn env() -> Env {
         server_ep,
         fabric.clone() as Arc<dyn Fabric>,
         reg,
-        ServerConfig { max_clients: 8, slot_cap: 64 * 1024, nic_cores: 2 },
+        ServerConfig { max_clients: 8, slot_cap: 64 * 1024, nic_cores: 2, ..ServerConfig::default() },
     );
     let client = RpcClient::new(EpId::new(1, 1), fabric.clone() as Arc<dyn Fabric>, 64 * 1024);
     let data_region = RegionKey { ep: server_ep, region: 7 };

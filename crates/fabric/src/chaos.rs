@@ -1,0 +1,663 @@
+//! # ChaosFabric — deterministic fault injection over any [`Fabric`]
+//!
+//! The paper's evaluation runs on a healthy cluster; this module exists to
+//! answer the question the paper leaves open — *what does the RoR protocol do
+//! when the network misbehaves?* [`ChaosFabric`] wraps any inner provider and
+//! perturbs traffic according to a [`FaultPlan`]:
+//!
+//! * **drop** — a two-sided message is silently discarded (the sender still
+//!   sees success, exactly like a lost datagram). For one-sided RMA and
+//!   atomics a "drop" surfaces as a transient [`FabricError::Injected`]
+//!   instead: RDMA verbs complete-or-fail, they never silently skip, and a
+//!   silently dropped-but-acknowledged `write` would make the fabric lie to
+//!   the initiator.
+//! * **delay** — a fixed extra latency plus a uniformly drawn jitter.
+//! * **duplication** — a two-sided message is delivered twice (retransmit
+//!   storms). RMA ops are not duplicated; re-executing a `fadd64` would
+//!   change application-visible state, which is a *semantic* fault, not a
+//!   network fault.
+//! * **transient errors** — the op fails with [`FabricError::Injected`]
+//!   without reaching the inner fabric.
+//! * **endpoint slow-down** — every op touching a marked endpoint pays an
+//!   extra fixed latency (a straggler node).
+//!
+//! Rules resolve most-specific-first: (pair, class) → pair → class → default.
+//!
+//! ## Determinism
+//!
+//! Every `(from, to, op-class)` triple owns an independent SplitMix64 stream
+//! seeded from the plan seed; the fault decision for the *k*-th operation on
+//! a stream is a pure function of `(seed, stream, k)`. Each operation draws
+//! exactly [`DRAWS_PER_OP`] values, so decisions never shift position within
+//! a stream regardless of which faults fire. Streams whose op order is fixed
+//! by per-rank program order (`Send` from a rank's client) therefore replay
+//! identically run-to-run under the same seed; polling-driven streams
+//! (`Read` issued while spinning on a response slot) advance a
+//! timing-dependent number of times, so determinism tests should target the
+//! `Send` class.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use crate::{EpId, Fabric, FabricError, FabricResult, RegionKey, TrafficSnapshot};
+
+/// Operation classes a [`FaultPlan`] can target independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Two-sided message send.
+    Send,
+    /// Two-sided receive (faults hit the receiving endpoint's queue).
+    Recv,
+    /// One-sided RMA read.
+    Read,
+    /// One-sided RMA write.
+    Write,
+    /// Remote atomic (CAS / fetch-add).
+    Atomic,
+}
+
+/// All op classes, in stream-key order.
+pub const ALL_OP_CLASSES: [OpClass; 5] =
+    [OpClass::Send, OpClass::Recv, OpClass::Read, OpClass::Write, OpClass::Atomic];
+
+/// Fault probabilities and delays applied to one class of traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRule {
+    /// Probability a message is lost (Send/Recv) or an RMA op fails
+    /// transiently (Read/Write/Atomic).
+    pub drop_prob: f64,
+    /// Probability a sent message is delivered twice (Send only).
+    pub dup_prob: f64,
+    /// Probability the op fails with [`FabricError::Injected`].
+    pub error_prob: f64,
+    /// Fixed extra latency added to every matching op.
+    pub delay: Duration,
+    /// Additional uniformly drawn latency in `[0, delay_jitter)`.
+    pub delay_jitter: Duration,
+}
+
+impl FaultRule {
+    /// The no-fault rule (the default for unmatched traffic).
+    pub const NONE: FaultRule = FaultRule {
+        drop_prob: 0.0,
+        dup_prob: 0.0,
+        error_prob: 0.0,
+        delay: Duration::ZERO,
+        delay_jitter: Duration::ZERO,
+    };
+
+    /// Set the drop probability (clamped to `[0, 1]`).
+    pub fn drop(mut self, p: f64) -> Self {
+        self.drop_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the duplication probability (clamped to `[0, 1]`).
+    pub fn dup(mut self, p: f64) -> Self {
+        self.dup_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the transient-error probability (clamped to `[0, 1]`).
+    pub fn error(mut self, p: f64) -> Self {
+        self.error_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the fixed delay.
+    pub fn delay(mut self, d: Duration) -> Self {
+        self.delay = d;
+        self
+    }
+
+    /// Set the jitter bound.
+    pub fn jitter(mut self, d: Duration) -> Self {
+        self.delay_jitter = d;
+        self
+    }
+
+    /// True when this rule can never perturb anything.
+    pub fn is_none(&self) -> bool {
+        self.drop_prob == 0.0
+            && self.dup_prob == 0.0
+            && self.error_prob == 0.0
+            && self.delay == Duration::ZERO
+            && self.delay_jitter == Duration::ZERO
+    }
+}
+
+impl Default for FaultRule {
+    fn default() -> Self {
+        FaultRule::NONE
+    }
+}
+
+/// A deterministic, seeded description of which traffic gets which faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    default_rule: FaultRule,
+    class_rules: HashMap<OpClass, FaultRule>,
+    pair_rules: HashMap<(EpId, EpId), FaultRule>,
+    pair_class_rules: HashMap<(EpId, EpId, OpClass), FaultRule>,
+    slow_endpoints: HashMap<EpId, Duration>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) under `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, ..Default::default() }
+    }
+
+    /// The plan seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Rule applied to traffic no more specific rule matches.
+    pub fn with_default(mut self, rule: FaultRule) -> Self {
+        self.default_rule = rule;
+        self
+    }
+
+    /// Rule for every op of one class, any endpoint pair.
+    pub fn for_class(mut self, class: OpClass, rule: FaultRule) -> Self {
+        self.class_rules.insert(class, rule);
+        self
+    }
+
+    /// Rule for every op class on one directed endpoint pair. For RMA
+    /// classes the pair is `(initiator, region owner)`.
+    pub fn for_pair(mut self, from: EpId, to: EpId, rule: FaultRule) -> Self {
+        self.pair_rules.insert((from, to), rule);
+        self
+    }
+
+    /// Rule for one op class on one directed endpoint pair — the most
+    /// specific match, wins over everything else.
+    pub fn for_pair_class(mut self, from: EpId, to: EpId, class: OpClass, rule: FaultRule) -> Self {
+        self.pair_class_rules.insert((from, to, class), rule);
+        self
+    }
+
+    /// Mark `ep` as a straggler: every op touching it (as initiator or
+    /// target) pays `extra` latency on top of any rule delay.
+    pub fn slow_endpoint(mut self, ep: EpId, extra: Duration) -> Self {
+        self.slow_endpoints.insert(ep, extra);
+        self
+    }
+
+    /// Resolve the effective rule for one op, most specific first.
+    pub fn resolve(&self, from: EpId, to: EpId, class: OpClass) -> FaultRule {
+        if let Some(r) = self.pair_class_rules.get(&(from, to, class)) {
+            return *r;
+        }
+        if let Some(r) = self.pair_rules.get(&(from, to)) {
+            return *r;
+        }
+        if let Some(r) = self.class_rules.get(&class) {
+            return *r;
+        }
+        self.default_rule
+    }
+
+    /// Total straggler latency for an op between `from` and `to`.
+    pub fn slowdown(&self, from: EpId, to: EpId) -> Duration {
+        let mut d = self.slow_endpoints.get(&from).copied().unwrap_or(Duration::ZERO);
+        if to != from {
+            d += self.slow_endpoints.get(&to).copied().unwrap_or(Duration::ZERO);
+        }
+        d
+    }
+}
+
+/// Monotonic per-fault counters.
+#[derive(Debug, Default)]
+pub struct ChaosStats {
+    /// Messages dropped (and RMA ops failed as "lost").
+    pub drops: AtomicU64,
+    /// Messages delivered twice.
+    pub duplicates: AtomicU64,
+    /// Ops failed with [`FabricError::Injected`].
+    pub injected_errors: AtomicU64,
+    /// Ops that paid a rule delay (fixed and/or jitter).
+    pub delayed_ops: AtomicU64,
+    /// Ops that paid a straggler-endpoint delay.
+    pub slowed_ops: AtomicU64,
+}
+
+/// A point-in-time copy of [`ChaosStats`] (comparable across runs for
+/// determinism checks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosSnapshot {
+    /// Messages dropped.
+    pub drops: u64,
+    /// Messages duplicated.
+    pub duplicates: u64,
+    /// Transient errors injected.
+    pub injected_errors: u64,
+    /// Ops delayed by a rule.
+    pub delayed_ops: u64,
+    /// Ops slowed by a straggler endpoint.
+    pub slowed_ops: u64,
+}
+
+impl ChaosSnapshot {
+    /// Total faults of any kind.
+    pub fn total_faults(&self) -> u64 {
+        self.drops + self.duplicates + self.injected_errors + self.delayed_ops + self.slowed_ops
+    }
+}
+
+/// Random draws consumed per operation (fixed so stream positions never
+/// shift based on which faults fire).
+pub const DRAWS_PER_OP: u32 = 4;
+
+/// One resolved fault decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Decision {
+    drop: bool,
+    dup: bool,
+    error: bool,
+    delay: Duration,
+}
+
+/// SplitMix64 step — the same generator the workspace's shimmed `rand` uses.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fold `v` into `acc` through one SplitMix64 step.
+fn mix(acc: u64, v: u64) -> u64 {
+    let mut s = acc ^ v;
+    splitmix64(&mut s)
+}
+
+/// Initial RNG state for a `(from, to, class)` stream under `seed`.
+fn stream_seed(seed: u64, from: EpId, to: EpId, class: OpClass) -> u64 {
+    let mut s = mix(seed, 0xC4A0_5_u64);
+    s = mix(s, from.node as u64);
+    s = mix(s, from.rank as u64);
+    s = mix(s, to.node as u64);
+    s = mix(s, to.rank as u64);
+    mix(s, class as u64)
+}
+
+/// Map a uniform u64 draw onto `[0, 1)` and compare against a probability.
+fn hit(draw: u64, prob: f64) -> bool {
+    if prob <= 0.0 {
+        return false;
+    }
+    if prob >= 1.0 {
+        return true;
+    }
+    ((draw >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < prob
+}
+
+/// A fault-injecting wrapper around any [`Fabric`] provider.
+pub struct ChaosFabric {
+    inner: Arc<dyn Fabric>,
+    plan: FaultPlan,
+    /// RNG state per `(from, to, class)` stream.
+    streams: Mutex<HashMap<(EpId, EpId, OpClass), u64>>,
+    stats: ChaosStats,
+}
+
+impl ChaosFabric {
+    /// Wrap `inner`, perturbing its traffic per `plan`.
+    pub fn wrap(inner: Arc<dyn Fabric>, plan: FaultPlan) -> Self {
+        ChaosFabric { inner, plan, streams: Mutex::new(HashMap::new()), stats: ChaosStats::default() }
+    }
+
+    /// Convenience: a [`ChaosFabric`] over a fresh in-process
+    /// [`crate::memory::MemoryFabric`].
+    pub fn over_memory(plan: FaultPlan) -> Self {
+        Self::wrap(Arc::new(crate::memory::MemoryFabric::new()), plan)
+    }
+
+    /// The fault plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The wrapped provider.
+    pub fn inner(&self) -> &Arc<dyn Fabric> {
+        &self.inner
+    }
+
+    /// Per-fault counters.
+    pub fn chaos_stats(&self) -> ChaosSnapshot {
+        ChaosSnapshot {
+            drops: self.stats.drops.load(Ordering::Relaxed),
+            duplicates: self.stats.duplicates.load(Ordering::Relaxed),
+            injected_errors: self.stats.injected_errors.load(Ordering::Relaxed),
+            delayed_ops: self.stats.delayed_ops.load(Ordering::Relaxed),
+            slowed_ops: self.stats.slowed_ops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Draw the next fault decision for `(from, to, class)`. Exactly
+    /// [`DRAWS_PER_OP`] values are consumed from the stream.
+    fn decide(&self, from: EpId, to: EpId, class: OpClass) -> Decision {
+        let rule = self.plan.resolve(from, to, class);
+        let (d_drop, d_dup, d_err, d_jitter) = {
+            let mut streams = self.streams.lock().unwrap_or_else(|e| e.into_inner());
+            let state = streams
+                .entry((from, to, class))
+                .or_insert_with(|| stream_seed(self.plan.seed, from, to, class));
+            (
+                splitmix64(state),
+                splitmix64(state),
+                splitmix64(state),
+                splitmix64(state),
+            )
+        };
+        debug_assert_eq!(DRAWS_PER_OP, 4);
+        let mut delay = rule.delay;
+        if rule.delay_jitter > Duration::ZERO {
+            let jitter_ns = rule.delay_jitter.as_nanos() as u64;
+            delay += Duration::from_nanos(d_jitter % jitter_ns.max(1));
+        }
+        Decision {
+            drop: hit(d_drop, rule.drop_prob),
+            dup: hit(d_dup, rule.dup_prob),
+            error: hit(d_err, rule.error_prob),
+            delay,
+        }
+    }
+
+    /// Apply the decision's latency terms (rule delay + straggler penalty)
+    /// and bump the corresponding counters.
+    fn apply_latency(&self, decision: &Decision, from: EpId, to: EpId) {
+        let slow = self.plan.slowdown(from, to);
+        if decision.delay > Duration::ZERO {
+            self.stats.delayed_ops.fetch_add(1, Ordering::Relaxed);
+        }
+        if slow > Duration::ZERO {
+            self.stats.slowed_ops.fetch_add(1, Ordering::Relaxed);
+        }
+        let total = decision.delay + slow;
+        if total > Duration::ZERO {
+            if total < Duration::from_micros(50) {
+                let start = std::time::Instant::now();
+                while start.elapsed() < total {
+                    std::hint::spin_loop();
+                }
+            } else {
+                std::thread::sleep(total);
+            }
+        }
+    }
+
+    /// Fail the op with an injected transient error.
+    fn inject(&self, class: OpClass, from: EpId, to: EpId) -> FabricError {
+        self.stats.injected_errors.fetch_add(1, Ordering::Relaxed);
+        FabricError::Injected(format!("{class:?} {from}->{to}"))
+    }
+
+    /// Shared fault path for the synchronous RMA/atomic classes: delay, then
+    /// possibly fail. Returns an error the op must propagate, or `Ok(())` to
+    /// proceed to the inner fabric.
+    fn rma_gate(&self, from: EpId, owner: EpId, class: OpClass) -> FabricResult<()> {
+        let d = self.decide(from, owner, class);
+        self.apply_latency(&d, from, owner);
+        if d.error {
+            return Err(self.inject(class, from, owner));
+        }
+        if d.drop {
+            // RMA ops complete-or-fail; a "lost" op is a transient failure.
+            self.stats.drops.fetch_add(1, Ordering::Relaxed);
+            return Err(FabricError::Injected(format!("{class:?} {from}->{owner} (lost)")));
+        }
+        Ok(())
+    }
+}
+
+impl Fabric for ChaosFabric {
+    fn register_endpoint(&self, ep: EpId) -> FabricResult<()> {
+        self.inner.register_endpoint(ep)
+    }
+
+    fn register_region(
+        &self,
+        key: RegionKey,
+        seg: Arc<hcl_mem::Segment>,
+    ) -> FabricResult<()> {
+        self.inner.register_region(key, seg)
+    }
+
+    fn send(&self, from: EpId, to: EpId, msg: Bytes) -> FabricResult<()> {
+        let d = self.decide(from, to, OpClass::Send);
+        self.apply_latency(&d, from, to);
+        if d.error {
+            return Err(self.inject(OpClass::Send, from, to));
+        }
+        if d.drop {
+            // Lost in flight: the sender still observes success.
+            self.stats.drops.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        if d.dup {
+            self.stats.duplicates.fetch_add(1, Ordering::Relaxed);
+            self.inner.send(from, to, msg.clone())?;
+        }
+        self.inner.send(from, to, msg)
+    }
+
+    fn recv(&self, ep: EpId, timeout: Option<Duration>) -> FabricResult<Option<(EpId, Bytes)>> {
+        let d = self.decide(ep, ep, OpClass::Recv);
+        self.apply_latency(&d, ep, ep);
+        if d.error {
+            return Err(self.inject(OpClass::Recv, ep, ep));
+        }
+        let got = self.inner.recv(ep, timeout)?;
+        if d.drop {
+            if got.is_some() {
+                // Receive-side loss: the message made it across but the
+                // endpoint's queue "lost" it.
+                self.stats.drops.fetch_add(1, Ordering::Relaxed);
+            }
+            return Ok(None);
+        }
+        Ok(got)
+    }
+
+    fn read(&self, from: EpId, key: RegionKey, off: usize, len: usize) -> FabricResult<Vec<u8>> {
+        self.rma_gate(from, key.ep, OpClass::Read)?;
+        self.inner.read(from, key, off, len)
+    }
+
+    fn write(&self, from: EpId, key: RegionKey, off: usize, data: &[u8]) -> FabricResult<()> {
+        self.rma_gate(from, key.ep, OpClass::Write)?;
+        self.inner.write(from, key, off, data)
+    }
+
+    fn cas64(
+        &self,
+        from: EpId,
+        key: RegionKey,
+        off: usize,
+        expected: u64,
+        new: u64,
+    ) -> FabricResult<u64> {
+        self.rma_gate(from, key.ep, OpClass::Atomic)?;
+        self.inner.cas64(from, key, off, expected, new)
+    }
+
+    fn fadd64(&self, from: EpId, key: RegionKey, off: usize, delta: u64) -> FabricResult<u64> {
+        self.rma_gate(from, key.ep, OpClass::Atomic)?;
+        self.inner.fadd64(from, key, off, delta)
+    }
+
+    fn stats(&self) -> TrafficSnapshot {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryFabric;
+    use hcl_mem::Segment;
+
+    fn ep(r: u32) -> EpId {
+        EpId::new(0, r)
+    }
+
+    #[test]
+    fn rule_resolution_most_specific_wins() {
+        let a = ep(0);
+        let b = ep(1);
+        let plan = FaultPlan::new(1)
+            .with_default(FaultRule::NONE.drop(0.1))
+            .for_class(OpClass::Send, FaultRule::NONE.drop(0.2))
+            .for_pair(a, b, FaultRule::NONE.drop(0.3))
+            .for_pair_class(a, b, OpClass::Send, FaultRule::NONE.drop(0.4));
+        assert_eq!(plan.resolve(a, b, OpClass::Send).drop_prob, 0.4);
+        assert_eq!(plan.resolve(a, b, OpClass::Read).drop_prob, 0.3);
+        assert_eq!(plan.resolve(b, a, OpClass::Send).drop_prob, 0.2);
+        assert_eq!(plan.resolve(b, a, OpClass::Write).drop_prob, 0.1);
+    }
+
+    #[test]
+    fn same_seed_same_decision_sequence() {
+        let a = ep(0);
+        let b = ep(1);
+        let plan = || {
+            FaultPlan::new(42).for_class(
+                OpClass::Send,
+                FaultRule::NONE.drop(0.3).dup(0.2).error(0.1).jitter(Duration::from_nanos(1000)),
+            )
+        };
+        let f1 = ChaosFabric::over_memory(plan());
+        let f2 = ChaosFabric::over_memory(plan());
+        let d1: Vec<_> = (0..256).map(|_| f1.decide(a, b, OpClass::Send)).collect();
+        let d2: Vec<_> = (0..256).map(|_| f2.decide(a, b, OpClass::Send)).collect();
+        assert_eq!(d1, d2);
+        // A different seed must diverge somewhere in 256 draws.
+        let f3 = ChaosFabric::over_memory(FaultPlan::new(43).for_class(
+            OpClass::Send,
+            FaultRule::NONE.drop(0.3).dup(0.2).error(0.1).jitter(Duration::from_nanos(1000)),
+        ));
+        let d3: Vec<_> = (0..256).map(|_| f3.decide(a, b, OpClass::Send)).collect();
+        assert_ne!(d1, d3);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let plan = FaultPlan::new(7)
+            .for_class(OpClass::Send, FaultRule::NONE.drop(0.5));
+        let f1 = ChaosFabric::over_memory(plan.clone());
+        let f2 = ChaosFabric::over_memory(plan);
+        // Interleave streams differently across the two fabrics; per-stream
+        // sequences must still match.
+        let mut seq1 = Vec::new();
+        for i in 0..64 {
+            seq1.push(f1.decide(ep(0), ep(1), OpClass::Send));
+            let _ = f1.decide(ep(2), ep(3 + i % 2), OpClass::Send);
+        }
+        let mut seq2 = Vec::new();
+        for _ in 0..64 {
+            seq2.push(f2.decide(ep(0), ep(1), OpClass::Send));
+        }
+        assert_eq!(seq1, seq2);
+    }
+
+    #[test]
+    fn full_drop_loses_sends_but_reports_success() {
+        let chaos = ChaosFabric::over_memory(
+            FaultPlan::new(3).for_class(OpClass::Send, FaultRule::NONE.drop(1.0)),
+        );
+        chaos.register_endpoint(ep(0)).unwrap();
+        chaos.register_endpoint(ep(1)).unwrap();
+        for _ in 0..10 {
+            chaos.send(ep(0), ep(1), Bytes::from_static(b"gone")).unwrap();
+        }
+        assert_eq!(chaos.recv(ep(1), Some(Duration::from_millis(5))).unwrap(), None);
+        let s = chaos.chaos_stats();
+        assert_eq!(s.drops, 10);
+        assert_eq!(s.duplicates, 0);
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let chaos = ChaosFabric::over_memory(
+            FaultPlan::new(3).for_class(OpClass::Send, FaultRule::NONE.dup(1.0)),
+        );
+        chaos.register_endpoint(ep(0)).unwrap();
+        chaos.register_endpoint(ep(1)).unwrap();
+        chaos.send(ep(0), ep(1), Bytes::from_static(b"twice")).unwrap();
+        let a = chaos.recv(ep(1), Some(Duration::from_millis(100))).unwrap();
+        let b = chaos.recv(ep(1), Some(Duration::from_millis(100))).unwrap();
+        assert!(a.is_some() && b.is_some());
+        assert_eq!(chaos.chaos_stats().duplicates, 1);
+    }
+
+    #[test]
+    fn injected_errors_surface_and_count() {
+        let chaos = ChaosFabric::over_memory(
+            FaultPlan::new(9).for_class(OpClass::Write, FaultRule::NONE.error(1.0)),
+        );
+        chaos.register_endpoint(ep(0)).unwrap();
+        chaos.register_endpoint(ep(1)).unwrap();
+        let key = RegionKey { ep: ep(1), region: 5 };
+        chaos.register_region(key, Segment::new(64)).unwrap();
+        let err = chaos.write(ep(0), key, 0, &[1, 2, 3]).unwrap_err();
+        assert!(matches!(err, FabricError::Injected(_)));
+        assert_eq!(chaos.chaos_stats().injected_errors, 1);
+        // Reads were left un-faulted and still work.
+        assert_eq!(chaos.read(ep(0), key, 0, 3).unwrap(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn rma_drop_is_a_transient_failure_not_a_silent_skip() {
+        let chaos = ChaosFabric::over_memory(
+            FaultPlan::new(4).for_class(OpClass::Write, FaultRule::NONE.drop(1.0)),
+        );
+        chaos.register_endpoint(ep(0)).unwrap();
+        chaos.register_endpoint(ep(1)).unwrap();
+        let key = RegionKey { ep: ep(1), region: 1 };
+        chaos.register_region(key, Segment::new(64)).unwrap();
+        assert!(matches!(
+            chaos.write(ep(0), key, 0, &[9]).unwrap_err(),
+            FabricError::Injected(_)
+        ));
+        assert_eq!(chaos.chaos_stats().drops, 1);
+        // The write never reached memory.
+        assert_eq!(chaos.read(ep(0), key, 0, 1).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn straggler_endpoint_counts_slowed_ops() {
+        let chaos = ChaosFabric::over_memory(
+            FaultPlan::new(5).slow_endpoint(ep(1), Duration::from_micros(10)),
+        );
+        chaos.register_endpoint(ep(0)).unwrap();
+        chaos.register_endpoint(ep(1)).unwrap();
+        chaos.send(ep(0), ep(1), Bytes::from_static(b"slow")).unwrap();
+        chaos.send(ep(0), ep(0), Bytes::from_static(b"fast")).unwrap();
+        assert_eq!(chaos.chaos_stats().slowed_ops, 1);
+    }
+
+    #[test]
+    fn clean_plan_is_transparent() {
+        let inner: Arc<dyn Fabric> = Arc::new(MemoryFabric::new());
+        let chaos = ChaosFabric::wrap(Arc::clone(&inner), FaultPlan::new(0));
+        chaos.register_endpoint(ep(0)).unwrap();
+        chaos.register_endpoint(ep(1)).unwrap();
+        chaos.send(ep(0), ep(1), Bytes::from_static(b"hi")).unwrap();
+        let (from, msg) = chaos.recv(ep(1), Some(Duration::from_millis(100))).unwrap().unwrap();
+        assert_eq!(from, ep(0));
+        assert_eq!(&msg[..], b"hi");
+        assert_eq!(chaos.chaos_stats(), ChaosSnapshot::default());
+        assert_eq!(chaos.stats().sends, 1);
+    }
+}

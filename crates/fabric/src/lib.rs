@@ -29,6 +29,7 @@
 //! Every operation updates a [`TrafficStats`] block — packets and bytes by
 //! class — which is what the Fig. 4(c) network-profiling comparison reads.
 
+pub mod chaos;
 pub mod memory;
 pub mod tcp;
 
@@ -89,6 +90,9 @@ pub enum FabricError {
     Io(String),
     /// The fabric (or peer) has shut down.
     Closed,
+    /// A transient failure injected by [`chaos::ChaosFabric`]; retrying the
+    /// operation may succeed.
+    Injected(String),
 }
 
 impl std::fmt::Display for FabricError {
@@ -99,6 +103,7 @@ impl std::fmt::Display for FabricError {
             FabricError::Mem(e) => write!(f, "memory error: {e}"),
             FabricError::Io(e) => write!(f, "fabric I/O error: {e}"),
             FabricError::Closed => write!(f, "fabric closed"),
+            FabricError::Injected(e) => write!(f, "injected fault: {e}"),
         }
     }
 }

@@ -12,15 +12,18 @@ use hcl_databox::DataBox;
 use hcl_fabric::{EpId, Fabric};
 use parking_lot::Mutex;
 
+use hcl_fabric::FabricError;
+
 use crate::{
-    decode_batch_response, encode_batch, resp_key, slot_offset, FnId, RequestHeader, RpcError,
-    RpcResult, FLAG_BATCH, SLOTS_PER_CLIENT, SLOT_HDR,
+    decode_batch_response, encode_batch, resp_key, slot_offset, FnId, RequestHeader, RetryPolicy,
+    RpcError, RpcResult, FLAG_BATCH, FLAG_IDEMPOTENT, SLOTS_PER_CLIENT, SLOT_HDR,
 };
 
 /// Default time to wait for a response before reporting [`RpcError::Timeout`].
 pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// What a future needs to pull its response.
+/// What a future needs to pull (and, under a retry policy, re-request) its
+/// response.
 struct PendingResponse {
     fabric: Arc<dyn Fabric>,
     client_ep: EpId,
@@ -29,11 +32,23 @@ struct PendingResponse {
     slot_cap: usize,
     req_id: u64,
     timeout: Duration,
+    /// The encoded request, kept for retransmission.
+    msg: Bytes,
+    retry: RetryPolicy,
 }
 
 impl PendingResponse {
     /// Poll the slot header once; pull and return the payload when complete.
+    /// Transient injected faults on the poll path read as "not ready yet" —
+    /// the next poll retries the read.
     fn try_pull(&self) -> RpcResult<Option<Bytes>> {
+        match self.try_pull_inner() {
+            Err(RpcError::Fabric(FabricError::Injected(_))) => Ok(None),
+            other => other,
+        }
+    }
+
+    fn try_pull_inner(&self) -> RpcResult<Option<Bytes>> {
         let key = resp_key(self.server);
         let hdr = slot_offset(self.client_ep.rank, self.slot, self.slot_cap);
         let seq = self.fabric.read_u64(self.client_ep, key, hdr)?;
@@ -52,15 +67,16 @@ impl PendingResponse {
         Ok(Some(Bytes::from(data)))
     }
 
-    /// Block (poll + backoff) until the response arrives.
-    fn pull_blocking(&self) -> RpcResult<Bytes> {
+    /// Poll (spin, then yield, then sleep) until the response arrives or
+    /// `timeout` elapses.
+    fn poll_until(&self, timeout: Duration) -> RpcResult<Bytes> {
         let start = Instant::now();
         let mut spins = 0u32;
         loop {
             if let Some(b) = self.try_pull()? {
                 return Ok(b);
             }
-            if start.elapsed() > self.timeout {
+            if start.elapsed() > timeout {
                 return Err(RpcError::Timeout);
             }
             // Responses usually land within the handler turnaround. Spin
@@ -74,6 +90,36 @@ impl PendingResponse {
             } else {
                 std::thread::sleep(Duration::from_micros(50));
             }
+        }
+    }
+
+    /// Block until the response arrives, retransmitting the request under
+    /// the retry policy. With `max_attempts == 1` this is a plain wait with
+    /// the original single-attempt error semantics.
+    fn pull_blocking(&self) -> RpcResult<Bytes> {
+        let attempts = self.retry.max_attempts.max(1);
+        let per_attempt = self.retry.attempt_timeout.unwrap_or(self.timeout);
+        let mut last = RpcError::Timeout;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.retry.backoff(attempt - 1));
+                // Retransmit with the same req_id and slot: the server
+                // dedups on (caller, req_id) and republishes if the request
+                // already executed.
+                if let Err(e) = self.fabric.send(self.client_ep, self.server, self.msg.clone()) {
+                    last = e.into();
+                    continue;
+                }
+            }
+            match self.poll_until(per_attempt) {
+                Ok(b) => return Ok(b),
+                Err(e) => last = e,
+            }
+        }
+        if attempts > 1 {
+            Err(RpcError::RetriesExhausted { attempts, last: Box::new(last) })
+        } else {
+            Err(last)
         }
     }
 }
@@ -192,6 +238,7 @@ pub struct RpcClient {
     slots: Mutex<HashMap<(EpId, u32), RawFuture>>,
     slot_cap: usize,
     timeout: Duration,
+    retry: RetryPolicy,
 }
 
 impl RpcClient {
@@ -206,6 +253,7 @@ impl RpcClient {
             slots: Mutex::new(HashMap::new()),
             slot_cap,
             timeout: DEFAULT_TIMEOUT,
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -214,12 +262,26 @@ impl RpcClient {
         self.timeout = t;
     }
 
+    /// Enable retransmission under `policy`. Requests issued with more than
+    /// one allowed attempt are tagged [`FLAG_IDEMPOTENT`] so servers
+    /// execute each request id at most once.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
     /// This client's endpoint.
     pub fn endpoint(&self) -> EpId {
         self.ep
     }
 
     fn issue(&self, server: EpId, chain: Vec<FnId>, args: &[u8], flags: u8) -> RpcResult<RawFuture> {
+        let retrying = self.retry.max_attempts > 1;
+        let flags = if retrying { flags | FLAG_IDEMPOTENT } else { flags };
         let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
         let slot = (req_id % SLOTS_PER_CLIENT) as u32;
         // Enforce slot reuse discipline: drain the previous occupant.
@@ -229,7 +291,14 @@ impl RpcClient {
         }
         let hdr = RequestHeader { req_id, slot, flags, chain };
         let msg = hdr.encode(args);
-        self.fabric.send(self.ep, server, msg)?;
+        match self.fabric.send(self.ep, server, msg.clone()) {
+            Ok(()) => {}
+            // A transiently failed first transmit is just a failed attempt
+            // when retransmission is allowed; the future's retry loop will
+            // resend it.
+            Err(FabricError::Injected(_)) if retrying => {}
+            Err(e) => return Err(e.into()),
+        }
         let fut = RawFuture::new(PendingResponse {
             fabric: Arc::clone(&self.fabric),
             client_ep: self.ep,
@@ -238,6 +307,8 @@ impl RpcClient {
             slot_cap: self.slot_cap,
             req_id,
             timeout: self.timeout,
+            msg,
+            retry: self.retry,
         });
         self.slots.lock().insert((server, slot), fut.clone());
         Ok(fut)

@@ -70,6 +70,27 @@ pub enum RpcError {
     Timeout,
     /// The server reported an unknown function id.
     UnknownFunction(FnId),
+    /// Every attempt allowed by the [`RetryPolicy`] failed; `last` is the
+    /// error of the final attempt (typically [`RpcError::Timeout`] when the
+    /// target is unreachable).
+    RetriesExhausted {
+        /// Attempts made (initial try plus retries).
+        attempts: u32,
+        /// The final attempt's error.
+        last: Box<RpcError>,
+    },
+}
+
+impl RpcError {
+    /// True when the failure is rooted in a missing response — a timeout,
+    /// directly or as the last error of an exhausted retry budget.
+    pub fn is_timeout(&self) -> bool {
+        match self {
+            RpcError::Timeout => true,
+            RpcError::RetriesExhausted { last, .. } => last.is_timeout(),
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for RpcError {
@@ -79,6 +100,9 @@ impl std::fmt::Display for RpcError {
             RpcError::Decode(e) => write!(f, "rpc decode error: {e}"),
             RpcError::Timeout => write!(f, "rpc timeout"),
             RpcError::UnknownFunction(id) => write!(f, "unknown rpc function {id}"),
+            RpcError::RetriesExhausted { attempts, last } => {
+                write!(f, "rpc failed after {attempts} attempts: {last}")
+            }
         }
     }
 }
@@ -168,6 +192,102 @@ pub struct RequestHeader {
 
 /// Flag bit: the payload is an aggregated batch.
 pub const FLAG_BATCH: u8 = 1;
+
+/// Flag bit: the client may retransmit this request id (retry or duplicate
+/// delivery); the server must execute it at most once, deduplicating by
+/// `(caller rank, req_id)` and republishing the cached response.
+pub const FLAG_IDEMPOTENT: u8 = 2;
+
+/// Client-side retry policy: attempts, capped exponential backoff with
+/// deterministic jitter, and a per-attempt response timeout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (initial try included). `1` disables retransmission.
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_delay: std::time::Duration,
+    /// Upper bound on any single backoff.
+    pub max_delay: std::time::Duration,
+    /// Geometric growth factor per retry.
+    pub multiplier: f64,
+    /// Jitter fraction: each backoff is stretched by up to this fraction,
+    /// drawn deterministically from `seed`.
+    pub jitter_frac: f64,
+    /// Seed for the deterministic jitter sequence.
+    pub seed: u64,
+    /// Per-attempt wait for the response; `None` uses the client's
+    /// configured timeout.
+    pub attempt_timeout: Option<std::time::Duration>,
+}
+
+impl RetryPolicy {
+    /// No retransmission: one attempt, client-timeout semantics unchanged.
+    pub const fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay: std::time::Duration::ZERO,
+            max_delay: std::time::Duration::ZERO,
+            multiplier: 1.0,
+            jitter_frac: 0.0,
+            seed: 0,
+            attempt_timeout: None,
+        }
+    }
+
+    /// A sensible resilient default: `max_attempts` tries, 2 ms base delay
+    /// doubling up to 100 ms, 25% jitter under `seed`.
+    pub fn resilient(max_attempts: u32, seed: u64) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_delay: std::time::Duration::from_millis(2),
+            max_delay: std::time::Duration::from_millis(100),
+            multiplier: 2.0,
+            jitter_frac: 0.25,
+            seed,
+            attempt_timeout: None,
+        }
+    }
+
+    /// Override the per-attempt timeout.
+    pub fn with_attempt_timeout(mut self, t: std::time::Duration) -> Self {
+        self.attempt_timeout = Some(t);
+        self
+    }
+
+    /// The backoff before retry number `retry` (0-based: the delay between
+    /// attempt 1 and attempt 2 is `backoff(0)`).
+    ///
+    /// The sequence is monotone non-decreasing by construction (a running
+    /// maximum over the jittered geometric terms), bounded by `max_delay`,
+    /// and a pure function of `(policy, seed, retry)`.
+    pub fn backoff(&self, retry: u32) -> std::time::Duration {
+        let base = self.base_delay.as_nanos() as f64;
+        let cap = self.max_delay.as_nanos() as f64;
+        let mut best = 0f64;
+        for k in 0..=retry.min(63) {
+            let raw = base * self.multiplier.max(1.0).powi(k as i32);
+            let jittered = raw * (1.0 + self.jitter_frac.max(0.0) * jitter_unit(self.seed, k));
+            best = best.max(jittered.min(cap));
+        }
+        std::time::Duration::from_nanos(best as u64)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+/// Deterministic uniform draw in `[0, 1)` for retry `k` under `seed`
+/// (SplitMix64 finalizer).
+fn jitter_unit(seed: u64, k: u32) -> f64 {
+    let mut z = seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    ((z >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+}
 
 impl RequestHeader {
     /// Serialize the header followed by `args` into one message.

@@ -11,7 +11,7 @@ use parking_lot::Mutex;
 
 use crate::{
     decode_batch, encode_batch_response, resp_key, slot_offset, RequestHeader, RpcRegistry,
-    FLAG_BATCH, SLOTS_PER_CLIENT, SLOT_HDR,
+    FLAG_BATCH, FLAG_IDEMPOTENT, SLOTS_PER_CLIENT, SLOT_HDR,
 };
 
 /// Server configuration.
@@ -24,11 +24,74 @@ pub struct ServerConfig {
     /// Worker threads — the emulated NIC cores (Mellanox BlueField-class
     /// NICs are multi-core, §I).
     pub nic_cores: usize,
+    /// Seen-request window capacity for [`FLAG_IDEMPOTENT`] dedup: how many
+    /// recently executed `(caller, req_id)` pairs (with their cached
+    /// responses) are remembered. `0` disables dedup — retransmitted
+    /// requests re-execute.
+    pub dedup_window: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { max_clients: 64, slot_cap: crate::DEFAULT_SLOT_CAP, nic_cores: 2 }
+        ServerConfig {
+            max_clients: 64,
+            slot_cap: crate::DEFAULT_SLOT_CAP,
+            nic_cores: 2,
+            dedup_window: DEFAULT_DEDUP_WINDOW,
+        }
+    }
+}
+
+/// Default [`ServerConfig::dedup_window`] capacity.
+pub const DEFAULT_DEDUP_WINDOW: usize = 1024;
+
+/// Dedup state for one retransmittable request id.
+enum DedupEntry {
+    /// A NIC core is executing it right now; duplicates are dropped (the
+    /// original execution will publish the response).
+    InProgress,
+    /// Executed; the cached response can be republished for late duplicates.
+    Done(Vec<u8>),
+}
+
+/// Bounded FIFO window of recently seen retransmittable requests.
+struct DedupWindow {
+    entries: HashMap<(u32, u64), DedupEntry>,
+    order: std::collections::VecDeque<(u32, u64)>,
+    cap: usize,
+}
+
+impl DedupWindow {
+    fn new(cap: usize) -> Self {
+        DedupWindow { entries: HashMap::new(), order: std::collections::VecDeque::new(), cap }
+    }
+
+    /// Look up `key`, or claim it as in-progress (evicting the oldest entry
+    /// once the window is full). `None` means the caller must execute.
+    fn check_or_claim(&mut self, key: (u32, u64)) -> Option<&DedupEntry> {
+        if self.entries.contains_key(&key) {
+            return self.entries.get(&key);
+        }
+        while self.order.len() >= self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.entries.remove(&old);
+            }
+        }
+        self.entries.insert(key, DedupEntry::InProgress);
+        self.order.push_back(key);
+        None
+    }
+
+    /// Record the executed response (unless the entry was evicted mid-run).
+    fn complete(&mut self, key: (u32, u64), response: Vec<u8>) {
+        if let Some(e) = self.entries.get_mut(&key) {
+            *e = DedupEntry::Done(response);
+        }
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.order.len()
     }
 }
 
@@ -42,6 +105,9 @@ pub struct ServerStats {
     pub busy_ns: AtomicU64,
     /// Requests that spilled to the overflow area.
     pub overflow_responses: AtomicU64,
+    /// Retransmitted requests answered from the dedup window (or dropped as
+    /// in-progress) instead of re-executing.
+    pub deduped: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServerStats`].
@@ -53,6 +119,8 @@ pub struct ServerStatsSnapshot {
     pub busy_ns: u64,
     /// Overflow responses.
     pub overflow_responses: u64,
+    /// Duplicate requests absorbed by the dedup window.
+    pub deduped: u64,
 }
 
 /// The RPC server bound to one endpoint.
@@ -84,6 +152,7 @@ impl RpcServer {
         let overflow = Arc::new(SegmentAllocator::new(Arc::clone(&resp_seg), header_area));
         let overflow_live: Arc<Mutex<HashMap<(u32, u32), usize>>> =
             Arc::new(Mutex::new(HashMap::new()));
+        let dedup = Arc::new(Mutex::new(DedupWindow::new(cfg.dedup_window)));
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
         let mut workers = Vec::with_capacity(cfg.nic_cores);
@@ -95,6 +164,7 @@ impl RpcServer {
             let resp_seg = Arc::clone(&resp_seg);
             let overflow = Arc::clone(&overflow);
             let overflow_live = Arc::clone(&overflow_live);
+            let dedup = Arc::clone(&dedup);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("hcl-nic-{ep}-c{core}"))
@@ -109,6 +179,41 @@ impl RpcServer {
                             let Some((hdr, args_off)) = RequestHeader::decode(&payload) else {
                                 continue;
                             };
+                            // Retransmittable request: execute at most once.
+                            let dedup_key = (caller.rank, hdr.req_id);
+                            let dedup_active =
+                                hdr.flags & FLAG_IDEMPOTENT != 0 && cfg.dedup_window > 0;
+                            if dedup_active {
+                                let mut w = dedup.lock();
+                                match w.check_or_claim(dedup_key) {
+                                    Some(DedupEntry::InProgress) => {
+                                        // Another core is running the
+                                        // original; it will publish.
+                                        stats.deduped.fetch_add(1, Ordering::Relaxed);
+                                        continue;
+                                    }
+                                    Some(DedupEntry::Done(cached)) => {
+                                        // The response may have been lost to
+                                        // the requester; republish it.
+                                        let cached = cached.clone();
+                                        drop(w);
+                                        stats.deduped.fetch_add(1, Ordering::Relaxed);
+                                        publish_response(
+                                            &resp_seg,
+                                            &overflow,
+                                            &overflow_live,
+                                            &stats,
+                                            cfg.slot_cap,
+                                            caller.rank,
+                                            hdr.slot,
+                                            hdr.req_id,
+                                            &cached,
+                                        );
+                                        continue;
+                                    }
+                                    None => {}
+                                }
+                            }
                             let t0 = Instant::now();
                             let response = if hdr.flags & FLAG_BATCH != 0 {
                                 // Aggregated request: run every bundled call.
@@ -141,43 +246,20 @@ impl RpcServer {
                             stats
                                 .busy_ns
                                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                            // Publish the response into the caller's slot.
-                            let slot_off =
-                                slot_offset(caller.rank, hdr.slot, cfg.slot_cap);
-                            let payload_off = slot_off + SLOT_HDR;
-                            // Free the overflow block this slot used last time
-                            // (its response was necessarily consumed: the
-                            // client may not reuse a slot before that).
-                            if let Some(prev) =
-                                overflow_live.lock().remove(&(caller.rank, hdr.slot))
-                            {
-                                let _ = overflow.free(prev);
+                            if dedup_active {
+                                dedup.lock().complete(dedup_key, response.clone());
                             }
-                            if response.len() <= cfg.slot_cap {
-                                resp_seg
-                                    .write(payload_off, &response)
-                                    .expect("slot payload write");
-                            } else {
-                                stats.overflow_responses.fetch_add(1, Ordering::Relaxed);
-                                let off = overflow
-                                    .alloc(response.len())
-                                    .expect("overflow allocation");
-                                resp_seg.write(off, &response).expect("overflow write");
-                                resp_seg
-                                    .store_u64(payload_off, off as u64)
-                                    .expect("overflow pointer write");
-                                overflow_live
-                                    .lock()
-                                    .insert((caller.rank, hdr.slot), off);
-                            }
-                            resp_seg
-                                .store_u64(slot_off + 8, response.len() as u64)
-                                .expect("slot len write");
-                            // Sequence word last: this is the completion the
-                            // client polls for.
-                            resp_seg
-                                .store_u64(slot_off, hdr.req_id)
-                                .expect("slot seq write");
+                            publish_response(
+                                &resp_seg,
+                                &overflow,
+                                &overflow_live,
+                                &stats,
+                                cfg.slot_cap,
+                                caller.rank,
+                                hdr.slot,
+                                hdr.req_id,
+                                &response,
+                            );
                         }
                     })
                     .expect("spawn NIC worker"),
@@ -197,6 +279,7 @@ impl RpcServer {
             requests: self.stats.requests.load(Ordering::Relaxed),
             busy_ns: self.stats.busy_ns.load(Ordering::Relaxed),
             overflow_responses: self.stats.overflow_responses.load(Ordering::Relaxed),
+            deduped: self.stats.deduped.load(Ordering::Relaxed),
         }
     }
 
@@ -221,5 +304,154 @@ impl RpcServer {
 impl Drop for RpcServer {
     fn drop(&mut self) {
         self.shutdown_inner();
+    }
+}
+
+/// Publish `response` into the caller's slot: payload (inline or spilled),
+/// then length, then the sequence word last — the completion the client
+/// polls for.
+///
+/// Publication is skipped when the slot already carries a sequence at or
+/// beyond `req_id`: request ids on one slot strictly increase, so a smaller
+/// id means this is a late duplicate of a request whose caller has already
+/// consumed the response and moved on — overwriting would wedge the slot's
+/// current occupant.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn publish_response(
+    resp_seg: &Arc<Segment>,
+    overflow: &Arc<SegmentAllocator>,
+    overflow_live: &Arc<Mutex<HashMap<(u32, u32), usize>>>,
+    stats: &Arc<ServerStats>,
+    slot_cap: usize,
+    caller_rank: u32,
+    slot: u32,
+    req_id: u64,
+    response: &[u8],
+) {
+    let slot_off = slot_offset(caller_rank, slot, slot_cap);
+    if resp_seg.load_u64(slot_off).expect("slot seq read") >= req_id {
+        return;
+    }
+    let payload_off = slot_off + SLOT_HDR;
+    // Free the overflow block this slot used last time (its response was
+    // necessarily consumed: the client may not reuse a slot before that).
+    if let Some(prev) = overflow_live.lock().remove(&(caller_rank, slot)) {
+        let _ = overflow.free(prev);
+    }
+    if response.len() <= slot_cap {
+        resp_seg.write(payload_off, response).expect("slot payload write");
+    } else {
+        stats.overflow_responses.fetch_add(1, Ordering::Relaxed);
+        let off = overflow.alloc(response.len()).expect("overflow allocation");
+        resp_seg.write(off, response).expect("overflow write");
+        resp_seg.store_u64(payload_off, off as u64).expect("overflow pointer write");
+        overflow_live.lock().insert((caller_rank, slot), off);
+    }
+    resp_seg.store_u64(slot_off + 8, response.len() as u64).expect("slot len write");
+    resp_seg.store_u64(slot_off, req_id).expect("slot seq write");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RequestHeader;
+    use hcl_fabric::memory::MemoryFabric;
+
+    #[test]
+    fn dedup_window_claims_then_answers_from_cache() {
+        let mut w = DedupWindow::new(8);
+        assert!(w.check_or_claim((0, 1)).is_none());
+        assert!(matches!(w.check_or_claim((0, 1)), Some(DedupEntry::InProgress)));
+        w.complete((0, 1), b"resp".to_vec());
+        match w.check_or_claim((0, 1)) {
+            Some(DedupEntry::Done(r)) => assert_eq!(r, b"resp"),
+            other => panic!("expected cached response, got {:?}", other.is_some()),
+        }
+        // A different caller with the same req_id is a distinct request.
+        assert!(w.check_or_claim((1, 1)).is_none());
+    }
+
+    #[test]
+    fn dedup_window_evicts_oldest_at_capacity() {
+        let mut w = DedupWindow::new(2);
+        assert!(w.check_or_claim((0, 1)).is_none());
+        assert!(w.check_or_claim((0, 2)).is_none());
+        assert_eq!(w.len(), 2);
+        // Third distinct key evicts (0, 1).
+        assert!(w.check_or_claim((0, 3)).is_none());
+        assert_eq!(w.len(), 2);
+        assert!(w.check_or_claim((0, 1)).is_none(), "evicted id re-executes");
+        // (0, 3) survived the (0, 1) re-claim evicting (0, 2).
+        assert!(w.check_or_claim((0, 3)).is_some());
+    }
+
+    #[test]
+    fn dedup_complete_after_eviction_is_a_no_op() {
+        let mut w = DedupWindow::new(1);
+        assert!(w.check_or_claim((0, 1)).is_none());
+        assert!(w.check_or_claim((0, 2)).is_none()); // evicts (0, 1)
+        w.complete((0, 1), b"late".to_vec());
+        assert_eq!(w.len(), 1);
+        assert!(w.check_or_claim((0, 1)).is_none(), "evicted completion not resurrected");
+    }
+
+    /// Run a server over a raw fabric, send `copies` of one request, and
+    /// return (handler executions, server deduped counter).
+    fn run_duplicates(flags: u8, copies: usize, dedup_window: usize) -> (u64, u64) {
+        use std::sync::atomic::AtomicU64;
+        let fabric: Arc<dyn hcl_fabric::Fabric> = Arc::new(MemoryFabric::new());
+        let server_ep = hcl_fabric::EpId::new(0, 0);
+        let client_ep = hcl_fabric::EpId::new(0, 1);
+        fabric.register_endpoint(client_ep).unwrap();
+        let registry = Arc::new(RpcRegistry::new());
+        let executions = Arc::new(AtomicU64::new(0));
+        let e2 = Arc::clone(&executions);
+        registry.bind(7, move |_, _, args| {
+            e2.fetch_add(1, Ordering::Relaxed);
+            args.to_vec()
+        });
+        let server = RpcServer::start(
+            server_ep,
+            Arc::clone(&fabric),
+            registry,
+            ServerConfig { max_clients: 4, slot_cap: 256, nic_cores: 2, dedup_window },
+        );
+        let msg = RequestHeader { req_id: 1, slot: 1, flags, chain: vec![7] }.encode(b"x");
+        for _ in 0..copies {
+            fabric.send(client_ep, server_ep, msg.clone()).unwrap();
+        }
+        // Wait until every copy has been consumed one way or the other.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let st = server.stats();
+            if st.requests + st.deduped >= copies as u64 || Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let st = server.stats();
+        server.shutdown();
+        (executions.load(Ordering::Relaxed), st.deduped)
+    }
+
+    #[test]
+    fn flagged_duplicates_execute_once() {
+        let (execs, deduped) = run_duplicates(FLAG_IDEMPOTENT, 3, 64);
+        assert_eq!(execs, 1, "handler must run exactly once");
+        assert_eq!(deduped, 2, "both duplicates absorbed");
+    }
+
+    #[test]
+    fn unflagged_duplicates_re_execute() {
+        let (execs, deduped) = run_duplicates(0, 3, 64);
+        assert_eq!(execs, 3, "no dedup without the idempotent flag");
+        assert_eq!(deduped, 0);
+    }
+
+    #[test]
+    fn zero_window_disables_dedup() {
+        let (execs, deduped) = run_duplicates(FLAG_IDEMPOTENT, 2, 0);
+        assert_eq!(execs, 2);
+        assert_eq!(deduped, 0);
     }
 }

@@ -34,7 +34,7 @@ fn run_suite(fabric: Arc<dyn Fabric>) {
         server_ep,
         Arc::clone(&fabric),
         registry(Arc::clone(&counter)),
-        ServerConfig { max_clients: 8, slot_cap: 1024, nic_cores: 2 },
+        ServerConfig { max_clients: 8, slot_cap: 1024, nic_cores: 2, ..ServerConfig::default() },
     );
 
     let client = RpcClient::new(EpId::new(1, 1), Arc::clone(&fabric), 1024);
@@ -105,7 +105,7 @@ fn many_clients_concurrent() {
         server_ep,
         Arc::clone(&fabric),
         registry(Arc::clone(&counter)),
-        ServerConfig { max_clients: 32, slot_cap: 512, nic_cores: 4 },
+        ServerConfig { max_clients: 32, slot_cap: 512, nic_cores: 4, ..ServerConfig::default() },
     );
     std::thread::scope(|s| {
         for r in 1..17u32 {
@@ -132,7 +132,7 @@ fn slot_reuse_discipline_allows_unbounded_async_stream() {
         server_ep,
         Arc::clone(&fabric),
         registry(counter),
-        ServerConfig { max_clients: 8, slot_cap: 256, nic_cores: 1 },
+        ServerConfig { max_clients: 8, slot_cap: 256, nic_cores: 1, ..ServerConfig::default() },
     );
     let client = RpcClient::new(EpId::new(1, 1), Arc::clone(&fabric), 256);
     let futs: Vec<_> = (0..100u64)
@@ -195,7 +195,7 @@ fn repeated_oversize_responses_reuse_overflow_space() {
         server_ep,
         Arc::clone(&fabric),
         reg,
-        ServerConfig { max_clients: 4, slot_cap: 512, nic_cores: 1 },
+        ServerConfig { max_clients: 4, slot_cap: 512, nic_cores: 1, ..ServerConfig::default() },
     );
     let client = RpcClient::new(EpId::new(1, 1), Arc::clone(&fabric), 512);
     // Warm up one oversize call, record the buffer size.
@@ -225,7 +225,7 @@ fn single_rank_world_degenerate_but_functional() {
         server_ep,
         Arc::clone(&fabric),
         reg,
-        ServerConfig { max_clients: 2, slot_cap: 256, nic_cores: 1 },
+        ServerConfig { max_clients: 2, slot_cap: 256, nic_cores: 1, ..ServerConfig::default() },
     );
     // Self-invocation: the client endpoint IS the server endpoint.
     let client = RpcClient::new(server_ep, Arc::clone(&fabric), 256);

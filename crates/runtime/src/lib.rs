@@ -34,7 +34,7 @@ use hcl_fabric::tcp::TcpFabric;
 use hcl_fabric::{EpId, Fabric, LatencyModel, TrafficSnapshot};
 use hcl_rpc::client::RpcClient;
 use hcl_rpc::server::{RpcServer, ServerConfig, ServerStatsSnapshot};
-use hcl_rpc::{FnId, RpcRegistry};
+use hcl_rpc::{FnId, RetryPolicy, RpcRegistry};
 use parking_lot::Mutex;
 
 /// Which fabric provider a world runs on.
@@ -59,6 +59,9 @@ pub struct WorldConfig {
     pub slot_cap: usize,
     /// NIC cores (worker threads) per rank's server.
     pub nic_cores: usize,
+    /// Retry policy installed on every rank's RPC client.
+    /// [`RetryPolicy::none`] (the default) keeps single-attempt semantics.
+    pub retry: RetryPolicy,
 }
 
 impl WorldConfig {
@@ -70,6 +73,7 @@ impl WorldConfig {
             fabric: FabricKind::Memory(LatencyModel::NONE),
             slot_cap: hcl_rpc::DEFAULT_SLOT_CAP,
             nic_cores: 1,
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -138,6 +142,7 @@ impl WorldShared {
             out.requests += st.requests;
             out.busy_ns += st.busy_ns;
             out.overflow_responses += st.overflow_responses;
+            out.deduped += st.deduped;
         }
         out
     }
@@ -297,6 +302,13 @@ impl World {
             FabricKind::Memory(latency) => Arc::new(MemoryFabric::with_latency(latency)),
             FabricKind::Tcp => Arc::new(TcpFabric::new()),
         };
+        Self::shared_with_fabric(cfg, fabric)
+    }
+
+    /// Construct the shared state over a caller-supplied fabric provider
+    /// (e.g. a [`hcl_fabric::chaos::ChaosFabric`] wrapping the one
+    /// `cfg.fabric` would pick). `cfg.fabric` is ignored.
+    pub fn shared_with_fabric(cfg: WorldConfig, fabric: Arc<dyn Fabric>) -> Arc<WorldShared> {
         let registry = Arc::new(RpcRegistry::new());
         let shared = Arc::new(WorldShared {
             cfg,
@@ -324,6 +336,7 @@ impl World {
                         max_clients: cfg.world_size() + 64,
                         slot_cap: cfg.slot_cap,
                         nic_cores: cfg.nic_cores,
+                        ..ServerConfig::default()
                     },
                 ));
             }
@@ -359,6 +372,7 @@ impl World {
                     let mut client =
                         RpcClient::new(cfg.ep_of(r), Arc::clone(&shared.fabric), cfg.slot_cap);
                     client.set_timeout(Duration::from_secs(120));
+                    client.set_retry_policy(cfg.retry);
                     let rank = Rank { id: r, world: shared, client };
                     f(&rank)
                 }));

@@ -1,0 +1,25 @@
+# Task runner recipes. Install `just`, or copy the commands by hand.
+
+# Full build + test sweep (tier-1).
+default: test
+
+build:
+    cargo build --workspace --release
+
+test:
+    cargo test --workspace --release
+
+# Fault-injection suite under a fixed seed: deterministic, CI-friendly.
+test-faults:
+    cargo test --release --test fault_injection
+    cargo test --release --test property_based retry_backoff chaos_fault
+
+# Sweep the full container workload through 10 different fault seeds.
+test-faults-soak:
+    #!/usr/bin/env bash
+    set -euo pipefail
+    for seed in 1 2 3 5 8 13 21 34 55 89; do
+        echo "== fault soak: seed $seed =="
+        HCL_FAULT_SEED=$seed cargo test --release --test fault_injection \
+            -- --ignored soak_lossy_workload_env_seed
+    done

@@ -1,0 +1,269 @@
+//! Offline stand-in for the `criterion` crate (see `shims/README.md`).
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a drastically simpler measurement model:
+//! a short warm-up, then `sample_size` timed samples, reporting the mean
+//! ns/iter (no statistics, no HTML reports, no comparisons to saved
+//! baselines).
+//!
+//! When the harness is invoked by `cargo test` (which passes `--test` to
+//! `harness = false` bench targets) every benchmark body runs exactly once
+//! as a smoke test, matching real criterion's behavior.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Id with a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Id from a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+/// Accepts `&str`, `String`, or [`BenchmarkId`] where an id is expected.
+pub trait IntoBenchmarkId {
+    /// Convert to the canonical id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self }
+    }
+}
+
+/// Throughput annotation (recorded, reported alongside timing).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark bodies.
+pub struct Bencher {
+    /// Nanoseconds accumulated by [`Bencher::iter`].
+    elapsed: Duration,
+    /// Iterations the measurement loop ran.
+    iters: u64,
+    /// Smoke mode: run the body exactly once.
+    once: bool,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and measure it.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        if self.once {
+            black_box(f());
+            self.iters = 1;
+            return;
+        }
+        // Warm-up, then measure.
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let iters = 10u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Run a single benchmark outside a group.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) {
+        let name = id.into_benchmark_id().name;
+        run_one(&name, None, self.test_mode, &self.filter, f);
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Set the per-iteration throughput annotation.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = t.into();
+        self
+    }
+
+    /// Set the sample count (recorded; the shim's timing loop is fixed).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id().name);
+        run_one(&name, self.throughput, self.criterion.test_mode, &self.criterion.filter, f);
+    }
+
+    /// Run a benchmark with an input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id().name);
+        run_one(&name, self.throughput, self.criterion.test_mode, &self.criterion.filter, |b| {
+            f(b, input)
+        });
+    }
+
+    /// Finish the group (report separator; nothing to flush in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    name: &str,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    filter: &Option<String>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    if let Some(filter) = filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher { elapsed: Duration::ZERO, iters: 0, once: test_mode };
+    f(&mut b);
+    if test_mode {
+        println!("{name}: ok (smoke)");
+        return;
+    }
+    if b.iters == 0 {
+        println!("{name}: no measurement (body never called iter)");
+        return;
+    }
+    let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 / (ns_per_iter / 1e9);
+            println!("{name}: {ns_per_iter:.0} ns/iter ({per_sec:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let mb_per_sec = n as f64 / (ns_per_iter / 1e9) / (1 << 20) as f64;
+            println!("{name}: {ns_per_iter:.0} ns/iter ({mb_per_sec:.1} MiB/s)");
+        }
+        None => println!("{name}: {ns_per_iter:.0} ns/iter"),
+    }
+}
+
+/// Collect benchmark functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate the bench harness `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut calls = 0;
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0, once: true };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert_eq!(b.iters, 1);
+    }
+
+    #[test]
+    fn measure_mode_runs_warmup_plus_samples() {
+        let mut calls = 0;
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0, once: false };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 13); // 3 warm-up + 10 measured
+        assert_eq!(b.iters, 10);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("enc", "fixed").name, "enc/fixed");
+        assert_eq!(BenchmarkId::from_parameter(42).name, "42");
+    }
+}

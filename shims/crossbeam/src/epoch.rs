@@ -1,0 +1,389 @@
+//! An API-compatible stand-in for `crossbeam_epoch`'s pointer layer:
+//! [`Atomic`], [`Owned`], [`Shared`], tagged pointers, `compare_exchange`
+//! with [`CompareExchangeError`], [`pin`], and [`unprotected`].
+//!
+//! ## Reclamation strategy (the one deliberate divergence)
+//!
+//! The real crate defers destruction until no pinned thread can still hold a
+//! reference. This shim's [`Guard::defer_destroy`] **leaks** the pointee
+//! instead. Leaking is the safe substitution: every deferred node simply
+//! stays allocated, so no reader can ever observe freed memory, and the
+//! lock-free algorithms built on top keep their correctness unchanged. The
+//! cost is bounded by the number of retired nodes over a process lifetime,
+//! which is acceptable for the test- and benchmark-scale runs this
+//! reproduction performs. `Shared::into_owned` (used by the containers for
+//! nodes that were never published, and in `Drop` impls where exclusive
+//! access is guaranteed) does reclaim immediately, exactly like the real
+//! crate.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of pointer low bits available for tags, given `T`'s alignment.
+fn low_bits<T>() -> usize {
+    std::mem::align_of::<T>() - 1
+}
+
+fn decompose<T>(data: usize) -> (*mut T, usize) {
+    ((data & !low_bits::<T>()) as *mut T, data & low_bits::<T>())
+}
+
+/// Common interface of [`Owned`] and [`Shared`], so `store` and
+/// `compare_exchange` accept either.
+pub trait Pointer<T> {
+    /// Dissolve into the raw tagged representation.
+    fn into_usize(self) -> usize;
+    /// Rebuild from the raw tagged representation.
+    ///
+    /// # Safety
+    /// `data` must have come from `into_usize` of the same pointer family.
+    unsafe fn from_usize(data: usize) -> Self;
+}
+
+/// An owned, heap-allocated pointer (a `Box` with tag bits).
+pub struct Owned<T> {
+    data: usize,
+    _marker: PhantomData<Box<T>>,
+}
+
+impl<T> Owned<T> {
+    /// Allocate `value` on the heap.
+    pub fn new(value: T) -> Self {
+        Owned { data: Box::into_raw(Box::new(value)) as usize, _marker: PhantomData }
+    }
+
+    /// Return the same pointer with `tag` set in the low bits.
+    pub fn with_tag(self, tag: usize) -> Self {
+        let data = self.data;
+        std::mem::forget(self);
+        Owned { data: (data & !low_bits::<T>()) | (tag & low_bits::<T>()), _marker: PhantomData }
+    }
+
+    /// Convert into a [`Shared`], transferring ownership into the data
+    /// structure (the guard witnesses the epoch pin).
+    pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+        let data = self.data;
+        std::mem::forget(self);
+        Shared { data, _marker: PhantomData }
+    }
+
+    /// Consume the box, returning the value.
+    pub fn into_box(self) -> Box<T> {
+        let (ptr, _) = decompose::<T>(self.data);
+        std::mem::forget(self);
+        unsafe { Box::from_raw(ptr) }
+    }
+}
+
+impl<T> std::ops::Deref for Owned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        let (ptr, _) = decompose::<T>(self.data);
+        unsafe { &*ptr }
+    }
+}
+
+impl<T> std::ops::DerefMut for Owned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        let (ptr, _) = decompose::<T>(self.data);
+        unsafe { &mut *ptr }
+    }
+}
+
+impl<T> Drop for Owned<T> {
+    fn drop(&mut self) {
+        let (ptr, _) = decompose::<T>(self.data);
+        drop(unsafe { Box::from_raw(ptr) });
+    }
+}
+
+impl<T> Pointer<T> for Owned<T> {
+    fn into_usize(self) -> usize {
+        let data = self.data;
+        std::mem::forget(self);
+        data
+    }
+    unsafe fn from_usize(data: usize) -> Self {
+        Owned { data, _marker: PhantomData }
+    }
+}
+
+/// A shared, possibly-tagged pointer valid for the guard lifetime `'g`.
+pub struct Shared<'g, T> {
+    data: usize,
+    _marker: PhantomData<(&'g (), *const T)>,
+}
+
+impl<'g, T> Clone for Shared<'g, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'g, T> Copy for Shared<'g, T> {}
+
+impl<'g, T> Shared<'g, T> {
+    /// The null pointer.
+    pub fn null() -> Self {
+        Shared { data: 0, _marker: PhantomData }
+    }
+
+    /// True when the (untagged) pointer is null.
+    pub fn is_null(&self) -> bool {
+        decompose::<T>(self.data).0.is_null()
+    }
+
+    /// The untagged raw pointer.
+    pub fn as_raw(&self) -> *const T {
+        decompose::<T>(self.data).0
+    }
+
+    /// The tag stored in the low bits.
+    pub fn tag(&self) -> usize {
+        decompose::<T>(self.data).1
+    }
+
+    /// The same pointer with a different tag.
+    pub fn with_tag(&self, tag: usize) -> Self {
+        Shared {
+            data: (self.data & !low_bits::<T>()) | (tag & low_bits::<T>()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Dereference.
+    ///
+    /// # Safety
+    /// The pointer must be non-null and the pointee alive.
+    pub unsafe fn deref(&self) -> &'g T {
+        unsafe { &*self.as_raw() }
+    }
+
+    /// Dereference as an `Option` (`None` when null).
+    ///
+    /// # Safety
+    /// The pointee must be alive if non-null.
+    pub unsafe fn as_ref(&self) -> Option<&'g T> {
+        let p = self.as_raw();
+        if p.is_null() {
+            None
+        } else {
+            Some(unsafe { &*p })
+        }
+    }
+
+    /// Reclaim ownership of the pointee.
+    ///
+    /// # Safety
+    /// The caller must have exclusive access (the pointer unreachable to any
+    /// other thread).
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        debug_assert!(!self.is_null(), "into_owned on null Shared");
+        Owned { data: self.data, _marker: PhantomData }
+    }
+}
+
+impl<'g, T> From<*const T> for Shared<'g, T> {
+    fn from(p: *const T) -> Self {
+        Shared { data: p as usize, _marker: PhantomData }
+    }
+}
+
+impl<'g, T> PartialEq for Shared<'g, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+impl<'g, T> Eq for Shared<'g, T> {}
+
+impl<'g, T> std::fmt::Debug for Shared<'g, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Shared({:p}, tag={})", self.as_raw(), self.tag())
+    }
+}
+
+impl<'g, T> Pointer<T> for Shared<'g, T> {
+    fn into_usize(self) -> usize {
+        self.data
+    }
+    unsafe fn from_usize(data: usize) -> Self {
+        Shared { data, _marker: PhantomData }
+    }
+}
+
+/// Error of a failed [`Atomic::compare_exchange`]: the value actually found,
+/// and the `new` pointer handed back so the caller can reuse or free it.
+pub struct CompareExchangeError<'g, T, P: Pointer<T>> {
+    /// The value the atomic actually held.
+    pub current: Shared<'g, T>,
+    /// The proposed new pointer, returned to the caller.
+    pub new: P,
+}
+
+/// An atomic tagged pointer to `T`.
+pub struct Atomic<T> {
+    data: AtomicUsize,
+    _marker: PhantomData<*mut T>,
+}
+
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+impl<T> Atomic<T> {
+    /// A null atomic pointer.
+    pub fn null() -> Self {
+        Atomic { data: AtomicUsize::new(0), _marker: PhantomData }
+    }
+
+    /// Allocate `value` and store the pointer.
+    pub fn new(value: T) -> Self {
+        Atomic::from(Owned::new(value))
+    }
+
+    /// Load the current pointer.
+    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared { data: self.data.load(ord), _marker: PhantomData }
+    }
+
+    /// Store a pointer ([`Owned`] or [`Shared`]).
+    pub fn store<P: Pointer<T>>(&self, new: P, ord: Ordering) {
+        self.data.store(new.into_usize(), ord);
+    }
+
+    /// Swap in a pointer, returning the previous one.
+    pub fn swap<'g, P: Pointer<T>>(&self, new: P, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared { data: self.data.swap(new.into_usize(), ord), _marker: PhantomData }
+    }
+
+    /// Compare-and-exchange: install `new` if the current value is
+    /// `current`. On success returns the installed pointer as [`Shared`];
+    /// on failure returns the observed value and hands `new` back.
+    pub fn compare_exchange<'g, P: Pointer<T>>(
+        &self,
+        current: Shared<'_, T>,
+        new: P,
+        success: Ordering,
+        failure: Ordering,
+        _guard: &'g Guard,
+    ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, P>> {
+        let new_data = new.into_usize();
+        match self.data.compare_exchange(current.data, new_data, success, failure) {
+            Ok(_) => Ok(Shared { data: new_data, _marker: PhantomData }),
+            Err(found) => Err(CompareExchangeError {
+                current: Shared { data: found, _marker: PhantomData },
+                new: unsafe { P::from_usize(new_data) },
+            }),
+        }
+    }
+}
+
+impl<T> Default for Atomic<T> {
+    fn default() -> Self {
+        Atomic::null()
+    }
+}
+
+impl<T> From<Owned<T>> for Atomic<T> {
+    fn from(owned: Owned<T>) -> Self {
+        Atomic { data: AtomicUsize::new(owned.into_usize()), _marker: PhantomData }
+    }
+}
+
+impl<'g, T> From<Shared<'g, T>> for Atomic<T> {
+    fn from(shared: Shared<'g, T>) -> Self {
+        Atomic { data: AtomicUsize::new(shared.data), _marker: PhantomData }
+    }
+}
+
+impl<T> From<*const T> for Atomic<T> {
+    fn from(p: *const T) -> Self {
+        Atomic { data: AtomicUsize::new(p as usize), _marker: PhantomData }
+    }
+}
+
+/// Witness of an epoch pin. In this shim pinning is a no-op because retired
+/// nodes are leaked rather than reclaimed (module docs).
+pub struct Guard {
+    _priv: (),
+}
+
+impl Guard {
+    /// Retire the pointee. This shim leaks it (module docs) — the real crate
+    /// frees it once no pinned thread can reach it.
+    ///
+    /// # Safety
+    /// The pointer must be unreachable to threads that pin after this call
+    /// (same contract as the real crate; the leak makes it vacuously safe).
+    pub unsafe fn defer_destroy<T>(&self, _ptr: Shared<'_, T>) {}
+
+    /// Flush pending retirements (no-op here).
+    pub fn flush(&self) {}
+
+    /// Re-pin (no-op here).
+    pub fn repin(&mut self) {}
+}
+
+/// Pin the current thread, returning a guard.
+pub fn pin() -> Guard {
+    Guard { _priv: () }
+}
+
+static UNPROTECTED: Guard = Guard { _priv: () };
+
+/// A guard that does not actually pin.
+///
+/// # Safety
+/// Caller must guarantee no concurrent access to the data structures used
+/// under it (same contract as the real crate).
+pub unsafe fn unprotected() -> &'static Guard {
+    &UNPROTECTED
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip() {
+        let g = pin();
+        let a: Atomic<u64> = Atomic::new(42);
+        let s = a.load(Ordering::Acquire, &g);
+        assert_eq!(s.tag(), 0);
+        let t = s.with_tag(1);
+        assert_eq!(t.tag(), 1);
+        assert_eq!(t.as_raw(), s.as_raw());
+        assert_eq!(unsafe { *t.deref() }, 42);
+        drop(unsafe { s.into_owned() });
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let g = pin();
+        let a: Atomic<u64> = Atomic::null();
+        let n1 = Owned::new(1u64);
+        let installed =
+            a.compare_exchange(Shared::null(), n1, Ordering::AcqRel, Ordering::Acquire, &g);
+        assert!(installed.is_ok());
+        let cur = a.load(Ordering::Acquire, &g);
+        // Wrong expectation: CAS fails and hands the new pointer back.
+        let n2 = Owned::new(2u64);
+        match a.compare_exchange(Shared::null(), n2, Ordering::AcqRel, Ordering::Acquire, &g) {
+            Err(e) => {
+                assert_eq!(e.current, cur);
+                drop(e.new); // reclaim the rejected allocation
+            }
+            Ok(_) => panic!("CAS must fail"),
+        }
+        drop(unsafe { cur.into_owned() });
+    }
+
+    #[test]
+    fn null_checks() {
+        let s: Shared<'_, u64> = Shared::null();
+        assert!(s.is_null());
+        assert!(unsafe { s.as_ref() }.is_none());
+        // A tagged null is still null.
+        assert!(s.with_tag(1).is_null());
+    }
+}

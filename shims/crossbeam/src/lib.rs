@@ -1,0 +1,15 @@
+//! Offline stand-in for the `crossbeam` crate (see `shims/README.md`).
+//!
+//! Three submodules cover the workspace's usage:
+//!
+//! * [`channel`] — unbounded MPMC channels with timeout receive, built on a
+//!   mutex + condvar queue;
+//! * [`epoch`] — the `crossbeam_epoch` pointer API (`Atomic` / `Owned` /
+//!   `Shared` / `Guard`, tagged pointers, `compare_exchange`). Reclamation
+//!   strategy differs from the real crate: `defer_destroy` *leaks* instead of
+//!   deferring (see the module docs for why that is the safe substitution);
+//! * [`utils`] — `CachePadded`.
+
+pub mod channel;
+pub mod epoch;
+pub mod utils;

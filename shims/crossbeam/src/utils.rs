@@ -1,0 +1,54 @@
+//! `CachePadded`: pad-and-align a value to a cache line to prevent false
+//! sharing between adjacent hot atomics.
+
+/// Pads and aligns `T` to 64 bytes (the common x86-64/aarch64 line size; the
+/// real crate picks 128 on some targets, which only costs padding precision).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(64))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wrap a value.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_is_64() {
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 64);
+        let p = CachePadded::new(7u32);
+        assert_eq!(*p, 7);
+        assert_eq!(p.into_inner(), 7);
+    }
+}

@@ -1,0 +1,171 @@
+//! Offline stand-in for the `proptest` crate (see `shims/README.md`).
+//!
+//! Implements the subset of the proptest surface this workspace's property
+//! tests use: the [`proptest!`] macro, `prop_assert*` macros,
+//! [`ProptestConfig`], `any::<T>()`, integer-range and `".{a,b}"` string
+//! strategies, tuple strategies, `collection::vec`, and `option::of`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **Deterministic**: the case seed is a pure function of the test
+//!   function's name and the case index, so every run explores the same
+//!   inputs (failures reproduce without a persistence file).
+//! * **No shrinking**: a failing case reports its case index and seed
+//!   instead of a minimized input.
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Any, Arbitrary, Just, Strategy};
+pub use test_runner::TestRng;
+
+/// Execution configuration for a [`proptest!`] block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// FNV-1a of `bytes`; used to derive a per-test-function seed from its name.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Everything a property test file needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests. Supports the standard shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in any::<u64>(), v in proptest::collection::vec(0u8..4, 0..10)) {
+///         prop_assert!(x >= 0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr; $(
+        $(#[$attr:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let fn_seed = $crate::fnv1a(stringify!($name).as_bytes());
+                for case in 0..cfg.cases {
+                    let mut rng = $crate::TestRng::from_seed(
+                        fn_seed ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "proptest (shim): {} failed at case {}/{} (fn seed {:#018x})",
+                            stringify!($name), case, cfg.cases, fn_seed,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0u8..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn string_pattern_lengths(s in ".{0,12}") {
+            prop_assert!(s.chars().count() <= 12);
+        }
+
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(any::<u32>(), 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+        }
+
+        #[test]
+        fn tuples_and_option(t in (any::<u16>(), 0u64..100), o in crate::option::of(any::<u8>())) {
+            prop_assert!(t.1 < 100);
+            let _ = o;
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_values() {
+        let s = crate::collection::vec(any::<u64>(), 0..50);
+        let mut a = TestRng::from_seed(42);
+        let mut b = TestRng::from_seed(42);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

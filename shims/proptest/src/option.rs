@@ -1,0 +1,41 @@
+//! Option strategies (`option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Option<S::Value>`.
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// `Some` three times out of four, `None` otherwise (matching the real
+/// crate's default weighting closely enough for these tests).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn produces_both_variants() {
+        let s = of(any::<u64>());
+        let mut rng = TestRng::from_seed(11);
+        let draws: Vec<_> = (0..64).map(|_| s.generate(&mut rng)).collect();
+        assert!(draws.iter().any(|d| d.is_none()));
+        assert!(draws.iter().any(|d| d.is_some()));
+    }
+}

@@ -1,0 +1,193 @@
+//! Offline stand-in for the `rand` crate (see `shims/README.md`).
+//!
+//! Provides `rand::random::<T>()`, `thread_rng()`, and a minimal [`Rng`]
+//! trait over a per-thread SplitMix64 state seeded from the system clock and
+//! thread identity. Not cryptographic — the workspace only uses it for test
+//! tempdir names and workload shuffling.
+
+use std::cell::Cell;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// One SplitMix64 step.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+thread_local! {
+    static STATE: Cell<u64> = Cell::new({
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5eed);
+        // Mix in the thread id so simultaneously spawned threads diverge.
+        let tid = {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            std::thread::current().id().hash(&mut h);
+            h.finish()
+        };
+        nanos ^ tid.rotate_left(32) ^ 0x9e37_79b9_7f4a_7c15
+    });
+}
+
+fn next_u64() -> u64 {
+    STATE.with(|s| {
+        let mut st = s.get();
+        let v = splitmix64(&mut st);
+        s.set(st);
+        v
+    })
+}
+
+/// Types producible by [`random`].
+pub trait Standard: Sized {
+    /// Draw a uniformly distributed value.
+    fn sample(raw: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample(raw: u64) -> Self {
+        raw
+    }
+}
+impl Standard for u32 {
+    fn sample(raw: u64) -> Self {
+        (raw >> 32) as u32
+    }
+}
+impl Standard for u16 {
+    fn sample(raw: u64) -> Self {
+        (raw >> 48) as u16
+    }
+}
+impl Standard for u8 {
+    fn sample(raw: u64) -> Self {
+        (raw >> 56) as u8
+    }
+}
+impl Standard for usize {
+    fn sample(raw: u64) -> Self {
+        raw as usize
+    }
+}
+impl Standard for i64 {
+    fn sample(raw: u64) -> Self {
+        raw as i64
+    }
+}
+impl Standard for i32 {
+    fn sample(raw: u64) -> Self {
+        (raw >> 32) as i32
+    }
+}
+impl Standard for bool {
+    fn sample(raw: u64) -> Self {
+        raw & 1 == 1
+    }
+}
+impl Standard for f64 {
+    fn sample(raw: u64) -> Self {
+        // 53 mantissa bits -> uniform [0, 1).
+        (raw >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+impl Standard for f32 {
+    fn sample(raw: u64) -> Self {
+        ((raw >> 40) as f32) / (1u64 << 24) as f32
+    }
+}
+
+/// Draw a random value from the per-thread generator.
+pub fn random<T: Standard>() -> T {
+    T::sample(next_u64())
+}
+
+/// A minimal random generator interface.
+pub trait Rng {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// Uniform integer in `[0, bound)` (Lemire-free modulo fallback; the
+    /// slight modulo bias is irrelevant at the bounds used here).
+    fn gen_range_u64(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Handle to the per-thread generator.
+pub struct ThreadRng {
+    _priv: (),
+}
+
+impl Rng for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        next_u64()
+    }
+}
+
+/// Get the per-thread generator.
+pub fn thread_rng() -> ThreadRng {
+    ThreadRng { _priv: () }
+}
+
+/// Deterministic SplitMix64 generator for seeded use.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    /// Create from a seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_values_vary() {
+        let a: u64 = random();
+        let b: u64 = random();
+        assert_ne!(a, b, "consecutive draws must differ");
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

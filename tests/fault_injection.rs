@@ -1,0 +1,264 @@
+//! Container-level fault-injection suite: every HCL container runs its
+//! workload over a [`ChaosFabric`] that drops, duplicates, delays, and
+//! errors request sends, while the RPC layer's retry/timeout/dedup
+//! machinery keeps the semantics exact.
+//!
+//! Invariants checked here:
+//! * no acknowledged write is ever lost (a `put`/`push` that returned `Ok`
+//!   is visible to every later reader);
+//! * no queue element is popped twice, even when retransmission delivers a
+//!   request more than once;
+//! * the fault plan is deterministic — two runs with the same seed observe
+//!   the identical fault counters;
+//! * a fully partitioned endpoint surfaces a typed, timeout-derived error
+//!   after the retry budget is exhausted, instead of hanging.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hcl::queue::QueueConfig;
+use hcl::unordered::UnorderedMapConfig;
+use hcl::{HclError, OrderedMap, OrderedSet, PriorityQueue, Queue, UnorderedMap};
+use hcl_fabric::chaos::{ChaosFabric, ChaosSnapshot, FaultPlan, FaultRule, OpClass};
+use hcl_fabric::memory::MemoryFabric;
+use hcl_fabric::Fabric;
+use hcl_rpc::{RetryPolicy, RpcError};
+use hcl_runtime::{World, WorldConfig, WorldShared};
+
+/// Ops per container per rank. Kept modest: every dropped send costs one
+/// `attempt_timeout` before the client retransmits.
+const N: u64 = 16;
+
+fn retrying(cfg: WorldConfig, seed: u64) -> WorldConfig {
+    WorldConfig {
+        retry: RetryPolicy::resilient(6, seed).with_attempt_timeout(Duration::from_millis(300)),
+        ..cfg
+    }
+}
+
+/// 5% drop plus sub-millisecond jittered delay (and a sprinkle of
+/// duplication and transient errors) on every request send.
+fn lossy_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed).for_class(
+        OpClass::Send,
+        FaultRule::NONE
+            .drop(0.05)
+            .dup(0.02)
+            .error(0.02)
+            .delay(Duration::from_micros(300))
+            .jitter(Duration::from_micros(300)),
+    )
+}
+
+fn chaos_shared(cfg: WorldConfig, plan: FaultPlan) -> (Arc<ChaosFabric>, Arc<WorldShared>) {
+    let chaos = Arc::new(ChaosFabric::wrap(Arc::new(MemoryFabric::new()), plan));
+    let shared = World::shared_with_fabric(cfg, Arc::clone(&chaos) as Arc<dyn Fabric>);
+    (chaos, shared)
+}
+
+/// Run the full five-container workload on a 2x2 world over a lossy fabric
+/// and return the fault counters the run observed.
+fn run_lossy_workload(seed: u64) -> ChaosSnapshot {
+    let cfg = retrying(
+        WorldConfig { nodes: 2, ranks_per_node: 2, ..WorldConfig::small() },
+        seed,
+    );
+    let (chaos, shared) = chaos_shared(cfg, lossy_plan(seed));
+    World::run_on(shared, move |rank| {
+        let me = rank.id() as u64;
+        let ws = rank.world_size() as u64;
+        let no_hybrid = QueueConfig { owner: 0, hybrid: false };
+
+        let umap: UnorderedMap<u64, u64> = UnorderedMap::new(rank, "faults.umap");
+        let uset = hcl::UnorderedSet::<u64>::new(rank, "faults.uset");
+        let omap: OrderedMap<u64, u64> = OrderedMap::new(rank, "faults.omap");
+        let oset: OrderedSet<u64> = OrderedSet::new(rank, "faults.oset");
+        let q: Queue<u64> = Queue::with_config(rank, "faults.q", no_hybrid);
+        let pq: PriorityQueue<u64> = PriorityQueue::with_config(rank, "faults.pq", no_hybrid);
+        rank.barrier();
+
+        for i in 0..N {
+            let k = me * N + i;
+            umap.put(k, k * 3 + 1).unwrap();
+            uset.insert(k).unwrap();
+            omap.put(k, k * 7 + 2).unwrap();
+            oset.insert(k).unwrap();
+            assert!(q.push(k).unwrap());
+            assert!(pq.push(k).unwrap());
+        }
+        rank.barrier();
+
+        // No lost acknowledged writes: every key every rank put is visible.
+        for r in 0..ws {
+            for i in 0..N {
+                let k = r * N + i;
+                assert_eq!(umap.get(&k).unwrap(), Some(k * 3 + 1), "umap lost write {k}");
+                assert!(uset.contains(&k).unwrap(), "uset lost insert {k}");
+                assert_eq!(omap.get(&k).unwrap(), Some(k * 7 + 2), "omap lost write {k}");
+                assert!(oset.contains(&k).unwrap(), "oset lost insert {k}");
+            }
+        }
+
+        // Each rank pops exactly N entries; globally the pops must be the
+        // pushed set — nothing lost, nothing popped twice.
+        let mut mine = Vec::with_capacity(N as usize);
+        for _ in 0..N {
+            mine.push(q.pop().unwrap().expect("queue lost an acknowledged push"));
+        }
+        let flat: Vec<u64> = rank.allgather(mine).into_iter().flatten().collect();
+        let uniq: BTreeSet<u64> = flat.iter().copied().collect();
+        assert_eq!(flat.len() as u64, ws * N, "queue pop count mismatch");
+        assert_eq!(uniq.len(), flat.len(), "duplicate queue pop detected");
+        assert_eq!(uniq, (0..ws * N).collect::<BTreeSet<u64>>());
+        assert_eq!(q.pop().unwrap(), None);
+
+        // Priority queue: concurrent min-pops. With removals only, the
+        // global minimum is nondecreasing, so each rank's own pop sequence
+        // must be sorted; the union must be exactly the pushed set.
+        let mut mine = Vec::with_capacity(N as usize);
+        for _ in 0..N {
+            let v = pq.pop().unwrap().expect("pqueue lost an acknowledged push");
+            if let Some(&prev) = mine.last() {
+                assert!(v >= prev, "pqueue pops went backwards: {prev} then {v}");
+            }
+            mine.push(v);
+        }
+        let flat: Vec<u64> = rank.allgather(mine).into_iter().flatten().collect();
+        let uniq: BTreeSet<u64> = flat.iter().copied().collect();
+        assert_eq!(uniq.len(), flat.len(), "duplicate pqueue pop detected");
+        assert_eq!(uniq, (0..ws * N).collect::<BTreeSet<u64>>());
+        assert_eq!(pq.pop().unwrap(), None);
+        rank.barrier();
+    });
+    chaos.chaos_stats()
+}
+
+/// Tentpole acceptance: all five containers complete correct workloads
+/// under 5% drop + delay, and the fault sequence is a pure function of the
+/// plan seed — two runs, identical counters.
+#[test]
+fn containers_survive_lossy_fabric_deterministically() {
+    let a = run_lossy_workload(0xC1A05);
+    let b = run_lossy_workload(0xC1A05);
+    assert_eq!(a, b, "same seed must observe the same fault sequence");
+    assert!(a.drops > 0, "plan was expected to drop some sends: {a:?}");
+    assert!(a.delayed_ops > 0, "plan was expected to delay sends: {a:?}");
+    let c = run_lossy_workload(0x0DDBA11);
+    assert!(c.total_faults() > 0);
+    assert_ne!(a, c, "different seeds should see different fault sequences");
+}
+
+/// Duplicated deliveries must not re-execute handlers: server-side merge
+/// counters stay exact under an aggressive duplication plan because the
+/// dedup window answers repeats from the response cache.
+#[test]
+fn duplicate_deliveries_execute_handlers_once() {
+    let seed = 0xD0D0;
+    let cfg = retrying(
+        WorldConfig { nodes: 2, ranks_per_node: 1, ..WorldConfig::small() },
+        seed,
+    );
+    let plan = FaultPlan::new(seed).for_class(OpClass::Send, FaultRule::NONE.dup(0.25));
+    let (chaos, shared) = chaos_shared(cfg, plan);
+    let shared2 = Arc::clone(&shared);
+    World::run_on(shared, move |rank| {
+        let m: UnorderedMap<u64, u64> = UnorderedMap::with_merger(
+            rank,
+            "dup.hist",
+            UnorderedMapConfig { hybrid: false, ..UnorderedMapConfig::default() },
+            Arc::new(|old: Option<&u64>, d: &u64| old.copied().unwrap_or(0) + d),
+        );
+        rank.barrier();
+        for _ in 0..N {
+            for k in 0..4u64 {
+                m.put_merge(k, 1).unwrap();
+            }
+        }
+        rank.barrier();
+        // Every rank contributed exactly N increments per key; a re-executed
+        // duplicate would overshoot.
+        for k in 0..4u64 {
+            assert_eq!(m.get(&k).unwrap(), Some(N * rank.world_size() as u64));
+        }
+        rank.barrier();
+    });
+    assert!(chaos.chaos_stats().duplicates > 0, "plan was expected to duplicate sends");
+    assert!(
+        shared2.server_stats().deduped > 0,
+        "servers should have answered duplicates from the dedup window"
+    );
+}
+
+/// A fully partitioned endpoint (100% request drop) must fail with a typed,
+/// timeout-derived error once the retry budget is exhausted — bounded
+/// latency, no hang — while the healthy direction keeps working.
+#[test]
+fn full_partition_exhausts_retries_without_hanging() {
+    let seed = 0xBAD;
+    let cfg = retrying(
+        WorldConfig { nodes: 2, ranks_per_node: 1, ..WorldConfig::small() },
+        seed,
+    );
+    let cfg = WorldConfig {
+        retry: RetryPolicy { max_attempts: 3, ..cfg.retry }
+            .with_attempt_timeout(Duration::from_millis(150)),
+        ..cfg
+    };
+    let plan = FaultPlan::new(seed).for_pair_class(
+        cfg.ep_of(1),
+        cfg.ep_of(0),
+        OpClass::Send,
+        FaultRule::NONE.drop(1.0),
+    );
+    let (chaos, shared) = chaos_shared(cfg, plan);
+    World::run_on(shared, move |rank| {
+        let q: Queue<u64> = Queue::with_config(
+            rank,
+            "part.q",
+            QueueConfig { owner: 0, hybrid: false },
+        );
+        rank.barrier();
+        if rank.id() == 1 {
+            let start = Instant::now();
+            let err = q.push(42).expect_err("push across a full partition must fail, not hang");
+            let elapsed = start.elapsed();
+            match err {
+                HclError::Rpc(RpcError::RetriesExhausted { attempts, last }) => {
+                    assert_eq!(attempts, 3);
+                    assert!(last.is_timeout(), "expected a timeout-derived error, got: {last}");
+                }
+                other => panic!("expected RetriesExhausted, got: {other}"),
+            }
+            assert!(
+                elapsed < Duration::from_secs(5),
+                "retry budget must bound latency, took {elapsed:?}"
+            );
+        } else {
+            // The 0 -> 0 self path is healthy; the owner is unaffected.
+            assert!(q.push(7).unwrap());
+            assert_eq!(q.pop().unwrap(), Some(7));
+        }
+        rank.barrier();
+        // After rank 1 gave up, the queue holds only what rank 0 acked.
+        if rank.id() == 0 {
+            assert_eq!(q.pop().unwrap(), None);
+        }
+        rank.barrier();
+    });
+    // 3 attempts, every one dropped.
+    assert!(chaos.chaos_stats().drops >= 3);
+}
+
+/// Soak entry point for `just test-faults-soak`: seed comes from the
+/// environment so CI can sweep many fault schedules.
+#[test]
+#[ignore = "soak target; run via `just test-faults-soak`"]
+fn soak_lossy_workload_env_seed() {
+    let seed = std::env::var("HCL_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1u64);
+    let snap = run_lossy_workload(seed);
+    assert!(snap.total_faults() > 0, "soak run observed no faults: {snap:?}");
+}
