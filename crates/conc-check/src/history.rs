@@ -1,0 +1,148 @@
+//! Concurrent operation-history recording.
+//!
+//! A [`Recorder`] captures *complete* histories: each operation is bracketed
+//! by [`Recorder::invoke`] (before the data-structure call) and
+//! [`Recorder::record_return`] (after it), and both edges draw a timestamp
+//! from one shared atomic clock. Because the clock is a single
+//! `fetch_add(1)`, timestamps are unique and totally ordered, and an op's
+//! invoke timestamp always precedes its return timestamp — exactly the
+//! real-time intervals the Wing–Gong checker in [`crate::lin`] consumes.
+//!
+//! The recorder only supports complete histories (every invoked op must
+//! return before [`Recorder::take`]); crashed/pending ops are out of scope —
+//! the HCL test workloads join all workers before checking.
+
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One completed operation: `op` returned `ret`, occupying the real-time
+/// interval `[invoked, returned]` on logical process `proc`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpRecord<O, R> {
+    /// Diagnostic process id (per recording thread).
+    pub proc: u64,
+    /// The operation (input side).
+    pub op: O,
+    /// The observed response.
+    pub ret: R,
+    /// Logical invoke timestamp (unique, shared clock).
+    pub invoked: u64,
+    /// Logical return timestamp (unique, `> invoked`).
+    pub returned: u64,
+}
+
+/// In-flight operation token returned by [`Recorder::invoke`]; feed it back
+/// to [`Recorder::record_return`] once the operation completed.
+#[must_use = "an invoked operation must be completed with record_return"]
+pub struct Token<O> {
+    op: O,
+    proc: u64,
+    invoked: u64,
+}
+
+static NEXT_PROC: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static PROC: Cell<u64> = const { Cell::new(u64::MAX) };
+}
+
+fn proc_id() -> u64 {
+    PROC.with(|c| {
+        if c.get() == u64::MAX {
+            c.set(NEXT_PROC.fetch_add(1, Ordering::Relaxed));
+        }
+        c.get()
+    })
+}
+
+/// Thread-safe recorder of a concurrent operation history.
+#[derive(Debug, Default)]
+pub struct Recorder<O, R> {
+    clock: AtomicU64,
+    log: Mutex<Vec<OpRecord<O, R>>>,
+}
+
+impl<O, R> Recorder<O, R> {
+    /// Fresh recorder with an empty history and clock at zero.
+    pub fn new() -> Self {
+        Recorder { clock: AtomicU64::new(0), log: Mutex::new(Vec::new()) }
+    }
+
+    /// Stamp the invocation of `op`. Call immediately before the real
+    /// data-structure operation.
+    pub fn invoke(&self, op: O) -> Token<O> {
+        Token { op, proc: proc_id(), invoked: self.clock.fetch_add(1, Ordering::SeqCst) }
+    }
+
+    /// Stamp the return of a previously invoked op with its response.
+    pub fn record_return(&self, token: Token<O>, ret: R) {
+        let returned = self.clock.fetch_add(1, Ordering::SeqCst);
+        let Token { op, proc, invoked } = token;
+        self.log.lock().push(OpRecord { proc, op, ret, invoked, returned });
+    }
+
+    /// Number of completed operations recorded so far.
+    pub fn len(&self) -> usize {
+        self.log.lock().len()
+    }
+
+    /// True when no operation has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain the history, sorted by invoke timestamp.
+    pub fn take(&self) -> Vec<OpRecord<O, R>> {
+        let mut h = std::mem::take(&mut *self.log.lock());
+        h.sort_by_key(|r| r.invoked);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn intervals_are_well_formed_and_unique() {
+        let rec: Arc<Recorder<u32, u32>> = Arc::new(Recorder::new());
+        let hs: Vec<_> = (0..4)
+            .map(|t| {
+                let rec = Arc::clone(&rec);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let tok = rec.invoke(t * 100 + i);
+                        rec.record_return(tok, i);
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        let hist = rec.take();
+        assert_eq!(hist.len(), 200);
+        let mut stamps: Vec<u64> = Vec::new();
+        for r in &hist {
+            assert!(r.invoked < r.returned, "invoke must precede return");
+            stamps.push(r.invoked);
+            stamps.push(r.returned);
+        }
+        stamps.sort_unstable();
+        stamps.dedup();
+        assert_eq!(stamps.len(), 400, "timestamps must be unique");
+        assert!(hist.windows(2).all(|w| w[0].invoked < w[1].invoked), "take() sorts by invoke");
+    }
+
+    #[test]
+    fn take_drains() {
+        let rec: Recorder<u8, u8> = Recorder::new();
+        let t = rec.invoke(1);
+        rec.record_return(t, 2);
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec.take().len(), 1);
+        assert!(rec.is_empty());
+    }
+}

@@ -18,10 +18,9 @@
 //!   [`LOAD_FACTOR`] (0.75 in the paper), moving entry pointers (not data).
 
 use std::hash::{BuildHasher, Hash, Hasher, RandomState};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
+use conc_check::sync::{AtomicUsize, Mutex, MutexGuard, Ordering};
 use crossbeam::epoch::{self, Atomic, Guard, Owned, Shared};
-use parking_lot::{Mutex, MutexGuard};
 
 /// Slots per bucket.
 pub const SLOTS: usize = 4;
@@ -71,7 +70,11 @@ pub struct CuckooMap<K, V> {
     h2: RandomState,
 }
 
+// SAFETY: entries are shared across threads through epoch-protected atomic
+// pointers and cloned (never moved) out of shared slots, so both K and V must
+// be Send + Sync; all interior mutation goes through atomics or stripe locks.
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for CuckooMap<K, V> {}
+// SAFETY: see the Send impl above; &CuckooMap exposes only atomic/locked ops.
 unsafe impl<K: Send + Sync, V: Send + Sync> Sync for CuckooMap<K, V> {}
 
 impl<K, V> Default for CuckooMap<K, V>
@@ -121,6 +124,9 @@ where
     pub fn buckets(&self) -> usize {
         let guard = &epoch::pin();
         let t = self.table.load(Ordering::Acquire, guard);
+        // SAFETY: the table pointer is never null and the table is only
+        // retired via defer_destroy after being unlinked, so it stays live
+        // for the duration of our pin.
         unsafe { t.deref() }.mask + 1
     }
 
@@ -159,11 +165,15 @@ where
     /// Lock-free lookup.
     pub fn get(&self, key: &K) -> Option<V> {
         let guard = &epoch::pin();
+        // SAFETY: the current table stays live while our pin is held (tables
+        // are only reclaimed via defer_destroy after replacement).
         let t = unsafe { self.table.load(Ordering::Acquire, guard).deref() };
         let (b1, b2) = self.bucket_pair(t, key);
         for &b in &[b1, b2] {
             for slot in &t.buckets[b].slots {
                 let e = slot.load(Ordering::Acquire, guard);
+                // SAFETY: a non-null slot pointer read under the pin refers
+                // to an entry whose reclamation is deferred past our guard.
                 if let Some(er) = unsafe { e.as_ref() } {
                     if er.key == *key {
                         return Some(er.value.clone());
@@ -184,6 +194,7 @@ where
         let guard = &epoch::pin();
         loop {
             let t_shared = self.table.load(Ordering::Acquire, guard);
+            // SAFETY: table pointers stay live for the duration of our pin.
             let t = unsafe { t_shared.deref() };
             let (b1, b2) = self.bucket_pair(t, &key);
             let locks =
@@ -196,11 +207,16 @@ where
             for &b in &[b1, b2] {
                 for slot in &t.buckets[b].slots {
                     let e = slot.load(Ordering::Acquire, guard);
+                    // SAFETY: non-null entry read under the pin; reclamation
+                    // is deferred past our guard.
                     if let Some(er) = unsafe { e.as_ref() } {
                         if er.key == key {
                             let old = er.value.clone();
                             let new = Owned::new(Entry { key, value });
                             slot.store(new, Ordering::Release);
+                            // SAFETY: we hold this bucket's stripe lock, so
+                            // no other writer can retire `e` twice; readers
+                            // are protected by their own pins.
                             unsafe { guard.defer_destroy(e) };
                             return Some(old);
                         }
@@ -210,6 +226,8 @@ where
             // 2) Empty slot in either candidate bucket.
             if let Some(slot) = self.first_empty(t, b1, b2, guard) {
                 slot.store(Owned::new(Entry { key, value }), Ordering::Release);
+                // ORDERING: Relaxed — `len` is a statistic; all structural
+                // synchronization happens via the stripe locks.
                 self.len.fetch_add(1, Ordering::Relaxed);
                 drop(locks);
                 self.maybe_grow(guard);
@@ -221,6 +239,7 @@ where
                     .first_empty(t, b1, b2, guard)
                     .expect("displacement freed a slot under our locks");
                 slot.store(Owned::new(Entry { key, value }), Ordering::Release);
+                // ORDERING: Relaxed statistic (see above).
                 self.len.fetch_add(1, Ordering::Relaxed);
                 drop(locks);
                 self.maybe_grow(guard);
@@ -270,6 +289,9 @@ where
         for &b in &[b1, b2] {
             for slot in &t.buckets[b].slots {
                 let e = slot.load(Ordering::Acquire, guard);
+                // SAFETY: non-null entry read under the caller's pin; we also
+                // hold the stripe lock for this bucket, so the slot cannot be
+                // retired concurrently.
                 let Some(er) = (unsafe { e.as_ref() }) else { continue };
                 let (eb1, eb2) = self.bucket_pair(t, &er.key);
                 let alt = if eb1 == b { eb2 } else { eb1 };
@@ -304,6 +326,7 @@ where
 
     fn maybe_grow(&self, guard: &Guard) {
         let t_shared = self.table.load(Ordering::Acquire, guard);
+        // SAFETY: table pointers stay live for the duration of our pin.
         let t = unsafe { t_shared.deref() };
         let capacity = (t.mask + 1) * SLOTS;
         if (self.len() as f64) > LOAD_FACTOR * capacity as f64 {
@@ -325,6 +348,8 @@ where
         if cur != old_shared {
             return; // someone else already resized
         }
+        // SAFETY: `cur` is the live table; we hold the resize lock, so no
+        // competing resize can retire it under us.
         let old = unsafe { cur.deref() };
         if new_buckets <= old.mask + 1 {
             return;
@@ -337,6 +362,8 @@ where
             for bucket in old.buckets.iter() {
                 for slot in &bucket.slots {
                     let e = slot.load(Ordering::Acquire, guard);
+                    // SAFETY: all stripes are locked, so entries cannot be
+                    // retired while we migrate them; the pin covers reads.
                     let Some(er) = (unsafe { e.as_ref() }) else { continue };
                     let (nb1, nb2) = {
                         let b1 = (self.hash1(&er.key) as usize) & new_t.mask;
@@ -350,6 +377,9 @@ where
                     'place: for &nb in &[nb1, nb2] {
                         for nslot in &new_t.buckets[nb].slots {
                             if nslot.load(Ordering::Relaxed, guard).is_null() {
+                                // ORDERING: Relaxed — `new_t` is still
+                                // thread-private; the table-swap store below
+                                // (Release) publishes all of it at once.
                                 nslot.store(e.with_tag(0), Ordering::Relaxed);
                                 placed = true;
                                 break 'place;
@@ -364,6 +394,9 @@ where
                 }
             }
             self.table.store(Owned::new(new_t), Ordering::Release);
+            // SAFETY: `cur` was just unlinked and we hold the resize lock,
+            // so it is retired exactly once; pinned readers keep it alive
+            // until their guards drop.
             unsafe { guard.defer_destroy(cur) };
             return;
         }
@@ -378,6 +411,7 @@ where
         let guard = &epoch::pin();
         loop {
             let t_shared = self.table.load(Ordering::Acquire, guard);
+            // SAFETY: table pointers stay live for the duration of our pin.
             let t = unsafe { t_shared.deref() };
             let (b1, b2) = self.bucket_pair(t, &key);
             let locks = self.lock_stripes(vec![Self::stripe_of(b1), Self::stripe_of(b2)]);
@@ -389,6 +423,8 @@ where
             for &b in &[b1, b2] {
                 for slot in &t.buckets[b].slots {
                     let e = slot.load(Ordering::Acquire, guard);
+                    // SAFETY: non-null entry read under the pin, stripe lock
+                    // held — cannot be retired concurrently.
                     if let Some(er) = unsafe { e.as_ref() } {
                         if er.key == key {
                             let new_val = f(Some(&er.value));
@@ -397,6 +433,8 @@ where
                                 Owned::new(Entry { key, value: new_val }),
                                 Ordering::Release,
                             );
+                            // SAFETY: stripe lock held ⇒ single retirer;
+                            // readers are covered by their pins.
                             unsafe { guard.defer_destroy(e) };
                             return ret;
                         }
@@ -408,6 +446,7 @@ where
             if let Some(slot) = self.first_empty(t, b1, b2, guard) {
                 let ret = new_val.clone();
                 slot.store(Owned::new(Entry { key, value: new_val }), Ordering::Release);
+                // ORDERING: Relaxed statistic; structure is lock-protected.
                 self.len.fetch_add(1, Ordering::Relaxed);
                 drop(locks);
                 self.maybe_grow(guard);
@@ -419,6 +458,7 @@ where
                     .expect("displacement freed a slot under our locks");
                 let ret = new_val.clone();
                 slot.store(Owned::new(Entry { key, value: new_val }), Ordering::Release);
+                // ORDERING: Relaxed statistic; structure is lock-protected.
                 self.len.fetch_add(1, Ordering::Relaxed);
                 drop(locks);
                 self.maybe_grow(guard);
@@ -434,6 +474,7 @@ where
         let guard = &epoch::pin();
         loop {
             let t_shared = self.table.load(Ordering::Acquire, guard);
+            // SAFETY: table pointers stay live for the duration of our pin.
             let t = unsafe { t_shared.deref() };
             let (b1, b2) = self.bucket_pair(t, key);
             let locks =
@@ -445,11 +486,17 @@ where
             for &b in &[b1, b2] {
                 for slot in &t.buckets[b].slots {
                     let e = slot.load(Ordering::Acquire, guard);
+                    // SAFETY: non-null entry read under the pin, stripe lock
+                    // held — cannot be retired concurrently.
                     if let Some(er) = unsafe { e.as_ref() } {
                         if er.key == *key {
                             let v = er.value.clone();
                             slot.store(Shared::null(), Ordering::Release);
+                            // ORDERING: Relaxed — statistic only; the
+                            // decrement happens under the stripe locks, so
+                            // it cannot underflow (insert incremented first).
                             self.len.fetch_sub(1, Ordering::Relaxed);
+                            // SAFETY: stripe lock held ⇒ single retirer.
                             unsafe { guard.defer_destroy(e) };
                             return Some(v);
                         }
@@ -463,10 +510,13 @@ where
     /// Clone out every entry (not atomic; used for migration/persistence).
     pub fn iter_snapshot(&self) -> Vec<(K, V)> {
         let guard = &epoch::pin();
+        // SAFETY: table pointers stay live for the duration of our pin.
         let t = unsafe { self.table.load(Ordering::Acquire, guard).deref() };
         let mut out = Vec::with_capacity(self.len());
         for bucket in t.buckets.iter() {
             for slot in &bucket.slots {
+                // SAFETY: non-null entries read under the pin cannot be
+                // reclaimed before the guard drops.
                 if let Some(er) = unsafe { slot.load(Ordering::Acquire, guard).as_ref() } {
                     out.push((er.key.clone(), er.value.clone()));
                 }
@@ -478,17 +528,25 @@ where
 
 impl<K, V> Drop for CuckooMap<K, V> {
     fn drop(&mut self) {
+        // SAFETY: &mut self guarantees no concurrent accessor exists, which
+        // is exactly the contract `unprotected()` requires.
         let guard = unsafe { epoch::unprotected() };
         let t_shared = self.table.load(Ordering::Relaxed, guard);
+        // SAFETY: the table pointer is never null and nothing can retire it
+        // while we hold &mut self.
         let t = unsafe { t_shared.deref() };
         for bucket in t.buckets.iter() {
             for slot in &bucket.slots {
                 let e = slot.load(Ordering::Relaxed, guard);
                 if !e.is_null() {
+                    // SAFETY: exclusive access; each live entry is owned by
+                    // exactly one slot here (resize/displace never leave
+                    // duplicates behind), so into_owned frees it once.
                     unsafe { drop(e.into_owned()) };
                 }
             }
         }
+        // SAFETY: exclusive access; the table itself is freed last.
         unsafe { drop(t_shared.into_owned()) };
     }
 }

@@ -12,9 +12,10 @@
 //! `(value, sequence)` where the sequence is a global counter, making the
 //! pop order stable for equal priorities.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+use conc_check::sync::{AtomicBool, AtomicU64, Ordering};
 
 use crate::skiplist::SkipListMap;
 
@@ -55,6 +56,10 @@ where
 
     /// Create a priority queue with a background purge thread running every
     /// `interval` — the paper's "background purge methodology".
+    ///
+    /// The purge thread is a real OS thread even under `--cfg conc_check`
+    /// (it sleeps on wall-clock time, which the deterministic scheduler does
+    /// not model); scheduler-driven tests construct with [`SkipListPq::new`].
     pub fn with_background_purge(interval: Duration) -> Self {
         let inner: Arc<SkipListMap<(T, u64), ()>> = Arc::new(SkipListMap::new());
         let stop = Arc::new(AtomicBool::new(false));
@@ -81,6 +86,8 @@ where
 
     /// Insert `value`. Equal values pop in insertion order.
     pub fn push(&self, value: T) {
+        // ORDERING: Relaxed is enough — the sequence number only needs to be
+        // unique, not ordered with respect to the insert that publishes it.
         let s = self.seq.fetch_add(1, Ordering::Relaxed);
         self.inner.insert((value, s), ());
     }

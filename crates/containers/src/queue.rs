@@ -7,10 +7,14 @@
 //! progress guarantee; the optimistic variant's backwards "fix-list" pass is
 //! an optimisation of the same list-of-pointers design (it reduces the number
 //! of CASes per push from 2 to 1 in the common case), not a semantic change.
+//!
+//! Atomics come from the `conc_check::sync` facade: a plain re-export of
+//! `std::sync::atomic` in normal builds, and schedule-exploring wrappers
+//! under `--cfg conc_check` (see `crates/conc-check`).
 
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
+use conc_check::sync::{AtomicIsize, Ordering};
 use crossbeam::epoch::{self, Atomic, Owned, Shared};
 use crossbeam::utils::CachePadded;
 
@@ -24,10 +28,17 @@ struct Node<T> {
 pub struct LockFreeQueue<T> {
     head: CachePadded<Atomic<Node<T>>>,
     tail: CachePadded<Atomic<Node<T>>>,
-    len: AtomicUsize,
+    /// Signed on purpose: `pop` may decrement before the racing `push` that
+    /// linked the node has incremented, so the counter can transiently dip
+    /// below zero. `len()` clamps at 0 instead of wrapping to 2^64-1.
+    len: AtomicIsize,
 }
 
+// SAFETY: the queue owns its nodes and hands out values only once (pop moves
+// them out); all shared-node access is synchronized through epoch-protected
+// atomics, so it is Send/Sync whenever T itself may move between threads.
 unsafe impl<T: Send> Send for LockFreeQueue<T> {}
+// SAFETY: see the Send impl above; &LockFreeQueue only exposes atomic ops.
 unsafe impl<T: Send> Sync for LockFreeQueue<T> {}
 
 impl<T> Default for LockFreeQueue<T> {
@@ -45,7 +56,7 @@ impl<T> LockFreeQueue<T> {
         LockFreeQueue {
             head: CachePadded::new(Atomic::from(sentinel)),
             tail: CachePadded::new(Atomic::from(sentinel)),
-            len: AtomicUsize::new(0),
+            len: AtomicIsize::new(0),
         }
     }
 
@@ -56,10 +67,14 @@ impl<T> LockFreeQueue<T> {
             .into_shared(&guard);
         loop {
             let tail = self.tail.load(Ordering::Acquire, &guard);
+            // SAFETY: `tail` was loaded from a live queue pointer under the
+            // epoch guard, so the node cannot be reclaimed while we hold it.
             let t = unsafe { tail.deref() };
             let next = t.next.load(Ordering::Acquire, &guard);
             if !next.is_null() {
                 // Tail is lagging: help advance it, then retry.
+                // ORDERING: failure is Relaxed — a lost helping CAS carries
+                // no data; the retry re-loads tail with Acquire.
                 let _ = self.tail.compare_exchange(
                     tail,
                     next,
@@ -69,6 +84,9 @@ impl<T> LockFreeQueue<T> {
                 );
                 continue;
             }
+            // ORDERING: success is Release so the node's value is published
+            // before the link becomes visible; failure is Relaxed because we
+            // discard the observed value and retry from a fresh Acquire load.
             if t.next
                 .compare_exchange(
                     Shared::null(),
@@ -79,6 +97,8 @@ impl<T> LockFreeQueue<T> {
                 )
                 .is_ok()
             {
+                // ORDERING: failure is Relaxed — if another thread already
+                // swung the tail past us, there is nothing left to publish.
                 let _ = self.tail.compare_exchange(
                     tail,
                     new,
@@ -86,6 +106,8 @@ impl<T> LockFreeQueue<T> {
                     Ordering::Relaxed,
                     &guard,
                 );
+                // ORDERING: Relaxed — `len` is a monotonic statistic with no
+                // release/acquire obligations; readers tolerate staleness.
                 self.len.fetch_add(1, Ordering::Relaxed);
                 return;
             }
@@ -97,12 +119,19 @@ impl<T> LockFreeQueue<T> {
         let guard = epoch::pin();
         loop {
             let head = self.head.load(Ordering::Acquire, &guard);
+            // SAFETY: `head` is the current sentinel, loaded under the epoch
+            // guard; it is only retired after head is CASed away, and never
+            // freed before our guard unpins.
             let h = unsafe { head.deref() };
             let next = h.next.load(Ordering::Acquire, &guard);
+            // SAFETY: `next` was read from the live sentinel under the same
+            // guard; if non-null it points at a node that cannot be
+            // reclaimed before the guard drops.
             let n = unsafe { next.as_ref() }?;
             // Keep the tail from pointing at the node we are about to retire.
             let tail = self.tail.load(Ordering::Acquire, &guard);
             if tail == head {
+                // ORDERING: failure is Relaxed — helping CAS, value unused.
                 let _ = self.tail.compare_exchange(
                     tail,
                     next,
@@ -111,16 +140,25 @@ impl<T> LockFreeQueue<T> {
                     &guard,
                 );
             }
+            // ORDERING: success is Release to order the sentinel swap with
+            // the subsequent value read; failure is Relaxed (pure retry).
             if self
                 .head
                 .compare_exchange(head, next, Ordering::Release, Ordering::Relaxed, &guard)
                 .is_ok()
             {
+                // ORDERING: Relaxed statistic. This decrement may race ahead
+                // of the linking push's increment — hence the signed counter
+                // and the clamp in `len()`.
                 self.len.fetch_sub(1, Ordering::Relaxed);
-                // `next` becomes the new sentinel; its value is moved out
-                // here and must never be read or dropped again. The old
-                // sentinel's value slot is already vacant.
+                // SAFETY: `next` becomes the new sentinel; the winning CAS
+                // grants us unique ownership of its value slot, which is
+                // moved out exactly once here and never read or dropped
+                // again (sentinel value slots are treated as vacant).
                 let value = unsafe { n.value.assume_init_read() };
+                // SAFETY: `head` was unlinked by the CAS above, so no new
+                // reference can be created; defer_destroy waits for all
+                // current guards before reclaiming.
                 unsafe { guard.defer_destroy(head) };
                 return Some(value);
             }
@@ -149,9 +187,11 @@ impl<T> LockFreeQueue<T> {
         out
     }
 
-    /// Approximate number of elements (exact when quiescent).
+    /// Approximate number of elements (exact when quiescent). Clamped at 0:
+    /// a pop's decrement can land before the racing push's increment, making
+    /// the raw counter transiently negative.
     pub fn len(&self) -> usize {
-        self.len.load(Ordering::Relaxed)
+        self.len.load(Ordering::Relaxed).max(0) as usize
     }
 
     /// Clone out the queued elements front-to-back (exact when quiescent;
@@ -164,8 +204,14 @@ impl<T> LockFreeQueue<T> {
         let mut out = Vec::with_capacity(self.len());
         let head = self.head.load(Ordering::Acquire, &guard);
         // The sentinel's value slot is vacant; elements start at its next.
+        // SAFETY: the sentinel is live while the guard is held.
         let mut curr = unsafe { head.deref() }.next.load(Ordering::Acquire, &guard);
+        // SAFETY: each node was reached through live links under the guard,
+        // so it is not reclaimed while we iterate.
         while let Some(node) = unsafe { curr.as_ref() } {
+            // SAFETY: every non-sentinel node's value is initialised by push
+            // and only vacated when the node becomes the sentinel, which
+            // requires unlinking it from the position we just traversed.
             out.push(unsafe { node.value.assume_init_ref() }.clone());
             curr = node.next.load(Ordering::Acquire, &guard);
         }
@@ -176,6 +222,7 @@ impl<T> LockFreeQueue<T> {
     pub fn is_empty(&self) -> bool {
         let guard = epoch::pin();
         let head = self.head.load(Ordering::Acquire, &guard);
+        // SAFETY: the sentinel is live while the guard is held.
         unsafe { head.deref() }.next.load(Ordering::Acquire, &guard).is_null()
     }
 }
@@ -186,8 +233,10 @@ impl<T> Drop for LockFreeQueue<T> {
         while self.pop().is_some() {}
         let guard = epoch::pin();
         let head = self.head.load(Ordering::Relaxed, &guard);
+        // SAFETY: we hold &mut self, so no other thread can touch the queue;
+        // after the drain the only remaining node is the sentinel, whose
+        // value slot is uninitialised — we free the node without dropping it.
         unsafe {
-            // The sentinel's value slot is uninitialised; just free the node.
             drop(head.into_owned());
         }
     }
@@ -197,6 +246,7 @@ impl<T> Drop for LockFreeQueue<T> {
 mod tests {
     use super::*;
     use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
     use std::sync::Arc;
 
     #[test]
@@ -247,6 +297,7 @@ mod tests {
 
     #[test]
     fn mpmc_no_loss_no_duplication() {
+        use std::sync::atomic::Ordering;
         let q = Arc::new(LockFreeQueue::new());
         let producers = 4;
         let consumers = 4;

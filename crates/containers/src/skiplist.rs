@@ -21,8 +21,7 @@
 //!   the crossbeam epoch scheme. Nodes are therefore never freed while any
 //!   level still reaches them.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-
+use conc_check::sync::{AtomicIsize, AtomicU64, AtomicUsize, Ordering};
 use crossbeam::epoch::{self, Atomic, Guard, Owned, Shared};
 
 /// Maximum tower height. 2^16 expected elements per partition is far beyond
@@ -62,11 +61,18 @@ struct FindResult<'g, K, V> {
 /// A lock-free concurrent ordered map.
 pub struct SkipListMap<K, V> {
     head: [Atomic<Node<K, V>>; MAX_HEIGHT],
-    len: AtomicUsize,
+    /// Signed on purpose: a remover can claim a freshly published node (and
+    /// decrement) before the inserting thread's increment lands, so the raw
+    /// counter can transiently dip below zero. `len()` clamps at 0.
+    len: AtomicIsize,
     rng: AtomicU64,
 }
 
+// SAFETY: nodes are shared between threads via epoch-protected atomics and
+// values are cloned out of shared nodes, so K and V must be Send + Sync; all
+// mutation goes through tagged-pointer CAS with epoch reclamation.
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for SkipListMap<K, V> {}
+// SAFETY: see the Send impl above; &SkipListMap only exposes atomic ops.
 unsafe impl<K: Send + Sync, V: Send + Sync> Sync for SkipListMap<K, V> {}
 
 impl<K, V> Default for SkipListMap<K, V>
@@ -88,14 +94,16 @@ where
     pub fn new() -> Self {
         SkipListMap {
             head: Default::default(),
-            len: AtomicUsize::new(0),
+            len: AtomicIsize::new(0),
             rng: AtomicU64::new(0x9e37_79b9_7f4a_7c15),
         }
     }
 
-    /// Number of live entries (approximate under concurrency).
+    /// Number of live entries (approximate under concurrency). Clamped at 0:
+    /// a remove's decrement can land before the racing insert's increment,
+    /// making the raw counter transiently negative.
     pub fn len(&self) -> usize {
-        self.len.load(Ordering::Relaxed)
+        self.len.load(Ordering::Relaxed).max(0) as usize
     }
 
     /// True when no entries are present.
@@ -105,6 +113,8 @@ where
 
     fn random_height(&self) -> usize {
         // SplitMix64 step; geometric with p = 1/2, capped at MAX_HEIGHT.
+        // ORDERING: Relaxed — the RNG state carries no cross-thread data
+        // dependency; any interleaving of increments is an acceptable seed.
         let mut x = self.rng.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
         x ^= x >> 30;
         x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -116,10 +126,19 @@ where
 
     /// Decrement a node's link count after a successful unlink at one level;
     /// free the node (and its value) when it reaches zero.
+    ///
+    /// # Safety
+    /// The caller must have just won the CAS that unlinked `node` at one
+    /// level (each unlink may release exactly once), and `node` must still
+    /// be protected by `guard`.
     unsafe fn release_link(node: Shared<'_, Node<K, V>>, guard: &Guard) {
+        // SAFETY: `node` is protected by `guard` per this fn's contract.
         let n = unsafe { node.deref() };
         if n.links.fetch_sub(1, Ordering::AcqRel) == 1 {
             let val = n.value.load(Ordering::Acquire, guard);
+            // SAFETY: the count hit zero, so ours was the last link — no
+            // future traversal can reach the node; defer_destroy waits out
+            // current guards, after which node and value are freed once.
             unsafe {
                 guard.defer_destroy(val);
                 guard.defer_destroy(node);
@@ -140,6 +159,9 @@ where
                     continue 'retry;
                 }
                 loop {
+                    // SAFETY: `curr` was loaded from a live link under the
+                    // pin; nodes are only freed after every link to them is
+                    // severed and all guards drain.
                     let Some(c) = (unsafe { curr.as_ref() }) else { break };
                     let succ = c.tower[level].load(Ordering::Acquire, guard);
                     if succ.tag() == 1 {
@@ -152,6 +174,9 @@ where
                             guard,
                         ) {
                             Ok(_) => {
+                                // SAFETY: we just won the unlink CAS for this
+                                // level, which is exactly release_link's
+                                // contract; `curr` is guard-protected.
                                 unsafe { Self::release_link(curr, guard) };
                                 curr = succ.with_tag(0);
                                 continue;
@@ -172,11 +197,16 @@ where
                     // Descend: continue from the same pred at the next level.
                     // `pred_link` currently points at this level's link of the
                     // pred node (or head); move to the level below.
+                    // SAFETY: `preds[level]` was written this iteration from
+                    // a live `&Atomic` (head slot or guard-protected node
+                    // tower entry), so the pointer is valid here.
                     pred_link = match unsafe { preds[level].as_ref() } {
                         Some(link) => {
                             // Identify whether this link belongs to head or a node:
                             // head links are contiguous in `self.head`.
                             let head_start = self.head.as_ptr();
+                            // SAFETY: one-past-the-end pointer of the head
+                            // array, used only for the range comparison.
                             let head_end = unsafe { head_start.add(MAX_HEIGHT) };
                             let p = link as *const Atomic<Node<K, V>>;
                             if p >= head_start && p < head_end {
@@ -184,6 +214,10 @@ where
                             } else {
                                 // The link is `&node.tower[level]`; step to
                                 // `&node.tower[level-1]` within the same node.
+                                // SAFETY: `p` points into a node's tower array
+                                // at index `level` ≥ 1, so `p - 1` stays in
+                                // bounds of the same array; the node is
+                                // guard-protected for the whole find.
                                 unsafe { &*p.sub(1) }
                             }
                         }
@@ -191,6 +225,7 @@ where
                     };
                 }
             }
+            // SAFETY: `succs[0]` was read from a live link under the pin.
             let found = match unsafe { succs[0].as_ref() } {
                 Some(c) if c.key == *key => Some(succs[0]),
                 _ => None,
@@ -206,6 +241,7 @@ where
         'outer: loop {
             let f = self.find(&key, guard);
             if let Some(node) = f.found {
+                // SAFETY: `found` nodes are guard-protected (see find).
                 let n = unsafe { node.deref() };
                 // Replace the value in place.
                 loop {
@@ -229,12 +265,18 @@ where
                                 // value now belongs to the remover's claim.
                                 continue 'outer;
                             }
+                            // SAFETY: `old` was the node's live value until
+                            // our CAS; values are never null for live nodes.
                             let prev = unsafe { old.deref() }.clone();
+                            // SAFETY: our winning CAS unlinked `old`, making
+                            // this thread its unique retirer.
                             unsafe { guard.defer_destroy(old) };
                             return Some(prev);
                         }
                         Err(e) => {
                             // Another replace won; retry with current.
+                            // SAFETY: our speculative value never became
+                            // visible to other threads; we still own it.
                             drop(unsafe { e.new.into_owned() });
                             continue;
                         }
@@ -247,6 +289,8 @@ where
             let mut node = Node::new(key.clone(), value_ptr, height);
             node.tower[0] = Atomic::from(f.succs[0].as_raw() as *const Node<K, V>);
             let node_shared = node.into_shared(guard);
+            // SAFETY: `preds[0]` points at a live link (head slot or a
+            // guard-protected node's tower entry) found by this find pass.
             let pred0 = unsafe { &*f.preds[0] };
             if pred0
                 .compare_exchange(
@@ -259,14 +303,20 @@ where
                 .is_err()
             {
                 // Lost the publish race; free the speculative node + value.
+                // SAFETY: the node was never published, so we still own it
+                // exclusively; the value pointer is retired via the guard
+                // because `value` was cloned into it.
                 unsafe {
                     guard.defer_destroy(value_ptr);
                     drop(node_shared.into_owned());
                 }
                 continue 'outer;
             }
+            // ORDERING: Relaxed — `len` is a statistic; a racing remover may
+            // decrement before this lands (hence the signed clamp in len()).
             self.len.fetch_add(1, Ordering::Relaxed);
             // Link the higher levels.
+            // SAFETY: just published; guard-protected.
             let n = unsafe { node_shared.deref() };
             let mut last_set: Shared<'_, Node<K, V>> = Shared::null();
             for level in 1..height {
@@ -294,6 +344,8 @@ where
                     }
                     last_set = succ;
                     n.links.fetch_add(1, Ordering::AcqRel);
+                    // SAFETY: `preds[level]` comes from the find pass above
+                    // and points at a live, guard-protected link.
                     let predl = unsafe { &*f2.preds[level] };
                     match predl.compare_exchange(
                         succ,
@@ -324,11 +376,14 @@ where
         let guard = &epoch::pin();
         let f = self.find(key, guard);
         let node = f.found?;
+        // SAFETY: `found` nodes are guard-protected (see find).
         let n = unsafe { node.deref() };
         if n.tower[0].load(Ordering::Acquire, guard).tag() == 1 {
             return None;
         }
         let v = n.value.load(Ordering::Acquire, guard);
+        // SAFETY: the node was unmarked just above; live nodes always hold a
+        // non-null value, and the pin keeps it alive while we clone.
         Some(unsafe { v.deref() }.clone())
     }
 
@@ -339,6 +394,8 @@ where
 
     /// Mark `node` for deletion; returns true when this call won the claim.
     fn claim<'g>(&self, node: Shared<'g, Node<K, V>>, guard: &'g Guard) -> Option<V> {
+        // SAFETY: callers pass nodes reached through live links under
+        // `guard`, so the node outlives this call.
         let n = unsafe { node.deref() };
         // Mark the upper levels top-down.
         for level in (1..n.height).rev() {
@@ -377,8 +434,13 @@ where
                 )
                 .is_ok()
             {
+                // ORDERING: Relaxed statistic; may precede the inserter's
+                // increment (see the signed-counter note on `len`).
                 self.len.fetch_sub(1, Ordering::Relaxed);
                 let v = n.value.load(Ordering::Acquire, guard);
+                // SAFETY: we won the claim, so the value pointer cannot be
+                // retired before our guard drops; it is non-null for any
+                // node that was live when we began.
                 return Some(unsafe { v.deref() }.clone());
             }
         }
@@ -413,6 +475,7 @@ where
         loop {
             let mut curr = self.head[0].load(Ordering::Acquire, guard);
             let mut claimed = None;
+            // SAFETY: each node is reached through live links under the pin.
             while let Some(c) = unsafe { curr.as_ref() } {
                 let next = c.tower[0].load(Ordering::Acquire, guard);
                 if next.tag() == 0 {
@@ -444,10 +507,13 @@ where
     pub fn first(&self) -> Option<(K, V)> {
         let guard = &epoch::pin();
         let mut curr = self.head[0].load(Ordering::Acquire, guard);
+        // SAFETY: each node is reached through live links under the pin.
         while let Some(c) = unsafe { curr.as_ref() } {
             let next = c.tower[0].load(Ordering::Acquire, guard);
             if next.tag() == 0 {
                 let v = c.value.load(Ordering::Acquire, guard);
+                // SAFETY: unmarked node observed under the pin ⇒ its value
+                // is non-null and cannot be reclaimed before the guard drops.
                 return Some((c.key.clone(), unsafe { v.deref() }.clone()));
             }
             curr = next.with_tag(0);
@@ -460,10 +526,12 @@ where
         let guard = &epoch::pin();
         let mut out = Vec::new();
         let mut curr = self.head[0].load(Ordering::Acquire, guard);
+        // SAFETY: each node is reached through live links under the pin.
         while let Some(c) = unsafe { curr.as_ref() } {
             let next = c.tower[0].load(Ordering::Acquire, guard);
             if next.tag() == 0 {
                 let v = c.value.load(Ordering::Acquire, guard);
+                // SAFETY: unmarked ⇒ non-null value, guard-protected.
                 out.push((c.key.clone(), unsafe { v.deref() }.clone()));
             }
             curr = next.with_tag(0);
@@ -477,6 +545,7 @@ where
         let f = self.find(lo, guard);
         let mut out = Vec::new();
         let mut curr = f.succs[0];
+        // SAFETY: each node is reached through live links under the pin.
         while let Some(c) = unsafe { curr.as_ref() } {
             if c.key >= *hi {
                 break;
@@ -484,6 +553,7 @@ where
             let next = c.tower[0].load(Ordering::Acquire, guard);
             if next.tag() == 0 {
                 let v = c.value.load(Ordering::Acquire, guard);
+                // SAFETY: unmarked ⇒ non-null value, guard-protected.
                 out.push((c.key.clone(), unsafe { v.deref() }.clone()));
             }
             curr = next.with_tag(0);
@@ -499,6 +569,7 @@ where
         let mut marked = 0;
         let mut curr = self.head[0].load(Ordering::Acquire, guard);
         let mut keys = Vec::new();
+        // SAFETY: each node is reached through live links under the pin.
         while let Some(c) = unsafe { curr.as_ref() } {
             let next = c.tower[0].load(Ordering::Acquire, guard);
             if next.tag() == 1 {
@@ -520,10 +591,13 @@ impl<K, V> Drop for SkipListMap<K, V> {
         // partially unlinked may be absent from level 0 yet still reachable
         // at a higher level, so walk every level and free each distinct
         // node exactly once.
+        // SAFETY: `&mut self` proves no other thread can touch the list, so
+        // an unprotected guard is sound for the teardown walk.
         let guard = unsafe { epoch::unprotected() };
         let mut seen = std::collections::HashSet::new();
         for level in 0..MAX_HEIGHT {
             let mut curr = self.head[level].load(Ordering::Relaxed, guard).with_tag(0);
+            // SAFETY: exclusive access; every reachable node is still allocated.
             while let Some(c) = unsafe { curr.as_ref() } {
                 let next = c.tower[level].load(Ordering::Relaxed, guard).with_tag(0);
                 seen.insert(curr.as_raw() as usize);
@@ -532,8 +606,12 @@ impl<K, V> Drop for SkipListMap<K, V> {
         }
         for &addr in &seen {
             let node: Shared<'_, Node<K, V>> = Shared::from(addr as *const Node<K, V>);
+            // SAFETY: `addr` came from the reachability walk above, so it is a
+            // valid, still-allocated node pointer.
             let c = unsafe { node.deref() };
             let val = c.value.load(Ordering::Relaxed, guard);
+            // SAFETY: `seen` holds each node address exactly once, so each
+            // node (and its value, if still attached) is freed exactly once.
             unsafe {
                 if !val.is_null() {
                     drop(val.into_owned());

@@ -102,6 +102,8 @@ where
     core: Arc<Core<K, V>>,
     rank: &'a Rank,
     costs: CostCounters,
+    #[cfg(feature = "history")]
+    recorder: Option<crate::HistoryRecorder>,
 }
 
 impl<'a, K, V> OrderedMap<'a, K, V>
@@ -128,7 +130,22 @@ where
             bind_handlers(&world, fn_base, &parts);
             Core { fn_base, servers, parts, cfg: cfg2 }
         });
-        OrderedMap { core, rank, costs: CostCounters::default() }
+        OrderedMap {
+            core,
+            rank,
+            costs: CostCounters::default(),
+            #[cfg(feature = "history")]
+            recorder: None,
+        }
+    }
+
+    /// Attach a shared history recorder: every synchronous `put`/`get`/
+    /// `erase` through this handle is logged as an invoke/return pair for
+    /// offline linearizability checking ([`crate::check`]). Asynchronous
+    /// variants and range scans are not recorded.
+    #[cfg(feature = "history")]
+    pub fn set_recorder(&mut self, rec: crate::HistoryRecorder) {
+        self.recorder = Some(rec);
     }
 
     /// Which partition owns `key`.
@@ -151,8 +168,15 @@ where
 
     /// Insert (Table I: `F + L·log(N) + W`); `true` when newly inserted.
     pub fn put(&self, key: K, value: V) -> HclResult<bool> {
+        #[cfg(feature = "history")]
+        let tok = self.recorder.as_ref().map(|r| {
+            r.invoke(crate::DsOp::MapPut {
+                key: crate::history_enc(&key),
+                value: crate::history_enc(&value),
+            })
+        });
         let owner = self.owner_of(&key);
-        if self.is_local(owner) {
+        let result = if self.is_local(owner) {
             self.costs.l(1);
             self.costs.w(1);
             Ok(self.core.parts[&owner].insert(key, value).is_none())
@@ -160,7 +184,12 @@ where
             self.costs.f();
             let ep = self.rank.world().config().ep_of(owner);
             Ok(self.rank.client().invoke(ep, self.core.fn_base + FN_PUT, &(key, value))?)
+        };
+        #[cfg(feature = "history")]
+        if let (Some(r), Some(tok), Ok(newly)) = (self.recorder.as_ref(), tok, result.as_ref()) {
+            r.record_return(tok, crate::DsRet::Inserted(*newly));
         }
+        result
     }
 
     /// Asynchronous insert.
@@ -181,8 +210,13 @@ where
 
     /// Look up (Table I: `F + L·log(N) + R`).
     pub fn get(&self, key: &K) -> HclResult<Option<V>> {
+        #[cfg(feature = "history")]
+        let tok = self
+            .recorder
+            .as_ref()
+            .map(|r| r.invoke(crate::DsOp::MapGet { key: crate::history_enc(key) }));
         let owner = self.owner_of(key);
-        if self.is_local(owner) {
+        let result = if self.is_local(owner) {
             self.costs.l(1);
             self.costs.r(1);
             Ok(self.core.parts[&owner].get(key))
@@ -190,13 +224,23 @@ where
             self.costs.f();
             let ep = self.rank.world().config().ep_of(owner);
             Ok(self.rank.client().invoke(ep, self.core.fn_base + FN_GET, key)?)
+        };
+        #[cfg(feature = "history")]
+        if let (Some(r), Some(tok), Ok(v)) = (self.recorder.as_ref(), tok, result.as_ref()) {
+            r.record_return(tok, crate::DsRet::Value(v.as_ref().map(crate::history_enc)));
         }
+        result
     }
 
     /// Remove `key`.
     pub fn erase(&self, key: &K) -> HclResult<Option<V>> {
+        #[cfg(feature = "history")]
+        let tok = self
+            .recorder
+            .as_ref()
+            .map(|r| r.invoke(crate::DsOp::MapErase { key: crate::history_enc(key) }));
         let owner = self.owner_of(key);
-        if self.is_local(owner) {
+        let result = if self.is_local(owner) {
             self.costs.l(1);
             self.costs.w(1);
             Ok(self.core.parts[&owner].remove(key))
@@ -204,7 +248,12 @@ where
             self.costs.f();
             let ep = self.rank.world().config().ep_of(owner);
             Ok(self.rank.client().invoke(ep, self.core.fn_base + FN_ERASE, key)?)
+        };
+        #[cfg(feature = "history")]
+        if let (Some(r), Some(tok), Ok(v)) = (self.recorder.as_ref(), tok, result.as_ref()) {
+            r.record_return(tok, crate::DsRet::Value(v.as_ref().map(crate::history_enc)));
         }
+        result
     }
 
     /// Presence check.

@@ -50,6 +50,8 @@ where
     core: Arc<Core<T>>,
     rank: &'a Rank,
     costs: CostCounters,
+    #[cfg(feature = "history")]
+    recorder: Option<crate::HistoryRecorder>,
 }
 
 impl<'a, T> PriorityQueue<'a, T>
@@ -93,7 +95,24 @@ where
             reg.bind_typed(fn_base + FN_SNAPSHOT, move |_: EpId, _, ()| q.iter_snapshot());
             Core { fn_base, owner: cfg.owner, pq, cfg }
         });
-        PriorityQueue { core, rank, costs: CostCounters::default() }
+        PriorityQueue {
+            core,
+            rank,
+            costs: CostCounters::default(),
+            #[cfg(feature = "history")]
+            recorder: None,
+        }
+    }
+
+    /// Attach a shared history recorder: synchronous `push`/`pop` through
+    /// this handle are logged as invoke/return pairs for offline
+    /// linearizability checking ([`crate::check`]). The sequential pq spec
+    /// orders elements by their encoded bytes, so recorded workloads should
+    /// use element types whose `DataBox` encoding is order-preserving
+    /// (e.g. fixed-width strings).
+    #[cfg(feature = "history")]
+    pub fn set_recorder(&mut self, rec: crate::HistoryRecorder) {
+        self.recorder = Some(rec);
     }
 
     /// The hosting rank.
@@ -111,7 +130,12 @@ where
 
     /// Push one element (Table I: `F + L·log(N) + W`).
     pub fn push(&self, value: T) -> HclResult<bool> {
-        if self.is_local() {
+        #[cfg(feature = "history")]
+        let tok = self
+            .recorder
+            .as_ref()
+            .map(|r| r.invoke(crate::DsOp::PqPush { value: crate::history_enc(&value) }));
+        let result = if self.is_local() {
             self.costs.l(1);
             self.costs.w(1);
             self.core.pq.push(value);
@@ -119,7 +143,12 @@ where
         } else {
             self.costs.f();
             Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_PUSH, &value)?)
+        };
+        #[cfg(feature = "history")]
+        if let (Some(r), Some(tok), Ok(acked)) = (self.recorder.as_ref(), tok, result.as_ref()) {
+            r.record_return(tok, crate::DsRet::Pushed(*acked));
         }
+        result
     }
 
     /// Asynchronous push.
@@ -141,14 +170,21 @@ where
 
     /// Pop the minimum element (Table I: `F + L + R`).
     pub fn pop(&self) -> HclResult<Option<T>> {
-        if self.is_local() {
+        #[cfg(feature = "history")]
+        let tok = self.recorder.as_ref().map(|r| r.invoke(crate::DsOp::PqPop));
+        let result = if self.is_local() {
             self.costs.l(1);
             self.costs.r(1);
             Ok(self.core.pq.pop())
         } else {
             self.costs.f();
             Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_POP, &())?)
+        };
+        #[cfg(feature = "history")]
+        if let (Some(r), Some(tok), Ok(v)) = (self.recorder.as_ref(), tok, result.as_ref()) {
+            r.record_return(tok, crate::DsRet::Popped(v.as_ref().map(crate::history_enc)));
         }
+        result
     }
 
     /// Clone of the minimum without removing it.

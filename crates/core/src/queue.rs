@@ -59,6 +59,8 @@ where
     core: Arc<Core<T>>,
     rank: &'a Rank,
     costs: CostCounters,
+    #[cfg(feature = "history")]
+    recorder: Option<crate::HistoryRecorder>,
 }
 
 impl<'a, T> Queue<'a, T>
@@ -99,7 +101,22 @@ where
             reg.bind_typed(fn_base + FN_SNAPSHOT, move |_: EpId, _, ()| q2.iter_snapshot());
             Core { fn_base, owner, q, cfg }
         });
-        Queue { core, rank, costs: CostCounters::default() }
+        Queue {
+            core,
+            rank,
+            costs: CostCounters::default(),
+            #[cfg(feature = "history")]
+            recorder: None,
+        }
+    }
+
+    /// Attach a shared history recorder: synchronous `push`/`pop` through
+    /// this handle are logged as invoke/return pairs for offline
+    /// linearizability checking ([`crate::check`]). Asynchronous and bulk
+    /// variants are not recorded.
+    #[cfg(feature = "history")]
+    pub fn set_recorder(&mut self, rec: crate::HistoryRecorder) {
+        self.recorder = Some(rec);
     }
 
     /// The hosting rank.
@@ -117,7 +134,12 @@ where
 
     /// Push one element (Table I: `F + L + W`).
     pub fn push(&self, value: T) -> HclResult<bool> {
-        if self.is_local() {
+        #[cfg(feature = "history")]
+        let tok = self
+            .recorder
+            .as_ref()
+            .map(|r| r.invoke(crate::DsOp::QueuePush { value: crate::history_enc(&value) }));
+        let result = if self.is_local() {
             self.costs.l(1);
             self.costs.w(1);
             self.core.q.push(value);
@@ -125,7 +147,12 @@ where
         } else {
             self.costs.f();
             Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_PUSH, &value)?)
+        };
+        #[cfg(feature = "history")]
+        if let (Some(r), Some(tok), Ok(acked)) = (self.recorder.as_ref(), tok, result.as_ref()) {
+            r.record_return(tok, crate::DsRet::Pushed(*acked));
         }
+        result
     }
 
     /// Asynchronous push.
@@ -147,14 +174,21 @@ where
 
     /// Pop one element (Table I: `F + L + R`).
     pub fn pop(&self) -> HclResult<Option<T>> {
-        if self.is_local() {
+        #[cfg(feature = "history")]
+        let tok = self.recorder.as_ref().map(|r| r.invoke(crate::DsOp::QueuePop));
+        let result = if self.is_local() {
             self.costs.l(1);
             self.costs.r(1);
             Ok(self.core.q.pop())
         } else {
             self.costs.f();
             Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_POP, &())?)
+        };
+        #[cfg(feature = "history")]
+        if let (Some(r), Some(tok), Ok(v)) = (self.recorder.as_ref(), tok, result.as_ref()) {
+            r.record_return(tok, crate::DsRet::Popped(v.as_ref().map(crate::history_enc)));
         }
+        result
     }
 
     /// Bulk push (Table I: `F + L + E·W`): one invocation carries `E`

@@ -290,6 +290,8 @@ where
     rank: &'a Rank,
     costs: CostCounters,
     downed: RwLock<HashSet<u32>>,
+    #[cfg(feature = "history")]
+    recorder: Option<crate::HistoryRecorder>,
 }
 
 impl<'a, K, V> UnorderedMap<'a, K, V>
@@ -369,7 +371,24 @@ where
             bind_handlers(&world, fn_base, &parts);
             Core { fn_base, servers, parts, cfg: cfg2 }
         });
-        UnorderedMap { core, rank, costs: CostCounters::default(), downed: RwLock::new(HashSet::new()) }
+        UnorderedMap {
+            core,
+            rank,
+            costs: CostCounters::default(),
+            downed: RwLock::new(HashSet::new()),
+            #[cfg(feature = "history")]
+            recorder: None,
+        }
+    }
+
+    /// Attach a shared history recorder: every synchronous `put`/`get`/
+    /// `erase` through this handle is logged as an invoke/return pair for
+    /// offline linearizability checking ([`crate::check`]). Asynchronous and
+    /// bulk variants are not recorded; an op whose RPC fails never enters
+    /// the log.
+    #[cfg(feature = "history")]
+    pub fn set_recorder(&mut self, rec: crate::HistoryRecorder) {
+        self.recorder = Some(rec);
     }
 
     /// First-level hash: which partition owns `key`.
@@ -399,8 +418,15 @@ where
     /// inserted (`false` = overwrite). One remote invocation worst case
     /// (Table I: `F + L + W`).
     pub fn put(&self, key: K, value: V) -> HclResult<bool> {
+        #[cfg(feature = "history")]
+        let tok = self.recorder.as_ref().map(|r| {
+            r.invoke(crate::DsOp::MapPut {
+                key: crate::history_enc(&key),
+                value: crate::history_enc(&value),
+            })
+        });
         let owner = self.owner_of(&key);
-        if self.is_local(owner) {
+        let result = if self.is_local(owner) {
             self.costs.l(1);
             self.costs.w(1);
             Ok(self.core.parts[&owner].apply_put(key, value))
@@ -408,7 +434,12 @@ where
             self.costs.f();
             let ep = self.rank.world().config().ep_of(owner);
             Ok(self.rank.client().invoke(ep, self.core.fn_base + FN_PUT, &(key, value))?)
+        };
+        #[cfg(feature = "history")]
+        if let (Some(r), Some(tok), Ok(newly)) = (self.recorder.as_ref(), tok, result.as_ref()) {
+            r.record_return(tok, crate::DsRet::Inserted(*newly));
         }
+        result
     }
 
     /// Asynchronous insert (§III-C4).
@@ -430,12 +461,16 @@ where
     /// Look up `key` (Table I: `F + L + R`). Falls back to a replica when
     /// the owner has been marked down.
     pub fn get(&self, key: &K) -> HclResult<Option<V>> {
+        #[cfg(feature = "history")]
+        let tok = self
+            .recorder
+            .as_ref()
+            .map(|r| r.invoke(crate::DsOp::MapGet { key: crate::history_enc(key) }));
         let p = self.partition_of(key);
         let owner = self.core.servers[p];
-        if self.downed.read().contains(&owner) {
-            return self.get_from_replica(p, key);
-        }
-        if self.is_local(owner) {
+        let result = if self.downed.read().contains(&owner) {
+            self.get_from_replica(p, key)
+        } else if self.is_local(owner) {
             self.costs.l(1);
             self.costs.r(1);
             Ok(self.core.parts[&owner].apply_get(key))
@@ -443,7 +478,12 @@ where
             self.costs.f();
             let ep = self.rank.world().config().ep_of(owner);
             Ok(self.rank.client().invoke(ep, self.core.fn_base + FN_GET, key)?)
+        };
+        #[cfg(feature = "history")]
+        if let (Some(r), Some(tok), Ok(v)) = (self.recorder.as_ref(), tok, result.as_ref()) {
+            r.record_return(tok, crate::DsRet::Value(v.as_ref().map(crate::history_enc)));
         }
+        result
     }
 
     /// Asynchronous lookup.
@@ -576,8 +616,13 @@ where
 
     /// Remove `key`, returning its value.
     pub fn erase(&self, key: &K) -> HclResult<Option<V>> {
+        #[cfg(feature = "history")]
+        let tok = self
+            .recorder
+            .as_ref()
+            .map(|r| r.invoke(crate::DsOp::MapErase { key: crate::history_enc(key) }));
         let owner = self.owner_of(key);
-        if self.is_local(owner) {
+        let result = if self.is_local(owner) {
             self.costs.l(1);
             self.costs.w(1);
             Ok(self.core.parts[&owner].apply_erase(key))
@@ -585,7 +630,12 @@ where
             self.costs.f();
             let ep = self.rank.world().config().ep_of(owner);
             Ok(self.rank.client().invoke(ep, self.core.fn_base + FN_ERASE, key)?)
+        };
+        #[cfg(feature = "history")]
+        if let (Some(r), Some(tok), Ok(v)) = (self.recorder.as_ref(), tok, result.as_ref()) {
+            r.record_return(tok, crate::DsRet::Value(v.as_ref().map(crate::history_enc)));
         }
+        result
     }
 
     /// Presence check.
@@ -753,6 +803,8 @@ where
     K: DataBox + Hash + Eq + Clone + Send + Sync + 'static,
 {
     inner: UnorderedMap<'a, K, ()>,
+    #[cfg(feature = "history")]
+    recorder: Option<crate::HistoryRecorder>,
 }
 
 impl<'a, K> UnorderedSet<'a, K>
@@ -761,17 +813,43 @@ where
 {
     /// Collective constructor with defaults.
     pub fn new(rank: &'a Rank, name: &str) -> Self {
-        UnorderedSet { inner: UnorderedMap::new(rank, name) }
+        UnorderedSet {
+            inner: UnorderedMap::new(rank, name),
+            #[cfg(feature = "history")]
+            recorder: None,
+        }
     }
 
     /// Collective constructor with configuration.
     pub fn with_config(rank: &'a Rank, name: &str, cfg: UnorderedMapConfig) -> Self {
-        UnorderedSet { inner: UnorderedMap::with_config(rank, name, cfg) }
+        UnorderedSet {
+            inner: UnorderedMap::with_config(rank, name, cfg),
+            #[cfg(feature = "history")]
+            recorder: None,
+        }
+    }
+
+    /// Attach a shared history recorder: synchronous `insert`/`remove`/
+    /// `contains` through this handle are logged as set operations. The
+    /// inner map's recorder stays unset so each op is recorded exactly once.
+    #[cfg(feature = "history")]
+    pub fn set_recorder(&mut self, rec: crate::HistoryRecorder) {
+        self.recorder = Some(rec);
     }
 
     /// Insert `key`; `true` when newly inserted.
     pub fn insert(&self, key: K) -> HclResult<bool> {
-        self.inner.put(key, ())
+        #[cfg(feature = "history")]
+        let tok = self
+            .recorder
+            .as_ref()
+            .map(|r| r.invoke(crate::DsOp::SetInsert { key: crate::history_enc(&key) }));
+        let result = self.inner.put(key, ());
+        #[cfg(feature = "history")]
+        if let (Some(r), Some(tok), Ok(newly)) = (self.recorder.as_ref(), tok, result.as_ref()) {
+            r.record_return(tok, crate::DsRet::Inserted(*newly));
+        }
+        result
     }
 
     /// Asynchronous insert.
@@ -781,12 +859,32 @@ where
 
     /// Membership test (Table I: `F + L + R`).
     pub fn contains(&self, key: &K) -> HclResult<bool> {
-        self.inner.contains(key)
+        #[cfg(feature = "history")]
+        let tok = self
+            .recorder
+            .as_ref()
+            .map(|r| r.invoke(crate::DsOp::SetContains { key: crate::history_enc(key) }));
+        let result = self.inner.contains(key);
+        #[cfg(feature = "history")]
+        if let (Some(r), Some(tok), Ok(present)) = (self.recorder.as_ref(), tok, result.as_ref()) {
+            r.record_return(tok, crate::DsRet::Contains(*present));
+        }
+        result
     }
 
     /// Remove `key`; `true` when it was present.
     pub fn remove(&self, key: &K) -> HclResult<bool> {
-        Ok(self.inner.erase(key)?.is_some())
+        #[cfg(feature = "history")]
+        let tok = self
+            .recorder
+            .as_ref()
+            .map(|r| r.invoke(crate::DsOp::SetRemove { key: crate::history_enc(key) }));
+        let result = self.inner.erase(key).map(|v| v.is_some());
+        #[cfg(feature = "history")]
+        if let (Some(r), Some(tok), Ok(removed)) = (self.recorder.as_ref(), tok, result.as_ref()) {
+            r.record_return(tok, crate::DsRet::Removed(*removed));
+        }
+        result
     }
 
     /// Total elements.

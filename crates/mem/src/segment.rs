@@ -161,6 +161,9 @@ impl Segment {
             if abs % 8 == 0 && src.len() - i >= 8 {
                 let mut buf = [0u8; 8];
                 buf.copy_from_slice(&src[i..i + 8]);
+                // ORDERING: Relaxed models RDMA put semantics — per-word
+                // atomicity with no cross-word ordering; callers that need
+                // ordering fence at the RPC/flush layer.
                 storage.words[abs / 8].store(u64::from_le_bytes(buf), Ordering::Relaxed);
                 i += 8;
             } else {
@@ -173,6 +176,9 @@ impl Segment {
                 loop {
                     let mut bytes = cur.to_le_bytes();
                     bytes[abs % 8] = src[i];
+                    // ORDERING: Relaxed/Relaxed — the CAS only preserves the
+                    // word's other bytes; no publication happens here (RDMA
+                    // put semantics, as for the whole-word store above).
                     match word.compare_exchange_weak(
                         cur,
                         u64::from_le_bytes(bytes),

@@ -282,6 +282,8 @@ impl RpcClient {
     fn issue(&self, server: EpId, chain: Vec<FnId>, args: &[u8], flags: u8) -> RpcResult<RawFuture> {
         let retrying = self.retry.max_attempts > 1;
         let flags = if retrying { flags | FLAG_IDEMPOTENT } else { flags };
+        // ORDERING: Relaxed — request ids only need uniqueness; the send
+        // itself synchronizes via the fabric.
         let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
         let slot = (req_id % SLOTS_PER_CLIENT) as u32;
         // Enforce slot reuse discipline: drain the previous occupant.

@@ -189,6 +189,7 @@ impl RpcServer {
                                     Some(DedupEntry::InProgress) => {
                                         // Another core is running the
                                         // original; it will publish.
+                                        // ORDERING: Relaxed statistic.
                                         stats.deduped.fetch_add(1, Ordering::Relaxed);
                                         continue;
                                     }
@@ -197,6 +198,7 @@ impl RpcServer {
                                         // the requester; republish it.
                                         let cached = cached.clone();
                                         drop(w);
+                                        // ORDERING: Relaxed statistic.
                                         stats.deduped.fetch_add(1, Ordering::Relaxed);
                                         publish_response(
                                             &resp_seg,
@@ -221,6 +223,7 @@ impl RpcServer {
                                     .unwrap_or_default();
                                 let mut resps = Vec::with_capacity(calls.len());
                                 for (id, args) in calls {
+                                    // ORDERING: Relaxed statistic.
                                     stats.requests.fetch_add(1, Ordering::Relaxed);
                                     resps.push(match registry.get(id) {
                                         Some(h) => h(ep, caller, args),
@@ -230,6 +233,7 @@ impl RpcServer {
                                 encode_batch_response(&resps)
                             } else {
                                 // Callback chain: each output feeds the next.
+                                // ORDERING: Relaxed statistic.
                                 stats.requests.fetch_add(1, Ordering::Relaxed);
                                 let mut data = payload[args_off..].to_vec();
                                 for id in &hdr.chain {
@@ -243,6 +247,7 @@ impl RpcServer {
                                 }
                                 data
                             };
+                            // ORDERING: Relaxed statistic.
                             stats
                                 .busy_ns
                                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -341,6 +346,7 @@ pub(crate) fn publish_response(
     if response.len() <= slot_cap {
         resp_seg.write(payload_off, response).expect("slot payload write");
     } else {
+        // ORDERING: Relaxed statistic.
         stats.overflow_responses.fetch_add(1, Ordering::Relaxed);
         let off = overflow.alloc(response.len()).expect("overflow allocation");
         resp_seg.write(off, response).expect("overflow write");

@@ -23,3 +23,41 @@ test-faults-soak:
         HCL_FAULT_SEED=$seed cargo test --release --test fault_injection \
             -- --ignored soak_lossy_workload_env_seed
     done
+
+# Concurrency-hygiene static pass: unsafe blocks need `// SAFETY:`, relaxed
+# atomics in containers/mem/rpc need `// ORDERING:`, raw epoch derefs need a
+# guard in scope.
+lint:
+    cargo run -p xtask -- lint
+
+# Deterministic schedule exploration: rebuild the lock-free containers with
+# the `conc_check` atomics facade and race them through >= 1000 distinct
+# seeded schedules per test (fixed seeds; failures print a replay seed).
+check-conc:
+    #!/usr/bin/env bash
+    set -euo pipefail
+    export RUSTFLAGS="--cfg conc_check"
+    export CARGO_TARGET_DIR=target/conc
+    cargo test -p conc-check
+    cargo test -p hcl-containers --test conc_sched
+
+# Long sweep: five seed offsets x 5000 schedules per container test.
+check-conc-soak:
+    #!/usr/bin/env bash
+    set -euo pipefail
+    export RUSTFLAGS="--cfg conc_check"
+    export CARGO_TARGET_DIR=target/conc
+    for off in 0 1000000 2000000 3000000 4000000; do
+        echo "== conc soak: seed offset $off =="
+        HCL_CONC_SEED_OFFSET=$off HCL_CONC_SCHEDULES=5000 \
+            cargo test -p hcl-containers --test conc_sched
+    done
+
+# Record real multi-rank container histories and replay them through the
+# Wing-Gong linearizability checker.
+check-lin:
+    cargo test --release --features history --test linearizability
+
+# Everything CI runs: build, tier-1 tests, hygiene lint, fault suite,
+# schedule exploration, linearizability histories.
+ci: build test lint test-faults check-conc check-lin

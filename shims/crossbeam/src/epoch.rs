@@ -17,7 +17,11 @@
 //! crate.
 
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicUsize, Ordering};
+
+// The atomic word goes through the conc-check facade so that, under
+// `--cfg conc_check`, every pointer load/store/CAS becomes a deterministic
+// scheduling point (the containers' linked-structure races live here).
+use conc_check::sync::{AtomicUsize, Ordering};
 
 /// Number of pointer low bits available for tags, given `T`'s alignment.
 fn low_bits<T>() -> usize {
@@ -71,6 +75,8 @@ impl<T> Owned<T> {
     pub fn into_box(self) -> Box<T> {
         let (ptr, _) = decompose::<T>(self.data);
         std::mem::forget(self);
+        // SAFETY: an `Owned` always holds a pointer produced by
+        // `Box::into_raw`, and `forget(self)` above prevents a double free.
         unsafe { Box::from_raw(ptr) }
     }
 }
@@ -79,6 +85,7 @@ impl<T> std::ops::Deref for Owned<T> {
     type Target = T;
     fn deref(&self) -> &T {
         let (ptr, _) = decompose::<T>(self.data);
+        // SAFETY: `Owned` uniquely owns a live heap allocation.
         unsafe { &*ptr }
     }
 }
@@ -86,6 +93,7 @@ impl<T> std::ops::Deref for Owned<T> {
 impl<T> std::ops::DerefMut for Owned<T> {
     fn deref_mut(&mut self) -> &mut T {
         let (ptr, _) = decompose::<T>(self.data);
+        // SAFETY: `&mut self` on a uniquely owned live allocation.
         unsafe { &mut *ptr }
     }
 }
@@ -93,6 +101,8 @@ impl<T> std::ops::DerefMut for Owned<T> {
 impl<T> Drop for Owned<T> {
     fn drop(&mut self) {
         let (ptr, _) = decompose::<T>(self.data);
+        // SAFETY: the pointer came from `Box::into_raw` and ownership was
+        // never transferred out (those paths `forget` self first).
         drop(unsafe { Box::from_raw(ptr) });
     }
 }
@@ -156,6 +166,7 @@ impl<'g, T> Shared<'g, T> {
     /// # Safety
     /// The pointer must be non-null and the pointee alive.
     pub unsafe fn deref(&self) -> &'g T {
+        // SAFETY: forwarded to the caller (see the `# Safety` contract).
         unsafe { &*self.as_raw() }
     }
 
@@ -168,6 +179,7 @@ impl<'g, T> Shared<'g, T> {
         if p.is_null() {
             None
         } else {
+            // SAFETY: non-null here; liveness is the caller's contract.
             Some(unsafe { &*p })
         }
     }
@@ -227,7 +239,10 @@ pub struct Atomic<T> {
     _marker: PhantomData<*mut T>,
 }
 
+// SAFETY: `Atomic<T>` is a word-sized atomic cell; sharing it across threads
+// only hands out `Shared<T>` references, which is sound when `T: Send + Sync`.
 unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+// SAFETY: as above — all mutation goes through atomic operations.
 unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
 
 impl<T> Atomic<T> {
@@ -272,6 +287,8 @@ impl<T> Atomic<T> {
             Ok(_) => Ok(Shared { data: new_data, _marker: PhantomData }),
             Err(found) => Err(CompareExchangeError {
                 current: Shared { data: found, _marker: PhantomData },
+                // SAFETY: `new_data` came from `new.into_usize()` two lines
+                // up, so rebuilding the same pointer family is sound.
                 new: unsafe { P::from_usize(new_data) },
             }),
         }
@@ -353,7 +370,9 @@ mod tests {
         let t = s.with_tag(1);
         assert_eq!(t.tag(), 1);
         assert_eq!(t.as_raw(), s.as_raw());
+        // SAFETY: single-threaded test; the allocation is live.
         assert_eq!(unsafe { *t.deref() }, 42);
+        // SAFETY: sole owner; reclaim exactly once.
         drop(unsafe { s.into_owned() });
     }
 
@@ -375,6 +394,7 @@ mod tests {
             }
             Ok(_) => panic!("CAS must fail"),
         }
+        // SAFETY: single-threaded test; sole owner of the installed node.
         drop(unsafe { cur.into_owned() });
     }
 
@@ -382,6 +402,7 @@ mod tests {
     fn null_checks() {
         let s: Shared<'_, u64> = Shared::null();
         assert!(s.is_null());
+        // SAFETY: null pointer; `as_ref` returns None without dereferencing.
         assert!(unsafe { s.as_ref() }.is_none());
         // A tagged null is still null.
         assert!(s.with_tag(1).is_null());

@@ -217,6 +217,9 @@ fn take_guard<'a, T>(
     guard: &mut MutexGuard<'a, T>,
     f: impl FnOnce(StdMutexGuard<'a, T>) -> StdMutexGuard<'a, T>,
 ) {
+    // SAFETY: the guard read out of the slot is handed to `f`, which (per the
+    // contract above) always returns a live replacement that is written back
+    // before anyone can observe the slot, so no guard is duplicated or lost.
     unsafe {
         let inner = std::ptr::read(&guard.inner);
         let next = f(inner);

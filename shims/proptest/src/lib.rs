@@ -51,6 +51,41 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+std::thread_local! {
+    static CURRENT_CASE_SEED: std::cell::Cell<Option<u64>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// The seed of the property-test case currently executing on this thread,
+/// or `None` outside a [`proptest!`] body. Test bodies can use it for
+/// deterministic side resources (temp-dir names, nested RNGs) so a failing
+/// case replays byte-identically under `HCL_PROPTEST_SEED`.
+pub fn current_case_seed() -> Option<u64> {
+    CURRENT_CASE_SEED.with(|c| c.get())
+}
+
+#[doc(hidden)]
+pub fn __set_case_seed(seed: Option<u64>) {
+    CURRENT_CASE_SEED.with(|c| c.set(seed));
+}
+
+/// Replay override from the `HCL_PROPTEST_SEED` env var (decimal or
+/// `0x`-prefixed hex). When set, every [`proptest!`] test runs exactly one
+/// case with this seed — paste the seed a failure printed to reproduce it.
+#[doc(hidden)]
+pub fn __replay_seed() -> Option<u64> {
+    let v = std::env::var("HCL_PROPTEST_SEED").ok()?;
+    let v = v.trim();
+    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    match parsed {
+        Ok(s) => Some(s),
+        Err(_) => panic!("HCL_PROPTEST_SEED must be a u64 (decimal or 0x hex), got `{v}`"),
+    }
+}
+
 /// Everything a property test file needs in scope.
 pub mod prelude {
     pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy};
@@ -91,20 +126,31 @@ macro_rules! __proptest_fns {
             fn $name() {
                 let cfg: $crate::ProptestConfig = $cfg;
                 let fn_seed = $crate::fnv1a(stringify!($name).as_bytes());
+                let replay = $crate::__replay_seed();
                 for case in 0..cfg.cases {
-                    let mut rng = $crate::TestRng::from_seed(
-                        fn_seed ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                    );
-                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    let case_seed = match replay {
+                        Some(seed) => seed,
+                        None => fn_seed ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    };
+                    let mut rng = $crate::TestRng::from_seed(case_seed);
+                    $crate::__set_case_seed(Some(case_seed));
                     let outcome = ::std::panic::catch_unwind(
-                        ::std::panic::AssertUnwindSafe(|| $body),
+                        ::std::panic::AssertUnwindSafe(|| {
+                            $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                            $body
+                        }),
                     );
+                    $crate::__set_case_seed(None);
                     if let Err(panic) = outcome {
                         eprintln!(
-                            "proptest (shim): {} failed at case {}/{} (fn seed {:#018x})",
-                            stringify!($name), case, cfg.cases, fn_seed,
+                            "proptest (shim): {} failed at case {}/{} (case seed {:#018x}); \
+                             replay with HCL_PROPTEST_SEED={:#x}",
+                            stringify!($name), case, cfg.cases, case_seed, case_seed,
                         );
                         ::std::panic::resume_unwind(panic);
+                    }
+                    if replay.is_some() {
+                        break; // replay mode runs exactly the requested case
                     }
                 }
             }

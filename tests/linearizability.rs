@@ -1,0 +1,161 @@
+//! Linearizability of the public containers, checked on real histories.
+//!
+//! Requires the `history` feature:
+//!
+//! ```text
+//! cargo test --features history --test linearizability
+//! ```
+//!
+//! Every rank attaches the same shared [`Recorder`] to its container handle,
+//! runs a contended workload, and after the world tears down the drained
+//! history is replayed against the matching sequential spec with
+//! [`hcl::check`] (Wing–Gong with P-compositionality for keyed structures).
+#![cfg(feature = "history")]
+
+use std::sync::Arc;
+
+use hcl::{
+    check, DsSpec, HistoryRecorder, OrderedMap, PriorityQueue, Queue, Recorder, UnorderedMap,
+    UnorderedSet,
+};
+use hcl_runtime::{World, WorldConfig};
+
+fn mem_world(nodes: u32, rpn: u32) -> WorldConfig {
+    WorldConfig { nodes, ranks_per_node: rpn, ..WorldConfig::small() }
+}
+
+fn recorder() -> HistoryRecorder {
+    Arc::new(Recorder::new())
+}
+
+#[test]
+fn unordered_map_history_is_linearizable() {
+    let rec = recorder();
+    let rec2 = Arc::clone(&rec);
+    World::run(mem_world(2, 2), move |rank| {
+        let mut map: UnorderedMap<u64, u64> = UnorderedMap::new(rank, "lin.umap");
+        map.set_recorder(Arc::clone(&rec2));
+        rank.barrier();
+        let me = rank.id() as u64;
+        for i in 0..40u64 {
+            let k = i % 8; // eight keys contended by all four ranks
+            map.put(k, me * 1000 + i).unwrap();
+            map.get(&k).unwrap();
+            if i % 4 == 3 {
+                map.erase(&k).unwrap();
+            }
+        }
+        rank.barrier();
+    });
+    let hist = rec.take();
+    assert!(hist.len() >= 4 * 90, "expected a dense history, got {} ops", hist.len());
+    check(&DsSpec::map(), &hist).expect("unordered_map history must be linearizable");
+}
+
+#[test]
+fn unordered_set_history_is_linearizable() {
+    let rec = recorder();
+    let rec2 = Arc::clone(&rec);
+    World::run(mem_world(2, 2), move |rank| {
+        let mut set: UnorderedSet<u64> = UnorderedSet::with_config(
+            rank,
+            "lin.uset",
+            hcl::UnorderedMapConfig::default(),
+        );
+        set.set_recorder(Arc::clone(&rec2));
+        rank.barrier();
+        for i in 0..40u64 {
+            let k = i % 6;
+            set.insert(k).unwrap();
+            set.contains(&k).unwrap();
+            if i % 3 == 2 {
+                set.remove(&k).unwrap();
+            }
+        }
+        rank.barrier();
+    });
+    let hist = rec.take();
+    assert!(!hist.is_empty());
+    check(&DsSpec::set(), &hist).expect("unordered_set history must be linearizable");
+}
+
+#[test]
+fn ordered_map_history_is_linearizable() {
+    let rec = recorder();
+    let rec2 = Arc::clone(&rec);
+    World::run(mem_world(2, 2), move |rank| {
+        let mut map: OrderedMap<u64, u64> = OrderedMap::new(rank, "lin.omap");
+        map.set_recorder(Arc::clone(&rec2));
+        rank.barrier();
+        let me = rank.id() as u64;
+        for i in 0..30u64 {
+            let k = i % 5;
+            map.put(k, me * 1000 + i).unwrap();
+            map.get(&k).unwrap();
+            if i % 5 == 4 {
+                map.erase(&k).unwrap();
+            }
+        }
+        rank.barrier();
+    });
+    let hist = rec.take();
+    assert!(!hist.is_empty());
+    check(&DsSpec::map(), &hist).expect("ordered_map history must be linearizable");
+}
+
+#[test]
+fn queue_history_is_linearizable() {
+    // The queue spec is not keyed, so this exercises the single-partition
+    // Wing–Gong search over the whole history; the workload is sized to keep
+    // that tractable while still racing four ranks on one FIFO.
+    let rec = recorder();
+    let rec2 = Arc::clone(&rec);
+    World::run(mem_world(2, 2), move |rank| {
+        let mut q: Queue<u64> = Queue::new(rank, "lin.q");
+        q.set_recorder(Arc::clone(&rec2));
+        rank.barrier();
+        let me = rank.id() as u64;
+        for i in 0..12u64 {
+            q.push(me * 100 + i).unwrap();
+            if i % 2 == 1 {
+                q.pop().unwrap();
+            }
+        }
+        rank.barrier();
+        if rank.id() == 0 {
+            while q.pop().unwrap().is_some() {}
+        }
+        rank.barrier();
+    });
+    let hist = rec.take();
+    assert!(!hist.is_empty());
+    check(&DsSpec::queue(), &hist).expect("queue history must be linearizable");
+}
+
+#[test]
+fn priority_queue_history_is_linearizable() {
+    // The pq spec orders by encoded bytes, so use fixed-width ASCII strings:
+    // their DataBox encoding preserves the String `Ord` the real structure
+    // pops by.
+    let rec = recorder();
+    let rec2 = Arc::clone(&rec);
+    World::run(mem_world(2, 2), move |rank| {
+        let mut pq: PriorityQueue<String> = PriorityQueue::new(rank, "lin.pq");
+        pq.set_recorder(Arc::clone(&rec2));
+        rank.barrier();
+        for i in 0..10u32 {
+            pq.push(format!("{:02}-{:02}", i, rank.id())).unwrap();
+            if i % 2 == 1 {
+                pq.pop().unwrap();
+            }
+        }
+        rank.barrier();
+        if rank.id() == 0 {
+            while pq.pop().unwrap().is_some() {}
+        }
+        rank.barrier();
+    });
+    let hist = rec.take();
+    assert!(!hist.is_empty());
+    check(&DsSpec::pq(), &hist).expect("priority_queue history must be linearizable");
+}

@@ -94,11 +94,14 @@ proptest! {
     fn oplog_replay_reconstructs_state(
         ops in proptest::collection::vec((0u8..2, 0u64..32, any::<u64>()), 0..200)
     ) {
+        // Deterministic scratch dir: named by the case seed so a failing
+        // case replays against the same path under HCL_PROPTEST_SEED.
         let dir = std::env::temp_dir().join(format!(
-            "hcl-prop-oplog-{}-{}",
+            "hcl-prop-oplog-{}-{:016x}",
             std::process::id(),
-            rand::random::<u64>()
+            proptest::current_case_seed().expect("inside a proptest case")
         ));
+        let _ = std::fs::remove_dir_all(&dir); // stale dir from an aborted earlier run
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("p.log");
         let mut model: HashMap<u64, u64> = HashMap::new();

@@ -1,0 +1,453 @@
+//! Concurrency-hygiene lint pass (`cargo run -p xtask -- lint`).
+//!
+//! Three rules, tuned to the invariants the containers and shims rely on:
+//!
+//! 1. **SAFETY** — every `unsafe { .. }` block and `unsafe impl` must carry a
+//!    `// SAFETY:` comment in the contiguous comment run directly above it
+//!    (or on the same line), and every `pub unsafe fn` must document its
+//!    contract with a `# Safety` doc section.
+//! 2. **ORDERING** — in `crates/containers`, `crates/mem` and `crates/rpc`,
+//!    every *mutating* atomic access (`store`, `swap`, `fetch_*`,
+//!    `compare_exchange*`) that uses `Ordering::Relaxed` must carry an
+//!    `// ORDERING:` comment above the statement explaining why relaxed is
+//!    enough. Plain loads are exempt; `#[cfg(test)]` modules are exempt.
+//! 3. **EPOCH** — a raw `Shared::deref()` call in epoch-using code must sit
+//!    in a function that visibly holds a guard (`epoch::pin()`, a `Guard`
+//!    parameter/binding, or `epoch::unprotected()`), so the pointee cannot
+//!    be reclaimed out from under the reference. The shim defining the API
+//!    (`shims/crossbeam`) is exempt.
+//!
+//! The pass is line-based on purpose: it runs in milliseconds, has no
+//! dependencies, and the few syntactic shapes it must understand are fixed
+//! by this workspace's style (rustfmt-formatted, comment-above-statement).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Directories scanned relative to the workspace root. `xtask` itself is
+/// excluded: this file's rule strings and test fixtures would self-match
+/// (the scanner is line-based, not string-literal-aware).
+const SCAN_ROOTS: &[&str] = &["crates", "shims", "src", "tests", "examples", "benches"];
+
+/// Path fragments where the ORDERING rule applies.
+const ORDERING_PATHS: &[&str] = &["crates/containers/", "crates/mem/", "crates/rpc/"];
+
+/// Path fragments exempt from the EPOCH rule (the shim defines the API).
+const EPOCH_EXEMPT_PATHS: &[&str] = &["shims/crossbeam/"];
+
+/// Atomic-mutation tokens for the ORDERING rule.
+const MUTATION_TOKENS: &[&str] = &[
+    "store(",
+    "swap(",
+    "compare_exchange",
+    "fetch_add(",
+    "fetch_sub(",
+    "fetch_and(",
+    "fetch_or(",
+    "fetch_xor(",
+    "fetch_max(",
+    "fetch_min(",
+    "fetch_update(",
+];
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub rule: Rule,
+    pub message: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    Safety,
+    Ordering,
+    Epoch,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rule::Safety => write!(f, "SAFETY"),
+            Rule::Ordering => write!(f, "ORDERING"),
+            Rule::Epoch => write!(f, "EPOCH"),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Entry point for `xtask lint`.
+pub fn run() -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for dir in SCAN_ROOTS {
+        collect_rs_files(&root.join(dir), &mut files);
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let Ok(content) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        scanned += 1;
+        let rel = path.strip_prefix(&root).unwrap_or(path).display().to_string();
+        findings.extend(check_file(&rel, &content));
+    }
+    for f in &findings {
+        eprintln!("{f}");
+    }
+    if findings.is_empty() {
+        println!("xtask lint: {scanned} files clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: {} finding(s) in {scanned} files", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root is the parent of this crate's manifest dir.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().map(Path::to_path_buf).unwrap_or(manifest)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Run all three rules over one file. `rel` is the workspace-relative path
+/// (forward slashes), used for the per-rule path filters.
+pub fn check_file(rel: &str, content: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = content.lines().collect();
+    let mut findings = Vec::new();
+    check_safety(rel, &lines, &mut findings);
+    // Integration-test trees (`<crate>/tests/`) are exempt from ORDERING the
+    // same way `#[cfg(test)]` modules are: test counters need no rationale.
+    if ORDERING_PATHS.iter().any(|p| rel.contains(p)) && !rel.contains("/tests/") {
+        check_ordering(rel, &lines, &mut findings);
+    }
+    if content.contains("epoch") && !EPOCH_EXEMPT_PATHS.iter().any(|p| rel.contains(p)) {
+        check_epoch(rel, &lines, &mut findings);
+    }
+    findings
+}
+
+/// True when `line` is purely a comment (incl. doc comments) or attribute.
+fn is_comment_or_attr(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!")
+}
+
+/// Walk the contiguous comment/attribute run directly above `idx` and report
+/// whether any of it (or the line itself) contains `needle`.
+fn annotated_above(lines: &[&str], idx: usize, needle: &str) -> bool {
+    if lines[idx].contains(needle) {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        if !is_comment_or_attr(lines[i]) {
+            break;
+        }
+        if lines[i].contains(needle) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Rule 1: `unsafe` blocks/impls need `// SAFETY:`, `pub unsafe fn` needs a
+/// `# Safety` doc section.
+fn check_safety(rel: &str, lines: &[&str], findings: &mut Vec<Finding>) {
+    for (idx, raw) in lines.iter().enumerate() {
+        let line = strip_line_comment(raw);
+        if line.contains("unsafe impl") {
+            if !annotated_above(lines, idx, "SAFETY:") {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    rule: Rule::Safety,
+                    message: "`unsafe impl` without a `// SAFETY:` comment".into(),
+                });
+            }
+        } else if line.contains("unsafe fn") {
+            if line.contains("pub unsafe fn") && !annotated_above(lines, idx, "# Safety") {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    rule: Rule::Safety,
+                    message: "`pub unsafe fn` without a `# Safety` doc section".into(),
+                });
+            }
+        } else if line.contains("unsafe {") || line.trim_end().ends_with("unsafe") {
+            // `unsafe {` inline, or an `unsafe` keyword ending the line with
+            // the block opening on the next (rustfmt wraps long statements).
+            if !annotated_above(lines, idx, "SAFETY:") {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    rule: Rule::Safety,
+                    message: "`unsafe` block without a `// SAFETY:` comment".into(),
+                });
+            }
+        }
+    }
+}
+
+/// Drop a trailing `// ..` comment so comment text never triggers keyword
+/// matches. (Does not attempt string-literal awareness; the scanned code
+/// does not put `unsafe {` or atomic calls inside string literals.)
+fn strip_line_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Rule 2: relaxed atomic mutations need `// ORDERING:` above the statement.
+fn check_ordering(rel: &str, lines: &[&str], findings: &mut Vec<Finding>) {
+    // Everything from the `#[cfg(test)] mod ..` marker on is test
+    // scaffolding — counters in tests do not need ordering rationale. (A
+    // lone `#[cfg(test)]` on a field or helper does NOT end the scan.)
+    let test_start = lines
+        .iter()
+        .enumerate()
+        .position(|(i, l)| {
+            l.contains("#[cfg(test)]")
+                && lines.get(i + 1).is_some_and(|n| n.trim_start().starts_with("mod "))
+        })
+        .unwrap_or(lines.len());
+    for idx in 0..test_start.min(lines.len()) {
+        if !strip_line_comment(lines[idx]).contains("Ordering::Relaxed") {
+            continue;
+        }
+        let start = statement_start(lines, idx);
+        let stmt: String = lines[start..=idx].join("\n");
+        let stmt = strip_block_comments(&stmt);
+        if !MUTATION_TOKENS.iter().any(|t| stmt.contains(t)) {
+            continue; // plain load (or constructor): exempt
+        }
+        if !annotated_above(lines, start, "ORDERING:") {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: Rule::Ordering,
+                message: "relaxed atomic mutation without an `// ORDERING:` comment".into(),
+            });
+        }
+    }
+}
+
+/// Remove `// ..` comment tails from a multi-line statement snippet.
+fn strip_block_comments(stmt: &str) -> String {
+    stmt.lines().map(strip_line_comment).collect::<Vec<_>>().join("\n")
+}
+
+/// Walk upward to the first line of the statement containing line `idx`:
+/// stop below a blank line, a comment/attribute line, or a line ending in
+/// `;`, `{` or `}` (the previous statement).
+fn statement_start(lines: &[&str], idx: usize) -> usize {
+    let mut start = idx;
+    while start > 0 {
+        let prev = lines[start - 1].trim();
+        if prev.is_empty()
+            || is_comment_or_attr(prev)
+            || prev.ends_with(';')
+            || prev.ends_with('{')
+            || prev.ends_with('}')
+        {
+            break;
+        }
+        start -= 1;
+    }
+    start
+}
+
+/// Rule 3: `.deref()` in epoch-using code must be inside a function that
+/// visibly holds a guard.
+fn check_epoch(rel: &str, lines: &[&str], findings: &mut Vec<Finding>) {
+    for (idx, raw) in lines.iter().enumerate() {
+        let line = strip_line_comment(raw);
+        if !line.contains(".deref()") {
+            continue;
+        }
+        // Find the enclosing fn signature.
+        let fn_line = (0..=idx).rev().find(|&i| {
+            let t = lines[i].trim_start();
+            t.starts_with("fn ")
+                || t.starts_with("pub fn ")
+                || t.starts_with("pub(crate) fn ")
+                || t.starts_with("unsafe fn ")
+                || t.starts_with("pub unsafe fn ")
+                || t.starts_with("pub const fn ")
+                || t.starts_with("const fn ")
+        });
+        let Some(fn_line) = fn_line else { continue };
+        let region = lines[fn_line..=idx].join("\n");
+        let has_guard = region.contains("Guard")
+            || region.contains("guard")
+            || region.contains("pin()")
+            || region.contains("unprotected");
+        if !has_guard {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: Rule::Epoch,
+                message: "raw `Shared::deref()` with no guard in scope".into(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(rel: &str, src: &str) -> Vec<Rule> {
+        check_file(rel, src).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn annotated_unsafe_block_passes() {
+        let src = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n";
+        assert!(rules("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn deleting_the_safety_comment_fails() {
+        // The negative control for the acceptance criterion: same code with
+        // the SAFETY comment removed must produce a finding.
+        let src = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        assert_eq!(rules("crates/x/src/lib.rs", src), vec![Rule::Safety]);
+    }
+
+    #[test]
+    fn multi_line_comment_run_counts() {
+        let src = "fn f(p: *const u8) -> u8 {\n    // SAFETY: a long justification that\n    // wraps across several lines before\n    // the block itself.\n    unsafe { *p }\n}\n";
+        assert!(rules("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unannotated_unsafe_impl_fails() {
+        let src = "struct X;\nunsafe impl Send for X {}\n";
+        assert_eq!(rules("crates/x/src/lib.rs", src), vec![Rule::Safety]);
+        let ok = "struct X;\n// SAFETY: X owns no thread-affine state.\nunsafe impl Send for X {}\n";
+        assert!(rules("crates/x/src/lib.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn pub_unsafe_fn_needs_safety_docs() {
+        let bad = "/// Does a thing.\npub unsafe fn f() {}\n";
+        assert_eq!(rules("crates/x/src/lib.rs", bad), vec![Rule::Safety]);
+        let ok = "/// Does a thing.\n///\n/// # Safety\n/// Caller must hold the lock.\npub unsafe fn f() {}\n";
+        assert!(rules("crates/x/src/lib.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn relaxed_store_needs_ordering_comment_in_covered_paths() {
+        let bad = "fn f(a: &AtomicUsize) {\n    a.store(1, Ordering::Relaxed);\n}\n";
+        assert_eq!(rules("crates/containers/src/x.rs", bad), vec![Rule::Ordering]);
+        // Deleting the comment is the failure mode; with it, clean.
+        let ok = "fn f(a: &AtomicUsize) {\n    // ORDERING: statistic only.\n    a.store(1, Ordering::Relaxed);\n}\n";
+        assert!(rules("crates/containers/src/x.rs", ok).is_empty());
+        // Outside the covered paths the rule does not apply.
+        assert!(rules("crates/fabric/src/x.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn relaxed_load_is_exempt() {
+        let src = "fn f(a: &AtomicUsize) -> usize {\n    a.load(Ordering::Relaxed)\n}\n";
+        assert!(rules("crates/mem/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn multiline_compare_exchange_relaxed_failure_flagged() {
+        let bad = concat!(
+            "fn f(a: &AtomicUsize) {\n",
+            "    let _ = a.compare_exchange(\n",
+            "        0,\n",
+            "        1,\n",
+            "        Ordering::AcqRel,\n",
+            "        Ordering::Relaxed,\n",
+            "    );\n",
+            "}\n"
+        );
+        assert_eq!(rules("crates/rpc/src/x.rs", bad), vec![Rule::Ordering]);
+        let ok = concat!(
+            "fn f(a: &AtomicUsize) {\n",
+            "    // ORDERING: failure value is discarded; retry reloads.\n",
+            "    let _ = a.compare_exchange(\n",
+            "        0,\n",
+            "        1,\n",
+            "        Ordering::AcqRel,\n",
+            "        Ordering::Relaxed,\n",
+            "    );\n",
+            "}\n"
+        );
+        assert!(rules("crates/rpc/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt_from_ordering() {
+        let src = concat!(
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn f(a: &AtomicUsize) {\n",
+            "        a.fetch_add(1, Ordering::Relaxed);\n",
+            "    }\n",
+            "}\n"
+        );
+        assert!(rules("crates/containers/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn deref_without_guard_flagged() {
+        let bad = concat!(
+            "use crossbeam::epoch::Shared;\n",
+            "fn f(s: Shared<'_, u8>) -> u8 {\n",
+            "    // SAFETY: trust me.\n",
+            "    *unsafe { s.deref() }\n",
+            "}\n"
+        );
+        assert_eq!(rules("crates/containers/src/x.rs", bad), vec![Rule::Epoch]);
+        let ok = concat!(
+            "use crossbeam::epoch::{self, Shared};\n",
+            "fn f(s: Shared<'_, u8>) -> u8 {\n",
+            "    let guard = epoch::pin();\n",
+            "    // SAFETY: pinned above.\n",
+            "    *unsafe { s.deref() }\n",
+            "}\n"
+        );
+        assert!(rules("crates/containers/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn epoch_rule_skipped_outside_epoch_files() {
+        // `.deref()` on ordinary smart pointers in non-epoch code is fine.
+        let src = "fn f(b: &Box<u8>) -> u8 {\n    *std::ops::Deref::deref(b)\n}\n";
+        assert!(rules("crates/runtime/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,26 @@
+//! Workspace automation. Currently one command:
+//!
+//! ```text
+//! cargo run -p xtask -- lint
+//! ```
+//!
+//! runs the concurrency-hygiene lint pass (see [`lint`]).
+
+use std::process::ExitCode;
+
+mod lint;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint::run(),
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}` (try `xtask lint`)");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("xtask: no command given (try `xtask lint`)");
+            ExitCode::FAILURE
+        }
+    }
+}
