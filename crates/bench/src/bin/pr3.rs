@@ -1,0 +1,375 @@
+//! PR 3 acceptance bench — RPC hot-path overhaul.
+//!
+//! Measures remote put/get/pop throughput of the distributed containers at
+//! 1–8 ranks over both fabric providers, with small (8 B) and spill-sized
+//! (4 KB against a 1 KB slot) values, in two modes:
+//!
+//! * **baseline** — op coalescing disabled, synchronous per-op invocations:
+//!   the pre-overhaul request path (one message, one full round trip per
+//!   op);
+//! * **batched** — the overhauled path: async ops staged on the adaptive
+//!   per-destination coalescer (put/get) or explicit bulk ops (pop), so
+//!   many container ops ride one `FLAG_BATCH` message.
+//!
+//! The full run (no args) writes `BENCH_pr3.json` into the repo root with
+//! both series side by side. `--smoke` runs a ~10 s subset and validates
+//! the committed JSON's schema; `--validate` only validates.
+
+use std::time::Instant;
+
+use hcl::queue::QueueConfig;
+use hcl::{Queue, UnorderedMap, UnorderedMapConfig};
+use hcl_fabric::LatencyModel;
+use hcl_rpc::coalesce::CoalesceConfig;
+use hcl_runtime::{FabricKind, World, WorldConfig};
+
+const SPILL_SLOT_CAP: usize = 1024;
+const SMALL_BYTES: usize = 8;
+const SPILL_BYTES: usize = 4096;
+const WINDOW: u64 = 1024;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Op {
+    Put,
+    Get,
+    Pop,
+}
+
+impl Op {
+    fn name(self) -> &'static str {
+        match self {
+            Op::Put => "put",
+            Op::Get => "get",
+            Op::Pop => "pop",
+        }
+    }
+}
+
+struct CaseResult {
+    fabric: &'static str,
+    ranks: u32,
+    value_bytes: usize,
+    op: &'static str,
+    mode: &'static str,
+    ops_per_rank: u64,
+    elapsed_s: f64,
+    ops_per_sec: f64,
+}
+
+fn world_config(fabric: &'static str, ranks: u32, value_bytes: usize, batched: bool) -> WorldConfig {
+    WorldConfig {
+        nodes: ranks,
+        ranks_per_node: 1,
+        fabric: match fabric {
+            "tcp" => FabricKind::Tcp,
+            _ => FabricKind::Memory(LatencyModel::NONE),
+        },
+        nic_cores: 2,
+        slot_cap: if value_bytes > SPILL_SLOT_CAP { SPILL_SLOT_CAP } else { hcl_rpc::DEFAULT_SLOT_CAP },
+        coalesce: if batched { CoalesceConfig::default() } else { CoalesceConfig::disabled() },
+        ..WorldConfig::small()
+    }
+}
+
+/// Run one (fabric, ranks, value size, op, mode) cell; returns aggregate
+/// remote ops/s (total ops over the slowest rank's wall time).
+fn run_case(
+    fabric: &'static str,
+    ranks: u32,
+    value_bytes: usize,
+    op: Op,
+    batched: bool,
+    ops: u64,
+) -> CaseResult {
+    let cfg = world_config(fabric, ranks, value_bytes, batched);
+    let elapsed: Vec<f64> = World::run(cfg, move |rank| {
+        // All traffic targets rank 0's partition; hybrid off so every op is
+        // a genuine remote invocation, even from the owner rank.
+        let map: UnorderedMap<u64, Vec<u8>> = UnorderedMap::with_config(
+            rank,
+            "pr3.map",
+            UnorderedMapConfig {
+                servers: Some(vec![0]),
+                initial_buckets: 1 << 14,
+                hybrid: false,
+                ..UnorderedMapConfig::default()
+            },
+        );
+        let q: Queue<Vec<u8>> =
+            Queue::with_config(rank, "pr3.q", QueueConfig { owner: 0, hybrid: false });
+        let me = rank.id() as u64;
+        let val = vec![0x5Au8; value_bytes];
+
+        // Untimed prefill for read/pop workloads.
+        match op {
+            Op::Get => {
+                for i in 0..ops {
+                    map.put(me * ops + i, val.clone()).unwrap();
+                }
+            }
+            Op::Pop => {
+                let _ = q.push_bulk((0..ops).map(|_| val.clone()).collect()).unwrap();
+            }
+            Op::Put => {}
+        }
+        rank.barrier();
+
+        let t0 = Instant::now();
+        match (op, batched) {
+            (Op::Put, false) => {
+                for i in 0..ops {
+                    map.put(me * ops + i, val.clone()).unwrap();
+                }
+            }
+            (Op::Put, true) => {
+                let mut i = 0;
+                while i < ops {
+                    let end = (i + WINDOW).min(ops);
+                    let futs: Vec<_> = (i..end)
+                        .map(|j| map.put_async(me * ops + j, val.clone()).unwrap())
+                        .collect();
+                    for f in futs {
+                        f.wait().unwrap();
+                    }
+                    i = end;
+                }
+            }
+            (Op::Get, false) => {
+                for i in 0..ops {
+                    assert!(map.get(&(me * ops + i)).unwrap().is_some());
+                }
+            }
+            (Op::Get, true) => {
+                let mut i = 0;
+                while i < ops {
+                    let end = (i + WINDOW).min(ops);
+                    let futs: Vec<_> = (i..end)
+                        .map(|j| map.get_async(&(me * ops + j)).unwrap())
+                        .collect();
+                    for f in futs {
+                        assert!(f.wait().unwrap().is_some());
+                    }
+                    i = end;
+                }
+            }
+            (Op::Pop, false) => {
+                let mut popped = 0u64;
+                while popped < ops {
+                    if q.pop().unwrap().is_some() {
+                        popped += 1;
+                    }
+                }
+            }
+            (Op::Pop, true) => {
+                let mut popped = 0u64;
+                while popped < ops {
+                    let got = q.pop_bulk((ops - popped).min(WINDOW)).unwrap();
+                    popped += got.len() as u64;
+                }
+            }
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        rank.barrier();
+        dt
+    });
+    let slowest = elapsed.iter().cloned().fold(0.0f64, f64::max).max(1e-9);
+    let total_ops = ops * ranks as u64;
+    CaseResult {
+        fabric,
+        ranks,
+        value_bytes,
+        op: op.name(),
+        mode: if batched { "batched" } else { "baseline" },
+        ops_per_rank: ops,
+        elapsed_s: slowest,
+        ops_per_sec: total_ops as f64 / slowest,
+    }
+}
+
+fn ops_for(fabric: &str, value_bytes: usize, smoke: bool) -> u64 {
+    match (fabric, value_bytes > SMALL_BYTES, smoke) {
+        (_, _, true) => 2_000,
+        ("memory", false, _) => 20_000,
+        ("memory", true, _) => 2_000,
+        (_, false, _) => 3_000,
+        (_, true, _) => 400,
+    }
+}
+
+/// Best-of-N iterations per cell: scheduler noise on small hosts swamps a
+/// single run, so each cell reports its best observed throughput. The
+/// cheap, noisiest cells (memory, small values) get the most repeats.
+fn iters_for(fabric: &str, value_bytes: usize, smoke: bool) -> u32 {
+    match (fabric, value_bytes > SMALL_BYTES, smoke) {
+        (_, _, true) => 1,
+        ("memory", false, _) => 3,
+        ("memory", true, _) => 2,
+        _ => 1,
+    }
+}
+
+fn write_json(results: &[CaseResult], path: &str) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"pr3_rpc_hot_path\",\n");
+    out.push_str("  \"description\": \"remote container ops/s, baseline (sync per-op, coalescing off) vs batched (coalesced async / bulk)\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"window\": {WINDOW}, \"spill_slot_cap\": {SPILL_SLOT_CAP}, \"small_bytes\": {SMALL_BYTES}, \"spill_bytes\": {SPILL_BYTES}, \"policy\": \"best-of-N per cell: 3 for memory/small, 2 for memory/spill, 1 for tcp\"}},\n"
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"fabric\": \"{}\", \"ranks\": {}, \"value_bytes\": {}, \"op\": \"{}\", \"mode\": \"{}\", \"ops_per_rank\": {}, \"elapsed_s\": {:.6}, \"ops_per_sec\": {:.1}}}{}\n",
+            r.fabric,
+            r.ranks,
+            r.value_bytes,
+            r.op,
+            r.mode,
+            r.ops_per_rank,
+            r.elapsed_s,
+            r.ops_per_sec,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    // Headline speedups: batched over baseline per (fabric, ranks, op, size).
+    out.push_str("  \"summary\": {\n");
+    let mut lines = Vec::new();
+    for r in results.iter().filter(|r| r.mode == "batched") {
+        if let Some(base) = results.iter().find(|b| {
+            b.mode == "baseline"
+                && b.fabric == r.fabric
+                && b.ranks == r.ranks
+                && b.op == r.op
+                && b.value_bytes == r.value_bytes
+        }) {
+            lines.push(format!(
+                "    \"speedup_{}_{}_{}r_{}b\": {:.2}",
+                r.op,
+                r.fabric,
+                r.ranks,
+                r.value_bytes,
+                r.ops_per_sec / base.ops_per_sec
+            ));
+        }
+    }
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    std::fs::write(path, out).expect("write bench json");
+    println!("wrote {path}");
+}
+
+/// Schema validation for the committed artifact: required keys present,
+/// every ops_per_sec strictly positive, and the headline 8-rank memory
+/// small-value put speedup at least 2x.
+fn validate(path: &str) {
+    let body = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e} (run `cargo run -p hcl-bench --bin pr3` first)"));
+    for key in [
+        "\"bench\"",
+        "\"pr3_rpc_hot_path\"",
+        "\"results\"",
+        "\"fabric\"",
+        "\"ranks\"",
+        "\"op\"",
+        "\"mode\"",
+        "\"baseline\"",
+        "\"batched\"",
+        "\"ops_per_sec\"",
+        "\"summary\"",
+        &format!("\"speedup_put_memory_8r_{SMALL_BYTES}b\""),
+    ] {
+        assert!(body.contains(key), "{path}: missing required key {key}");
+    }
+    let mut rates = 0;
+    for chunk in body.split("\"ops_per_sec\": ").skip(1) {
+        let num: f64 = chunk
+            .split(|c: char| c == ',' || c == '}')
+            .next()
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("{path}: unparsable ops_per_sec: {e}"));
+        assert!(num > 0.0, "{path}: non-positive ops_per_sec {num}");
+        rates += 1;
+    }
+    assert!(rates > 0, "{path}: no ops_per_sec entries");
+    let headline_key = format!("\"speedup_put_memory_8r_{SMALL_BYTES}b\": ");
+    let speedup: f64 = body
+        .split(&headline_key)
+        .nth(1)
+        .expect("headline speedup present")
+        .split(|c: char| c == ',' || c == '\n' || c == '}')
+        .next()
+        .unwrap()
+        .trim()
+        .parse()
+        .expect("parsable headline speedup");
+    assert!(
+        speedup >= 2.0,
+        "{path}: 8-rank small-value memory put speedup {speedup:.2}x is below the 2x acceptance bar"
+    );
+    println!("{path}: schema OK, {rates} throughput entries, headline put speedup {speedup:.2}x");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let validate_only = args.iter().any(|a| a == "--validate");
+    let json_path = "BENCH_pr3.json";
+
+    if validate_only {
+        validate(json_path);
+        return;
+    }
+
+    let (fabrics, rank_counts, sizes): (&[&'static str], &[u32], &[usize]) = if smoke {
+        (&["memory"], &[8], &[SMALL_BYTES])
+    } else {
+        (&["memory", "tcp"], &[1, 2, 4, 8], &[SMALL_BYTES, SPILL_BYTES])
+    };
+
+    let mut results = Vec::new();
+    for &fabric in fabrics {
+        for &ranks in rank_counts {
+            for &bytes in sizes {
+                for op in [Op::Put, Op::Get, Op::Pop] {
+                    if smoke && op == Op::Pop {
+                        continue;
+                    }
+                    for batched in [false, true] {
+                        let ops = ops_for(fabric, bytes, smoke);
+                        let iters = iters_for(fabric, bytes, smoke);
+                        let r = (0..iters)
+                            .map(|_| run_case(fabric, ranks, bytes, op, batched, ops))
+                            .max_by(|a, b| a.ops_per_sec.total_cmp(&b.ops_per_sec))
+                            .unwrap();
+                        println!(
+                            "{:>6} {}r {:>5}B {:<4} {:<8} {:>12.0} op/s ({:.3}s)",
+                            r.fabric, r.ranks, r.value_bytes, r.op, r.mode, r.ops_per_sec, r.elapsed_s
+                        );
+                        results.push(r);
+                    }
+                }
+            }
+        }
+    }
+
+    if smoke {
+        // Quick sanity on the fresh subset, then check the committed file.
+        for op in ["put", "get"] {
+            let base = results.iter().find(|r| r.op == op && r.mode == "baseline").unwrap();
+            let bat = results.iter().find(|r| r.op == op && r.mode == "batched").unwrap();
+            println!(
+                "smoke {op}: baseline {:.0} op/s, batched {:.0} op/s ({:.2}x)",
+                base.ops_per_sec,
+                bat.ops_per_sec,
+                bat.ops_per_sec / base.ops_per_sec
+            );
+        }
+        validate(json_path);
+    } else {
+        write_json(&results, json_path);
+        validate(json_path);
+    }
+}

@@ -27,6 +27,10 @@ pub struct CostCounters {
     pub local_reads: AtomicU64,
     /// `W`: local writes of entry payloads.
     pub local_writes: AtomicU64,
+    /// Remote ops that rode an aggregated (coalesced or bulk) message.
+    pub batched_remote_ops: AtomicU64,
+    /// Remote ops that went out as their own message.
+    pub unbatched_remote_ops: AtomicU64,
 }
 
 impl CostCounters {
@@ -54,6 +58,20 @@ impl CostCounters {
         self.local_writes.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Count `n` remote ops that were aggregated into a batched message
+    /// (the coalescer's async path and explicit bulk ops). Counted in
+    /// addition to `F`, never instead of it.
+    #[inline]
+    pub fn fb(&self, n: u64) {
+        self.batched_remote_ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count one remote op that traveled as its own message.
+    #[inline]
+    pub fn fu(&self) {
+        self.unbatched_remote_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copy the counters out.
     pub fn snapshot(&self) -> CostSnapshot {
         CostSnapshot {
@@ -61,6 +79,8 @@ impl CostCounters {
             l: self.local_ops.load(Ordering::Relaxed),
             r: self.local_reads.load(Ordering::Relaxed),
             w: self.local_writes.load(Ordering::Relaxed),
+            fb: self.batched_remote_ops.load(Ordering::Relaxed),
+            fu: self.unbatched_remote_ops.load(Ordering::Relaxed),
         }
     }
 
@@ -70,6 +90,8 @@ impl CostCounters {
         self.local_ops.store(0, Ordering::Relaxed);
         self.local_reads.store(0, Ordering::Relaxed);
         self.local_writes.store(0, Ordering::Relaxed);
+        self.batched_remote_ops.store(0, Ordering::Relaxed);
+        self.unbatched_remote_ops.store(0, Ordering::Relaxed);
     }
 }
 
@@ -84,6 +106,10 @@ pub struct CostSnapshot {
     pub r: u64,
     /// Local writes (`W`).
     pub w: u64,
+    /// Remote ops that rode an aggregated message (subset of `F`).
+    pub fb: u64,
+    /// Remote ops sent as their own message (subset of `F`).
+    pub fu: u64,
 }
 
 impl CostSnapshot {
@@ -94,13 +120,30 @@ impl CostSnapshot {
             l: self.l - earlier.l,
             r: self.r - earlier.r,
             w: self.w - earlier.w,
+            fb: self.fb - earlier.fb,
+            fu: self.fu - earlier.fu,
+        }
+    }
+
+    /// Fraction of classified remote ops that were batched — the
+    /// coalescer's observable hit rate (0 when no remote op was issued).
+    pub fn batch_hit_rate(&self) -> f64 {
+        let total = self.fb + self.fu;
+        if total == 0 {
+            0.0
+        } else {
+            self.fb as f64 / total as f64
         }
     }
 }
 
 impl std::fmt::Display for CostSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "F={} L={} R={} W={}", self.f, self.l, self.r, self.w)
+        write!(
+            f,
+            "F={} (batched={} unbatched={}) L={} R={} W={}",
+            self.f, self.fb, self.fu, self.l, self.r, self.w
+        )
     }
 }
 
@@ -117,9 +160,23 @@ mod tests {
         c.r(1);
         c.w(2);
         let s = c.snapshot();
-        assert_eq!(s, CostSnapshot { f: 2, l: 3, r: 1, w: 2 });
+        assert_eq!(s, CostSnapshot { f: 2, l: 3, r: 1, w: 2, fb: 0, fu: 0 });
         let s2 = c.snapshot().since(&s);
         assert_eq!(s2, CostSnapshot::default());
+        c.reset();
+        assert_eq!(c.snapshot(), CostSnapshot::default());
+    }
+
+    #[test]
+    fn batch_classification_and_hit_rate() {
+        let c = CostCounters::default();
+        assert_eq!(c.snapshot().batch_hit_rate(), 0.0);
+        c.fb(3);
+        c.fu();
+        let s = c.snapshot();
+        assert_eq!(s.fb, 3);
+        assert_eq!(s.fu, 1);
+        assert!((s.batch_hit_rate() - 0.75).abs() < 1e-9);
         c.reset();
         assert_eq!(c.snapshot(), CostSnapshot::default());
     }

@@ -182,8 +182,9 @@ where
             Ok(self.core.parts[&owner].insert(key, value).is_none())
         } else {
             self.costs.f();
+            self.costs.fu();
             let ep = self.rank.world().config().ep_of(owner);
-            Ok(self.rank.client().invoke(ep, self.core.fn_base + FN_PUT, &(key, value))?)
+            Ok(self.rank.invoke(ep, self.core.fn_base + FN_PUT, &(key, value))?)
         };
         #[cfg(feature = "history")]
         if let (Some(r), Some(tok), Ok(newly)) = (self.recorder.as_ref(), tok, result.as_ref()) {
@@ -192,7 +193,8 @@ where
         result
     }
 
-    /// Asynchronous insert.
+    /// Asynchronous insert. Remote inserts stage on the rank's op coalescer
+    /// and may ride a batched message with neighbouring async ops.
     pub fn put_async(&self, key: K, value: V) -> HclResult<HclFuture<bool>> {
         let owner = self.owner_of(&key);
         if self.is_local(owner) {
@@ -201,9 +203,14 @@ where
             Ok(HclFuture::Ready(self.core.parts[&owner].insert(key, value).is_none()))
         } else {
             self.costs.f();
+            if self.rank.coalescing_enabled() {
+                self.costs.fb(1);
+            } else {
+                self.costs.fu();
+            }
             let ep = self.rank.world().config().ep_of(owner);
-            Ok(HclFuture::Remote(
-                self.rank.client().invoke_async(ep, self.core.fn_base + FN_PUT, &(key, value))?,
+            Ok(HclFuture::Coalesced(
+                self.rank.invoke_coalesced(ep, self.core.fn_base + FN_PUT, &(key, value))?,
             ))
         }
     }
@@ -222,8 +229,9 @@ where
             Ok(self.core.parts[&owner].get(key))
         } else {
             self.costs.f();
+            self.costs.fu();
             let ep = self.rank.world().config().ep_of(owner);
-            Ok(self.rank.client().invoke(ep, self.core.fn_base + FN_GET, key)?)
+            Ok(self.rank.invoke(ep, self.core.fn_base + FN_GET, key)?)
         };
         #[cfg(feature = "history")]
         if let (Some(r), Some(tok), Ok(v)) = (self.recorder.as_ref(), tok, result.as_ref()) {
@@ -246,8 +254,9 @@ where
             Ok(self.core.parts[&owner].remove(key))
         } else {
             self.costs.f();
+            self.costs.fu();
             let ep = self.rank.world().config().ep_of(owner);
-            Ok(self.rank.client().invoke(ep, self.core.fn_base + FN_ERASE, key)?)
+            Ok(self.rank.invoke(ep, self.core.fn_base + FN_ERASE, key)?)
         };
         #[cfg(feature = "history")]
         if let (Some(r), Some(tok), Ok(v)) = (self.recorder.as_ref(), tok, result.as_ref()) {
@@ -269,8 +278,9 @@ where
                 total += self.core.parts[&owner].len() as u64;
             } else {
                 self.costs.f();
+                self.costs.fu();
                 let ep = self.rank.world().config().ep_of(owner);
-                let n: u64 = self.rank.client().invoke(ep, self.core.fn_base + FN_LEN, &())?;
+                let n: u64 = self.rank.invoke(ep, self.core.fn_base + FN_LEN, &())?;
                 total += n;
             }
         }
@@ -290,8 +300,9 @@ where
                 self.core.parts[&owner].first()
             } else {
                 self.costs.f();
+                self.costs.fu();
                 let ep = self.rank.world().config().ep_of(owner);
-                self.rank.client().invoke(ep, self.core.fn_base + FN_FIRST, &())?
+                self.rank.invoke(ep, self.core.fn_base + FN_FIRST, &())?
             };
             if let Some((k, v)) = cand {
                 if best.as_ref().is_none_or(|(bk, _)| k < *bk) {
@@ -310,12 +321,9 @@ where
                 self.core.parts[&owner].range_snapshot(lo, hi)
             } else {
                 self.costs.f();
+                self.costs.fu();
                 let ep = self.rank.world().config().ep_of(owner);
-                self.rank.client().invoke(
-                    ep,
-                    self.core.fn_base + FN_RANGE,
-                    &(lo.clone(), hi.clone()),
-                )?
+                self.rank.invoke(ep, self.core.fn_base + FN_RANGE, &(lo.clone(), hi.clone()))?
             };
             out.extend(part);
         }
@@ -331,8 +339,9 @@ where
                 self.core.parts[&owner].iter_snapshot()
             } else {
                 self.costs.f();
+                self.costs.fu();
                 let ep = self.rank.world().config().ep_of(owner);
-                self.rank.client().invoke(ep, self.core.fn_base + FN_SNAPSHOT, &())?
+                self.rank.invoke(ep, self.core.fn_base + FN_SNAPSHOT, &())?
             };
             out.extend(part);
         }
@@ -352,8 +361,9 @@ where
             Ok(true)
         } else {
             self.costs.f();
+            self.costs.fu();
             let ep = self.rank.world().config().ep_of(owner);
-            Ok(self.rank.client().invoke(ep, self.core.fn_base + FN_RESIZE, &(new_size as u64))?)
+            Ok(self.rank.invoke(ep, self.core.fn_base + FN_RESIZE, &(new_size as u64))?)
         }
     }
 

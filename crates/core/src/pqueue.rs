@@ -142,7 +142,8 @@ where
             Ok(true)
         } else {
             self.costs.f();
-            Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_PUSH, &value)?)
+            self.costs.fu();
+            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_PUSH, &value)?)
         };
         #[cfg(feature = "history")]
         if let (Some(r), Some(tok), Ok(acked)) = (self.recorder.as_ref(), tok, result.as_ref()) {
@@ -151,7 +152,8 @@ where
         result
     }
 
-    /// Asynchronous push.
+    /// Asynchronous push. Remote pushes stage on the rank's op coalescer
+    /// and may ride a batched message with neighbouring async ops.
     pub fn push_async(&self, value: T) -> HclResult<HclFuture<bool>> {
         if self.is_local() {
             self.costs.l(1);
@@ -160,7 +162,12 @@ where
             Ok(HclFuture::Ready(true))
         } else {
             self.costs.f();
-            Ok(HclFuture::Remote(self.rank.client().invoke_async(
+            if self.rank.coalescing_enabled() {
+                self.costs.fb(1);
+            } else {
+                self.costs.fu();
+            }
+            Ok(HclFuture::Coalesced(self.rank.invoke_coalesced(
                 self.owner_ep(),
                 self.core.fn_base + FN_PUSH,
                 &value,
@@ -178,7 +185,8 @@ where
             Ok(self.core.pq.pop())
         } else {
             self.costs.f();
-            Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_POP, &())?)
+            self.costs.fu();
+            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_POP, &())?)
         };
         #[cfg(feature = "history")]
         if let (Some(r), Some(tok), Ok(v)) = (self.recorder.as_ref(), tok, result.as_ref()) {
@@ -195,7 +203,8 @@ where
             Ok(self.core.pq.peek())
         } else {
             self.costs.f();
-            Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_PEEK, &())?)
+            self.costs.fu();
+            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_PEEK, &())?)
         }
     }
 
@@ -207,10 +216,8 @@ where
             Ok(self.core.pq.push_bulk(values) as u64)
         } else {
             self.costs.f();
-            Ok(self
-                .rank
-                .client()
-                .invoke(self.owner_ep(), self.core.fn_base + FN_PUSH_BULK, &values)?)
+            self.costs.fb(1);
+            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_PUSH_BULK, &values)?)
         }
     }
 
@@ -222,7 +229,8 @@ where
             Ok(self.core.pq.pop_bulk(max as usize))
         } else {
             self.costs.f();
-            Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_POP_BULK, &max)?)
+            self.costs.fb(1);
+            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_POP_BULK, &max)?)
         }
     }
 
@@ -232,7 +240,8 @@ where
             Ok(self.core.pq.len() as u64)
         } else {
             self.costs.f();
-            Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_LEN, &())?)
+            self.costs.fu();
+            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_LEN, &())?)
         }
     }
 
@@ -248,7 +257,8 @@ where
             Ok(self.core.pq.purge() as u64)
         } else {
             self.costs.f();
-            Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_PURGE, &())?)
+            self.costs.fu();
+            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_PURGE, &())?)
         }
     }
 
@@ -258,7 +268,8 @@ where
             Ok(self.core.pq.iter_snapshot())
         } else {
             self.costs.f();
-            Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_SNAPSHOT, &())?)
+            self.costs.fu();
+            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_SNAPSHOT, &())?)
         }
     }
 

@@ -146,7 +146,8 @@ where
             Ok(true)
         } else {
             self.costs.f();
-            Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_PUSH, &value)?)
+            self.costs.fu();
+            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_PUSH, &value)?)
         };
         #[cfg(feature = "history")]
         if let (Some(r), Some(tok), Ok(acked)) = (self.recorder.as_ref(), tok, result.as_ref()) {
@@ -155,7 +156,8 @@ where
         result
     }
 
-    /// Asynchronous push.
+    /// Asynchronous push. Remote pushes stage on the rank's op coalescer
+    /// and may ride a batched message with neighbouring async ops.
     pub fn push_async(&self, value: T) -> HclResult<HclFuture<bool>> {
         if self.is_local() {
             self.costs.l(1);
@@ -164,7 +166,12 @@ where
             Ok(HclFuture::Ready(true))
         } else {
             self.costs.f();
-            Ok(HclFuture::Remote(self.rank.client().invoke_async(
+            if self.rank.coalescing_enabled() {
+                self.costs.fb(1);
+            } else {
+                self.costs.fu();
+            }
+            Ok(HclFuture::Coalesced(self.rank.invoke_coalesced(
                 self.owner_ep(),
                 self.core.fn_base + FN_PUSH,
                 &value,
@@ -182,7 +189,8 @@ where
             Ok(self.core.q.pop())
         } else {
             self.costs.f();
-            Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_POP, &())?)
+            self.costs.fu();
+            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_POP, &())?)
         };
         #[cfg(feature = "history")]
         if let (Some(r), Some(tok), Ok(v)) = (self.recorder.as_ref(), tok, result.as_ref()) {
@@ -200,10 +208,8 @@ where
             Ok(self.core.q.push_bulk(values) as u64)
         } else {
             self.costs.f();
-            Ok(self
-                .rank
-                .client()
-                .invoke(self.owner_ep(), self.core.fn_base + FN_PUSH_BULK, &values)?)
+            self.costs.fb(1);
+            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_PUSH_BULK, &values)?)
         }
     }
 
@@ -215,7 +221,8 @@ where
             Ok(self.core.q.pop_bulk(max as usize))
         } else {
             self.costs.f();
-            Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_POP_BULK, &max)?)
+            self.costs.fb(1);
+            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_POP_BULK, &max)?)
         }
     }
 
@@ -225,7 +232,8 @@ where
             Ok(self.core.q.len() as u64)
         } else {
             self.costs.f();
-            Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_LEN, &())?)
+            self.costs.fu();
+            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_LEN, &())?)
         }
     }
 
@@ -240,7 +248,8 @@ where
             Ok(self.core.q.iter_snapshot())
         } else {
             self.costs.f();
-            Ok(self.rank.client().invoke(self.owner_ep(), self.core.fn_base + FN_SNAPSHOT, &())?)
+            self.costs.fu();
+            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_SNAPSHOT, &())?)
         }
     }
 

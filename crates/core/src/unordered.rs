@@ -432,8 +432,9 @@ where
             Ok(self.core.parts[&owner].apply_put(key, value))
         } else {
             self.costs.f();
+            self.costs.fu();
             let ep = self.rank.world().config().ep_of(owner);
-            Ok(self.rank.client().invoke(ep, self.core.fn_base + FN_PUT, &(key, value))?)
+            Ok(self.rank.invoke(ep, self.core.fn_base + FN_PUT, &(key, value))?)
         };
         #[cfg(feature = "history")]
         if let (Some(r), Some(tok), Ok(newly)) = (self.recorder.as_ref(), tok, result.as_ref()) {
@@ -442,7 +443,9 @@ where
         result
     }
 
-    /// Asynchronous insert (§III-C4).
+    /// Asynchronous insert (§III-C4). Remote inserts stage on the rank's op
+    /// coalescer and may ride a batched message with neighbouring async ops
+    /// to the same partition (§III-B request aggregation).
     pub fn put_async(&self, key: K, value: V) -> HclResult<HclFuture<bool>> {
         let owner = self.owner_of(&key);
         if self.is_local(owner) {
@@ -451,9 +454,14 @@ where
             Ok(HclFuture::Ready(self.core.parts[&owner].apply_put(key, value)))
         } else {
             self.costs.f();
+            if self.rank.coalescing_enabled() {
+                self.costs.fb(1);
+            } else {
+                self.costs.fu();
+            }
             let ep = self.rank.world().config().ep_of(owner);
-            Ok(HclFuture::Remote(
-                self.rank.client().invoke_async(ep, self.core.fn_base + FN_PUT, &(key, value))?,
+            Ok(HclFuture::Coalesced(
+                self.rank.invoke_coalesced(ep, self.core.fn_base + FN_PUT, &(key, value))?,
             ))
         }
     }
@@ -476,8 +484,9 @@ where
             Ok(self.core.parts[&owner].apply_get(key))
         } else {
             self.costs.f();
+            self.costs.fu();
             let ep = self.rank.world().config().ep_of(owner);
-            Ok(self.rank.client().invoke(ep, self.core.fn_base + FN_GET, key)?)
+            Ok(self.rank.invoke(ep, self.core.fn_base + FN_GET, key)?)
         };
         #[cfg(feature = "history")]
         if let (Some(r), Some(tok), Ok(v)) = (self.recorder.as_ref(), tok, result.as_ref()) {
@@ -486,7 +495,7 @@ where
         result
     }
 
-    /// Asynchronous lookup.
+    /// Asynchronous lookup; remote lookups stage on the op coalescer.
     pub fn get_async(&self, key: &K) -> HclResult<HclFuture<Option<V>>> {
         let owner = self.owner_of(key);
         if self.is_local(owner) {
@@ -495,9 +504,14 @@ where
             Ok(HclFuture::Ready(self.core.parts[&owner].apply_get(key)))
         } else {
             self.costs.f();
+            if self.rank.coalescing_enabled() {
+                self.costs.fb(1);
+            } else {
+                self.costs.fu();
+            }
             let ep = self.rank.world().config().ep_of(owner);
-            Ok(HclFuture::Remote(
-                self.rank.client().invoke_async(ep, self.core.fn_base + FN_GET, key)?,
+            Ok(HclFuture::Coalesced(
+                self.rank.invoke_coalesced(ep, self.core.fn_base + FN_GET, key)?,
             ))
         }
     }
@@ -516,12 +530,14 @@ where
             Ok(self.core.parts[&owner].apply_merge(key, value))
         } else {
             self.costs.f();
+            self.costs.fu();
             let ep = self.rank.world().config().ep_of(owner);
-            Ok(self.rank.client().invoke(ep, self.core.fn_base + FN_MERGE, &(key, value))?)
+            Ok(self.rank.invoke(ep, self.core.fn_base + FN_MERGE, &(key, value))?)
         }
     }
 
-    /// Asynchronous [`UnorderedMap::put_merge`].
+    /// Asynchronous [`UnorderedMap::put_merge`]; remote merges stage on the
+    /// op coalescer.
     pub fn put_merge_async(&self, key: K, value: V) -> HclResult<HclFuture<V>> {
         let owner = self.owner_of(&key);
         if self.is_local(owner) {
@@ -531,9 +547,14 @@ where
             Ok(HclFuture::Ready(self.core.parts[&owner].apply_merge(key, value)))
         } else {
             self.costs.f();
+            if self.rank.coalescing_enabled() {
+                self.costs.fb(1);
+            } else {
+                self.costs.fu();
+            }
             let ep = self.rank.world().config().ep_of(owner);
-            Ok(HclFuture::Remote(
-                self.rank.client().invoke_async(ep, self.core.fn_base + FN_MERGE, &(key, value))?,
+            Ok(HclFuture::Coalesced(
+                self.rank.invoke_coalesced(ep, self.core.fn_base + FN_MERGE, &(key, value))?,
             ))
         }
     }
@@ -561,14 +582,26 @@ where
                     }
                 }
             } else {
-                // One aggregated request for the whole group.
+                // One aggregated request for the whole group: args packed
+                // back-to-back into one arena, sent as borrowed slices.
                 self.costs.f();
-                let calls: Vec<(hcl_rpc::FnId, Vec<u8>)> = group
-                    .into_iter()
-                    .map(|kv| (self.core.fn_base + FN_PUT, kv.to_bytes().to_vec()))
-                    .collect();
+                self.costs.fb(group.len() as u64);
+                let fn_id = self.core.fn_base + FN_PUT;
+                let mut arena = Vec::new();
+                let mut ends = Vec::with_capacity(group.len());
+                for kv in &group {
+                    kv.pack(&mut arena);
+                    ends.push(arena.len());
+                }
                 let ep = self.rank.world().config().ep_of(owner);
-                futures.push(self.rank.client().invoke_batch(ep, &calls)?);
+                // Flush staged async ops first so the explicit batch keeps
+                // per-destination program order.
+                self.rank.coalescer().flush(ep);
+                let calls = (0..ends.len()).map(|i| {
+                    let start = if i == 0 { 0 } else { ends[i - 1] };
+                    (fn_id, &arena[start..ends[i]])
+                });
+                futures.push(self.rank.client().invoke_batch_slices(ep, calls)?);
             }
         }
         for f in futures {
@@ -597,12 +630,21 @@ where
                 }
             } else {
                 self.costs.f();
-                let calls: Vec<(hcl_rpc::FnId, Vec<u8>)> = idxs
-                    .iter()
-                    .map(|&i| (self.core.fn_base + FN_GET, keys[i].to_bytes().to_vec()))
-                    .collect();
+                self.costs.fb(idxs.len() as u64);
+                let fn_id = self.core.fn_base + FN_GET;
+                let mut arena = Vec::new();
+                let mut ends = Vec::with_capacity(idxs.len());
+                for &i in &idxs {
+                    keys[i].pack(&mut arena);
+                    ends.push(arena.len());
+                }
                 let ep = self.rank.world().config().ep_of(owner);
-                pending.push((idxs, self.rank.client().invoke_batch(ep, &calls)?));
+                self.rank.coalescer().flush(ep);
+                let calls = (0..ends.len()).map(|i| {
+                    let start = if i == 0 { 0 } else { ends[i - 1] };
+                    (fn_id, &arena[start..ends[i]])
+                });
+                pending.push((idxs, self.rank.client().invoke_batch_slices(ep, calls)?));
             }
         }
         for (idxs, f) in pending {
@@ -628,8 +670,9 @@ where
             Ok(self.core.parts[&owner].apply_erase(key))
         } else {
             self.costs.f();
+            self.costs.fu();
             let ep = self.rank.world().config().ep_of(owner);
-            Ok(self.rank.client().invoke(ep, self.core.fn_base + FN_ERASE, key)?)
+            Ok(self.rank.invoke(ep, self.core.fn_base + FN_ERASE, key)?)
         };
         #[cfg(feature = "history")]
         if let (Some(r), Some(tok), Ok(v)) = (self.recorder.as_ref(), tok, result.as_ref()) {
@@ -652,8 +695,9 @@ where
                 total += self.core.parts[&owner].map.len() as u64;
             } else {
                 self.costs.f();
+                self.costs.fu();
                 let ep = self.rank.world().config().ep_of(owner);
-                let n: u64 = self.rank.client().invoke(ep, self.core.fn_base + FN_LEN, &())?;
+                let n: u64 = self.rank.invoke(ep, self.core.fn_base + FN_LEN, &())?;
                 total += n;
             }
         }
@@ -679,11 +723,9 @@ where
             Ok(true)
         } else {
             self.costs.f();
+            self.costs.fu();
             let ep = self.rank.world().config().ep_of(owner);
-            Ok(self
-                .rank
-                .client()
-                .invoke(ep, self.core.fn_base + FN_RESIZE, &(new_buckets as u64))?)
+            Ok(self.rank.invoke(ep, self.core.fn_base + FN_RESIZE, &(new_buckets as u64))?)
         }
     }
 
@@ -701,9 +743,10 @@ where
                 out.extend(self.core.parts[&owner].map.iter_snapshot());
             } else {
                 self.costs.f();
+                self.costs.fu();
                 let ep = self.rank.world().config().ep_of(owner);
                 let part: Vec<(K, V)> =
-                    self.rank.client().invoke(ep, self.core.fn_base + FN_SNAPSHOT, &())?;
+                    self.rank.invoke(ep, self.core.fn_base + FN_SNAPSHOT, &())?;
                 out.extend(part);
             }
         }
@@ -729,8 +772,9 @@ where
             Ok(self.core.parts[&replica_owner].replica.get(key))
         } else {
             self.costs.f();
+            self.costs.fu();
             let ep = self.rank.world().config().ep_of(replica_owner);
-            Ok(self.rank.client().invoke(ep, self.core.fn_base + FN_REPL_GET, key)?)
+            Ok(self.rank.invoke(ep, self.core.fn_base + FN_REPL_GET, key)?)
         }
     }
 
@@ -742,9 +786,9 @@ where
                 self.core.parts[&owner].flush_replication();
             } else {
                 self.costs.f();
+                self.costs.fu();
                 let ep = self.rank.world().config().ep_of(owner);
-                let _: bool =
-                    self.rank.client().invoke(ep, self.core.fn_base + FN_REPL_FLUSH, &())?;
+                let _: bool = self.rank.invoke(ep, self.core.fn_base + FN_REPL_FLUSH, &())?;
             }
         }
         Ok(())
@@ -784,6 +828,8 @@ where
             out.l += s.l;
             out.r += s.r;
             out.w += s.w;
+            out.fb += s.fb;
+            out.fu += s.fu;
         }
         out
     }

@@ -128,6 +128,14 @@ pub trait DataBox: Sized {
         Bytes::from(out)
     }
 
+    /// Append this value's encoding to a reusable builder (the zero-copy RPC
+    /// encode path): no intermediate `Vec`/`Bytes` is created, and a cleared
+    /// builder with sufficient capacity reaches zero steady-state
+    /// allocations per encoded value.
+    fn encode_into(&self, out: &mut bytes::BytesMut) {
+        self.pack(out.vec_mut());
+    }
+
     /// Convenience: decode a value that must consume the whole input.
     fn from_bytes(buf: &[u8]) -> Result<Self, CodecError> {
         let mut r = Reader::new(buf);

@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use hcl_databox::DataBox;
 use hcl_fabric::{EpId, Fabric};
 use parking_lot::Mutex;
@@ -15,12 +15,48 @@ use parking_lot::Mutex;
 use hcl_fabric::FabricError;
 
 use crate::{
-    decode_batch_response, encode_batch, resp_key, slot_offset, FnId, RequestHeader, RetryPolicy,
-    RpcError, RpcResult, FLAG_BATCH, FLAG_IDEMPOTENT, SLOTS_PER_CLIENT, SLOT_HDR,
+    decode_batch_response, encode_batch_into, encode_request_header_into, resp_key, slot_offset,
+    FnId, RetryPolicy, RpcError, RpcResult, FLAG_BATCH, FLAG_IDEMPOTENT, SLOTS_PER_CLIENT,
+    SLOT_HDR,
 };
 
 /// Default time to wait for a response before reporting [`RpcError::Timeout`].
 pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Upper bound of the yield phase of [`poll_backoff`]. On hosts with few
+/// cores the handler thread is time-sharing with every poller, and a long
+/// yield storm from N pollers gives the handler only 1/(N+1) of a core —
+/// near-livelock when several ranks poll one server. Escalate to sleeping
+/// almost immediately there; keep the long optimistic phase when cores are
+/// plentiful and the handler runs truly in parallel.
+fn yield_phase_limit() -> u32 {
+    static LIMIT: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+    *LIMIT.get_or_init(|| {
+        let cores =
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+        if cores >= 4 {
+            10_000
+        } else {
+            256
+        }
+    })
+}
+
+/// One step of the shared spin → yield → sleep poll escalation: responses
+/// usually land within the handler turnaround, so spin briefly, then yield
+/// (on low-core hosts the handler thread needs our core), and only sleep
+/// after the host-dependent yield phase.
+#[inline]
+fn poll_backoff(spins: &mut u32) {
+    *spins += 1;
+    if *spins < 64 {
+        std::hint::spin_loop();
+    } else if *spins < yield_phase_limit() {
+        std::thread::yield_now();
+    } else {
+        std::thread::sleep(Duration::from_micros(50));
+    }
+}
 
 /// What a future needs to pull (and, under a retry policy, re-request) its
 /// response.
@@ -64,68 +100,25 @@ impl PendingResponse {
             let off = self.fabric.read_u64(self.client_ep, key, payload_off)? as usize;
             self.fabric.read(self.client_ep, key, off, len)?
         };
+        // Seqlock-style re-check: if the slot was reused for a later request
+        // while we copied the payload (possible once another clone of this
+        // future pulled the response and the issuer recycled the slot), the
+        // bytes we read may be torn. Publication writes payload, then len,
+        // then seq — so an unchanged seq proves the payload was stable.
+        if self.fabric.read_u64(self.client_ep, key, hdr)? != self.req_id {
+            return Ok(None);
+        }
         Ok(Some(Bytes::from(data)))
     }
 
-    /// Poll (spin, then yield, then sleep) until the response arrives or
-    /// `timeout` elapses.
-    fn poll_until(&self, timeout: Duration) -> RpcResult<Bytes> {
-        let start = Instant::now();
-        let mut spins = 0u32;
-        loop {
-            if let Some(b) = self.try_pull()? {
-                return Ok(b);
-            }
-            if start.elapsed() > timeout {
-                return Err(RpcError::Timeout);
-            }
-            // Responses usually land within the handler turnaround. Spin
-            // briefly, then yield (on low-core hosts the handler thread
-            // needs our core), and only sleep after ~10k tries.
-            spins += 1;
-            if spins < 64 {
-                std::hint::spin_loop();
-            } else if spins < 10_000 {
-                std::thread::yield_now();
-            } else {
-                std::thread::sleep(Duration::from_micros(50));
-            }
-        }
-    }
-
-    /// Block until the response arrives, retransmitting the request under
-    /// the retry policy. With `max_attempts == 1` this is a plain wait with
-    /// the original single-attempt error semantics.
-    fn pull_blocking(&self) -> RpcResult<Bytes> {
-        let attempts = self.retry.max_attempts.max(1);
-        let per_attempt = self.retry.attempt_timeout.unwrap_or(self.timeout);
-        let mut last = RpcError::Timeout;
-        for attempt in 0..attempts {
-            if attempt > 0 {
-                std::thread::sleep(self.retry.backoff(attempt - 1));
-                // Retransmit with the same req_id and slot: the server
-                // dedups on (caller, req_id) and republishes if the request
-                // already executed.
-                if let Err(e) = self.fabric.send(self.client_ep, self.server, self.msg.clone()) {
-                    last = e.into();
-                    continue;
-                }
-            }
-            match self.poll_until(per_attempt) {
-                Ok(b) => return Ok(b),
-                Err(e) => last = e,
-            }
-        }
-        if attempts > 1 {
-            Err(RpcError::RetriesExhausted { attempts, last: Box::new(last) })
-        } else {
-            Err(last)
-        }
+    /// The per-attempt response budget this pending pull polls under.
+    fn attempt_budget(&self) -> Duration {
+        self.retry.attempt_timeout.unwrap_or(self.timeout)
     }
 }
 
 enum FutureState {
-    Pending(PendingResponse),
+    Pending(Arc<PendingResponse>),
     Ready(RpcResult<Bytes>),
 }
 
@@ -137,25 +130,41 @@ pub struct RawFuture {
 
 impl RawFuture {
     fn new(p: PendingResponse) -> Self {
-        RawFuture { state: Arc::new(Mutex::new(FutureState::Pending(p))) }
+        RawFuture { state: Arc::new(Mutex::new(FutureState::Pending(Arc::new(p)))) }
+    }
+
+    /// `Some(pending)` while incomplete; `None` once resolved (then the
+    /// ready result is in the state). The mutex is held only for this peek,
+    /// never across a fabric pull, so concurrent `try_get`/`is_ready` on
+    /// clones of one future stay non-blocking while another clone waits.
+    fn pending(&self) -> Result<Arc<PendingResponse>, RpcResult<Bytes>> {
+        match &*self.state.lock() {
+            FutureState::Ready(r) => Err(r.clone()),
+            FutureState::Pending(p) => Ok(Arc::clone(p)),
+        }
+    }
+
+    /// Store a pulled result. The first stored result wins: clones that
+    /// raced on the same slot all observe one consistent outcome.
+    fn store(&self, r: RpcResult<Bytes>) -> RpcResult<Bytes> {
+        let mut st = self.state.lock();
+        if let FutureState::Ready(existing) = &*st {
+            return existing.clone();
+        }
+        *st = FutureState::Ready(r.clone());
+        r
     }
 
     /// Non-blocking check; `Some` once the response has been pulled.
     pub fn try_get(&self) -> Option<RpcResult<Bytes>> {
-        let mut st = self.state.lock();
-        match &mut *st {
-            FutureState::Ready(r) => Some(r.clone()),
-            FutureState::Pending(p) => match p.try_pull() {
-                Ok(Some(b)) => {
-                    *st = FutureState::Ready(Ok(b.clone()));
-                    Some(Ok(b))
-                }
-                Ok(None) => None,
-                Err(e) => {
-                    *st = FutureState::Ready(Err(e.clone()));
-                    Some(Err(e))
-                }
-            },
+        let pending = match self.pending() {
+            Err(ready) => return Some(ready),
+            Ok(p) => p,
+        };
+        match pending.try_pull() {
+            Ok(Some(b)) => Some(self.store(Ok(b))),
+            Ok(None) => None,
+            Err(e) => Some(self.store(Err(e))),
         }
     }
 
@@ -164,18 +173,135 @@ impl RawFuture {
         self.try_get().is_some()
     }
 
-    /// Block until the response is available.
+    /// Block until the response is available. The slot pull (and any
+    /// retransmission) runs outside the state lock: a concurrent
+    /// `try_get` polls the same slot idempotently instead of blocking for
+    /// the full retry budget.
+    ///
+    /// Every poll iteration re-checks the shared state as well as the
+    /// fabric slot: a clone of this future may be resolved by another
+    /// thread (the slot-reuse drain in `issue_with` pulls the previous
+    /// occupant's response before recycling its slot), after which the slot
+    /// seq moves past our request id and the fabric alone would never
+    /// complete us — the stored result is then the only truth.
     pub fn wait(&self) -> RpcResult<Bytes> {
-        let mut st = self.state.lock();
-        match &mut *st {
-            FutureState::Ready(r) => r.clone(),
-            FutureState::Pending(p) => {
-                let r = p.pull_blocking();
-                let out = r.clone();
-                *st = FutureState::Ready(r);
-                out
+        let pending = match self.pending() {
+            Err(ready) => return ready,
+            Ok(p) => p,
+        };
+        let attempts = pending.retry.max_attempts.max(1);
+        let per_attempt = pending.attempt_budget();
+        let mut last = RpcError::Timeout;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(pending.retry.backoff(attempt - 1));
+                // Retransmit with the same req_id and slot: the server
+                // dedups on (caller, req_id) and republishes if the request
+                // already executed.
+                if let Err(e) =
+                    pending.fabric.send(pending.client_ep, pending.server, pending.msg.clone())
+                {
+                    last = e.into();
+                    continue;
+                }
+            }
+            let start = Instant::now();
+            let mut spins = 0u32;
+            loop {
+                if let Err(ready) = self.pending() {
+                    return ready;
+                }
+                match pending.try_pull() {
+                    Ok(Some(b)) => return self.store(Ok(b)),
+                    Ok(None) => {}
+                    Err(e) => return self.store(Err(e)),
+                }
+                if start.elapsed() > per_attempt {
+                    last = RpcError::Timeout;
+                    break;
+                }
+                poll_backoff(&mut spins);
             }
         }
+        let r = if attempts > 1 {
+            Err(RpcError::RetriesExhausted { attempts, last: Box::new(last) })
+        } else {
+            Err(last)
+        };
+        // First-stored-wins: if a concurrent resolver beat the final
+        // timeout, its result is returned instead of the error.
+        self.store(r)
+    }
+
+    /// The per-attempt response budget while pending (`None` once ready).
+    fn attempt_budget(&self) -> Option<Duration> {
+        self.pending().ok().map(|p| p.attempt_budget())
+    }
+}
+
+/// Sweep a set of futures to completion with one non-blocking fabric poll
+/// per still-pending slot per iteration (batched completion polling), under
+/// the shared spin → yield → sleep escalation. If the smallest per-attempt
+/// budget elapses before every slot completes, the stragglers fall back to
+/// their individual blocking waits so retransmission semantics still apply.
+pub fn wait_all(futs: &[RawFuture]) -> Vec<RpcResult<Bytes>> {
+    let n = futs.len();
+    let mut results: Vec<Option<RpcResult<Bytes>>> = (0..n).map(|_| None).collect();
+    let mut remaining = n;
+    let deadline = futs
+        .iter()
+        .filter_map(|f| f.attempt_budget())
+        .min()
+        .map(|b| Instant::now() + b);
+    let mut spins = 0u32;
+    while remaining > 0 {
+        for (i, f) in futs.iter().enumerate() {
+            if results[i].is_none() {
+                if let Some(r) = f.try_get() {
+                    results[i] = Some(r);
+                    remaining -= 1;
+                }
+            }
+        }
+        if remaining == 0 {
+            break;
+        }
+        if deadline.is_some_and(|d| Instant::now() > d) {
+            for (i, f) in futs.iter().enumerate() {
+                if results[i].is_none() {
+                    results[i] = Some(f.wait());
+                }
+            }
+            break;
+        }
+        poll_backoff(&mut spins);
+    }
+    results.into_iter().map(|r| r.expect("swept to completion")).collect()
+}
+
+/// Block until any one future completes; returns its index and result.
+/// `None` when `futs` is empty. Like [`wait_all`], each poll iteration is
+/// one sweep over the pending slots.
+pub fn wait_any(futs: &[RawFuture]) -> Option<(usize, RpcResult<Bytes>)> {
+    if futs.is_empty() {
+        return None;
+    }
+    let deadline = futs
+        .iter()
+        .filter_map(|f| f.attempt_budget())
+        .min()
+        .map(|b| Instant::now() + b);
+    let mut spins = 0u32;
+    loop {
+        for (i, f) in futs.iter().enumerate() {
+            if let Some(r) = f.try_get() {
+                return Some((i, r));
+            }
+        }
+        if deadline.is_some_and(|d| Instant::now() > d) {
+            return Some((0, futs[0].wait()));
+        }
+        poll_backoff(&mut spins);
     }
 }
 
@@ -213,10 +339,26 @@ pub struct BatchFuture {
 }
 
 impl BatchFuture {
+    /// The underlying raw future (for completion sweeps / coalescing).
+    pub fn raw(&self) -> &RawFuture {
+        &self.raw
+    }
+
     /// Block for all responses.
     pub fn wait(&self) -> RpcResult<Vec<Bytes>> {
         let b = self.raw.wait()?;
         decode_batch_response(&b).ok_or_else(|| RpcError::Decode("batch response".into()))
+    }
+
+    /// Non-blocking completion probe: `Some` once the aggregate response
+    /// has been pulled and decoded.
+    pub fn try_wait(&self) -> Option<RpcResult<Vec<Bytes>>> {
+        self.raw.try_get().map(|r| {
+            r.and_then(|b| {
+                decode_batch_response(&b)
+                    .ok_or_else(|| RpcError::Decode("batch response".into()))
+            })
+        })
     }
 
     /// Block and decode every response as `T`.
@@ -279,20 +421,38 @@ impl RpcClient {
         self.ep
     }
 
-    fn issue(&self, server: EpId, chain: Vec<FnId>, args: &[u8], flags: u8) -> RpcResult<RawFuture> {
+    /// Issue one request, encoding header + args into a single buffer (one
+    /// allocation per request: the retained retransmission message itself).
+    /// `write_args` appends the argument bytes; `size_hint` pre-reserves
+    /// their expected length.
+    fn issue_with(
+        &self,
+        server: EpId,
+        chain: &[FnId],
+        flags: u8,
+        size_hint: usize,
+        write_args: impl FnOnce(&mut Vec<u8>),
+    ) -> RpcResult<RawFuture> {
         let retrying = self.retry.max_attempts > 1;
         let flags = if retrying { flags | FLAG_IDEMPOTENT } else { flags };
         // ORDERING: Relaxed — request ids only need uniqueness; the send
         // itself synchronizes via the fabric.
         let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
         let slot = (req_id % SLOTS_PER_CLIENT) as u32;
-        // Enforce slot reuse discipline: drain the previous occupant.
-        let prev = self.slots.lock().get(&(server, slot)).cloned();
+        // Enforce slot reuse discipline: drain the previous occupant —
+        // non-blocking when it already completed — and drop it from the map
+        // so resolved futures (and their retained request buffers) are
+        // released instead of accumulating for the rest of the run.
+        let prev = self.slots.lock().remove(&(server, slot));
         if let Some(prev) = prev {
-            let _ = prev.wait();
+            if prev.try_get().is_none() {
+                let _ = prev.wait();
+            }
         }
-        let hdr = RequestHeader { req_id, slot, flags, chain };
-        let msg = hdr.encode(args);
+        let mut buf = BytesMut::with_capacity(14 + 4 * chain.len() + size_hint);
+        encode_request_header_into(req_id, slot, flags, chain, &mut buf);
+        write_args(buf.vec_mut());
+        let msg = buf.freeze();
         match self.fabric.send(self.ep, server, msg.clone()) {
             Ok(()) => {}
             // A transiently failed first transmit is just a failed attempt
@@ -316,13 +476,15 @@ impl RpcClient {
         Ok(fut)
     }
 
-    /// Asynchronous invocation of `fn_id` on `server`.
+    /// Asynchronous invocation of `fn_id` on `server`. The args are packed
+    /// straight into the request buffer — no intermediate encoding.
     pub fn invoke_async<A, R>(&self, server: EpId, fn_id: FnId, args: &A) -> RpcResult<RpcFuture<R>>
     where
         A: DataBox,
         R: DataBox,
     {
-        let raw = self.issue(server, vec![fn_id], &args.to_bytes(), 0)?;
+        let hint = A::FIXED_SIZE.unwrap_or(16);
+        let raw = self.issue_with(server, &[fn_id], 0, hint, |out| args.pack(out))?;
         Ok(RpcFuture { raw, _t: PhantomData })
     }
 
@@ -349,20 +511,35 @@ impl RpcClient {
         A: DataBox,
         R: DataBox,
     {
-        let raw = self.issue(server, chain, &args.to_bytes(), 0)?;
+        let hint = A::FIXED_SIZE.unwrap_or(16);
+        let raw = self.issue_with(server, &chain, 0, hint, |out| args.pack(out))?;
         Ok(RpcFuture { raw, _t: PhantomData })
     }
 
     /// Aggregate several calls into one network message (§III-B request
     /// aggregation).
     pub fn invoke_batch(&self, server: EpId, calls: &[(FnId, Vec<u8>)]) -> RpcResult<BatchFuture> {
-        let payload = encode_batch(calls);
-        let raw = self.issue(server, Vec::new(), &payload, FLAG_BATCH)?;
+        self.invoke_batch_slices(server, calls.iter().map(|(id, a)| (*id, a.as_slice())))
+    }
+
+    /// [`RpcClient::invoke_batch`] over borrowed argument slices: the batch
+    /// payload is framed directly into the request buffer, so callers that
+    /// stage ops in their own arena (the coalescer) pay no per-call copies
+    /// beyond the final wire write.
+    pub fn invoke_batch_slices<'a>(
+        &self,
+        server: EpId,
+        calls: impl ExactSizeIterator<Item = (FnId, &'a [u8])> + Clone,
+    ) -> RpcResult<BatchFuture> {
+        let payload_len = 4 + calls.clone().map(|(_, a)| 8 + a.len()).sum::<usize>();
+        let raw = self.issue_with(server, &[], FLAG_BATCH, payload_len, |out| {
+            encode_batch_into(calls, out)
+        })?;
         Ok(BatchFuture { raw })
     }
 
     /// Raw-bytes invocation (used by layers that do their own encoding).
     pub fn invoke_raw(&self, server: EpId, fn_id: FnId, args: &[u8]) -> RpcResult<RawFuture> {
-        self.issue(server, vec![fn_id], args, 0)
+        self.issue_with(server, &[fn_id], 0, args.len(), |out| out.extend_from_slice(args))
     }
 }

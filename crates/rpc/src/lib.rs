@@ -25,12 +25,13 @@
 //! [`RpcFuture`]; synchronous execution is just `invoke(...).wait()`.
 
 pub mod client;
+pub mod coalesce;
 pub mod server;
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use hcl_databox::DataBox;
 use hcl_fabric::{EpId, FabricError, RegionKey};
 use parking_lot::RwLock;
@@ -38,12 +39,15 @@ use parking_lot::RwLock;
 /// Registered function identifier.
 pub type FnId = u32;
 
-/// A server-side handler: `(server, caller, args) -> response bytes`.
+/// A server-side handler: `(server, caller, args, response_out)`.
 ///
 /// The *server* endpoint identifies which partition's state the handler
 /// should touch — all in-process NIC workers share one registry, exactly as
-/// all NIC cores of one machine share one function table.
-pub type Handler = Arc<dyn Fn(EpId, EpId, &[u8]) -> Vec<u8> + Send + Sync>;
+/// all NIC cores of one machine share one function table. The response is
+/// *appended* to `response_out`, a per-worker scratch buffer the NIC core
+/// reuses across requests, so the hot path executes without a per-call
+/// response allocation.
+pub type Handler = Arc<dyn Fn(EpId, EpId, &[u8], &mut Vec<u8>) + Send + Sync>;
 
 /// Reserved region id for a server's response buffer.
 pub const RESP_REGION: u32 = 0xFFFF_0000;
@@ -130,26 +134,41 @@ impl RpcRegistry {
         Self::default()
     }
 
-    /// Bind a raw handler.
+    /// Bind a raw handler returning an owned response buffer (the
+    /// pre-zero-copy signature, kept for handlers whose response naturally
+    /// materializes as a `Vec`).
     pub fn bind(
         &self,
         id: FnId,
         f: impl Fn(EpId, EpId, &[u8]) -> Vec<u8> + Send + Sync + 'static,
     ) {
+        self.bind_into(id, move |server, caller, raw, out| {
+            out.extend_from_slice(&f(server, caller, raw));
+        });
+    }
+
+    /// Bind a raw handler that appends its response to the worker's scratch
+    /// buffer (the zero-copy fast path).
+    pub fn bind_into(
+        &self,
+        id: FnId,
+        f: impl Fn(EpId, EpId, &[u8], &mut Vec<u8>) + Send + Sync + 'static,
+    ) {
         self.fns.write().insert(id, Arc::new(f));
     }
 
     /// Bind a typed handler: args and return value cross the wire as
-    /// [`DataBox`] encodings.
+    /// [`DataBox`] encodings. The return value is packed straight into the
+    /// worker's scratch buffer — no intermediate `Bytes`/`Vec` per call.
     pub fn bind_typed<A, R>(&self, id: FnId, f: impl Fn(EpId, EpId, A) -> R + Send + Sync + 'static)
     where
         A: DataBox + 'static,
         R: DataBox + 'static,
     {
-        self.bind(id, move |server, caller, raw| {
+        self.bind_into(id, move |server, caller, raw, out| {
             let args = A::from_bytes(raw).expect("rpc argument decode");
             let ret = f(server, caller, args);
-            ret.to_bytes().to_vec()
+            ret.pack(out);
         });
     }
 
@@ -290,18 +309,30 @@ fn jitter_unit(seed: u64, k: u32) -> f64 {
 }
 
 impl RequestHeader {
+    /// Encoded size of the header alone (before the args).
+    pub fn encoded_len(&self) -> usize {
+        14 + 4 * self.chain.len()
+    }
+
+    /// Append the header (without args) to a builder — the zero-copy encode
+    /// path: callers follow up by packing args directly into the same buffer
+    /// and freezing once, so the whole request costs one allocation.
+    pub fn encode_header_into(&self, out: &mut BytesMut) {
+        encode_request_header_into(self.req_id, self.slot, self.flags, &self.chain, out);
+    }
+
+    /// Append the header followed by `args` to a builder.
+    pub fn encode_into(&self, args: &[u8], out: &mut BytesMut) {
+        out.reserve(self.encoded_len() + args.len());
+        self.encode_header_into(out);
+        out.extend_from_slice(args);
+    }
+
     /// Serialize the header followed by `args` into one message.
     pub fn encode(&self, args: &[u8]) -> Bytes {
-        let mut out = Vec::with_capacity(14 + 4 * self.chain.len() + args.len());
-        out.extend_from_slice(&self.req_id.to_le_bytes());
-        out.extend_from_slice(&self.slot.to_le_bytes());
-        out.push(self.flags);
-        out.push(self.chain.len() as u8);
-        for id in &self.chain {
-            out.extend_from_slice(&id.to_le_bytes());
-        }
-        out.extend_from_slice(args);
-        Bytes::from(out)
+        let mut out = BytesMut::with_capacity(self.encoded_len() + args.len());
+        self.encode_into(args, &mut out);
+        out.freeze()
     }
 
     /// Parse a request message; returns the header and the args offset.
@@ -326,6 +357,25 @@ impl RequestHeader {
     }
 }
 
+/// Append a request header to a builder without materializing a
+/// [`RequestHeader`] (the client hot path borrows its chain slice).
+pub fn encode_request_header_into(
+    req_id: u64,
+    slot: u32,
+    flags: u8,
+    chain: &[FnId],
+    out: &mut BytesMut,
+) {
+    out.reserve(14 + 4 * chain.len());
+    out.extend_from_slice(&req_id.to_le_bytes());
+    out.extend_from_slice(&slot.to_le_bytes());
+    out.put_u8(flags);
+    out.put_u8(chain.len() as u8);
+    for id in chain {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
+}
+
 /// Compute the byte offset of a client's response slot within the server's
 /// response buffer.
 pub fn slot_offset(client_rank: u32, slot: u32, cap: usize) -> usize {
@@ -339,15 +389,25 @@ pub fn resp_key(server: EpId) -> RegionKey {
     RegionKey { ep: server, region: RESP_REGION }
 }
 
-/// Encode a batch payload: `[count u32][(fn_id u32, len u32, args)...]`.
-pub fn encode_batch(calls: &[(FnId, Vec<u8>)]) -> Vec<u8> {
-    let mut out = Vec::new();
+/// Append a batch payload to `out`: `[count u32][(fn_id u32, len u32,
+/// args)...]` — zero-copy variant used to build the full request (header +
+/// batch) in one buffer.
+pub fn encode_batch_into<'a>(
+    calls: impl ExactSizeIterator<Item = (FnId, &'a [u8])>,
+    out: &mut Vec<u8>,
+) {
     out.extend_from_slice(&(calls.len() as u32).to_le_bytes());
     for (id, args) in calls {
         out.extend_from_slice(&id.to_le_bytes());
         out.extend_from_slice(&(args.len() as u32).to_le_bytes());
         out.extend_from_slice(args);
     }
+}
+
+/// Encode a batch payload into a fresh buffer.
+pub fn encode_batch(calls: &[(FnId, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_batch_into(calls.iter().map(|(id, a)| (*id, a.as_slice())), &mut out);
     out
 }
 
@@ -386,8 +446,10 @@ pub fn encode_batch_response(resps: &[Vec<u8>]) -> Vec<u8> {
     out
 }
 
-/// Decode a batch response (client side).
-pub fn decode_batch_response(buf: &[u8]) -> Option<Vec<Bytes>> {
+/// Decode a batch response (client side). Each per-call response is a
+/// zero-copy [`Bytes::slice`] window into the pulled message — one shared
+/// backing buffer for the whole batch.
+pub fn decode_batch_response(buf: &Bytes) -> Option<Vec<Bytes>> {
     if buf.len() < 4 {
         return None;
     }
@@ -403,7 +465,7 @@ pub fn decode_batch_response(buf: &[u8]) -> Option<Vec<Bytes>> {
         if buf.len() < off + len {
             return None;
         }
-        out.push(Bytes::copy_from_slice(&buf[off..off + len]));
+        out.push(buf.slice(off, off + len));
         off += len;
     }
     Some(out)
@@ -413,6 +475,12 @@ pub fn decode_batch_response(buf: &[u8]) -> Option<Vec<Bytes>> {
 mod tests {
     use super::*;
 
+    fn call(h: &Handler, server: EpId, caller: EpId, args: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        h(server, caller, args, &mut out);
+        out
+    }
+
     #[test]
     fn registry_bind_lookup_unbind() {
         let r = RpcRegistry::new();
@@ -420,7 +488,7 @@ mod tests {
         r.bind(7, |_, _, args| args.to_vec());
         assert_eq!(r.len(), 1);
         let h = r.get(7).unwrap();
-        assert_eq!(h(EpId::new(0, 0), EpId::new(0, 1), b"echo"), b"echo");
+        assert_eq!(call(&h, EpId::new(0, 0), EpId::new(0, 1), b"echo"), b"echo");
         assert!(r.get(8).is_none());
         r.unbind(7);
         assert!(r.get(7).is_none());
@@ -431,8 +499,22 @@ mod tests {
         let r = RpcRegistry::new();
         r.bind_typed(1, |_, _, (a, b): (u64, u64)| a + b);
         let h = r.get(1).unwrap();
-        let resp = h(EpId::new(0, 0), EpId::new(0, 1), &(20u64, 22u64).to_bytes());
+        let resp = call(&h, EpId::new(0, 0), EpId::new(0, 1), &(20u64, 22u64).to_bytes());
         assert_eq!(u64::from_bytes(&resp).unwrap(), 42);
+    }
+
+    #[test]
+    fn handlers_append_to_existing_scratch() {
+        // The out-param contract: handlers append, never truncate — the
+        // batch path relies on this to assemble the aggregate response in
+        // one buffer.
+        let r = RpcRegistry::new();
+        r.bind_typed(1, |_, _, x: u64| x + 1);
+        let h = r.get(1).unwrap();
+        let mut out = vec![0xAB];
+        h(EpId::new(0, 0), EpId::new(0, 1), &41u64.to_bytes(), &mut out);
+        assert_eq!(out[0], 0xAB);
+        assert_eq!(u64::from_bytes(&out[1..]).unwrap(), 42);
     }
 
     #[test]
@@ -462,9 +544,11 @@ mod tests {
         assert_eq!(dec[1], (2, &b""[..]));
         assert_eq!(dec[2], (3, &b"three"[..]));
         let resps = vec![b"r1".to_vec(), vec![], b"r3".to_vec()];
-        let enc = encode_batch_response(&resps);
+        let enc = Bytes::from(encode_batch_response(&resps));
         let dec = decode_batch_response(&enc).unwrap();
         assert_eq!(dec, vec![Bytes::from_static(b"r1"), Bytes::new(), Bytes::from_static(b"r3")]);
+        // Zero-copy: each entry must point into the shared backing buffer.
+        assert_eq!(dec[0].as_slice().as_ptr(), enc.slice(8, 10).as_slice().as_ptr());
     }
 
     #[test]

@@ -10,8 +10,8 @@ use hcl_mem::{Segment, SegmentAllocator};
 use parking_lot::Mutex;
 
 use crate::{
-    decode_batch, encode_batch_response, resp_key, slot_offset, RequestHeader, RpcRegistry,
-    FLAG_BATCH, FLAG_IDEMPOTENT, SLOTS_PER_CLIENT, SLOT_HDR,
+    decode_batch, resp_key, slot_offset, RequestHeader, RpcRegistry, FLAG_BATCH, FLAG_IDEMPOTENT,
+    SLOTS_PER_CLIENT, SLOT_HDR,
 };
 
 /// Server configuration.
@@ -169,6 +169,12 @@ impl RpcServer {
                 std::thread::Builder::new()
                     .name(format!("hcl-nic-{ep}-c{core}"))
                     .spawn(move || {
+                        // Per-worker scratch buffers, reused across requests:
+                        // handlers append into them (out-param contract), so
+                        // the steady-state request loop allocates nothing for
+                        // responses.
+                        let mut resp_buf: Vec<u8> = Vec::with_capacity(1024);
+                        let mut chain_buf: Vec<u8> = Vec::new();
                         while !stop.load(Ordering::Acquire) {
                             let msg = match fabric.recv(ep, Some(Duration::from_millis(20))) {
                                 Ok(Some(m)) => m,
@@ -217,42 +223,66 @@ impl RpcServer {
                                 }
                             }
                             let t0 = Instant::now();
-                            let response = if hdr.flags & FLAG_BATCH != 0 {
-                                // Aggregated request: run every bundled call.
+                            resp_buf.clear();
+                            if hdr.flags & FLAG_BATCH != 0 {
+                                // Aggregated request: run every bundled call,
+                                // assembling `[count][(len, resp)...]` in the
+                                // scratch buffer with length back-patching —
+                                // no per-call response Vec.
                                 let calls = decode_batch(&payload[args_off..])
                                     .unwrap_or_default();
-                                let mut resps = Vec::with_capacity(calls.len());
+                                resp_buf
+                                    .extend_from_slice(&(calls.len() as u32).to_le_bytes());
                                 for (id, args) in calls {
                                     // ORDERING: Relaxed statistic.
                                     stats.requests.fetch_add(1, Ordering::Relaxed);
-                                    resps.push(match registry.get(id) {
-                                        Some(h) => h(ep, caller, args),
-                                        None => Vec::new(),
-                                    });
+                                    let len_pos = resp_buf.len();
+                                    resp_buf.extend_from_slice(&0u32.to_le_bytes());
+                                    let start = resp_buf.len();
+                                    if let Some(h) = registry.get(id) {
+                                        h(ep, caller, args, &mut resp_buf);
+                                    }
+                                    let n = (resp_buf.len() - start) as u32;
+                                    resp_buf[len_pos..len_pos + 4]
+                                        .copy_from_slice(&n.to_le_bytes());
                                 }
-                                encode_batch_response(&resps)
                             } else {
-                                // Callback chain: each output feeds the next.
+                                // Callback chain: the first link reads the
+                                // request payload in place (the borrow that
+                                // replaces the old per-request `to_vec`);
+                                // later links ping-pong between the two
+                                // scratch buffers.
                                 // ORDERING: Relaxed statistic.
                                 stats.requests.fetch_add(1, Ordering::Relaxed);
-                                let mut data = payload[args_off..].to_vec();
+                                if hdr.chain.is_empty() {
+                                    resp_buf.extend_from_slice(&payload[args_off..]);
+                                }
+                                let mut first = true;
                                 for id in &hdr.chain {
                                     match registry.get(*id) {
-                                        Some(h) => data = h(ep, caller, &data),
+                                        Some(h) => {
+                                            chain_buf.clear();
+                                            if first {
+                                                h(ep, caller, &payload[args_off..], &mut chain_buf);
+                                                first = false;
+                                            } else {
+                                                h(ep, caller, &resp_buf, &mut chain_buf);
+                                            }
+                                            std::mem::swap(&mut resp_buf, &mut chain_buf);
+                                        }
                                         None => {
-                                            data.clear();
+                                            resp_buf.clear();
                                             break;
                                         }
                                     }
                                 }
-                                data
-                            };
+                            }
                             // ORDERING: Relaxed statistic.
                             stats
                                 .busy_ns
                                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                             if dedup_active {
-                                dedup.lock().complete(dedup_key, response.clone());
+                                dedup.lock().complete(dedup_key, resp_buf.clone());
                             }
                             publish_response(
                                 &resp_seg,
@@ -263,7 +293,7 @@ impl RpcServer {
                                 caller.rank,
                                 hdr.slot,
                                 hdr.req_id,
-                                &response,
+                                &resp_buf,
                             );
                         }
                     })

@@ -215,6 +215,82 @@ fn repeated_oversize_responses_reuse_overflow_space() {
 }
 
 #[test]
+fn batch_aggregate_response_spills_past_slot_cap() {
+    // A FLAG_BATCH request whose *aggregate* response exceeds the slot
+    // capacity must travel through the overflow (spill) path and still
+    // decode per-call.
+    use hcl_databox::DataBox;
+    let fabric: Arc<dyn Fabric> = Arc::new(MemoryFabric::new());
+    let server_ep = EpId::new(0, 0);
+    let reg = Arc::new(RpcRegistry::new());
+    // Each call echoes a payload of `n` bytes, values distinct per call.
+    reg.bind_typed(1, |_, _, (seed, n): (u64, u64)| vec![seed as u8; n as usize]);
+    let server = RpcServer::start(
+        server_ep,
+        Arc::clone(&fabric),
+        reg,
+        ServerConfig { max_clients: 4, slot_cap: 1024, nic_cores: 1, ..ServerConfig::default() },
+    );
+    let client = RpcClient::new(EpId::new(1, 1), Arc::clone(&fabric), 1024);
+    // 8 calls x 400-byte responses = ~3.2 KB aggregate against a 1 KB slot.
+    let calls: Vec<(u32, Vec<u8>)> =
+        (0..8u64).map(|i| (1, (i, 400u64).to_bytes().to_vec())).collect();
+    let batch = client.invoke_batch(server_ep, &calls).unwrap();
+    let results: Vec<Vec<u8>> = batch.wait_typed().unwrap();
+    assert_eq!(results.len(), 8);
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(r.len(), 400);
+        assert!(r.iter().all(|&b| b == i as u8));
+    }
+    assert!(
+        server.stats().overflow_responses >= 1,
+        "aggregate batch response should have spilled"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn wait_all_sweeps_mixed_latency_futures() {
+    // Batched completion polling: one fabric-read sweep per iteration over
+    // all pending slots resolves futures in any completion order.
+    let fabric: Arc<dyn Fabric> = Arc::new(MemoryFabric::new());
+    let server_ep = EpId::new(0, 0);
+    let reg = Arc::new(RpcRegistry::new());
+    reg.bind_typed(1, |_, _, (v, delay_ms): (u64, u64)| {
+        std::thread::sleep(Duration::from_millis(delay_ms));
+        v * 3
+    });
+    let _server = RpcServer::start(
+        server_ep,
+        Arc::clone(&fabric),
+        reg,
+        ServerConfig { max_clients: 4, slot_cap: 512, nic_cores: 4, ..ServerConfig::default() },
+    );
+    let client = RpcClient::new(EpId::new(1, 1), Arc::clone(&fabric), 512);
+    use hcl_databox::DataBox;
+    // Later-issued futures complete first (reverse delays).
+    let raws: Vec<_> = (0..4u64)
+        .map(|i| {
+            client
+                .invoke_raw(server_ep, 1, &(i, (3 - i) * 20).to_bytes())
+                .unwrap()
+        })
+        .collect();
+    let results = hcl_rpc::client::wait_all(&raws);
+    for (i, r) in results.iter().enumerate() {
+        let got = u64::from_bytes(r.as_ref().unwrap()).unwrap();
+        assert_eq!(got, i as u64 * 3);
+    }
+    // wait_any on fresh futures returns some completed index.
+    let raws: Vec<_> = (0..3u64)
+        .map(|i| client.invoke_raw(server_ep, 1, &(i, 5u64).to_bytes()).unwrap())
+        .collect();
+    let (idx, r) = hcl_rpc::client::wait_any(&raws).unwrap();
+    let got = u64::from_bytes(&r.unwrap()).unwrap();
+    assert_eq!(got, idx as u64 * 3);
+}
+
+#[test]
 fn single_rank_world_degenerate_but_functional() {
     // nodes=1, ranks=1: everything is local, RPC still works when forced.
     let fabric: Arc<dyn Fabric> = Arc::new(MemoryFabric::new());

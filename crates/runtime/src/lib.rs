@@ -29,12 +29,14 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
+use hcl_databox::DataBox;
 use hcl_fabric::memory::MemoryFabric;
 use hcl_fabric::tcp::TcpFabric;
 use hcl_fabric::{EpId, Fabric, LatencyModel, TrafficSnapshot};
 use hcl_rpc::client::RpcClient;
+use hcl_rpc::coalesce::{CoalesceConfig, CoalesceSnapshot, CoalescedFuture, Coalescer};
 use hcl_rpc::server::{RpcServer, ServerConfig, ServerStatsSnapshot};
-use hcl_rpc::{FnId, RetryPolicy, RpcRegistry};
+use hcl_rpc::{FnId, RetryPolicy, RpcRegistry, RpcResult};
 use parking_lot::Mutex;
 
 /// Which fabric provider a world runs on.
@@ -62,6 +64,8 @@ pub struct WorldConfig {
     /// Retry policy installed on every rank's RPC client.
     /// [`RetryPolicy::none`] (the default) keeps single-attempt semantics.
     pub retry: RetryPolicy,
+    /// Op-coalescing policy for every rank's async submission path.
+    pub coalesce: CoalesceConfig,
 }
 
 impl WorldConfig {
@@ -74,6 +78,7 @@ impl WorldConfig {
             slot_cap: hcl_rpc::DEFAULT_SLOT_CAP,
             nic_cores: 1,
             retry: RetryPolicy::none(),
+            coalesce: CoalesceConfig::default(),
         }
     }
 
@@ -162,7 +167,8 @@ impl WorldShared {
 pub struct Rank {
     id: u32,
     world: Arc<WorldShared>,
-    client: RpcClient,
+    client: Arc<RpcClient>,
+    coalescer: Arc<Coalescer>,
 }
 
 impl Rank {
@@ -207,13 +213,66 @@ impl Rank {
         &self.client
     }
 
+    /// This rank's op coalescer (async container ops stage through it).
+    pub fn coalescer(&self) -> &Arc<Coalescer> {
+        &self.coalescer
+    }
+
+    /// Coalescer counter snapshot for this rank.
+    pub fn coalesce_stats(&self) -> CoalesceSnapshot {
+        self.coalescer.stats()
+    }
+
+    /// True when async ops stage on the coalescer (vs. going out directly).
+    pub fn coalescing_enabled(&self) -> bool {
+        self.coalescer.config().enabled
+    }
+
+    /// Synchronous remote invocation with flush-before-sync semantics: any
+    /// ops staged for `server` are sent (in submission order) before the
+    /// sync request, so a sync op observes every async op this rank issued
+    /// earlier to the same destination.
+    pub fn invoke<A, R>(&self, server: EpId, fn_id: FnId, args: &A) -> RpcResult<R>
+    where
+        A: DataBox,
+        R: DataBox,
+    {
+        self.coalescer.flush(server);
+        self.client.invoke(server, fn_id, args)
+    }
+
+    /// Stage an asynchronous remote invocation on the coalescer: it rides a
+    /// batched [`hcl_rpc::FLAG_BATCH`] message when concurrent ops to the
+    /// same destination are in flight (paper §III-B request aggregation).
+    pub fn invoke_coalesced<A, R>(
+        &self,
+        server: EpId,
+        fn_id: FnId,
+        args: &A,
+    ) -> RpcResult<CoalescedFuture<R>>
+    where
+        A: DataBox,
+        R: DataBox,
+    {
+        self.coalescer.submit_typed(server, fn_id, args)
+    }
+
+    /// Send every staged op now (all destinations).
+    pub fn flush_ops(&self) {
+        self.coalescer.flush_all();
+    }
+
     /// Shared world state.
     pub fn world(&self) -> &Arc<WorldShared> {
         &self.world
     }
 
-    /// Block until every rank reaches the barrier.
+    /// Block until every rank reaches the barrier. Staged async ops are
+    /// flushed first: anything issued before the barrier is on the wire
+    /// before any rank proceeds past it (matching the pre-coalescer send
+    /// ordering).
     pub fn barrier(&self) {
+        self.coalescer.flush_all();
         self.world.collectives.barrier.wait();
     }
 
@@ -373,7 +432,9 @@ impl World {
                         RpcClient::new(cfg.ep_of(r), Arc::clone(&shared.fabric), cfg.slot_cap);
                     client.set_timeout(Duration::from_secs(120));
                     client.set_retry_policy(cfg.retry);
-                    let rank = Rank { id: r, world: shared, client };
+                    let client = Arc::new(client);
+                    let coalescer = Coalescer::spawn(Arc::clone(&client), cfg.coalesce);
+                    let rank = Rank { id: r, world: shared, client, coalescer };
                     f(&rank)
                 }));
             }

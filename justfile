@@ -12,7 +12,7 @@ test:
 # Fault-injection suite under a fixed seed: deterministic, CI-friendly.
 test-faults:
     cargo test --release --test fault_injection
-    cargo test --release --test property_based retry_backoff chaos_fault
+    cargo test --release --test property_based -- retry_backoff chaos_fault
 
 # Sweep the full container workload through 10 different fault seeds.
 test-faults-soak:
@@ -58,6 +58,14 @@ check-conc-soak:
 check-lin:
     cargo test --release --features history --test linearizability
 
+# ~10 s subset of the PR 3 RPC hot-path bench (8-rank memory-fabric
+# put/get, baseline vs batched), then validate the committed
+# BENCH_pr3.json: schema keys, non-zero throughputs, >= 2x headline
+# speedup. The full regeneration is `cargo run --release -p hcl-bench
+# --bin pr3`.
+bench-smoke:
+    cargo run --release -p hcl-bench --bin pr3 -- --smoke
+
 # Everything CI runs: build, tier-1 tests, hygiene lint, fault suite,
-# schedule exploration, linearizability histories.
-ci: build test lint test-faults check-conc check-lin
+# schedule exploration, linearizability histories, bench smoke-check.
+ci: build test lint test-faults check-conc check-lin bench-smoke

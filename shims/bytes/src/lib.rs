@@ -3,16 +3,19 @@
 //! The build environment has no access to crates.io, so the workspace vendors
 //! minimal implementations of its external dependencies under `shims/`
 //! (see `shims/README.md`). This crate provides the subset of the real
-//! `bytes::Bytes` API the workspace uses: a cheaply clonable, immutable byte
-//! buffer.
+//! `bytes` API the workspace uses: a cheaply clonable, immutable byte buffer
+//! ([`Bytes`]) with zero-copy `From<Vec<u8>>` / [`Bytes::slice`], plus a
+//! reusable append-only builder ([`BytesMut`]) whose [`BytesMut::freeze`]
+//! hands the accumulated buffer off without copying.
 
 use std::sync::Arc;
 
 /// A cheaply clonable, immutable contiguous slice of bytes.
 ///
 /// Static slices are referenced directly; owned buffers are shared through an
-/// `Arc`, so `clone` is a reference-count bump either way (the property the
-/// real crate is used for here).
+/// `Arc<Vec<u8>>` plus a `[start, end)` window, so `clone` and
+/// [`Bytes::slice`] are reference-count bumps — no byte is copied after the
+/// buffer is first frozen (the property the real crate is used for here).
 #[derive(Clone)]
 pub struct Bytes {
     repr: Repr,
@@ -21,7 +24,7 @@ pub struct Bytes {
 #[derive(Clone)]
 enum Repr {
     Static(&'static [u8]),
-    Shared(Arc<[u8]>),
+    Owned { buf: Arc<Vec<u8>>, start: usize, end: usize },
 }
 
 impl Bytes {
@@ -37,7 +40,7 @@ impl Bytes {
 
     /// Copy a slice into a new shared buffer.
     pub fn copy_from_slice(s: &[u8]) -> Self {
-        Bytes { repr: Repr::Shared(Arc::from(s)) }
+        Bytes::from(s.to_vec())
     }
 
     /// Length in bytes.
@@ -54,7 +57,23 @@ impl Bytes {
     pub fn as_slice(&self) -> &[u8] {
         match &self.repr {
             Repr::Static(s) => s,
-            Repr::Shared(s) => s,
+            Repr::Owned { buf, start, end } => &buf[*start..*end],
+        }
+    }
+
+    /// A sub-window `[start, end)` of this buffer sharing the same backing
+    /// allocation (zero-copy; panics when the range is out of bounds).
+    pub fn slice(&self, start: usize, end: usize) -> Bytes {
+        assert!(start <= end && end <= self.len(), "slice out of bounds");
+        match &self.repr {
+            Repr::Static(s) => Bytes { repr: Repr::Static(&s[start..end]) },
+            Repr::Owned { buf, start: base, .. } => Bytes {
+                repr: Repr::Owned {
+                    buf: Arc::clone(buf),
+                    start: base + start,
+                    end: base + end,
+                },
+            },
         }
     }
 
@@ -91,7 +110,8 @@ impl std::borrow::Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { repr: Repr::Shared(Arc::from(v.into_boxed_slice())) }
+        let end = v.len();
+        Bytes { repr: Repr::Owned { buf: Arc::new(v), start: 0, end } }
     }
 }
 
@@ -103,7 +123,7 @@ impl From<&'static [u8]> for Bytes {
 
 impl From<Box<[u8]>> for Bytes {
     fn from(b: Box<[u8]>) -> Self {
-        Bytes { repr: Repr::Shared(Arc::from(b)) }
+        Bytes::from(b.into_vec())
     }
 }
 
@@ -175,6 +195,108 @@ impl std::fmt::Debug for Bytes {
     }
 }
 
+/// An append-only byte builder backing the zero-copy encode path.
+///
+/// Encoders write into the underlying `Vec<u8>` (via [`BytesMut::vec_mut`] or
+/// `extend_from_slice`), then [`BytesMut::freeze`] moves the buffer into a
+/// [`Bytes`] without copying. A long-lived `BytesMut` that is `clear`ed
+/// between messages reaches a steady state where encoding performs zero
+/// allocations (the capacity survives `clear`); `freeze` necessarily
+/// re-allocates a fresh `Vec` for the next message, so callers that must be
+/// allocation-free keep the buffer and hand out borrowed slices instead.
+#[derive(Default)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> Self {
+        BytesMut { vec: Vec::new() }
+    }
+
+    /// An empty builder with `cap` bytes pre-reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { vec: Vec::with_capacity(cap) }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Current capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.vec.capacity()
+    }
+
+    /// Drop the contents, keeping the capacity for reuse.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    /// Ensure room for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.vec.extend_from_slice(s);
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, b: u8) {
+        self.vec.push(b);
+    }
+
+    /// Direct access to the backing `Vec` for encoders written against
+    /// `&mut Vec<u8>` (the `DataBox::pack` signature).
+    pub fn vec_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.vec
+    }
+
+    /// View the accumulated bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.vec
+    }
+
+    /// Move the accumulated bytes into an immutable [`Bytes`] without
+    /// copying; the builder is left empty (and without capacity).
+    pub fn freeze(&mut self) -> Bytes {
+        Bytes::from(std::mem::take(&mut self.vec))
+    }
+
+    /// Consume the builder into its backing `Vec`.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.vec
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut(len={}, cap={})", self.vec.len(), self.vec.capacity())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,5 +317,47 @@ mod tests {
         assert!(Bytes::new().is_empty());
         let s = Bytes::from_static(b"hello");
         assert_eq!(&s[..], b"hello");
+    }
+
+    #[test]
+    fn from_vec_is_zero_copy() {
+        let v = vec![7u8; 64];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_slice().as_ptr(), ptr, "From<Vec<u8>> must not copy");
+    }
+
+    #[test]
+    fn slice_shares_backing() {
+        let b = Bytes::from((0u8..32).collect::<Vec<u8>>());
+        let s = b.slice(4, 12);
+        assert_eq!(&s[..], &(4u8..12).collect::<Vec<u8>>()[..]);
+        // SAFETY: offset 4 is within the 32-byte backing allocation of `b`.
+        assert_eq!(s.as_slice().as_ptr(), unsafe { b.as_slice().as_ptr().add(4) });
+        let ss = s.slice(2, 4);
+        assert_eq!(&ss[..], &[6, 7]);
+        let st = Bytes::from_static(b"hello").slice(1, 3);
+        assert_eq!(&st[..], b"el");
+    }
+
+    #[test]
+    fn bytes_mut_freeze_is_zero_copy() {
+        let mut m = BytesMut::with_capacity(16);
+        m.extend_from_slice(b"abc");
+        m.put_u8(b'd');
+        let ptr = m.as_slice().as_ptr();
+        let b = m.freeze();
+        assert_eq!(&b[..], b"abcd");
+        assert_eq!(b.as_slice().as_ptr(), ptr, "freeze must not copy");
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn bytes_mut_clear_keeps_capacity() {
+        let mut m = BytesMut::with_capacity(64);
+        m.extend_from_slice(&[1; 32]);
+        m.clear();
+        assert!(m.capacity() >= 64);
+        assert!(m.is_empty());
     }
 }

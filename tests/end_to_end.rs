@@ -130,6 +130,58 @@ fn world_traffic_reflects_hybrid_savings() {
 }
 
 #[test]
+fn async_ops_coalesce_and_bulk_paths_report_batch_hit_rate() {
+    // Request aggregation end-to-end: a burst of async puts from each rank
+    // rides batched messages (observable in the rank's coalescer stats and
+    // in the container's fb/fu cost split), bulk ops count as batched, and
+    // the barrier's flush-before-sync makes everything visible afterwards.
+    World::run(mem_world(2, 1), |rank| {
+        let map: UnorderedMap<u64, u64> = UnorderedMap::with_config(
+            rank,
+            "coal.map",
+            UnorderedMapConfig { hybrid: false, ..UnorderedMapConfig::default() },
+        );
+        let q: hcl::Queue<u64> = hcl::Queue::with_config(
+            rank,
+            "coal.q",
+            hcl::queue::QueueConfig { owner: 0, hybrid: false },
+        );
+        rank.barrier();
+        let me = rank.id() as u64;
+        let n = 64u64;
+        // Async burst — never awaited individually; the barrier flushes.
+        let futs: Vec<_> = (0..n).map(|i| map.put_async(me * n + i, i).unwrap()).collect();
+        rank.barrier();
+        for f in futs {
+            f.wait().unwrap();
+        }
+        // Everything staged before the barrier is visible after it.
+        for r in 0..rank.world_size() as u64 {
+            for i in 0..n {
+                assert_eq!(map.get(&(r * n + i)).unwrap(), Some(i));
+            }
+        }
+        // Bulk path: one aggregated message, counted as batched.
+        let pushed = q.push_bulk((0..n).map(|i| me * n + i).collect()).unwrap();
+        assert_eq!(pushed, n);
+        rank.barrier();
+
+        let mc = map.costs();
+        assert!(mc.fb > 0, "async puts never classified as batched: {mc}");
+        assert!(mc.batch_hit_rate() > 0.0, "map batch hit rate is zero: {mc}");
+        let qc = q.costs();
+        assert!(qc.batch_hit_rate() > 0.0, "bulk push hit rate is zero: {qc}");
+        let cs = rank.coalesce_stats();
+        assert!(cs.batches > 0, "no batched messages were sent: {cs:?}");
+        assert!(
+            cs.avg_batch_size() > 1.0,
+            "coalescer never merged concurrent ops: {cs:?}"
+        );
+        rank.barrier();
+    });
+}
+
+#[test]
 fn many_containers_coexist_in_one_world() {
     // fn-id allocation and the object store must isolate containers.
     World::run(mem_world(2, 2), |rank| {

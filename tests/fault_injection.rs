@@ -23,6 +23,7 @@ use hcl::{HclError, OrderedMap, OrderedSet, PriorityQueue, Queue, UnorderedMap};
 use hcl_fabric::chaos::{ChaosFabric, ChaosSnapshot, FaultPlan, FaultRule, OpClass};
 use hcl_fabric::memory::MemoryFabric;
 use hcl_fabric::Fabric;
+use hcl_rpc::coalesce::CoalesceConfig;
 use hcl_rpc::{RetryPolicy, RpcError};
 use hcl_runtime::{World, WorldConfig, WorldShared};
 
@@ -248,6 +249,126 @@ fn full_partition_exhausts_retries_without_hanging() {
     });
     // 3 attempts, every one dropped.
     assert!(chaos.chaos_stats().drops >= 3);
+}
+
+/// Coalesced async ops under a lossy fabric: a flushed batch travels (and
+/// retries) as ONE idempotent unit — drops retransmit the whole batch, the
+/// server dedups on its request id, and every op lands exactly once and in
+/// submission order relative to the flush-before-sync barrier.
+#[test]
+fn coalesced_batches_retry_as_one_idempotent_unit() {
+    let seed = 0xBA7C;
+    let cfg = retrying(
+        WorldConfig { nodes: 2, ranks_per_node: 1, ..WorldConfig::small() },
+        seed,
+    );
+    let (chaos, shared) = chaos_shared(cfg, lossy_plan(seed));
+    World::run_on(shared, move |rank| {
+        let me = rank.id() as u64;
+        let ws = rank.world_size() as u64;
+        let q: Queue<u64> =
+            Queue::with_config(rank, "chaos.coal.q", QueueConfig { owner: 0, hybrid: false });
+        let umap: UnorderedMap<u64, u64> = UnorderedMap::with_config(
+            rank,
+            "chaos.coal.umap",
+            UnorderedMapConfig { hybrid: false, ..UnorderedMapConfig::default() },
+        );
+        rank.barrier();
+
+        // Stage async ops; nothing is awaited until after the loop, so
+        // consecutive ops to one destination coalesce into batches.
+        let qfuts: Vec<_> = (0..N).map(|i| q.push_async(me * N + i).unwrap()).collect();
+        let mfuts: Vec<_> = (0..N)
+            .map(|i| {
+                let k = me * N + i;
+                umap.put_async(k, k * 5 + 3).unwrap()
+            })
+            .collect();
+        for f in &qfuts {
+            assert!(f.wait().unwrap(), "acknowledged coalesced push reported false");
+        }
+        for f in &mfuts {
+            f.wait().unwrap();
+        }
+        // The coalescing path was actually exercised and observable.
+        assert!(q.costs().batch_hit_rate() > 0.0, "queue ops never rode a batch");
+        assert!(umap.costs().batch_hit_rate() > 0.0, "map ops never rode a batch");
+        assert!(rank.coalesce_stats().batches > 0, "coalescer sent no batches");
+        rank.barrier();
+
+        // Exactly-once: every coalesced op landed once, none lost, none
+        // duplicated by batch retransmission.
+        for r in 0..ws {
+            for i in 0..N {
+                let k = r * N + i;
+                assert_eq!(umap.get(&k).unwrap(), Some(k * 5 + 3), "coalesced put lost: {k}");
+            }
+        }
+        let mut mine = Vec::with_capacity(N as usize);
+        for _ in 0..N {
+            mine.push(q.pop().unwrap().expect("coalesced push lost"));
+        }
+        let flat: Vec<u64> = rank.allgather(mine).into_iter().flatten().collect();
+        let uniq: BTreeSet<u64> = flat.iter().copied().collect();
+        assert_eq!(uniq.len(), flat.len(), "batch retransmission duplicated a push");
+        assert_eq!(uniq, (0..ws * N).collect::<BTreeSet<u64>>());
+        assert_eq!(q.pop().unwrap(), None);
+        rank.barrier();
+    });
+    let snap = chaos.chaos_stats();
+    assert!(snap.total_faults() > 0, "plan injected no faults: {snap:?}");
+}
+
+/// Flush-before-sync under faults: async ops staged for a destination are
+/// observed by a subsequent synchronous op to the same destination even
+/// when the fabric drops and delays sends (per-destination FIFO survives
+/// retransmission because the batch is one request).
+#[test]
+fn flush_before_sync_order_survives_lossy_fabric() {
+    let seed = 0xF1055;
+    let cfg = retrying(
+        WorldConfig { nodes: 2, ranks_per_node: 1, ..WorldConfig::small() },
+        seed,
+    );
+    // Pin the coalescer so neither the size trigger nor the age flusher can
+    // send the staged ops: only the sync op's flush-before-sync may.
+    let cfg = WorldConfig {
+        coalesce: CoalesceConfig {
+            max_ops: 64,
+            adaptive: false,
+            max_delay: Duration::from_secs(30),
+            ..CoalesceConfig::default()
+        },
+        ..cfg
+    };
+    let (chaos, shared) = chaos_shared(cfg, lossy_plan(seed));
+    World::run_on(shared, move |rank| {
+        let umap: UnorderedMap<u64, u64> = UnorderedMap::with_config(
+            rank,
+            "chaos.fbs.umap",
+            UnorderedMapConfig { hybrid: false, ..UnorderedMapConfig::default() },
+        );
+        rank.barrier();
+        if rank.id() == 1 {
+            // Stage async puts, then read each back with a *sync* get
+            // WITHOUT waiting the futures: flush-before-sync must have
+            // pushed the staged batch out ahead of the get.
+            let futs: Vec<_> =
+                (0..N).map(|k| umap.put_async(k, k + 100).unwrap()).collect();
+            for k in 0..N {
+                assert_eq!(
+                    umap.get(&k).unwrap(),
+                    Some(k + 100),
+                    "sync get overtook staged async put for key {k}"
+                );
+            }
+            for f in futs {
+                f.wait().unwrap();
+            }
+        }
+        rank.barrier();
+    });
+    assert!(chaos.chaos_stats().total_faults() > 0);
 }
 
 /// Soak entry point for `just test-faults-soak`: seed comes from the
