@@ -13,7 +13,9 @@
 //!
 //! The full run (no args) writes `BENCH_pr3.json` into the repo root with
 //! both series side by side. `--smoke` runs a ~10 s subset and validates
-//! the committed JSON's schema; `--validate` only validates.
+//! the committed JSON's schema; `--validate` only validates; `--out <path>`
+//! redirects the full run's JSON (used to regenerate the per-PR regression
+//! guards, e.g. `BENCH_pr4.json` after the dispatch-engine refactor).
 
 use std::time::Instant;
 
@@ -316,7 +318,12 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let validate_only = args.iter().any(|a| a == "--validate");
-    let json_path = "BENCH_pr3.json";
+    let json_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_pr3.json".to_string());
+    let json_path = json_path.as_str();
 
     if validate_only {
         validate(json_path);

@@ -137,6 +137,55 @@ impl CostSnapshot {
     }
 }
 
+/// The cost layer's [`OpObserver`](crate::dispatch::OpObserver)
+/// implementation: translates dispatch-engine events into Table I counter
+/// increments. One instance is installed by every
+/// [`Dispatcher`](crate::dispatch::Dispatcher), so containers charge their
+/// client-side costs purely by declaring [`CostSig`](crate::dispatch::CostSig)
+/// signatures — no hand-written counter calls on the access path.
+#[derive(Debug, Default)]
+pub struct CostObserver {
+    counters: CostCounters,
+}
+
+impl CostObserver {
+    /// Copy the accumulated counters out.
+    pub fn snapshot(&self) -> CostSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Reset the counters (benchmark harness convenience).
+    pub fn reset(&self) {
+        self.counters.reset();
+    }
+}
+
+impl crate::dispatch::OpObserver for CostObserver {
+    fn on_local_bypass(&self, ev: &crate::dispatch::OpEvent<'_>) {
+        let sig = &ev.op.cost;
+        if sig.l > 0 {
+            self.counters.l(sig.l);
+        }
+        if sig.r > 0 {
+            self.counters.r(if sig.scale_r { sig.r * ev.n } else { sig.r });
+        }
+        if sig.w > 0 {
+            self.counters.w(if sig.scale_w { sig.w * ev.n } else { sig.w });
+        }
+    }
+
+    fn on_issue(&self, _ev: &crate::dispatch::OpEvent<'_>, mode: crate::dispatch::IssueMode) {
+        use crate::dispatch::IssueMode;
+        self.counters.f();
+        match mode {
+            IssueMode::Sync => self.counters.fu(),
+            IssueMode::Async { coalesced: true } => self.counters.fb(1),
+            IssueMode::Async { coalesced: false } => self.counters.fu(),
+            IssueMode::Bulk { ops } => self.counters.fb(ops),
+        }
+    }
+}
+
 impl std::fmt::Display for CostSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(

@@ -1,0 +1,723 @@
+//! The procedural-access dispatch engine (paper §III-C).
+//!
+//! HCL's defining idea is that *every* container operation follows one
+//! access path: hash the key to a partition, take the hybrid shared-memory
+//! bypass when the owner is co-located (§III-C5), otherwise ship exactly one
+//! RPC to the owner (§III-C1..C4). This module implements that path once.
+//! Containers no longer hand-roll the owner_of / is_local / issue / await /
+//! cost braid per operation — they declare a table of [`OpDescriptor`]s and
+//! call the [`Dispatcher`], which owns:
+//!
+//! * owner resolution (the stable first-level hash) and cached endpoint
+//!   lookup ([`EpCache`] — no per-op `ep_of` recomputation);
+//! * the hybrid local bypass decision;
+//! * sync, async (coalesced, §III-B) and bulk (`FLAG_BATCH` aggregated)
+//!   issue, with flush-before-sync program ordering preserved;
+//! * downed-rank graceful degradation ([`DownedRegistry`]): any degradable
+//!   op against a marked-down owner fails fast with
+//!   [`HclError::OwnerDown`] instead of hanging — replica reads opt out so
+//!   failover keeps working;
+//! * Table I cost accounting, routed through the [`OpObserver`] hook
+//!   ([`crate::cost::CostObserver`] is the one observer installed today;
+//!   the trait is the seam for future tracing/metrics layers);
+//! * `feature = "history"` invoke/return recording for the linearizability
+//!   checker.
+//!
+//! Adding a sixth container is a one-file change: define function offsets,
+//! a descriptor table, bind the server-side handlers, and express each
+//! public method as one `Dispatcher` call (DESIGN.md §10 has the
+//! walkthrough).
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hcl_databox::DataBox;
+use hcl_fabric::EpId;
+use hcl_rpc::batch::BatchArena;
+use hcl_rpc::client::{BatchFuture, RawFuture, RpcClient};
+use hcl_rpc::{FnId, RpcError, RpcResult};
+use hcl_runtime::{DownedRegistry, EpCache, Rank, WorldShared};
+use parking_lot::Mutex;
+
+use crate::cost::{CostObserver, CostSnapshot};
+use crate::{HclError, HclFuture, HclResult};
+
+/// What an operation does to the structure — observer/metrics label and the
+/// basis for future per-class policies (e.g. read-only replica routing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// Pure lookup.
+    Read,
+    /// Pure mutation.
+    Write,
+    /// Read-modify-write executed at the target (e.g. `put_merge`).
+    ReadWrite,
+    /// Control-plane / diagnostics (len, snapshot, resize, flush).
+    Admin,
+}
+
+/// An operation's Table I client-side cost signature: the `L`/`R`/`W` terms
+/// charged when the hybrid bypass serves it locally. (`F`/`fb`/`fu` are not
+/// part of the signature — the engine derives them from the issue mode.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostSig {
+    /// Local memory operations (`L`) per call.
+    pub l: u64,
+    /// Local reads (`R`) per call — multiplied by the element count when
+    /// `scale_r` is set (Table I's `E·R`).
+    pub r: u64,
+    /// Local writes (`W`) per call — multiplied by the element count when
+    /// `scale_w` is set (Table I's `E·W`).
+    pub w: u64,
+    /// Scale `r` by the bulk element count.
+    pub scale_r: bool,
+    /// Scale `w` by the bulk element count.
+    pub scale_w: bool,
+}
+
+impl CostSig {
+    /// No client-side charge (control-plane ops).
+    pub const ZERO: CostSig = CostSig::lrw(0, 0, 0);
+
+    /// Fixed (unscaled) `L`/`R`/`W` charge.
+    pub const fn lrw(l: u64, r: u64, w: u64) -> CostSig {
+        CostSig { l, r, w, scale_r: false, scale_w: false }
+    }
+
+    /// `L + E·R`: bulk read signature.
+    pub const fn read_scaled(l: u64, r: u64) -> CostSig {
+        CostSig { l, r, w: 0, scale_r: true, scale_w: false }
+    }
+
+    /// `L + E·W`: bulk write signature.
+    pub const fn write_scaled(l: u64, w: u64) -> CostSig {
+        CostSig { l, r: 0, w, scale_r: false, scale_w: true }
+    }
+}
+
+/// A typed description of one container operation: everything the engine
+/// needs to execute it besides the arguments themselves.
+#[derive(Debug, Clone, Copy)]
+pub struct OpDescriptor {
+    /// Stable label, `"container.op"` (observer/metrics key).
+    pub name: &'static str,
+    /// What the op does to the structure.
+    pub class: OpClass,
+    /// Function-id offset from the container's `fn_base`.
+    pub fn_off: u32,
+    /// Client-side Table I cost signature of the local bypass.
+    pub cost: CostSig,
+    /// True when re-executing the op is harmless. All ops currently travel
+    /// under the rank-level retry policy (which tags retried requests
+    /// idempotent and dedups server-side); this flag is the descriptor seam
+    /// for per-op retry policy selection.
+    pub idempotent: bool,
+    /// Degradable ops fail fast with [`HclError::OwnerDown`] when the owner
+    /// is marked down. Replica reads and replication control set this to
+    /// `false` so failover paths still reach their (possibly marked) hosts.
+    pub degradable: bool,
+}
+
+/// How a remote op was issued — determines the `F`-term classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueMode {
+    /// Synchronous invocation; travels as its own message.
+    Sync,
+    /// Asynchronous: staged on the op coalescer (`coalesced`) or sent
+    /// directly when coalescing is disabled.
+    Async {
+        /// True when the op staged on the coalescer.
+        coalesced: bool,
+    },
+    /// Explicit aggregation: one `FLAG_BATCH` message carrying `ops` calls.
+    Bulk {
+        /// Operations riding the aggregated message.
+        ops: u64,
+    },
+}
+
+/// Where an op was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Locality {
+    /// Hybrid shared-memory bypass (§III-C5) — no RPC.
+    LocalBypass,
+    /// One RPC to the owner partition.
+    Remote,
+}
+
+/// One dispatched operation, as seen by observers.
+#[derive(Debug, Clone, Copy)]
+pub struct OpEvent<'e> {
+    /// Container label (`"umap"`, `"queue"`, ...).
+    pub container: &'static str,
+    /// The operation's descriptor.
+    pub op: &'e OpDescriptor,
+    /// Resolved owner rank.
+    pub owner: u32,
+    /// Element count for bulk/scaled ops (1 for single-element ops).
+    pub n: u64,
+}
+
+/// Hook trait for layers that want to see every dispatched op: the cost
+/// layer implements it today ([`CostObserver`]); tracing/metrics layers plug
+/// into the same seam. All methods default to no-ops.
+pub trait OpObserver: Send + Sync {
+    /// The op was served by the hybrid local bypass.
+    fn on_local_bypass(&self, _ev: &OpEvent<'_>) {}
+
+    /// The op was issued remotely (counted before the response arrives).
+    fn on_issue(&self, _ev: &OpEvent<'_>, _mode: IssueMode) {}
+
+    /// A synchronously-awaited op finished. `latency` is zero unless some
+    /// installed observer returns true from [`OpObserver::wants_latency`].
+    fn on_complete(&self, _ev: &OpEvent<'_>, _locality: Locality, _latency: Duration, _ok: bool) {}
+
+    /// A remote op exhausted its retry budget after `attempts` attempts.
+    fn on_retry(&self, _ev: &OpEvent<'_>, _attempts: u32) {}
+
+    /// Return true to make the engine timestamp synchronous ops so
+    /// `on_complete` receives real latencies (off by default: the cost layer
+    /// does not need clocks on the local fast path).
+    fn wants_latency(&self) -> bool {
+        false
+    }
+}
+
+/// A bulk dispatch's reply: already resolved when the group was served by
+/// the local bypass, or one in-flight aggregated message.
+pub enum BulkReply<R: DataBox> {
+    /// Served locally; per-call results in submission order.
+    Ready(Vec<R>),
+    /// One `FLAG_BATCH` message in flight; resolves to per-call results in
+    /// submission order.
+    Pending(BatchFuture, PhantomData<R>),
+}
+
+impl<R: DataBox> BulkReply<R> {
+    /// Block until every call's result is available.
+    pub fn wait(self) -> HclResult<Vec<R>> {
+        match self {
+            BulkReply::Ready(v) => Ok(v),
+            BulkReply::Pending(f, _) => f.wait_typed().map_err(HclError::from),
+        }
+    }
+
+    /// True once every result is available.
+    pub fn is_ready(&self) -> bool {
+        match self {
+            BulkReply::Ready(_) => true,
+            BulkReply::Pending(f, _) => f.raw().is_ready(),
+        }
+    }
+}
+
+/// History token threaded between a container method's invoke and return
+/// recording calls (feature `history`).
+#[cfg(feature = "history")]
+pub type HistToken = Option<conc_check::history::Token<conc_check::DsOp>>;
+
+/// Record an operation's invocation into the dispatcher's history recorder
+/// (feature `history`; expands to `()` with the feature off, and the `DsOp`
+/// expression is never evaluated).
+#[cfg(feature = "history")]
+macro_rules! hist_invoke {
+    ($d:expr, $op:expr) => {
+        $d.hist_invoke(|| $op)
+    };
+}
+#[cfg(not(feature = "history"))]
+macro_rules! hist_invoke {
+    ($d:expr, $op:expr) => {
+        ()
+    };
+}
+
+/// Record an operation's return against the token from [`hist_invoke!`].
+#[cfg(feature = "history")]
+macro_rules! hist_return {
+    ($d:expr, $tok:expr, $res:expr, $f:expr) => {
+        $d.hist_return($tok, $res, $f)
+    };
+}
+#[cfg(not(feature = "history"))]
+macro_rules! hist_return {
+    ($d:expr, $tok:expr, $res:expr, $f:expr) => {{
+        let _ = &$tok;
+    }};
+}
+
+pub(crate) use {hist_invoke, hist_return};
+
+/// The shared procedural-access engine: one per container handle.
+///
+/// Owns everything cross-cutting about the access path; containers keep only
+/// their descriptor tables, server-side handlers, and data-shaping logic.
+pub struct Dispatcher<'a> {
+    rank: &'a Rank,
+    container: &'static str,
+    fn_base: FnId,
+    hybrid: bool,
+    eps: EpCache,
+    downed: DownedRegistry,
+    cost: Arc<CostObserver>,
+    observers: Vec<Arc<dyn OpObserver>>,
+    /// True when any observer wants real latencies on `on_complete`.
+    timed: bool,
+    #[cfg(feature = "history")]
+    recorder: Option<crate::HistoryRecorder>,
+}
+
+impl<'a> Dispatcher<'a> {
+    /// Build the engine for one container handle. `hybrid` enables the
+    /// shared-memory bypass for node-local owners (§III-C5).
+    pub fn new(rank: &'a Rank, container: &'static str, fn_base: FnId, hybrid: bool) -> Self {
+        let eps = EpCache::new(rank.world().config());
+        let cost = Arc::new(CostObserver::default());
+        Dispatcher {
+            rank,
+            container,
+            fn_base,
+            hybrid,
+            eps,
+            downed: DownedRegistry::new(),
+            observers: vec![Arc::clone(&cost) as Arc<dyn OpObserver>],
+            cost,
+            timed: false,
+            #[cfg(feature = "history")]
+            recorder: None,
+        }
+    }
+
+    /// The rank this handle dispatches from.
+    pub fn rank(&self) -> &'a Rank {
+        self.rank
+    }
+
+    /// Install an additional [`OpObserver`] (the cost layer is always
+    /// installed).
+    pub fn add_observer(&mut self, obs: Arc<dyn OpObserver>) {
+        self.timed = self.timed || obs.wants_latency();
+        self.observers.push(obs);
+    }
+
+    /// Client-side Table I counters observed through this handle.
+    pub fn costs(&self) -> CostSnapshot {
+        self.cost.snapshot()
+    }
+
+    /// First-level hash: the partition index of `key` among `nparts`.
+    pub fn partition_for<K: std::hash::Hash + ?Sized>(&self, key: &K, nparts: usize) -> usize {
+        (crate::stable_hash(key) as usize) % nparts
+    }
+
+    /// True when `owner` is served by the hybrid shared-memory bypass.
+    #[inline]
+    pub fn is_local(&self, owner: u32) -> bool {
+        self.hybrid && self.rank.same_node(owner)
+    }
+
+    /// Cached endpoint of `owner` (coherence-checked in debug builds).
+    #[inline]
+    pub fn ep(&self, owner: u32) -> EpId {
+        let ep = self.eps.ep_of(owner);
+        debug_assert_eq!(
+            ep,
+            self.rank.world().config().ep_of(owner),
+            "dispatcher endpoint cache incoherent for owner {owner}"
+        );
+        ep
+    }
+
+    /// Mark `owner_rank` as failed: degradable ops against it fail fast.
+    pub fn mark_down(&self, owner_rank: u32) {
+        self.downed.mark_down(owner_rank);
+    }
+
+    /// Clear a failure mark.
+    pub fn mark_up(&self, owner_rank: u32) {
+        self.downed.mark_up(owner_rank);
+    }
+
+    /// True when `owner_rank` is currently marked down.
+    pub fn is_down(&self, owner_rank: u32) -> bool {
+        self.downed.is_down(owner_rank)
+    }
+
+    /// Graceful-degradation gate: degradable ops against a downed owner
+    /// return [`HclError::OwnerDown`] without touching memory or fabric.
+    #[inline]
+    fn check_up(&self, op: &OpDescriptor, owner: u32) -> HclResult<()> {
+        if op.degradable && self.downed.is_down(owner) {
+            return Err(HclError::OwnerDown(owner));
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn each(&self, f: impl Fn(&dyn OpObserver)) {
+        for o in &self.observers {
+            f(o.as_ref());
+        }
+    }
+
+    #[inline]
+    fn now(&self) -> Option<Instant> {
+        if self.timed {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn elapsed(t0: Option<Instant>) -> Duration {
+        t0.map(|t| t.elapsed()).unwrap_or_default()
+    }
+
+    /// Run the local bypass for one op, firing observer hooks around it.
+    fn run_local<R>(&self, ev: &OpEvent<'_>, local: impl FnOnce() -> R) -> R {
+        let t0 = self.now();
+        self.each(|o| o.on_local_bypass(ev));
+        let out = local();
+        let dt = Self::elapsed(t0);
+        self.each(|o| o.on_complete(ev, Locality::LocalBypass, dt, true));
+        out
+    }
+
+    /// Resolve a synchronous remote result, firing completion/retry hooks.
+    fn finish_remote<R>(
+        &self,
+        ev: &OpEvent<'_>,
+        t0: Option<Instant>,
+        res: RpcResult<R>,
+    ) -> HclResult<R> {
+        let dt = Self::elapsed(t0);
+        match res {
+            Ok(v) => {
+                self.each(|o| o.on_complete(ev, Locality::Remote, dt, true));
+                Ok(v)
+            }
+            Err(e) => {
+                if let RpcError::RetriesExhausted { attempts, .. } = &e {
+                    let attempts = *attempts;
+                    self.each(|o| o.on_retry(ev, attempts));
+                }
+                self.each(|o| o.on_complete(ev, Locality::Remote, dt, false));
+                Err(HclError::Rpc(e))
+            }
+        }
+    }
+
+    /// Synchronous dispatch of an op whose arguments are consumed by the
+    /// local apply (`put(key, value)`-shaped ops). The remote path borrows
+    /// the arguments; flush-before-sync ordering is preserved by
+    /// [`Rank::invoke`].
+    pub fn sync<A, R>(
+        &self,
+        op: &'static OpDescriptor,
+        owner: u32,
+        args: A,
+        local: impl FnOnce(A) -> R,
+    ) -> HclResult<R>
+    where
+        A: DataBox,
+        R: DataBox,
+    {
+        self.check_up(op, owner)?;
+        let ev = OpEvent { container: self.container, op, owner, n: 1 };
+        if self.is_local(owner) {
+            Ok(self.run_local(&ev, || local(args)))
+        } else {
+            let t0 = self.now();
+            self.each(|o| o.on_issue(&ev, IssueMode::Sync));
+            let res = self.rank.invoke(self.ep(owner), self.fn_base + op.fn_off, &args);
+            self.finish_remote(&ev, t0, res)
+        }
+    }
+
+    /// Synchronous dispatch of an op with borrowed arguments (`get(&key)`-
+    /// shaped ops; also the fan-out legs of len/snapshot/flush).
+    pub fn sync_ref<A, R>(
+        &self,
+        op: &'static OpDescriptor,
+        owner: u32,
+        args: &A,
+        local: impl FnOnce() -> R,
+    ) -> HclResult<R>
+    where
+        A: DataBox,
+        R: DataBox,
+    {
+        self.check_up(op, owner)?;
+        let ev = OpEvent { container: self.container, op, owner, n: 1 };
+        if self.is_local(owner) {
+            Ok(self.run_local(&ev, local))
+        } else {
+            let t0 = self.now();
+            self.each(|o| o.on_issue(&ev, IssueMode::Sync));
+            let res = self.rank.invoke(self.ep(owner), self.fn_base + op.fn_off, args);
+            self.finish_remote(&ev, t0, res)
+        }
+    }
+
+    /// Synchronous dispatch of a single-message bulk op carrying `n`
+    /// elements (queue/pq `push_bulk`/`pop_bulk`): the local charge scales
+    /// by `n` per the descriptor's cost signature; the remote charge is one
+    /// invocation classified as batched (Table I `F + L + E·R/W`).
+    pub fn sync_scaled<A, R>(
+        &self,
+        op: &'static OpDescriptor,
+        owner: u32,
+        n: u64,
+        args: A,
+        local: impl FnOnce(A) -> R,
+    ) -> HclResult<R>
+    where
+        A: DataBox,
+        R: DataBox,
+    {
+        self.check_up(op, owner)?;
+        let ev = OpEvent { container: self.container, op, owner, n };
+        if self.is_local(owner) {
+            Ok(self.run_local(&ev, || local(args)))
+        } else {
+            let t0 = self.now();
+            self.each(|o| o.on_issue(&ev, IssueMode::Bulk { ops: 1 }));
+            let res = self.rank.invoke(self.ep(owner), self.fn_base + op.fn_off, &args);
+            self.finish_remote(&ev, t0, res)
+        }
+    }
+
+    /// Asynchronous dispatch (§III-C4): local bypass resolves immediately;
+    /// remote ops stage on the rank's op coalescer and may ride a batched
+    /// message with neighbouring async ops (§III-B).
+    pub fn dispatch_async<A, R>(
+        &self,
+        op: &'static OpDescriptor,
+        owner: u32,
+        args: A,
+        local: impl FnOnce(A) -> R,
+    ) -> HclResult<HclFuture<R>>
+    where
+        A: DataBox,
+        R: DataBox,
+    {
+        self.check_up(op, owner)?;
+        let ev = OpEvent { container: self.container, op, owner, n: 1 };
+        if self.is_local(owner) {
+            Ok(HclFuture::Ready(self.run_local(&ev, || local(args))))
+        } else {
+            let coalesced = self.rank.coalescing_enabled();
+            self.each(|o| o.on_issue(&ev, IssueMode::Async { coalesced }));
+            Ok(HclFuture::Coalesced(self.rank.invoke_coalesced(
+                self.ep(owner),
+                self.fn_base + op.fn_off,
+                &args,
+            )?))
+        }
+    }
+
+    /// [`Dispatcher::dispatch_async`] with borrowed arguments.
+    pub fn dispatch_async_ref<A, R>(
+        &self,
+        op: &'static OpDescriptor,
+        owner: u32,
+        args: &A,
+        local: impl FnOnce() -> R,
+    ) -> HclResult<HclFuture<R>>
+    where
+        A: DataBox,
+        R: DataBox,
+    {
+        self.check_up(op, owner)?;
+        let ev = OpEvent { container: self.container, op, owner, n: 1 };
+        if self.is_local(owner) {
+            Ok(HclFuture::Ready(self.run_local(&ev, local)))
+        } else {
+            let coalesced = self.rank.coalescing_enabled();
+            self.each(|o| o.on_issue(&ev, IssueMode::Async { coalesced }));
+            Ok(HclFuture::Coalesced(self.rank.invoke_coalesced(
+                self.ep(owner),
+                self.fn_base + op.fn_off,
+                args,
+            )?))
+        }
+    }
+
+    /// Bulk dispatch of one owner's group with request aggregation
+    /// (§III-B): the local bypass applies each element (charging the cost
+    /// signature per element); the remote path packs the whole group into
+    /// one arena and ships a single `FLAG_BATCH` message. Staged async ops
+    /// for the destination are flushed first so the explicit batch keeps
+    /// per-destination program order.
+    pub fn bulk<A, R>(
+        &self,
+        op: &'static OpDescriptor,
+        owner: u32,
+        items: Vec<A>,
+        mut local: impl FnMut(A) -> R,
+    ) -> HclResult<BulkReply<R>>
+    where
+        A: DataBox,
+        R: DataBox,
+    {
+        self.check_up(op, owner)?;
+        if self.is_local(owner) {
+            let out = items
+                .into_iter()
+                .map(|a| {
+                    let ev = OpEvent { container: self.container, op, owner, n: 1 };
+                    self.run_local(&ev, || local(a))
+                })
+                .collect();
+            Ok(BulkReply::Ready(out))
+        } else {
+            let n = items.len() as u64;
+            let ev = OpEvent { container: self.container, op, owner, n };
+            self.each(|o| o.on_issue(&ev, IssueMode::Bulk { ops: n }));
+            let mut arena = BatchArena::with_capacity(
+                self.fn_base + op.fn_off,
+                items.len(),
+                items.first().map_or(16, |a| a.size_hint()),
+            );
+            for a in &items {
+                arena.push(a);
+            }
+            let ep = self.ep(owner);
+            self.rank.coalescer().flush(ep);
+            let fut = self.rank.client().invoke_batch_slices(ep, arena.calls())?;
+            Ok(BulkReply::Pending(fut, PhantomData))
+        }
+    }
+
+    /// [`Dispatcher::bulk`] over borrowed items (`get_batch`-shaped ops).
+    /// Results align with `items` order in both paths.
+    pub fn bulk_ref<A, R>(
+        &self,
+        op: &'static OpDescriptor,
+        owner: u32,
+        items: &[&A],
+        mut local: impl FnMut(&A) -> R,
+    ) -> HclResult<BulkReply<R>>
+    where
+        A: DataBox,
+        R: DataBox,
+    {
+        self.check_up(op, owner)?;
+        if self.is_local(owner) {
+            let out = items
+                .iter()
+                .map(|a| {
+                    let ev = OpEvent { container: self.container, op, owner, n: 1 };
+                    self.run_local(&ev, || local(a))
+                })
+                .collect();
+            Ok(BulkReply::Ready(out))
+        } else {
+            let n = items.len() as u64;
+            let ev = OpEvent { container: self.container, op, owner, n };
+            self.each(|o| o.on_issue(&ev, IssueMode::Bulk { ops: n }));
+            let mut arena = BatchArena::with_capacity(
+                self.fn_base + op.fn_off,
+                items.len(),
+                items.first().map_or(16, |a| a.size_hint()),
+            );
+            for a in items {
+                arena.push(*a);
+            }
+            let ep = self.ep(owner);
+            self.rank.coalescer().flush(ep);
+            let fut = self.rank.client().invoke_batch_slices(ep, arena.calls())?;
+            Ok(BulkReply::Pending(fut, PhantomData))
+        }
+    }
+
+    /// Attach the shared history recorder (feature `history`): synchronous
+    /// ops dispatched through this engine are logged as invoke/return pairs
+    /// by the container methods' `hist_invoke!`/`hist_return!` hooks.
+    #[cfg(feature = "history")]
+    pub fn set_recorder(&mut self, rec: crate::HistoryRecorder) {
+        self.recorder = Some(rec);
+    }
+
+    /// Record an op invocation; `op` is only built when a recorder is set.
+    #[cfg(feature = "history")]
+    pub fn hist_invoke(&self, op: impl FnOnce() -> conc_check::DsOp) -> HistToken {
+        self.recorder.as_ref().map(|r| r.invoke(op()))
+    }
+
+    /// Record an op return for `tok`. Failed ops never enter the history.
+    #[cfg(feature = "history")]
+    pub fn hist_return<R>(
+        &self,
+        tok: HistToken,
+        res: &HclResult<R>,
+        ret: impl FnOnce(&R) -> conc_check::DsRet,
+    ) {
+        if let (Some(r), Some(tok), Ok(v)) = (self.recorder.as_ref(), tok, res.as_ref()) {
+            r.record_return(tok, ret(v));
+        }
+    }
+}
+
+/// Server-side replication forwarder (§III-A4): a partition re-hashes its
+/// mutations to the next `replicas` partition owners, asynchronously, over
+/// an auxiliary client whose endpoint sits past the world's rank range.
+/// Lives here so container modules contain no direct RPC-client calls (the
+/// `xtask lint` DISPATCH rule enforces that).
+pub(crate) struct ReplForwarder {
+    client: std::sync::OnceLock<RpcClient>,
+    outstanding: Mutex<Vec<RawFuture>>,
+}
+
+impl ReplForwarder {
+    pub(crate) fn new() -> Self {
+        ReplForwarder { client: std::sync::OnceLock::new(), outstanding: Mutex::new(Vec::new()) }
+    }
+
+    /// Forward one encoded mutation to the next `replicas` partitions after
+    /// `index`. Invocation futures are retained for [`ReplForwarder::flush`].
+    pub(crate) fn forward(
+        &self,
+        world: &Arc<WorldShared>,
+        index: usize,
+        servers: &[u32],
+        replicas: usize,
+        fn_id: FnId,
+        encoded: &[u8],
+    ) {
+        let nparts = servers.len();
+        if nparts <= 1 || replicas == 0 {
+            return;
+        }
+        let client = self.client.get_or_init(|| {
+            let cfg = world.config();
+            // Replication clients use ranks past the world: the servers'
+            // slot tables reserve room for them.
+            let ep = EpId {
+                node: servers[index] / cfg.ranks_per_node,
+                rank: cfg.world_size() + index as u32,
+            };
+            RpcClient::new(ep, Arc::clone(world.fabric()), cfg.slot_cap)
+        });
+        let mut outstanding = self.outstanding.lock();
+        // Opportunistically drop already-completed futures.
+        outstanding.retain(|f| !f.is_ready());
+        for i in 1..=replicas.min(nparts - 1) {
+            let target = servers[(index + i) % nparts];
+            let target_ep = world.config().ep_of(target);
+            if let Ok(f) = client.invoke_raw(target_ep, fn_id, encoded) {
+                outstanding.push(f);
+            }
+        }
+    }
+
+    /// Await every outstanding replication forward.
+    pub(crate) fn flush(&self) {
+        let futures: Vec<RawFuture> = std::mem::take(&mut *self.outstanding.lock());
+        for f in futures {
+            let _ = f.wait();
+        }
+    }
+}

@@ -9,6 +9,9 @@
 //!
 //! Insert/find cost is `F + L·log(N) + W/R` (Table I): one remote
 //! invocation, then an O(log n) descent at local-memory speed on the owner.
+//!
+//! Every operation is one [`Dispatcher`] call against the table in [`ops`];
+//! the global views are per-partition fan-outs of the same dispatch calls.
 
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -20,7 +23,8 @@ use hcl_fabric::EpId;
 use hcl_rpc::FnId;
 use hcl_runtime::{Rank, WorldShared};
 
-use crate::cost::{CostCounters, CostSnapshot};
+use crate::cost::CostSnapshot;
+use crate::dispatch::{hist_invoke, hist_return, Dispatcher};
 use crate::{default_servers, HclError, HclFuture, HclResult};
 
 const FN_PUT: u32 = 0;
@@ -32,6 +36,76 @@ const FN_RANGE: u32 = 5;
 const FN_SNAPSHOT: u32 = 6;
 const FN_RESIZE: u32 = 7;
 const N_FNS: u32 = 8;
+
+/// Table I op descriptors for the ordered map.
+mod ops {
+    use crate::dispatch::{CostSig, OpClass, OpDescriptor};
+
+    pub const PUT: OpDescriptor = OpDescriptor {
+        name: "omap.put",
+        class: OpClass::Write,
+        fn_off: super::FN_PUT,
+        cost: CostSig::lrw(1, 0, 1),
+        idempotent: false,
+        degradable: true,
+    };
+    pub const GET: OpDescriptor = OpDescriptor {
+        name: "omap.get",
+        class: OpClass::Read,
+        fn_off: super::FN_GET,
+        cost: CostSig::lrw(1, 1, 0),
+        idempotent: true,
+        degradable: true,
+    };
+    pub const ERASE: OpDescriptor = OpDescriptor {
+        name: "omap.erase",
+        class: OpClass::Write,
+        fn_off: super::FN_ERASE,
+        cost: CostSig::lrw(1, 0, 1),
+        idempotent: false,
+        degradable: true,
+    };
+    pub const LEN: OpDescriptor = OpDescriptor {
+        name: "omap.len",
+        class: OpClass::Admin,
+        fn_off: super::FN_LEN,
+        cost: CostSig::ZERO,
+        idempotent: true,
+        degradable: true,
+    };
+    pub const FIRST: OpDescriptor = OpDescriptor {
+        name: "omap.first",
+        class: OpClass::Read,
+        fn_off: super::FN_FIRST,
+        cost: CostSig::ZERO,
+        idempotent: true,
+        degradable: true,
+    };
+    pub const RANGE: OpDescriptor = OpDescriptor {
+        name: "omap.range",
+        class: OpClass::Read,
+        fn_off: super::FN_RANGE,
+        cost: CostSig::ZERO,
+        idempotent: true,
+        degradable: true,
+    };
+    pub const SNAPSHOT: OpDescriptor = OpDescriptor {
+        name: "omap.snapshot",
+        class: OpClass::Admin,
+        fn_off: super::FN_SNAPSHOT,
+        cost: CostSig::ZERO,
+        idempotent: true,
+        degradable: true,
+    };
+    pub const RESIZE: OpDescriptor = OpDescriptor {
+        name: "omap.resize",
+        class: OpClass::Admin,
+        fn_off: super::FN_RESIZE,
+        cost: CostSig::ZERO,
+        idempotent: true,
+        degradable: true,
+    };
+}
 
 /// Configuration for ordered containers.
 #[derive(Debug, Clone)]
@@ -100,10 +174,7 @@ where
     V: DataBox + Clone + Send + Sync + 'static,
 {
     core: Arc<Core<K, V>>,
-    rank: &'a Rank,
-    costs: CostCounters,
-    #[cfg(feature = "history")]
-    recorder: Option<crate::HistoryRecorder>,
+    d: Dispatcher<'a>,
 }
 
 impl<'a, K, V> OrderedMap<'a, K, V>
@@ -130,13 +201,8 @@ where
             bind_handlers(&world, fn_base, &parts);
             Core { fn_base, servers, parts, cfg: cfg2 }
         });
-        OrderedMap {
-            core,
-            rank,
-            costs: CostCounters::default(),
-            #[cfg(feature = "history")]
-            recorder: None,
-        }
+        let d = Dispatcher::new(rank, "omap", core.fn_base, core.cfg.hybrid);
+        OrderedMap { core, d }
     }
 
     /// Attach a shared history recorder: every synchronous `put`/`get`/
@@ -145,12 +211,12 @@ where
     /// variants and range scans are not recorded.
     #[cfg(feature = "history")]
     pub fn set_recorder(&mut self, rec: crate::HistoryRecorder) {
-        self.recorder = Some(rec);
+        self.d.set_recorder(rec);
     }
 
     /// Which partition owns `key`.
     pub fn partition_of(&self, key: &K) -> usize {
-        (crate::stable_hash(key) as usize) % self.core.servers.len()
+        self.d.partition_for(key, self.core.servers.len())
     }
 
     /// Number of partitions.
@@ -162,34 +228,31 @@ where
         self.core.servers[self.partition_of(key)]
     }
 
-    fn is_local(&self, owner: u32) -> bool {
-        self.core.cfg.hybrid && self.rank.same_node(owner)
+    /// Mark a partition-owner rank failed: subsequent ops targeting it
+    /// degrade immediately with [`crate::HclError::OwnerDown`].
+    pub fn mark_down(&self, owner_rank: u32) {
+        self.d.mark_down(owner_rank);
+    }
+
+    /// Clear a failure mark set by [`OrderedMap::mark_down`].
+    pub fn mark_up(&self, owner_rank: u32) {
+        self.d.mark_up(owner_rank);
     }
 
     /// Insert (Table I: `F + L·log(N) + W`); `true` when newly inserted.
     pub fn put(&self, key: K, value: V) -> HclResult<bool> {
-        #[cfg(feature = "history")]
-        let tok = self.recorder.as_ref().map(|r| {
-            r.invoke(crate::DsOp::MapPut {
+        let tok = hist_invoke!(
+            self.d,
+            crate::DsOp::MapPut {
                 key: crate::history_enc(&key),
                 value: crate::history_enc(&value),
-            })
-        });
+            }
+        );
         let owner = self.owner_of(&key);
-        let result = if self.is_local(owner) {
-            self.costs.l(1);
-            self.costs.w(1);
-            Ok(self.core.parts[&owner].insert(key, value).is_none())
-        } else {
-            self.costs.f();
-            self.costs.fu();
-            let ep = self.rank.world().config().ep_of(owner);
-            Ok(self.rank.invoke(ep, self.core.fn_base + FN_PUT, &(key, value))?)
-        };
-        #[cfg(feature = "history")]
-        if let (Some(r), Some(tok), Ok(newly)) = (self.recorder.as_ref(), tok, result.as_ref()) {
-            r.record_return(tok, crate::DsRet::Inserted(*newly));
-        }
+        let result = self.d.sync(&ops::PUT, owner, (key, value), |(k, v)| {
+            self.core.parts[&owner].insert(k, v).is_none()
+        });
+        hist_return!(self.d, tok, &result, |newly| crate::DsRet::Inserted(*newly));
         result
     }
 
@@ -197,71 +260,32 @@ where
     /// and may ride a batched message with neighbouring async ops.
     pub fn put_async(&self, key: K, value: V) -> HclResult<HclFuture<bool>> {
         let owner = self.owner_of(&key);
-        if self.is_local(owner) {
-            self.costs.l(1);
-            self.costs.w(1);
-            Ok(HclFuture::Ready(self.core.parts[&owner].insert(key, value).is_none()))
-        } else {
-            self.costs.f();
-            if self.rank.coalescing_enabled() {
-                self.costs.fb(1);
-            } else {
-                self.costs.fu();
-            }
-            let ep = self.rank.world().config().ep_of(owner);
-            Ok(HclFuture::Coalesced(
-                self.rank.invoke_coalesced(ep, self.core.fn_base + FN_PUT, &(key, value))?,
-            ))
-        }
+        self.d.dispatch_async(&ops::PUT, owner, (key, value), |(k, v)| {
+            self.core.parts[&owner].insert(k, v).is_none()
+        })
     }
 
     /// Look up (Table I: `F + L·log(N) + R`).
     pub fn get(&self, key: &K) -> HclResult<Option<V>> {
-        #[cfg(feature = "history")]
-        let tok = self
-            .recorder
-            .as_ref()
-            .map(|r| r.invoke(crate::DsOp::MapGet { key: crate::history_enc(key) }));
+        let tok = hist_invoke!(self.d, crate::DsOp::MapGet { key: crate::history_enc(key) });
         let owner = self.owner_of(key);
-        let result = if self.is_local(owner) {
-            self.costs.l(1);
-            self.costs.r(1);
-            Ok(self.core.parts[&owner].get(key))
-        } else {
-            self.costs.f();
-            self.costs.fu();
-            let ep = self.rank.world().config().ep_of(owner);
-            Ok(self.rank.invoke(ep, self.core.fn_base + FN_GET, key)?)
-        };
-        #[cfg(feature = "history")]
-        if let (Some(r), Some(tok), Ok(v)) = (self.recorder.as_ref(), tok, result.as_ref()) {
-            r.record_return(tok, crate::DsRet::Value(v.as_ref().map(crate::history_enc)));
-        }
+        let result =
+            self.d.sync_ref(&ops::GET, owner, key, || self.core.parts[&owner].get(key));
+        hist_return!(self.d, tok, &result, |v| crate::DsRet::Value(
+            v.as_ref().map(crate::history_enc)
+        ));
         result
     }
 
     /// Remove `key`.
     pub fn erase(&self, key: &K) -> HclResult<Option<V>> {
-        #[cfg(feature = "history")]
-        let tok = self
-            .recorder
-            .as_ref()
-            .map(|r| r.invoke(crate::DsOp::MapErase { key: crate::history_enc(key) }));
+        let tok = hist_invoke!(self.d, crate::DsOp::MapErase { key: crate::history_enc(key) });
         let owner = self.owner_of(key);
-        let result = if self.is_local(owner) {
-            self.costs.l(1);
-            self.costs.w(1);
-            Ok(self.core.parts[&owner].remove(key))
-        } else {
-            self.costs.f();
-            self.costs.fu();
-            let ep = self.rank.world().config().ep_of(owner);
-            Ok(self.rank.invoke(ep, self.core.fn_base + FN_ERASE, key)?)
-        };
-        #[cfg(feature = "history")]
-        if let (Some(r), Some(tok), Ok(v)) = (self.recorder.as_ref(), tok, result.as_ref()) {
-            r.record_return(tok, crate::DsRet::Value(v.as_ref().map(crate::history_enc)));
-        }
+        let result =
+            self.d.sync_ref(&ops::ERASE, owner, key, || self.core.parts[&owner].remove(key));
+        hist_return!(self.d, tok, &result, |v| crate::DsRet::Value(
+            v.as_ref().map(crate::history_enc)
+        ));
         result
     }
 
@@ -274,15 +298,9 @@ where
     pub fn len(&self) -> HclResult<u64> {
         let mut total = 0;
         for &owner in &self.core.servers {
-            if self.is_local(owner) {
-                total += self.core.parts[&owner].len() as u64;
-            } else {
-                self.costs.f();
-                self.costs.fu();
-                let ep = self.rank.world().config().ep_of(owner);
-                let n: u64 = self.rank.invoke(ep, self.core.fn_base + FN_LEN, &())?;
-                total += n;
-            }
+            total += self.d.sync_ref(&ops::LEN, owner, &(), || {
+                self.core.parts[&owner].len() as u64
+            })?;
         }
         Ok(total)
     }
@@ -296,14 +314,8 @@ where
     pub fn first(&self) -> HclResult<Option<(K, V)>> {
         let mut best: Option<(K, V)> = None;
         for &owner in &self.core.servers {
-            let cand: Option<(K, V)> = if self.is_local(owner) {
-                self.core.parts[&owner].first()
-            } else {
-                self.costs.f();
-                self.costs.fu();
-                let ep = self.rank.world().config().ep_of(owner);
-                self.rank.invoke(ep, self.core.fn_base + FN_FIRST, &())?
-            };
+            let cand: Option<(K, V)> =
+                self.d.sync_ref(&ops::FIRST, owner, &(), || self.core.parts[&owner].first())?;
             if let Some((k, v)) = cand {
                 if best.as_ref().is_none_or(|(bk, _)| k < *bk) {
                     best = Some((k, v));
@@ -315,16 +327,12 @@ where
 
     /// All entries with keys in `[lo, hi)`, globally sorted.
     pub fn range(&self, lo: &K, hi: &K) -> HclResult<Vec<(K, V)>> {
+        let args = (lo.clone(), hi.clone());
         let mut out = Vec::new();
         for &owner in &self.core.servers {
-            let part: Vec<(K, V)> = if self.is_local(owner) {
+            let part: Vec<(K, V)> = self.d.sync_ref(&ops::RANGE, owner, &args, || {
                 self.core.parts[&owner].range_snapshot(lo, hi)
-            } else {
-                self.costs.f();
-                self.costs.fu();
-                let ep = self.rank.world().config().ep_of(owner);
-                self.rank.invoke(ep, self.core.fn_base + FN_RANGE, &(lo.clone(), hi.clone()))?
-            };
+            })?;
             out.extend(part);
         }
         out.sort_by(|a, b| a.0.cmp(&b.0));
@@ -335,14 +343,9 @@ where
     pub fn snapshot_sorted(&self) -> HclResult<Vec<(K, V)>> {
         let mut out = Vec::new();
         for &owner in &self.core.servers {
-            let part: Vec<(K, V)> = if self.is_local(owner) {
+            let part: Vec<(K, V)> = self.d.sync_ref(&ops::SNAPSHOT, owner, &(), || {
                 self.core.parts[&owner].iter_snapshot()
-            } else {
-                self.costs.f();
-                self.costs.fu();
-                let ep = self.rank.world().config().ep_of(owner);
-                self.rank.invoke(ep, self.core.fn_base + FN_SNAPSHOT, &())?
-            };
+            })?;
             out.extend(part);
         }
         out.sort_by(|a, b| a.0.cmp(&b.0));
@@ -357,14 +360,7 @@ where
             .servers
             .get(partition_id)
             .ok_or(HclError::BadPartition(partition_id))?;
-        if self.is_local(owner) {
-            Ok(true)
-        } else {
-            self.costs.f();
-            self.costs.fu();
-            let ep = self.rank.world().config().ep_of(owner);
-            Ok(self.rank.invoke(ep, self.core.fn_base + FN_RESIZE, &(new_size as u64))?)
-        }
+        self.d.sync_ref(&ops::RESIZE, owner, &(new_size as u64), || true)
     }
 
     /// Persist a globally sorted snapshot of the whole map to `path`
@@ -392,7 +388,7 @@ where
 
     /// Client-side cost counters.
     pub fn costs(&self) -> CostSnapshot {
-        self.costs.snapshot()
+        self.d.costs()
     }
 }
 
@@ -456,6 +452,16 @@ where
     /// Every element, sorted.
     pub fn snapshot_sorted(&self) -> HclResult<Vec<K>> {
         Ok(self.inner.snapshot_sorted()?.into_iter().map(|(k, ())| k).collect())
+    }
+
+    /// Mark a partition-owner rank failed (see [`OrderedMap::mark_down`]).
+    pub fn mark_down(&self, owner_rank: u32) {
+        self.inner.mark_down(owner_rank);
+    }
+
+    /// Clear a failure mark set by [`OrderedSet::mark_down`].
+    pub fn mark_up(&self, owner_rank: u32) {
+        self.inner.mark_up(owner_rank);
     }
 
     /// Client-side cost counters.

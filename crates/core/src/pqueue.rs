@@ -9,6 +9,8 @@
 //! ordered O(log n) placement at local-memory speed on the owner — this is
 //! exactly what lets the ISx port keep data sorted "for free" while it
 //! arrives (§IV-D1).
+//!
+//! Every operation is one [`Dispatcher`] call against the table in [`ops`].
 
 use std::sync::Arc;
 
@@ -18,7 +20,8 @@ use hcl_fabric::EpId;
 use hcl_rpc::FnId;
 use hcl_runtime::Rank;
 
-use crate::cost::{CostCounters, CostSnapshot};
+use crate::cost::CostSnapshot;
+use crate::dispatch::{hist_invoke, hist_return, Dispatcher};
 use crate::queue::QueueConfig;
 use crate::{HclFuture, HclResult};
 
@@ -31,6 +34,76 @@ const FN_LEN: u32 = 5;
 const FN_PURGE: u32 = 6;
 const FN_SNAPSHOT: u32 = 7;
 const N_FNS: u32 = 8;
+
+/// Table I op descriptors for the priority queue.
+mod ops {
+    use crate::dispatch::{CostSig, OpClass, OpDescriptor};
+
+    pub const PUSH: OpDescriptor = OpDescriptor {
+        name: "pq.push",
+        class: OpClass::Write,
+        fn_off: super::FN_PUSH,
+        cost: CostSig::lrw(1, 0, 1),
+        idempotent: false,
+        degradable: true,
+    };
+    pub const POP: OpDescriptor = OpDescriptor {
+        name: "pq.pop",
+        class: OpClass::ReadWrite,
+        fn_off: super::FN_POP,
+        cost: CostSig::lrw(1, 1, 0),
+        idempotent: false,
+        degradable: true,
+    };
+    pub const PEEK: OpDescriptor = OpDescriptor {
+        name: "pq.peek",
+        class: OpClass::Read,
+        fn_off: super::FN_PEEK,
+        cost: CostSig::lrw(1, 1, 0),
+        idempotent: true,
+        degradable: true,
+    };
+    pub const PUSH_BULK: OpDescriptor = OpDescriptor {
+        name: "pq.push_bulk",
+        class: OpClass::Write,
+        fn_off: super::FN_PUSH_BULK,
+        cost: CostSig::write_scaled(1, 1),
+        idempotent: false,
+        degradable: true,
+    };
+    pub const POP_BULK: OpDescriptor = OpDescriptor {
+        name: "pq.pop_bulk",
+        class: OpClass::ReadWrite,
+        fn_off: super::FN_POP_BULK,
+        cost: CostSig::read_scaled(1, 1),
+        idempotent: false,
+        degradable: true,
+    };
+    pub const LEN: OpDescriptor = OpDescriptor {
+        name: "pq.len",
+        class: OpClass::Admin,
+        fn_off: super::FN_LEN,
+        cost: CostSig::ZERO,
+        idempotent: true,
+        degradable: true,
+    };
+    pub const PURGE: OpDescriptor = OpDescriptor {
+        name: "pq.purge",
+        class: OpClass::Admin,
+        fn_off: super::FN_PURGE,
+        cost: CostSig::ZERO,
+        idempotent: true,
+        degradable: true,
+    };
+    pub const SNAPSHOT: OpDescriptor = OpDescriptor {
+        name: "pq.snapshot",
+        class: OpClass::Admin,
+        fn_off: super::FN_SNAPSHOT,
+        cost: CostSig::ZERO,
+        idempotent: true,
+        degradable: true,
+    };
+}
 
 struct Core<T>
 where
@@ -48,10 +121,7 @@ where
     T: DataBox + Ord + Clone + Send + Sync + 'static,
 {
     core: Arc<Core<T>>,
-    rank: &'a Rank,
-    costs: CostCounters,
-    #[cfg(feature = "history")]
-    recorder: Option<crate::HistoryRecorder>,
+    d: Dispatcher<'a>,
 }
 
 impl<'a, T> PriorityQueue<'a, T>
@@ -95,13 +165,8 @@ where
             reg.bind_typed(fn_base + FN_SNAPSHOT, move |_: EpId, _, ()| q.iter_snapshot());
             Core { fn_base, owner: cfg.owner, pq, cfg }
         });
-        PriorityQueue {
-            core,
-            rank,
-            costs: CostCounters::default(),
-            #[cfg(feature = "history")]
-            recorder: None,
-        }
+        let d = Dispatcher::new(rank, "pq", core.fn_base, core.cfg.hybrid);
+        PriorityQueue { core, d }
     }
 
     /// Attach a shared history recorder: synchronous `push`/`pop` through
@@ -112,7 +177,7 @@ where
     /// (e.g. fixed-width strings).
     #[cfg(feature = "history")]
     pub fn set_recorder(&mut self, rec: crate::HistoryRecorder) {
-        self.recorder = Some(rec);
+        self.d.set_recorder(rec);
     }
 
     /// The hosting rank.
@@ -120,129 +185,73 @@ where
         self.core.owner
     }
 
-    fn is_local(&self) -> bool {
-        self.core.cfg.hybrid && self.rank.same_node(self.core.owner)
+    /// Mark the hosting rank failed: subsequent ops through this handle
+    /// degrade immediately with [`crate::HclError::OwnerDown`].
+    pub fn mark_down(&self, owner_rank: u32) {
+        self.d.mark_down(owner_rank);
     }
 
-    fn owner_ep(&self) -> EpId {
-        self.rank.world().config().ep_of(self.core.owner)
+    /// Clear a failure mark set by [`PriorityQueue::mark_down`].
+    pub fn mark_up(&self, owner_rank: u32) {
+        self.d.mark_up(owner_rank);
     }
 
     /// Push one element (Table I: `F + L·log(N) + W`).
     pub fn push(&self, value: T) -> HclResult<bool> {
-        #[cfg(feature = "history")]
-        let tok = self
-            .recorder
-            .as_ref()
-            .map(|r| r.invoke(crate::DsOp::PqPush { value: crate::history_enc(&value) }));
-        let result = if self.is_local() {
-            self.costs.l(1);
-            self.costs.w(1);
-            self.core.pq.push(value);
-            Ok(true)
-        } else {
-            self.costs.f();
-            self.costs.fu();
-            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_PUSH, &value)?)
-        };
-        #[cfg(feature = "history")]
-        if let (Some(r), Some(tok), Ok(acked)) = (self.recorder.as_ref(), tok, result.as_ref()) {
-            r.record_return(tok, crate::DsRet::Pushed(*acked));
-        }
+        let tok = hist_invoke!(
+            self.d,
+            crate::DsOp::PqPush { value: crate::history_enc(&value) }
+        );
+        let result = self.d.sync(&ops::PUSH, self.core.owner, value, |v| {
+            self.core.pq.push(v);
+            true
+        });
+        hist_return!(self.d, tok, &result, |acked| crate::DsRet::Pushed(*acked));
         result
     }
 
     /// Asynchronous push. Remote pushes stage on the rank's op coalescer
     /// and may ride a batched message with neighbouring async ops.
     pub fn push_async(&self, value: T) -> HclResult<HclFuture<bool>> {
-        if self.is_local() {
-            self.costs.l(1);
-            self.costs.w(1);
-            self.core.pq.push(value);
-            Ok(HclFuture::Ready(true))
-        } else {
-            self.costs.f();
-            if self.rank.coalescing_enabled() {
-                self.costs.fb(1);
-            } else {
-                self.costs.fu();
-            }
-            Ok(HclFuture::Coalesced(self.rank.invoke_coalesced(
-                self.owner_ep(),
-                self.core.fn_base + FN_PUSH,
-                &value,
-            )?))
-        }
+        self.d.dispatch_async(&ops::PUSH, self.core.owner, value, |v| {
+            self.core.pq.push(v);
+            true
+        })
     }
 
     /// Pop the minimum element (Table I: `F + L + R`).
     pub fn pop(&self) -> HclResult<Option<T>> {
-        #[cfg(feature = "history")]
-        let tok = self.recorder.as_ref().map(|r| r.invoke(crate::DsOp::PqPop));
-        let result = if self.is_local() {
-            self.costs.l(1);
-            self.costs.r(1);
-            Ok(self.core.pq.pop())
-        } else {
-            self.costs.f();
-            self.costs.fu();
-            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_POP, &())?)
-        };
-        #[cfg(feature = "history")]
-        if let (Some(r), Some(tok), Ok(v)) = (self.recorder.as_ref(), tok, result.as_ref()) {
-            r.record_return(tok, crate::DsRet::Popped(v.as_ref().map(crate::history_enc)));
-        }
+        let tok = hist_invoke!(self.d, crate::DsOp::PqPop);
+        let result = self.d.sync_ref(&ops::POP, self.core.owner, &(), || self.core.pq.pop());
+        hist_return!(self.d, tok, &result, |v| crate::DsRet::Popped(
+            v.as_ref().map(crate::history_enc)
+        ));
         result
     }
 
     /// Clone of the minimum without removing it.
     pub fn peek(&self) -> HclResult<Option<T>> {
-        if self.is_local() {
-            self.costs.l(1);
-            self.costs.r(1);
-            Ok(self.core.pq.peek())
-        } else {
-            self.costs.f();
-            self.costs.fu();
-            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_PEEK, &())?)
-        }
+        self.d.sync_ref(&ops::PEEK, self.core.owner, &(), || self.core.pq.peek())
     }
 
     /// Bulk push (Table I: `F + L·log(N) + E·W`).
     pub fn push_bulk(&self, values: Vec<T>) -> HclResult<u64> {
-        if self.is_local() {
-            self.costs.l(1);
-            self.costs.w(values.len() as u64);
-            Ok(self.core.pq.push_bulk(values) as u64)
-        } else {
-            self.costs.f();
-            self.costs.fb(1);
-            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_PUSH_BULK, &values)?)
-        }
+        let n = values.len() as u64;
+        self.d.sync_scaled(&ops::PUSH_BULK, self.core.owner, n, values, |vs| {
+            self.core.pq.push_bulk(vs) as u64
+        })
     }
 
     /// Bulk pop of up to `max` elements, in priority order.
     pub fn pop_bulk(&self, max: u64) -> HclResult<Vec<T>> {
-        if self.is_local() {
-            self.costs.l(1);
-            self.costs.r(max);
-            Ok(self.core.pq.pop_bulk(max as usize))
-        } else {
-            self.costs.f();
-            self.costs.fb(1);
-            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_POP_BULK, &max)?)
-        }
+        self.d.sync_scaled(&ops::POP_BULK, self.core.owner, max, max, |m| {
+            self.core.pq.pop_bulk(m as usize)
+        })
     }
 
     /// Live elements (approximate under concurrency).
     pub fn len(&self) -> HclResult<u64> {
-        if self.is_local() {
-            Ok(self.core.pq.len() as u64)
-        } else {
-            self.costs.f();
-            self.costs.fu();
-            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_LEN, &())?)
-        }
+        self.d.sync_ref(&ops::LEN, self.core.owner, &(), || self.core.pq.len() as u64)
     }
 
     /// True when empty.
@@ -253,24 +262,12 @@ where
     /// Run one physical-unlink pass over logically deleted nodes (the
     /// paper's background purge, on demand).
     pub fn purge(&self) -> HclResult<u64> {
-        if self.is_local() {
-            Ok(self.core.pq.purge() as u64)
-        } else {
-            self.costs.f();
-            self.costs.fu();
-            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_PURGE, &())?)
-        }
+        self.d.sync_ref(&ops::PURGE, self.core.owner, &(), || self.core.pq.purge() as u64)
     }
 
     /// Clone out the live elements in priority order without popping.
     pub fn snapshot(&self) -> HclResult<Vec<T>> {
-        if self.is_local() {
-            Ok(self.core.pq.iter_snapshot())
-        } else {
-            self.costs.f();
-            self.costs.fu();
-            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_SNAPSHOT, &())?)
-        }
+        self.d.sync_ref(&ops::SNAPSHOT, self.core.owner, &(), || self.core.pq.iter_snapshot())
     }
 
     /// Persist the current contents to `path` (§III-C6).
@@ -292,6 +289,6 @@ where
 
     /// Client-side cost counters.
     pub fn costs(&self) -> CostSnapshot {
-        self.costs.snapshot()
+        self.d.costs()
     }
 }

@@ -6,6 +6,11 @@
 //! dynamically (our lock-free MS queue is unbounded, so the paper's
 //! stall-pushes-during-migration resize protocol is satisfied without
 //! stalls).
+//!
+//! Every operation is one [`Dispatcher`] call against the table in [`ops`]:
+//! the engine owns locality, issue, degradation and cost accounting; this
+//! module owns only the descriptor table, the server-side handler bindings,
+//! and the data shaping.
 
 use std::sync::Arc;
 
@@ -15,7 +20,8 @@ use hcl_fabric::EpId;
 use hcl_rpc::FnId;
 use hcl_runtime::Rank;
 
-use crate::cost::{CostCounters, CostSnapshot};
+use crate::cost::CostSnapshot;
+use crate::dispatch::{hist_invoke, hist_return, Dispatcher};
 use crate::{HclFuture, HclResult};
 
 const FN_PUSH: u32 = 0;
@@ -25,6 +31,60 @@ const FN_POP_BULK: u32 = 3;
 const FN_LEN: u32 = 4;
 const FN_SNAPSHOT: u32 = 5;
 const N_FNS: u32 = 6;
+
+/// Table I op descriptors for the queue.
+mod ops {
+    use crate::dispatch::{CostSig, OpClass, OpDescriptor};
+
+    pub const PUSH: OpDescriptor = OpDescriptor {
+        name: "queue.push",
+        class: OpClass::Write,
+        fn_off: super::FN_PUSH,
+        cost: CostSig::lrw(1, 0, 1),
+        idempotent: false,
+        degradable: true,
+    };
+    pub const POP: OpDescriptor = OpDescriptor {
+        name: "queue.pop",
+        class: OpClass::ReadWrite,
+        fn_off: super::FN_POP,
+        cost: CostSig::lrw(1, 1, 0),
+        idempotent: false,
+        degradable: true,
+    };
+    pub const PUSH_BULK: OpDescriptor = OpDescriptor {
+        name: "queue.push_bulk",
+        class: OpClass::Write,
+        fn_off: super::FN_PUSH_BULK,
+        cost: CostSig::write_scaled(1, 1),
+        idempotent: false,
+        degradable: true,
+    };
+    pub const POP_BULK: OpDescriptor = OpDescriptor {
+        name: "queue.pop_bulk",
+        class: OpClass::ReadWrite,
+        fn_off: super::FN_POP_BULK,
+        cost: CostSig::read_scaled(1, 1),
+        idempotent: false,
+        degradable: true,
+    };
+    pub const LEN: OpDescriptor = OpDescriptor {
+        name: "queue.len",
+        class: OpClass::Admin,
+        fn_off: super::FN_LEN,
+        cost: CostSig::ZERO,
+        idempotent: true,
+        degradable: true,
+    };
+    pub const SNAPSHOT: OpDescriptor = OpDescriptor {
+        name: "queue.snapshot",
+        class: OpClass::Admin,
+        fn_off: super::FN_SNAPSHOT,
+        cost: CostSig::ZERO,
+        idempotent: true,
+        degradable: true,
+    };
+}
 
 /// Configuration for [`Queue`].
 #[derive(Debug, Clone, Copy)]
@@ -57,10 +117,7 @@ where
     T: DataBox + Clone + Send + Sync + 'static,
 {
     core: Arc<Core<T>>,
-    rank: &'a Rank,
-    costs: CostCounters,
-    #[cfg(feature = "history")]
-    recorder: Option<crate::HistoryRecorder>,
+    d: Dispatcher<'a>,
 }
 
 impl<'a, T> Queue<'a, T>
@@ -101,13 +158,8 @@ where
             reg.bind_typed(fn_base + FN_SNAPSHOT, move |_: EpId, _, ()| q2.iter_snapshot());
             Core { fn_base, owner, q, cfg }
         });
-        Queue {
-            core,
-            rank,
-            costs: CostCounters::default(),
-            #[cfg(feature = "history")]
-            recorder: None,
-        }
+        let d = Dispatcher::new(rank, "queue", core.fn_base, core.cfg.hybrid);
+        Queue { core, d }
     }
 
     /// Attach a shared history recorder: synchronous `push`/`pop` through
@@ -116,7 +168,7 @@ where
     /// variants are not recorded.
     #[cfg(feature = "history")]
     pub fn set_recorder(&mut self, rec: crate::HistoryRecorder) {
-        self.recorder = Some(rec);
+        self.d.set_recorder(rec);
     }
 
     /// The hosting rank.
@@ -124,117 +176,70 @@ where
         self.core.owner
     }
 
-    fn is_local(&self) -> bool {
-        self.core.cfg.hybrid && self.rank.same_node(self.core.owner)
+    /// Mark the hosting rank failed: subsequent ops through this handle
+    /// degrade immediately with [`crate::HclError::OwnerDown`] instead of
+    /// issuing RPCs that cannot be served.
+    pub fn mark_down(&self, owner_rank: u32) {
+        self.d.mark_down(owner_rank);
     }
 
-    fn owner_ep(&self) -> EpId {
-        self.rank.world().config().ep_of(self.core.owner)
+    /// Clear a failure mark set by [`Queue::mark_down`].
+    pub fn mark_up(&self, owner_rank: u32) {
+        self.d.mark_up(owner_rank);
     }
 
     /// Push one element (Table I: `F + L + W`).
     pub fn push(&self, value: T) -> HclResult<bool> {
-        #[cfg(feature = "history")]
-        let tok = self
-            .recorder
-            .as_ref()
-            .map(|r| r.invoke(crate::DsOp::QueuePush { value: crate::history_enc(&value) }));
-        let result = if self.is_local() {
-            self.costs.l(1);
-            self.costs.w(1);
-            self.core.q.push(value);
-            Ok(true)
-        } else {
-            self.costs.f();
-            self.costs.fu();
-            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_PUSH, &value)?)
-        };
-        #[cfg(feature = "history")]
-        if let (Some(r), Some(tok), Ok(acked)) = (self.recorder.as_ref(), tok, result.as_ref()) {
-            r.record_return(tok, crate::DsRet::Pushed(*acked));
-        }
+        let tok = hist_invoke!(
+            self.d,
+            crate::DsOp::QueuePush { value: crate::history_enc(&value) }
+        );
+        let result = self.d.sync(&ops::PUSH, self.core.owner, value, |v| {
+            self.core.q.push(v);
+            true
+        });
+        hist_return!(self.d, tok, &result, |acked| crate::DsRet::Pushed(*acked));
         result
     }
 
     /// Asynchronous push. Remote pushes stage on the rank's op coalescer
     /// and may ride a batched message with neighbouring async ops.
     pub fn push_async(&self, value: T) -> HclResult<HclFuture<bool>> {
-        if self.is_local() {
-            self.costs.l(1);
-            self.costs.w(1);
-            self.core.q.push(value);
-            Ok(HclFuture::Ready(true))
-        } else {
-            self.costs.f();
-            if self.rank.coalescing_enabled() {
-                self.costs.fb(1);
-            } else {
-                self.costs.fu();
-            }
-            Ok(HclFuture::Coalesced(self.rank.invoke_coalesced(
-                self.owner_ep(),
-                self.core.fn_base + FN_PUSH,
-                &value,
-            )?))
-        }
+        self.d.dispatch_async(&ops::PUSH, self.core.owner, value, |v| {
+            self.core.q.push(v);
+            true
+        })
     }
 
     /// Pop one element (Table I: `F + L + R`).
     pub fn pop(&self) -> HclResult<Option<T>> {
-        #[cfg(feature = "history")]
-        let tok = self.recorder.as_ref().map(|r| r.invoke(crate::DsOp::QueuePop));
-        let result = if self.is_local() {
-            self.costs.l(1);
-            self.costs.r(1);
-            Ok(self.core.q.pop())
-        } else {
-            self.costs.f();
-            self.costs.fu();
-            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_POP, &())?)
-        };
-        #[cfg(feature = "history")]
-        if let (Some(r), Some(tok), Ok(v)) = (self.recorder.as_ref(), tok, result.as_ref()) {
-            r.record_return(tok, crate::DsRet::Popped(v.as_ref().map(crate::history_enc)));
-        }
+        let tok = hist_invoke!(self.d, crate::DsOp::QueuePop);
+        let result = self.d.sync_ref(&ops::POP, self.core.owner, &(), || self.core.q.pop());
+        hist_return!(self.d, tok, &result, |v| crate::DsRet::Popped(
+            v.as_ref().map(crate::history_enc)
+        ));
         result
     }
 
     /// Bulk push (Table I: `F + L + E·W`): one invocation carries `E`
     /// elements.
     pub fn push_bulk(&self, values: Vec<T>) -> HclResult<u64> {
-        if self.is_local() {
-            self.costs.l(1);
-            self.costs.w(values.len() as u64);
-            Ok(self.core.q.push_bulk(values) as u64)
-        } else {
-            self.costs.f();
-            self.costs.fb(1);
-            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_PUSH_BULK, &values)?)
-        }
+        let n = values.len() as u64;
+        self.d.sync_scaled(&ops::PUSH_BULK, self.core.owner, n, values, |vs| {
+            self.core.q.push_bulk(vs) as u64
+        })
     }
 
     /// Bulk pop of up to `max` elements (Table I: `F + L + E·R`).
     pub fn pop_bulk(&self, max: u64) -> HclResult<Vec<T>> {
-        if self.is_local() {
-            self.costs.l(1);
-            self.costs.r(max);
-            Ok(self.core.q.pop_bulk(max as usize))
-        } else {
-            self.costs.f();
-            self.costs.fb(1);
-            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_POP_BULK, &max)?)
-        }
+        self.d.sync_scaled(&ops::POP_BULK, self.core.owner, max, max, |m| {
+            self.core.q.pop_bulk(m as usize)
+        })
     }
 
     /// Elements currently queued (approximate under concurrency).
     pub fn len(&self) -> HclResult<u64> {
-        if self.is_local() {
-            Ok(self.core.q.len() as u64)
-        } else {
-            self.costs.f();
-            self.costs.fu();
-            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_LEN, &())?)
-        }
+        self.d.sync_ref(&ops::LEN, self.core.owner, &(), || self.core.q.len() as u64)
     }
 
     /// True when the queue appears empty.
@@ -244,13 +249,7 @@ where
 
     /// Clone out the queued elements front-to-back without consuming them.
     pub fn snapshot(&self) -> HclResult<Vec<T>> {
-        if self.is_local() {
-            Ok(self.core.q.iter_snapshot())
-        } else {
-            self.costs.f();
-            self.costs.fu();
-            Ok(self.rank.invoke(self.owner_ep(), self.core.fn_base + FN_SNAPSHOT, &())?)
-        }
+        self.d.sync_ref(&ops::SNAPSHOT, self.core.owner, &(), || self.core.q.iter_snapshot())
     }
 
     /// Persist the current contents to `path` as a DataBox-encoded snapshot
@@ -274,6 +273,6 @@ where
 
     /// Client-side cost counters.
     pub fn costs(&self) -> CostSnapshot {
-        self.costs.snapshot()
+        self.d.costs()
     }
 }

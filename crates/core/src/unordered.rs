@@ -14,25 +14,25 @@
 //! * otherwise one RPC (`F`) carries the whole operation to the owner, where
 //!   all bucket work happens at local-memory speed.
 //!
-//! Also here: per-partition resize (`resize(partition_id, new_size)`),
-//! asynchronous variants, durability via per-partition op logs, and
-//! asynchronous server-side replication (§III-A4: "Replication occurs
-//! asynchronously at the server side, where the target process will further
-//! hash an operation to more servers").
+//! Every client-side operation is one [`Dispatcher`] call against the table
+//! in [`ops`]. Also here: per-partition resize
+//! (`resize(partition_id, new_size)`), asynchronous variants, durability via
+//! per-partition op logs, and asynchronous server-side replication (§III-A4:
+//! "Replication occurs asynchronously at the server side, where the target
+//! process will further hash an operation to more servers").
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::Arc;
 
 use hcl_containers::CuckooMap;
 use hcl_databox::DataBox;
 use hcl_fabric::EpId;
-use hcl_rpc::client::{RawFuture, RpcClient};
 use hcl_rpc::FnId;
 use hcl_runtime::{Rank, WorldShared};
-use parking_lot::{Mutex, RwLock};
 
 use crate::cost::{CostCounters, CostSnapshot};
+use crate::dispatch::{hist_invoke, hist_return, BulkReply, Dispatcher, ReplForwarder};
 use crate::persist::{OpLog, PersistConfig};
 use crate::{default_servers, HclError, HclFuture, HclResult};
 
@@ -48,6 +48,86 @@ const FN_REPL_GET: u32 = 8;
 const FN_REPL_FLUSH: u32 = 9;
 const FN_MERGE: u32 = 10;
 const N_FNS: u32 = 11;
+
+/// Table I op descriptors for the unordered map. Replica ops are
+/// non-degradable: they are the failover path, so they must still reach
+/// hosts that back marked-down owners.
+mod ops {
+    use crate::dispatch::{CostSig, OpClass, OpDescriptor};
+
+    pub const PUT: OpDescriptor = OpDescriptor {
+        name: "umap.put",
+        class: OpClass::Write,
+        fn_off: super::FN_PUT,
+        cost: CostSig::lrw(1, 0, 1),
+        idempotent: false,
+        degradable: true,
+    };
+    pub const GET: OpDescriptor = OpDescriptor {
+        name: "umap.get",
+        class: OpClass::Read,
+        fn_off: super::FN_GET,
+        cost: CostSig::lrw(1, 1, 0),
+        idempotent: true,
+        degradable: true,
+    };
+    pub const ERASE: OpDescriptor = OpDescriptor {
+        name: "umap.erase",
+        class: OpClass::Write,
+        fn_off: super::FN_ERASE,
+        cost: CostSig::lrw(1, 0, 1),
+        idempotent: false,
+        degradable: true,
+    };
+    pub const MERGE: OpDescriptor = OpDescriptor {
+        name: "umap.put_merge",
+        class: OpClass::ReadWrite,
+        fn_off: super::FN_MERGE,
+        cost: CostSig::lrw(1, 1, 1),
+        idempotent: false,
+        degradable: true,
+    };
+    pub const LEN: OpDescriptor = OpDescriptor {
+        name: "umap.len",
+        class: OpClass::Admin,
+        fn_off: super::FN_LEN,
+        cost: CostSig::ZERO,
+        idempotent: true,
+        degradable: true,
+    };
+    pub const RESIZE: OpDescriptor = OpDescriptor {
+        name: "umap.resize",
+        class: OpClass::Admin,
+        fn_off: super::FN_RESIZE,
+        cost: CostSig::ZERO,
+        idempotent: true,
+        degradable: true,
+    };
+    pub const SNAPSHOT: OpDescriptor = OpDescriptor {
+        name: "umap.snapshot",
+        class: OpClass::Admin,
+        fn_off: super::FN_SNAPSHOT,
+        cost: CostSig::ZERO,
+        idempotent: true,
+        degradable: true,
+    };
+    pub const REPL_GET: OpDescriptor = OpDescriptor {
+        name: "umap.repl_get",
+        class: OpClass::Read,
+        fn_off: super::FN_REPL_GET,
+        cost: CostSig::ZERO,
+        idempotent: true,
+        degradable: false,
+    };
+    pub const REPL_FLUSH: OpDescriptor = OpDescriptor {
+        name: "umap.repl_flush",
+        class: OpClass::Admin,
+        fn_off: super::FN_REPL_FLUSH,
+        cost: CostSig::ZERO,
+        idempotent: true,
+        degradable: false,
+    };
+}
 
 /// Op-log record: `(tag, key, value)`; tag 0 = put, 1 = erase.
 type LogRec<K, V> = (u8, K, Option<V>);
@@ -100,9 +180,7 @@ where
     replica: CuckooMap<K, V>,
     log: Option<OpLog<LogRec<K, V>>>,
     merger: Option<Merger<V>>,
-    /// Outstanding asynchronous replication futures.
-    repl_outstanding: Mutex<Vec<RawFuture>>,
-    repl_client: std::sync::OnceLock<RpcClient>,
+    repl: ReplForwarder,
     world: Arc<WorldShared>,
     fn_base: FnId,
     servers: Vec<u32>,
@@ -163,41 +241,21 @@ where
     }
 
     /// Forward a mutation asynchronously to the next `replicas` partitions —
-    /// the server-side re-hash of §III-A4. The invocation futures are kept
-    /// so `flush_replication` can await them.
+    /// the server-side re-hash of §III-A4, carried out by the engine's
+    /// [`ReplForwarder`].
     fn replicate(&self, fn_off: u32, args: (K, Option<V>)) {
-        let nparts = self.servers.len();
-        if nparts <= 1 {
-            return;
-        }
-        let client = self.repl_client.get_or_init(|| {
-            let cfg = self.world.config();
-            // Replication clients use ranks past the world: the servers'
-            // slot tables reserve room for them.
-            let ep = EpId {
-                node: self.servers[self.index] / cfg.ranks_per_node,
-                rank: cfg.world_size() + self.index as u32,
-            };
-            RpcClient::new(ep, Arc::clone(self.world.fabric()), cfg.slot_cap)
-        });
-        let encoded = args.to_bytes();
-        let mut outstanding = self.repl_outstanding.lock();
-        // Opportunistically drop already-completed futures.
-        outstanding.retain(|f| !f.is_ready());
-        for i in 1..=self.replicas.min(nparts - 1) {
-            let target = self.servers[(self.index + i) % nparts];
-            let target_ep = self.world.config().ep_of(target);
-            if let Ok(f) = client.invoke_raw(target_ep, self.fn_base + fn_off, &encoded) {
-                outstanding.push(f);
-            }
-        }
+        self.repl.forward(
+            &self.world,
+            self.index,
+            &self.servers,
+            self.replicas,
+            self.fn_base + fn_off,
+            &args.to_bytes(),
+        );
     }
 
     fn flush_replication(&self) {
-        let futures: Vec<RawFuture> = std::mem::take(&mut *self.repl_outstanding.lock());
-        for f in futures {
-            let _ = f.wait();
-        }
+        self.repl.flush();
     }
 }
 
@@ -287,11 +345,7 @@ where
     V: DataBox + Clone + Send + Sync + 'static,
 {
     core: Arc<Core<K, V>>,
-    rank: &'a Rank,
-    costs: CostCounters,
-    downed: RwLock<HashSet<u32>>,
-    #[cfg(feature = "history")]
-    recorder: Option<crate::HistoryRecorder>,
+    d: Dispatcher<'a>,
 }
 
 impl<'a, K, V> UnorderedMap<'a, K, V>
@@ -358,8 +412,7 @@ where
                         replica: CuckooMap::with_buckets(cfg2.initial_buckets),
                         log,
                         merger: merger.clone(),
-                        repl_outstanding: Mutex::new(Vec::new()),
-                        repl_client: std::sync::OnceLock::new(),
+                        repl: ReplForwarder::new(),
                         world: Arc::clone(&world),
                         fn_base,
                         servers: servers.clone(),
@@ -371,14 +424,8 @@ where
             bind_handlers(&world, fn_base, &parts);
             Core { fn_base, servers, parts, cfg: cfg2 }
         });
-        UnorderedMap {
-            core,
-            rank,
-            costs: CostCounters::default(),
-            downed: RwLock::new(HashSet::new()),
-            #[cfg(feature = "history")]
-            recorder: None,
-        }
+        let d = Dispatcher::new(rank, "umap", core.fn_base, core.cfg.hybrid);
+        UnorderedMap { core, d }
     }
 
     /// Attach a shared history recorder: every synchronous `put`/`get`/
@@ -388,12 +435,12 @@ where
     /// the log.
     #[cfg(feature = "history")]
     pub fn set_recorder(&mut self, rec: crate::HistoryRecorder) {
-        self.recorder = Some(rec);
+        self.d.set_recorder(rec);
     }
 
     /// First-level hash: which partition owns `key`.
     pub fn partition_of(&self, key: &K) -> usize {
-        (crate::stable_hash(key) as usize) % self.core.servers.len()
+        self.d.partition_for(key, self.core.servers.len())
     }
 
     /// Number of partitions.
@@ -410,36 +457,22 @@ where
         self.core.servers[self.partition_of(key)]
     }
 
-    fn is_local(&self, owner: u32) -> bool {
-        self.core.cfg.hybrid && self.rank.same_node(owner)
-    }
-
     /// Insert `key -> value`; returns `true` when the key was newly
     /// inserted (`false` = overwrite). One remote invocation worst case
     /// (Table I: `F + L + W`).
     pub fn put(&self, key: K, value: V) -> HclResult<bool> {
-        #[cfg(feature = "history")]
-        let tok = self.recorder.as_ref().map(|r| {
-            r.invoke(crate::DsOp::MapPut {
+        let tok = hist_invoke!(
+            self.d,
+            crate::DsOp::MapPut {
                 key: crate::history_enc(&key),
                 value: crate::history_enc(&value),
-            })
-        });
+            }
+        );
         let owner = self.owner_of(&key);
-        let result = if self.is_local(owner) {
-            self.costs.l(1);
-            self.costs.w(1);
-            Ok(self.core.parts[&owner].apply_put(key, value))
-        } else {
-            self.costs.f();
-            self.costs.fu();
-            let ep = self.rank.world().config().ep_of(owner);
-            Ok(self.rank.invoke(ep, self.core.fn_base + FN_PUT, &(key, value))?)
-        };
-        #[cfg(feature = "history")]
-        if let (Some(r), Some(tok), Ok(newly)) = (self.recorder.as_ref(), tok, result.as_ref()) {
-            r.record_return(tok, crate::DsRet::Inserted(*newly));
-        }
+        let result = self.d.sync(&ops::PUT, owner, (key, value), |(k, v)| {
+            self.core.parts[&owner].apply_put(k, v)
+        });
+        hist_return!(self.d, tok, &result, |newly| crate::DsRet::Inserted(*newly));
         result
     }
 
@@ -448,72 +481,34 @@ where
     /// to the same partition (§III-B request aggregation).
     pub fn put_async(&self, key: K, value: V) -> HclResult<HclFuture<bool>> {
         let owner = self.owner_of(&key);
-        if self.is_local(owner) {
-            self.costs.l(1);
-            self.costs.w(1);
-            Ok(HclFuture::Ready(self.core.parts[&owner].apply_put(key, value)))
-        } else {
-            self.costs.f();
-            if self.rank.coalescing_enabled() {
-                self.costs.fb(1);
-            } else {
-                self.costs.fu();
-            }
-            let ep = self.rank.world().config().ep_of(owner);
-            Ok(HclFuture::Coalesced(
-                self.rank.invoke_coalesced(ep, self.core.fn_base + FN_PUT, &(key, value))?,
-            ))
-        }
+        self.d.dispatch_async(&ops::PUT, owner, (key, value), |(k, v)| {
+            self.core.parts[&owner].apply_put(k, v)
+        })
     }
 
     /// Look up `key` (Table I: `F + L + R`). Falls back to a replica when
     /// the owner has been marked down.
     pub fn get(&self, key: &K) -> HclResult<Option<V>> {
-        #[cfg(feature = "history")]
-        let tok = self
-            .recorder
-            .as_ref()
-            .map(|r| r.invoke(crate::DsOp::MapGet { key: crate::history_enc(key) }));
+        let tok = hist_invoke!(self.d, crate::DsOp::MapGet { key: crate::history_enc(key) });
         let p = self.partition_of(key);
         let owner = self.core.servers[p];
-        let result = if self.downed.read().contains(&owner) {
+        let result = if self.d.is_down(owner) {
             self.get_from_replica(p, key)
-        } else if self.is_local(owner) {
-            self.costs.l(1);
-            self.costs.r(1);
-            Ok(self.core.parts[&owner].apply_get(key))
         } else {
-            self.costs.f();
-            self.costs.fu();
-            let ep = self.rank.world().config().ep_of(owner);
-            Ok(self.rank.invoke(ep, self.core.fn_base + FN_GET, key)?)
+            self.d.sync_ref(&ops::GET, owner, key, || self.core.parts[&owner].apply_get(key))
         };
-        #[cfg(feature = "history")]
-        if let (Some(r), Some(tok), Ok(v)) = (self.recorder.as_ref(), tok, result.as_ref()) {
-            r.record_return(tok, crate::DsRet::Value(v.as_ref().map(crate::history_enc)));
-        }
+        hist_return!(self.d, tok, &result, |v| crate::DsRet::Value(
+            v.as_ref().map(crate::history_enc)
+        ));
         result
     }
 
     /// Asynchronous lookup; remote lookups stage on the op coalescer.
     pub fn get_async(&self, key: &K) -> HclResult<HclFuture<Option<V>>> {
         let owner = self.owner_of(key);
-        if self.is_local(owner) {
-            self.costs.l(1);
-            self.costs.r(1);
-            Ok(HclFuture::Ready(self.core.parts[&owner].apply_get(key)))
-        } else {
-            self.costs.f();
-            if self.rank.coalescing_enabled() {
-                self.costs.fb(1);
-            } else {
-                self.costs.fu();
-            }
-            let ep = self.rank.world().config().ep_of(owner);
-            Ok(HclFuture::Coalesced(
-                self.rank.invoke_coalesced(ep, self.core.fn_base + FN_GET, key)?,
-            ))
-        }
+        self.d.dispatch_async_ref(&ops::GET, owner, key, || {
+            self.core.parts[&owner].apply_get(key)
+        })
     }
 
     /// Atomically merge `value` into the entry for `key` using the
@@ -523,40 +518,18 @@ where
     /// retry loop.
     pub fn put_merge(&self, key: K, value: V) -> HclResult<V> {
         let owner = self.owner_of(&key);
-        if self.is_local(owner) {
-            self.costs.l(1);
-            self.costs.r(1);
-            self.costs.w(1);
-            Ok(self.core.parts[&owner].apply_merge(key, value))
-        } else {
-            self.costs.f();
-            self.costs.fu();
-            let ep = self.rank.world().config().ep_of(owner);
-            Ok(self.rank.invoke(ep, self.core.fn_base + FN_MERGE, &(key, value))?)
-        }
+        self.d.sync(&ops::MERGE, owner, (key, value), |(k, v)| {
+            self.core.parts[&owner].apply_merge(k, v)
+        })
     }
 
     /// Asynchronous [`UnorderedMap::put_merge`]; remote merges stage on the
     /// op coalescer.
     pub fn put_merge_async(&self, key: K, value: V) -> HclResult<HclFuture<V>> {
         let owner = self.owner_of(&key);
-        if self.is_local(owner) {
-            self.costs.l(1);
-            self.costs.r(1);
-            self.costs.w(1);
-            Ok(HclFuture::Ready(self.core.parts[&owner].apply_merge(key, value)))
-        } else {
-            self.costs.f();
-            if self.rank.coalescing_enabled() {
-                self.costs.fb(1);
-            } else {
-                self.costs.fu();
-            }
-            let ep = self.rank.world().config().ep_of(owner);
-            Ok(HclFuture::Coalesced(
-                self.rank.invoke_coalesced(ep, self.core.fn_base + FN_MERGE, &(key, value))?,
-            ))
-        }
+        self.d.dispatch_async(&ops::MERGE, owner, (key, value), |(k, v)| {
+            self.core.parts[&owner].apply_merge(k, v)
+        })
     }
 
     /// Insert many entries with **request aggregation** (§III-B): entries
@@ -571,41 +544,20 @@ where
             by_owner.entry(self.owner_of(&k)).or_default().push((k, v));
         }
         let mut new_keys = 0u64;
-        let mut futures = Vec::new();
+        let mut pending = Vec::new();
         for (owner, group) in by_owner {
-            if self.is_local(owner) {
-                for (k, v) in group {
-                    self.costs.l(1);
-                    self.costs.w(1);
-                    if self.core.parts[&owner].apply_put(k, v) {
-                        new_keys += 1;
-                    }
+            let reply = self.d.bulk(&ops::PUT, owner, group, |(k, v)| {
+                self.core.parts[&owner].apply_put(k, v)
+            })?;
+            match reply {
+                BulkReply::Ready(results) => {
+                    new_keys += results.into_iter().filter(|b| *b).count() as u64;
                 }
-            } else {
-                // One aggregated request for the whole group: args packed
-                // back-to-back into one arena, sent as borrowed slices.
-                self.costs.f();
-                self.costs.fb(group.len() as u64);
-                let fn_id = self.core.fn_base + FN_PUT;
-                let mut arena = Vec::new();
-                let mut ends = Vec::with_capacity(group.len());
-                for kv in &group {
-                    kv.pack(&mut arena);
-                    ends.push(arena.len());
-                }
-                let ep = self.rank.world().config().ep_of(owner);
-                // Flush staged async ops first so the explicit batch keeps
-                // per-destination program order.
-                self.rank.coalescer().flush(ep);
-                let calls = (0..ends.len()).map(|i| {
-                    let start = if i == 0 { 0 } else { ends[i - 1] };
-                    (fn_id, &arena[start..ends[i]])
-                });
-                futures.push(self.rank.client().invoke_batch_slices(ep, calls)?);
+                pending_reply => pending.push(pending_reply),
             }
         }
-        for f in futures {
-            let results: Vec<bool> = f.wait_typed().map_err(crate::HclError::from)?;
+        for reply in pending {
+            let results: Vec<bool> = reply.wait()?;
             new_keys += results.into_iter().filter(|b| *b).count() as u64;
         }
         Ok(new_keys)
@@ -622,33 +574,21 @@ where
         let mut out: Vec<Option<V>> = (0..keys.len()).map(|_| None).collect();
         let mut pending = Vec::new();
         for (owner, idxs) in by_owner {
-            if self.is_local(owner) {
-                for i in idxs {
-                    self.costs.l(1);
-                    self.costs.r(1);
-                    out[i] = self.core.parts[&owner].apply_get(&keys[i]);
+            let refs: Vec<&K> = idxs.iter().map(|&i| &keys[i]).collect();
+            let reply = self.d.bulk_ref(&ops::GET, owner, &refs, |k| {
+                self.core.parts[&owner].apply_get(k)
+            })?;
+            match reply {
+                BulkReply::Ready(results) => {
+                    for (i, r) in idxs.into_iter().zip(results) {
+                        out[i] = r;
+                    }
                 }
-            } else {
-                self.costs.f();
-                self.costs.fb(idxs.len() as u64);
-                let fn_id = self.core.fn_base + FN_GET;
-                let mut arena = Vec::new();
-                let mut ends = Vec::with_capacity(idxs.len());
-                for &i in &idxs {
-                    keys[i].pack(&mut arena);
-                    ends.push(arena.len());
-                }
-                let ep = self.rank.world().config().ep_of(owner);
-                self.rank.coalescer().flush(ep);
-                let calls = (0..ends.len()).map(|i| {
-                    let start = if i == 0 { 0 } else { ends[i - 1] };
-                    (fn_id, &arena[start..ends[i]])
-                });
-                pending.push((idxs, self.rank.client().invoke_batch_slices(ep, calls)?));
+                pending_reply => pending.push((idxs, pending_reply)),
             }
         }
-        for (idxs, f) in pending {
-            let results: Vec<Option<V>> = f.wait_typed().map_err(crate::HclError::from)?;
+        for (idxs, reply) in pending {
+            let results: Vec<Option<V>> = reply.wait()?;
             for (i, r) in idxs.into_iter().zip(results) {
                 out[i] = r;
             }
@@ -658,26 +598,14 @@ where
 
     /// Remove `key`, returning its value.
     pub fn erase(&self, key: &K) -> HclResult<Option<V>> {
-        #[cfg(feature = "history")]
-        let tok = self
-            .recorder
-            .as_ref()
-            .map(|r| r.invoke(crate::DsOp::MapErase { key: crate::history_enc(key) }));
+        let tok = hist_invoke!(self.d, crate::DsOp::MapErase { key: crate::history_enc(key) });
         let owner = self.owner_of(key);
-        let result = if self.is_local(owner) {
-            self.costs.l(1);
-            self.costs.w(1);
-            Ok(self.core.parts[&owner].apply_erase(key))
-        } else {
-            self.costs.f();
-            self.costs.fu();
-            let ep = self.rank.world().config().ep_of(owner);
-            Ok(self.rank.invoke(ep, self.core.fn_base + FN_ERASE, key)?)
-        };
-        #[cfg(feature = "history")]
-        if let (Some(r), Some(tok), Ok(v)) = (self.recorder.as_ref(), tok, result.as_ref()) {
-            r.record_return(tok, crate::DsRet::Value(v.as_ref().map(crate::history_enc)));
-        }
+        let result = self.d.sync_ref(&ops::ERASE, owner, key, || {
+            self.core.parts[&owner].apply_erase(key)
+        });
+        hist_return!(self.d, tok, &result, |v| crate::DsRet::Value(
+            v.as_ref().map(crate::history_enc)
+        ));
         result
     }
 
@@ -691,15 +619,9 @@ where
     pub fn len(&self) -> HclResult<u64> {
         let mut total = 0u64;
         for &owner in &self.core.servers {
-            if self.is_local(owner) {
-                total += self.core.parts[&owner].map.len() as u64;
-            } else {
-                self.costs.f();
-                self.costs.fu();
-                let ep = self.rank.world().config().ep_of(owner);
-                let n: u64 = self.rank.invoke(ep, self.core.fn_base + FN_LEN, &())?;
-                total += n;
-            }
+            total += self.d.sync_ref(&ops::LEN, owner, &(), || {
+                self.core.parts[&owner].map.len() as u64
+            })?;
         }
         Ok(total)
     }
@@ -718,15 +640,10 @@ where
             .servers
             .get(partition_id)
             .ok_or(HclError::BadPartition(partition_id))?;
-        if self.is_local(owner) {
+        self.d.sync_ref(&ops::RESIZE, owner, &(new_buckets as u64), || {
             self.core.parts[&owner].map.resize_to(new_buckets);
-            Ok(true)
-        } else {
-            self.costs.f();
-            self.costs.fu();
-            let ep = self.rank.world().config().ep_of(owner);
-            Ok(self.rank.invoke(ep, self.core.fn_base + FN_RESIZE, &(new_buckets as u64))?)
-        }
+            true
+        })
     }
 
     /// Bucket count of a partition (diagnostics).
@@ -739,57 +656,43 @@ where
     pub fn snapshot_all(&self) -> HclResult<Vec<(K, V)>> {
         let mut out = Vec::new();
         for &owner in &self.core.servers {
-            if self.is_local(owner) {
-                out.extend(self.core.parts[&owner].map.iter_snapshot());
-            } else {
-                self.costs.f();
-                self.costs.fu();
-                let ep = self.rank.world().config().ep_of(owner);
-                let part: Vec<(K, V)> =
-                    self.rank.invoke(ep, self.core.fn_base + FN_SNAPSHOT, &())?;
-                out.extend(part);
-            }
+            let part: Vec<(K, V)> = self.d.sync_ref(&ops::SNAPSHOT, owner, &(), || {
+                self.core.parts[&owner].map.iter_snapshot()
+            })?;
+            out.extend(part);
         }
         Ok(out)
     }
 
-    /// Mark a partition owner as failed: subsequent `get`s for its keys are
-    /// served from the replica on the next partition (requires
-    /// `replicas >= 1`).
+    /// Mark a partition owner as failed: `get`s for its keys are served
+    /// from the replica on the next partition (requires `replicas >= 1`),
+    /// and every other op targeting it degrades immediately with
+    /// [`crate::HclError::OwnerDown`].
     pub fn mark_down(&self, owner_rank: u32) {
-        self.downed.write().insert(owner_rank);
+        self.d.mark_down(owner_rank);
     }
 
     /// Clear a failure mark.
     pub fn mark_up(&self, owner_rank: u32) {
-        self.downed.write().remove(&owner_rank);
+        self.d.mark_up(owner_rank);
     }
 
     fn get_from_replica(&self, partition: usize, key: &K) -> HclResult<Option<V>> {
         let nparts = self.core.servers.len();
         let replica_owner = self.core.servers[(partition + 1) % nparts];
-        if self.is_local(replica_owner) {
-            Ok(self.core.parts[&replica_owner].replica.get(key))
-        } else {
-            self.costs.f();
-            self.costs.fu();
-            let ep = self.rank.world().config().ep_of(replica_owner);
-            Ok(self.rank.invoke(ep, self.core.fn_base + FN_REPL_GET, key)?)
-        }
+        self.d.sync_ref(&ops::REPL_GET, replica_owner, key, || {
+            self.core.parts[&replica_owner].replica.get(key)
+        })
     }
 
     /// Wait until every partition's outstanding replication forwards have
     /// been acknowledged.
     pub fn flush_replication(&self) -> HclResult<()> {
         for &owner in &self.core.servers {
-            if self.is_local(owner) {
+            let _: bool = self.d.sync_ref(&ops::REPL_FLUSH, owner, &(), || {
                 self.core.parts[&owner].flush_replication();
-            } else {
-                self.costs.f();
-                self.costs.fu();
-                let ep = self.rank.world().config().ep_of(owner);
-                let _: bool = self.rank.invoke(ep, self.core.fn_base + FN_REPL_FLUSH, &())?;
-            }
+                true
+            })?;
         }
         Ok(())
     }
@@ -797,7 +700,7 @@ where
     /// Flush and compact every *local* partition's op log to a snapshot.
     pub fn compact_local_logs(&self) -> HclResult<()> {
         for &owner in &self.core.servers {
-            if self.rank.same_node(owner) {
+            if self.d.rank().same_node(owner) {
                 let part = &self.core.parts[&owner];
                 if let Some(log) = &part.log {
                     let snapshot: Vec<LogRec<K, V>> = part
@@ -816,7 +719,7 @@ where
 
     /// Client-side cost counters (Table I terms observed by this rank).
     pub fn costs(&self) -> CostSnapshot {
-        self.costs.snapshot()
+        self.d.costs()
     }
 
     /// Aggregated server-side cost counters across all partitions.
@@ -951,6 +854,16 @@ where
     /// All elements (not atomic).
     pub fn snapshot_all(&self) -> HclResult<Vec<K>> {
         Ok(self.inner.snapshot_all()?.into_iter().map(|(k, ())| k).collect())
+    }
+
+    /// Mark a partition owner as failed (see [`UnorderedMap::mark_down`]).
+    pub fn mark_down(&self, owner_rank: u32) {
+        self.inner.mark_down(owner_rank);
+    }
+
+    /// Clear a failure mark set by [`UnorderedSet::mark_down`].
+    pub fn mark_up(&self, owner_rank: u32) {
+        self.inner.mark_up(owner_rank);
     }
 
     /// Client-side cost counters.

@@ -121,9 +121,17 @@ pub trait DataBox: Sized {
     /// Decode one value from the reader, advancing it.
     fn unpack(r: &mut Reader<'_>) -> Result<Self, CodecError>;
 
+    /// Expected encoded length of *this* value, used by encode paths (batch
+    /// arenas, request buffers) to pre-reserve capacity. Fixed-size types
+    /// answer exactly; variable-length types fall back to a small default
+    /// and may override with a tighter estimate.
+    fn size_hint(&self) -> usize {
+        Self::FIXED_SIZE.unwrap_or(16)
+    }
+
     /// Convenience: encode into a fresh buffer.
     fn to_bytes(&self) -> Bytes {
-        let mut out = Vec::with_capacity(Self::FIXED_SIZE.unwrap_or(16));
+        let mut out = Vec::with_capacity(self.size_hint());
         self.pack(&mut out);
         Bytes::from(out)
     }

@@ -24,9 +24,12 @@
 //! **asynchronous RPC** (§III-C4) — every invocation returns an
 //! [`RpcFuture`]; synchronous execution is just `invoke(...).wait()`.
 
+pub mod batch;
 pub mod client;
 pub mod coalesce;
 pub mod server;
+
+pub use batch::BatchArena;
 
 use std::collections::HashMap;
 use std::sync::Arc;

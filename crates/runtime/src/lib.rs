@@ -99,6 +99,123 @@ impl Default for WorldConfig {
     }
 }
 
+/// Precomputed `rank -> EpId` table.
+///
+/// Container handles resolve an owner endpoint on *every* operation;
+/// recomputing [`WorldConfig::ep_of`] each time puts an integer division on
+/// the hot path. Each container instance builds one `EpCache` at
+/// construction and reads endpoints from it instead. Because world geometry
+/// is immutable for the life of a world, the cache can never go stale — and
+/// `ep_of` re-derives and compares the answer in debug builds, so the whole
+/// test suite doubles as a coherence check.
+#[derive(Debug, Clone)]
+pub struct EpCache {
+    ranks_per_node: u32,
+    eps: Vec<EpId>,
+}
+
+impl EpCache {
+    /// Precompute the endpoint of every rank in `cfg`'s world.
+    pub fn new(cfg: &WorldConfig) -> Self {
+        EpCache {
+            ranks_per_node: cfg.ranks_per_node,
+            eps: (0..cfg.world_size()).map(|r| cfg.ep_of(r)).collect(),
+        }
+    }
+
+    /// The endpoint of `rank`. Ranks beyond the world (auxiliary clients)
+    /// fall back to the arithmetic rule.
+    #[inline]
+    pub fn ep_of(&self, rank: u32) -> EpId {
+        let ep = match self.eps.get(rank as usize) {
+            Some(ep) => *ep,
+            None => EpId { node: rank / self.ranks_per_node, rank },
+        };
+        debug_assert_eq!(
+            ep,
+            EpId { node: rank / self.ranks_per_node, rank },
+            "EpCache incoherent for rank {rank}"
+        );
+        ep
+    }
+
+    /// Number of cached endpoints (= world size at construction).
+    pub fn len(&self) -> usize {
+        self.eps.len()
+    }
+
+    /// True when the cache covers no ranks.
+    pub fn is_empty(&self) -> bool {
+        self.eps.is_empty()
+    }
+
+    /// Panic unless every cached endpoint matches what `cfg` computes —
+    /// the explicit coherence assertion for tests (release builds included).
+    pub fn assert_coherent(&self, cfg: &WorldConfig) {
+        assert_eq!(
+            self.ranks_per_node, cfg.ranks_per_node,
+            "EpCache built for a different node geometry"
+        );
+        assert_eq!(self.eps.len() as u32, cfg.world_size(), "EpCache size mismatch");
+        for r in 0..cfg.world_size() {
+            assert_eq!(self.eps[r as usize], cfg.ep_of(r), "EpCache stale for rank {r}");
+        }
+    }
+}
+
+/// Client-side registry of partition owners marked as failed.
+///
+/// Marks are a *local simulation* of owner failure: the dispatch engine
+/// consults this before issuing any degradable operation, so a marked-down
+/// owner produces an immediate typed error (graceful degradation) instead of
+/// an RPC that would hang or time out. Read-repair paths (replica reads)
+/// deliberately bypass the check.
+#[derive(Debug, Default)]
+pub struct DownedRegistry {
+    /// Fast path: number of currently marked ranks. Zero (the overwhelmingly
+    /// common case) means `is_down` never takes the lock.
+    marked: AtomicU32,
+    set: Mutex<std::collections::HashSet<u32>>,
+}
+
+impl DownedRegistry {
+    /// An empty registry (nothing marked down).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mark `rank` as failed.
+    pub fn mark_down(&self, rank: u32) {
+        if self.set.lock().insert(rank) {
+            // ORDERING: Relaxed — the count is a fast-path hint; the set
+            // mutex (still held here) is the source of truth.
+            self.marked.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Clear a failure mark.
+    pub fn mark_up(&self, rank: u32) {
+        if self.set.lock().remove(&rank) {
+            // ORDERING: Relaxed — see mark_down.
+            self.marked.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// True when `rank` is currently marked down.
+    #[inline]
+    pub fn is_down(&self, rank: u32) -> bool {
+        if self.marked.load(Ordering::Relaxed) == 0 {
+            return false;
+        }
+        self.set.lock().contains(&rank)
+    }
+
+    /// True when any rank is marked down.
+    pub fn any_down(&self) -> bool {
+        self.marked.load(Ordering::Relaxed) > 0
+    }
+}
+
 struct Collectives {
     barrier: Barrier,
     slots: Mutex<Vec<Option<Box<dyn Any + Send>>>>,
@@ -555,6 +672,38 @@ mod tests {
             r
         });
         assert_eq!(got, vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn ep_cache_matches_config_for_every_rank() {
+        for (nodes, rpn) in [(1, 1), (2, 2), (3, 4), (8, 1)] {
+            let cfg = WorldConfig { nodes, ranks_per_node: rpn, ..WorldConfig::small() };
+            let cache = EpCache::new(&cfg);
+            cache.assert_coherent(&cfg);
+            for r in 0..cfg.world_size() {
+                assert_eq!(cache.ep_of(r), cfg.ep_of(r));
+            }
+            // Auxiliary ranks past the world fall back to the rule.
+            let aux = cfg.world_size() + 3;
+            assert_eq!(cache.ep_of(aux), cfg.ep_of(aux));
+        }
+    }
+
+    #[test]
+    fn downed_registry_marks_and_clears() {
+        let d = DownedRegistry::new();
+        assert!(!d.any_down());
+        assert!(!d.is_down(2));
+        d.mark_down(2);
+        d.mark_down(2); // idempotent
+        d.mark_down(5);
+        assert!(d.any_down());
+        assert!(d.is_down(2) && d.is_down(5) && !d.is_down(0));
+        d.mark_up(2);
+        d.mark_up(2); // idempotent
+        assert!(!d.is_down(2) && d.is_down(5));
+        d.mark_up(5);
+        assert!(!d.any_down());
     }
 
     #[test]

@@ -17,6 +17,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use hcl::ordered::OrderedConfig;
 use hcl::queue::QueueConfig;
 use hcl::unordered::UnorderedMapConfig;
 use hcl::{HclError, OrderedMap, OrderedSet, PriorityQueue, Queue, UnorderedMap};
@@ -369,6 +370,67 @@ fn flush_before_sync_order_survives_lossy_fabric() {
         rank.barrier();
     });
     assert!(chaos.chaos_stats().total_faults() > 0);
+}
+
+/// A rank marked down degrades every container op immediately with a typed
+/// [`HclError::OwnerDown`] — no RPC is issued and no retry budget is burned.
+/// Before the shared dispatcher, only `UnorderedMap` honoured failure marks;
+/// `Queue::pop` and `OrderedMap::get` against a downed owner would hang out
+/// the full retry schedule. `hybrid: false` forces the remote path so the
+/// degradation check is what short-circuits, not the local bypass.
+#[test]
+fn marked_down_owner_degrades_instead_of_hanging() {
+    let cfg = retrying(
+        WorldConfig { nodes: 2, ranks_per_node: 1, ..WorldConfig::small() },
+        0xD04,
+    );
+    World::run(cfg, |rank| {
+        let q: Queue<u64> = Queue::with_config(
+            rank,
+            "deg-q",
+            QueueConfig { hybrid: false, ..QueueConfig::default() },
+        );
+        let m: OrderedMap<u64, u64> = OrderedMap::with_config(
+            rank,
+            "deg-m",
+            OrderedConfig { hybrid: false, ..OrderedConfig::default() },
+        );
+        rank.barrier();
+        if rank.id() == 1 {
+            q.push(7).unwrap();
+            m.put(42, 7).unwrap();
+
+            // Mark every owner down; each handle keeps its own registry.
+            q.mark_down(0);
+            m.mark_down(0);
+            m.mark_down(1);
+
+            let t0 = Instant::now();
+            match q.pop() {
+                Err(HclError::OwnerDown(0)) => {}
+                other => panic!("queue pop against downed owner: {other:?}"),
+            }
+            match m.get(&42) {
+                Err(HclError::OwnerDown(_)) => {}
+                other => panic!("map get against downed owner: {other:?}"),
+            }
+            // Degradation must be immediate: well under one 300ms attempt
+            // timeout, let alone the six-attempt resilient schedule.
+            assert!(
+                t0.elapsed() < Duration::from_millis(250),
+                "degraded ops consumed the retry budget: {:?}",
+                t0.elapsed()
+            );
+
+            // Clearing the mark restores service and the data is intact.
+            q.mark_up(0);
+            m.mark_up(0);
+            m.mark_up(1);
+            assert_eq!(q.pop().unwrap(), Some(7));
+            assert_eq!(m.get(&42).unwrap(), Some(7));
+        }
+        rank.barrier();
+    });
 }
 
 /// Soak entry point for `just test-faults-soak`: seed comes from the

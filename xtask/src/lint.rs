@@ -1,6 +1,6 @@
 //! Concurrency-hygiene lint pass (`cargo run -p xtask -- lint`).
 //!
-//! Three rules, tuned to the invariants the containers and shims rely on:
+//! Four rules, tuned to the invariants the containers and shims rely on:
 //!
 //! 1. **SAFETY** — every `unsafe { .. }` block and `unsafe impl` must carry a
 //!    `// SAFETY:` comment in the contiguous comment run directly above it
@@ -16,6 +16,11 @@
 //!    parameter/binding, or `epoch::unprotected()`), so the pointee cannot
 //!    be reclaimed out from under the reference. The shim defining the API
 //!    (`shims/crossbeam`) is exempt.
+//! 4. **DISPATCH** — container modules (`crates/core/src/`) must route every
+//!    RPC issue through the procedural-access engine: direct
+//!    `RpcClient`/`invoke*`/coalescer calls are only allowed in
+//!    `crates/core/src/dispatch.rs`. This keeps locality, degradation, retry
+//!    and cost accounting on the one shared path.
 //!
 //! The pass is line-based on purpose: it runs in milliseconds, has no
 //! dependencies, and the few syntactic shapes it must understand are fixed
@@ -51,6 +56,27 @@ const MUTATION_TOKENS: &[&str] = &[
     "fetch_update(",
 ];
 
+/// The DISPATCH rule's scope: container modules of the core crate.
+const DISPATCH_PATH: &str = "crates/core/src/";
+
+/// The one file in scope allowed to talk to the RPC layer directly.
+const DISPATCH_ENGINE_FILE: &str = "crates/core/src/dispatch.rs";
+
+/// Tokens that indicate a direct RPC issue path. Deliberately precise
+/// (`rank.invoke(`, not `.invoke(`): history recorders expose an `invoke`
+/// method too, and those calls are fine anywhere.
+const DISPATCH_TOKENS: &[&str] = &[
+    "rank.invoke(",
+    ".invoke_async(",
+    ".invoke_coalesced(",
+    ".invoke_batch",
+    ".invoke_raw(",
+    ".invoke_chain(",
+    "RpcClient",
+    ".coalescer(",
+    ".client()",
+];
+
 /// One lint violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -66,6 +92,7 @@ pub enum Rule {
     Safety,
     Ordering,
     Epoch,
+    Dispatch,
 }
 
 impl fmt::Display for Rule {
@@ -74,6 +101,7 @@ impl fmt::Display for Rule {
             Rule::Safety => write!(f, "SAFETY"),
             Rule::Ordering => write!(f, "ORDERING"),
             Rule::Epoch => write!(f, "EPOCH"),
+            Rule::Dispatch => write!(f, "DISPATCH"),
         }
     }
 }
@@ -150,6 +178,9 @@ pub fn check_file(rel: &str, content: &str) -> Vec<Finding> {
     }
     if content.contains("epoch") && !EPOCH_EXEMPT_PATHS.iter().any(|p| rel.contains(p)) {
         check_epoch(rel, &lines, &mut findings);
+    }
+    if rel.contains(DISPATCH_PATH) && !rel.ends_with("dispatch.rs") {
+        check_dispatch(rel, &lines, &mut findings);
     }
     findings
 }
@@ -322,6 +353,27 @@ fn check_epoch(rel: &str, lines: &[&str], findings: &mut Vec<Finding>) {
     }
 }
 
+/// Rule 4: container modules may not issue RPCs directly — every remote op
+/// must go through `dispatch::Dispatcher` (the engine file is the single
+/// exemption, by name).
+fn check_dispatch(rel: &str, lines: &[&str], findings: &mut Vec<Finding>) {
+    debug_assert!(!rel.ends_with(DISPATCH_ENGINE_FILE) || rel.contains("dispatch.rs"));
+    for (idx, raw) in lines.iter().enumerate() {
+        let line = strip_line_comment(raw);
+        if let Some(tok) = DISPATCH_TOKENS.iter().find(|t| line.contains(**t)) {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: Rule::Dispatch,
+                message: format!(
+                    "direct RPC issue (`{tok}`) in a container module; \
+                     route the op through `dispatch::Dispatcher`"
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,5 +501,45 @@ mod tests {
         // `.deref()` on ordinary smart pointers in non-epoch code is fine.
         let src = "fn f(b: &Box<u8>) -> u8 {\n    *std::ops::Deref::deref(b)\n}\n";
         assert!(rules("crates/runtime/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn direct_rpc_issue_in_container_module_flagged() {
+        // The negative control for the dispatch-engine acceptance criterion:
+        // a container module bypassing the Dispatcher must produce a finding.
+        let bad = concat!(
+            "fn f(&self) -> HclResult<bool> {\n",
+            "    Ok(self.rank.invoke(ep, fn_id, &args)?)\n",
+            "}\n"
+        );
+        assert_eq!(rules("crates/core/src/queue.rs", bad), vec![Rule::Dispatch]);
+        let coalesced = "fn f(&self) {\n    let _ = self.rank.invoke_coalesced(ep, id, &v);\n}\n";
+        assert_eq!(rules("crates/core/src/unordered.rs", coalesced), vec![Rule::Dispatch]);
+        // One finding per offending line, even when several tokens match.
+        let batch = "fn f(&self) {\n    let _ = self.rank.client().invoke_batch_slices(ep, it);\n}\n";
+        assert_eq!(rules("crates/core/src/ordered.rs", batch), vec![Rule::Dispatch]);
+    }
+
+    #[test]
+    fn dispatch_engine_file_is_exempt() {
+        // The same issue path inside the engine itself is the point.
+        let src = concat!(
+            "fn f(&self) -> HclResult<bool> {\n",
+            "    Ok(self.rank.invoke(ep, fn_id, &args)?)\n",
+            "}\n"
+        );
+        assert!(rules("crates/core/src/dispatch.rs", src).is_empty());
+    }
+
+    #[test]
+    fn dispatch_rule_allows_recorder_invoke_and_other_crates() {
+        // History recorders also expose `invoke`; the token set must not
+        // match `r.invoke(op)`.
+        let recorder = "fn f(&self) {\n    let tok = r.invoke(op);\n    drop(tok);\n}\n";
+        assert!(rules("crates/core/src/unordered.rs", recorder).is_empty());
+        // Outside the container modules the rule does not apply at all.
+        let raw = "fn f(rank: &Rank) {\n    let _ = rank.invoke(ep, 0, &());\n}\n";
+        assert!(rules("crates/bench/src/bin/pr3.rs", raw).is_empty());
+        assert!(rules("tests/end_to_end.rs", raw).is_empty());
     }
 }
