@@ -56,6 +56,22 @@ struct CaseResult {
     ops_per_rank: u64,
     elapsed_s: f64,
     ops_per_sec: f64,
+    /// Median throughput over the cell's iterations. Equal to `ops_per_sec`
+    /// for single-iteration cells; for repeated cells it is the variance-
+    /// robust figure the smoke gate compares (best-of-N drifts with host
+    /// load; the median does not).
+    ops_per_sec_median: f64,
+}
+
+/// Median of `xs` (mean of the two middles for even N). `xs` is non-empty.
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
 }
 
 fn world_config(fabric: &'static str, ranks: u32, value_bytes: usize, batched: bool) -> WorldConfig {
@@ -185,7 +201,29 @@ fn run_case(
         ops_per_rank: ops,
         elapsed_s: slowest,
         ops_per_sec: total_ops as f64 / slowest,
+        ops_per_sec_median: total_ops as f64 / slowest,
     }
+}
+
+/// Run a cell `iters` times; report the best iteration's result with the
+/// median throughput recorded alongside it.
+fn run_cell(
+    fabric: &'static str,
+    ranks: u32,
+    value_bytes: usize,
+    op: Op,
+    batched: bool,
+    ops: u64,
+    iters: u32,
+) -> CaseResult {
+    let runs: Vec<CaseResult> =
+        (0..iters).map(|_| run_case(fabric, ranks, value_bytes, op, batched, ops)).collect();
+    let mut rates: Vec<f64> = runs.iter().map(|r| r.ops_per_sec).collect();
+    let med = median(&mut rates);
+    let mut best =
+        runs.into_iter().max_by(|a, b| a.ops_per_sec.total_cmp(&b.ops_per_sec)).unwrap();
+    best.ops_per_sec_median = med;
+    best
 }
 
 fn ops_for(fabric: &str, value_bytes: usize, smoke: bool) -> u64 {
@@ -198,12 +236,15 @@ fn ops_for(fabric: &str, value_bytes: usize, smoke: bool) -> u64 {
     }
 }
 
-/// Best-of-N iterations per cell: scheduler noise on small hosts swamps a
-/// single run, so each cell reports its best observed throughput. The
-/// cheap, noisiest cells (memory, small values) get the most repeats.
+/// Iterations per cell: scheduler noise on small hosts swamps a single run,
+/// so each cell reports its best observed throughput with the median-of-N
+/// alongside. The cheap, noisiest cells (memory, small values) get the most
+/// repeats; smoke runs use 3 so the gate can compare medians rather than a
+/// single noisy sample (the source of the 2.93x-vs-2.53x drift between
+/// full-run and smoke-run speedups).
 fn iters_for(fabric: &str, value_bytes: usize, smoke: bool) -> u32 {
     match (fabric, value_bytes > SMALL_BYTES, smoke) {
-        (_, _, true) => 1,
+        (_, _, true) => 3,
         ("memory", false, _) => 3,
         ("memory", true, _) => 2,
         _ => 1,
@@ -216,12 +257,12 @@ fn write_json(results: &[CaseResult], path: &str) {
     out.push_str("  \"bench\": \"pr3_rpc_hot_path\",\n");
     out.push_str("  \"description\": \"remote container ops/s, baseline (sync per-op, coalescing off) vs batched (coalesced async / bulk)\",\n");
     out.push_str(&format!(
-        "  \"config\": {{\"window\": {WINDOW}, \"spill_slot_cap\": {SPILL_SLOT_CAP}, \"small_bytes\": {SMALL_BYTES}, \"spill_bytes\": {SPILL_BYTES}, \"policy\": \"best-of-N per cell: 3 for memory/small, 2 for memory/spill, 1 for tcp\"}},\n"
+        "  \"config\": {{\"window\": {WINDOW}, \"spill_slot_cap\": {SPILL_SLOT_CAP}, \"small_bytes\": {SMALL_BYTES}, \"spill_bytes\": {SPILL_BYTES}, \"policy\": \"best-of-N per cell (median-of-N alongside): 3 for memory/small, 2 for memory/spill, 1 for tcp\"}},\n"
     ));
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"fabric\": \"{}\", \"ranks\": {}, \"value_bytes\": {}, \"op\": \"{}\", \"mode\": \"{}\", \"ops_per_rank\": {}, \"elapsed_s\": {:.6}, \"ops_per_sec\": {:.1}}}{}\n",
+            "    {{\"fabric\": \"{}\", \"ranks\": {}, \"value_bytes\": {}, \"op\": \"{}\", \"mode\": \"{}\", \"ops_per_rank\": {}, \"elapsed_s\": {:.6}, \"ops_per_sec\": {:.1}, \"ops_per_sec_median\": {:.1}}}{}\n",
             r.fabric,
             r.ranks,
             r.value_bytes,
@@ -230,6 +271,7 @@ fn write_json(results: &[CaseResult], path: &str) {
             r.ops_per_rank,
             r.elapsed_s,
             r.ops_per_sec,
+            r.ops_per_sec_median,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -347,13 +389,17 @@ fn main() {
                     for batched in [false, true] {
                         let ops = ops_for(fabric, bytes, smoke);
                         let iters = iters_for(fabric, bytes, smoke);
-                        let r = (0..iters)
-                            .map(|_| run_case(fabric, ranks, bytes, op, batched, ops))
-                            .max_by(|a, b| a.ops_per_sec.total_cmp(&b.ops_per_sec))
-                            .unwrap();
+                        let r = run_cell(fabric, ranks, bytes, op, batched, ops, iters);
                         println!(
-                            "{:>6} {}r {:>5}B {:<4} {:<8} {:>12.0} op/s ({:.3}s)",
-                            r.fabric, r.ranks, r.value_bytes, r.op, r.mode, r.ops_per_sec, r.elapsed_s
+                            "{:>6} {}r {:>5}B {:<4} {:<8} {:>12.0} op/s (median {:.0}, {:.3}s)",
+                            r.fabric,
+                            r.ranks,
+                            r.value_bytes,
+                            r.op,
+                            r.mode,
+                            r.ops_per_sec,
+                            r.ops_per_sec_median,
+                            r.elapsed_s
                         );
                         results.push(r);
                     }
@@ -363,15 +409,17 @@ fn main() {
     }
 
     if smoke {
-        // Quick sanity on the fresh subset, then check the committed file.
+        // Quick sanity on the fresh subset — medians, not best-of-N: the
+        // best observed sample drifts with host load while the median of 3
+        // stays put, so the gate figure is reproducible run to run.
         for op in ["put", "get"] {
             let base = results.iter().find(|r| r.op == op && r.mode == "baseline").unwrap();
             let bat = results.iter().find(|r| r.op == op && r.mode == "batched").unwrap();
             println!(
-                "smoke {op}: baseline {:.0} op/s, batched {:.0} op/s ({:.2}x)",
-                base.ops_per_sec,
-                bat.ops_per_sec,
-                bat.ops_per_sec / base.ops_per_sec
+                "smoke {op}: baseline median {:.0} op/s, batched median {:.0} op/s ({:.2}x)",
+                base.ops_per_sec_median,
+                bat.ops_per_sec_median,
+                bat.ops_per_sec_median / base.ops_per_sec_median
             );
         }
         validate(json_path);

@@ -1,0 +1,281 @@
+//! PR 5 acceptance bench — telemetry subsystem overhead and latency
+//! percentiles.
+//!
+//! Runs the PR 3 headline workload (8 ranks over the memory fabric, small
+//! values, every op a genuine remote put to rank 0's partition) in four
+//! cells: {baseline sync, batched async} x {telemetry on, telemetry off}.
+//! Each cell reports best-of-N and median-of-N throughput; the telemetry-on
+//! cells additionally embed p50/p99 latency pulled from the telemetry
+//! histograms themselves (`hcl_core_op_latency_remote_ns` for the sync
+//! path, `hcl_rpc_batch_latency_ns` for the coalesced path), merged across
+//! ranks.
+//!
+//! The acceptance gate is the **batched overhead ratio**: median throughput
+//! with telemetry on over median with telemetry off must sit within
+//! 0.95–1.05 — the whole point of the counter-only async record path
+//! (DESIGN.md §11). `--validate` re-checks the committed `BENCH_pr5.json`
+//! without re-measuring; `--out <path>` redirects the artifact.
+
+use std::time::Instant;
+
+use hcl::{UnorderedMap, UnorderedMapConfig};
+use hcl_fabric::LatencyModel;
+use hcl_rpc::coalesce::CoalesceConfig;
+use hcl_runtime::{FabricKind, World, WorldConfig};
+use hcl_telemetry::{HistogramSnapshot, TelemetryConfig};
+
+const RANKS: u32 = 8;
+const VALUE_BYTES: usize = 8;
+const OPS_PER_RANK: u64 = 20_000;
+const WINDOW: u64 = 1024;
+const ITERS: u32 = 5;
+
+struct CellResult {
+    mode: &'static str,
+    telemetry: &'static str,
+    ops_per_sec: f64,
+    ops_per_sec_median: f64,
+    /// Which histogram the percentiles came from (telemetry-on cells only).
+    hist_name: Option<&'static str>,
+    p50_ns: Option<u64>,
+    p99_ns: Option<u64>,
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// One timed iteration. Returns aggregate ops/s (slowest rank's wall time)
+/// and, when telemetry is on, the named latency histogram merged over all
+/// ranks.
+fn run_iter(batched: bool, telemetry_on: bool) -> (f64, Option<HistogramSnapshot>) {
+    let hist_name = if batched { "hcl_rpc_batch_latency_ns" } else { "hcl_core_op_latency_remote_ns" };
+    let cfg = WorldConfig {
+        nodes: RANKS,
+        ranks_per_node: 1,
+        fabric: FabricKind::Memory(LatencyModel::NONE),
+        nic_cores: 2,
+        coalesce: if batched { CoalesceConfig::default() } else { CoalesceConfig::disabled() },
+        telemetry: if telemetry_on { TelemetryConfig::default() } else { TelemetryConfig::disabled() },
+        ..WorldConfig::small()
+    };
+    let per_rank: Vec<(f64, Option<HistogramSnapshot>)> = World::run(cfg, move |rank| {
+        let map: UnorderedMap<u64, Vec<u8>> = UnorderedMap::with_config(
+            rank,
+            "pr5.map",
+            UnorderedMapConfig {
+                servers: Some(vec![0]),
+                initial_buckets: 1 << 14,
+                hybrid: false,
+                ..UnorderedMapConfig::default()
+            },
+        );
+        let me = rank.id() as u64;
+        let val = vec![0x5Au8; VALUE_BYTES];
+        rank.barrier();
+
+        let t0 = Instant::now();
+        if batched {
+            let mut i = 0;
+            while i < OPS_PER_RANK {
+                let end = (i + WINDOW).min(OPS_PER_RANK);
+                let futs: Vec<_> = (i..end)
+                    .map(|j| map.put_async(me * OPS_PER_RANK + j, val.clone()).unwrap())
+                    .collect();
+                for f in futs {
+                    f.wait().unwrap();
+                }
+                i = end;
+            }
+        } else {
+            for i in 0..OPS_PER_RANK {
+                map.put(me * OPS_PER_RANK + i, val.clone()).unwrap();
+            }
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        rank.barrier();
+        let hist = if telemetry_on {
+            rank.telemetry_snapshot()
+                .histograms
+                .iter()
+                .find(|(k, _)| k == hist_name)
+                .map(|(_, h)| *h)
+        } else {
+            None
+        };
+        (dt, hist)
+    });
+    let slowest = per_rank.iter().map(|(dt, _)| *dt).fold(0.0f64, f64::max).max(1e-9);
+    let merged = per_rank.iter().filter_map(|(_, h)| *h).reduce(|mut a, b| {
+        a.merge(&b);
+        a
+    });
+    ((OPS_PER_RANK * RANKS as u64) as f64 / slowest, merged)
+}
+
+/// Run both telemetry settings of one mode with their iterations
+/// interleaved (on, off, on, off, ...): the overhead ratio compares medians
+/// of two series that sampled the same stretch of host noise, instead of
+/// two back-to-back blocks that each caught a different load phase.
+fn run_mode(batched: bool) -> (CellResult, CellResult) {
+    let mut on_runs: Vec<(f64, Option<HistogramSnapshot>)> = Vec::new();
+    let mut off_runs: Vec<(f64, Option<HistogramSnapshot>)> = Vec::new();
+    for _ in 0..ITERS {
+        on_runs.push(run_iter(batched, true));
+        off_runs.push(run_iter(batched, false));
+    }
+    let cell = |runs: Vec<(f64, Option<HistogramSnapshot>)>, telemetry_on: bool| {
+        let mut rates: Vec<f64> = runs.iter().map(|(r, _)| *r).collect();
+        let med = median(&mut rates);
+        let (best_rate, best_hist) =
+            runs.into_iter().max_by(|a, b| a.0.total_cmp(&b.0)).unwrap();
+        let hist_name =
+            if batched { "hcl_rpc_batch_latency_ns" } else { "hcl_core_op_latency_remote_ns" };
+        CellResult {
+            mode: if batched { "batched" } else { "baseline" },
+            telemetry: if telemetry_on { "on" } else { "off" },
+            ops_per_sec: best_rate,
+            ops_per_sec_median: med,
+            hist_name: telemetry_on.then_some(hist_name),
+            p50_ns: best_hist.map(|h| h.p50()),
+            p99_ns: best_hist.map(|h| h.p99()),
+        }
+    };
+    (cell(on_runs, true), cell(off_runs, false))
+}
+
+fn write_json(results: &[CellResult], path: &str) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"pr5_telemetry_overhead\",\n");
+    out.push_str("  \"description\": \"8-rank memory-fabric remote put throughput with telemetry on vs off, plus p50/p99 latency embedded from the telemetry histograms\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"ranks\": {RANKS}, \"value_bytes\": {VALUE_BYTES}, \"ops_per_rank\": {OPS_PER_RANK}, \"window\": {WINDOW}, \"iters\": {ITERS}, \"policy\": \"interleaved on/off iterations; best-of-N with median alongside; percentiles from the best telemetry-on iteration, merged across ranks\"}},\n"
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let fmt_opt = |v: Option<u64>| v.map_or("null".to_string(), |x| x.to_string());
+        out.push_str(&format!(
+            "    {{\"fabric\": \"memory\", \"ranks\": {RANKS}, \"value_bytes\": {VALUE_BYTES}, \"op\": \"put\", \"mode\": \"{}\", \"telemetry\": \"{}\", \"ops_per_rank\": {OPS_PER_RANK}, \"ops_per_sec\": {:.1}, \"ops_per_sec_median\": {:.1}, \"latency_hist\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}{}\n",
+            r.mode,
+            r.telemetry,
+            r.ops_per_sec,
+            r.ops_per_sec_median,
+            r.hist_name.map_or("null".to_string(), |n| format!("\"{n}\"")),
+            fmt_opt(r.p50_ns),
+            fmt_opt(r.p99_ns),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"summary\": {\n");
+    let med = |mode: &str, tel: &str| {
+        results
+            .iter()
+            .find(|r| r.mode == mode && r.telemetry == tel)
+            .map(|r| r.ops_per_sec_median)
+            .unwrap()
+    };
+    out.push_str(&format!(
+        "    \"overhead_ratio_baseline\": {:.4},\n",
+        med("baseline", "on") / med("baseline", "off")
+    ));
+    out.push_str(&format!(
+        "    \"overhead_ratio_batched\": {:.4}\n",
+        med("batched", "on") / med("batched", "off")
+    ));
+    out.push_str("  }\n}\n");
+    std::fs::write(path, out).expect("write bench json");
+    println!("wrote {path}");
+}
+
+/// Schema + acceptance validation of the committed artifact: percentiles
+/// present and positive on telemetry-on cells, and the batched overhead
+/// ratio inside the 5% band.
+fn validate(path: &str) {
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("cannot read {path}: {e} (run `cargo run -p hcl-bench --bin pr5` first)")
+    });
+    for key in [
+        "\"bench\"",
+        "\"pr5_telemetry_overhead\"",
+        "\"results\"",
+        "\"mode\"",
+        "\"telemetry\"",
+        "\"ops_per_sec\"",
+        "\"ops_per_sec_median\"",
+        "\"latency_hist\"",
+        "\"p50_ns\"",
+        "\"p99_ns\"",
+        "\"hcl_rpc_batch_latency_ns\"",
+        "\"hcl_core_op_latency_remote_ns\"",
+        "\"overhead_ratio_batched\"",
+    ] {
+        assert!(body.contains(key), "{path}: missing required key {key}");
+    }
+    let mut quantiles = 0;
+    for field in ["\"p50_ns\": ", "\"p99_ns\": "] {
+        for chunk in body.split(field).skip(1) {
+            let tok = chunk.split(|c: char| c == ',' || c == '}').next().unwrap().trim();
+            if tok == "null" {
+                continue; // telemetry-off cells carry no percentiles
+            }
+            let ns: u64 =
+                tok.parse().unwrap_or_else(|e| panic!("{path}: unparsable {field}{tok}: {e}"));
+            assert!(ns > 0, "{path}: non-positive latency percentile {ns}");
+            quantiles += 1;
+        }
+    }
+    assert!(quantiles >= 4, "{path}: expected p50/p99 on both telemetry-on cells");
+    let ratio: f64 = body
+        .split("\"overhead_ratio_batched\": ")
+        .nth(1)
+        .expect("batched overhead ratio present")
+        .split(|c: char| c == ',' || c == '\n' || c == '}')
+        .next()
+        .unwrap()
+        .trim()
+        .parse()
+        .expect("parsable overhead ratio");
+    assert!(
+        (0.95..=1.05).contains(&ratio),
+        "{path}: telemetry on/off batched throughput ratio {ratio:.4} is outside the 5% acceptance band"
+    );
+    println!("{path}: schema OK, {quantiles} latency percentiles, batched overhead ratio {ratio:.4}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let validate_only = args.iter().any(|a| a == "--validate");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_pr5.json".to_string());
+    let json_path = json_path.as_str();
+
+    if validate_only {
+        validate(json_path);
+        return;
+    }
+
+    let mut results = Vec::new();
+    for batched in [false, true] {
+        let (on, off) = run_mode(batched);
+        for r in [on, off] {
+            println!(
+                "memory {RANKS}r {VALUE_BYTES}B put {:<8} telemetry={:<3} {:>12.0} op/s (median {:.0}) p50={:?} p99={:?}",
+                r.mode, r.telemetry, r.ops_per_sec, r.ops_per_sec_median, r.p50_ns, r.p99_ns
+            );
+            results.push(r);
+        }
+    }
+    write_json(&results, json_path);
+    validate(json_path);
+}

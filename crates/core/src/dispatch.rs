@@ -176,6 +176,11 @@ pub trait OpObserver: Send + Sync {
     /// A remote op exhausted its retry budget after `attempts` attempts.
     fn on_retry(&self, _ev: &OpEvent<'_>, _attempts: u32) {}
 
+    /// The op fast-failed at the degradation gate: its owner is marked
+    /// down. Fired *instead of* issue/complete hooks — the op never touched
+    /// memory or fabric.
+    fn on_owner_down(&self, _ev: &OpEvent<'_>) {}
+
     /// Return true to make the engine timestamp synchronous ops so
     /// `on_complete` receives real latencies (off by default: the cost layer
     /// does not need clocks on the local fast path).
@@ -274,7 +279,7 @@ impl<'a> Dispatcher<'a> {
     pub fn new(rank: &'a Rank, container: &'static str, fn_base: FnId, hybrid: bool) -> Self {
         let eps = EpCache::new(rank.world().config());
         let cost = Arc::new(CostObserver::default());
-        Dispatcher {
+        let mut d = Dispatcher {
             rank,
             container,
             fn_base,
@@ -286,7 +291,15 @@ impl<'a> Dispatcher<'a> {
             timed: false,
             #[cfg(feature = "history")]
             recorder: None,
+        };
+        // Telemetry is the second resident of the observer seam: installed
+        // whenever the rank's world runs with telemetry enabled.
+        if rank.telemetry().enabled() {
+            d.add_observer(Arc::new(crate::telemetry::TelemetryObserver::new(Arc::clone(
+                rank.telemetry(),
+            ))));
         }
+        d
     }
 
     /// The rank this handle dispatches from.
@@ -346,10 +359,13 @@ impl<'a> Dispatcher<'a> {
 
     /// Graceful-degradation gate: degradable ops against a downed owner
     /// return [`HclError::OwnerDown`] without touching memory or fabric.
+    /// Observers see the rejection through [`OpObserver::on_owner_down`] —
+    /// the one dispatch outcome that fires no issue/complete hooks.
     #[inline]
-    fn check_up(&self, op: &OpDescriptor, owner: u32) -> HclResult<()> {
-        if op.degradable && self.downed.is_down(owner) {
-            return Err(HclError::OwnerDown(owner));
+    fn gate(&self, ev: &OpEvent<'_>) -> HclResult<()> {
+        if ev.op.degradable && self.downed.is_down(ev.owner) {
+            self.each(|o| o.on_owner_down(ev));
+            return Err(HclError::OwnerDown(ev.owner));
         }
         Ok(())
     }
@@ -424,8 +440,8 @@ impl<'a> Dispatcher<'a> {
         A: DataBox,
         R: DataBox,
     {
-        self.check_up(op, owner)?;
         let ev = OpEvent { container: self.container, op, owner, n: 1 };
+        self.gate(&ev)?;
         if self.is_local(owner) {
             Ok(self.run_local(&ev, || local(args)))
         } else {
@@ -449,8 +465,8 @@ impl<'a> Dispatcher<'a> {
         A: DataBox,
         R: DataBox,
     {
-        self.check_up(op, owner)?;
         let ev = OpEvent { container: self.container, op, owner, n: 1 };
+        self.gate(&ev)?;
         if self.is_local(owner) {
             Ok(self.run_local(&ev, local))
         } else {
@@ -477,8 +493,8 @@ impl<'a> Dispatcher<'a> {
         A: DataBox,
         R: DataBox,
     {
-        self.check_up(op, owner)?;
         let ev = OpEvent { container: self.container, op, owner, n };
+        self.gate(&ev)?;
         if self.is_local(owner) {
             Ok(self.run_local(&ev, || local(args)))
         } else {
@@ -503,8 +519,8 @@ impl<'a> Dispatcher<'a> {
         A: DataBox,
         R: DataBox,
     {
-        self.check_up(op, owner)?;
         let ev = OpEvent { container: self.container, op, owner, n: 1 };
+        self.gate(&ev)?;
         if self.is_local(owner) {
             Ok(HclFuture::Ready(self.run_local(&ev, || local(args))))
         } else {
@@ -530,8 +546,8 @@ impl<'a> Dispatcher<'a> {
         A: DataBox,
         R: DataBox,
     {
-        self.check_up(op, owner)?;
         let ev = OpEvent { container: self.container, op, owner, n: 1 };
+        self.gate(&ev)?;
         if self.is_local(owner) {
             Ok(HclFuture::Ready(self.run_local(&ev, local)))
         } else {
@@ -562,7 +578,7 @@ impl<'a> Dispatcher<'a> {
         A: DataBox,
         R: DataBox,
     {
-        self.check_up(op, owner)?;
+        self.gate(&OpEvent { container: self.container, op, owner, n: items.len() as u64 })?;
         if self.is_local(owner) {
             let out = items
                 .into_iter()
@@ -604,7 +620,7 @@ impl<'a> Dispatcher<'a> {
         A: DataBox,
         R: DataBox,
     {
-        self.check_up(op, owner)?;
+        self.gate(&OpEvent { container: self.container, op, owner, n: items.len() as u64 })?;
         if self.is_local(owner) {
             let out = items
                 .iter()

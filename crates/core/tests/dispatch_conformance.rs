@@ -237,6 +237,49 @@ fn async_remote_ops_classified_by_coalescing_state() {
     });
 }
 
+/// Regression (PR 5): a rank marked down and then marked back up must be
+/// served through the dispatcher's cached endpoint exactly as before the
+/// failure — the down/up cycle must not leave a stale route. The down phase
+/// must fail fast *without issuing anything* (no cost terms charged), and
+/// the restored phase must charge exactly one fresh remote invocation that
+/// observes pre-failure state.
+#[test]
+fn downed_then_restored_owner_is_not_served_a_stale_endpoint() {
+    World::run(two_node_world(), |rank| {
+        let map: UnorderedMap<u64, u64> = UnorderedMap::new(rank, "conf-downup");
+        rank.barrier();
+        if rank.id() == 0 {
+            let rk = key_owned_by(&map, 1);
+            map.put(rk, 7).unwrap();
+
+            map.mark_down(1);
+            // Degradable op against a downed owner: typed error, zero cost —
+            // the gate rejects it before any endpoint is resolved.
+            let s = map.costs();
+            assert_eq!(map.put(rk, 99), Err(hcl::HclError::OwnerDown(1)));
+            assert_eq!(delta(map.costs(), s), CostSnapshot::default());
+
+            map.mark_up(1);
+            // Restored: the op routes through the cached endpoint again and
+            // sees the pre-failure value (the rejected put never landed).
+            let s = map.costs();
+            assert_eq!(map.get(&rk).unwrap(), Some(7));
+            assert_eq!(delta(map.costs(), s), REMOTE_SYNC);
+            let s = map.costs();
+            map.put(rk, 8).unwrap();
+            assert_eq!(delta(map.costs(), s), REMOTE_SYNC);
+            assert_eq!(map.get(&rk).unwrap(), Some(8));
+
+            // The endpoint cache consulted by the dispatcher is coherence-
+            // checked against the world config: geometry is immutable, so a
+            // down/up mark can never invalidate it.
+            hcl_runtime::EpCache::new(rank.world().config())
+                .assert_coherent(rank.world().config());
+        }
+        rank.barrier();
+    });
+}
+
 /// Reference cost model for a random op sequence against a hybrid
 /// `UnorderedMap` on a 2-node world: replays Table I per op.
 fn predict(map: &UnorderedMap<u64, u64>, ops: &[(u8, u64)]) -> CostSnapshot {

@@ -500,6 +500,10 @@ impl Fabric for ChaosFabric {
     fn stats(&self) -> TrafficSnapshot {
         self.inner.stats()
     }
+
+    fn fault_stats(&self) -> Option<ChaosSnapshot> {
+        Some(self.chaos_stats())
+    }
 }
 
 #[cfg(test)]

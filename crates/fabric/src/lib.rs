@@ -302,6 +302,13 @@ pub trait Fabric: Send + Sync {
 
     /// Cumulative traffic counters.
     fn stats(&self) -> TrafficSnapshot;
+
+    /// Cumulative fault-injection counters, when this fabric injects
+    /// faults (`ChaosFabric` overrides this). Lets telemetry fold chaos
+    /// counters into a rank's snapshot without downcasting.
+    fn fault_stats(&self) -> Option<chaos::ChaosSnapshot> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@ use std::time::{Duration, Instant};
 use bytes::{Bytes, BytesMut};
 use hcl_databox::DataBox;
 use hcl_fabric::{EpId, Fabric};
+use hcl_telemetry::{EventKind, FlightEvent, Outcome, RpcMetrics};
 use parking_lot::Mutex;
 
 use hcl_fabric::FabricError;
@@ -71,6 +72,9 @@ struct PendingResponse {
     /// The encoded request, kept for retransmission.
     msg: Bytes,
     retry: RetryPolicy,
+    /// Telemetry handles (cloned from the issuing client; `None` when
+    /// telemetry is off — the record path is then a branch on `None`).
+    metrics: Option<RpcMetrics>,
 }
 
 impl PendingResponse {
@@ -195,6 +199,18 @@ impl RawFuture {
         for attempt in 0..attempts {
             if attempt > 0 {
                 std::thread::sleep(pending.retry.backoff(attempt - 1));
+                if let Some(m) = &pending.metrics {
+                    m.retransmits.inc();
+                    m.flight.record(FlightEvent::op(
+                        EventKind::Retransmit,
+                        "rpc.request",
+                        pending.server.rank,
+                        pending.msg.len() as u64,
+                        attempt as u64,
+                        Outcome::Pending,
+                        0,
+                    ));
+                }
                 // Retransmit with the same req_id and slot: the server
                 // dedups on (caller, req_id) and republishes if the request
                 // already executed.
@@ -218,12 +234,27 @@ impl RawFuture {
                 }
                 if start.elapsed() > per_attempt {
                     last = RpcError::Timeout;
+                    if let Some(m) = &pending.metrics {
+                        m.attempt_timeouts.inc();
+                    }
                     break;
                 }
                 poll_backoff(&mut spins);
             }
         }
         let r = if attempts > 1 {
+            if let Some(m) = &pending.metrics {
+                m.retries_exhausted.inc();
+                m.flight.record(FlightEvent::op(
+                    EventKind::Complete,
+                    "rpc.request",
+                    pending.server.rank,
+                    pending.msg.len() as u64,
+                    attempts as u64,
+                    Outcome::RetriesExhausted,
+                    0,
+                ));
+            }
             Err(RpcError::RetriesExhausted { attempts, last: Box::new(last) })
         } else {
             Err(last)
@@ -381,6 +412,7 @@ pub struct RpcClient {
     slot_cap: usize,
     timeout: Duration,
     retry: RetryPolicy,
+    metrics: Option<RpcMetrics>,
 }
 
 impl RpcClient {
@@ -396,7 +428,14 @@ impl RpcClient {
             slot_cap,
             timeout: DEFAULT_TIMEOUT,
             retry: RetryPolicy::none(),
+            metrics: None,
         }
+    }
+
+    /// Install telemetry handles. Cloned into every pending response, so
+    /// futures keep recording after the client is shared behind an `Arc`.
+    pub fn set_metrics(&mut self, metrics: RpcMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Override the response timeout.
@@ -446,6 +485,9 @@ impl RpcClient {
         let prev = self.slots.lock().remove(&(server, slot));
         if let Some(prev) = prev {
             if prev.try_get().is_none() {
+                if let Some(m) = &self.metrics {
+                    m.slot_waits.inc();
+                }
                 let _ = prev.wait();
             }
         }
@@ -471,6 +513,7 @@ impl RpcClient {
             timeout: self.timeout,
             msg,
             retry: self.retry,
+            metrics: self.metrics.clone(),
         });
         self.slots.lock().insert((server, slot), fut.clone());
         Ok(fut)

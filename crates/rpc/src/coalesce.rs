@@ -37,6 +37,7 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use hcl_databox::DataBox;
 use hcl_fabric::EpId;
+use hcl_telemetry::{CoalesceMetrics, EventKind, FlightEvent, Outcome};
 use parking_lot::Mutex;
 
 use crate::client::{BatchFuture, RawFuture, RpcClient};
@@ -138,13 +139,24 @@ struct CallShared {
 struct SentBatch {
     fut: BatchFuture,
     cache: Mutex<Option<RpcResult<Vec<Bytes>>>>,
+    /// Flush time, for the batch round-trip latency histogram.
+    sent_at: Instant,
+    metrics: Option<CoalesceMetrics>,
 }
 
 impl SentBatch {
+    /// The cache just transitioned empty → filled: the batch completed.
+    fn on_complete(&self) {
+        if let Some(m) = &self.metrics {
+            m.batch_latency_ns.record_duration(self.sent_at.elapsed());
+        }
+    }
+
     fn result(&self) -> RpcResult<Vec<Bytes>> {
         let mut c = self.cache.lock();
         if c.is_none() {
             *c = Some(self.fut.wait());
+            self.on_complete();
         }
         c.clone().expect("cached batch result")
     }
@@ -153,6 +165,7 @@ impl SentBatch {
         let mut c = self.cache.lock();
         if c.is_none() {
             *c = Some(self.fut.try_wait()?);
+            self.on_complete();
         }
         c.clone()
     }
@@ -201,6 +214,9 @@ pub struct Coalescer {
     cfg: CoalesceConfig,
     dests: Mutex<HashMap<EpId, Arc<Mutex<DestQueue>>>>,
     stats: CoalesceStats,
+    /// Telemetry handles, installed once after `spawn` (the coalescer is
+    /// already behind an `Arc` by then, hence `OnceLock` not `&mut`).
+    metrics: std::sync::OnceLock<CoalesceMetrics>,
 }
 
 impl Coalescer {
@@ -213,6 +229,7 @@ impl Coalescer {
             cfg,
             dests: Mutex::new(HashMap::new()),
             stats: CoalesceStats::default(),
+            metrics: std::sync::OnceLock::new(),
         });
         if cfg.enabled && cfg.max_delay > Duration::ZERO {
             let weak = Arc::downgrade(&c);
@@ -227,6 +244,12 @@ impl Coalescer {
                 .expect("spawn coalescer age flusher");
         }
         c
+    }
+
+    /// Install telemetry handles: the batch-size and batch-latency
+    /// histograms plus the flight recorder. A second install is ignored.
+    pub fn install_metrics(&self, metrics: CoalesceMetrics) {
+        let _ = self.metrics.set(metrics);
     }
 
     /// The active configuration.
@@ -390,9 +413,32 @@ impl Coalescer {
         };
         // ORDERING: Relaxed statistics.
         cause_ctr.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.batch_size.record(g.fn_ids.len() as u64);
+            // One flight event per batch, not per op: async ops are captured
+            // in aggregate at batch granularity (see DESIGN.md §11).
+            m.flight.record(FlightEvent::op(
+                EventKind::BatchFlush,
+                match cause {
+                    FlushCause::Size => "rpc.batch.size",
+                    FlushCause::Age => "rpc.batch.age",
+                    FlushCause::Demand => "rpc.batch.demand",
+                },
+                g.dest.rank,
+                g.args.len() as u64,
+                g.fn_ids.len() as u64,
+                Outcome::Pending,
+                0,
+            ));
+        }
         match result {
             Ok(fut) => {
-                let batch = Arc::new(SentBatch { fut, cache: Mutex::new(None) });
+                let batch = Arc::new(SentBatch {
+                    fut,
+                    cache: Mutex::new(None),
+                    sent_at: Instant::now(),
+                    metrics: self.metrics.get().cloned(),
+                });
                 for (i, h) in g.handles.iter().enumerate() {
                     *h.state.lock() = CallState::Sent { batch: Arc::clone(&batch), index: i };
                 }

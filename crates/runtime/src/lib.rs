@@ -37,7 +37,12 @@ use hcl_rpc::client::RpcClient;
 use hcl_rpc::coalesce::{CoalesceConfig, CoalesceSnapshot, CoalescedFuture, Coalescer};
 use hcl_rpc::server::{RpcServer, ServerConfig, ServerStatsSnapshot};
 use hcl_rpc::{FnId, RetryPolicy, RpcRegistry, RpcResult};
+use hcl_telemetry::{CoalesceMetrics, RpcMetrics, Telemetry, TelemetryConfig, TelemetrySnapshot};
 use parking_lot::Mutex;
+
+/// Environment variable naming a directory where each rank writes its
+/// `telemetry-rank<N>.json` snapshot when its SPMD closure returns.
+pub const TELEMETRY_DIR_ENV: &str = "HCL_TELEMETRY_DIR";
 
 /// Which fabric provider a world runs on.
 #[derive(Debug, Clone, Copy)]
@@ -66,6 +71,8 @@ pub struct WorldConfig {
     pub retry: RetryPolicy,
     /// Op-coalescing policy for every rank's async submission path.
     pub coalesce: CoalesceConfig,
+    /// Telemetry policy: per-rank metrics registry + flight recorder.
+    pub telemetry: TelemetryConfig,
 }
 
 impl WorldConfig {
@@ -79,6 +86,7 @@ impl WorldConfig {
             nic_cores: 1,
             retry: RetryPolicy::none(),
             coalesce: CoalesceConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -286,6 +294,7 @@ pub struct Rank {
     world: Arc<WorldShared>,
     client: Arc<RpcClient>,
     coalescer: Arc<Coalescer>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl Rank {
@@ -338,6 +347,48 @@ impl Rank {
     /// Coalescer counter snapshot for this rank.
     pub fn coalesce_stats(&self) -> CoalesceSnapshot {
         self.coalescer.stats()
+    }
+
+    /// This rank's telemetry (metrics registry + flight recorder).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Full telemetry snapshot for this rank, with the externally-maintained
+    /// counters — coalescer, server dedup, fabric traffic, chaos faults —
+    /// folded in as gauges so one export carries the whole picture. (Server
+    /// and fabric numbers are world-wide aggregates; they repeat identically
+    /// in every rank's snapshot.)
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let reg = self.telemetry.registry();
+        let c = self.coalescer.stats();
+        reg.gauge("hcl_rpc_coalesce_batches").set(c.batches);
+        reg.gauge("hcl_rpc_coalesce_ops").set(c.coalesced_ops);
+        reg.gauge("hcl_rpc_coalesce_direct_ops").set(c.direct_ops);
+        reg.gauge("hcl_rpc_coalesce_size_flushes").set(c.size_flushes);
+        reg.gauge("hcl_rpc_coalesce_age_flushes").set(c.age_flushes);
+        reg.gauge("hcl_rpc_coalesce_demand_flushes").set(c.demand_flushes);
+        let s = self.world.server_stats();
+        reg.gauge("hcl_rpc_server_requests").set(s.requests);
+        reg.gauge("hcl_rpc_server_deduped").set(s.deduped);
+        reg.gauge("hcl_rpc_server_overflow_responses").set(s.overflow_responses);
+        let t = self.world.traffic();
+        reg.gauge("hcl_fabric_sends").set(t.sends);
+        reg.gauge("hcl_fabric_send_bytes").set(t.send_bytes);
+        reg.gauge("hcl_fabric_reads").set(t.reads);
+        reg.gauge("hcl_fabric_read_bytes").set(t.read_bytes);
+        reg.gauge("hcl_fabric_writes").set(t.writes);
+        reg.gauge("hcl_fabric_write_bytes").set(t.write_bytes);
+        reg.gauge("hcl_fabric_intra_node_ops").set(t.intra_node_ops);
+        reg.gauge("hcl_fabric_inter_node_ops").set(t.inter_node_ops);
+        if let Some(f) = self.world.fabric.fault_stats() {
+            reg.gauge("hcl_fabric_chaos_drops").set(f.drops);
+            reg.gauge("hcl_fabric_chaos_duplicates").set(f.duplicates);
+            reg.gauge("hcl_fabric_chaos_injected_errors").set(f.injected_errors);
+            reg.gauge("hcl_fabric_chaos_delayed_ops").set(f.delayed_ops);
+            reg.gauge("hcl_fabric_chaos_slowed_ops").set(f.slowed_ops);
+        }
+        self.telemetry.snapshot()
     }
 
     /// True when async ops stage on the coalescer (vs. going out directly).
@@ -545,18 +596,54 @@ impl World {
                 let shared = Arc::clone(&shared);
                 let f = &f;
                 handles.push(s.spawn(move || {
+                    let telemetry = Arc::new(Telemetry::new(r, cfg.telemetry));
                     let mut client =
                         RpcClient::new(cfg.ep_of(r), Arc::clone(&shared.fabric), cfg.slot_cap);
                     client.set_timeout(Duration::from_secs(120));
                     client.set_retry_policy(cfg.retry);
+                    if telemetry.enabled() {
+                        client.set_metrics(RpcMetrics::from_registry(
+                            telemetry.registry(),
+                            Arc::clone(telemetry.flight()),
+                        ));
+                        hcl_telemetry::flight::dump_on_panic(telemetry.flight());
+                    }
                     let client = Arc::new(client);
                     let coalescer = Coalescer::spawn(Arc::clone(&client), cfg.coalesce);
-                    let rank = Rank { id: r, world: shared, client, coalescer };
-                    f(&rank)
+                    if telemetry.enabled() {
+                        coalescer.install_metrics(CoalesceMetrics::from_registry(
+                            telemetry.registry(),
+                            Arc::clone(telemetry.flight()),
+                        ));
+                    }
+                    let rank = Rank { id: r, world: shared, client, coalescer, telemetry };
+                    let out = f(&rank);
+                    write_rank_snapshot(&rank);
+                    out
                 }));
             }
             handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
         })
+    }
+}
+
+/// Write `telemetry-rank<N>.json` into `$HCL_TELEMETRY_DIR` (if set) as the
+/// rank's SPMD closure returns. Failures are reported but never fatal —
+/// telemetry export must not take a world down.
+fn write_rank_snapshot(rank: &Rank) {
+    if !rank.telemetry.enabled() {
+        return;
+    }
+    let Ok(dir) = std::env::var(TELEMETRY_DIR_ENV) else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    let path = std::path::Path::new(&dir).join(format!("telemetry-rank{}.json", rank.id));
+    let json = rank.telemetry_snapshot().to_json();
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, json)) {
+        eprintln!("telemetry: failed to write {}: {e}", path.display());
     }
 }
 

@@ -66,6 +66,13 @@ check-lin:
 bench-smoke:
     cargo run --release -p hcl-bench --bin pr3 -- --smoke
 
+# Telemetry export gate: 4-rank memory workload with HCL_TELEMETRY_DIR set,
+# validating the per-rank JSON snapshot schema, the Prometheus exposition,
+# and the committed BENCH_pr5.json overhead artifact. The full overhead
+# bench is `cargo run --release -p hcl-bench --bin pr5`.
+telemetry-smoke:
+    cargo run --release -p hcl-bench --bin telemetry_smoke
+
 # Everything CI runs: build, tier-1 tests, hygiene lint, fault suite,
-# schedule exploration, linearizability histories, bench smoke-check.
-ci: build test lint test-faults check-conc check-lin bench-smoke
+# schedule exploration, linearizability histories, bench smoke-checks.
+ci: build test lint test-faults check-conc check-lin bench-smoke telemetry-smoke

@@ -433,6 +433,81 @@ fn marked_down_owner_degrades_instead_of_hanging() {
     });
 }
 
+/// The flight recorder must turn a fault-injection run into a legible
+/// post-mortem: after a full partition exhausts a push's retry budget, the
+/// failing rank's dump names the failed op, shows the retransmission
+/// attempts the RPC layer made, and ends in the `RetriesExhausted` outcome;
+/// after the owner is marked down, a rejected pop adds the `OwnerDown`
+/// trail. (ISSUE 5 acceptance: ChaosFabric drop plan -> flight dump.)
+#[test]
+fn flight_recorder_captures_partition_failure_and_owner_down() {
+    let seed = 0xF11;
+    let cfg = retrying(
+        WorldConfig { nodes: 2, ranks_per_node: 1, ..WorldConfig::small() },
+        seed,
+    );
+    let cfg = WorldConfig {
+        retry: RetryPolicy { max_attempts: 3, ..cfg.retry }
+            .with_attempt_timeout(Duration::from_millis(150)),
+        ..cfg
+    };
+    let plan = FaultPlan::new(seed).for_pair_class(
+        cfg.ep_of(1),
+        cfg.ep_of(0),
+        OpClass::Send,
+        FaultRule::NONE.drop(1.0),
+    );
+    let (chaos, shared) = chaos_shared(cfg, plan);
+    World::run_on(shared, move |rank| {
+        let q: Queue<u64> = Queue::with_config(
+            rank,
+            "flight.q",
+            QueueConfig { owner: 0, hybrid: false },
+        );
+        rank.barrier();
+        if rank.id() == 1 {
+            q.push(42).expect_err("push across a full partition must fail");
+            let dump = rank
+                .telemetry()
+                .flight()
+                .last_dump()
+                .expect("retry exhaustion must dump the flight recorder");
+            assert!(dump.contains("queue.push"), "dump must name the failed op:\n{dump}");
+            assert!(
+                dump.contains("retransmit"),
+                "dump must show the retry attempts:\n{dump}"
+            );
+            assert!(
+                dump.contains("retries-exhausted"),
+                "dump must record the final outcome:\n{dump}"
+            );
+
+            // Owner marked down: the rejected op extends the same ring.
+            q.mark_down(0);
+            match q.pop() {
+                Err(HclError::OwnerDown(0)) => {}
+                other => panic!("pop against downed owner: {other:?}"),
+            }
+            let dump = rank.telemetry().flight().last_dump().expect("owner-down must dump");
+            assert!(dump.contains("queue.pop"), "dump must name the rejected op:\n{dump}");
+            assert!(dump.contains("owner-down"), "dump must record OwnerDown:\n{dump}");
+            // The earlier failure trail is still in the ring.
+            assert!(dump.contains("queue.push") && dump.contains("retries-exhausted"));
+
+            // And the registry counted both failure modes.
+            let snap = rank.telemetry_snapshot();
+            let counter = |name: &str| {
+                snap.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v).unwrap_or(0)
+            };
+            assert!(counter("hcl_rpc_retransmits") >= 2, "2 of 3 attempts are retransmits");
+            assert_eq!(counter("hcl_rpc_retries_exhausted"), 1);
+            assert_eq!(counter("hcl_core_ops_owner_down"), 1);
+        }
+        rank.barrier();
+    });
+    assert!(chaos.chaos_stats().drops >= 3);
+}
+
 /// Soak entry point for `just test-faults-soak`: seed comes from the
 /// environment so CI can sweep many fault schedules.
 #[test]

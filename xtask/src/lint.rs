@@ -1,6 +1,6 @@
 //! Concurrency-hygiene lint pass (`cargo run -p xtask -- lint`).
 //!
-//! Four rules, tuned to the invariants the containers and shims rely on:
+//! Five rules, tuned to the invariants the containers and shims rely on:
 //!
 //! 1. **SAFETY** — every `unsafe { .. }` block and `unsafe impl` must carry a
 //!    `// SAFETY:` comment in the contiguous comment run directly above it
@@ -21,6 +21,13 @@
 //!    `RpcClient`/`invoke*`/coalescer calls are only allowed in
 //!    `crates/core/src/dispatch.rs`. This keeps locality, degradation, retry
 //!    and cost accounting on the one shared path.
+//! 5. **METRIC** — every metric name registered through a telemetry registry
+//!    handle (`.counter("..")`, `.gauge("..")`, `.histogram("..")`) must
+//!    follow the `hcl_<crate>_<name>` convention: `hcl_` prefix, a non-empty
+//!    crate segment, a non-empty metric segment, characters `[a-z0-9_]`.
+//!    Format-string placeholders (`{}`) count as a valid segment filler.
+//!    Test modules and integration-test trees are exempt (negative-control
+//!    tests register malformed names on purpose).
 //!
 //! The pass is line-based on purpose: it runs in milliseconds, has no
 //! dependencies, and the few syntactic shapes it must understand are fixed
@@ -77,6 +84,10 @@ const DISPATCH_TOKENS: &[&str] = &[
     ".client()",
 ];
 
+/// Registry-handle calls whose first argument is a metric name. The METRIC
+/// rule validates the string literal that follows each of these.
+const METRIC_TOKENS: &[&str] = &[".counter(", ".gauge(", ".histogram("];
+
 /// One lint violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -93,6 +104,7 @@ pub enum Rule {
     Ordering,
     Epoch,
     Dispatch,
+    Metric,
 }
 
 impl fmt::Display for Rule {
@@ -102,6 +114,7 @@ impl fmt::Display for Rule {
             Rule::Ordering => write!(f, "ORDERING"),
             Rule::Epoch => write!(f, "EPOCH"),
             Rule::Dispatch => write!(f, "DISPATCH"),
+            Rule::Metric => write!(f, "METRIC"),
         }
     }
 }
@@ -181,6 +194,10 @@ pub fn check_file(rel: &str, content: &str) -> Vec<Finding> {
     }
     if rel.contains(DISPATCH_PATH) && !rel.ends_with("dispatch.rs") {
         check_dispatch(rel, &lines, &mut findings);
+    }
+    // Integration-test trees register malformed names as negative controls.
+    if !rel.starts_with("tests/") && !rel.contains("/tests/") {
+        check_metric(rel, &lines, &mut findings);
     }
     findings
 }
@@ -374,6 +391,83 @@ fn check_dispatch(rel: &str, lines: &[&str], findings: &mut Vec<Finding>) {
     }
 }
 
+/// Mirror of `hcl_telemetry::valid_metric_name`: `hcl_` prefix, non-empty
+/// crate segment, non-empty metric segment, characters `[a-z0-9_]`. Kept in
+/// sync by the registry's own runtime assertion — a name that slips past one
+/// check trips the other.
+fn valid_metric_name(name: &str) -> bool {
+    if name.is_empty()
+        || !name.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+    {
+        return false;
+    }
+    match name.strip_prefix("hcl_").and_then(|rest| rest.split_once('_')) {
+        Some((krate, metric)) => !krate.is_empty() && !metric.is_empty(),
+        None => false,
+    }
+}
+
+/// Replace `format!` placeholders (`{..}`) with a legal filler character so
+/// the static shape of a dynamic name is still checkable:
+/// `"hcl_core_op_{}_ns"` validates as `hcl_core_op_x_ns`.
+fn fill_placeholders(lit: &str) -> String {
+    let mut out = String::with_capacity(lit.len());
+    let mut depth = 0usize;
+    for c in lit.chars() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    out.push('x');
+                }
+                depth += 1;
+            }
+            '}' => depth = depth.saturating_sub(1),
+            _ if depth == 0 => out.push(c),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Rule 5: metric names registered through `.counter(` / `.gauge(` /
+/// `.histogram(` calls must follow `hcl_<crate>_<name>`. Test modules are
+/// exempt the same way ORDERING exempts them.
+fn check_metric(rel: &str, lines: &[&str], findings: &mut Vec<Finding>) {
+    let test_start = lines
+        .iter()
+        .enumerate()
+        .position(|(i, l)| {
+            l.contains("#[cfg(test)]")
+                && lines.get(i + 1).is_some_and(|n| n.trim_start().starts_with("mod "))
+        })
+        .unwrap_or(lines.len());
+    for idx in 0..test_start.min(lines.len()) {
+        let line = strip_line_comment(lines[idx]);
+        for tok in METRIC_TOKENS {
+            let Some(pos) = line.find(tok) else { continue };
+            // The name must be (or start with) a string literal on the same
+            // line; handles taken via variables are the registry's runtime
+            // assertion's problem.
+            let rest = &line[pos + tok.len()..];
+            let Some(open) = rest.find('"') else { continue };
+            let lit = &rest[open + 1..];
+            let Some(close) = lit.find('"') else { continue };
+            let name = fill_placeholders(&lit[..close]);
+            if !valid_metric_name(&name) {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    rule: Rule::Metric,
+                    message: format!(
+                        "metric name {:?} violates the `hcl_<crate>_<name>` convention",
+                        &lit[..close]
+                    ),
+                });
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -529,6 +623,49 @@ mod tests {
             "}\n"
         );
         assert!(rules("crates/core/src/dispatch.rs", src).is_empty());
+    }
+
+    #[test]
+    fn well_formed_metric_names_pass() {
+        let src = concat!(
+            "fn f(reg: &Registry) {\n",
+            "    let c = reg.counter(\"hcl_rpc_slot_waits\");\n",
+            "    let g = reg.gauge(\"hcl_fabric_sends\");\n",
+            "    let h = reg.histogram(\"hcl_core_op_latency_remote_ns\");\n",
+            "    let d = reg.histogram(&format!(\"hcl_core_op_{}_ns\", name));\n",
+            "    drop((c, g, h, d));\n",
+            "}\n"
+        );
+        assert!(rules("crates/core/src/telemetry.rs", src).is_empty());
+    }
+
+    #[test]
+    fn malformed_metric_names_flagged() {
+        // The negative controls for the METRIC acceptance criterion: missing
+        // prefix, missing metric segment, and illegal characters must each
+        // produce a finding.
+        let no_prefix = "fn f(r: &Registry) {\n    let _ = r.counter(\"rpc_slot_waits\");\n}\n";
+        assert_eq!(rules("crates/rpc/src/client.rs", no_prefix), vec![Rule::Metric]);
+        let no_metric = "fn f(r: &Registry) {\n    let _ = r.gauge(\"hcl_rpc\");\n}\n";
+        assert_eq!(rules("crates/rpc/src/client.rs", no_metric), vec![Rule::Metric]);
+        let bad_chars = "fn f(r: &Registry) {\n    let _ = r.histogram(\"hcl_core_Op-Lat\");\n}\n";
+        assert_eq!(rules("crates/core/src/telemetry.rs", bad_chars), vec![Rule::Metric]);
+    }
+
+    #[test]
+    fn metric_rule_exempts_test_modules_and_test_trees() {
+        let in_mod = concat!(
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn f(r: &Registry) {\n",
+            "        let _ = r.counter(\"bogus_metric\");\n",
+            "    }\n",
+            "}\n"
+        );
+        assert!(rules("crates/telemetry/src/lib.rs", in_mod).is_empty());
+        let bad = "fn f(r: &Registry) {\n    let _ = r.counter(\"bogus_metric\");\n}\n";
+        assert!(rules("crates/telemetry/tests/alloc_counting.rs", bad).is_empty());
+        assert!(rules("tests/fault_injection.rs", bad).is_empty());
     }
 
     #[test]
