@@ -46,11 +46,21 @@ fn print_points(points: &[scenarios::Fig7Point], paper_bcl: &[f64], paper_hcl: &
     );
 }
 
+/// Print the beyond-paper extrapolation the scenario suite commits in
+/// `FIG_scenarios.json` (same sim backend, extended node list).
+fn print_extended(points: &[scenarios::Fig7Point]) {
+    println!("-- extrapolated beyond the paper's sweep --");
+    for p in points {
+        row(&p.nodes.to_string(), &[secs(p.bcl_s), secs(p.hcl_s)]);
+    }
+}
+
 fn isx(real: bool) {
     header("Figure 7(a) — ISx integer sort, weak scaling (sim)");
-    let points = scenarios::fig7_isx(2_000);
+    let points = scenarios::fig7_isx_at(&[8, 16, 32, 64], 2_000);
     // Paper series read from Fig. 7(a): BCL ~43..686 s, HCL ~5..57 s.
     print_points(&points, &[43.07, 91.58, 270.97, 686.0], &[5.11, 9.44, 28.87, 57.0]);
+    print_extended(&scenarios::fig7_isx_at(&[128, 256, 512], 2_000));
     if real {
         println!("\n-- real execution (2 nodes x 2 ranks, actual containers) --");
         use hcl_apps::isx::{run_bcl, run_hcl, validate, IsxConfig};
@@ -88,8 +98,9 @@ fn meraculous(contig: bool, real: bool) {
         )
     };
     header(name);
-    let points = scenarios::fig7_meraculous(contig, 2_000);
+    let points = scenarios::fig7_meraculous_at(&[8, 16, 32, 64], contig, 2_000);
     print_points(&points, &paper_bcl, &paper_hcl);
+    print_extended(&scenarios::fig7_meraculous_at(&[128, 256, 512], contig, 2_000));
     if real {
         println!("\n-- real execution (2 nodes x 2 ranks, actual containers) --");
         use hcl_apps::genome::{sample_reads, synth_genome};

@@ -1,0 +1,395 @@
+//! Scenario-suite driver: runs the container × mix × distribution matrix
+//! (plus the ISx and Meraculous k-mer app kernels), each cell with a
+//! measured 1–8-rank series, a ChaosFabric-faulted twin, and a simulated
+//! 64–512-node series calibrated from the measured latency histograms.
+//!
+//! The full run (no args) writes `FIG_scenarios.json` into the repo root.
+//! `--smoke` runs the four-cell core plus both app kernels and *gates*
+//! against the committed artifact:
+//!
+//! * every committed cell's simulated series is **regenerated** from the
+//!   committed calibration values and must match to 0.1% — the engine is
+//!   deterministic, so any drift means the queueing model changed without
+//!   the artifact being regenerated;
+//! * freshly measured medians must land within a wide host-speed band of
+//!   the committed medians;
+//! * every fresh chaos twin must have injected faults, zero surfaced
+//!   errors, and valid app-kernel output.
+//!
+//! `--validate` checks the committed artifact's schema and sim series
+//! without running measurements; `--out <path>` redirects the full run.
+
+use hcl_bench::scenario::{
+    self, matrix, run_app_cell, run_cell, simulate_cell, AppCell, CellResult, SIM_NODES,
+};
+use hcl_bench::workload::{KeyDist, Mix, WorkloadSpec};
+use hcl_cluster_sim::Calibration;
+
+const ARTIFACT: &str = "FIG_scenarios.json";
+
+// ------------------------------------------------------------ JSON output
+
+fn json_driver_cell(c: &CellResult) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "    {{\"cell\": \"{}\", \"container\": \"{}\", \"mix\": \"{}\", \"dist\": \"{}\", \"theta\": {:.2}, \"seed\": {}, \"ops_per_rank\": {}, \"key_space\": {}, \"value_bytes\": {}, \"ordered_factor\": {:.2}, \"read_fraction\": {:.4},\n",
+        c.def.name(),
+        c.def.container.label(),
+        c.def.mix.name,
+        c.def.dist.name(),
+        c.def.dist.theta(),
+        c.spec.seed,
+        c.spec.ops_per_rank,
+        c.spec.key_space,
+        c.spec.value_bytes,
+        c.def.ordered_factor(),
+        c.def.mix.read_fraction(),
+    ));
+    s.push_str("     \"measured\": [");
+    let meas: Vec<String> = c
+        .measured
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"ranks\": {}, \"ops_per_sec\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \"errors\": {}, \"elapsed_s\": {:.6}}}",
+                m.ranks, m.ops_per_sec, m.p50_ns, m.p99_ns, m.errors, m.elapsed_s
+            )
+        })
+        .collect();
+    s.push_str(&meas.join(", "));
+    s.push_str("],\n");
+    s.push_str(&format!(
+        "     \"chaos\": {{\"ranks\": {}, \"ops_per_sec\": {:.1}, \"p99_ns\": {}, \"errors\": {}, \"drops\": {}, \"delayed\": {}}},\n",
+        c.chaos.ranks, c.chaos.ops_per_sec, c.chaos.p99_ns, c.chaos.errors, c.chaos.drops,
+        c.chaos.delayed
+    ));
+    s.push_str(&format!(
+        "     \"calibration\": {{\"measured_p50_ns\": {}, \"part_service_ns\": {}, \"client_ns\": {}}},\n",
+        c.cal.measured_p50_ns, c.cal.part_service_ns, c.cal.client_ns
+    ));
+    s.push_str("     \"sim\": [");
+    let sim: Vec<String> = c
+        .sim
+        .iter()
+        .map(|p| format!("{{\"nodes\": {}, \"ops_per_sec\": {:.1}}}", p.nodes, p.ops_per_sec))
+        .collect();
+    s.push_str(&sim.join(", "));
+    s.push_str("]}");
+    s
+}
+
+fn json_app_cell(a: &AppCell) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "    {{\"cell\": \"app_{}\", \"container\": \"{}\", \"mix\": \"app_{}\", \"dist\": \"app\", \"seed\": {}, \"ops_per_rank\": {},\n",
+        a.name,
+        if a.name == "isx" { "priority_queue" } else { "unordered_map" },
+        a.name,
+        a.seed,
+        a.per_rank,
+    ));
+    s.push_str("     \"measured\": [");
+    let meas: Vec<String> = a
+        .measured
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"ranks\": {}, \"elapsed_s\": {:.6}, \"valid\": {}}}",
+                m.ranks, m.elapsed_s, m.ok
+            )
+        })
+        .collect();
+    s.push_str(&meas.join(", "));
+    s.push_str("],\n");
+    s.push_str(&format!(
+        "     \"chaos\": {{\"ranks\": {}, \"elapsed_s\": {:.6}, \"valid\": {}, \"errors\": 0, \"drops\": {}, \"delayed\": {}}},\n",
+        a.chaos.ranks, a.chaos.elapsed_s, a.chaos.ok, a.chaos.drops, a.chaos.delayed
+    ));
+    s.push_str("     \"sim\": [");
+    let sim: Vec<String> = a
+        .sim
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"nodes\": {}, \"hcl_s\": {:.4}, \"bcl_s\": {:.4}}}",
+                p.nodes, p.hcl_s, p.bcl_s
+            )
+        })
+        .collect();
+    s.push_str(&sim.join(", "));
+    s.push_str("]}");
+    s
+}
+
+fn write_json(cells: &[CellResult], apps: &[AppCell], path: &str) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"fig_scenarios\",\n");
+    out.push_str("  \"description\": \"scenario matrix: YCSB-style mixed-op driver over the five containers plus ISx/k-mer app kernels; measured 1-8 ranks, chaos-faulted twins, simulated 64-512 nodes calibrated from the measured latency histograms\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"seed\": {}, \"measured_ranks\": [1, 2, 4, 8], \"sim_nodes\": [64, 128, 256, 512], \"sim_ranks_per_node\": {}, \"sim_ops_per_client\": {}}},\n",
+        scenario::SEED,
+        scenario::SIM_RANKS_PER_NODE,
+        scenario::SIM_OPS_PER_CLIENT,
+    ));
+    out.push_str("  \"cells\": [\n");
+    let mut rows: Vec<String> = cells.iter().map(json_driver_cell).collect();
+    rows.extend(apps.iter().map(json_app_cell));
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    std::fs::write(path, out).expect("write scenario artifact");
+    println!("wrote {path}");
+}
+
+// --------------------------------------------------- committed-JSON reader
+
+/// Extract the number following `"key": ` inside `chunk`.
+fn field_f64(chunk: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    chunk
+        .split(&pat)
+        .nth(1)?
+        .split(|c: char| c == ',' || c == '}' || c == ']' || c == '\n')
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+fn field_str<'a>(chunk: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    chunk.split(&pat).nth(1)?.split('"').next()
+}
+
+/// All numbers following repeated `"key": ` occurrences, in order.
+fn field_f64_all(chunk: &str, key: &str) -> Vec<f64> {
+    let pat = format!("\"{key}\": ");
+    chunk
+        .split(&pat)
+        .skip(1)
+        .filter_map(|rest| {
+            rest.split(|c: char| c == ',' || c == '}' || c == ']' || c == '\n')
+                .next()?
+                .trim()
+                .parse()
+                .ok()
+        })
+        .collect()
+}
+
+/// One committed cell, as far as the gate needs it.
+struct CommittedCell {
+    name: String,
+    body: String,
+}
+
+fn read_committed(path: &str) -> Vec<CommittedCell> {
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("cannot read {path}: {e} (run `cargo run -p hcl-bench --bin scenarios` first)")
+    });
+    for key in ["\"bench\"", "\"fig_scenarios\"", "\"seed\"", "\"cells\"", "\"sim_nodes\""] {
+        assert!(body.contains(key), "{path}: missing required key {key}");
+    }
+    body.split("{\"cell\": \"")
+        .skip(1)
+        .map(|chunk| CommittedCell {
+            name: chunk.split('"').next().unwrap_or("").to_string(),
+            body: chunk.to_string(),
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------- validation
+
+/// Offline checks on the committed artifact: schema, per-cell metadata,
+/// and — for driver cells — the sim series regenerated from the committed
+/// calibration.
+fn validate(path: &str) {
+    let cells = read_committed(path);
+    assert!(cells.len() >= 6, "{path}: expected >= 6 cells, found {}", cells.len());
+    let mut sims_checked = 0;
+    for cell in &cells {
+        let b = &cell.body;
+        let n = &cell.name;
+        assert!(field_f64(b, "seed").is_some(), "{path}: cell {n} lacks a seed");
+        assert!(field_f64(b, "ops_per_rank").is_some(), "{path}: cell {n} lacks ops_per_rank");
+        assert!(field_str(b, "mix").is_some(), "{path}: cell {n} lacks a mix");
+        let ranks = field_f64_all(b, "ranks");
+        assert!(!ranks.is_empty(), "{path}: cell {n} lacks rank counts");
+        assert!(
+            b.contains("\"chaos\""),
+            "{path}: cell {n} has no chaos twin"
+        );
+        assert!(
+            field_f64(b, "drops").unwrap_or(0.0) + field_f64(b, "delayed").unwrap_or(0.0) > 0.0,
+            "{path}: cell {n}'s chaos twin saw no injected faults"
+        );
+        assert!(
+            field_f64_all(b, "errors").iter().all(|&e| e == 0.0),
+            "{path}: cell {n} surfaced errors on its clean or chaos run"
+        );
+        let sim_nodes = field_f64_all(b, "nodes");
+        assert_eq!(
+            sim_nodes,
+            SIM_NODES.iter().map(|&x| x as f64).collect::<Vec<_>>(),
+            "{path}: cell {n}'s sim series is not the 64-512 node sweep"
+        );
+
+        if !n.starts_with("app_") {
+            // Regenerate the sim series from the committed calibration: the
+            // engine is deterministic, so this gates the queueing model.
+            let committed = sim_from_committed(b, n);
+            let recomputed = field_f64_all(&b[b.find("\"sim\"").unwrap()..], "ops_per_sec");
+            assert_eq!(recomputed.len(), committed.len());
+            for (want, got) in recomputed.iter().zip(&committed) {
+                let rel = (want - got).abs() / want.max(1e-9);
+                assert!(
+                    rel < 1e-3,
+                    "{path}: cell {n} sim series drifted: committed {want:.1} vs regenerated {got:.1} op/s (rel {rel:.2e}) — regenerate the artifact"
+                );
+            }
+            sims_checked += 1;
+        } else {
+            // App sims: HCL must beat BCL at every committed scale point.
+            let hcl = field_f64_all(b, "hcl_s");
+            let bcl = field_f64_all(b, "bcl_s");
+            assert_eq!(hcl.len(), SIM_NODES.len(), "{path}: cell {n} app sim incomplete");
+            for (h, b2) in hcl.iter().zip(&bcl) {
+                assert!(b2 > h, "{path}: cell {n} sim has BCL {b2:.1}s beating HCL {h:.1}s");
+            }
+        }
+    }
+    assert!(sims_checked >= 4, "{path}: only {sims_checked} driver sims checked");
+    println!("{path}: schema OK, {} cells, {sims_checked} sim series regenerated and matched", cells.len());
+}
+
+/// Rebuild a committed driver cell's sim series from its own recorded
+/// calibration and workload shape.
+fn sim_from_committed(body: &str, name: &str) -> Vec<f64> {
+    let cal = Calibration {
+        part_service_ns: field_f64(body, "part_service_ns")
+            .unwrap_or_else(|| panic!("cell {name}: no part_service_ns")) as u64,
+        client_ns: field_f64(body, "client_ns").unwrap_or_else(|| panic!("cell {name}: no client_ns"))
+            as u64,
+        measured_p50_ns: field_f64(body, "measured_p50_ns").unwrap_or(0.0) as u64,
+    };
+    let container = field_str(body, "container").expect("container");
+    let mix = Mix::by_name(field_str(body, "mix").expect("mix"))
+        .unwrap_or_else(|| panic!("cell {name}: unknown mix"));
+    let theta = field_f64(body, "theta").unwrap_or(0.0);
+    let dist = if field_str(body, "dist") == Some("zipfian") {
+        KeyDist::Zipfian { theta }
+    } else {
+        KeyDist::Uniform
+    };
+    let def = scenario::CellDef {
+        container: hcl_bench::workload::ContainerKind::all()
+            .into_iter()
+            .find(|k| k.label() == container)
+            .unwrap_or_else(|| panic!("cell {name}: unknown container {container}")),
+        mix,
+        dist,
+    };
+    let spec = WorkloadSpec {
+        seed: field_f64(body, "seed").unwrap() as u64,
+        ops_per_rank: field_f64(body, "ops_per_rank").unwrap() as u64,
+        key_space: field_f64(body, "key_space").unwrap_or(256.0) as u64,
+        value_bytes: field_f64(body, "value_bytes").unwrap_or(64.0) as usize,
+        dist,
+        mix,
+        async_window: 0,
+        scan_width: 8,
+    };
+    // Guard: the committed ordered_factor must match what this build uses,
+    // otherwise the "regenerated" series would silently diverge.
+    let of = field_f64(body, "ordered_factor").unwrap_or(1.0);
+    assert!(
+        (of - def.ordered_factor()).abs() < 1e-9,
+        "cell {name}: committed ordered_factor {of} != current {}",
+        def.ordered_factor()
+    );
+    simulate_cell(&def, &spec, &cal).iter().map(|p| p.ops_per_sec).collect()
+}
+
+// ------------------------------------------------------------- smoke gate
+
+/// Compare a fresh smoke run against the committed artifact. Measured
+/// throughput is host-speed dependent, so the band is wide (15x either
+/// way) — it catches order-of-magnitude regressions (livelock, accidental
+/// sync fallback), not percent-level drift. Structural properties (errors,
+/// fault injection, app validity) are exact.
+fn smoke_gate(fresh_cells: &[CellResult], fresh_apps: &[AppCell], path: &str) {
+    let committed = read_committed(path);
+    let find = |name: &str| {
+        committed
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("{path}: committed artifact lacks cell {name} — regenerate"))
+    };
+
+    for c in fresh_cells {
+        let name = c.def.name();
+        let com = find(&name);
+        let committed_meds: Vec<f64> = field_f64_all(&com.body, "ops_per_sec");
+        let committed_top = committed_meds.first().copied().unwrap_or(0.0);
+        let fresh_top = c.measured[0].ops_per_sec;
+        let band = fresh_top / committed_top;
+        assert!(
+            (1.0 / 15.0..15.0).contains(&band),
+            "cell {name}: fresh {fresh_top:.0} op/s vs committed {committed_top:.0} op/s ({band:.2}x) — outside the 15x host band"
+        );
+        assert!(
+            c.measured.iter().all(|m| m.errors == 0),
+            "cell {name}: errors on a clean fabric"
+        );
+        assert!(c.chaos.drops + c.chaos.delayed > 0, "cell {name}: chaos twin saw no faults");
+        assert_eq!(c.chaos.errors, 0, "cell {name}: chaos twin surfaced errors");
+        println!("smoke {name}: fresh/committed {band:.2}x, chaos {} drops / {} delayed", c.chaos.drops, c.chaos.delayed);
+    }
+    for a in fresh_apps {
+        let name = format!("app_{}", a.name);
+        let _ = find(&name);
+        assert!(a.measured.iter().all(|m| m.ok), "{name}: invalid output");
+        assert!(a.chaos.ok, "{name}: invalid output under chaos");
+        assert!(a.chaos.drops + a.chaos.delayed > 0, "{name}: chaos twin saw no faults");
+        println!("smoke {name}: valid at all scales, chaos {} drops / {} delayed", a.chaos.drops, a.chaos.delayed);
+    }
+    validate(path);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let validate_only = args.iter().any(|a| a == "--validate");
+    let path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| ARTIFACT.to_string());
+
+    if validate_only {
+        validate(&path);
+        return;
+    }
+
+    let defs = matrix(smoke);
+    let mut cells = Vec::new();
+    for def in &defs {
+        println!("cell {}", def.name());
+        cells.push(run_cell(def, smoke, |line| println!("{line}")));
+    }
+    let apps: Vec<AppCell> = ["isx", "kmer"]
+        .into_iter()
+        .map(|name| {
+            println!("cell app_{name}");
+            run_app_cell(name, smoke, |line| println!("{line}"))
+        })
+        .collect();
+
+    if smoke {
+        smoke_gate(&cells, &apps, &path);
+    } else {
+        write_json(&cells, &apps, &path);
+        validate(&path);
+    }
+}

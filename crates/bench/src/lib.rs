@@ -1,8 +1,14 @@
-//! Shared output helpers for the figure-regeneration binaries.
+//! Shared output helpers for the figure-regeneration binaries, plus the
+//! scenario-suite layer: a YCSB-style mixed-op workload driver
+//! ([`workload`]) and the container × mix × distribution matrix runner
+//! ([`scenario`]) behind the committed `FIG_scenarios.json` artifact.
 //!
 //! Every binary prints the simulated/measured series next to the paper's
 //! reference values, plus a shape verdict, so a reader can diff the
 //! reproduction at a glance (EXPERIMENTS.md records the same numbers).
+
+pub mod scenario;
+pub mod workload;
 
 /// Print a section header.
 pub fn header(title: &str) {

@@ -1,0 +1,514 @@
+//! Scenario-matrix runner: container × mix × distribution cells, each with
+//! a measured 1–8-rank series, a ChaosFabric-faulted twin, and a simulated
+//! 64–512-node series derived from the measured latency histograms (the
+//! telemetry→sim calibration loop, [`hcl_cluster_sim::calibrate`]).
+//!
+//! The `scenarios` binary drives this module to produce the committed
+//! `FIG_scenarios.json`; `tests/` reuse the same primitives so the gated
+//! artifact and the regression tests exercise one code path.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hcl_cluster_sim::scenarios::{fig7_isx_at, fig7_meraculous_at, Fig7Point};
+use hcl_cluster_sim::{simulate_workload, Calibration, ClusterSpec, SimPoint, WorkloadSimParams};
+use hcl_fabric::chaos::{ChaosFabric, ChaosSnapshot, FaultPlan, FaultRule, OpClass};
+use hcl_fabric::memory::MemoryFabric;
+use hcl_fabric::Fabric;
+use hcl_rpc::RetryPolicy;
+use hcl_runtime::{World, WorldConfig, WorldShared};
+
+use crate::workload::{
+    run_scenario, ContainerKind, KeyDist, Mix, WorkloadSpec, WorkloadStats,
+};
+
+/// Artifact-wide base seed; every cell derives its streams from it.
+pub const SEED: u64 = 42;
+/// Measured scale points (ranks; one rank per node so every op crosses the
+/// dispatcher's remote path).
+pub const MEASURED_RANKS: [u32; 4] = [1, 2, 4, 8];
+/// Simulated scale points (nodes).
+pub const SIM_NODES: [u32; 4] = [64, 128, 256, 512];
+/// Closed-loop clients per simulated node.
+pub const SIM_RANKS_PER_NODE: u32 = 8;
+/// Ops per simulated client (small: 4096 clients at 512 nodes).
+pub const SIM_OPS_PER_CLIENT: u64 = 12;
+
+/// One cell definition of the matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct CellDef {
+    /// Container under test.
+    pub container: ContainerKind,
+    /// Operation mix.
+    pub mix: Mix,
+    /// Key distribution.
+    pub dist: KeyDist,
+}
+
+impl CellDef {
+    /// Stable `container/mix/dist` cell id used in artifacts and logs.
+    pub fn name(&self) -> String {
+        format!("{}/{}/{}", self.container.label(), self.mix.name, self.dist.name())
+    }
+
+    /// Handler-service multiplier the sim applies for this container
+    /// (ordered structures pay a log-descent; queues serialize harder).
+    pub fn ordered_factor(&self) -> f64 {
+        match self.container {
+            ContainerKind::OrderedMap => 1.6,
+            ContainerKind::PriorityQueue => 1.43,
+            _ => 1.0,
+        }
+    }
+}
+
+const ZIPF: KeyDist = KeyDist::Zipfian { theta: 0.99 };
+
+/// The driver cells. Smoke keeps the four-cell core the acceptance gate
+/// names (two containers × two mixes, one zipfian — plus two more cells so
+/// both queue families stay covered); the full matrix adds the rest.
+pub fn matrix(smoke: bool) -> Vec<CellDef> {
+    let mut cells = vec![
+        CellDef { container: ContainerKind::UnorderedMap, mix: Mix::UPDATE_HEAVY, dist: ZIPF },
+        CellDef {
+            container: ContainerKind::UnorderedMap,
+            mix: Mix::READ_HEAVY,
+            dist: KeyDist::Uniform,
+        },
+        CellDef { container: ContainerKind::OrderedMap, mix: Mix::SCAN_HEAVY, dist: ZIPF },
+        CellDef { container: ContainerKind::Queue, mix: Mix::QUEUE_MIX, dist: KeyDist::Uniform },
+    ];
+    if !smoke {
+        cells.extend([
+            CellDef { container: ContainerKind::UnorderedMap, mix: Mix::READ_HEAVY, dist: ZIPF },
+            CellDef { container: ContainerKind::UnorderedMap, mix: Mix::CHURN, dist: ZIPF },
+            CellDef {
+                container: ContainerKind::OrderedMap,
+                mix: Mix::UPDATE_HEAVY,
+                dist: KeyDist::Uniform,
+            },
+            CellDef { container: ContainerKind::UnorderedSet, mix: Mix::UPDATE_HEAVY, dist: ZIPF },
+            CellDef {
+                container: ContainerKind::PriorityQueue,
+                mix: Mix::QUEUE_MIX,
+                dist: KeyDist::Uniform,
+            },
+        ]);
+    }
+    cells
+}
+
+/// The workload parameters a cell runs under.
+pub fn spec_for(def: &CellDef, smoke: bool) -> WorkloadSpec {
+    WorkloadSpec {
+        seed: SEED,
+        ops_per_rank: if smoke { 300 } else { 1_500 },
+        key_space: 256,
+        value_bytes: 64,
+        dist: def.dist,
+        mix: def.mix,
+        async_window: 0, // sync path: latencies feed calibration directly
+        scan_width: 8,
+    }
+}
+
+/// One measured scale point of a driver cell.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasuredPoint {
+    /// Rank count of the run.
+    pub ranks: u32,
+    /// Aggregate throughput (total ops over the slowest rank's wall time).
+    pub ops_per_sec: f64,
+    /// Median per-op latency, ns (merged across ranks).
+    pub p50_ns: u64,
+    /// 99th percentile per-op latency, ns.
+    pub p99_ns: u64,
+    /// Ops that returned an error (must be 0 on a clean fabric).
+    pub errors: u64,
+    /// Slowest rank's wall time, s.
+    pub elapsed_s: f64,
+}
+
+/// The faulted twin of a cell: same workload over a [`ChaosFabric`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosTwin {
+    /// Rank count of the twin run.
+    pub ranks: u32,
+    /// Aggregate throughput under faults.
+    pub ops_per_sec: f64,
+    /// p99 per-op latency under faults, ns.
+    pub p99_ns: u64,
+    /// Ops that surfaced an error to the workload (retry budget exhausted);
+    /// expected 0 — the resilient retry policy absorbs the plan's faults.
+    pub errors: u64,
+    /// Request sends the plan dropped (forced retransmits).
+    pub drops: u64,
+    /// Request sends the plan delayed.
+    pub delayed: u64,
+}
+
+/// A fully-run driver cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The cell's definition.
+    pub def: CellDef,
+    /// The spec it ran under.
+    pub spec: WorkloadSpec,
+    /// Measured series over [`MEASURED_RANKS`] (or a prefix in smoke).
+    pub measured: Vec<MeasuredPoint>,
+    /// The faulted twin.
+    pub chaos: ChaosTwin,
+    /// Calibration distilled from the largest measured run's histogram.
+    pub cal: Calibration,
+    /// Simulated series over [`SIM_NODES`].
+    pub sim: Vec<SimPoint>,
+}
+
+fn world_config(ranks: u32) -> WorldConfig {
+    WorldConfig { nodes: ranks, ranks_per_node: 1, ..WorldConfig::small() }
+}
+
+fn merge_stats(per_rank: Vec<WorkloadStats>) -> WorkloadStats {
+    let mut it = per_rank.into_iter();
+    let mut acc = it.next().expect("at least one rank");
+    for s in it {
+        acc.merge(&s);
+    }
+    acc
+}
+
+fn measured_point(ranks: u32, stats: &WorkloadStats) -> MeasuredPoint {
+    MeasuredPoint {
+        ranks,
+        ops_per_sec: stats.ops_per_sec(),
+        p50_ns: stats.latency.p50(),
+        p99_ns: stats.latency.p99(),
+        errors: stats.errors,
+        elapsed_s: stats.elapsed_s,
+    }
+}
+
+/// Run one cell at one rank count on a clean in-memory fabric.
+pub fn run_measured(def: &CellDef, spec: &WorkloadSpec, ranks: u32) -> (MeasuredPoint, WorkloadStats) {
+    let name = format!("scen.{}", def.name());
+    let kind = def.container;
+    let spec = *spec;
+    let stats = merge_stats(World::run(world_config(ranks), move |rank| {
+        run_scenario(rank, kind, &name, &spec)
+    }));
+    (measured_point(ranks, &stats), stats)
+}
+
+/// The suite's standard chaos plan: 2% request drops (each costing a full
+/// attempt timeout before retransmission) plus a 200±200 µs jittered delay
+/// on every surviving send.
+pub fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed).for_class(
+        OpClass::Send,
+        FaultRule::NONE
+            .drop(0.02)
+            .delay(Duration::from_micros(200))
+            .jitter(Duration::from_micros(200)),
+    )
+}
+
+/// Build a chaos-wrapped shared world with the resilient retry policy the
+/// faulted runs require (6 attempts, 250 ms attempt timeout).
+pub fn chaos_world(ranks: u32, plan: FaultPlan, seed: u64) -> (Arc<ChaosFabric>, Arc<WorldShared>) {
+    let cfg = WorldConfig {
+        retry: RetryPolicy::resilient(6, seed).with_attempt_timeout(Duration::from_millis(250)),
+        ..world_config(ranks)
+    };
+    let chaos = Arc::new(ChaosFabric::wrap(Arc::new(MemoryFabric::new()), plan));
+    let shared = World::shared_with_fabric(cfg, Arc::clone(&chaos) as Arc<dyn Fabric>);
+    (chaos, shared)
+}
+
+/// Run the faulted twin of a cell.
+pub fn run_chaos(def: &CellDef, spec: &WorkloadSpec, ranks: u32) -> (ChaosTwin, ChaosSnapshot) {
+    let (chaos, shared) = chaos_world(ranks, chaos_plan(SEED ^ 0xC4A0), SEED);
+    let name = format!("chaos.{}", def.name());
+    let kind = def.container;
+    let spec = *spec;
+    let stats = merge_stats(World::run_on(shared, move |rank| {
+        run_scenario(rank, kind, &name, &spec)
+    }));
+    let snap = chaos.chaos_stats();
+    (
+        ChaosTwin {
+            ranks,
+            ops_per_sec: stats.ops_per_sec(),
+            p99_ns: stats.latency.p99(),
+            errors: stats.errors,
+            drops: snap.drops,
+            delayed: snap.delayed_ops,
+        },
+        snap,
+    )
+}
+
+/// Run a full cell: measured series, faulted twin, calibration, simulated
+/// extrapolation. `progress` gets one line per stage.
+pub fn run_cell(def: &CellDef, smoke: bool, mut progress: impl FnMut(&str)) -> CellResult {
+    let spec = spec_for(def, smoke);
+    let rank_counts: &[u32] = if smoke { &MEASURED_RANKS[..3] } else { &MEASURED_RANKS };
+
+    let mut measured = Vec::new();
+    let mut last_stats = None;
+    for &ranks in rank_counts {
+        let (pt, stats) = run_measured(def, &spec, ranks);
+        progress(&format!(
+            "  measured {:>2}r: {:>10.0} op/s  p50 {:>7} ns  p99 {:>8} ns",
+            ranks, pt.ops_per_sec, pt.p50_ns, pt.p99_ns
+        ));
+        measured.push(pt);
+        last_stats = Some(stats);
+    }
+
+    // Calibrate from the largest measured run: its merged histogram is
+    // dominated by genuinely remote dispatches (hybrid is off).
+    let top = last_stats.expect("measured series non-empty");
+    let cal = Calibration::from_remote_p50(
+        &ClusterSpec::ares(64),
+        top.latency.p50(),
+        spec.value_bytes as u64,
+    );
+
+    let chaos_ranks = *rank_counts.last().unwrap().min(&4);
+    let (chaos, _) = run_chaos(def, &spec, chaos_ranks);
+    progress(&format!(
+        "  chaos    {:>2}r: {:>10.0} op/s  p99 {:>8} ns  ({} drops, {} delayed, {} errors)",
+        chaos.ranks, chaos.ops_per_sec, chaos.p99_ns, chaos.drops, chaos.delayed, chaos.errors
+    ));
+
+    let sim = simulate_cell(def, &spec, &cal);
+    progress(&format!(
+        "  sim  64-512n: {:>10.0} -> {:.0} op/s (part {} ns, client {} ns)",
+        sim[0].ops_per_sec,
+        sim[sim.len() - 1].ops_per_sec,
+        cal.part_service_ns,
+        cal.client_ns
+    ));
+
+    CellResult { def: *def, spec, measured, chaos, cal, sim }
+}
+
+/// The deterministic simulated series for a cell under a calibration.
+/// Regenerated by the smoke gate from the *committed* calibration values —
+/// any drift in the queueing model shows up as a mismatch.
+pub fn simulate_cell(def: &CellDef, spec: &WorkloadSpec, cal: &Calibration) -> Vec<SimPoint> {
+    simulate_workload(&WorkloadSimParams {
+        node_list: SIM_NODES.to_vec(),
+        ranks_per_node: SIM_RANKS_PER_NODE,
+        ops_per_client: SIM_OPS_PER_CLIENT,
+        value_bytes: spec.value_bytes as u64,
+        read_fraction: def.mix.read_fraction(),
+        ordered_factor: def.ordered_factor(),
+        seed: spec.seed,
+        cal: *cal,
+    })
+}
+
+// ------------------------------------------------------------- app kernels
+
+/// One measured scale point of an application-kernel cell.
+#[derive(Debug, Clone, Copy)]
+pub struct AppPoint {
+    /// Total ranks of the run.
+    pub ranks: u32,
+    /// End-to-end wall time, s.
+    pub elapsed_s: f64,
+    /// Output validation verdict.
+    pub ok: bool,
+}
+
+/// The faulted twin of an app kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct AppChaos {
+    /// Total ranks of the twin.
+    pub ranks: u32,
+    /// End-to-end wall time under faults, s.
+    pub elapsed_s: f64,
+    /// Output validation verdict (must survive the faults).
+    pub ok: bool,
+    /// Dropped sends.
+    pub drops: u64,
+    /// Delayed sends.
+    pub delayed: u64,
+}
+
+/// A fully-run app-kernel cell (ISx or Meraculous k-mer counting).
+#[derive(Debug, Clone)]
+pub struct AppCell {
+    /// `"isx"` or `"kmer"`.
+    pub name: &'static str,
+    /// Per-rank work-unit count (keys or reads).
+    pub per_rank: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// Measured points at 2/4/8 ranks.
+    pub measured: Vec<AppPoint>,
+    /// Faulted twin.
+    pub chaos: AppChaos,
+    /// Simulated HCL-vs-BCL series over [`SIM_NODES`].
+    pub sim: Vec<Fig7Point>,
+}
+
+fn isx_config(per_rank: u64) -> hcl_apps::isx::IsxConfig {
+    hcl_apps::isx::IsxConfig { keys_per_rank: per_rank, key_space: 1 << 20, seed: SEED }
+}
+
+fn run_isx_on(shared: Arc<WorldShared>, per_rank: u64, ranks: u32, nodes: u32) -> (f64, bool) {
+    let cfg = isx_config(per_rank);
+    let t0 = Instant::now();
+    let results = World::run_on(shared, move |rank| hcl_apps::isx::run_hcl(rank, &cfg));
+    let dt = t0.elapsed().as_secs_f64();
+    let ok = hcl_apps::isx::validate(&results, &cfg, ranks as u64, nodes as u64);
+    (dt, ok)
+}
+
+fn run_kmer_on(shared: Arc<WorldShared>, reads_per_rank: u64) -> (f64, bool) {
+    let genome = hcl_apps::genome::synth_genome(2_000, SEED);
+    let t0 = Instant::now();
+    let counts = World::run_on(shared, move |rank| {
+        let reads = hcl_apps::genome::sample_reads(
+            &genome,
+            reads_per_rank as usize,
+            40,
+            0.0,
+            SEED + rank.id() as u64,
+        );
+        hcl_apps::meraculous::count_kmers_hcl(rank, "scen.kmer", &reads, 15)
+    });
+    let dt = t0.elapsed().as_secs_f64();
+    // Every rank snapshots the same global histogram: agreement + coverage.
+    let ok = !counts[0].is_empty() && counts.iter().all(|c| *c == counts[0]);
+    (dt, ok)
+}
+
+fn app_world(nodes: u32) -> Arc<WorldShared> {
+    World::shared(WorldConfig { nodes, ranks_per_node: 2, ..WorldConfig::small() })
+}
+
+fn app_chaos_world(nodes: u32) -> (Arc<ChaosFabric>, Arc<WorldShared>) {
+    let cfg = WorldConfig {
+        nodes,
+        ranks_per_node: 2,
+        retry: RetryPolicy::resilient(6, SEED).with_attempt_timeout(Duration::from_millis(250)),
+        ..WorldConfig::small()
+    };
+    let chaos = Arc::new(ChaosFabric::wrap(Arc::new(MemoryFabric::new()), chaos_plan(SEED ^ 0xA99)));
+    let shared = World::shared_with_fabric(cfg, Arc::clone(&chaos) as Arc<dyn Fabric>);
+    (chaos, shared)
+}
+
+/// Run one app-kernel cell end-to-end: measured 2/4/8-rank points (2 ranks
+/// per node, so the kernels exercise both the hybrid local path and real
+/// remote dispatch), a chaos twin at 2×2, and the fig7 sim extended to
+/// [`SIM_NODES`].
+pub fn run_app_cell(name: &'static str, smoke: bool, mut progress: impl FnMut(&str)) -> AppCell {
+    let per_rank: u64 = if smoke { 300 } else { 1_000 };
+    let node_counts: &[u32] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+
+    let mut measured = Vec::new();
+    for &nodes in node_counts {
+        let ranks = nodes * 2;
+        let shared = app_world(nodes);
+        let (dt, ok) = match name {
+            "isx" => run_isx_on(shared, per_rank, ranks, nodes),
+            _ => run_kmer_on(shared, per_rank.min(120)),
+        };
+        progress(&format!("  app {name} {ranks}r: {dt:.3} s  valid={ok}"));
+        assert!(ok, "app kernel {name} produced invalid output at {ranks} ranks");
+        measured.push(AppPoint { ranks, elapsed_s: dt, ok });
+    }
+
+    let (chaos, shared) = app_chaos_world(2);
+    let (dt, ok) = match name {
+        "isx" => run_isx_on(shared, per_rank, 4, 2),
+        _ => run_kmer_on(shared, per_rank.min(120)),
+    };
+    let snap = chaos.chaos_stats();
+    progress(&format!(
+        "  app {name} chaos 4r: {dt:.3} s  valid={ok}  ({} drops, {} delayed)",
+        snap.drops, snap.delayed_ops
+    ));
+    assert!(ok, "app kernel {name} lost data under chaos");
+    let chaos_pt =
+        AppChaos { ranks: 4, elapsed_s: dt, ok, drops: snap.drops, delayed: snap.delayed_ops };
+
+    let sim = match name {
+        "isx" => fig7_isx_at(&SIM_NODES, per_rank),
+        _ => fig7_meraculous_at(&SIM_NODES, false, per_rank),
+    };
+    progress(&format!(
+        "  app {name} sim 64-512n: HCL {:.1} -> {:.1} s (BCL {:.1} -> {:.1} s)",
+        sim[0].hcl_s,
+        sim[sim.len() - 1].hcl_s,
+        sim[0].bcl_s,
+        sim[sim.len() - 1].bcl_s
+    ));
+
+    AppCell { name, per_rank, seed: SEED, measured, chaos: chaos_pt, sim }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_shape() {
+        let smoke = matrix(true);
+        let full = matrix(false);
+        assert_eq!(smoke.len(), 4);
+        assert!(full.len() > smoke.len());
+        // The acceptance gate's floor: at least two containers and two
+        // mixes, one of them zipfian, in the smoke subset.
+        let containers: std::collections::BTreeSet<&str> =
+            smoke.iter().map(|c| c.container.label()).collect();
+        let mixes: std::collections::BTreeSet<&str> = smoke.iter().map(|c| c.mix.name).collect();
+        assert!(containers.len() >= 2, "{containers:?}");
+        assert!(mixes.len() >= 2, "{mixes:?}");
+        assert!(smoke.iter().any(|c| matches!(c.dist, KeyDist::Zipfian { .. })));
+        // Cell names are unique (they key the artifact).
+        let names: std::collections::BTreeSet<String> = full.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), full.len());
+    }
+
+    #[test]
+    fn driver_cell_runs_clean_and_faulted() {
+        let def = CellDef {
+            container: ContainerKind::UnorderedMap,
+            mix: Mix::UPDATE_HEAVY,
+            dist: KeyDist::Zipfian { theta: 0.99 },
+        };
+        let spec = WorkloadSpec { ops_per_rank: 120, ..spec_for(&def, true) };
+        let (pt, stats) = run_measured(&def, &spec, 2);
+        assert_eq!(pt.errors, 0);
+        assert_eq!(stats.ops, 240);
+        assert!(pt.ops_per_sec > 0.0);
+        assert!(pt.p99_ns >= pt.p50_ns);
+
+        let (twin, snap) = run_chaos(&def, &spec, 2);
+        assert_eq!(twin.errors, 0, "retry policy must absorb the plan's faults");
+        assert!(snap.drops + snap.delayed_ops > 0, "chaos plan injected nothing");
+        assert_eq!(twin.drops, snap.drops);
+    }
+
+    #[test]
+    fn sim_series_regenerates_identically_from_calibration() {
+        let def = CellDef {
+            container: ContainerKind::OrderedMap,
+            mix: Mix::SCAN_HEAVY,
+            dist: KeyDist::Zipfian { theta: 0.99 },
+        };
+        let spec = spec_for(&def, true);
+        let cal = Calibration::from_remote_p50(&ClusterSpec::ares(64), 55_000, 64);
+        let a = simulate_cell(&def, &spec, &cal);
+        let b = simulate_cell(&def, &spec, &cal);
+        assert_eq!(a.len(), SIM_NODES.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.ops_per_sec.to_bits(), y.ops_per_sec.to_bits());
+        }
+    }
+}

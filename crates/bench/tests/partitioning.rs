@@ -1,0 +1,114 @@
+//! Scenario-suite invariants that need a live world: the zipfian key
+//! stream must land on the *same* partition/owner no matter which rank
+//! computes it (otherwise two ranks would disagree about where a key
+//! lives and the driver's read-your-writes checks would be meaningless),
+//! and the mixed-op driver must complete cleanly on all five containers.
+
+use std::sync::Arc;
+
+use hcl::unordered::UnorderedMapConfig;
+use hcl::UnorderedMap;
+use hcl_bench::workload::{
+    run_scenario, ContainerKind, KeyDist, KeyGen, Mix, WorkloadRng, WorkloadSpec,
+};
+use hcl_runtime::{World, WorldConfig};
+
+fn mem_world(nodes: u32, rpn: u32) -> WorldConfig {
+    WorldConfig { nodes, ranks_per_node: rpn, ..WorldConfig::small() }
+}
+
+/// The zipfian key stream a driver rank would draw, as (key, partition,
+/// owner-rank) triples computed *by this rank's handle*.
+fn owner_stream(map: &UnorderedMap<u64, Vec<u8>>, seed: u64, draws: u64) -> Vec<(u64, usize, u32)> {
+    let gen = KeyGen::new(256, KeyDist::Zipfian { theta: 0.99 }, seed);
+    let mut rng = WorkloadRng::new(seed);
+    (0..draws)
+        .map(|_| {
+            let k = gen.next_key(&mut rng);
+            let p = map.partition_of(&k);
+            (k, p, map.server_of(p))
+        })
+        .collect()
+}
+
+#[test]
+fn key_to_owner_is_identical_on_every_rank() {
+    let streams = World::run(mem_world(2, 2), |rank| {
+        let map: UnorderedMap<u64, Vec<u8>> = UnorderedMap::with_config(
+            rank,
+            "part.umap",
+            UnorderedMapConfig { hybrid: false, ..UnorderedMapConfig::default() },
+        );
+        rank.barrier();
+        let s = owner_stream(&map, 7, 512);
+        rank.barrier();
+        s
+    });
+    for (r, s) in streams.iter().enumerate().skip(1) {
+        assert_eq!(
+            s, &streams[0],
+            "rank {r} disagrees with rank 0 about key placement"
+        );
+    }
+    // The stream actually spreads load: more than one owner shows up.
+    let owners: std::collections::BTreeSet<u32> =
+        streams[0].iter().map(|&(_, _, o)| o).collect();
+    assert!(owners.len() > 1, "zipfian stream never left one owner: {owners:?}");
+}
+
+#[test]
+fn owner_assignment_is_stable_across_world_shapes() {
+    // Same rank count arranged as 2x2 and 4x1: with the same explicit
+    // server list the key->partition->owner mapping must be bitwise
+    // identical, so a scenario cell re-run on a different node shape
+    // replays onto the same owners.
+    let servers: Arc<Vec<u32>> = Arc::new(vec![0, 1, 2, 3]);
+    let stream_for = |cfg: WorldConfig, servers: Arc<Vec<u32>>| {
+        let mut streams = World::run(cfg, move |rank| {
+            let map: UnorderedMap<u64, Vec<u8>> = UnorderedMap::with_config(
+                rank,
+                "part.stable.umap",
+                UnorderedMapConfig {
+                    servers: Some(servers.as_ref().clone()),
+                    hybrid: false,
+                    ..UnorderedMapConfig::default()
+                },
+            );
+            rank.barrier();
+            let s = owner_stream(&map, 21, 512);
+            rank.barrier();
+            s
+        });
+        streams.swap_remove(0)
+    };
+    let square = stream_for(mem_world(2, 2), Arc::clone(&servers));
+    let flat = stream_for(mem_world(4, 1), servers);
+    assert_eq!(square, flat, "world shape changed key placement");
+}
+
+#[test]
+fn driver_smoke_runs_clean_on_all_five_containers() {
+    for kind in ContainerKind::all() {
+        let spec = WorkloadSpec {
+            ops_per_rank: 40,
+            key_space: 64,
+            mix: match kind {
+                ContainerKind::Queue | ContainerKind::PriorityQueue => Mix::QUEUE_MIX,
+                _ => Mix::UPDATE_HEAVY,
+            },
+            ..WorkloadSpec::small(5)
+        };
+        let stats = World::run(mem_world(2, 2), move |rank| {
+            run_scenario(rank, kind, &format!("part.smoke.{}", kind.label()), &spec)
+        });
+        for (r, s) in stats.iter().enumerate() {
+            assert_eq!(s.errors, 0, "{}: rank {r} surfaced errors", kind.label());
+            assert_eq!(
+                s.ops, spec.ops_per_rank,
+                "{}: rank {r} fell short of its op count",
+                kind.label()
+            );
+            assert!(s.latency.p99() > 0, "{}: rank {r} recorded no latencies", kind.label());
+        }
+    }
+}

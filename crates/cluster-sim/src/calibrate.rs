@@ -1,0 +1,221 @@
+//! Telemetry→sim feedback loop: calibrate the queueing model's software
+//! constants from *measured* per-rank latency histograms, then extrapolate
+//! a workload to node counts the test host cannot run.
+//!
+//! The scenario suite measures real 1–8-rank runs with the in-memory
+//! fabric and records per-op latencies into `hcl-telemetry` histograms.
+//! [`Calibration::from_remote_p50`] decomposes the measured median remote
+//! op latency into the model's two software knobs ([`OpParams`]'s
+//! `part_service_ns` and `client_ns`) by subtracting the Ares network
+//! floor the [`ClusterSpec`] already accounts for; [`simulate_workload`]
+//! then replays the same mix shape through the discrete-event engine at
+//! 64–512 nodes. The committed FIG artifacts record the calibration
+//! values, so the simulated series regenerates bit-identically on any
+//! host (the engine is deterministic) even though the measurement that
+//! produced the calibration is host-speed dependent.
+
+use crate::engine::{ClientPlan, Engine};
+use crate::protocol::{self, OpParams};
+use crate::rng::SimRng;
+use crate::spec::ClusterSpec;
+
+/// Software constants distilled from one measured latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Per-op structure service at the owning partition, ns.
+    pub part_service_ns: u64,
+    /// Per-op client-side software overhead, ns.
+    pub client_ns: u64,
+    /// The measured median remote-op latency this was derived from, ns
+    /// (recorded in artifacts for provenance).
+    pub measured_p50_ns: u64,
+}
+
+/// Floor for `part_service_ns`: even a trivial op pays a bucket walk.
+const MIN_PART_SERVICE_NS: u64 = 1_000;
+/// Floor for `client_ns`: marshalling is never free.
+const MIN_CLIENT_NS: u64 = 500;
+/// Of the software remainder, the share attributed to the partition
+/// (the rest is client-side). The split matters less than the sum — both
+/// serialize per closed-loop client — but the partition share is the part
+/// that contends under fan-in.
+const PART_SHARE: f64 = 0.6;
+
+impl Calibration {
+    /// Decompose a measured median remote-op latency (`p50_ns`, from the
+    /// dispatcher's `hcl_core_op_latency_remote_ns` histogram or the
+    /// workload driver's own per-op histogram) for ops carrying
+    /// `value_bytes` payloads.
+    ///
+    /// The modeled Ares network floor — wire time both ways, propagation,
+    /// NIC handler, handler-side memcpy — is subtracted; what remains is
+    /// software cost the model does not otherwise account for, split
+    /// between partition service and client overhead. Host machines
+    /// faster than the modeled path clamp to the floors, so calibration
+    /// is total and deterministic for any input.
+    pub fn from_remote_p50(spec: &ClusterSpec, p50_ns: u64, value_bytes: u64) -> Calibration {
+        let floor = spec.wire_ns(value_bytes)
+            + spec.client_overhead_ns
+            + spec.rpc_handler_ns
+            + 2 * spec.local_cas_ns
+            + spec.memcpy_ns(value_bytes)
+            + spec.wire_ns(64)
+            + 3 * spec.link_latency_ns; // request one-way + response RTT
+        let software = p50_ns.saturating_sub(floor);
+        let part_raw = (software as f64 * PART_SHARE) as u64;
+        let part = part_raw.max(MIN_PART_SERVICE_NS);
+        let client = software.saturating_sub(part_raw).max(MIN_CLIENT_NS);
+        Calibration { part_service_ns: part, client_ns: client, measured_p50_ns: p50_ns }
+    }
+
+    /// The [`OpParams`] this calibration induces for a payload of
+    /// `value_bytes` with the given ordered-structure factor.
+    pub fn op_params(&self, value_bytes: u64, ordered_factor: f64) -> OpParams {
+        OpParams {
+            size: value_bytes.max(1),
+            bcl_retry_p: 0.0,
+            ordered_factor,
+            part_service_ns: self.part_service_ns,
+            client_ns: self.client_ns,
+        }
+    }
+}
+
+/// Shape of the workload to extrapolate (mirrors the bench driver's spec).
+#[derive(Debug, Clone)]
+pub struct WorkloadSimParams {
+    /// Node counts to simulate (the suite uses 64–512).
+    pub node_list: Vec<u32>,
+    /// Closed-loop clients per node.
+    pub ranks_per_node: u32,
+    /// Ops each simulated client issues.
+    pub ops_per_client: u64,
+    /// Payload bytes per op.
+    pub value_bytes: u64,
+    /// Fraction of ops that are reads (finds); the rest are inserts.
+    pub read_fraction: f64,
+    /// Handler service multiplier for ordered structures (1.0 unordered).
+    pub ordered_factor: f64,
+    /// Deterministic seed for partition/op choice.
+    pub seed: u64,
+    /// The measured calibration to run under.
+    pub cal: Calibration,
+}
+
+/// One simulated scale point.
+#[derive(Debug, Clone, Copy)]
+pub struct SimPoint {
+    /// Node count of this point.
+    pub nodes: u32,
+    /// Aggregate throughput, ops/s.
+    pub ops_per_sec: f64,
+    /// Makespan, seconds.
+    pub makespan_s: f64,
+}
+
+/// Run the calibrated mixed workload at every node count in
+/// `params.node_list`: one partition per node, `ranks_per_node` closed-loop
+/// clients per node spraying calibrated insert/find phases uniformly over
+/// the partitions. Fully deterministic for fixed params.
+pub fn simulate_workload(params: &WorkloadSimParams) -> Vec<SimPoint> {
+    params
+        .node_list
+        .iter()
+        .map(|&nodes| {
+            let spec = ClusterSpec::ares(nodes);
+            let partitions = nodes as usize;
+            let clients = (nodes * params.ranks_per_node) as usize;
+            let mut e = Engine::new();
+            let r = protocol::build_resources(&mut e, &spec, partitions, None);
+            let plans: Vec<ClientPlan> = (0..clients)
+                .map(|c| {
+                    let r = r.clone();
+                    let mut rng = SimRng::new(params.seed ^ (c as u64).wrapping_mul(0x9E37) | 1);
+                    let p = params.cal.op_params(params.value_bytes, params.ordered_factor);
+                    let read_fraction = params.read_fraction;
+                    ClientPlan {
+                        ops: params.ops_per_client,
+                        builder: Box::new(move |_| {
+                            let part = rng.below(partitions as u64) as usize;
+                            let node = part % spec.nodes as usize;
+                            if rng.chance(read_fraction) {
+                                protocol::hcl_find_remote(&spec, &r, node, part, &p)
+                            } else {
+                                protocol::hcl_insert_remote(&spec, &r, node, part, &p, false)
+                            }
+                        }),
+                    }
+                })
+                .collect();
+            let result = e.run(plans);
+            let makespan_s = result.makespan_seconds();
+            SimPoint {
+                nodes,
+                ops_per_sec: clients as f64 * params.ops_per_client as f64 / makespan_s,
+                makespan_s,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ClusterSpec {
+        ClusterSpec::ares(64)
+    }
+
+    #[test]
+    fn calibration_clamps_fast_hosts_to_floors() {
+        // A 2 µs measured median is below the modeled Ares network floor:
+        // both knobs clamp, nothing underflows.
+        let c = Calibration::from_remote_p50(&spec(), 2_000, 64);
+        assert_eq!(c.part_service_ns, MIN_PART_SERVICE_NS);
+        assert_eq!(c.client_ns, MIN_CLIENT_NS);
+        assert_eq!(c.measured_p50_ns, 2_000);
+    }
+
+    #[test]
+    fn calibration_is_monotonic_in_measured_latency() {
+        let s = spec();
+        let slow = Calibration::from_remote_p50(&s, 2_000_000, 64);
+        let fast = Calibration::from_remote_p50(&s, 100_000, 64);
+        assert!(slow.part_service_ns > fast.part_service_ns);
+        assert!(slow.client_ns >= fast.client_ns);
+        // The decomposition conserves the software remainder.
+        let floor_plus = slow.part_service_ns + slow.client_ns;
+        assert!(floor_plus < 2_000_000, "software split {floor_plus} exceeds the measurement");
+    }
+
+    #[test]
+    fn simulated_series_is_deterministic_and_scales() {
+        let params = WorkloadSimParams {
+            node_list: vec![64, 128, 256, 512],
+            ranks_per_node: 4,
+            ops_per_client: 8,
+            value_bytes: 64,
+            read_fraction: 0.5,
+            ordered_factor: 1.0,
+            seed: 42,
+            cal: Calibration::from_remote_p50(&spec(), 40_000, 64),
+        };
+        let a = simulate_workload(&params);
+        let b = simulate_workload(&params);
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.ops_per_sec.to_bits(), y.ops_per_sec.to_bits(), "sim must be bitwise deterministic");
+        }
+        // Weak scaling: aggregate throughput grows with node count (more
+        // clients, proportionally more partitions).
+        assert!(
+            a[3].ops_per_sec > 3.0 * a[0].ops_per_sec,
+            "512-node throughput {:.0} should be >3x the 64-node {:.0}",
+            a[3].ops_per_sec,
+            a[0].ops_per_sec
+        );
+        for p in &a {
+            assert!(p.makespan_s > 0.0 && p.makespan_s.is_finite());
+        }
+    }
+}

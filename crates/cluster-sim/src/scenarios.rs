@@ -545,7 +545,13 @@ fn app_run(
 /// arrival via the priority queue; BCL pushes then sorts locally and pays
 /// the all-to-all exchange.
 pub fn fig7_isx(keys_per_rank: u64) -> Vec<Fig7Point> {
-    [8u32, 16, 32, 64]
+    fig7_isx_at(&[8, 16, 32, 64], keys_per_rank)
+}
+
+/// [`fig7_isx`] over an arbitrary node list — the scenario suite extends
+/// the paper's 8–64 sweep out to 512 simulated nodes.
+pub fn fig7_isx_at(node_list: &[u32], keys_per_rank: u64) -> Vec<Fig7Point> {
+    node_list
         .iter()
         .map(|&nodes| {
             let spec = ClusterSpec::ares(nodes);
@@ -569,7 +575,16 @@ pub fn fig7_isx(keys_per_rank: u64) -> Vec<Fig7Point> {
 /// find-heavy contig-generation kernel; otherwise k-mer counting
 /// (insert-heavy with hot-key contention that grows with scale).
 pub fn fig7_meraculous(contig: bool, kmers_per_rank: u64) -> Vec<Fig7Point> {
-    [8u32, 16, 32, 64]
+    fig7_meraculous_at(&[8, 16, 32, 64], contig, kmers_per_rank)
+}
+
+/// [`fig7_meraculous`] over an arbitrary node list (see [`fig7_isx_at`]).
+pub fn fig7_meraculous_at(
+    node_list: &[u32],
+    contig: bool,
+    kmers_per_rank: u64,
+) -> Vec<Fig7Point> {
+    node_list
         .iter()
         .map(|&nodes| {
             let spec = ClusterSpec::ares(nodes);

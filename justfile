@@ -58,6 +58,12 @@ check-conc-soak:
 check-lin:
     cargo test --release --features history --test linearizability
 
+# Seeded linearizability soak over the scenario driver's zipfian mixed-op
+# histories. `HCL_LIN_SEED` pins the base seed, `HCL_LIN_SOAK_ITERS` the
+# round count, so any failing seed replays exactly.
+check-lin-soak:
+    cargo test --release --features history --test linearizability -- --ignored zipfian_soak_many_seeds
+
 # ~10 s subset of the PR 3 RPC hot-path bench (8-rank memory-fabric
 # put/get, baseline vs batched), then validate the committed
 # BENCH_pr3.json: schema keys, non-zero throughputs, >= 2x headline
@@ -73,6 +79,20 @@ bench-smoke:
 telemetry-smoke:
     cargo run --release -p hcl-bench --bin telemetry_smoke
 
+# Scenario-matrix gate: re-run the smoke subset of the YCSB-style scenario
+# suite (2 containers x 2 mixes, each with a ChaosFabric-faulted twin) and
+# compare medians against the committed FIG_scenarios.json, then re-derive
+# every committed sim series from its recorded calibration. The full matrix
+# regeneration is `cargo run --release -p hcl-bench --bin scenarios`.
+scenario-smoke:
+    cargo run --release -p hcl-bench --bin scenarios -- --smoke
+
+# FIG artifact provenance: every committed FIG_*.json must record its seed,
+# measured rank counts, and per-cell workload mix.
+check-artifacts:
+    cargo run -p xtask -- artifacts
+
 # Everything CI runs: build, tier-1 tests, hygiene lint, fault suite,
-# schedule exploration, linearizability histories, bench smoke-checks.
-ci: build test lint test-faults check-conc check-lin bench-smoke telemetry-smoke
+# schedule exploration, linearizability histories, bench smoke-checks,
+# scenario-matrix gate, artifact provenance.
+ci: build test lint test-faults check-conc check-lin bench-smoke telemetry-smoke scenario-smoke check-artifacts

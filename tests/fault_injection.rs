@@ -520,3 +520,75 @@ fn soak_lossy_workload_env_seed() {
     let snap = run_lossy_workload(seed);
     assert!(snap.total_faults() > 0, "soak run observed no faults: {snap:?}");
 }
+
+/// Scenario satellite: a delay-only plan (every send slowed, nothing
+/// dropped) must degrade latency smoothly, not trip the retry machinery
+/// into livelock. The mixed-op scenario driver runs an async-window
+/// zipfian workload; afterwards the op p99 must sit well under one
+/// attempt timeout (a retried op costs at least one full timeout, so a
+/// bounded p99 proves the retry path stayed cold) and every rank's
+/// flight recorder must hold `BatchFlush` flush-cause events from the
+/// async update windows.
+#[test]
+fn delay_plan_scenario_has_bounded_p99_and_flush_events() {
+    use hcl_bench::workload::{run_scenario, ContainerKind, KeyDist, Mix, WorkloadSpec};
+    use hcl_telemetry::{EventKind, TelemetryConfig};
+
+    let seed = 0xDE1A;
+    let cfg = retrying(
+        WorldConfig { nodes: 2, ranks_per_node: 2, ..WorldConfig::small() },
+        seed,
+    );
+    // A deep flight ring so the batch flushes from early windows are still
+    // resident after the tail of sync reads churns the ring.
+    let cfg = WorldConfig {
+        telemetry: TelemetryConfig { flight_capacity: 4096, ..TelemetryConfig::default() },
+        ..cfg
+    };
+    let plan = FaultPlan::new(seed).for_class(
+        OpClass::Send,
+        FaultRule::NONE
+            .delay(Duration::from_micros(400))
+            .jitter(Duration::from_micros(400)),
+    );
+    let (chaos, shared) = chaos_shared(cfg, plan);
+    let spec = WorkloadSpec {
+        seed,
+        ops_per_rank: 120,
+        key_space: 64,
+        value_bytes: 32,
+        dist: KeyDist::Zipfian { theta: 0.99 },
+        mix: Mix::UPDATE_HEAVY,
+        async_window: 8,
+        scan_width: 4,
+    };
+    let per_rank = World::run_on(shared, move |rank| {
+        let stats = run_scenario(rank, ContainerKind::UnorderedMap, "chaos.delay.umap", &spec);
+        let flushes = rank
+            .telemetry()
+            .flight()
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::BatchFlush)
+            .count();
+        (stats, flushes)
+    });
+
+    let attempt_timeout_ns = 300_000_000u64; // matches `retrying` above
+    for (rank_id, (stats, flushes)) in per_rank.into_iter().enumerate() {
+        assert_eq!(stats.errors, 0, "rank {rank_id} surfaced errors under delay-only faults");
+        assert_eq!(stats.ops, spec.ops_per_rank, "rank {rank_id} fell short of its op count");
+        let p99 = stats.latency.p99();
+        assert!(
+            p99 < attempt_timeout_ns,
+            "rank {rank_id} p99 {p99} ns >= one attempt timeout: retry livelock under delay plan"
+        );
+        assert!(
+            flushes > 0,
+            "rank {rank_id} recorded no BatchFlush events despite async windows"
+        );
+    }
+    let snap = chaos.chaos_stats();
+    assert!(snap.delayed_ops > 0, "delay plan never fired: {snap:?}");
+    assert_eq!(snap.drops, 0, "delay-only plan must not drop: {snap:?}");
+}

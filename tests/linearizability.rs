@@ -14,9 +14,13 @@
 
 use std::sync::Arc;
 
+use hcl::queue::QueueConfig;
 use hcl::{
     check, DsSpec, HistoryRecorder, OrderedMap, PriorityQueue, Queue, Recorder, UnorderedMap,
-    UnorderedSet,
+    UnorderedMapConfig, UnorderedSet,
+};
+use hcl_bench::workload::{
+    run_on_queue, run_on_unordered_map, run_on_unordered_set, KeyDist, Mix, WorkloadSpec,
 };
 use hcl_runtime::{World, WorldConfig};
 
@@ -158,4 +162,128 @@ fn priority_queue_history_is_linearizable() {
     let hist = rec.take();
     assert!(!hist.is_empty());
     check(&DsSpec::pq(), &hist).expect("priority_queue history must be linearizable");
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-driver histories: the YCSB-style mixed-op workload driver from
+// `hcl-bench` runs its zipfian mixes against recorder-instrumented handles,
+// so the exact op streams the benchmark suite measures are the streams the
+// Wing–Gong checker replays. Only scan-free mixes with `async_window: 0`
+// are used: every op the driver issues on those paths is history-recorded
+// (scans and async puts are not, and an unrecorded mutation would make the
+// history unsatisfiable by construction).
+
+/// A small contended spec: zipfian over a handful of keys so all four
+/// ranks keep colliding on the hot head.
+fn driver_spec(seed: u64, ops_per_rank: u64, mix: Mix) -> WorkloadSpec {
+    WorkloadSpec {
+        seed,
+        ops_per_rank,
+        key_space: 8,
+        value_bytes: 8,
+        dist: KeyDist::Zipfian { theta: 0.99 },
+        mix,
+        async_window: 0,
+        scan_width: 4,
+    }
+}
+
+#[test]
+fn zipfian_churn_map_history_is_linearizable() {
+    let rec = recorder();
+    let rec2 = Arc::clone(&rec);
+    World::run(mem_world(2, 2), move |rank| {
+        let mut map: UnorderedMap<u64, Vec<u8>> = UnorderedMap::with_config(
+            rank,
+            "lin.drv.umap",
+            UnorderedMapConfig { hybrid: false, ..UnorderedMapConfig::default() },
+        );
+        map.set_recorder(Arc::clone(&rec2));
+        rank.barrier();
+        let stats = run_on_unordered_map(rank, &map, &driver_spec(11, 60, Mix::CHURN));
+        assert_eq!(stats.errors, 0);
+        rank.barrier();
+    });
+    let hist = rec.take();
+    // 4 ranks × (prefill share + 60 mixed ops), all of them recorded.
+    assert!(hist.len() >= 4 * 60, "sparse history: {} ops", hist.len());
+    check(&DsSpec::map(), &hist).expect("zipfian churn map history must be linearizable");
+}
+
+#[test]
+fn zipfian_update_heavy_set_history_is_linearizable() {
+    let rec = recorder();
+    let rec2 = Arc::clone(&rec);
+    World::run(mem_world(2, 2), move |rank| {
+        let mut set: UnorderedSet<u64> = UnorderedSet::with_config(
+            rank,
+            "lin.drv.uset",
+            UnorderedMapConfig { hybrid: false, ..UnorderedMapConfig::default() },
+        );
+        set.set_recorder(Arc::clone(&rec2));
+        rank.barrier();
+        let stats = run_on_unordered_set(rank, &set, &driver_spec(13, 60, Mix::UPDATE_HEAVY));
+        assert_eq!(stats.errors, 0);
+        rank.barrier();
+    });
+    let hist = rec.take();
+    assert!(!hist.is_empty());
+    check(&DsSpec::set(), &hist).expect("zipfian set history must be linearizable");
+}
+
+#[test]
+fn queue_mix_history_is_linearizable() {
+    // Unkeyed spec → whole-history search; kept small to stay tractable.
+    let rec = recorder();
+    let rec2 = Arc::clone(&rec);
+    World::run(mem_world(2, 2), move |rank| {
+        let mut q: Queue<Vec<u8>> =
+            Queue::with_config(rank, "lin.drv.q", QueueConfig { owner: 0, hybrid: false });
+        q.set_recorder(Arc::clone(&rec2));
+        rank.barrier();
+        let spec = WorkloadSpec {
+            key_space: 4,
+            ..driver_spec(17, 10, Mix::QUEUE_MIX)
+        };
+        let stats = run_on_queue(rank, &q, &spec);
+        assert_eq!(stats.errors, 0);
+        rank.barrier();
+    });
+    let hist = rec.take();
+    assert!(!hist.is_empty());
+    check(&DsSpec::queue(), &hist).expect("queue mix history must be linearizable");
+}
+
+/// Seeded soak: many driver histories across fresh worlds. Run via
+/// `just check-lin-soak`; `HCL_LIN_SEED` pins the base seed and
+/// `HCL_LIN_SOAK_ITERS` the round count, so a failing seed replays exactly.
+#[test]
+#[ignore = "soak: run via `just check-lin-soak`"]
+fn zipfian_soak_many_seeds() {
+    let base: u64 = std::env::var("HCL_LIN_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xD15C0);
+    let iters: u64 = std::env::var("HCL_LIN_SOAK_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    for round in 0..iters {
+        let seed = base.wrapping_add(round.wrapping_mul(0x9E37_79B9));
+        let rec = recorder();
+        let rec2 = Arc::clone(&rec);
+        World::run(mem_world(2, 2), move |rank| {
+            let mut map: UnorderedMap<u64, Vec<u8>> = UnorderedMap::with_config(
+                rank,
+                "lin.soak.umap",
+                UnorderedMapConfig { hybrid: false, ..UnorderedMapConfig::default() },
+            );
+            map.set_recorder(Arc::clone(&rec2));
+            rank.barrier();
+            run_on_unordered_map(rank, &map, &driver_spec(seed, 80, Mix::CHURN));
+            rank.barrier();
+        });
+        check(&DsSpec::map(), &rec.take())
+            .unwrap_or_else(|e| panic!("soak seed {seed} (round {round}): {e:?}"));
+    }
 }

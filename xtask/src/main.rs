@@ -1,25 +1,28 @@
-//! Workspace automation. Currently one command:
+//! Workspace automation. Two commands:
 //!
 //! ```text
-//! cargo run -p xtask -- lint
+//! cargo run -p xtask -- lint       # concurrency-hygiene lint pass
+//! cargo run -p xtask -- artifacts  # FIG_*.json provenance check
 //! ```
 //!
-//! runs the concurrency-hygiene lint pass (see [`lint`]).
+//! See [`lint`] and [`artifacts`] for the rules each pass enforces.
 
 use std::process::ExitCode;
 
+mod artifacts;
 mod lint;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => lint::run(),
+        Some("artifacts") => artifacts::run(),
         Some(other) => {
-            eprintln!("xtask: unknown command `{other}` (try `xtask lint`)");
+            eprintln!("xtask: unknown command `{other}` (try `xtask lint` or `xtask artifacts`)");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("xtask: no command given (try `xtask lint`)");
+            eprintln!("xtask: no command given (try `xtask lint` or `xtask artifacts`)");
             ExitCode::FAILURE
         }
     }
