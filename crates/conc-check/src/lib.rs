@@ -21,15 +21,26 @@
 //!    covered; a failing seed replays the exact schedule via
 //!    [`sched::run_one`].
 //!
-//! The static third leg of the toolkit — the `SAFETY:`/`ORDERING:`/epoch
-//! lint — lives in the workspace `xtask` binary, not here.
+//! 4. **[`hb`]** — a vector-clock happens-before checker layered on the
+//!    scheduler: the facade reports every atomic access *with its
+//!    `Ordering`*, mutex acquire/release, and spawn/join, and any value
+//!    consumed without a genuine synchronizes-with edge fails the schedule
+//!    as an ordering race (replayable via `HCL_SCHED_SEED`). [`RaceCell`]
+//!    extends the audit to the containers' unsafe non-atomic shared slots.
+//!
+//! The static fifth leg of the toolkit — the `SAFETY:`/`ORDERING:`/epoch
+//! lint — lives in the workspace `xtask` binary, not here; the `ORDERING:`
+//! cross-check there and [`hb`] validate the same annotations from both
+//! sides.
 
+pub mod hb;
 pub mod history;
 pub mod lin;
 pub mod sched;
 pub mod spec;
 pub mod sync;
 
+pub use hb::RaceCell;
 pub use history::{OpRecord, Recorder};
 pub use lin::{check, check_with_budget, CheckError, CheckStats, SeqSpec, Violation};
 pub use spec::{Bytes, DsOp, DsRet, DsSpec};

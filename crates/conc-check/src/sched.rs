@@ -27,14 +27,26 @@
 //! Interleavings are explored at the granularity of facade operations, with
 //! the host's memory model underneath. This catches atomicity violations,
 //! lost updates, broken invariants and ABA-style races — the bug classes
-//! the HCL containers are exposed to — but it does *not* simulate weak
-//! memory reordering: an `Ordering` bug that only manifests on hardware
-//! with weaker ordering than the host is out of scope (that seam is covered
-//! by the `xtask lint` `ORDERING:` audit instead).
+//! the HCL containers are exposed to. Executions are not *reordered* by the
+//! host's memory model (every facade op still runs sequentially
+//! consistently), but each schedule is additionally audited by the
+//! [`crate::hb`] vector-clock checker: the facade reports every access
+//! *with its `Ordering`*, and a value consumed without a genuine
+//! happens-before edge (Release→Acquire/SeqCst pair, mutex, spawn/join)
+//! fails the schedule as an ordering race even though the host happened to
+//! deliver the right value. Fences and `consume` are out of scope (see
+//! DESIGN.md §13); the static side of the same audit is `xtask lint`'s
+//! `ORDERING:` pass.
+//!
+//! A failing exploration prints its seed; `HCL_SCHED_SEED=<seed>` (decimal
+//! or `0x…` hex) makes any [`explore`] call replay exactly that one
+//! schedule.
 
 use std::cell::RefCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::hb::HbState;
 
 /// Task identifier within one schedule (0 = the root closure).
 pub type TaskId = usize;
@@ -86,11 +98,27 @@ struct State {
     /// First panic message from a spawned task (safety net for unjoined
     /// handles).
     task_panic: Option<String>,
+    /// Happens-before audit state for this schedule.
+    hb: HbState,
 }
 
 impl State {
-    fn runnable(&self) -> Vec<TaskId> {
-        (0..self.status.len()).filter(|&t| self.status[t] == Status::Runnable).collect()
+    /// Allocation-free runnable census (the scheduler sits on every facade
+    /// event, and the HB alloc guard asserts the steady state allocates
+    /// nothing — so no per-decision `Vec` here).
+    fn runnable_count(&self) -> usize {
+        self.status.iter().filter(|s| **s == Status::Runnable).count()
+    }
+
+    /// The `i`-th runnable task (0-based), skipping `exclude` if given.
+    fn nth_runnable(&self, i: usize, exclude: Option<TaskId>) -> TaskId {
+        self.status
+            .iter()
+            .enumerate()
+            .filter(|&(t, s)| *s == Status::Runnable && Some(t) != exclude)
+            .nth(i)
+            .map(|(t, _)| t)
+            .expect("runnable index out of range")
     }
 }
 
@@ -125,6 +153,16 @@ pub fn yield_now() {
     point(Point::Yield);
 }
 
+/// Run `f` against the current schedule's happens-before state (serialized
+/// by the scheduler lock). Returns `None` outside a schedule — the facade's
+/// audit hooks become no-ops there.
+#[cfg_attr(not(any(conc_check, test)), allow(dead_code))]
+pub(crate) fn with_hb<R>(f: impl FnOnce(&mut HbState, TaskId) -> R) -> Option<R> {
+    let (inner, me) = current()?;
+    let mut st = inner.lock();
+    Some(f(&mut st.hb, me))
+}
+
 impl SchedInner {
     fn lock(&self) -> MutexGuard<'_, State> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
@@ -149,17 +187,17 @@ impl SchedInner {
             drop(st);
             panic!("{msg}");
         }
-        let runnable = st.runnable();
-        debug_assert!(runnable.contains(&me), "switching task {me} is not runnable");
+        let n = st.runnable_count();
+        debug_assert!(st.status[me] == Status::Runnable, "switching task {me} is not runnable");
         let r = splitmix(&mut st.rng);
         let next = match kind {
             Point::Preemptive => {
-                let pick = runnable[(r % runnable.len() as u64) as usize];
+                let pick = st.nth_runnable((r % n as u64) as usize, None);
                 if pick != me {
                     match st.preemptions_left {
                         Some(0) => me,
-                        Some(ref mut n) => {
-                            *n -= 1;
+                        Some(ref mut budget) => {
+                            *budget -= 1;
                             pick
                         }
                         None => pick,
@@ -171,15 +209,13 @@ impl SchedInner {
             Point::Contended => {
                 // Never re-pick the contender when someone else can run —
                 // the lock holder must be given the chance to release.
-                let others: Vec<TaskId> =
-                    runnable.iter().copied().filter(|&t| t != me).collect();
-                if others.is_empty() {
+                if n <= 1 {
                     me
                 } else {
-                    others[(r % others.len() as u64) as usize]
+                    st.nth_runnable((r % (n - 1) as u64) as usize, Some(me))
                 }
             }
-            Point::Yield => runnable[(r % runnable.len() as u64) as usize],
+            Point::Yield => st.nth_runnable((r % n as u64) as usize, None),
         };
         st.trace_hash =
             (st.trace_hash ^ next as u64).wrapping_mul(0x100_0000_01b3).rotate_left(5);
@@ -211,11 +247,14 @@ impl SchedInner {
                 panic!("{msg}");
             }
             if st.status[target] == Status::Finished {
+                // The join edge: everything the child did happens-before the
+                // joiner's next step.
+                st.hb.on_join(me, target);
                 return;
             }
             st.status[me] = Status::Blocked(target);
-            let runnable = st.runnable();
-            if runnable.is_empty() {
+            let n = st.runnable_count();
+            if n == 0 {
                 let msg = format!(
                     "conc-check: deadlock — every task blocked (task {me} joining task {target})"
                 );
@@ -225,7 +264,7 @@ impl SchedInner {
                 panic!("{msg}");
             }
             let r = splitmix(&mut st.rng);
-            let next = runnable[(r % runnable.len() as u64) as usize];
+            let next = st.nth_runnable((r % n as u64) as usize, None);
             st.trace_hash =
                 (st.trace_hash ^ next as u64).wrapping_mul(0x100_0000_01b3).rotate_left(5);
             self.hand_over(st, me, next);
@@ -247,8 +286,8 @@ impl SchedInner {
                 st.status[t] = Status::Runnable;
             }
         }
-        let runnable = st.runnable();
-        if runnable.is_empty() {
+        let n = st.runnable_count();
+        if n == 0 {
             if st.unfinished > 0 && st.abort.is_none() {
                 st.abort = Some(format!(
                     "conc-check: deadlock — task {me} finished but {} task(s) remain blocked",
@@ -259,19 +298,21 @@ impl SchedInner {
             return;
         }
         let r = splitmix(&mut st.rng);
-        let next = runnable[(r % runnable.len() as u64) as usize];
+        let next = st.nth_runnable((r % n as u64) as usize, None);
         st.trace_hash =
             (st.trace_hash ^ next as u64).wrapping_mul(0x100_0000_01b3).rotate_left(5);
         st.active = next;
         self.cv.notify_all();
     }
 
-    /// Register a new runnable task; returns its id.
-    fn register(&self) -> TaskId {
+    /// Register a new runnable task spawned by `parent`; returns its id.
+    fn register(&self, parent: TaskId) -> TaskId {
         let mut st = self.lock();
         let id = st.status.len();
         st.status.push(Status::Runnable);
         st.unfinished += 1;
+        // The spawn edge: the child starts with the parent's clock.
+        st.hb.on_spawn(parent, id);
         id
     }
 
@@ -353,8 +394,8 @@ where
 {
     match current() {
         None => JoinHandle { imp: JoinImp::Os(std::thread::spawn(f)) },
-        Some((inner, _me)) => {
-            let id = inner.register();
+        Some((inner, me)) => {
+            let id = inner.register(me);
             let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
             let r2 = Arc::clone(&result);
             let i2 = Arc::clone(&inner);
@@ -405,6 +446,7 @@ pub fn run_one<F: FnOnce()>(seed: u64, bound: Option<u32>, f: F) -> RunReport {
             unfinished: 1,
             abort: None,
             task_panic: None,
+            hb: HbState::new(seed, bound),
         }),
         cv: Condvar::new(),
     });
@@ -466,6 +508,36 @@ impl ExploreConfig {
     pub fn new(base_seed: u64, schedules: u64) -> Self {
         ExploreConfig { base_seed, schedules, preemption_bound: Some(3) }
     }
+
+    /// Apply a replay-seed override (the parsed value of `HCL_SCHED_SEED`):
+    /// run exactly one schedule at that seed, keeping the bound. Mirrors
+    /// `HCL_PROPTEST_SEED` for the proptest shim.
+    pub fn with_seed_override(self, seed: Option<u64>) -> Self {
+        match seed {
+            None => self,
+            Some(s) => ExploreConfig { base_seed: s, schedules: 1, ..self },
+        }
+    }
+}
+
+/// Parse an `HCL_SCHED_SEED`-style value: decimal, or hex with an `0x`
+/// prefix (the form failure reports print).
+pub fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn env_seed() -> Option<u64> {
+    let raw = std::env::var("HCL_SCHED_SEED").ok()?;
+    let parsed = parse_seed(&raw);
+    if parsed.is_none() {
+        eprintln!("conc-check: ignoring unparsable HCL_SCHED_SEED={raw:?}");
+    }
+    parsed
 }
 
 /// Aggregate statistics over an exploration.
@@ -480,8 +552,15 @@ pub struct ExploreStats {
 }
 
 /// Run `f` under `cfg.schedules` seeded schedules. On failure, prints the
-/// seed that reproduces the interleaving, then re-raises the panic.
+/// seed that reproduces the interleaving, then re-raises the panic. Setting
+/// `HCL_SCHED_SEED=<seed>` (decimal or `0x…` hex) overrides `cfg` to replay
+/// exactly that single schedule.
 pub fn explore<F: Fn() + std::panic::RefUnwindSafe>(cfg: ExploreConfig, f: F) -> ExploreStats {
+    let override_seed = env_seed();
+    if let Some(s) = override_seed {
+        eprintln!("conc-check: HCL_SCHED_SEED={s:#x} set — replaying that single schedule");
+    }
+    let cfg = cfg.with_seed_override(override_seed);
     let mut stats = ExploreStats::default();
     let mut traces = std::collections::HashSet::new();
     for i in 0..cfg.schedules {
@@ -494,8 +573,8 @@ pub fn explore<F: Fn() + std::panic::RefUnwindSafe>(cfg: ExploreConfig, f: F) ->
             }
             Err(p) => {
                 eprintln!(
-                    "conc-check: schedule FAILED — replay with \
-                     `sched::run_one({seed:#x}, {:?}, ..)` (base seed {:#x}, index {i})",
+                    "conc-check: schedule FAILED — replay with HCL_SCHED_SEED={seed:#x} \
+                     or `sched::run_one({seed:#x}, {:?}, ..)` (base seed {:#x}, index {i})",
                     cfg.preemption_bound, cfg.base_seed
                 );
                 resume_unwind(p);
@@ -640,6 +719,22 @@ mod tests {
             });
         }));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn seed_override_parses_and_collapses_to_one_schedule() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0x2a"), Some(42));
+        assert_eq!(parse_seed(" 0X2A "), Some(42));
+        assert_eq!(parse_seed("zebra"), None);
+        assert_eq!(parse_seed(""), None);
+        let cfg = ExploreConfig::new(7, 500).with_seed_override(Some(0xDEAD));
+        assert_eq!(cfg.base_seed, 0xDEAD);
+        assert_eq!(cfg.schedules, 1);
+        assert_eq!(cfg.preemption_bound, Some(3));
+        let same = ExploreConfig::new(7, 500).with_seed_override(None);
+        assert_eq!(same.base_seed, 7);
+        assert_eq!(same.schedules, 500);
     }
 
     #[test]

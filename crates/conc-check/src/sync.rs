@@ -14,9 +14,14 @@
 //!   point is a no-op), so a `conc_check` build still runs ordinary tests
 //!   correctly, just a little slower.
 //!
-//! `Ordering` is always the real `std::sync::atomic::Ordering`: the facade
-//! explores interleavings at operation granularity and does not model weak
-//! memory, so orderings pass straight through to the host.
+//! `Ordering` is always the real `std::sync::atomic::Ordering`. The facade
+//! explores interleavings at operation granularity and the *execution*
+//! passes orderings straight through to the host — but each access is also
+//! reported, with its `Ordering`, to the [`crate::hb`] vector-clock
+//! happens-before checker, so a value consumed without a genuine
+//! Release→Acquire (or SeqCst) edge fails the schedule as an ordering race
+//! even when the host's stronger memory model delivered the right value.
+//! Mutex acquire/release and spawn/join report edges the same way.
 
 pub use std::sync::atomic::Ordering;
 
@@ -40,11 +45,18 @@ pub mod thread {
 }
 
 #[cfg(any(conc_check, test))]
-mod scheduled {
+pub(crate) mod scheduled {
     //! Wrapper types used when `--cfg conc_check` is set (also compiled under
     //! `cfg(test)` so the facade itself is testable from a default build).
+    //!
+    //! Every operation does three things, in order: emit a scheduling point
+    //! (the interleaving decision), perform the real operation, and report
+    //! the access *with its `Ordering`* to the [`crate::hb`] checker. The
+    //! scheduler serializes tasks, so op + report are atomic with respect to
+    //! the schedule.
     #![allow(dead_code)]
 
+    use crate::hb;
     use crate::sched::{point, Point};
     use std::sync::atomic::Ordering;
 
@@ -58,18 +70,30 @@ mod scheduled {
                 pub const fn new(v: $ty) -> Self {
                     Self(std::sync::atomic::$std::new(v))
                 }
+                fn addr(&self) -> usize {
+                    &self.0 as *const _ as usize
+                }
+                #[track_caller]
                 pub fn load(&self, ord: Ordering) -> $ty {
                     point(Point::Preemptive);
-                    self.0.load(ord)
+                    let v = self.0.load(ord);
+                    hb::atomic_load(self.addr(), ord);
+                    v
                 }
+                #[track_caller]
                 pub fn store(&self, v: $ty, ord: Ordering) {
                     point(Point::Preemptive);
-                    self.0.store(v, ord)
+                    self.0.store(v, ord);
+                    hb::atomic_store(self.addr(), ord);
                 }
+                #[track_caller]
                 pub fn swap(&self, v: $ty, ord: Ordering) -> $ty {
                     point(Point::Preemptive);
-                    self.0.swap(v, ord)
+                    let old = self.0.swap(v, ord);
+                    hb::atomic_rmw(self.addr(), ord);
+                    old
                 }
+                #[track_caller]
                 pub fn compare_exchange(
                     &self,
                     cur: $ty,
@@ -78,8 +102,16 @@ mod scheduled {
                     err: Ordering,
                 ) -> Result<$ty, $ty> {
                     point(Point::Preemptive);
-                    self.0.compare_exchange(cur, new, ok, err)
+                    let r = self.0.compare_exchange(cur, new, ok, err);
+                    // A successful CAS is an RMW under `ok`; a failed one is
+                    // just a load under `err`.
+                    match r {
+                        Ok(_) => hb::atomic_rmw(self.addr(), ok),
+                        Err(_) => hb::atomic_load(self.addr(), err),
+                    }
+                    r
                 }
+                #[track_caller]
                 pub fn compare_exchange_weak(
                     &self,
                     cur: $ty,
@@ -88,31 +120,54 @@ mod scheduled {
                     err: Ordering,
                 ) -> Result<$ty, $ty> {
                     point(Point::Preemptive);
-                    self.0.compare_exchange_weak(cur, new, ok, err)
+                    let r = self.0.compare_exchange_weak(cur, new, ok, err);
+                    match r {
+                        Ok(_) => hb::atomic_rmw(self.addr(), ok),
+                        Err(_) => hb::atomic_load(self.addr(), err),
+                    }
+                    r
                 }
+                #[track_caller]
                 pub fn fetch_add(&self, v: $ty, ord: Ordering) -> $ty {
                     point(Point::Preemptive);
-                    self.0.fetch_add(v, ord)
+                    let old = self.0.fetch_add(v, ord);
+                    hb::atomic_rmw(self.addr(), ord);
+                    old
                 }
+                #[track_caller]
                 pub fn fetch_sub(&self, v: $ty, ord: Ordering) -> $ty {
                     point(Point::Preemptive);
-                    self.0.fetch_sub(v, ord)
+                    let old = self.0.fetch_sub(v, ord);
+                    hb::atomic_rmw(self.addr(), ord);
+                    old
                 }
+                #[track_caller]
                 pub fn fetch_max(&self, v: $ty, ord: Ordering) -> $ty {
                     point(Point::Preemptive);
-                    self.0.fetch_max(v, ord)
+                    let old = self.0.fetch_max(v, ord);
+                    hb::atomic_rmw(self.addr(), ord);
+                    old
                 }
+                #[track_caller]
                 pub fn fetch_min(&self, v: $ty, ord: Ordering) -> $ty {
                     point(Point::Preemptive);
-                    self.0.fetch_min(v, ord)
+                    let old = self.0.fetch_min(v, ord);
+                    hb::atomic_rmw(self.addr(), ord);
+                    old
                 }
+                #[track_caller]
                 pub fn fetch_or(&self, v: $ty, ord: Ordering) -> $ty {
                     point(Point::Preemptive);
-                    self.0.fetch_or(v, ord)
+                    let old = self.0.fetch_or(v, ord);
+                    hb::atomic_rmw(self.addr(), ord);
+                    old
                 }
+                #[track_caller]
                 pub fn fetch_and(&self, v: $ty, ord: Ordering) -> $ty {
                     point(Point::Preemptive);
-                    self.0.fetch_and(v, ord)
+                    let old = self.0.fetch_and(v, ord);
+                    hb::atomic_rmw(self.addr(), ord);
+                    old
                 }
                 pub fn get_mut(&mut self) -> &mut $ty {
                     self.0.get_mut()
@@ -137,18 +192,30 @@ mod scheduled {
         pub const fn new(v: bool) -> Self {
             Self(std::sync::atomic::AtomicBool::new(v))
         }
+        fn addr(&self) -> usize {
+            &self.0 as *const _ as usize
+        }
+        #[track_caller]
         pub fn load(&self, ord: Ordering) -> bool {
             point(Point::Preemptive);
-            self.0.load(ord)
+            let v = self.0.load(ord);
+            hb::atomic_load(self.addr(), ord);
+            v
         }
+        #[track_caller]
         pub fn store(&self, v: bool, ord: Ordering) {
             point(Point::Preemptive);
-            self.0.store(v, ord)
+            self.0.store(v, ord);
+            hb::atomic_store(self.addr(), ord);
         }
+        #[track_caller]
         pub fn swap(&self, v: bool, ord: Ordering) -> bool {
             point(Point::Preemptive);
-            self.0.swap(v, ord)
+            let old = self.0.swap(v, ord);
+            hb::atomic_rmw(self.addr(), ord);
+            old
         }
+        #[track_caller]
         pub fn compare_exchange(
             &self,
             cur: bool,
@@ -157,7 +224,12 @@ mod scheduled {
             err: Ordering,
         ) -> Result<bool, bool> {
             point(Point::Preemptive);
-            self.0.compare_exchange(cur, new, ok, err)
+            let r = self.0.compare_exchange(cur, new, ok, err);
+            match r {
+                Ok(_) => hb::atomic_rmw(self.addr(), ok),
+                Err(_) => hb::atomic_load(self.addr(), err),
+            }
+            r
         }
         pub fn get_mut(&mut self) -> &mut bool {
             self.0.get_mut()
@@ -170,8 +242,12 @@ mod scheduled {
     /// blocking `lock()` would deadlock the cooperative scheduler.
     pub struct Mutex<T: ?Sized>(parking_lot::Mutex<T>);
 
-    /// Guard for the schedule-aware [`Mutex`].
-    pub struct MutexGuard<'a, T: ?Sized>(parking_lot::MutexGuard<'a, T>);
+    /// Guard for the schedule-aware [`Mutex`]; dropping it reports the
+    /// release edge to the happens-before checker.
+    pub struct MutexGuard<'a, T: ?Sized> {
+        addr: usize,
+        guard: parking_lot::MutexGuard<'a, T>,
+    }
 
     impl<T> Mutex<T> {
         pub const fn new(t: T) -> Self {
@@ -183,21 +259,29 @@ mod scheduled {
     }
 
     impl<T: ?Sized> Mutex<T> {
+        fn addr(&self) -> usize {
+            &self.0 as *const parking_lot::Mutex<T> as *const () as usize
+        }
+        #[track_caller]
         pub fn lock(&self) -> MutexGuard<'_, T> {
             if !crate::sched::in_schedule() {
-                return MutexGuard(self.0.lock());
+                return MutexGuard { addr: self.addr(), guard: self.0.lock() };
             }
             loop {
                 point(Point::Preemptive);
                 if let Some(g) = self.0.try_lock() {
-                    return MutexGuard(g);
+                    hb::mutex_lock(self.addr());
+                    return MutexGuard { addr: self.addr(), guard: g };
                 }
                 point(Point::Contended);
             }
         }
+        #[track_caller]
         pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
             point(Point::Preemptive);
-            self.0.try_lock().map(MutexGuard)
+            let g = self.0.try_lock()?;
+            hb::mutex_lock(self.addr());
+            Some(MutexGuard { addr: self.addr(), guard: g })
         }
         pub fn get_mut(&mut self) -> &mut T {
             self.0.get_mut()
@@ -219,13 +303,21 @@ mod scheduled {
     impl<'a, T: ?Sized> std::ops::Deref for MutexGuard<'a, T> {
         type Target = T;
         fn deref(&self) -> &T {
-            &self.0
+            &self.guard
         }
     }
 
     impl<'a, T: ?Sized> std::ops::DerefMut for MutexGuard<'a, T> {
         fn deref_mut(&mut self) -> &mut T {
-            &mut self.0
+            &mut self.guard
+        }
+    }
+
+    impl<'a, T: ?Sized> Drop for MutexGuard<'a, T> {
+        fn drop(&mut self) {
+            // Report before the parking_lot guard actually releases: the
+            // scheduler serializes tasks, so no acquirer can slip between.
+            hb::mutex_unlock(self.addr);
         }
     }
 }

@@ -1,0 +1,102 @@
+//! Default-vs-`conc_check` facade parity: the same workload written against
+//! `conc_check::sync` must build and produce identical results in both
+//! configurations, and the default build must stay a zero-cost re-export.
+//!
+//! This file compiles under both cfgs (no crate-level `#![cfg]`): `just
+//! check-races` runs it with `--cfg conc_check`, plain `cargo test` runs it
+//! against the std/parking_lot re-exports.
+
+use std::sync::Arc;
+
+use conc_check::sync::{thread, AtomicUsize, Mutex, Ordering};
+
+/// Run `f` — under the deterministic scheduler when the facade is the
+/// scheduled one, directly otherwise. `run_one` places the closure on the
+/// root task, so no `Send`/`'static` bounds are needed.
+#[cfg(conc_check)]
+fn drive<F: FnOnce()>(f: F) {
+    conc_check::sched::run_one(0xFA11_ADE, None, f);
+}
+#[cfg(not(conc_check))]
+fn drive<F: FnOnce()>(f: F) {
+    f();
+}
+
+/// The two `JoinHandle` flavors differ in API: the scheduler's returns `T`,
+/// std's returns `Result<T, ..>`.
+#[cfg(conc_check)]
+fn join<T>(h: thread::JoinHandle<T>) -> T {
+    h.join()
+}
+#[cfg(not(conc_check))]
+fn join<T>(h: thread::JoinHandle<T>) -> T {
+    h.join().expect("workload thread panicked")
+}
+
+/// Three threads hammer a shared counter and a mutex-protected accumulator.
+/// The results are interleaving-independent, so both builds must agree.
+fn workload() -> (usize, u64) {
+    let counter = Arc::new(AtomicUsize::new(0));
+    let acc = Arc::new(Mutex::new(0u64));
+    let handles: Vec<_> = (0..3u64)
+        .map(|i| {
+            let c = Arc::clone(&counter);
+            let a = Arc::clone(&acc);
+            thread::spawn(move || {
+                for k in 0..50u64 {
+                    c.fetch_add(1, Ordering::AcqRel);
+                    *a.lock() += k + i;
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        join(h);
+    }
+    let total = *acc.lock();
+    (counter.load(Ordering::Acquire), total)
+}
+
+#[test]
+fn workload_result_is_identical_in_both_builds() {
+    let mut out = (0usize, 0u64);
+    drive(|| out = workload());
+    assert_eq!(out.0, 150);
+    // sum over i in 0..3 of sum over k in 0..50 of (k + i)
+    assert_eq!(out.1, 3 * 1225 + 50 * 3);
+}
+
+#[test]
+fn facade_atomics_are_layout_compatible() {
+    // The scheduled wrappers are newtypes over the std atomics: no size or
+    // alignment penalty in either build.
+    assert_eq!(std::mem::size_of::<AtomicUsize>(), std::mem::size_of::<usize>());
+    assert_eq!(std::mem::align_of::<AtomicUsize>(), std::mem::align_of::<usize>());
+}
+
+#[cfg(not(conc_check))]
+#[test]
+fn default_build_reexports_std_and_parking_lot() {
+    use std::any::type_name;
+    assert_eq!(
+        type_name::<AtomicUsize>(),
+        type_name::<std::sync::atomic::AtomicUsize>(),
+        "default-build AtomicUsize must be the std type itself"
+    );
+    assert_eq!(
+        type_name::<Mutex<u8>>(),
+        type_name::<parking_lot::Mutex<u8>>(),
+        "default-build Mutex must be the parking_lot type itself"
+    );
+}
+
+#[cfg(conc_check)]
+#[test]
+fn conc_build_uses_the_scheduled_wrappers() {
+    use std::any::type_name;
+    assert!(
+        type_name::<AtomicUsize>().contains("conc_check"),
+        "conc_check build must route atomics through the facade wrappers, got {}",
+        type_name::<AtomicUsize>()
+    );
+}

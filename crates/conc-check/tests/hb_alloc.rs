@@ -1,0 +1,76 @@
+//! Allocation guard for the happens-before checker: after warm-up (clock
+//! growth, per-location map entries, the preallocated event ring), steady-
+//! state event tracking must allocate **nothing** — the checker may not
+//! distort the interleavings it observes with allocator traffic, and soak
+//! runs must not accumulate memory per event.
+//!
+//! Kept as its own integration-test binary so the counting global allocator
+//! sees no traffic from unrelated tests.
+#![cfg(conc_check)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as StdOrdering};
+
+use conc_check::sched;
+use conc_check::sync::{AtomicU64, Mutex, Ordering};
+use conc_check::RaceCell;
+
+/// Allocations observed while [`GATE`] is up.
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static GATE: AtomicBool = AtomicBool::new(false);
+
+struct CountingAlloc;
+
+// SAFETY: defers every allocation to `System` unchanged; the counter is a
+// side effect only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if GATE.load(StdOrdering::Relaxed) {
+            ALLOCS.fetch_add(1, StdOrdering::Relaxed);
+        }
+        // SAFETY: same layout contract as our caller's.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was allocated by `System` in `alloc` above.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+#[test]
+fn hb_tracking_is_alloc_free_per_event_after_warmup() {
+    sched::run_one(0xA110_C8, None, || {
+        let a = AtomicU64::new(0);
+        let m = Mutex::new(0u64);
+        let cell = RaceCell::new(0u64);
+        cell.mark_write();
+        let spin = |rounds: usize| {
+            for _ in 0..rounds {
+                a.store(1, Ordering::Release);
+                let _ = a.load(Ordering::Acquire);
+                let _ = a.fetch_add(1, Ordering::AcqRel);
+                let _ = a.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire);
+                *m.lock() += 1;
+                // SAFETY: single task inside the schedule — exclusive.
+                unsafe { cell.with_mut(|v| *v += 1) };
+                // SAFETY: as above.
+                let _ = unsafe { cell.with(|v| *v) };
+            }
+        };
+        // Warm-up: populate the per-location maps, grow the clocks, and
+        // cycle the event ring past its preallocated capacity.
+        spin(64);
+        GATE.store(true, StdOrdering::SeqCst);
+        spin(256);
+        GATE.store(false, StdOrdering::SeqCst);
+    });
+    assert_eq!(
+        ALLOCS.load(StdOrdering::SeqCst),
+        0,
+        "HB tracking must not allocate per event after warm-up"
+    );
+}

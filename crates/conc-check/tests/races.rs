@@ -1,0 +1,134 @@
+//! Negative-control race fixtures driven through the *public* facade and
+//! scheduler API — what `just check-races` runs.
+//!
+//! The racy fixture is the classic message-passing bug: a writer publishes
+//! data with a `Relaxed` store and the reader pays for an `Acquire` load the
+//! writer never matched. The happens-before checker must catch it within
+//! the default schedule budget and report a seed that replays it. The
+//! mutex-protected and Release/Acquire twins are the positive controls: the
+//! same shape with real synchronization must stay race-free.
+#![cfg(conc_check)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use conc_check::sched::{self, ExploreConfig};
+use conc_check::sync::{AtomicUsize, Mutex, Ordering};
+
+/// Schedule budget used by the non-soak tests; matches `just check-races`.
+const DEFAULT_BUDGET: u64 = 64;
+
+/// BUG (on purpose): the flag is published with `Relaxed`, so the reader's
+/// `Acquire` load has no release edge to synchronize with.
+fn relaxed_publish_pair() {
+    let data = Arc::new(AtomicUsize::new(0));
+    let ready = Arc::new(AtomicUsize::new(0));
+    let (d, r) = (Arc::clone(&data), Arc::clone(&ready));
+    let t = sched::spawn(move || {
+        d.store(42, Ordering::Relaxed);
+        r.store(1, Ordering::Relaxed);
+    });
+    if ready.load(Ordering::Acquire) == 1 {
+        assert_eq!(data.load(Ordering::Acquire), 42);
+    }
+    t.join();
+}
+
+/// Twin of the racy pair with the publication done under a mutex.
+fn mutex_protected_twin() {
+    let slot = Arc::new(Mutex::new(None::<usize>));
+    let s = Arc::clone(&slot);
+    let t = sched::spawn(move || {
+        *s.lock() = Some(42);
+    });
+    if let Some(v) = *slot.lock() {
+        assert_eq!(v, 42);
+    }
+    t.join();
+}
+
+/// Twin of the racy pair with a proper Release publish.
+fn release_acquire_twin() {
+    let data = Arc::new(AtomicUsize::new(0));
+    let ready = Arc::new(AtomicUsize::new(0));
+    let (d, r) = (Arc::clone(&data), Arc::clone(&ready));
+    let t = sched::spawn(move || {
+        d.store(42, Ordering::Relaxed);
+        r.store(1, Ordering::Release);
+    });
+    if ready.load(Ordering::Acquire) == 1 {
+        assert_eq!(data.load(Ordering::Relaxed), 42);
+    }
+    t.join();
+}
+
+/// Extract the panic payload as a string (race reports panic with `String`).
+fn race_message(err: Box<dyn std::any::Any + Send>) -> String {
+    match err.downcast::<String>() {
+        Ok(s) => *s,
+        Err(e) => e.downcast::<&str>().map(|s| (*s).to_string()).unwrap_or_default(),
+    }
+}
+
+fn expect_race<F: Fn() + std::panic::RefUnwindSafe>(base_seed: u64, budget: u64, f: F) -> String {
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        sched::explore(ExploreConfig::new(base_seed, budget), f);
+    }))
+    .expect_err("fixture must race within the schedule budget");
+    let msg = race_message(err);
+    assert!(msg.contains("HAPPENS-BEFORE RACE"), "unexpected panic: {msg}");
+    msg
+}
+
+#[test]
+fn racy_relaxed_publish_is_detected_within_the_default_budget() {
+    let msg = expect_race(0xBAD_ACE5, DEFAULT_BUDGET, relaxed_publish_pair);
+    // Both access sites point into this file, the orderings are named, and
+    // the report carries a replayable seed.
+    assert!(msg.matches("races.rs").count() >= 2, "both sites should be here:\n{msg}");
+    assert!(msg.contains("Relaxed"), "writer ordering missing:\n{msg}");
+    assert!(msg.contains("HCL_SCHED_SEED=0x"), "replay hint missing:\n{msg}");
+}
+
+#[test]
+fn reported_seed_replays_the_same_race() {
+    let msg = expect_race(0xBAD_ACE5, DEFAULT_BUDGET, relaxed_publish_pair);
+    let at = msg.find("HCL_SCHED_SEED=").expect("replay hint") + "HCL_SCHED_SEED=".len();
+    let token: String =
+        msg[at..].chars().take_while(|c| c.is_ascii_alphanumeric()).collect();
+    let seed = sched::parse_seed(&token).expect("seed token parses");
+    let again = catch_unwind(AssertUnwindSafe(|| {
+        sched::run_one(seed, None, relaxed_publish_pair);
+    }))
+    .expect_err("replaying the reported seed must reproduce the race");
+    assert!(race_message(again).contains("HAPPENS-BEFORE RACE"));
+}
+
+#[test]
+fn mutex_protected_twin_is_race_free() {
+    let stats = sched::explore(ExploreConfig::new(0x600D_0001, 150), mutex_protected_twin);
+    assert_eq!(stats.schedules, 150);
+}
+
+#[test]
+fn release_acquire_twin_is_race_free() {
+    let stats = sched::explore(ExploreConfig::new(0x600D_0002, 150), release_acquire_twin);
+    assert_eq!(stats.schedules, 150);
+}
+
+/// Soak variant: `HCL_RACE_SCHEDULES` scales the budget (default 2000).
+/// Run via `just check-races-soak`.
+#[test]
+#[ignore = "soak — run via `just check-races-soak`"]
+fn soak_fixtures_under_many_schedules() {
+    let budget: u64 = std::env::var("HCL_RACE_SCHEDULES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000);
+    let clean = sched::explore(ExploreConfig::new(0x50A_C1EA, budget), mutex_protected_twin);
+    assert_eq!(clean.schedules, budget);
+    let ra = sched::explore(ExploreConfig::new(0x50A_C1EB, budget), release_acquire_twin);
+    assert_eq!(ra.schedules, budget);
+    let msg = expect_race(0x50A_BAD0, budget, relaxed_publish_pair);
+    assert!(msg.contains("HCL_SCHED_SEED=0x"));
+}

@@ -20,6 +20,7 @@
 use std::hash::{BuildHasher, Hash, Hasher, RandomState};
 
 use conc_check::sync::{AtomicUsize, Mutex, MutexGuard, Ordering};
+use conc_check::RaceCell;
 use crossbeam::epoch::{self, Atomic, Guard, Owned, Shared};
 
 /// Slots per bucket.
@@ -34,7 +35,33 @@ pub const DEFAULT_BUCKETS: usize = 128;
 
 struct Entry<K, V> {
     key: K,
-    value: V,
+    /// Audited under the happens-before checker: the slot's `Release` store
+    /// (or the resize table swap) must order every reader after this write.
+    value: RaceCell<V>,
+}
+
+impl<K, V> Entry<K, V> {
+    /// Allocate an entry and declare the value write at its final heap
+    /// address, *before* the caller publishes the pointer.
+    fn alloc(key: K, value: V) -> Owned<Entry<K, V>> {
+        let e = Owned::new(Entry { key, value: RaceCell::new(value) });
+        e.value.mark_write();
+        e
+    }
+
+    /// Clone the value out of a shared entry.
+    ///
+    /// # Safety
+    /// `self` must have been reached through a live slot pointer under an
+    /// epoch pin (the usual reader contract); no `&mut` access can be in
+    /// progress because entries are never mutated after publication.
+    unsafe fn value_clone(&self) -> V
+    where
+        V: Clone,
+    {
+        // SAFETY: per the function contract above.
+        unsafe { self.value.with(V::clone) }
+    }
 }
 
 struct Bucket<K, V> {
@@ -176,7 +203,8 @@ where
                 // to an entry whose reclamation is deferred past our guard.
                 if let Some(er) = unsafe { e.as_ref() } {
                     if er.key == *key {
-                        return Some(er.value.clone());
+                        // SAFETY: live entry under the pin (see above).
+                        return Some(unsafe { er.value_clone() });
                     }
                 }
             }
@@ -211,9 +239,9 @@ where
                     // is deferred past our guard.
                     if let Some(er) = unsafe { e.as_ref() } {
                         if er.key == key {
-                            let old = er.value.clone();
-                            let new = Owned::new(Entry { key, value });
-                            slot.store(new, Ordering::Release);
+                            // SAFETY: live entry under the pin (see above).
+                            let old = unsafe { er.value_clone() };
+                            slot.store(Entry::alloc(key, value), Ordering::Release);
                             // SAFETY: we hold this bucket's stripe lock, so
                             // no other writer can retire `e` twice; readers
                             // are protected by their own pins.
@@ -225,7 +253,7 @@ where
             }
             // 2) Empty slot in either candidate bucket.
             if let Some(slot) = self.first_empty(t, b1, b2, guard) {
-                slot.store(Owned::new(Entry { key, value }), Ordering::Release);
+                slot.store(Entry::alloc(key, value), Ordering::Release);
                 // ORDERING: Relaxed — `len` is a statistic; all structural
                 // synchronization happens via the stripe locks.
                 self.len.fetch_add(1, Ordering::Relaxed);
@@ -238,7 +266,7 @@ where
                 let slot = self
                     .first_empty(t, b1, b2, guard)
                     .expect("displacement freed a slot under our locks");
-                slot.store(Owned::new(Entry { key, value }), Ordering::Release);
+                slot.store(Entry::alloc(key, value), Ordering::Release);
                 // ORDERING: Relaxed statistic (see above).
                 self.len.fetch_add(1, Ordering::Relaxed);
                 drop(locks);
@@ -427,12 +455,11 @@ where
                     // held — cannot be retired concurrently.
                     if let Some(er) = unsafe { e.as_ref() } {
                         if er.key == key {
-                            let new_val = f(Some(&er.value));
+                            // SAFETY: live entry under the pin, stripe lock
+                            // held (see above).
+                            let new_val = unsafe { er.value.with(|v| f(Some(v))) };
                             let ret = new_val.clone();
-                            slot.store(
-                                Owned::new(Entry { key, value: new_val }),
-                                Ordering::Release,
-                            );
+                            slot.store(Entry::alloc(key, new_val), Ordering::Release);
                             // SAFETY: stripe lock held ⇒ single retirer;
                             // readers are covered by their pins.
                             unsafe { guard.defer_destroy(e) };
@@ -445,7 +472,7 @@ where
             let new_val = f(None);
             if let Some(slot) = self.first_empty(t, b1, b2, guard) {
                 let ret = new_val.clone();
-                slot.store(Owned::new(Entry { key, value: new_val }), Ordering::Release);
+                slot.store(Entry::alloc(key, new_val), Ordering::Release);
                 // ORDERING: Relaxed statistic; structure is lock-protected.
                 self.len.fetch_add(1, Ordering::Relaxed);
                 drop(locks);
@@ -457,7 +484,7 @@ where
                     .first_empty(t, b1, b2, guard)
                     .expect("displacement freed a slot under our locks");
                 let ret = new_val.clone();
-                slot.store(Owned::new(Entry { key, value: new_val }), Ordering::Release);
+                slot.store(Entry::alloc(key, new_val), Ordering::Release);
                 // ORDERING: Relaxed statistic; structure is lock-protected.
                 self.len.fetch_add(1, Ordering::Relaxed);
                 drop(locks);
@@ -490,7 +517,9 @@ where
                     // held — cannot be retired concurrently.
                     if let Some(er) = unsafe { e.as_ref() } {
                         if er.key == *key {
-                            let v = er.value.clone();
+                            // SAFETY: live entry under the pin, stripe lock
+                            // held (see above).
+                            let v = unsafe { er.value_clone() };
                             slot.store(Shared::null(), Ordering::Release);
                             // ORDERING: Relaxed — statistic only; the
                             // decrement happens under the stripe locks, so
@@ -518,7 +547,8 @@ where
                 // SAFETY: non-null entries read under the pin cannot be
                 // reclaimed before the guard drops.
                 if let Some(er) = unsafe { slot.load(Ordering::Acquire, guard).as_ref() } {
-                    out.push((er.key.clone(), er.value.clone()));
+                    // SAFETY: live entry under the pin (see above).
+                    out.push((er.key.clone(), unsafe { er.value_clone() }));
                 }
             }
         }

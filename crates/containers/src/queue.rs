@@ -10,17 +10,21 @@
 //!
 //! Atomics come from the `conc_check::sync` facade: a plain re-export of
 //! `std::sync::atomic` in normal builds, and schedule-exploring wrappers
-//! under `--cfg conc_check` (see `crates/conc-check`).
+//! under `--cfg conc_check` (see `crates/conc-check`). The value slot sits
+//! in a `conc_check::RaceCell` — a zero-cost passthrough by default, an
+//! audited shadow cell under the happens-before checker, which fails any
+//! schedule where a slot is read without a real publication edge.
 
 use std::mem::MaybeUninit;
 
 use conc_check::sync::{AtomicIsize, Ordering};
+use conc_check::RaceCell;
 use crossbeam::epoch::{self, Atomic, Owned, Shared};
 use crossbeam::utils::CachePadded;
 
 struct Node<T> {
     /// Initialised for every node except the sentinel; consumed by `pop`.
-    value: MaybeUninit<T>,
+    value: RaceCell<MaybeUninit<T>>,
     next: Atomic<Node<T>>,
 }
 
@@ -50,7 +54,8 @@ impl<T> Default for LockFreeQueue<T> {
 impl<T> LockFreeQueue<T> {
     /// Create an empty queue.
     pub fn new() -> Self {
-        let sentinel = Owned::new(Node { value: MaybeUninit::uninit(), next: Atomic::null() });
+        let sentinel =
+            Owned::new(Node { value: RaceCell::new(MaybeUninit::uninit()), next: Atomic::null() });
         let guard = epoch::pin();
         let sentinel = sentinel.into_shared(&guard);
         LockFreeQueue {
@@ -63,8 +68,13 @@ impl<T> LockFreeQueue<T> {
     /// Append `value` at the tail. Lock-free; never blocks.
     pub fn push(&self, value: T) {
         let guard = epoch::pin();
-        let new = Owned::new(Node { value: MaybeUninit::new(value), next: Atomic::null() })
-            .into_shared(&guard);
+        let new =
+            Owned::new(Node { value: RaceCell::new(MaybeUninit::new(value)), next: Atomic::null() });
+        // Declare the write at the slot's final heap address, before the
+        // node is published: the releasing link CAS below is the edge every
+        // consumer's read must be ordered after.
+        new.value.mark_write();
+        let new = new.into_shared(&guard);
         loop {
             let tail = self.tail.load(Ordering::Acquire, &guard);
             // SAFETY: `tail` was loaded from a live queue pointer under the
@@ -154,8 +164,9 @@ impl<T> LockFreeQueue<T> {
                 // SAFETY: `next` becomes the new sentinel; the winning CAS
                 // grants us unique ownership of its value slot, which is
                 // moved out exactly once here and never read or dropped
-                // again (sentinel value slots are treated as vacant).
-                let value = unsafe { n.value.assume_init_read() };
+                // again (sentinel value slots are treated as vacant). The
+                // slot was initialised before the push published the node.
+                let value = unsafe { n.value.with(|v| v.assume_init_read()) };
                 // SAFETY: `head` was unlinked by the CAS above, so no new
                 // reference can be created; defer_destroy waits for all
                 // current guards before reclaiming.
@@ -212,7 +223,7 @@ impl<T> LockFreeQueue<T> {
             // SAFETY: every non-sentinel node's value is initialised by push
             // and only vacated when the node becomes the sentinel, which
             // requires unlinking it from the position we just traversed.
-            out.push(unsafe { node.value.assume_init_ref() }.clone());
+            out.push(unsafe { node.value.with(|v| v.assume_init_ref().clone()) });
             curr = node.next.load(Ordering::Acquire, &guard);
         }
         out

@@ -22,6 +22,7 @@
 //!   level still reaches them.
 
 use conc_check::sync::{AtomicIsize, AtomicU64, AtomicUsize, Ordering};
+use conc_check::RaceCell;
 use crossbeam::epoch::{self, Atomic, Guard, Owned, Shared};
 
 /// Maximum tower height. 2^16 expected elements per partition is far beyond
@@ -30,7 +31,9 @@ const MAX_HEIGHT: usize = 16;
 
 struct Node<K, V> {
     key: K,
-    value: Atomic<V>,
+    /// The pointee is a `RaceCell` so the happens-before checker audits
+    /// every value read against the publication edge that released it.
+    value: Atomic<RaceCell<V>>,
     /// Levels currently linked (1 after the level-0 publish). The unlink
     /// that brings this to 0 frees the node.
     links: AtomicUsize,
@@ -39,10 +42,10 @@ struct Node<K, V> {
 }
 
 impl<K, V> Node<K, V> {
-    fn new(key: K, value: Shared<'_, V>, height: usize) -> Owned<Self> {
+    fn new(key: K, value: Shared<'_, RaceCell<V>>, height: usize) -> Owned<Self> {
         Owned::new(Node {
             key,
-            value: Atomic::from(value.as_raw() as *const V),
+            value: Atomic::from(value.as_raw() as *const RaceCell<V>),
             links: AtomicUsize::new(1),
             height,
             tower: Default::default(),
@@ -109,6 +112,14 @@ where
     /// True when no entries are present.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Allocate a value cell and declare the write at its final heap
+    /// address, before any pointer to it is published.
+    fn alloc_value<'g>(value: &V, guard: &'g Guard) -> Shared<'g, RaceCell<V>> {
+        let cell = Owned::new(RaceCell::new(value.clone()));
+        cell.mark_write();
+        cell.into_shared(guard)
     }
 
     fn random_height(&self) -> usize {
@@ -250,7 +261,7 @@ where
                         continue 'outer;
                     }
                     let old = n.value.load(Ordering::Acquire, guard);
-                    let new = Owned::new(value.clone()).into_shared(guard);
+                    let new = Self::alloc_value(&value, guard);
                     match n.value.compare_exchange(
                         old,
                         new,
@@ -267,7 +278,7 @@ where
                             }
                             // SAFETY: `old` was the node's live value until
                             // our CAS; values are never null for live nodes.
-                            let prev = unsafe { old.deref() }.clone();
+                            let prev = unsafe { old.deref().with(V::clone) };
                             // SAFETY: our winning CAS unlinked `old`, making
                             // this thread its unique retirer.
                             unsafe { guard.defer_destroy(old) };
@@ -285,7 +296,7 @@ where
             }
             // Publish a new node at level 0.
             let height = self.random_height();
-            let value_ptr = Owned::new(value.clone()).into_shared(guard);
+            let value_ptr = Self::alloc_value(&value, guard);
             let mut node = Node::new(key.clone(), value_ptr, height);
             node.tower[0] = Atomic::from(f.succs[0].as_raw() as *const Node<K, V>);
             let node_shared = node.into_shared(guard);
@@ -384,7 +395,7 @@ where
         let v = n.value.load(Ordering::Acquire, guard);
         // SAFETY: the node was unmarked just above; live nodes always hold a
         // non-null value, and the pin keeps it alive while we clone.
-        Some(unsafe { v.deref() }.clone())
+        Some(unsafe { v.deref().with(V::clone) })
     }
 
     /// True when `key` is present.
@@ -441,7 +452,7 @@ where
                 // SAFETY: we won the claim, so the value pointer cannot be
                 // retired before our guard drops; it is non-null for any
                 // node that was live when we began.
-                return Some(unsafe { v.deref() }.clone());
+                return Some(unsafe { v.deref().with(V::clone) });
             }
         }
     }
@@ -514,7 +525,7 @@ where
                 let v = c.value.load(Ordering::Acquire, guard);
                 // SAFETY: unmarked node observed under the pin ⇒ its value
                 // is non-null and cannot be reclaimed before the guard drops.
-                return Some((c.key.clone(), unsafe { v.deref() }.clone()));
+                return Some((c.key.clone(), unsafe { v.deref().with(V::clone) }));
             }
             curr = next.with_tag(0);
         }
@@ -532,7 +543,7 @@ where
             if next.tag() == 0 {
                 let v = c.value.load(Ordering::Acquire, guard);
                 // SAFETY: unmarked ⇒ non-null value, guard-protected.
-                out.push((c.key.clone(), unsafe { v.deref() }.clone()));
+                out.push((c.key.clone(), unsafe { v.deref().with(V::clone) }));
             }
             curr = next.with_tag(0);
         }
@@ -554,7 +565,7 @@ where
             if next.tag() == 0 {
                 let v = c.value.load(Ordering::Acquire, guard);
                 // SAFETY: unmarked ⇒ non-null value, guard-protected.
-                out.push((c.key.clone(), unsafe { v.deref() }.clone()));
+                out.push((c.key.clone(), unsafe { v.deref().with(V::clone) }));
             }
             curr = next.with_tag(0);
         }

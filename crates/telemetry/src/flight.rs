@@ -153,6 +153,8 @@ impl FlightRecorder {
         if self.capacity == 0 {
             return;
         }
+        // ORDERING: Relaxed — the sequence only needs to be unique; events
+        // are totally ordered by the ring mutex taken just below.
         ev.seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let mut ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
         if ring.events.len() < self.capacity {

@@ -98,6 +98,8 @@ impl Counter {
     /// Add `n`. Relaxed: counters are statistics, read only via snapshots.
     #[inline]
     pub fn add(&self, n: u64) {
+        // ORDERING: Relaxed — the counter is a statistic; no reader infers
+        // other memory state from its value.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -122,6 +124,8 @@ impl Gauge {
     /// Overwrite the value. Relaxed: gauges are statistics.
     #[inline]
     pub fn set(&self, v: u64) {
+        // ORDERING: Relaxed — last-write-wins statistic; snapshots tolerate
+        // any interleaving of sets.
         self.0.store(v, Ordering::Relaxed);
     }
 
@@ -170,9 +174,13 @@ impl Histogram {
     /// statistics and a snapshot tolerates being a near-point-in-time view.
     #[inline]
     pub fn record(&self, v: u64) {
+        // ORDERING: Relaxed — bucket count is a statistic.
         self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        // ORDERING: Relaxed — count may momentarily disagree with buckets.
         self.count.fetch_add(1, Ordering::Relaxed);
+        // ORDERING: Relaxed — sum is a statistic.
         self.sum.fetch_add(v, Ordering::Relaxed);
+        // ORDERING: Relaxed — max is a statistic.
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 

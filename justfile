@@ -53,6 +53,29 @@ check-conc-soak:
             cargo test -p hcl-containers --test conc_sched
     done
 
+# Happens-before race checking: the vector-clock checker audits every
+# facade atomic/mutex event plus the containers' RaceCell slots. Runs the
+# hb unit fixtures, the public-API race fixtures (bounded budget), the
+# build-parity smoke and the per-event allocation guard.
+check-races:
+    #!/usr/bin/env bash
+    set -euo pipefail
+    export RUSTFLAGS="--cfg conc_check"
+    export CARGO_TARGET_DIR=target/conc
+    cargo test -p conc-check --lib hb::
+    cargo test -p conc-check --test races --test facade_parity --test hb_alloc
+
+# Long race sweep: `schedules` seeded interleavings per fixture (default
+# 2000); the racy fixture must still be caught, the clean twins must stay
+# race-free.
+check-races-soak schedules="2000":
+    #!/usr/bin/env bash
+    set -euo pipefail
+    export RUSTFLAGS="--cfg conc_check"
+    export CARGO_TARGET_DIR=target/conc
+    HCL_RACE_SCHEDULES={{schedules}} \
+        cargo test -p conc-check --test races -- --ignored --nocapture
+
 # Record real multi-rank container histories and replay them through the
 # Wing-Gong linearizability checker.
 check-lin:
@@ -95,4 +118,4 @@ check-artifacts:
 # Everything CI runs: build, tier-1 tests, hygiene lint, fault suite,
 # schedule exploration, linearizability histories, bench smoke-checks,
 # scenario-matrix gate, artifact provenance.
-ci: build test lint test-faults check-conc check-lin bench-smoke telemetry-smoke scenario-smoke check-artifacts
+ci: build test lint test-faults check-conc check-races check-lin bench-smoke telemetry-smoke scenario-smoke check-artifacts

@@ -20,7 +20,11 @@ use std::marker::PhantomData;
 
 // The atomic word goes through the conc-check facade so that, under
 // `--cfg conc_check`, every pointer load/store/CAS becomes a deterministic
-// scheduling point (the containers' linked-structure races live here).
+// scheduling point (the containers' linked-structure races live here) and
+// is reported — with its `Ordering` — to the happens-before checker
+// (DESIGN.md §13). Leaking retired nodes also means published addresses
+// are never reused, which keeps the checker's per-address `RaceCell`
+// audit history sound.
 use conc_check::sync::{AtomicUsize, Ordering};
 
 /// Number of pointer low bits available for tags, given `T`'s alignment.

@@ -1,16 +1,37 @@
 //! Concurrency-hygiene lint pass (`cargo run -p xtask -- lint`).
 //!
+//! The pass parses each file once into a [`FileModel`] — a character-level
+//! scan that separates *code* from comment text and string/char-literal
+//! contents (line comments, nested block comments, plain/byte/raw strings,
+//! and a char-vs-lifetime heuristic). All structural rules then run on the
+//! stripped code view, so tokens inside strings or comments can never
+//! trigger (or suppress) a finding, and annotations are matched against the
+//! comment view only. Statement spans are recovered by bracket-depth
+//! tracking, and `#[cfg(test)] mod` scopes are tracked by brace depth so
+//! exemptions end where the module ends.
+//!
 //! Five rules, tuned to the invariants the containers and shims rely on:
 //!
 //! 1. **SAFETY** — every `unsafe { .. }` block and `unsafe impl` must carry a
 //!    `// SAFETY:` comment in the contiguous comment run directly above it
 //!    (or on the same line), and every `pub unsafe fn` must document its
-//!    contract with a `# Safety` doc section.
-//! 2. **ORDERING** — in `crates/containers`, `crates/mem` and `crates/rpc`,
-//!    every *mutating* atomic access (`store`, `swap`, `fetch_*`,
-//!    `compare_exchange*`) that uses `Ordering::Relaxed` must carry an
-//!    `// ORDERING:` comment above the statement explaining why relaxed is
-//!    enough. Plain loads are exempt; `#[cfg(test)]` modules are exempt.
+//!    contract with a `# Safety` doc section. The inverse direction is also
+//!    checked: a `// SAFETY:` comment whose annotated statement contains no
+//!    `unsafe` at all is reported as stale (the unsafe code was removed or
+//!    moved, the justification stayed behind).
+//! 2. **ORDERING** — in `crates/containers`, `crates/mem`, `crates/rpc`,
+//!    `crates/telemetry` and `crates/bench`, every *mutating* atomic access
+//!    (`store`, `swap`, `fetch_*`, `compare_exchange*`) that uses
+//!    `Ordering::Relaxed` must carry an `// ORDERING:` comment above the
+//!    statement explaining why relaxed is enough. Plain loads are exempt;
+//!    `#[cfg(test)]` modules are exempt. Additionally, every `// ORDERING:`
+//!    annotation is cross-checked against the statement it documents: when
+//!    the comment names one or more orderings (`Relaxed`, `Acquire`,
+//!    `Release`, `AcqRel`, `SeqCst`) and the statement's actual `Ordering::`
+//!    arguments share none of them, the comment is reported as stale — it
+//!    claims a protocol the code no longer implements. Comments that name
+//!    at least one ordering the statement really uses pass (a success/
+//!    failure CAS pair legitimately mentions both sides).
 //! 3. **EPOCH** — a raw `Shared::deref()` call in epoch-using code must sit
 //!    in a function that visibly holds a guard (`epoch::pin()`, a `Guard`
 //!    parameter/binding, or `epoch::unprotected()`), so the pointee cannot
@@ -27,23 +48,27 @@
 //!    crate segment, a non-empty metric segment, characters `[a-z0-9_]`.
 //!    Format-string placeholders (`{}`) count as a valid segment filler.
 //!    Test modules and integration-test trees are exempt (negative-control
-//!    tests register malformed names on purpose).
-//!
-//! The pass is line-based on purpose: it runs in milliseconds, has no
-//! dependencies, and the few syntactic shapes it must understand are fixed
-//! by this workspace's style (rustfmt-formatted, comment-above-statement).
+//!    tests register malformed names on purpose). This rule alone reads the
+//!    string-preserving view — the metric *name* lives inside the literal.
 
+use std::collections::HashSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Directories scanned relative to the workspace root. `xtask` itself is
-/// excluded: this file's rule strings and test fixtures would self-match
-/// (the scanner is line-based, not string-literal-aware).
+/// excluded: its rule-token string constants (e.g. the METRIC registry
+/// tokens) would self-match the string-preserving METRIC scan.
 const SCAN_ROOTS: &[&str] = &["crates", "shims", "src", "tests", "examples", "benches"];
 
 /// Path fragments where the ORDERING rule applies.
-const ORDERING_PATHS: &[&str] = &["crates/containers/", "crates/mem/", "crates/rpc/"];
+const ORDERING_PATHS: &[&str] = &[
+    "crates/containers/",
+    "crates/mem/",
+    "crates/rpc/",
+    "crates/telemetry/",
+    "crates/bench/",
+];
 
 /// Path fragments exempt from the EPOCH rule (the shim defines the API).
 const EPOCH_EXEMPT_PATHS: &[&str] = &["shims/crossbeam/"];
@@ -63,11 +88,12 @@ const MUTATION_TOKENS: &[&str] = &[
     "fetch_update(",
 ];
 
+/// The five memory-ordering names, used by the ORDERING cross-check. Index
+/// doubles as the bit position in the claimed/actual sets.
+const ORDERING_NAMES: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
 /// The DISPATCH rule's scope: container modules of the core crate.
 const DISPATCH_PATH: &str = "crates/core/src/";
-
-/// The one file in scope allowed to talk to the RPC layer directly.
-const DISPATCH_ENGINE_FILE: &str = "crates/core/src/dispatch.rs";
 
 /// Tokens that indicate a direct RPC issue path. Deliberately precise
 /// (`rank.invoke(`, not `.invoke(`): history recorders expose an `invoke`
@@ -178,62 +204,398 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Run all three rules over one file. `rel` is the workspace-relative path
-/// (forward slashes), used for the per-rule path filters.
-pub fn check_file(rel: &str, content: &str) -> Vec<Finding> {
-    let lines: Vec<&str> = content.lines().collect();
-    let mut findings = Vec::new();
-    check_safety(rel, &lines, &mut findings);
-    // Integration-test trees (`<crate>/tests/`) are exempt from ORDERING the
-    // same way `#[cfg(test)]` modules are: test counters need no rationale.
-    if ORDERING_PATHS.iter().any(|p| rel.contains(p)) && !rel.contains("/tests/") {
-        check_ordering(rel, &lines, &mut findings);
-    }
-    if content.contains("epoch") && !EPOCH_EXEMPT_PATHS.iter().any(|p| rel.contains(p)) {
-        check_epoch(rel, &lines, &mut findings);
-    }
-    if rel.contains(DISPATCH_PATH) && !rel.ends_with("dispatch.rs") {
-        check_dispatch(rel, &lines, &mut findings);
-    }
-    // Integration-test trees register malformed names as negative controls.
-    if !rel.starts_with("tests/") && !rel.contains("/tests/") {
-        check_metric(rel, &lines, &mut findings);
-    }
-    findings
+// ---------------------------------------------------------------------------
+// FileModel — the token/statement view every rule runs on
+// ---------------------------------------------------------------------------
+
+/// Scanner state for [`FileModel::parse`].
+#[derive(Clone, Copy, PartialEq)]
+enum St {
+    Code,
+    LineComment,
+    /// Nesting depth of `/* .. */`.
+    BlockComment(u32),
+    Str,
+    /// Number of `#`s that close the raw string.
+    RawStr(u32),
+    CharLit,
 }
 
-/// True when `line` is purely a comment (incl. doc comments) or attribute.
-fn is_comment_or_attr(line: &str) -> bool {
-    let t = line.trim_start();
-    t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!")
+/// One file, split into per-line views by a single character-level pass.
+struct FileModel {
+    /// Code with comments removed and string/char contents blanked
+    /// (delimiters kept). Structural rules match tokens here.
+    code: Vec<String>,
+    /// Code with comments removed but string contents preserved. Only the
+    /// METRIC rule reads this (the name lives inside the literal).
+    text: Vec<String>,
+    /// Comment text (line + block, markers stripped). Annotation lookups
+    /// match here, so `SAFETY:` in a string cannot satisfy the rule.
+    comments: Vec<String>,
+    /// True for lines inside a `#[cfg(test)] mod` scope (brace-tracked).
+    test_scope: Vec<bool>,
 }
 
-/// Walk the contiguous comment/attribute run directly above `idx` and report
-/// whether any of it (or the line itself) contains `needle`.
-fn annotated_above(lines: &[&str], idx: usize, needle: &str) -> bool {
-    if lines[idx].contains(needle) {
+/// True when a raw (or raw byte) string literal starts at `i`; returns the
+/// prefix length up to and including the opening quote, and the `#` count.
+fn raw_prefix(chars: &[char], i: usize) -> Option<(usize, u32)> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+        hashes += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some((j - i + 1, hashes))
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl FileModel {
+    fn parse(content: &str) -> Self {
+        let chars: Vec<char> = content.chars().collect();
+        let mut code = vec![String::new()];
+        let mut text = vec![String::new()];
+        let mut comments = vec![String::new()];
+        let mut st = St::Code;
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c == '\n' {
+                if st == St::LineComment {
+                    st = St::Code;
+                }
+                code.push(String::new());
+                text.push(String::new());
+                comments.push(String::new());
+                i += 1;
+                continue;
+            }
+            let next = chars.get(i + 1).copied();
+            match st {
+                St::Code => {
+                    if c == '/' && next == Some('/') {
+                        st = St::LineComment;
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        st = St::BlockComment(1);
+                        i += 2;
+                    } else if let Some((plen, hashes)) = (c == 'r' || c == 'b')
+                        .then(|| raw_prefix(&chars, i))
+                        .flatten()
+                        .filter(|_| !(i > 0 && is_ident_char(chars[i - 1])))
+                    {
+                        for k in 0..plen {
+                            code.last_mut().unwrap().push(chars[i + k]);
+                            text.last_mut().unwrap().push(chars[i + k]);
+                        }
+                        st = St::RawStr(hashes);
+                        i += plen;
+                    } else if c == '"' || (c == 'b' && next == Some('"')) {
+                        if c == 'b' {
+                            code.last_mut().unwrap().push('b');
+                            text.last_mut().unwrap().push('b');
+                            i += 1;
+                        }
+                        code.last_mut().unwrap().push('"');
+                        text.last_mut().unwrap().push('"');
+                        st = St::Str;
+                        i += 1;
+                    } else if c == '\'' {
+                        // Char literal iff `'\..'` or `'x'`; otherwise a
+                        // lifetime tick, which stays plain code.
+                        let char_lit =
+                            next == Some('\\') || chars.get(i + 2) == Some(&'\'');
+                        code.last_mut().unwrap().push('\'');
+                        text.last_mut().unwrap().push('\'');
+                        if char_lit {
+                            st = St::CharLit;
+                        }
+                        i += 1;
+                    } else {
+                        code.last_mut().unwrap().push(c);
+                        text.last_mut().unwrap().push(c);
+                        i += 1;
+                    }
+                }
+                St::LineComment => {
+                    comments.last_mut().unwrap().push(c);
+                    i += 1;
+                }
+                St::BlockComment(n) => {
+                    if c == '/' && next == Some('*') {
+                        st = St::BlockComment(n + 1);
+                        i += 2;
+                    } else if c == '*' && next == Some('/') {
+                        st = if n == 1 { St::Code } else { St::BlockComment(n - 1) };
+                        i += 2;
+                    } else {
+                        comments.last_mut().unwrap().push(c);
+                        i += 1;
+                    }
+                }
+                St::Str => {
+                    if c == '\\' {
+                        text.last_mut().unwrap().push(c);
+                        if let Some(n) = next {
+                            text.last_mut().unwrap().push(n);
+                        }
+                        i += 2;
+                    } else if c == '"' {
+                        code.last_mut().unwrap().push('"');
+                        text.last_mut().unwrap().push('"');
+                        st = St::Code;
+                        i += 1;
+                    } else {
+                        text.last_mut().unwrap().push(c);
+                        i += 1;
+                    }
+                }
+                St::RawStr(hashes) => {
+                    let closes = c == '"'
+                        && (0..hashes as usize).all(|k| chars.get(i + 1 + k) == Some(&'#'));
+                    if closes {
+                        code.last_mut().unwrap().push('"');
+                        text.last_mut().unwrap().push('"');
+                        for _ in 0..hashes {
+                            code.last_mut().unwrap().push('#');
+                            text.last_mut().unwrap().push('#');
+                        }
+                        st = St::Code;
+                        i += 1 + hashes as usize;
+                    } else {
+                        text.last_mut().unwrap().push(c);
+                        i += 1;
+                    }
+                }
+                St::CharLit => {
+                    if c == '\\' {
+                        i += 2;
+                    } else if c == '\'' {
+                        code.last_mut().unwrap().push('\'');
+                        text.last_mut().unwrap().push('\'');
+                        st = St::Code;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let test_scope = compute_test_scopes(&code);
+        FileModel { code, text, comments, test_scope }
+    }
+
+    fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Comment-only line (the code view is blank, the comment view is not).
+    fn is_comment_line(&self, i: usize) -> bool {
+        self.code[i].trim().is_empty() && !self.comments[i].trim().is_empty()
+    }
+
+    /// Attribute line (`#[..]` / `#![..]`).
+    fn is_attr_line(&self, i: usize) -> bool {
+        let t = self.code[i].trim_start();
+        t.starts_with("#[") || t.starts_with("#!")
+    }
+
+    fn is_blank(&self, i: usize) -> bool {
+        self.code[i].trim().is_empty() && self.comments[i].trim().is_empty()
+    }
+}
+
+/// Mark every line inside a `#[cfg(test)] mod ..` scope, tracked by brace
+/// depth — the exemption ends where the module's `}` closes, unlike the old
+/// to-end-of-file heuristic.
+fn compute_test_scopes(code: &[String]) -> Vec<bool> {
+    let mut flags = vec![false; code.len()];
+    let mut depth = 0i32;
+    let mut test_depth: Option<i32> = None;
+    let mut pending_cfg_test = false;
+    for (i, line) in code.iter().enumerate() {
+        if test_depth.is_some() {
+            flags[i] = true;
+        }
+        let t = line.trim();
+        if t.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        } else if pending_cfg_test && t.starts_with("mod ") {
+            if test_depth.is_none() {
+                test_depth = Some(depth);
+                flags[i] = true;
+            }
+            pending_cfg_test = false;
+        } else if !t.is_empty() && !t.starts_with("#[") && !t.starts_with("#!") {
+            pending_cfg_test = false;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if test_depth.is_some_and(|d| depth <= d) {
+                        test_depth = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    flags
+}
+
+/// Walk the contiguous comment/attribute run directly above `idx` (plus the
+/// line's own trailing comment) looking for `needle` in comment text.
+fn annotated_above(model: &FileModel, idx: usize, needle: &str) -> bool {
+    if model.comments[idx].contains(needle) {
         return true;
     }
     let mut i = idx;
     while i > 0 {
         i -= 1;
-        if !is_comment_or_attr(lines[i]) {
+        if !(model.is_comment_line(i) || model.is_attr_line(i)) {
             break;
         }
-        if lines[i].contains(needle) {
+        if model.comments[i].contains(needle) {
             return true;
         }
     }
     false
 }
 
-/// Rule 1: `unsafe` blocks/impls need `// SAFETY:`, `pub unsafe fn` needs a
-/// `# Safety` doc section.
-fn check_safety(rel: &str, lines: &[&str], findings: &mut Vec<Finding>) {
-    for (idx, raw) in lines.iter().enumerate() {
-        let line = strip_line_comment(raw);
+/// First line of the statement containing line `idx`: stop below a blank
+/// line, a comment/attribute line, or a line ending the previous statement.
+fn statement_start(model: &FileModel, idx: usize) -> usize {
+    let mut start = idx;
+    while start > 0 {
+        let p = start - 1;
+        if model.is_blank(p) || model.is_comment_line(p) || model.is_attr_line(p) {
+            break;
+        }
+        let prev = model.code[p].trim_end();
+        if prev.ends_with(';') || prev.ends_with('{') || prev.ends_with('}') {
+            break;
+        }
+        start -= 1;
+    }
+    start
+}
+
+/// Last line of the statement starting at `start`: the first line at zero
+/// bracket depth ending in `;`, `{` or `}`. Capped at 40 lines.
+fn statement_end(model: &FileModel, start: usize) -> usize {
+    let mut depth = 0i32;
+    let cap = model.len().min(start + 40);
+    for i in start..cap {
+        for c in model.code[i].chars() {
+            match c {
+                '(' | '[' => depth += 1,
+                ')' | ']' => depth -= 1,
+                _ => {}
+            }
+        }
+        let t = model.code[i].trim_end();
+        if depth <= 0 && (t.ends_with(';') || t.ends_with('{') || t.ends_with('}')) {
+            return i;
+        }
+    }
+    start
+}
+
+/// Bit set of [`ORDERING_NAMES`] mentioned as whole words in `text`.
+fn named_orderings(text: &str) -> u8 {
+    let bytes = text.as_bytes();
+    let mut set = 0u8;
+    for (bit, name) in ORDERING_NAMES.iter().enumerate() {
+        let mut from = 0;
+        while let Some(pos) = text[from..].find(name) {
+            let at = from + pos;
+            let before_ok = at == 0 || !is_ident_char(bytes[at - 1] as char);
+            let end = at + name.len();
+            let after_ok = end >= bytes.len() || !is_ident_char(bytes[end] as char);
+            if before_ok && after_ok {
+                set |= 1 << bit;
+                break;
+            }
+            from = end;
+        }
+    }
+    set
+}
+
+/// Bit set of orderings used as explicit `Ordering::X` arguments in `code`.
+fn used_orderings(code: &str) -> u8 {
+    let mut set = 0u8;
+    for (bit, name) in ORDERING_NAMES.iter().enumerate() {
+        if code.contains(&format!("Ordering::{name}")) {
+            set |= 1 << bit;
+        }
+    }
+    set
+}
+
+fn ordering_set_names(set: u8) -> String {
+    let names: Vec<&str> = ORDERING_NAMES
+        .iter()
+        .enumerate()
+        .filter(|(bit, _)| set & (1 << bit) != 0)
+        .map(|(_, n)| *n)
+        .collect();
+    names.join(", ")
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+/// Run all rules over one file. `rel` is the workspace-relative path
+/// (forward slashes), used for the per-rule path filters.
+pub fn check_file(rel: &str, content: &str) -> Vec<Finding> {
+    let model = FileModel::parse(content);
+    let mut findings = Vec::new();
+    check_safety(rel, &model, &mut findings);
+    let in_test_tree = rel.starts_with("tests/") || rel.contains("/tests/");
+    // Stale-annotation checks run tree-wide (a wrong comment is wrong in any
+    // crate) but skip test trees, whose fixtures misannotate on purpose.
+    if !in_test_tree {
+        check_stale_annotations(rel, &model, &mut findings);
+    }
+    // Integration-test trees (`<crate>/tests/`) are exempt from ORDERING the
+    // same way `#[cfg(test)]` modules are: test counters need no rationale.
+    if ORDERING_PATHS.iter().any(|p| rel.contains(p)) && !in_test_tree {
+        check_ordering(rel, &model, &mut findings);
+    }
+    if content.contains("epoch") && !EPOCH_EXEMPT_PATHS.iter().any(|p| rel.contains(p)) {
+        check_epoch(rel, &model, &mut findings);
+    }
+    if rel.contains(DISPATCH_PATH) && !rel.ends_with("dispatch.rs") {
+        check_dispatch(rel, &model, &mut findings);
+    }
+    // Integration-test trees register malformed names as negative controls.
+    if !in_test_tree {
+        check_metric(rel, &model, &mut findings);
+    }
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+/// Rule 1 (forward): `unsafe` blocks/impls need `// SAFETY:`, `pub unsafe
+/// fn` needs a `# Safety` doc section.
+fn check_safety(rel: &str, model: &FileModel, findings: &mut Vec<Finding>) {
+    for idx in 0..model.len() {
+        let line = &model.code[idx];
         if line.contains("unsafe impl") {
-            if !annotated_above(lines, idx, "SAFETY:") {
+            if !annotated_above(model, idx, "SAFETY:") {
                 findings.push(Finding {
                     file: rel.to_string(),
                     line: idx + 1,
@@ -242,7 +604,7 @@ fn check_safety(rel: &str, lines: &[&str], findings: &mut Vec<Finding>) {
                 });
             }
         } else if line.contains("unsafe fn") {
-            if line.contains("pub unsafe fn") && !annotated_above(lines, idx, "# Safety") {
+            if line.contains("pub unsafe fn") && !annotated_above(model, idx, "# Safety") {
                 findings.push(Finding {
                     file: rel.to_string(),
                     line: idx + 1,
@@ -253,7 +615,7 @@ fn check_safety(rel: &str, lines: &[&str], findings: &mut Vec<Finding>) {
         } else if line.contains("unsafe {") || line.trim_end().ends_with("unsafe") {
             // `unsafe {` inline, or an `unsafe` keyword ending the line with
             // the block opening on the next (rustfmt wraps long statements).
-            if !annotated_above(lines, idx, "SAFETY:") {
+            if !annotated_above(model, idx, "SAFETY:") {
                 findings.push(Finding {
                     file: rel.to_string(),
                     line: idx + 1,
@@ -265,40 +627,82 @@ fn check_safety(rel: &str, lines: &[&str], findings: &mut Vec<Finding>) {
     }
 }
 
-/// Drop a trailing `// ..` comment so comment text never triggers keyword
-/// matches. (Does not attempt string-literal awareness; the scanned code
-/// does not put `unsafe {` or atomic calls inside string literals.)
-fn strip_line_comment(line: &str) -> &str {
-    match line.find("//") {
-        Some(pos) => &line[..pos],
-        None => line,
+/// Rules 1+2 (reverse): a `// SAFETY:` run above a statement with no
+/// `unsafe`, or an `// ORDERING:` run whose claimed orderings share nothing
+/// with the statement's actual `Ordering::` arguments, is stale.
+fn check_stale_annotations(rel: &str, model: &FileModel, findings: &mut Vec<Finding>) {
+    let n = model.len();
+    let mut idx = 0;
+    while idx < n {
+        if !model.is_comment_line(idx) || model.test_scope[idx] {
+            idx += 1;
+            continue;
+        }
+        let run_start = idx;
+        let mut run_end = idx;
+        while run_end + 1 < n
+            && (model.is_comment_line(run_end + 1) || model.is_attr_line(run_end + 1))
+        {
+            run_end += 1;
+        }
+        idx = run_end + 1;
+        // The annotated statement must start directly below the run; a
+        // blank line or EOF means the run is free-floating prose.
+        let stmt = run_end + 1;
+        if stmt >= n || model.is_blank(stmt) {
+            continue;
+        }
+        let run_text = model.comments[run_start..=run_end].join("\n");
+        let end = statement_end(model, stmt);
+        let stmt_code = model.code[stmt..=end].join("\n");
+        if run_text.contains("SAFETY:") && !stmt_code.contains("unsafe") {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: run_start + 1,
+                rule: Rule::Safety,
+                message: "stale `// SAFETY:` comment — the annotated statement contains \
+                          no `unsafe`"
+                    .into(),
+            });
+        }
+        if run_text.contains("ORDERING:") {
+            let claimed = named_orderings(&run_text);
+            let actual = used_orderings(&stmt_code);
+            if claimed != 0 && actual != 0 && claimed & actual == 0 {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: run_start + 1,
+                    rule: Rule::Ordering,
+                    message: format!(
+                        "stale `// ORDERING:` comment — claims {} but the statement \
+                         uses {}",
+                        ordering_set_names(claimed),
+                        ordering_set_names(actual)
+                    ),
+                });
+            }
+        }
     }
 }
 
-/// Rule 2: relaxed atomic mutations need `// ORDERING:` above the statement.
-fn check_ordering(rel: &str, lines: &[&str], findings: &mut Vec<Finding>) {
-    // Everything from the `#[cfg(test)] mod ..` marker on is test
-    // scaffolding — counters in tests do not need ordering rationale. (A
-    // lone `#[cfg(test)]` on a field or helper does NOT end the scan.)
-    let test_start = lines
-        .iter()
-        .enumerate()
-        .position(|(i, l)| {
-            l.contains("#[cfg(test)]")
-                && lines.get(i + 1).is_some_and(|n| n.trim_start().starts_with("mod "))
-        })
-        .unwrap_or(lines.len());
-    for idx in 0..test_start.min(lines.len()) {
-        if !strip_line_comment(lines[idx]).contains("Ordering::Relaxed") {
+/// Rule 2 (forward): relaxed atomic mutations need `// ORDERING:` above the
+/// statement.
+fn check_ordering(rel: &str, model: &FileModel, findings: &mut Vec<Finding>) {
+    let mut seen: HashSet<usize> = HashSet::new();
+    for idx in 0..model.len() {
+        if model.test_scope[idx] || !model.code[idx].contains("Ordering::Relaxed") {
             continue;
         }
-        let start = statement_start(lines, idx);
-        let stmt: String = lines[start..=idx].join("\n");
-        let stmt = strip_block_comments(&stmt);
+        let start = statement_start(model, idx);
+        if !seen.insert(start) {
+            continue;
+        }
+        let end = statement_end(model, start).max(idx);
+        let stmt = model.code[start..=end].join("\n");
         if !MUTATION_TOKENS.iter().any(|t| stmt.contains(t)) {
             continue; // plain load (or constructor): exempt
         }
-        if !annotated_above(lines, start, "ORDERING:") {
+        if !annotated_above(model, start, "ORDERING:") {
             findings.push(Finding {
                 file: rel.to_string(),
                 line: idx + 1,
@@ -309,42 +713,16 @@ fn check_ordering(rel: &str, lines: &[&str], findings: &mut Vec<Finding>) {
     }
 }
 
-/// Remove `// ..` comment tails from a multi-line statement snippet.
-fn strip_block_comments(stmt: &str) -> String {
-    stmt.lines().map(strip_line_comment).collect::<Vec<_>>().join("\n")
-}
-
-/// Walk upward to the first line of the statement containing line `idx`:
-/// stop below a blank line, a comment/attribute line, or a line ending in
-/// `;`, `{` or `}` (the previous statement).
-fn statement_start(lines: &[&str], idx: usize) -> usize {
-    let mut start = idx;
-    while start > 0 {
-        let prev = lines[start - 1].trim();
-        if prev.is_empty()
-            || is_comment_or_attr(prev)
-            || prev.ends_with(';')
-            || prev.ends_with('{')
-            || prev.ends_with('}')
-        {
-            break;
-        }
-        start -= 1;
-    }
-    start
-}
-
 /// Rule 3: `.deref()` in epoch-using code must be inside a function that
 /// visibly holds a guard.
-fn check_epoch(rel: &str, lines: &[&str], findings: &mut Vec<Finding>) {
-    for (idx, raw) in lines.iter().enumerate() {
-        let line = strip_line_comment(raw);
-        if !line.contains(".deref()") {
+fn check_epoch(rel: &str, model: &FileModel, findings: &mut Vec<Finding>) {
+    for idx in 0..model.len() {
+        if !model.code[idx].contains(".deref()") {
             continue;
         }
         // Find the enclosing fn signature.
         let fn_line = (0..=idx).rev().find(|&i| {
-            let t = lines[i].trim_start();
+            let t = model.code[i].trim_start();
             t.starts_with("fn ")
                 || t.starts_with("pub fn ")
                 || t.starts_with("pub(crate) fn ")
@@ -354,7 +732,7 @@ fn check_epoch(rel: &str, lines: &[&str], findings: &mut Vec<Finding>) {
                 || t.starts_with("const fn ")
         });
         let Some(fn_line) = fn_line else { continue };
-        let region = lines[fn_line..=idx].join("\n");
+        let region = model.code[fn_line..=idx].join("\n");
         let has_guard = region.contains("Guard")
             || region.contains("guard")
             || region.contains("pin()")
@@ -373,10 +751,9 @@ fn check_epoch(rel: &str, lines: &[&str], findings: &mut Vec<Finding>) {
 /// Rule 4: container modules may not issue RPCs directly — every remote op
 /// must go through `dispatch::Dispatcher` (the engine file is the single
 /// exemption, by name).
-fn check_dispatch(rel: &str, lines: &[&str], findings: &mut Vec<Finding>) {
-    debug_assert!(!rel.ends_with(DISPATCH_ENGINE_FILE) || rel.contains("dispatch.rs"));
-    for (idx, raw) in lines.iter().enumerate() {
-        let line = strip_line_comment(raw);
+fn check_dispatch(rel: &str, model: &FileModel, findings: &mut Vec<Finding>) {
+    for idx in 0..model.len() {
+        let line = &model.code[idx];
         if let Some(tok) = DISPATCH_TOKENS.iter().find(|t| line.contains(**t)) {
             findings.push(Finding {
                 file: rel.to_string(),
@@ -431,18 +808,14 @@ fn fill_placeholders(lit: &str) -> String {
 
 /// Rule 5: metric names registered through `.counter(` / `.gauge(` /
 /// `.histogram(` calls must follow `hcl_<crate>_<name>`. Test modules are
-/// exempt the same way ORDERING exempts them.
-fn check_metric(rel: &str, lines: &[&str], findings: &mut Vec<Finding>) {
-    let test_start = lines
-        .iter()
-        .enumerate()
-        .position(|(i, l)| {
-            l.contains("#[cfg(test)]")
-                && lines.get(i + 1).is_some_and(|n| n.trim_start().starts_with("mod "))
-        })
-        .unwrap_or(lines.len());
-    for idx in 0..test_start.min(lines.len()) {
-        let line = strip_line_comment(lines[idx]);
+/// exempt the same way ORDERING exempts them. Reads the string-preserving
+/// view: the name is the literal's contents.
+fn check_metric(rel: &str, model: &FileModel, findings: &mut Vec<Finding>) {
+    for idx in 0..model.len() {
+        if model.test_scope[idx] {
+            continue;
+        }
+        let line = &model.text[idx];
         for tok in METRIC_TOKENS {
             let Some(pos) = line.find(tok) else { continue };
             // The name must be (or start with) a string literal on the same
@@ -530,6 +903,13 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_and_bench_are_covered_paths() {
+        let bad = "fn f(a: &AtomicUsize) {\n    a.fetch_add(1, Ordering::Relaxed);\n}\n";
+        assert_eq!(rules("crates/telemetry/src/x.rs", bad), vec![Rule::Ordering]);
+        assert_eq!(rules("crates/bench/src/x.rs", bad), vec![Rule::Ordering]);
+    }
+
+    #[test]
     fn multiline_compare_exchange_relaxed_failure_flagged() {
         let bad = concat!(
             "fn f(a: &AtomicUsize) {\n",
@@ -564,6 +944,162 @@ mod tests {
             "    fn f(a: &AtomicUsize) {\n",
             "        a.fetch_add(1, Ordering::Relaxed);\n",
             "    }\n",
+            "}\n"
+        );
+        assert!(rules("crates/containers/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_module_exemption_ends_at_closing_brace() {
+        // The old line-based pass exempted everything from `#[cfg(test)]
+        // mod` to end-of-file; the brace-tracked scope does not.
+        let src = concat!(
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn g(a: &AtomicUsize) {\n",
+            "        a.store(1, Ordering::Relaxed);\n",
+            "    }\n",
+            "}\n",
+            "fn f(a: &AtomicUsize) {\n",
+            "    a.store(1, Ordering::Relaxed);\n",
+            "}\n"
+        );
+        let found = check_file("crates/containers/src/x.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, Rule::Ordering);
+        assert_eq!(found[0].line, 8);
+    }
+
+    #[test]
+    fn ordering_comment_claiming_acquire_over_relaxed_op_is_stale() {
+        // The acceptance fixture: the comment claims an Acquire protocol the
+        // statement does not implement.
+        let bad = concat!(
+            "fn f(a: &AtomicUsize) {\n",
+            "    // ORDERING: Acquire pairs with the writer's publication.\n",
+            "    a.store(1, Ordering::Relaxed);\n",
+            "}\n"
+        );
+        let found = check_file("crates/containers/src/x.rs", bad);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, Rule::Ordering);
+        assert!(found[0].message.contains("stale"), "{}", found[0].message);
+        assert!(found[0].message.contains("Acquire"), "{}", found[0].message);
+        assert!(found[0].message.contains("Relaxed"), "{}", found[0].message);
+    }
+
+    #[test]
+    fn ordering_comment_matching_the_op_passes() {
+        let ok = concat!(
+            "fn f(a: &AtomicUsize) {\n",
+            "    // ORDERING: Relaxed — the counter is a statistic only.\n",
+            "    a.fetch_add(1, Ordering::Relaxed);\n",
+            "}\n"
+        );
+        assert!(rules("crates/containers/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn ordering_comment_with_partial_overlap_passes() {
+        // A success/failure CAS comment naming both sides shares at least
+        // one ordering with the statement: not stale.
+        let ok = concat!(
+            "fn f(a: &AtomicUsize) {\n",
+            "    // ORDERING: AcqRel on success publishes the node; Relaxed\n",
+            "    // on failure is fine because the retry reloads.\n",
+            "    let _ = a.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed);\n",
+            "}\n"
+        );
+        assert!(rules("crates/containers/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn ordering_prose_without_ordering_names_is_never_stale() {
+        let ok = concat!(
+            "fn f(a: &AtomicUsize) {\n",
+            "    // ORDERING: the counter feeds a debug display only.\n",
+            "    a.fetch_add(1, Ordering::Relaxed);\n",
+            "}\n"
+        );
+        assert!(rules("crates/containers/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn stale_safety_comment_is_flagged() {
+        let bad = "fn f(x: u8) -> u8 {\n    // SAFETY: bounds checked above.\n    x + 1\n}\n";
+        let found = check_file("crates/x/src/lib.rs", bad);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, Rule::Safety);
+        assert!(found[0].message.contains("stale"), "{}", found[0].message);
+        assert_eq!(found[0].line, 2);
+    }
+
+    #[test]
+    fn free_floating_safety_prose_is_not_stale() {
+        // A blank line separates the comment from the next statement: prose,
+        // not an annotation.
+        let ok = "fn f(x: u8) -> u8 {\n    // SAFETY: discussed in DESIGN.md.\n\n    x + 1\n}\n";
+        assert!(rules("crates/x/src/lib.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn tokens_inside_string_literals_do_not_trigger() {
+        // The scanner blanks string contents before any rule runs: `unsafe`
+        // and atomic-mutation tokens inside literals are invisible.
+        let src = concat!(
+            "fn f() -> (&'static str, &'static str) {\n",
+            "    let a = \"unsafe { *p }\";\n",
+            "    let b = \"a.store(1, Ordering::Relaxed);\";\n",
+            "    (a, b)\n",
+            "}\n"
+        );
+        assert!(rules("crates/containers/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tokens_inside_comments_do_not_trigger() {
+        let src = concat!(
+            "fn f() {\n",
+            "    // Explanatory prose: unsafe { *p } would be wrong here, as\n",
+            "    // would a.store(1, Ordering::Relaxed) without a reason.\n",
+            "    /* block prose: unsafe impl Send for X {} */\n",
+            "    let _ = 1;\n",
+            "}\n"
+        );
+        assert!(rules("crates/containers/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn safety_annotation_inside_a_string_does_not_satisfy_the_rule() {
+        let src = concat!(
+            "fn f(p: *const u8) -> u8 {\n",
+            "    let _msg = \"SAFETY: not a real annotation\";\n",
+            "    unsafe { *p }\n",
+            "}\n"
+        );
+        assert_eq!(rules("crates/x/src/lib.rs", src), vec![Rule::Safety]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_mistaken_for_char_literals() {
+        // If the scanner treated `'a` as an unterminated char literal it
+        // would swallow the rest of the file, including the unsafe block.
+        let src = concat!(
+            "fn f<'a>(x: &'a [u8], p: *const u8) -> u8 {\n",
+            "    let _ = x;\n",
+            "    let _c = 'q';\n",
+            "    let _e = '\\n';\n",
+            "    unsafe { *p }\n",
+            "}\n"
+        );
+        assert_eq!(rules("crates/x/src/lib.rs", src), vec![Rule::Safety]);
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = concat!(
+            "fn f() -> &'static str {\n",
+            "    r#\"unsafe { nothing } a.store(1, Ordering::Relaxed)\"#\n",
             "}\n"
         );
         assert!(rules("crates/containers/src/x.rs", src).is_empty());
@@ -626,6 +1162,16 @@ mod tests {
     }
 
     #[test]
+    fn dispatch_token_inside_string_is_ignored() {
+        let src = concat!(
+            "fn f(&self) {\n",
+            "    let _doc = \"call self.rank.invoke(ep, id, &args) via RpcClient\";\n",
+            "}\n"
+        );
+        assert!(rules("crates/core/src/queue.rs", src).is_empty());
+    }
+
+    #[test]
     fn well_formed_metric_names_pass() {
         let src = concat!(
             "fn f(reg: &Registry) {\n",
@@ -669,6 +1215,12 @@ mod tests {
     }
 
     #[test]
+    fn metric_name_in_comment_is_ignored() {
+        let src = "fn f() {\n    // e.g. reg.counter(\"bogus name\") would be rejected\n}\n";
+        assert!(rules("crates/core/src/telemetry.rs", src).is_empty());
+    }
+
+    #[test]
     fn dispatch_rule_allows_recorder_invoke_and_other_crates() {
         // History recorders also expose `invoke`; the token set must not
         // match `r.invoke(op)`.
@@ -678,5 +1230,17 @@ mod tests {
         let raw = "fn f(rank: &Rank) {\n    let _ = rank.invoke(ep, 0, &());\n}\n";
         assert!(rules("crates/bench/src/bin/pr3.rs", raw).is_empty());
         assert!(rules("tests/end_to_end.rs", raw).is_empty());
+    }
+
+    #[test]
+    fn nested_block_comments_resolve() {
+        let src = concat!(
+            "fn f(p: *const u8) -> u8 {\n",
+            "    /* outer /* inner */ still comment: unsafe { *p } */\n",
+            "    // SAFETY: p is valid by contract.\n",
+            "    unsafe { *p }\n",
+            "}\n"
+        );
+        assert!(rules("crates/x/src/lib.rs", src).is_empty());
     }
 }
