@@ -20,7 +20,8 @@
 //! without running measurements; `--out <path>` redirects the full run.
 
 use hcl_bench::scenario::{
-    self, matrix, run_app_cell, run_cell, simulate_cell, AppCell, CellResult, SIM_NODES,
+    self, matrix, run_app_cell, run_cached_cell, run_cell, simulate_cell, AppCell,
+    CachedCellResult, CellResult, SIM_NODES,
 };
 use hcl_bench::workload::{KeyDist, Mix, WorkloadSpec};
 use hcl_cluster_sim::Calibration;
@@ -62,6 +63,60 @@ fn json_driver_cell(c: &CellResult) -> String {
         "     \"chaos\": {{\"ranks\": {}, \"ops_per_sec\": {:.1}, \"p99_ns\": {}, \"errors\": {}, \"drops\": {}, \"delayed\": {}}},\n",
         c.chaos.ranks, c.chaos.ops_per_sec, c.chaos.p99_ns, c.chaos.errors, c.chaos.drops,
         c.chaos.delayed
+    ));
+    s.push_str(&format!(
+        "     \"calibration\": {{\"measured_p50_ns\": {}, \"part_service_ns\": {}, \"client_ns\": {}}},\n",
+        c.cal.measured_p50_ns, c.cal.part_service_ns, c.cal.client_ns
+    ));
+    s.push_str("     \"sim\": [");
+    let sim: Vec<String> = c
+        .sim
+        .iter()
+        .map(|p| format!("{{\"nodes\": {}, \"ops_per_sec\": {:.1}}}", p.nodes, p.ops_per_sec))
+        .collect();
+    s.push_str(&sim.join(", "));
+    s.push_str("]}");
+    s
+}
+
+/// The cached read-path cell (PR 8): a driver-shaped entry — same sim
+/// regeneration contract as the plain cells — carrying the lease-cache
+/// counters and the chaos twin's epoch-probe kill count alongside.
+fn json_cached_cell(c: &CachedCellResult) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "    {{\"cell\": \"{}\", \"container\": \"{}\", \"mix\": \"{}\", \"dist\": \"{}\", \"theta\": {:.2}, \"seed\": {}, \"ops_per_rank\": {}, \"key_space\": {}, \"value_bytes\": {}, \"ordered_factor\": {:.2}, \"read_fraction\": {:.4}, \"cache_hits\": {}, \"lease_grants\": {},\n",
+        c.name(),
+        c.def.container.label(),
+        c.def.mix.name,
+        c.def.dist.name(),
+        c.def.dist.theta(),
+        c.spec.seed,
+        c.spec.ops_per_rank,
+        c.spec.key_space,
+        c.spec.value_bytes,
+        c.def.ordered_factor(),
+        c.def.mix.read_fraction(),
+        c.hits,
+        c.grants,
+    ));
+    s.push_str("     \"measured\": [");
+    let meas: Vec<String> = c
+        .measured
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"ranks\": {}, \"ops_per_sec\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \"errors\": {}, \"elapsed_s\": {:.6}}}",
+                m.ranks, m.ops_per_sec, m.p50_ns, m.p99_ns, m.errors, m.elapsed_s
+            )
+        })
+        .collect();
+    s.push_str(&meas.join(", "));
+    s.push_str("],\n");
+    s.push_str(&format!(
+        "     \"chaos\": {{\"ranks\": {}, \"ops_per_sec\": {:.1}, \"p99_ns\": {}, \"errors\": {}, \"drops\": {}, \"delayed\": {}, \"stale_epoch_kills\": {}}},\n",
+        c.chaos.ranks, c.chaos.ops_per_sec, c.chaos.p99_ns, c.chaos.errors, c.chaos.drops,
+        c.chaos.delayed, c.chaos_stale_epoch
     ));
     s.push_str(&format!(
         "     \"calibration\": {{\"measured_p50_ns\": {}, \"part_service_ns\": {}, \"client_ns\": {}}},\n",
@@ -121,7 +176,7 @@ fn json_app_cell(a: &AppCell) -> String {
     s
 }
 
-fn write_json(cells: &[CellResult], apps: &[AppCell], path: &str) {
+fn write_json(cells: &[CellResult], cached: &CachedCellResult, apps: &[AppCell], path: &str) {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"fig_scenarios\",\n");
@@ -134,6 +189,7 @@ fn write_json(cells: &[CellResult], apps: &[AppCell], path: &str) {
     ));
     out.push_str("  \"cells\": [\n");
     let mut rows: Vec<String> = cells.iter().map(json_driver_cell).collect();
+    rows.push(json_cached_cell(cached));
     rows.extend(apps.iter().map(json_app_cell));
     out.push_str(&rows.join(",\n"));
     out.push_str("\n  ]\n}\n");
@@ -235,6 +291,20 @@ fn validate(path: &str) {
             "{path}: cell {n}'s sim series is not the 64-512 node sweep"
         );
 
+        if n.starts_with("cached/") {
+            // The lease-cache cell must prove both halves of the read path:
+            // local hits happened, and the chaos twin's ownership-epoch bump
+            // actually killed live leases.
+            assert!(
+                field_f64(b, "cache_hits").unwrap_or(0.0) > 0.0,
+                "{path}: cell {n} recorded no lease-cache hits"
+            );
+            assert!(
+                field_f64(b, "stale_epoch_kills").unwrap_or(0.0) >= 1.0,
+                "{path}: cell {n}'s chaos twin killed no leases on the epoch bump"
+            );
+        }
+
         if !n.starts_with("app_") {
             // Regenerate the sim series from the committed calibration: the
             // engine is deterministic, so this gates the queueing model.
@@ -318,7 +388,12 @@ fn sim_from_committed(body: &str, name: &str) -> Vec<f64> {
 /// way) — it catches order-of-magnitude regressions (livelock, accidental
 /// sync fallback), not percent-level drift. Structural properties (errors,
 /// fault injection, app validity) are exact.
-fn smoke_gate(fresh_cells: &[CellResult], fresh_apps: &[AppCell], path: &str) {
+fn smoke_gate(
+    fresh_cells: &[CellResult],
+    fresh_cached: &CachedCellResult,
+    fresh_apps: &[AppCell],
+    path: &str,
+) {
     let committed = read_committed(path);
     let find = |name: &str| {
         committed
@@ -345,6 +420,35 @@ fn smoke_gate(fresh_cells: &[CellResult], fresh_apps: &[AppCell], path: &str) {
         assert!(c.chaos.drops + c.chaos.delayed > 0, "cell {name}: chaos twin saw no faults");
         assert_eq!(c.chaos.errors, 0, "cell {name}: chaos twin surfaced errors");
         println!("smoke {name}: fresh/committed {band:.2}x, chaos {} drops / {} delayed", c.chaos.drops, c.chaos.delayed);
+    }
+    {
+        let name = fresh_cached.name();
+        let com = find(&name);
+        let committed_top = field_f64_all(&com.body, "ops_per_sec").first().copied().unwrap_or(0.0);
+        let fresh_top = fresh_cached.measured[0].ops_per_sec;
+        let band = fresh_top / committed_top;
+        assert!(
+            (1.0 / 15.0..15.0).contains(&band),
+            "cell {name}: fresh {fresh_top:.0} op/s vs committed {committed_top:.0} op/s ({band:.2}x) — outside the 15x host band"
+        );
+        assert!(
+            fresh_cached.measured.iter().all(|m| m.errors == 0),
+            "cell {name}: errors on a clean fabric"
+        );
+        assert!(
+            fresh_cached.chaos.drops + fresh_cached.chaos.delayed > 0,
+            "cell {name}: chaos twin saw no faults"
+        );
+        assert_eq!(fresh_cached.chaos.errors, 0, "cell {name}: chaos twin surfaced errors");
+        assert!(fresh_cached.hits > 0, "cell {name}: fresh run recorded no lease-cache hits");
+        assert!(
+            fresh_cached.chaos_stale_epoch >= 1,
+            "cell {name}: fresh chaos epoch bump killed no leases"
+        );
+        println!(
+            "smoke {name}: fresh/committed {band:.2}x, {} hits, epoch bump killed {} leases",
+            fresh_cached.hits, fresh_cached.chaos_stale_epoch
+        );
     }
     for a in fresh_apps {
         let name = format!("app_{}", a.name);
@@ -378,6 +482,10 @@ fn main() {
         println!("cell {}", def.name());
         cells.push(run_cell(def, smoke, |line| println!("{line}")));
     }
+    let cached = {
+        println!("cell cached/{}", scenario::cached_def().name());
+        run_cached_cell(smoke, |line| println!("{line}"))
+    };
     let apps: Vec<AppCell> = ["isx", "kmer"]
         .into_iter()
         .map(|name| {
@@ -387,9 +495,9 @@ fn main() {
         .collect();
 
     if smoke {
-        smoke_gate(&cells, &apps, &path);
+        smoke_gate(&cells, &cached, &apps, &path);
     } else {
-        write_json(&cells, &apps, &path);
+        write_json(&cells, &cached, &apps, &path);
         validate(&path);
     }
 }

@@ -19,7 +19,7 @@ use hcl_rpc::RetryPolicy;
 use hcl_runtime::{World, WorldConfig, WorldShared};
 
 use crate::workload::{
-    run_scenario, ContainerKind, KeyDist, Mix, WorkloadSpec, WorkloadStats,
+    run_on_unordered_map, run_scenario, ContainerKind, KeyDist, Mix, WorkloadSpec, WorkloadStats,
 };
 
 /// Artifact-wide base seed; every cell derives its streams from it.
@@ -309,6 +309,212 @@ pub fn simulate_cell(def: &CellDef, spec: &WorkloadSpec, cal: &Calibration) -> V
     })
 }
 
+// ------------------------------------------------------- cached read path
+
+/// Probe key of the chaos twin's epoch-bump staleness check: outside the
+/// workload's key space so the mixed-op stream never touches it.
+const PROBE_KEY: u64 = u64::MAX - 7;
+
+/// The cached read-path cell (PR 8): the same unordered-map read-heavy
+/// zipfian workload as the plain matrix cell, with the lease-based client
+/// cache on (DESIGN.md §14).
+pub fn cached_def() -> CellDef {
+    CellDef { container: ContainerKind::UnorderedMap, mix: Mix::READ_HEAVY, dist: ZIPF }
+}
+
+/// Lease config of the cached cell. The chaos twin stretches the TTL so
+/// its epoch-bump probe deterministically catches a *live* lease — expiry
+/// must not be the thing that saves it.
+fn cached_lease(ttl: Duration) -> hcl::LeaseConfig {
+    hcl::LeaseConfig { ttl, hot_threshold: 1, topk: 256, ..hcl::LeaseConfig::default() }
+}
+
+fn cached_map_config(ttl: Duration) -> hcl::UnorderedMapConfig {
+    hcl::UnorderedMapConfig {
+        hybrid: false,
+        lease: Some(cached_lease(ttl)),
+        ..hcl::UnorderedMapConfig::default()
+    }
+}
+
+/// A fully-run cached cell: the measured series and chaos twin carry the
+/// cache counters, and the twin's epoch probe proves that a live lease
+/// granted under an old ownership epoch never serves across the bump.
+#[derive(Debug, Clone)]
+pub struct CachedCellResult {
+    /// Workload shape (same container/mix/dist as the plain cell).
+    pub def: CellDef,
+    /// The spec it ran under.
+    pub spec: WorkloadSpec,
+    /// Measured series over [`MEASURED_RANKS`] (or a prefix in smoke).
+    pub measured: Vec<MeasuredPoint>,
+    /// Lease-cache hits summed across ranks of the largest measured run.
+    pub hits: u64,
+    /// Leases granted in the largest measured run.
+    pub grants: u64,
+    /// The faulted twin.
+    pub chaos: ChaosTwin,
+    /// Epoch-invalidation count of the twin's staleness probe: every
+    /// non-owner rank held a live lease across a mark_down/mark_up cycle
+    /// and had it killed by the epoch rule, not by TTL.
+    pub chaos_stale_epoch: u64,
+    /// Calibration from the largest measured run (cache-hit p50: mostly
+    /// local, so the sim extrapolates the cached read path).
+    pub cal: Calibration,
+    /// Simulated series over [`SIM_NODES`].
+    pub sim: Vec<SimPoint>,
+}
+
+impl CachedCellResult {
+    /// Artifact cell id (distinct from the uncached twin cell).
+    pub fn name(&self) -> String {
+        format!("cached/{}", self.def.name())
+    }
+}
+
+/// Run the cached cell's workload at one rank count on a clean fabric.
+pub fn run_cached_measured(spec: &WorkloadSpec, ranks: u32) -> (MeasuredPoint, WorkloadStats, u64, u64) {
+    let spec = *spec;
+    let per_rank = World::run(world_config(ranks), move |rank| {
+        let map: hcl::UnorderedMap<u64, Vec<u8>> = hcl::UnorderedMap::with_config(
+            rank,
+            "scen.cached.umap",
+            cached_map_config(Duration::from_millis(25)),
+        );
+        let stats = run_on_unordered_map(rank, &map, &spec);
+        let cs = map.cache_stats().expect("lease cache configured");
+        (stats, cs.hits, cs.lease_grants)
+    });
+    let hits: u64 = per_rank.iter().map(|(_, h, _)| h).sum();
+    let grants: u64 = per_rank.iter().map(|(_, _, g)| g).sum();
+    let stats = merge_stats(per_rank.into_iter().map(|(s, _, _)| s).collect());
+    (measured_point(ranks, &stats), stats, hits, grants)
+}
+
+/// Run the cached cell's faulted twin, then drive the epoch-bump
+/// staleness probe on every rank: lease a probe key, let the owner
+/// overwrite it (no piggyback reaches the other ranks), bump the local
+/// ownership epoch via mark_down/mark_up, and require the next read to
+/// observe the overwrite. Returns the twin, the summed epoch-kill count,
+/// and the chaos snapshot.
+pub fn run_cached_chaos(spec: &WorkloadSpec, ranks: u32) -> (ChaosTwin, u64, ChaosSnapshot) {
+    let (chaos, shared) = chaos_world(ranks, chaos_plan(SEED ^ 0x1EA5E), SEED);
+    let spec = *spec;
+    let per_rank = World::run_on(shared, move |rank| {
+        let map: hcl::UnorderedMap<u64, Vec<u8>> = hcl::UnorderedMap::with_config(
+            rank,
+            "chaos.cached.umap",
+            cached_map_config(Duration::from_millis(250)),
+        );
+        let stats = run_on_unordered_map(rank, &map, &spec);
+        rank.barrier();
+
+        let owner = map.server_of(map.partition_of(&PROBE_KEY));
+        if rank.id() == owner {
+            map.put(PROBE_KEY, vec![1]).unwrap();
+        }
+        rank.barrier();
+        // Heat, lease, and hit: after three reads every rank holds a live
+        // 250 ms lease on the probe key.
+        for _ in 0..3 {
+            assert_eq!(map.get(&PROBE_KEY).unwrap(), Some(vec![1]), "probe prefill lost");
+        }
+        rank.barrier();
+        if rank.id() == owner {
+            // The overwrite's stamped response only reaches the owner's
+            // own handle; every other rank still holds a live stale lease.
+            map.put(PROBE_KEY, vec![2]).unwrap();
+        }
+        rank.barrier();
+        let before = map.cache_stats().expect("lease cache configured");
+        map.mark_down(owner);
+        map.mark_up(owner);
+        let got = map.get(&PROBE_KEY).unwrap();
+        let after = map.cache_stats().unwrap();
+        assert_eq!(
+            got,
+            Some(vec![2]),
+            "rank {} read a stale lease across an ownership-epoch bump",
+            rank.id()
+        );
+        rank.barrier();
+        (stats, after.stale_epoch - before.stale_epoch)
+    });
+    let stale_epoch: u64 = per_rank.iter().map(|(_, e)| e).sum();
+    let stats = merge_stats(per_rank.into_iter().map(|(s, _)| s).collect());
+    let snap = chaos.chaos_stats();
+    (
+        ChaosTwin {
+            ranks,
+            ops_per_sec: stats.ops_per_sec(),
+            p99_ns: stats.latency.p99(),
+            errors: stats.errors,
+            drops: snap.drops,
+            delayed: snap.delayed_ops,
+        },
+        stale_epoch,
+        snap,
+    )
+}
+
+/// Run the full cached cell: measured series, epoch-probed chaos twin,
+/// calibration, simulated extrapolation.
+pub fn run_cached_cell(smoke: bool, mut progress: impl FnMut(&str)) -> CachedCellResult {
+    let def = cached_def();
+    let spec = spec_for(&def, smoke);
+    let rank_counts: &[u32] = if smoke { &MEASURED_RANKS[..3] } else { &MEASURED_RANKS };
+
+    let mut measured = Vec::new();
+    let mut top = None;
+    for &ranks in rank_counts {
+        let (pt, stats, hits, grants) = run_cached_measured(&spec, ranks);
+        progress(&format!(
+            "  measured {:>2}r: {:>10.0} op/s  p50 {:>7} ns  p99 {:>8} ns  ({} hits, {} grants)",
+            ranks, pt.ops_per_sec, pt.p50_ns, pt.p99_ns, hits, grants
+        ));
+        measured.push(pt);
+        top = Some((stats, hits, grants));
+    }
+    let (top_stats, hits, grants) = top.expect("measured series non-empty");
+    assert!(hits > 0, "cached cell served no reads from the lease cache");
+
+    let cal = Calibration::from_remote_p50(
+        &ClusterSpec::ares(64),
+        top_stats.latency.p50(),
+        spec.value_bytes as u64,
+    );
+
+    let chaos_ranks = *rank_counts.last().unwrap().min(&4);
+    let (chaos, stale_epoch, _) = run_cached_chaos(&spec, chaos_ranks);
+    progress(&format!(
+        "  chaos    {:>2}r: {:>10.0} op/s  p99 {:>8} ns  ({} drops, {} delayed, {} epoch kills)",
+        chaos.ranks, chaos.ops_per_sec, chaos.p99_ns, chaos.drops, chaos.delayed, stale_epoch
+    ));
+    assert!(
+        stale_epoch >= chaos_ranks as u64 - 1,
+        "epoch probe killed only {stale_epoch} leases across {chaos_ranks} ranks"
+    );
+
+    let sim = simulate_cell(&def, &spec, &cal);
+    progress(&format!(
+        "  sim  64-512n: {:>10.0} -> {:.0} op/s (cached-path calibration)",
+        sim[0].ops_per_sec,
+        sim[sim.len() - 1].ops_per_sec,
+    ));
+
+    CachedCellResult {
+        def,
+        spec,
+        measured,
+        hits,
+        grants,
+        chaos,
+        chaos_stale_epoch: stale_epoch,
+        cal,
+        sim,
+    }
+}
+
 // ------------------------------------------------------------- app kernels
 
 /// One measured scale point of an application-kernel cell.
@@ -493,6 +699,24 @@ mod tests {
         assert_eq!(twin.errors, 0, "retry policy must absorb the plan's faults");
         assert!(snap.drops + snap.delayed_ops > 0, "chaos plan injected nothing");
         assert_eq!(twin.drops, snap.drops);
+    }
+
+    #[test]
+    fn cached_cell_hits_and_epoch_probe() {
+        let def = cached_def();
+        let spec = WorkloadSpec { ops_per_rank: 150, ..spec_for(&def, true) };
+        let (pt, _, hits, grants) = run_cached_measured(&spec, 2);
+        assert_eq!(pt.errors, 0);
+        assert!(hits > 0, "read-heavy zipfian must hit the lease cache");
+        assert!(grants > 0);
+
+        let (twin, stale_epoch, snap) = run_cached_chaos(&spec, 2);
+        assert_eq!(twin.errors, 0, "retry policy must absorb the plan's faults");
+        assert!(snap.drops + snap.delayed_ops > 0, "chaos plan injected nothing");
+        // One non-owner rank in a 2-rank world: its live lease must have
+        // been killed by the epoch rule (the in-world assert already
+        // proved the read observed the overwrite).
+        assert!(stale_epoch >= 1, "epoch probe killed no leases");
     }
 
     #[test]

@@ -41,6 +41,16 @@ pub struct Token<O> {
     invoked: u64,
 }
 
+impl<O> Token<O> {
+    /// The logical invoke timestamp this token was stamped with. Lease
+    /// caches persist it as the grant stamp of a cached value: a later
+    /// locally-served read records that stamp as the left edge of its
+    /// admissible linearization window (see `spec::lease_relax`).
+    pub fn invoked_at(&self) -> u64 {
+        self.invoked
+    }
+}
+
 static NEXT_PROC: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {

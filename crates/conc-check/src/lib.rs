@@ -43,4 +43,4 @@ pub mod sync;
 pub use hb::RaceCell;
 pub use history::{OpRecord, Recorder};
 pub use lin::{check, check_with_budget, CheckError, CheckStats, SeqSpec, Violation};
-pub use spec::{Bytes, DsOp, DsRet, DsSpec};
+pub use spec::{check_lease, lease_relax, Bytes, DsOp, DsRet, DsSpec};

@@ -32,6 +32,14 @@ pub type Bytes = Vec<u8>;
 pub enum DsOp {
     MapPut { key: Bytes, value: Bytes },
     MapGet { key: Bytes },
+    /// A map read served from a client-side lease cache without touching the
+    /// fabric. `valid_from` is the logical invoke timestamp of the RPC that
+    /// granted the lease: the cached value was current somewhere inside the
+    /// grant's own interval, so under lease semantics this read may
+    /// linearize anywhere in `[valid_from, returned]` rather than only in
+    /// its real-time interval. [`lease_relax`] performs that widening;
+    /// sequentially the op behaves exactly like [`DsOp::MapGet`].
+    MapGetCached { key: Bytes, valid_from: u64 },
     MapErase { key: Bytes },
     MapContains { key: Bytes },
     SetInsert { key: Bytes },
@@ -110,6 +118,7 @@ impl SeqSpec for DsSpec {
                 DsRet::Inserted(m.insert(key.clone(), value.clone()).is_none())
             }
             (DsSpec::Map(m), DsOp::MapGet { key }) => DsRet::Value(m.get(key).cloned()),
+            (DsSpec::Map(m), DsOp::MapGetCached { key, .. }) => DsRet::Value(m.get(key).cloned()),
             (DsSpec::Map(m), DsOp::MapErase { key }) => DsRet::Value(m.remove(key)),
             (DsSpec::Map(m), DsOp::MapContains { key }) => DsRet::Contains(m.contains_key(key)),
             (DsSpec::Set(s), DsOp::SetInsert { key }) => DsRet::Inserted(s.insert(key.clone())),
@@ -147,6 +156,7 @@ impl SeqSpec for DsSpec {
         match op {
             DsOp::MapPut { key, .. }
             | DsOp::MapGet { key }
+            | DsOp::MapGetCached { key, .. }
             | DsOp::MapErase { key }
             | DsOp::MapContains { key }
             | DsOp::SetInsert { key }
@@ -155,6 +165,40 @@ impl SeqSpec for DsSpec {
             DsOp::QueuePush { .. } | DsOp::QueuePop | DsOp::PqPush { .. } | DsOp::PqPop => None,
         }
     }
+}
+
+/// Widen each cached read's admissible window to its lease: rewrite
+/// `invoked` back to the `valid_from` grant stamp (never forward — the
+/// recorded invoke already bounds the window on histories without caching).
+///
+/// Soundness: the checker's frontier condition compares invoke timestamps
+/// against return timestamps with strict `<`, and a grant's invoke stamp is
+/// always smaller than the cached read's own stamps, so the rewrite only
+/// *adds* legal linearization orders for the cached read — every other op's
+/// constraints are untouched. A cached read of a value that was never
+/// current anywhere in `[valid_from, returned]` still has no witness and is
+/// still rejected.
+pub fn lease_relax(history: &[crate::history::OpRecord<DsOp, DsRet>]) -> Vec<crate::history::OpRecord<DsOp, DsRet>> {
+    let mut out: Vec<_> = history.to_vec();
+    for r in &mut out {
+        if let DsOp::MapGetCached { valid_from, .. } = r.op {
+            r.invoked = r.invoked.min(valid_from);
+        }
+    }
+    out.sort_by_key(|r| r.invoked);
+    out
+}
+
+/// [`crate::lin::check`] under **lease-bounded staleness**: cached reads may
+/// linearize anywhere inside their lease window (grant stamp → return), all
+/// other operations keep strict real-time order. This is the consistency
+/// contract of the lease-based client cache: a read never returns a value
+/// older than its own lease window.
+pub fn check_lease(
+    initial: &DsSpec,
+    history: &[crate::history::OpRecord<DsOp, DsRet>],
+) -> Result<crate::lin::CheckStats, crate::lin::CheckError<DsOp, DsRet>> {
+    crate::lin::check(initial, &lease_relax(history))
 }
 
 #[cfg(test)]
@@ -259,6 +303,93 @@ mod tests {
         assert_eq!(t.apply(&DsOp::SetInsert { key: b(2) }), DsRet::Inserted(false));
         assert_eq!(t.apply(&DsOp::SetRemove { key: b(2) }), DsRet::Removed(true));
         assert_eq!(t.apply(&DsOp::SetRemove { key: b(2) }), DsRet::Removed(false));
+    }
+
+    #[test]
+    fn cached_read_stale_within_lease_passes_only_under_lease_spec() {
+        // put(k,1) completes, a lease on k=1 is granted during [1, ...],
+        // put(k,2) completes, then a locally-served cached read returns the
+        // leased value 1. In strict real time that read is stale; within its
+        // lease window (valid_from = 1, the grant's invoke stamp) it can
+        // linearize before put(k,2).
+        let h = vec![
+            rec(0, DsOp::MapPut { key: b(9), value: b(1) }, DsRet::Inserted(true), 0, 1),
+            rec(1, DsOp::MapPut { key: b(9), value: b(2) }, DsRet::Inserted(false), 2, 3),
+            rec(
+                2,
+                DsOp::MapGetCached { key: b(9), valid_from: 1 },
+                DsRet::Value(Some(b(1))),
+                4,
+                5,
+            ),
+        ];
+        let err = check(&DsSpec::map(), &h).unwrap_err();
+        assert!(matches!(err, CheckError::Violation(_)), "strict check must reject staleness");
+        check_lease(&DsSpec::map(), &h).expect("stale-within-lease is admissible");
+    }
+
+    #[test]
+    fn cached_read_older_than_its_lease_window_is_rejected() {
+        // The lease was granted *after* put(k,2) had already completed: the
+        // value 1 was never current anywhere in [valid_from, returned], so
+        // even the lease spec must reject the read.
+        let h = vec![
+            rec(0, DsOp::MapPut { key: b(9), value: b(1) }, DsRet::Inserted(true), 0, 1),
+            rec(1, DsOp::MapPut { key: b(9), value: b(2) }, DsRet::Inserted(false), 2, 3),
+            rec(
+                2,
+                DsOp::MapGetCached { key: b(9), valid_from: 4 },
+                DsRet::Value(Some(b(1))),
+                5,
+                6,
+            ),
+        ];
+        let err = check_lease(&DsSpec::map(), &h).unwrap_err();
+        assert!(matches!(err, CheckError::Violation(_)), "value older than the lease window");
+    }
+
+    #[test]
+    fn cached_read_crossing_an_erase_is_rejected_outside_its_window() {
+        // erase(k) completes before the lease's grant stamp: a cached read
+        // still returning the erased value has no witness in its window.
+        let h = vec![
+            rec(0, DsOp::MapPut { key: b(7), value: b(1) }, DsRet::Inserted(true), 0, 1),
+            rec(0, DsOp::MapErase { key: b(7) }, DsRet::Value(Some(b(1))), 2, 3),
+            rec(
+                1,
+                DsOp::MapGetCached { key: b(7), valid_from: 4 },
+                DsRet::Value(Some(b(1))),
+                5,
+                6,
+            ),
+        ];
+        assert!(check_lease(&DsSpec::map(), &h).is_err());
+        // Same shape, but the lease predates the erase: admissible.
+        let ok = vec![
+            rec(0, DsOp::MapPut { key: b(7), value: b(1) }, DsRet::Inserted(true), 0, 1),
+            rec(0, DsOp::MapErase { key: b(7) }, DsRet::Value(Some(b(1))), 2, 3),
+            rec(
+                1,
+                DsOp::MapGetCached { key: b(7), valid_from: 1 },
+                DsRet::Value(Some(b(1))),
+                5,
+                6,
+            ),
+        ];
+        check_lease(&DsSpec::map(), &ok).expect("lease granted before the erase");
+    }
+
+    #[test]
+    fn lease_relax_never_moves_invoke_forward_and_resorts() {
+        let h = vec![
+            rec(0, DsOp::MapGetCached { key: b(1), valid_from: 9 }, DsRet::Value(None), 4, 5),
+            rec(0, DsOp::MapGetCached { key: b(1), valid_from: 1 }, DsRet::Value(None), 6, 7),
+        ];
+        let relaxed = lease_relax(&h);
+        // First record: valid_from (9) is later than invoked (4) — unchanged.
+        // Second: widened back to 1, so it now sorts first.
+        assert_eq!(relaxed[0].invoked, 1);
+        assert_eq!(relaxed[1].invoked, 4);
     }
 
     #[test]

@@ -1,0 +1,477 @@
+//! Lease-based client-side read caching and hot-key detection (PR 8).
+//!
+//! The read-path scale-out layer: partitions stamp every bucket mutation
+//! with a monotonically increasing version (see `unordered::Part::version`),
+//! and a leased `get` response carries `(version, ttl, value)`. The client
+//! stores the triple in a per-handle [`LeaseCache`]; while the lease holds,
+//! repeat `get`s on the key are served locally without touching the fabric.
+//!
+//! A lease is invalidated by any of three events (DESIGN.md §14):
+//!
+//! 1. **expiry** — the bounded TTL passes (the staleness bound: a cached
+//!    read can never return a value older than `ttl` before its own return);
+//! 2. **ownership-epoch bump** — the dispatcher's [`DownedRegistry`]
+//!    epoch moved (a `mark_down`/`mark_up` transition), so failover may have
+//!    redirected writes around the owner that granted the lease;
+//! 3. **version piggyback** — any RPC response from the granting partition
+//!    carries its current version (`FLAG_STAMPED`); a stamp newer than the
+//!    leased version proves a mutation happened after the grant.
+//!
+//! Which keys get leases is decided by a [`HotKeyDetector`] — a
+//! space-saving top-k sketch fed through the dispatch engine's
+//! [`OpObserver`] seam — so cold keys never pay the cache-maintenance cost.
+//! The same sketch tracks per-owner read pressure, steering non-leased
+//! reads of hot replicated partitions onto the `REPL_GET` replica path.
+//!
+//! [`DownedRegistry`]: hcl_runtime::DownedRegistry
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hcl_telemetry::CacheMetrics;
+use parking_lot::Mutex;
+
+use crate::dispatch::{IssueMode, OpClass, OpEvent, OpObserver};
+
+/// Configuration for the lease-based read cache ([`crate::UnorderedMapConfig::lease`]).
+#[derive(Debug, Clone)]
+pub struct LeaseConfig {
+    /// Lease window granted by the owning partition. This is the staleness
+    /// bound: a cached read never returns a value that was overwritten more
+    /// than `ttl` before the read returned.
+    pub ttl: Duration,
+    /// Total cached entries across all shards (capacity-bounded; an insert
+    /// into a full shard evicts an expired entry, or failing that any one).
+    pub capacity: usize,
+    /// Lock shards (each a `Mutex<HashMap>`); keys spread by stable hash.
+    pub shards: usize,
+    /// Reads of a key (while in the top-k sketch) before it earns a lease.
+    pub hot_threshold: u64,
+    /// Width of the space-saving top-k sketch.
+    pub topk: usize,
+    /// Steer non-leased reads of loaded owners to the replica path
+    /// (requires `replicas >= 1`). Steered reads may lag replication, so
+    /// leave this off for linearizability-checked runs.
+    pub steer: bool,
+    /// Reads observed against one owner (within a decay window) before it
+    /// counts as loaded for steering.
+    pub steer_threshold: u64,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> Self {
+        LeaseConfig {
+            ttl: Duration::from_millis(2),
+            capacity: 4096,
+            shards: 8,
+            hot_threshold: 3,
+            topk: 64,
+            steer: false,
+            steer_threshold: 256,
+        }
+    }
+}
+
+/// One granted lease: the value as of `version`, usable until `expires`
+/// within ownership epoch `epoch`. `valid_from` is the grant's history
+/// invoke timestamp (feature `history`; 0 otherwise) — the left edge of the
+/// staleness window the linearizability checker admits.
+struct LeaseEntry<V> {
+    value: Option<V>,
+    version: u64,
+    epoch: u64,
+    expires: Instant,
+    valid_from: u64,
+}
+
+/// Counter snapshot of one handle's cache ([`LeaseCache::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Reads served locally from a live lease.
+    pub hits: u64,
+    /// Reads that went to the fabric (no entry, or an invalidated one).
+    pub misses: u64,
+    /// Leases granted and stored.
+    pub lease_grants: u64,
+    /// Entries invalidated by TTL expiry.
+    pub stale_expired: u64,
+    /// Entries invalidated by a piggybacked newer partition version.
+    pub stale_version: u64,
+    /// Entries invalidated by an ownership-epoch bump.
+    pub stale_epoch: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+    /// Non-leased reads steered to the replica path.
+    pub steered_reads: u64,
+}
+
+/// The per-handle, sharded, capacity-bounded lease cache.
+///
+/// The hit path is zero-allocation (pinned by a counting-allocator test):
+/// one shard lock, one `HashMap` probe, three invalidation checks against
+/// data already in hand, and atomic metric bumps.
+pub struct LeaseCache<K, V> {
+    shards: Vec<Mutex<HashMap<K, LeaseEntry<V>>>>,
+    per_shard_cap: usize,
+    /// Per-partition version watermark folded (monotone max) from
+    /// `FLAG_STAMPED` response stamps by the dispatcher's version sink.
+    observed: Vec<AtomicU64>,
+    detector: Arc<HotKeyDetector>,
+    metrics: CacheMetrics,
+    cfg: LeaseConfig,
+}
+
+impl<K, V> LeaseCache<K, V>
+where
+    K: Hash + Eq + Clone,
+    V: Clone,
+{
+    /// Build a cache for a container with `nparts` partitions.
+    pub fn new(cfg: LeaseConfig, nparts: usize, metrics: CacheMetrics) -> Self {
+        let shards = cfg.shards.max(1);
+        let per_shard_cap = (cfg.capacity / shards).max(1);
+        LeaseCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            per_shard_cap,
+            observed: (0..nparts.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            detector: Arc::new(HotKeyDetector::new(&cfg)),
+            metrics,
+            cfg,
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, hash: u64) -> usize {
+        (hash as usize) % self.shards.len()
+    }
+
+    /// Fold a piggybacked version stamp from partition `part` into the
+    /// watermark. Monotone: stamps can arrive out of order.
+    pub fn observe_version(&self, part: usize, stamp: u64) {
+        if let Some(w) = self.observed.get(part) {
+            w.fetch_max(stamp, Ordering::AcqRel);
+        }
+    }
+
+    /// Serve a read locally if a live lease covers `key`. Returns the leased
+    /// value and its `valid_from` timestamp, or `None` on a miss (the entry
+    /// is dropped when it was invalidated rather than merely absent).
+    pub fn lookup(&self, key: &K, hash: u64, part: usize, epoch: u64) -> Option<(Option<V>, u64)> {
+        let t0 = Instant::now();
+        let mut shard = self.shards[self.shard_of(hash)].lock();
+        let Some(entry) = shard.get(key) else {
+            drop(shard);
+            self.metrics.misses.inc();
+            return None;
+        };
+        let stale = if entry.epoch != epoch {
+            Some(&self.metrics.stale_epoch)
+        } else if self.observed[part].load(Ordering::Acquire) > entry.version {
+            Some(&self.metrics.stale_version)
+        } else if t0 >= entry.expires {
+            Some(&self.metrics.stale_expired)
+        } else {
+            None
+        };
+        if let Some(stale_counter) = stale {
+            shard.remove(key);
+            drop(shard);
+            stale_counter.inc();
+            self.metrics.misses.inc();
+            return None;
+        }
+        let out = (entry.value.clone(), entry.valid_from);
+        drop(shard);
+        self.metrics.hits.inc();
+        self.metrics.cached_get_ns.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        Some(out)
+    }
+
+    /// Store a granted lease. A stamp already observed past `version` means
+    /// the grant lost a race with a mutation — the entry is not stored.
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert(
+        &self,
+        key: K,
+        hash: u64,
+        part: usize,
+        value: Option<V>,
+        version: u64,
+        epoch: u64,
+        expires: Instant,
+        valid_from: u64,
+    ) {
+        if self.observed[part].load(Ordering::Acquire) > version {
+            return;
+        }
+        let mut shard = self.shards[self.shard_of(hash)].lock();
+        if shard.len() >= self.per_shard_cap && !shard.contains_key(&key) {
+            let now = Instant::now();
+            let victim = shard
+                .iter()
+                .find(|(_, e)| now >= e.expires)
+                .map(|(k, _)| k.clone())
+                .or_else(|| shard.keys().next().cloned());
+            if let Some(v) = victim {
+                shard.remove(&v);
+                self.metrics.evictions.inc();
+            }
+        }
+        shard.insert(key, LeaseEntry { value, version, epoch, expires, valid_from });
+        drop(shard);
+        self.metrics.lease_grants.inc();
+    }
+
+    /// True when the detector has seen enough reads of `hash` to lease it.
+    pub fn is_hot(&self, hash: u64) -> bool {
+        self.detector.is_hot(hash)
+    }
+
+    /// True when steering is enabled and `owner` is under read pressure.
+    pub fn should_steer(&self, owner: u32) -> bool {
+        self.cfg.steer && self.detector.owner_loaded(owner)
+    }
+
+    /// The hot-key sketch, as an installable [`OpObserver`].
+    pub fn detector(&self) -> Arc<HotKeyDetector> {
+        Arc::clone(&self.detector)
+    }
+
+    /// The telemetry handle bundle this cache records into.
+    pub fn metrics(&self) -> &CacheMetrics {
+        &self.metrics
+    }
+
+    /// Cached entries currently held (diagnostics; takes every shard lock).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()) .sum()
+    }
+
+    /// True when no leases are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot (for benches and tests).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.metrics.hits.get(),
+            misses: self.metrics.misses.get(),
+            lease_grants: self.metrics.lease_grants.get(),
+            stale_expired: self.metrics.stale_expired.get(),
+            stale_version: self.metrics.stale_version.get(),
+            stale_epoch: self.metrics.stale_epoch.get(),
+            evictions: self.metrics.evictions.get(),
+            steered_reads: self.metrics.steered_reads.get(),
+        }
+    }
+}
+
+/// Space-saving top-k hot-key sketch plus per-owner read-pressure counts.
+///
+/// Fixed-width: `topk` `(key_hash, count)` slots scanned linearly (the
+/// width is small enough that a scan beats a heap), a bounded owner table,
+/// and periodic count-halving decay every `2 * topk * hot_threshold`
+/// observations — deterministic cooling with no clocks, so tests and the
+/// simulator see identical decisions for identical op sequences.
+pub struct HotKeyDetector {
+    inner: Mutex<HotInner>,
+    hot_threshold: u64,
+    steer_threshold: u64,
+}
+
+struct HotInner {
+    entries: Vec<(u64, u64)>,
+    owner_reads: HashMap<u32, u64>,
+    observed: u64,
+    decay_every: u64,
+}
+
+impl HotKeyDetector {
+    fn new(cfg: &LeaseConfig) -> Self {
+        let topk = cfg.topk.max(1);
+        HotKeyDetector {
+            inner: Mutex::new(HotInner {
+                entries: Vec::with_capacity(topk),
+                owner_reads: HashMap::new(),
+                observed: 0,
+                decay_every: 2u64
+                    .saturating_mul(topk as u64)
+                    .saturating_mul(cfg.hot_threshold.max(1))
+                    .max(1),
+            }),
+            hot_threshold: cfg.hot_threshold,
+            steer_threshold: cfg.steer_threshold.max(1),
+        }
+    }
+
+    /// Count one read of `hash` against `owner`. Space-saving admission:
+    /// an unseen key displaces the minimum-count slot and inherits its
+    /// count + 1, so recently-hot keys are never undercounted.
+    pub fn observe_read(&self, hash: u64, owner: u32) {
+        let mut inner = self.inner.lock();
+        inner.observed += 1;
+        if inner.observed % inner.decay_every == 0 {
+            for e in &mut inner.entries {
+                e.1 /= 2;
+            }
+            inner.entries.retain(|e| e.1 > 0);
+            for c in inner.owner_reads.values_mut() {
+                *c /= 2;
+            }
+        }
+        *inner.owner_reads.entry(owner).or_insert(0) += 1;
+        if let Some(e) = inner.entries.iter_mut().find(|e| e.0 == hash) {
+            e.1 += 1;
+        } else if inner.entries.len() < inner.entries.capacity() {
+            inner.entries.push((hash, 1));
+        } else if let Some(min) = inner.entries.iter_mut().min_by_key(|e| e.1) {
+            *min = (hash, min.1 + 1);
+        }
+    }
+
+    /// True when `hash` has accumulated `hot_threshold` sketch counts.
+    pub fn is_hot(&self, hash: u64) -> bool {
+        self.inner
+            .lock()
+            .entries
+            .iter()
+            .any(|e| e.0 == hash && e.1 >= self.hot_threshold)
+    }
+
+    /// True when `owner` has absorbed `steer_threshold` reads this window.
+    pub fn owner_loaded(&self, owner: u32) -> bool {
+        self.inner.lock().owner_reads.get(&owner).copied().unwrap_or(0) >= self.steer_threshold
+    }
+}
+
+impl OpObserver for HotKeyDetector {
+    /// Remote reads with a known key hash feed the sketch; local-bypass
+    /// reads never reach the cache path, so they are not observed.
+    fn on_issue(&self, ev: &OpEvent<'_>, _mode: IssueMode) {
+        if ev.key_hash != 0 && ev.op.class == OpClass::Read {
+            self.observe_read(ev.key_hash, ev.owner);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(cfg: LeaseConfig, nparts: usize) -> LeaseCache<u64, u64> {
+        LeaseCache::new(cfg, nparts, CacheMetrics::detached())
+    }
+
+    fn far() -> Instant {
+        Instant::now() + Duration::from_secs(60)
+    }
+
+    #[test]
+    fn hit_returns_the_leased_value_and_counts() {
+        let c = cache(LeaseConfig::default(), 4);
+        c.insert(7, 7, 0, Some(42), 5, 1, far(), 9);
+        assert_eq!(c.lookup(&7, 7, 0, 1), Some((Some(42), 9)));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.lease_grants), (1, 0, 1));
+    }
+
+    #[test]
+    fn expired_lease_is_a_miss_and_is_dropped() {
+        let c = cache(LeaseConfig::default(), 4);
+        c.insert(7, 7, 0, Some(42), 5, 1, Instant::now() - Duration::from_millis(1), 0);
+        assert_eq!(c.lookup(&7, 7, 0, 1), None);
+        assert_eq!(c.stats().stale_expired, 1);
+        assert!(c.is_empty(), "invalidated entries must not linger");
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_live_leases() {
+        let c = cache(LeaseConfig::default(), 4);
+        c.insert(7, 7, 0, Some(42), 5, 1, far(), 0);
+        assert_eq!(c.lookup(&7, 7, 0, 2), None, "epoch moved: lease dead");
+        assert_eq!(c.stats().stale_epoch, 1);
+    }
+
+    #[test]
+    fn newer_observed_version_invalidates_and_blocks_inserts() {
+        let c = cache(LeaseConfig::default(), 4);
+        c.insert(7, 7, 0, Some(42), 5, 1, far(), 0);
+        c.observe_version(0, 6);
+        assert_eq!(c.lookup(&7, 7, 0, 1), None);
+        assert_eq!(c.stats().stale_version, 1);
+        // A grant that lost the race with the observed stamp is refused.
+        c.insert(8, 8, 0, Some(1), 5, 1, far(), 0);
+        assert_eq!(c.lookup(&8, 8, 0, 1), None);
+        // Watermark folding is monotone max: an older stamp cannot revive.
+        c.observe_version(0, 3);
+        c.insert(9, 9, 0, Some(1), 7, 1, far(), 0);
+        assert_eq!(c.lookup(&9, 9, 0, 1), Some((Some(1), 0)));
+    }
+
+    #[test]
+    fn capacity_bound_holds_and_evictions_count() {
+        let cfg = LeaseConfig { capacity: 8, shards: 2, ..LeaseConfig::default() };
+        let c = cache(cfg, 1);
+        for k in 0..64u64 {
+            c.insert(k, k, 0, Some(k), 1, 1, far(), 0);
+        }
+        assert!(c.len() <= 8, "cache exceeded its capacity: {}", c.len());
+        assert!(c.stats().evictions >= 56);
+    }
+
+    #[test]
+    fn detector_heats_keys_and_decays_them() {
+        let cfg = LeaseConfig { hot_threshold: 3, topk: 4, ..LeaseConfig::default() };
+        let d = HotKeyDetector::new(&cfg);
+        for _ in 0..2 {
+            d.observe_read(99, 0);
+        }
+        assert!(!d.is_hot(99));
+        d.observe_read(99, 0);
+        assert!(d.is_hot(99));
+        // Enough unrelated traffic triggers count-halving decay below the
+        // threshold (deterministic: decay_every = 2 * topk * threshold).
+        for i in 0..(2 * 4 * 3 * 2) {
+            d.observe_read(1000 + (i % 3) as u64, 1);
+        }
+        assert!(!d.is_hot(99), "decay must cool keys that stop being read");
+    }
+
+    #[test]
+    fn space_saving_displaces_the_minimum_slot() {
+        let cfg = LeaseConfig { hot_threshold: 2, topk: 2, ..LeaseConfig::default() };
+        let d = HotKeyDetector::new(&cfg);
+        d.observe_read(1, 0);
+        d.observe_read(2, 0);
+        d.observe_read(2, 0);
+        // Table is full; key 3 displaces key 1 (the min) and inherits 1+1.
+        d.observe_read(3, 0);
+        assert!(d.is_hot(3), "displaced slot inherits min-count + 1");
+        assert!(d.is_hot(2));
+        assert!(!d.is_hot(1));
+    }
+
+    #[test]
+    fn owner_load_gates_steering() {
+        let cfg =
+            LeaseConfig { steer: true, steer_threshold: 4, ..LeaseConfig::default() };
+        let c = cache(cfg, 2);
+        let d = c.detector();
+        for _ in 0..4 {
+            d.observe_read(5, 1);
+        }
+        assert!(c.should_steer(1));
+        assert!(!c.should_steer(0));
+    }
+
+    #[test]
+    fn steering_requires_the_config_flag() {
+        let c = cache(LeaseConfig { steer: false, steer_threshold: 1, ..Default::default() }, 2);
+        c.detector().observe_read(5, 1);
+        assert!(!c.should_steer(1));
+    }
+}

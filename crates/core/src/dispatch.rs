@@ -157,6 +157,10 @@ pub struct OpEvent<'e> {
     pub owner: u32,
     /// Element count for bulk/scaled ops (1 for single-element ops).
     pub n: u64,
+    /// Stable hash of the op's key for keyed dispatches (`_keyed` variants);
+    /// 0 when the op has no single key or the caller did not supply it. The
+    /// hot-key detector ([`crate::cache::HotKeyDetector`]) reads this.
+    pub key_hash: u64,
 }
 
 /// Hook trait for layers that want to see every dispatched op: the cost
@@ -269,9 +273,17 @@ pub struct Dispatcher<'a> {
     observers: Vec<Arc<dyn OpObserver>>,
     /// True when any observer wants real latencies on `on_complete`.
     timed: bool,
+    /// When set, synchronous remote invokes travel `FLAG_STAMPED` and the
+    /// piggybacked partition-version stamp of every response is fed here as
+    /// `(owner_rank, stamp)` — the lease cache's invalidation channel.
+    version_sink: Option<VersionSink>,
     #[cfg(feature = "history")]
     recorder: Option<crate::HistoryRecorder>,
 }
+
+/// Consumer of piggybacked partition-version stamps
+/// ([`Dispatcher::set_version_sink`]).
+pub type VersionSink = Arc<dyn Fn(u32, u64) + Send + Sync>;
 
 impl<'a> Dispatcher<'a> {
     /// Build the engine for one container handle. `hybrid` enables the
@@ -289,6 +301,7 @@ impl<'a> Dispatcher<'a> {
             observers: vec![Arc::clone(&cost) as Arc<dyn OpObserver>],
             cost,
             timed: false,
+            version_sink: None,
             #[cfg(feature = "history")]
             recorder: None,
         };
@@ -355,6 +368,20 @@ impl<'a> Dispatcher<'a> {
     /// True when `owner_rank` is currently marked down.
     pub fn is_down(&self, owner_rank: u32) -> bool {
         self.downed.is_down(owner_rank)
+    }
+
+    /// The handle's current ownership epoch: bumped on every effective
+    /// `mark_down`/`mark_up` transition. Leases snapshot it at grant time;
+    /// any movement invalidates them (reads must not survive failover).
+    pub fn epoch(&self) -> u64 {
+        self.downed.epoch()
+    }
+
+    /// Install the piggybacked-version consumer: synchronous remote invokes
+    /// through this engine then travel `FLAG_STAMPED`, and every non-zero
+    /// response stamp is delivered as `(owner_rank, stamp)`.
+    pub fn set_version_sink(&mut self, sink: VersionSink) {
+        self.version_sink = Some(sink);
     }
 
     /// Graceful-degradation gate: degradable ops against a downed owner
@@ -425,6 +452,27 @@ impl<'a> Dispatcher<'a> {
         }
     }
 
+    /// One synchronous remote invocation, stamped when a version sink is
+    /// installed (plain otherwise). Flush-before-sync ordering is preserved
+    /// by both [`Rank::invoke`] and [`Rank::invoke_stamped`].
+    fn invoke_sync<A, R>(&self, owner: u32, fn_id: FnId, args: &A) -> RpcResult<R>
+    where
+        A: DataBox,
+        R: DataBox,
+    {
+        match &self.version_sink {
+            Some(sink) => {
+                self.rank.invoke_stamped(self.ep(owner), fn_id, args).map(|(stamp, v)| {
+                    if stamp != 0 {
+                        sink(owner, stamp);
+                    }
+                    v
+                })
+            }
+            None => self.rank.invoke(self.ep(owner), fn_id, args),
+        }
+    }
+
     /// Synchronous dispatch of an op whose arguments are consumed by the
     /// local apply (`put(key, value)`-shaped ops). The remote path borrows
     /// the arguments; flush-before-sync ordering is preserved by
@@ -440,14 +488,14 @@ impl<'a> Dispatcher<'a> {
         A: DataBox,
         R: DataBox,
     {
-        let ev = OpEvent { container: self.container, op, owner, n: 1 };
+        let ev = OpEvent { container: self.container, op, owner, n: 1, key_hash: 0 };
         self.gate(&ev)?;
         if self.is_local(owner) {
             Ok(self.run_local(&ev, || local(args)))
         } else {
             let t0 = self.now();
             self.each(|o| o.on_issue(&ev, IssueMode::Sync));
-            let res = self.rank.invoke(self.ep(owner), self.fn_base + op.fn_off, &args);
+            let res = self.invoke_sync(owner, self.fn_base + op.fn_off, &args);
             self.finish_remote(&ev, t0, res)
         }
     }
@@ -465,14 +513,32 @@ impl<'a> Dispatcher<'a> {
         A: DataBox,
         R: DataBox,
     {
-        let ev = OpEvent { container: self.container, op, owner, n: 1 };
+        self.sync_ref_keyed(op, owner, 0, args, local)
+    }
+
+    /// [`Dispatcher::sync_ref`] carrying the op's stable key hash in its
+    /// [`OpEvent`], so keyed observers (the hot-key detector) can attribute
+    /// the dispatch to a key without re-hashing. Pass 0 for keyless ops.
+    pub fn sync_ref_keyed<A, R>(
+        &self,
+        op: &'static OpDescriptor,
+        owner: u32,
+        key_hash: u64,
+        args: &A,
+        local: impl FnOnce() -> R,
+    ) -> HclResult<R>
+    where
+        A: DataBox,
+        R: DataBox,
+    {
+        let ev = OpEvent { container: self.container, op, owner, n: 1, key_hash };
         self.gate(&ev)?;
         if self.is_local(owner) {
             Ok(self.run_local(&ev, local))
         } else {
             let t0 = self.now();
             self.each(|o| o.on_issue(&ev, IssueMode::Sync));
-            let res = self.rank.invoke(self.ep(owner), self.fn_base + op.fn_off, args);
+            let res = self.invoke_sync(owner, self.fn_base + op.fn_off, args);
             self.finish_remote(&ev, t0, res)
         }
     }
@@ -493,14 +559,14 @@ impl<'a> Dispatcher<'a> {
         A: DataBox,
         R: DataBox,
     {
-        let ev = OpEvent { container: self.container, op, owner, n };
+        let ev = OpEvent { container: self.container, op, owner, n, key_hash: 0 };
         self.gate(&ev)?;
         if self.is_local(owner) {
             Ok(self.run_local(&ev, || local(args)))
         } else {
             let t0 = self.now();
             self.each(|o| o.on_issue(&ev, IssueMode::Bulk { ops: 1 }));
-            let res = self.rank.invoke(self.ep(owner), self.fn_base + op.fn_off, &args);
+            let res = self.invoke_sync(owner, self.fn_base + op.fn_off, &args);
             self.finish_remote(&ev, t0, res)
         }
     }
@@ -519,7 +585,7 @@ impl<'a> Dispatcher<'a> {
         A: DataBox,
         R: DataBox,
     {
-        let ev = OpEvent { container: self.container, op, owner, n: 1 };
+        let ev = OpEvent { container: self.container, op, owner, n: 1, key_hash: 0 };
         self.gate(&ev)?;
         if self.is_local(owner) {
             Ok(HclFuture::Ready(self.run_local(&ev, || local(args))))
@@ -546,7 +612,7 @@ impl<'a> Dispatcher<'a> {
         A: DataBox,
         R: DataBox,
     {
-        let ev = OpEvent { container: self.container, op, owner, n: 1 };
+        let ev = OpEvent { container: self.container, op, owner, n: 1, key_hash: 0 };
         self.gate(&ev)?;
         if self.is_local(owner) {
             Ok(HclFuture::Ready(self.run_local(&ev, local)))
@@ -578,19 +644,19 @@ impl<'a> Dispatcher<'a> {
         A: DataBox,
         R: DataBox,
     {
-        self.gate(&OpEvent { container: self.container, op, owner, n: items.len() as u64 })?;
+        self.gate(&OpEvent { container: self.container, op, owner, n: items.len() as u64, key_hash: 0 })?;
         if self.is_local(owner) {
             let out = items
                 .into_iter()
                 .map(|a| {
-                    let ev = OpEvent { container: self.container, op, owner, n: 1 };
+                    let ev = OpEvent { container: self.container, op, owner, n: 1, key_hash: 0 };
                     self.run_local(&ev, || local(a))
                 })
                 .collect();
             Ok(BulkReply::Ready(out))
         } else {
             let n = items.len() as u64;
-            let ev = OpEvent { container: self.container, op, owner, n };
+            let ev = OpEvent { container: self.container, op, owner, n, key_hash: 0 };
             self.each(|o| o.on_issue(&ev, IssueMode::Bulk { ops: n }));
             let mut arena = BatchArena::with_capacity(
                 self.fn_base + op.fn_off,
@@ -620,19 +686,19 @@ impl<'a> Dispatcher<'a> {
         A: DataBox,
         R: DataBox,
     {
-        self.gate(&OpEvent { container: self.container, op, owner, n: items.len() as u64 })?;
+        self.gate(&OpEvent { container: self.container, op, owner, n: items.len() as u64, key_hash: 0 })?;
         if self.is_local(owner) {
             let out = items
                 .iter()
                 .map(|a| {
-                    let ev = OpEvent { container: self.container, op, owner, n: 1 };
+                    let ev = OpEvent { container: self.container, op, owner, n: 1, key_hash: 0 };
                     self.run_local(&ev, || local(a))
                 })
                 .collect();
             Ok(BulkReply::Ready(out))
         } else {
             let n = items.len() as u64;
-            let ev = OpEvent { container: self.container, op, owner, n };
+            let ev = OpEvent { container: self.container, op, owner, n, key_hash: 0 };
             self.each(|o| o.on_issue(&ev, IssueMode::Bulk { ops: n }));
             let mut arena = BatchArena::with_capacity(
                 self.fn_base + op.fn_off,
@@ -687,6 +753,12 @@ pub(crate) struct ReplForwarder {
     outstanding: Mutex<Vec<RawFuture>>,
 }
 
+/// Bound on retained replication futures: a put-heavy partition that never
+/// calls `flush` must not accumulate futures (and their client slots)
+/// without limit. Past the cap, [`ReplForwarder::forward`] block-waits the
+/// oldest forward before issuing new ones.
+const REPL_OUTSTANDING_CAP: usize = 1024;
+
 impl ReplForwarder {
     pub(crate) fn new() -> Self {
         ReplForwarder { client: std::sync::OnceLock::new(), outstanding: Mutex::new(Vec::new()) }
@@ -718,8 +790,24 @@ impl ReplForwarder {
             RpcClient::new(ep, Arc::clone(world.fabric()), cfg.slot_cap)
         });
         let mut outstanding = self.outstanding.lock();
-        // Opportunistically drop already-completed futures.
-        outstanding.retain(|f| !f.is_ready());
+        // Opportunistically drain completed forwards: consume (not just
+        // drop) every ready future so its response and client slot are
+        // reclaimed here instead of piling up until the next flush.
+        let mut i = 0;
+        while i < outstanding.len() {
+            if outstanding[i].is_ready() {
+                let f = outstanding.swap_remove(i);
+                let _ = f.wait();
+            } else {
+                i += 1;
+            }
+        }
+        // Backpressure: past the cap, retire the oldest in-flight forward
+        // before adding more.
+        while outstanding.len() >= REPL_OUTSTANDING_CAP {
+            let f = outstanding.remove(0);
+            let _ = f.wait();
+        }
         for i in 1..=replicas.min(nparts - 1) {
             let target = servers[(index + i) % nparts];
             let target_ep = world.config().ep_of(target);

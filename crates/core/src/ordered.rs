@@ -24,7 +24,7 @@ use hcl_rpc::FnId;
 use hcl_runtime::{Rank, WorldShared};
 
 use crate::cost::CostSnapshot;
-use crate::dispatch::{hist_invoke, hist_return, Dispatcher};
+use crate::dispatch::{hist_invoke, hist_return, Dispatcher, ReplForwarder};
 use crate::{default_servers, HclError, HclFuture, HclResult};
 
 const FN_PUT: u32 = 0;
@@ -35,7 +35,10 @@ const FN_FIRST: u32 = 4;
 const FN_RANGE: u32 = 5;
 const FN_SNAPSHOT: u32 = 6;
 const FN_RESIZE: u32 = 7;
-const N_FNS: u32 = 8;
+const FN_REPL_PUT: u32 = 8;
+const FN_REPL_GET: u32 = 9;
+const FN_REPL_FLUSH: u32 = 10;
+const N_FNS: u32 = 11;
 
 /// Table I op descriptors for the ordered map.
 mod ops {
@@ -105,6 +108,25 @@ mod ops {
         idempotent: true,
         degradable: true,
     };
+    // Replica ops are non-degradable: they are the failover path, so they
+    // must still reach hosts that back marked-down owners (mirrors the
+    // unordered map's descriptors).
+    pub const REPL_GET: OpDescriptor = OpDescriptor {
+        name: "omap.repl_get",
+        class: OpClass::Read,
+        fn_off: super::FN_REPL_GET,
+        cost: CostSig::ZERO,
+        idempotent: true,
+        degradable: false,
+    };
+    pub const REPL_FLUSH: OpDescriptor = OpDescriptor {
+        name: "omap.repl_flush",
+        class: OpClass::Admin,
+        fn_off: super::FN_REPL_FLUSH,
+        cost: CostSig::ZERO,
+        idempotent: true,
+        degradable: false,
+    };
 }
 
 /// Configuration for ordered containers.
@@ -114,11 +136,72 @@ pub struct OrderedConfig {
     pub servers: Option<Vec<u32>>,
     /// Hybrid access model toggle.
     pub hybrid: bool,
+    /// Asynchronous replication factor (0 = off). Each partition forwards
+    /// its mutations to the next `replicas` partition owners, and `get`s
+    /// against a marked-down owner are served from the replica — the same
+    /// degraded-read contract as [`crate::UnorderedMap`].
+    pub replicas: usize,
 }
 
 impl Default for OrderedConfig {
     fn default() -> Self {
-        OrderedConfig { servers: None, hybrid: true }
+        OrderedConfig { servers: None, hybrid: true, replicas: 0 }
+    }
+}
+
+/// Server-side state of one ordered partition.
+struct Part<K, V>
+where
+    K: DataBox + Ord + Hash + Clone + Send + Sync + 'static,
+    V: DataBox + Clone + Send + Sync + 'static,
+{
+    index: usize,
+    map: SkipListMap<K, V>,
+    /// Entries replicated *to* this partition from others.
+    replica: SkipListMap<K, V>,
+    repl: ReplForwarder,
+    world: Arc<WorldShared>,
+    fn_base: FnId,
+    servers: Vec<u32>,
+    replicas: usize,
+}
+
+impl<K, V> Part<K, V>
+where
+    K: DataBox + Ord + Hash + Clone + Send + Sync + 'static,
+    V: DataBox + Clone + Send + Sync + 'static,
+{
+    fn apply_put(&self, key: K, value: V) -> bool {
+        let newly = self.map.insert(key.clone(), value.clone()).is_none();
+        if self.replicas > 0 {
+            self.replicate((key, Some(value)));
+        }
+        newly
+    }
+
+    fn apply_erase(&self, key: &K) -> Option<V> {
+        let prev = self.map.remove(key);
+        if self.replicas > 0 {
+            self.replicate((key.clone(), None::<V>));
+        }
+        prev
+    }
+
+    /// Forward a mutation asynchronously to the next `replicas` partitions
+    /// (§III-A4), via the engine's [`ReplForwarder`].
+    fn replicate(&self, args: (K, Option<V>)) {
+        self.repl.forward(
+            &self.world,
+            self.index,
+            &self.servers,
+            self.replicas,
+            self.fn_base + FN_REPL_PUT,
+            &args.to_bytes(),
+        );
+    }
+
+    fn flush_replication(&self) {
+        self.repl.flush();
     }
 }
 
@@ -129,14 +212,14 @@ where
 {
     fn_base: FnId,
     servers: Vec<u32>,
-    parts: HashMap<u32, Arc<SkipListMap<K, V>>>,
+    parts: HashMap<u32, Arc<Part<K, V>>>,
     cfg: OrderedConfig,
 }
 
 fn bind_handlers<K, V>(
     world: &Arc<WorldShared>,
     fn_base: FnId,
-    parts: &HashMap<u32, Arc<SkipListMap<K, V>>>,
+    parts: &HashMap<u32, Arc<Part<K, V>>>,
 ) where
     K: DataBox + Ord + Hash + Clone + Send + Sync + 'static,
     V: DataBox + Clone + Send + Sync + 'static,
@@ -144,27 +227,56 @@ fn bind_handlers<K, V>(
     let reg = world.registry();
     let p = parts.clone();
     reg.bind_typed(fn_base + FN_PUT, move |server: EpId, _, (k, v): (K, V)| {
-        p[&server.rank].insert(k, v).is_none()
+        p[&server.rank].apply_put(k, v)
     });
     let p = parts.clone();
-    reg.bind_typed(fn_base + FN_GET, move |server: EpId, _, k: K| p[&server.rank].get(&k));
+    reg.bind_typed(fn_base + FN_GET, move |server: EpId, _, k: K| p[&server.rank].map.get(&k));
     let p = parts.clone();
-    reg.bind_typed(fn_base + FN_ERASE, move |server: EpId, _, k: K| p[&server.rank].remove(&k));
+    reg.bind_typed(fn_base + FN_ERASE, move |server: EpId, _, k: K| {
+        p[&server.rank].apply_erase(&k)
+    });
     let p = parts.clone();
-    reg.bind_typed(fn_base + FN_LEN, move |server: EpId, _, ()| p[&server.rank].len() as u64);
+    reg.bind_typed(fn_base + FN_LEN, move |server: EpId, _, ()| {
+        p[&server.rank].map.len() as u64
+    });
     let p = parts.clone();
-    reg.bind_typed(fn_base + FN_FIRST, move |server: EpId, _, ()| p[&server.rank].first());
+    reg.bind_typed(fn_base + FN_FIRST, move |server: EpId, _, ()| p[&server.rank].map.first());
     let p = parts.clone();
     reg.bind_typed(fn_base + FN_RANGE, move |server: EpId, _, (lo, hi): (K, K)| {
-        p[&server.rank].range_snapshot(&lo, &hi)
+        p[&server.rank].map.range_snapshot(&lo, &hi)
     });
     let p = parts.clone();
     reg.bind_typed(fn_base + FN_SNAPSHOT, move |server: EpId, _, ()| {
-        p[&server.rank].iter_snapshot()
+        p[&server.rank].map.iter_snapshot()
     });
     // Skiplist partitions grow node-by-node; the paper's realloc-style
     // resize is satisfied trivially, but the surface is kept for parity.
     reg.bind_typed(fn_base + FN_RESIZE, move |_: EpId, _, _new_size: u64| true);
+    let p = parts.clone();
+    reg.bind_typed(
+        fn_base + FN_REPL_PUT,
+        move |server: EpId, _, (k, v): (K, Option<V>)| {
+            let part = &p[&server.rank];
+            match v {
+                Some(v) => {
+                    part.replica.insert(k, v);
+                }
+                None => {
+                    part.replica.remove(&k);
+                }
+            }
+            true
+        },
+    );
+    let p = parts.clone();
+    reg.bind_typed(fn_base + FN_REPL_GET, move |server: EpId, _, k: K| {
+        p[&server.rank].replica.get(&k)
+    });
+    let p = parts.clone();
+    reg.bind_typed(fn_base + FN_REPL_FLUSH, move |server: EpId, _, ()| {
+        p[&server.rank].flush_replication();
+        true
+    });
 }
 
 /// A distributed ordered map.
@@ -195,8 +307,20 @@ where
             let servers = cfg2.servers.clone().unwrap_or_else(|| default_servers(&world));
             let fn_base = world.alloc_fn_ids(N_FNS);
             let mut parts = HashMap::new();
-            for &owner in &servers {
-                parts.insert(owner, Arc::new(SkipListMap::new()));
+            for (i, &owner) in servers.iter().enumerate() {
+                parts.insert(
+                    owner,
+                    Arc::new(Part {
+                        index: i,
+                        map: SkipListMap::new(),
+                        replica: SkipListMap::new(),
+                        repl: ReplForwarder::new(),
+                        world: Arc::clone(&world),
+                        fn_base,
+                        servers: servers.clone(),
+                        replicas: cfg2.replicas,
+                    }),
+                );
             }
             bind_handlers(&world, fn_base, &parts);
             Core { fn_base, servers, parts, cfg: cfg2 }
@@ -250,7 +374,7 @@ where
         );
         let owner = self.owner_of(&key);
         let result = self.d.sync(&ops::PUT, owner, (key, value), |(k, v)| {
-            self.core.parts[&owner].insert(k, v).is_none()
+            self.core.parts[&owner].apply_put(k, v)
         });
         hist_return!(self.d, tok, &result, |newly| crate::DsRet::Inserted(*newly));
         result
@@ -261,28 +385,57 @@ where
     pub fn put_async(&self, key: K, value: V) -> HclResult<HclFuture<bool>> {
         let owner = self.owner_of(&key);
         self.d.dispatch_async(&ops::PUT, owner, (key, value), |(k, v)| {
-            self.core.parts[&owner].insert(k, v).is_none()
+            self.core.parts[&owner].apply_put(k, v)
         })
     }
 
-    /// Look up (Table I: `F + L·log(N) + R`).
+    /// Look up (Table I: `F + L·log(N) + R`). Falls back to a replica when
+    /// the owner has been marked down (requires `replicas >= 1`) — the same
+    /// degraded-read contract as the unordered map.
     pub fn get(&self, key: &K) -> HclResult<Option<V>> {
         let tok = hist_invoke!(self.d, crate::DsOp::MapGet { key: crate::history_enc(key) });
-        let owner = self.owner_of(key);
-        let result =
-            self.d.sync_ref(&ops::GET, owner, key, || self.core.parts[&owner].get(key));
+        let p = self.partition_of(key);
+        let owner = self.core.servers[p];
+        // Without replicas there is nowhere to degrade to: dispatch normally
+        // so the gate rejects the downed owner with `OwnerDown` immediately.
+        let result = if self.d.is_down(owner) && self.core.cfg.replicas >= 1 {
+            self.get_from_replica(p, key)
+        } else {
+            self.d.sync_ref(&ops::GET, owner, key, || self.core.parts[&owner].map.get(key))
+        };
         hist_return!(self.d, tok, &result, |v| crate::DsRet::Value(
             v.as_ref().map(crate::history_enc)
         ));
         result
     }
 
+    fn get_from_replica(&self, partition: usize, key: &K) -> HclResult<Option<V>> {
+        let nparts = self.core.servers.len();
+        let replica_owner = self.core.servers[(partition + 1) % nparts];
+        self.d.sync_ref(&ops::REPL_GET, replica_owner, key, || {
+            self.core.parts[&replica_owner].replica.get(key)
+        })
+    }
+
+    /// Wait until every partition's outstanding replication forwards have
+    /// been acknowledged.
+    pub fn flush_replication(&self) -> HclResult<()> {
+        for &owner in &self.core.servers {
+            let _: bool = self.d.sync_ref(&ops::REPL_FLUSH, owner, &(), || {
+                self.core.parts[&owner].flush_replication();
+                true
+            })?;
+        }
+        Ok(())
+    }
+
     /// Remove `key`.
     pub fn erase(&self, key: &K) -> HclResult<Option<V>> {
         let tok = hist_invoke!(self.d, crate::DsOp::MapErase { key: crate::history_enc(key) });
         let owner = self.owner_of(key);
-        let result =
-            self.d.sync_ref(&ops::ERASE, owner, key, || self.core.parts[&owner].remove(key));
+        let result = self.d.sync_ref(&ops::ERASE, owner, key, || {
+            self.core.parts[&owner].apply_erase(key)
+        });
         hist_return!(self.d, tok, &result, |v| crate::DsRet::Value(
             v.as_ref().map(crate::history_enc)
         ));
@@ -299,7 +452,7 @@ where
         let mut total = 0;
         for &owner in &self.core.servers {
             total += self.d.sync_ref(&ops::LEN, owner, &(), || {
-                self.core.parts[&owner].len() as u64
+                self.core.parts[&owner].map.len() as u64
             })?;
         }
         Ok(total)
@@ -315,7 +468,7 @@ where
         let mut best: Option<(K, V)> = None;
         for &owner in &self.core.servers {
             let cand: Option<(K, V)> =
-                self.d.sync_ref(&ops::FIRST, owner, &(), || self.core.parts[&owner].first())?;
+                self.d.sync_ref(&ops::FIRST, owner, &(), || self.core.parts[&owner].map.first())?;
             if let Some((k, v)) = cand {
                 if best.as_ref().is_none_or(|(bk, _)| k < *bk) {
                     best = Some((k, v));
@@ -331,7 +484,7 @@ where
         let mut out = Vec::new();
         for &owner in &self.core.servers {
             let part: Vec<(K, V)> = self.d.sync_ref(&ops::RANGE, owner, &args, || {
-                self.core.parts[&owner].range_snapshot(lo, hi)
+                self.core.parts[&owner].map.range_snapshot(lo, hi)
             })?;
             out.extend(part);
         }
@@ -344,7 +497,7 @@ where
         let mut out = Vec::new();
         for &owner in &self.core.servers {
             let part: Vec<(K, V)> = self.d.sync_ref(&ops::SNAPSHOT, owner, &(), || {
-                self.core.parts[&owner].iter_snapshot()
+                self.core.parts[&owner].map.iter_snapshot()
             })?;
             out.extend(part);
         }

@@ -243,7 +243,7 @@ mod tests {
     };
 
     fn ev(owner: u32) -> OpEvent<'static> {
-        OpEvent { container: "queue", op: &PUSH, owner, n: 1 }
+        OpEvent { container: "queue", op: &PUSH, owner, n: 1, key_hash: 0 }
     }
 
     #[test]

@@ -23,14 +23,18 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use hcl_containers::CuckooMap;
 use hcl_databox::DataBox;
 use hcl_fabric::EpId;
 use hcl_rpc::FnId;
 use hcl_runtime::{Rank, WorldShared};
+use hcl_telemetry::CacheMetrics;
 
+use crate::cache::{CacheStats, LeaseCache, LeaseConfig};
 use crate::cost::{CostCounters, CostSnapshot};
 use crate::dispatch::{hist_invoke, hist_return, BulkReply, Dispatcher, ReplForwarder};
 use crate::persist::{OpLog, PersistConfig};
@@ -47,7 +51,8 @@ const FN_REPL_PUT: u32 = 7;
 const FN_REPL_GET: u32 = 8;
 const FN_REPL_FLUSH: u32 = 9;
 const FN_MERGE: u32 = 10;
-const N_FNS: u32 = 11;
+const FN_GET_LEASED: u32 = 11;
+const N_FNS: u32 = 12;
 
 /// Table I op descriptors for the unordered map. Replica ops are
 /// non-degradable: they are the failover path, so they must still reach
@@ -111,6 +116,14 @@ mod ops {
         idempotent: true,
         degradable: true,
     };
+    pub const GET_LEASED: OpDescriptor = OpDescriptor {
+        name: "umap.get_leased",
+        class: OpClass::Read,
+        fn_off: super::FN_GET_LEASED,
+        cost: CostSig::lrw(1, 1, 0),
+        idempotent: true,
+        degradable: true,
+    };
     pub const REPL_GET: OpDescriptor = OpDescriptor {
         name: "umap.repl_get",
         class: OpClass::Read,
@@ -154,6 +167,10 @@ pub struct UnorderedMapConfig {
     /// Asynchronous replication factor (0 = off). Each partition forwards
     /// its mutations to the next `replicas` partition owners.
     pub replicas: usize,
+    /// Lease-based client-side read caching (`None` = off, the default):
+    /// hot remote keys are granted bounded-TTL leases and repeat `get`s are
+    /// served locally (DESIGN.md §14).
+    pub lease: Option<LeaseConfig>,
 }
 
 impl Default for UnorderedMapConfig {
@@ -164,6 +181,7 @@ impl Default for UnorderedMapConfig {
             hybrid: true,
             persist: None,
             replicas: 0,
+            lease: None,
         }
     }
 }
@@ -186,6 +204,14 @@ where
     servers: Vec<u32>,
     replicas: usize,
     costs: CostCounters,
+    /// Monotone bucket-mutation version: bumped *after* every applied
+    /// mutation, read *before* the value on a lease grant, and piggybacked
+    /// on every `FLAG_STAMPED` response (the stamper in [`bind_handlers`]).
+    /// That ordering guarantees a mutation racing a grant always yields a
+    /// stamp strictly newer than the granted version.
+    version: AtomicU64,
+    /// Lease TTL granted to clients, microseconds (0 = never grant).
+    lease_ttl_micros: u64,
 }
 
 impl<K, V> Part<K, V>
@@ -200,6 +226,7 @@ where
             let _ = log.append(&(0, key.clone(), Some(value.clone())));
         }
         let existed = self.map.insert(key.clone(), value.clone()).is_some();
+        self.version.fetch_add(1, Ordering::Release);
         if self.replicas > 0 {
             self.replicate(FN_REPL_PUT, (key, Some(value)));
         }
@@ -213,6 +240,7 @@ where
             let _ = log.append(&(1, key.clone(), None));
         }
         let prev = self.map.remove(key);
+        self.version.fetch_add(1, Ordering::Release);
         if self.replicas > 0 {
             self.replicate(FN_REPL_PUT, (key.clone(), None::<V>));
         }
@@ -225,12 +253,24 @@ where
         self.map.get(key)
     }
 
+    /// A lease-granting lookup: `(version, ttl_micros, value)`. The version
+    /// is read *before* the value — a mutation landing in between bumps the
+    /// counter past the granted version, so its piggybacked stamp (or any
+    /// later one) invalidates the lease client-side.
+    fn apply_get_leased(&self, key: &K) -> (u64, u64, Option<V>) {
+        let version = self.version.load(Ordering::Acquire);
+        self.costs.l(1);
+        self.costs.r(1);
+        (version, self.lease_ttl_micros, self.map.get(key))
+    }
+
     fn apply_merge(&self, key: K, value: V) -> V {
         self.costs.l(1);
         self.costs.r(1);
         self.costs.w(1);
         let merger = self.merger.as_ref().expect("container built without a merger");
         let merged = self.map.upsert(key.clone(), |old| merger(old, &value));
+        self.version.fetch_add(1, Ordering::Release);
         if let Some(log) = &self.log {
             let _ = log.append(&(0, key.clone(), Some(merged.clone())));
         }
@@ -336,6 +376,17 @@ fn bind_handlers<K, V>(
     reg.bind_typed(fn_base + FN_MERGE, move |server: EpId, _, (k, v): (K, V)| {
         p[&server.rank].apply_merge(k, v)
     });
+    let p = parts.clone();
+    reg.bind_typed(fn_base + FN_GET_LEASED, move |server: EpId, _, k: K| {
+        p[&server.rank].apply_get_leased(&k)
+    });
+    // Every `FLAG_STAMPED` response from this container's fn-id range
+    // piggybacks the serving partition's current mutation version — the
+    // lease cache's third invalidation channel (after TTL and epoch).
+    let p = parts.clone();
+    reg.set_stamper(fn_base, N_FNS, move |server: EpId| {
+        p.get(&server.rank).map_or(0, |part| part.version.load(Ordering::Acquire))
+    });
 }
 
 /// A distributed unordered (hash) map.
@@ -346,6 +397,8 @@ where
 {
     core: Arc<Core<K, V>>,
     d: Dispatcher<'a>,
+    /// Per-handle lease cache (config `lease`); `None` = caching off.
+    cache: Option<Arc<LeaseCache<K, V>>>,
 }
 
 impl<'a, K, V> UnorderedMap<'a, K, V>
@@ -418,14 +471,42 @@ where
                         servers: servers.clone(),
                         replicas: cfg2.replicas,
                         costs: CostCounters::default(),
+                        version: AtomicU64::new(0),
+                        lease_ttl_micros: cfg2
+                            .lease
+                            .as_ref()
+                            .map_or(0, |l| l.ttl.as_micros().min(u64::MAX as u128) as u64),
                     }),
                 );
             }
             bind_handlers(&world, fn_base, &parts);
             Core { fn_base, servers, parts, cfg: cfg2 }
         });
-        let d = Dispatcher::new(rank, "umap", core.fn_base, core.cfg.hybrid);
-        UnorderedMap { core, d }
+        let mut d = Dispatcher::new(rank, "umap", core.fn_base, core.cfg.hybrid);
+        let cache = core.cfg.lease.as_ref().map(|lease| {
+            let metrics = if rank.telemetry().enabled() {
+                CacheMetrics::from_registry(rank.telemetry().registry())
+            } else {
+                CacheMetrics::detached()
+            };
+            Arc::new(LeaseCache::new(lease.clone(), core.servers.len(), metrics))
+        });
+        if let Some(cache) = &cache {
+            // Responses travel FLAG_STAMPED; fold each partition's
+            // piggybacked version into the cache's watermark.
+            let part_of: HashMap<u32, usize> =
+                core.servers.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+            let sink_cache = Arc::clone(cache);
+            d.set_version_sink(Arc::new(move |owner, stamp| {
+                if let Some(&p) = part_of.get(&owner) {
+                    sink_cache.observe_version(p, stamp);
+                }
+            }));
+            // The hot-key sketch rides the observer seam: every keyed
+            // remote read dispatch feeds it.
+            d.add_observer(cache.detector());
+        }
+        UnorderedMap { core, d, cache }
     }
 
     /// Attach a shared history recorder: every synchronous `put`/`get`/
@@ -487,16 +568,109 @@ where
     }
 
     /// Look up `key` (Table I: `F + L + R`). Falls back to a replica when
-    /// the owner has been marked down.
+    /// the owner has been marked down; with a [`LeaseConfig`], hot remote
+    /// keys are served from the local lease cache (`F` elided entirely).
     pub fn get(&self, key: &K) -> HclResult<Option<V>> {
-        let tok = hist_invoke!(self.d, crate::DsOp::MapGet { key: crate::history_enc(key) });
-        let p = self.partition_of(key);
+        let hash = crate::stable_hash(key);
+        let p = (hash as usize) % self.core.servers.len();
         let owner = self.core.servers[p];
-        let result = if self.d.is_down(owner) {
+        if let Some(cache) = &self.cache {
+            if !self.d.is_local(owner) && !self.d.is_down(owner) {
+                return self.get_cached(cache, hash, p, owner, key);
+            }
+        }
+        let tok = hist_invoke!(self.d, crate::DsOp::MapGet { key: crate::history_enc(key) });
+        // Without replicas there is nowhere to degrade to: dispatch normally
+        // so the gate rejects the downed owner with `OwnerDown` immediately.
+        let result = if self.d.is_down(owner) && self.core.cfg.replicas >= 1 {
             self.get_from_replica(p, key)
         } else {
-            self.d.sync_ref(&ops::GET, owner, key, || self.core.parts[&owner].apply_get(key))
+            self.d.sync_ref_keyed(&ops::GET, owner, hash, key, || {
+                self.core.parts[&owner].apply_get(key)
+            })
         };
+        hist_return!(self.d, tok, &result, |v| crate::DsRet::Value(
+            v.as_ref().map(crate::history_enc)
+        ));
+        result
+    }
+
+    /// The cached read path (remote, non-down owner, lease config set):
+    /// serve from a live lease; otherwise grant one if the key is hot,
+    /// steer to the replica if the owner is loaded, or fall through to a
+    /// plain remote `get`.
+    fn get_cached(
+        &self,
+        cache: &Arc<LeaseCache<K, V>>,
+        hash: u64,
+        p: usize,
+        owner: u32,
+        key: &K,
+    ) -> HclResult<Option<V>> {
+        let epoch = self.d.epoch();
+        if let Some((value, valid_from)) = cache.lookup(key, hash, p, epoch) {
+            // Served locally without touching the fabric. The history op
+            // carries the grant's invoke timestamp: the checker admits any
+            // value that was current at some point in the lease window.
+            #[cfg(not(feature = "history"))]
+            let _ = valid_from;
+            let tok = hist_invoke!(
+                self.d,
+                crate::DsOp::MapGetCached { key: crate::history_enc(key), valid_from }
+            );
+            let result = Ok(value);
+            hist_return!(self.d, tok, &result, |v| crate::DsRet::Value(
+                v.as_ref().map(crate::history_enc)
+            ));
+            return result;
+        }
+        if cache.is_hot(hash) {
+            let tok =
+                hist_invoke!(self.d, crate::DsOp::MapGet { key: crate::history_enc(key) });
+            #[cfg(feature = "history")]
+            let valid_from = tok.as_ref().map_or(0, |t| t.invoked_at());
+            #[cfg(not(feature = "history"))]
+            let valid_from = 0u64;
+            // Deadline base taken *before* the RPC: the granted TTL bounds
+            // staleness from the moment the server could have read the
+            // value, not from when the response arrived.
+            let granted = Instant::now();
+            let result = self
+                .d
+                .sync_ref_keyed(&ops::GET_LEASED, owner, hash, key, || {
+                    self.core.parts[&owner].apply_get_leased(key)
+                })
+                .map(|(version, ttl_micros, value)| {
+                    if ttl_micros > 0 {
+                        cache.insert(
+                            key.clone(),
+                            hash,
+                            p,
+                            value.clone(),
+                            version,
+                            epoch,
+                            granted + Duration::from_micros(ttl_micros),
+                            valid_from,
+                        );
+                    }
+                    value
+                });
+            hist_return!(self.d, tok, &result, |v| crate::DsRet::Value(
+                v.as_ref().map(crate::history_enc)
+            ));
+            return result;
+        }
+        if self.core.cfg.replicas > 0 && cache.should_steer(owner) {
+            // Replica reads may lag replication, so steered reads are
+            // monotone-prefix (like owner-down degraded reads) and are not
+            // recorded in linearizability histories.
+            cache.metrics().steered_reads.inc();
+            return self.get_from_replica(p, key);
+        }
+        let tok = hist_invoke!(self.d, crate::DsOp::MapGet { key: crate::history_enc(key) });
+        let result = self.d.sync_ref_keyed(&ops::GET, owner, hash, key, || {
+            self.core.parts[&owner].apply_get(key)
+        });
         hist_return!(self.d, tok, &result, |v| crate::DsRet::Value(
             v.as_ref().map(crate::history_enc)
         ));
@@ -720,6 +894,11 @@ where
     /// Client-side cost counters (Table I terms observed by this rank).
     pub fn costs(&self) -> CostSnapshot {
         self.d.costs()
+    }
+
+    /// Lease-cache counters of this handle (`None` when caching is off).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
     }
 
     /// Aggregated server-side cost counters across all partitions.

@@ -17,8 +17,8 @@ use hcl_fabric::FabricError;
 
 use crate::{
     decode_batch_response, encode_batch_into, encode_request_header_into, resp_key, slot_offset,
-    FnId, RetryPolicy, RpcError, RpcResult, FLAG_BATCH, FLAG_IDEMPOTENT, SLOTS_PER_CLIENT,
-    SLOT_HDR,
+    FnId, RetryPolicy, RpcError, RpcResult, FLAG_BATCH, FLAG_IDEMPOTENT, FLAG_STAMPED,
+    SLOTS_PER_CLIENT, SLOT_HDR,
 };
 
 /// Default time to wait for a response before reporting [`RpcError::Timeout`].
@@ -538,6 +538,29 @@ impl RpcClient {
         R: DataBox,
     {
         self.invoke_async::<A, R>(server, fn_id, args)?.wait()
+    }
+
+    /// Synchronous invocation requesting a [`FLAG_STAMPED`] response:
+    /// returns `(stamp, value)`, where the stamp is the serving partition's
+    /// version after the handler ran (0 when no stamper covers `fn_id`).
+    /// Lease caches feed the stamp into their observed-version watermark —
+    /// every sync RPC to a partition then doubles as an invalidation probe.
+    pub fn invoke_stamped<A, R>(&self, server: EpId, fn_id: FnId, args: &A) -> RpcResult<(u64, R)>
+    where
+        A: DataBox,
+        R: DataBox,
+    {
+        let hint = A::FIXED_SIZE.unwrap_or(16);
+        let raw =
+            self.issue_with(server, &[fn_id], FLAG_STAMPED, hint, |out| args.pack(out))?;
+        let b = raw.wait()?;
+        let bytes = b.as_slice();
+        if bytes.len() < 8 {
+            return Err(RpcError::Decode("stamped response shorter than its stamp".into()));
+        }
+        let stamp = u64::from_le_bytes(bytes[..8].try_into().expect("8-byte stamp"));
+        let v = R::from_bytes(&bytes[8..]).map_err(|e| RpcError::Decode(e.to_string()))?;
+        Ok((stamp, v))
     }
 
     /// Invoke a *callback chain* (§III-C3): `chain[0]` receives `args`, each

@@ -129,6 +129,9 @@ pub type RpcResult<T> = Result<T, RpcError>;
 #[derive(Default)]
 pub struct RpcRegistry {
     fns: RwLock<HashMap<FnId, Handler>>,
+    /// Version stampers by fn-id range: `[lo, hi)` → stamper. Containers
+    /// register one range covering all their functions at bind time.
+    stampers: RwLock<Vec<(FnId, FnId, Stamper)>>,
 }
 
 impl RpcRegistry {
@@ -180,6 +183,25 @@ impl RpcRegistry {
         self.fns.write().remove(&id);
     }
 
+    /// Register a version stamper for the fn-id range `[base, base + n)`.
+    /// [`FLAG_STAMPED`] responses to any function in the range are prefixed
+    /// with `f(server_endpoint)` — typically the owning partition's mutation
+    /// counter, read *after* the handler executed.
+    pub fn set_stamper(&self, base: FnId, n: u32, f: impl Fn(EpId) -> u64 + Send + Sync + 'static) {
+        self.stampers.write().push((base, base + n, Arc::new(f)));
+    }
+
+    /// The stamp for `id` served by `server`, if a stamper covers it.
+    pub fn stamp_for(&self, id: FnId, server: EpId) -> Option<u64> {
+        let stampers = self.stampers.read();
+        for (lo, hi, f) in stampers.iter() {
+            if id >= *lo && id < *hi {
+                return Some(f(server));
+            }
+        }
+        None
+    }
+
     /// Look up a handler.
     pub fn get(&self, id: FnId) -> Option<Handler> {
         self.fns.read().get(&id).cloned()
@@ -219,6 +241,21 @@ pub const FLAG_BATCH: u8 = 1;
 /// delivery); the server must execute it at most once, deduplicating by
 /// `(caller rank, req_id)` and republishing the cached response.
 pub const FLAG_IDEMPOTENT: u8 = 2;
+
+/// Flag bit: the caller wants the response prefixed with an 8-byte LE
+/// **version stamp** drawn from the [`RpcRegistry`]'s stamper for the
+/// invoked function (0 when none is registered). Containers register a
+/// stamper over their fn-id range that reads the target partition's mutation
+/// counter, so every stamped response piggybacks the partition version —
+/// the invalidation signal for client-side lease caches. Only non-batch
+/// requests are stamped; the stamp reflects the partition state *after* the
+/// handler ran, and dedup republishes cache the stamped bytes verbatim
+/// (safe: clients fold stamps in with a monotone max).
+pub const FLAG_STAMPED: u8 = 4;
+
+/// A server-side version stamper: maps the serving endpoint to the current
+/// version of the partition it hosts.
+pub type Stamper = Arc<dyn Fn(EpId) -> u64 + Send + Sync>;
 
 /// Client-side retry policy: attempts, capped exponential backoff with
 /// deterministic jitter, and a per-attempt response timeout.

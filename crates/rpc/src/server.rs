@@ -11,7 +11,7 @@ use parking_lot::Mutex;
 
 use crate::{
     decode_batch, resp_key, slot_offset, RequestHeader, RpcRegistry, FLAG_BATCH, FLAG_IDEMPOTENT,
-    SLOTS_PER_CLIENT, SLOT_HDR,
+    FLAG_STAMPED, SLOTS_PER_CLIENT, SLOT_HDR,
 };
 
 /// Server configuration.
@@ -281,6 +281,22 @@ impl RpcServer {
                             stats
                                 .busy_ns
                                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            // Version-stamped response: prefix the partition
+                            // version (read *after* the handler ran, so any
+                            // mutation this request performed is covered by
+                            // its own stamp). Reuses the chain scratch — no
+                            // per-request allocation.
+                            if hdr.flags & FLAG_STAMPED != 0 && hdr.flags & FLAG_BATCH == 0 {
+                                let stamp = hdr
+                                    .chain
+                                    .first()
+                                    .and_then(|id| registry.stamp_for(*id, ep))
+                                    .unwrap_or(0);
+                                chain_buf.clear();
+                                chain_buf.extend_from_slice(&stamp.to_le_bytes());
+                                chain_buf.extend_from_slice(&resp_buf);
+                                std::mem::swap(&mut resp_buf, &mut chain_buf);
+                            }
                             if dedup_active {
                                 dedup.lock().complete(dedup_key, resp_buf.clone());
                             }
@@ -489,5 +505,38 @@ mod tests {
         let (execs, deduped) = run_duplicates(FLAG_IDEMPOTENT, 2, 0);
         assert_eq!(execs, 2);
         assert_eq!(deduped, 0);
+    }
+
+    #[test]
+    fn stamped_responses_carry_the_registered_version() {
+        use crate::client::RpcClient;
+        let fabric: Arc<dyn hcl_fabric::Fabric> = Arc::new(MemoryFabric::new());
+        let server_ep = hcl_fabric::EpId::new(0, 0);
+        let registry = Arc::new(RpcRegistry::new());
+        let version = Arc::new(AtomicU64::new(7));
+        registry.bind_typed(40, |_, _, x: u64| x + 1);
+        registry.bind_typed(41, |_, _, x: u64| x * 2);
+        registry.bind_typed(99, |_, _, x: u64| x); // outside the stamped range
+        let v2 = Arc::clone(&version);
+        registry.set_stamper(40, 2, move |_| v2.load(Ordering::Relaxed));
+        let server = RpcServer::start(
+            server_ep,
+            Arc::clone(&fabric),
+            Arc::clone(&registry),
+            ServerConfig { max_clients: 4, slot_cap: 256, nic_cores: 1, dedup_window: 64 },
+        );
+        let client = RpcClient::new(hcl_fabric::EpId::new(0, 1), Arc::clone(&fabric), 256);
+        let (stamp, r): (u64, u64) = client.invoke_stamped(server_ep, 40, &1u64).unwrap();
+        assert_eq!((stamp, r), (7, 2));
+        version.store(9, Ordering::Relaxed);
+        let (stamp, r): (u64, u64) = client.invoke_stamped(server_ep, 41, &3u64).unwrap();
+        assert_eq!((stamp, r), (9, 6), "stamp tracks the live version");
+        // No stamper over fn 99: the stamp prefix is still present, zeroed.
+        let (stamp, r): (u64, u64) = client.invoke_stamped(server_ep, 99, &5u64).unwrap();
+        assert_eq!((stamp, r), (0, 5));
+        // Unstamped invocations through the same server stay un-prefixed.
+        let plain: u64 = client.invoke(server_ep, 40, &10u64).unwrap();
+        assert_eq!(plain, 11);
+        server.shutdown();
     }
 }

@@ -25,7 +25,7 @@
 
 use std::any::Any;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
@@ -184,6 +184,11 @@ pub struct DownedRegistry {
     /// common case) means `is_down` never takes the lock.
     marked: AtomicU32,
     set: Mutex<std::collections::HashSet<u32>>,
+    /// Ownership-coherence epoch: bumped on every effective down/up
+    /// transition. Client-side lease caches snapshot it at grant time and
+    /// treat any change as wholesale invalidation — a lease must never
+    /// survive an ownership change it did not witness.
+    epoch: AtomicU64,
 }
 
 impl DownedRegistry {
@@ -198,6 +203,9 @@ impl DownedRegistry {
             // ORDERING: Relaxed — the count is a fast-path hint; the set
             // mutex (still held here) is the source of truth.
             self.marked.fetch_add(1, Ordering::Relaxed);
+            // ORDERING: Release pairs with the Acquire in `epoch()`: a
+            // reader that observes the new epoch also observes the mark.
+            self.epoch.fetch_add(1, Ordering::Release);
         }
     }
 
@@ -206,7 +214,16 @@ impl DownedRegistry {
         if self.set.lock().remove(&rank) {
             // ORDERING: Relaxed — see mark_down.
             self.marked.fetch_sub(1, Ordering::Relaxed);
+            // ORDERING: Release — see mark_down.
+            self.epoch.fetch_add(1, Ordering::Release);
         }
+    }
+
+    /// The current ownership epoch (see the `epoch` field).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        // ORDERING: Acquire pairs with the Release bumps in mark_down/up.
+        self.epoch.load(Ordering::Acquire)
     }
 
     /// True when `rank` is currently marked down.
@@ -407,6 +424,23 @@ impl Rank {
     {
         self.coalescer.flush(server);
         self.client.invoke(server, fn_id, args)
+    }
+
+    /// Synchronous remote invocation requesting a version-stamped response
+    /// ([`hcl_rpc::FLAG_STAMPED`]); same flush-before-sync semantics as
+    /// [`Rank::invoke`]. Returns `(partition_version, value)`.
+    pub fn invoke_stamped<A, R>(
+        &self,
+        server: EpId,
+        fn_id: FnId,
+        args: &A,
+    ) -> RpcResult<(u64, R)>
+    where
+        A: DataBox,
+        R: DataBox,
+    {
+        self.coalescer.flush(server);
+        self.client.invoke_stamped(server, fn_id, args)
     }
 
     /// Stage an asynchronous remote invocation on the coalescer: it rides a
@@ -774,6 +808,20 @@ mod tests {
             let aux = cfg.world_size() + 3;
             assert_eq!(cache.ep_of(aux), cfg.ep_of(aux));
         }
+    }
+
+    #[test]
+    fn downed_registry_epoch_counts_effective_transitions() {
+        let d = DownedRegistry::new();
+        let e0 = d.epoch();
+        d.mark_down(3);
+        assert_eq!(d.epoch(), e0 + 1);
+        d.mark_down(3); // no transition — no bump
+        assert_eq!(d.epoch(), e0 + 1);
+        d.mark_up(3);
+        assert_eq!(d.epoch(), e0 + 2);
+        d.mark_up(3); // no transition
+        assert_eq!(d.epoch(), e0 + 2);
     }
 
     #[test]

@@ -516,6 +516,56 @@ impl CoalesceMetrics {
     }
 }
 
+/// The lease-cache instrumentation bundle (read-path scale-out): hit/miss
+/// traffic, every invalidation cause broken out, lease grants, replica
+/// steering, and the locally-served get latency distribution. Resolved once
+/// per container handle; the hit path is handle derefs only.
+#[derive(Clone)]
+pub struct CacheMetrics {
+    /// Reads served locally from a live lease.
+    pub hits: Arc<Counter>,
+    /// Reads that had no usable cached entry and went to the fabric.
+    pub misses: Arc<Counter>,
+    /// Leases granted (cache fills from a leased get response).
+    pub lease_grants: Arc<Counter>,
+    /// Entries dropped because their lease deadline passed.
+    pub stale_expired: Arc<Counter>,
+    /// Entries dropped by a piggybacked partition-version mismatch.
+    pub stale_version: Arc<Counter>,
+    /// Entries dropped by an ownership-epoch bump.
+    pub stale_epoch: Arc<Counter>,
+    /// Entries evicted to keep the cache inside its capacity bound.
+    pub evictions: Arc<Counter>,
+    /// Non-leased hot reads steered to a replica under owner load.
+    pub steered_reads: Arc<Counter>,
+    /// Latency of cache-hit gets, nanoseconds (no fabric involved).
+    pub cached_get_ns: Arc<Histogram>,
+}
+
+impl CacheMetrics {
+    /// Resolve the bundle's metrics from `reg`.
+    pub fn from_registry(reg: &Registry) -> Self {
+        CacheMetrics {
+            hits: reg.counter("hcl_core_cache_hits"),
+            misses: reg.counter("hcl_core_cache_misses"),
+            lease_grants: reg.counter("hcl_core_cache_lease_grants"),
+            stale_expired: reg.counter("hcl_core_cache_stale_expired"),
+            stale_version: reg.counter("hcl_core_cache_stale_version"),
+            stale_epoch: reg.counter("hcl_core_cache_stale_epoch"),
+            evictions: reg.counter("hcl_core_cache_evictions"),
+            steered_reads: reg.counter("hcl_core_cache_steered_reads"),
+            cached_get_ns: reg.histogram("hcl_core_cache_local_get_ns"),
+        }
+    }
+
+    /// A bundle backed by a private registry — used when a handle has lease
+    /// caching enabled but the rank runs without telemetry; counters still
+    /// accumulate for programmatic snapshots, nothing is exported.
+    pub fn detached() -> Self {
+        Self::from_registry(&Registry::new())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -87,6 +87,13 @@ check-lin:
 check-lin-soak:
     cargo test --release --features history --test linearizability -- --ignored zipfian_soak_many_seeds
 
+# Lease-staleness soak: read-heavy zipfian driver rounds over a lease-cached
+# map, each history replayed through the lease-relaxed checker (cached reads
+# admitted iff their value was current somewhere inside the lease window).
+# `HCL_LIN_SEED` / `HCL_LIN_SOAK_ITERS` pin the sweep as in check-lin-soak.
+check-lin-lease-soak:
+    cargo test --release --features history --test linearizability -- --ignored lease_soak_many_seeds
+
 # ~10 s subset of the PR 3 RPC hot-path bench (8-rank memory-fabric
 # put/get, baseline vs batched), then validate the committed
 # BENCH_pr3.json: schema keys, non-zero throughputs, >= 2x headline
@@ -94,6 +101,14 @@ check-lin-soak:
 # --bin pr3`.
 bench-smoke:
     cargo run --release -p hcl-bench --bin pr3 -- --smoke
+
+# Read-path cache gate: a reduced 8-rank zipfian get sweep (uncached vs
+# lease-cached vs replica-steered), gating a fresh >= 1.5x cached speedup
+# with live cache hits and steered reads, then validating the committed
+# BENCH_pr8.json (>= 2x cached speedup, lower cached p99). The full
+# regeneration is `cargo run --release -p hcl-bench --bin pr8`.
+bench-cache-smoke:
+    cargo run --release -p hcl-bench --bin pr8 -- --smoke
 
 # Telemetry export gate: 4-rank memory workload with HCL_TELEMETRY_DIR set,
 # validating the per-rank JSON snapshot schema, the Prometheus exposition,
@@ -118,4 +133,4 @@ check-artifacts:
 # Everything CI runs: build, tier-1 tests, hygiene lint, fault suite,
 # schedule exploration, linearizability histories, bench smoke-checks,
 # scenario-matrix gate, artifact provenance.
-ci: build test lint test-faults check-conc check-races check-lin bench-smoke telemetry-smoke scenario-smoke check-artifacts
+ci: build test lint test-faults check-conc check-races check-lin bench-smoke bench-cache-smoke telemetry-smoke scenario-smoke check-artifacts

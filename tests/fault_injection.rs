@@ -508,6 +508,80 @@ fn flight_recorder_captures_partition_failure_and_owner_down() {
     assert!(chaos.chaos_stats().drops >= 3);
 }
 
+/// Replica-read failover must work identically for BOTH map containers
+/// (PR 8 satellite): with `replicas: 1`, an `OrderedMap` whose owner is
+/// marked down serves `get`s from the replica on the next partition — the
+/// same degraded-read contract `UnorderedMap` has had since PR 2 — while
+/// degradable writes still reject fast with [`HclError::OwnerDown`]. Run
+/// over a duplicating, delaying (but lossless) fabric: replication
+/// forwards are fire-and-forget with no retransmission, so packet *loss*
+/// legitimately loses replicas, but duplication and reordering must not
+/// corrupt them and the failover read path itself must stay exact.
+#[test]
+fn ordered_map_serves_replica_reads_when_owner_down() {
+    let seed = 0x0D0;
+    let cfg = retrying(
+        WorldConfig { nodes: 2, ranks_per_node: 1, ..WorldConfig::small() },
+        seed,
+    );
+    let plan = FaultPlan::new(seed).for_class(
+        OpClass::Send,
+        FaultRule::NONE
+            .dup(0.05)
+            .delay(Duration::from_micros(300))
+            .jitter(Duration::from_micros(300)),
+    );
+    let (chaos, shared) = chaos_shared(cfg, plan);
+    World::run_on(shared, move |rank| {
+        let omap: OrderedMap<u64, u64> = OrderedMap::with_config(
+            rank,
+            "repl.omap",
+            OrderedConfig { replicas: 1, hybrid: false, ..OrderedConfig::default() },
+        );
+        let umap: UnorderedMap<u64, u64> = UnorderedMap::with_config(
+            rank,
+            "repl.umap",
+            UnorderedMapConfig { replicas: 1, hybrid: false, ..UnorderedMapConfig::default() },
+        );
+        rank.barrier();
+        if rank.id() == 0 {
+            for k in 0..N {
+                omap.put(k, k * 9 + 1).unwrap();
+                umap.put(k, k * 9 + 1).unwrap();
+            }
+            omap.flush_replication().unwrap();
+            umap.flush_replication().unwrap();
+        }
+        rank.barrier();
+
+        // Every partition owner fails. Degradable writes must reject
+        // immediately on both containers...
+        for owner in [0u32, 1] {
+            omap.mark_down(owner);
+            umap.mark_down(owner);
+        }
+        match omap.put(999, 1) {
+            Err(HclError::OwnerDown(_)) => {}
+            other => panic!("ordered put against downed owner: {other:?}"),
+        }
+        match umap.put(999, 1) {
+            Err(HclError::OwnerDown(_)) => {}
+            other => panic!("unordered put against downed owner: {other:?}"),
+        }
+        // ...while reads degrade to the replicas — identically.
+        for k in 0..N {
+            assert_eq!(omap.get(&k).unwrap(), Some(k * 9 + 1), "omap replica read lost {k}");
+            assert_eq!(umap.get(&k).unwrap(), Some(k * 9 + 1), "umap replica read lost {k}");
+        }
+        for owner in [0u32, 1] {
+            omap.mark_up(owner);
+            umap.mark_up(owner);
+        }
+        rank.barrier();
+    });
+    assert!(chaos.chaos_stats().total_faults() > 0);
+}
+
 /// Soak entry point for `just test-faults-soak`: seed comes from the
 /// environment so CI can sweep many fault schedules.
 #[test]

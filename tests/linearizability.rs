@@ -254,6 +254,89 @@ fn queue_mix_history_is_linearizable() {
     check(&DsSpec::queue(), &hist).expect("queue mix history must be linearizable");
 }
 
+// ---------------------------------------------------------------------------
+// Lease-bounded staleness (PR 8): with the client-side lease cache on,
+// repeat reads of hot keys are served locally and recorded as
+// `MapGetCached` carrying their grant stamp. Such histories are *not*
+// strictly linearizable in general — a cached read may return a value that
+// was overwritten after the lease was granted — but they must satisfy the
+// lease contract checked by [`check_lease`]: every cached read's value was
+// current at some point inside its own lease window, and all non-cached
+// operations keep strict real-time order.
+
+fn lease_driver_world(
+    seed: u64,
+    ops_per_rank: u64,
+    rec: HistoryRecorder,
+    hits_out: Arc<std::sync::atomic::AtomicU64>,
+) {
+    World::run(mem_world(2, 2), move |rank| {
+        let mut map: UnorderedMap<u64, Vec<u8>> = UnorderedMap::with_config(
+            rank,
+            "lin.lease.umap",
+            UnorderedMapConfig {
+                hybrid: false,
+                lease: Some(hcl::LeaseConfig {
+                    ttl: std::time::Duration::from_millis(40),
+                    // Lease on the second sighting: the zipfian head keys
+                    // go hot almost immediately.
+                    hot_threshold: 1,
+                    ..hcl::LeaseConfig::default()
+                }),
+                ..UnorderedMapConfig::default()
+            },
+        );
+        map.set_recorder(Arc::clone(&rec));
+        rank.barrier();
+        let stats = run_on_unordered_map(rank, &map, &driver_spec(seed, ops_per_rank, Mix::READ_HEAVY));
+        assert_eq!(stats.errors, 0);
+        rank.barrier();
+        if let Some(cs) = map.cache_stats() {
+            hits_out.fetch_add(cs.hits, std::sync::atomic::Ordering::Relaxed);
+        }
+        rank.barrier();
+    });
+}
+
+#[test]
+fn cached_zipfian_history_satisfies_lease_bound() {
+    let rec = recorder();
+    let hits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    lease_driver_world(23, 80, Arc::clone(&rec), Arc::clone(&hits));
+    let hist = rec.take();
+    assert!(hist.len() >= 4 * 80, "sparse history: {} ops", hist.len());
+    assert!(
+        hits.load(std::sync::atomic::Ordering::Relaxed) > 0,
+        "the zipfian read-heavy run must serve some reads from the lease cache"
+    );
+    hcl::check_lease(&DsSpec::map(), &hist)
+        .expect("cached zipfian history must satisfy lease-bounded staleness");
+}
+
+/// Lease-mode seeded soak: many cached-read histories across fresh worlds.
+/// Run via `just check-lin-lease-soak`; `HCL_LIN_SEED` pins the base seed
+/// and `HCL_LIN_SOAK_ITERS` the round count.
+#[test]
+#[ignore = "soak: run via `just check-lin-lease-soak`"]
+fn lease_soak_many_seeds() {
+    let base: u64 = std::env::var("HCL_LIN_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x1EA5E);
+    let iters: u64 = std::env::var("HCL_LIN_SOAK_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    for round in 0..iters {
+        let seed = base.wrapping_add(round.wrapping_mul(0x9E37_79B9));
+        let rec = recorder();
+        let hits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        lease_driver_world(seed, 100, Arc::clone(&rec), Arc::clone(&hits));
+        hcl::check_lease(&DsSpec::map(), &rec.take())
+            .unwrap_or_else(|e| panic!("lease soak seed {seed} (round {round}): {e:?}"));
+    }
+}
+
 /// Seeded soak: many driver histories across fresh worlds. Run via
 /// `just check-lin-soak`; `HCL_LIN_SEED` pins the base seed and
 /// `HCL_LIN_SOAK_ITERS` the round count, so a failing seed replays exactly.

@@ -1199,6 +1199,42 @@ mod tests {
     }
 
     #[test]
+    fn cache_metric_names_pass_the_convention() {
+        // The lease-cache counter family registered by `CacheMetrics`
+        // (crates/telemetry): every name the read path emits must satisfy
+        // the `hcl_<crate>_<name>` shape the registry asserts at runtime.
+        let src = concat!(
+            "fn f(reg: &Registry) {\n",
+            "    let a = reg.counter(\"hcl_core_cache_hits\");\n",
+            "    let b = reg.counter(\"hcl_core_cache_misses\");\n",
+            "    let c = reg.counter(\"hcl_core_cache_lease_grants\");\n",
+            "    let d = reg.counter(\"hcl_core_cache_stale_expired\");\n",
+            "    let e = reg.counter(\"hcl_core_cache_stale_version\");\n",
+            "    let g = reg.counter(\"hcl_core_cache_stale_epoch\");\n",
+            "    let h = reg.counter(\"hcl_core_cache_evictions\");\n",
+            "    let i = reg.counter(\"hcl_core_cache_steered_reads\");\n",
+            "    let j = reg.histogram(\"hcl_core_cache_local_get_ns\");\n",
+            "    drop((a, b, c, d, e, g, h, i, j));\n",
+            "}\n"
+        );
+        assert!(rules("crates/telemetry/src/cache.rs", src).is_empty());
+    }
+
+    #[test]
+    fn malformed_cache_metric_names_flagged() {
+        // Negative controls for the cache family: dropped `hcl_` prefix,
+        // a bare `hcl_cache` with no metric segment, and uppercase/hyphen
+        // characters must each produce a METRIC finding.
+        let no_prefix = "fn f(r: &Registry) {\n    let _ = r.counter(\"core_cache_hits\");\n}\n";
+        assert_eq!(rules("crates/telemetry/src/cache.rs", no_prefix), vec![Rule::Metric]);
+        let no_metric = "fn f(r: &Registry) {\n    let _ = r.counter(\"hcl_cache\");\n}\n";
+        assert_eq!(rules("crates/telemetry/src/cache.rs", no_metric), vec![Rule::Metric]);
+        let bad_chars =
+            "fn f(r: &Registry) {\n    let _ = r.histogram(\"hcl_core_Cache-Hits\");\n}\n";
+        assert_eq!(rules("crates/telemetry/src/cache.rs", bad_chars), vec![Rule::Metric]);
+    }
+
+    #[test]
     fn metric_rule_exempts_test_modules_and_test_trees() {
         let in_mod = concat!(
             "#[cfg(test)]\n",
