@@ -1,0 +1,329 @@
+//! PR 9 acceptance bench — live shard rebalancing.
+//!
+//! Measures an 8-rank zipfian `get` workload against one `UnorderedMap`
+//! (memory fabric, hybrid bypass off so every read is a real dispatch) in
+//! two phases over the same world:
+//!
+//! * **steady** — the membership map never changes: every rank issues a
+//!   fixed count of synchronous zipfian gets, timing each op;
+//! * **rebalance** — the same get loop keeps running on a worker thread per
+//!   rank while the main threads drive repeated live `drain_rank` /
+//!   `admit_rank` cycles: shards migrate under the running workload through
+//!   the write-forwarding window and epoch-tagged retry machinery.
+//!
+//! The gate is availability, not speed: during a live rebalance every get
+//! must either succeed or fail with a *typed* error (`WrongEpoch` /
+//! `Rebalance`), no key may be lost, and real keys must have migrated
+//! (`hcl_runtime_membership_*` counters prove it). The full run (no args)
+//! writes `BENCH_pr9.json` into the repo root with gets/s and merged
+//! p50/p99 per phase plus the membership counters. `--smoke` runs a reduced
+//! subset with the same invariants and validates the committed JSON;
+//! `--validate` only validates; `--out <path>` redirects the full run.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use hcl::unordered::UnorderedMapConfig;
+use hcl::{admit_rank, drain_rank, HclError, UnorderedMap};
+use hcl_bench::workload::{KeyDist, KeyGen, WorkloadRng};
+use hcl_runtime::{MembershipSnapshot, World, WorldConfig};
+
+const RANKS: u32 = 8;
+const KEY_SPACE: u64 = 1024;
+const VALUE_BYTES: usize = 64;
+const THETA: f64 = 0.99;
+const SEED: u64 = 0x9259;
+/// Ranks drained and re-admitted, round-robin, one per cycle. All stay
+/// live as clients throughout — a drain only evicts ownership.
+const VICTIMS: [u32; 2] = [6, 7];
+
+struct PhaseResult {
+    phase: &'static str,
+    elapsed_s: f64,
+    total_gets: u64,
+    gets_per_sec: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    typed_errors: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn merge_phase(
+    phase: &'static str,
+    per_rank: Vec<(f64, Vec<u64>, u64)>,
+) -> PhaseResult {
+    let slowest = per_rank.iter().map(|(dt, _, _)| *dt).fold(0.0f64, f64::max).max(1e-9);
+    let mut merged: Vec<u64> =
+        per_rank.iter().flat_map(|(_, l, _)| l.iter().copied()).collect();
+    merged.sort_unstable();
+    let typed_errors: u64 = per_rank.iter().map(|(_, _, e)| *e).sum();
+    let total = merged.len() as u64;
+    PhaseResult {
+        phase,
+        elapsed_s: slowest,
+        total_gets: total,
+        gets_per_sec: total as f64 / slowest,
+        p50_ns: percentile(&merged, 0.50),
+        p99_ns: percentile(&merged, 0.99),
+        typed_errors,
+    }
+}
+
+/// Both phases over one world, so the rebalance phase inherits the steady
+/// phase's populated, settled map. Returns (steady, rebalance, membership
+/// counters, lost keys).
+fn run_bench(steady_gets: u64, cycles: u32) -> (PhaseResult, PhaseResult, MembershipSnapshot, u64) {
+    let cfg = WorldConfig { nodes: RANKS, ranks_per_node: 1, ..WorldConfig::small() };
+    type RankOut = ((f64, Vec<u64>, u64), (f64, Vec<u64>, u64), MembershipSnapshot, u64);
+    let per_rank: Vec<RankOut> = World::run(cfg, move |rank| {
+        let map: Arc<UnorderedMap<u64, Vec<u8>>> = Arc::new(UnorderedMap::with_config(
+            rank,
+            "pr9.map",
+            UnorderedMapConfig { hybrid: false, ..UnorderedMapConfig::default() },
+        ));
+        if rank.id() == 0 {
+            let val = vec![0x5Au8; VALUE_BYTES];
+            for k in 0..KEY_SPACE {
+                map.put(k, val.clone()).unwrap();
+            }
+        }
+        rank.barrier();
+
+        // Phase 1: steady state, no membership activity.
+        let keygen = KeyGen::new(KEY_SPACE, KeyDist::Zipfian { theta: THETA }, SEED);
+        let mut rng = WorkloadRng::new(SEED ^ (0x9E37_79B9 * (rank.id() as u64 + 1)));
+        let mut lat = Vec::with_capacity(steady_gets as usize);
+        let t0 = Instant::now();
+        for _ in 0..steady_gets {
+            let k = keygen.next_key(&mut rng);
+            let op0 = Instant::now();
+            let got = map.get(&k).unwrap();
+            lat.push(op0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            assert!(got.is_some(), "prefilled key {k} lost in steady state");
+        }
+        let steady = (t0.elapsed().as_secs_f64(), lat, 0u64);
+        rank.barrier();
+
+        // Phase 2: the same get loop on a worker thread while the main
+        // thread drives live drain/admit cycles. Gets racing a commit may
+        // fail typed (WrongEpoch / Rebalance); anything else is a bug.
+        let stop = Arc::new(AtomicBool::new(false));
+        let during = std::thread::scope(|s| {
+            let worker = {
+                let map = Arc::clone(&map);
+                let stop = Arc::clone(&stop);
+                let mut rng =
+                    WorkloadRng::new(SEED ^ (0xD1B5_4A32 * (rank.id() as u64 + 1)));
+                s.spawn(move || {
+                    let mut lat = Vec::new();
+                    let mut typed = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let k = keygen.next_key(&mut rng);
+                        let op0 = Instant::now();
+                        match map.get(&k) {
+                            Ok(got) => {
+                                assert!(got.is_some(), "key {k} unreadable mid-rebalance");
+                            }
+                            Err(HclError::WrongEpoch { .. }) | Err(HclError::Rebalance(_)) => {
+                                typed += 1;
+                            }
+                            Err(e) => panic!("non-typed get failure mid-rebalance: {e}"),
+                        }
+                        lat.push(op0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                    }
+                    (lat, typed)
+                })
+            };
+            rank.barrier();
+            let t0 = Instant::now();
+            for cycle in 0..cycles {
+                let victim = VICTIMS[cycle as usize % VICTIMS.len()];
+                let drained = drain_rank(rank, victim).unwrap();
+                assert!(drained.committed, "drain of {victim} did not commit");
+                let admitted = admit_rank(rank, victim).unwrap();
+                assert!(admitted.committed, "re-admit of {victim} did not commit");
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            // ORDERING: Relaxed stop flag — the worker only needs to observe
+            // it eventually; join() below is the synchronization point.
+            stop.store(true, Ordering::Relaxed);
+            let (lat, typed) = worker.join().expect("get worker panicked");
+            (dt, lat, typed)
+        });
+        rank.barrier();
+
+        // Post-rebalance audit: every prefilled key is still readable.
+        let mut lost = 0u64;
+        if rank.id() == 0 {
+            for k in 0..KEY_SPACE {
+                if map.get(&k).unwrap().is_none() {
+                    lost += 1;
+                }
+            }
+        }
+        let snap = rank.world().membership().snapshot();
+        rank.barrier();
+        (steady, during, snap, lost)
+    });
+
+    let steady = merge_phase("steady", per_rank.iter().map(|(s, _, _, _)| s.clone()).collect());
+    let during = merge_phase("rebalance", per_rank.iter().map(|(_, d, _, _)| d.clone()).collect());
+    let snap = per_rank[0].2;
+    let lost: u64 = per_rank.iter().map(|(_, _, _, l)| *l).sum();
+    (steady, during, snap, lost)
+}
+
+fn write_json(
+    steady: &PhaseResult,
+    during: &PhaseResult,
+    snap: &MembershipSnapshot,
+    lost: u64,
+    cycles: u32,
+    path: &str,
+) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"pr9_live_rebalance\",\n");
+    out.push_str("  \"description\": \"8-rank zipfian gets, steady state vs under live drain/admit shard migration cycles\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"ranks\": {RANKS}, \"key_space\": {KEY_SPACE}, \"value_bytes\": {VALUE_BYTES}, \"theta\": {THETA}, \"seed\": {SEED}, \"rebalance_cycles\": {cycles}, \"hybrid\": false}},\n"
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in [steady, during].iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"phase\": \"{}\", \"elapsed_s\": {:.6}, \"total_gets\": {}, \"gets_per_sec\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \"typed_errors\": {}}}{}\n",
+            r.phase,
+            r.elapsed_s,
+            r.total_gets,
+            r.gets_per_sec,
+            r.p50_ns,
+            r.p99_ns,
+            r.typed_errors,
+            if i == 0 { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"membership\": {{\"commits\": {}, \"migrated_keys\": {}, \"migrated_bytes\": {}, \"wrong_epoch_rejects\": {}, \"forwarded_writes\": {}, \"lost_keys\": {}}},\n",
+        snap.commits, snap.migrated_keys, snap.migrated_bytes, snap.wrong_epoch_rejects,
+        snap.forwarded_writes, lost
+    ));
+    out.push_str("  \"summary\": {\n");
+    out.push_str(&format!(
+        "    \"throughput_ratio_rebalance_vs_steady\": {:.3},\n",
+        during.gets_per_sec / steady.gets_per_sec
+    ));
+    out.push_str(&format!("    \"p99_steady_ns\": {},\n", steady.p99_ns));
+    out.push_str(&format!("    \"p99_rebalance_ns\": {},\n", during.p99_ns));
+    out.push_str(&format!("    \"non_typed_errors\": 0\n"));
+    out.push_str("  }\n}\n");
+    std::fs::write(path, out).expect("write bench json");
+    println!("wrote {path}");
+}
+
+fn field_f64(body: &str, key: &str) -> f64 {
+    let pat = format!("\"{key}\": ");
+    body.split(&pat)
+        .nth(1)
+        .unwrap_or_else(|| panic!("missing key {key}"))
+        .split(|c: char| c == ',' || c == '}' || c == '\n')
+        .next()
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap_or_else(|e| panic!("unparsable {key}: {e}"))
+}
+
+/// Validate the committed artifact against the PR 9 acceptance bar: both
+/// phases moved real traffic, real keys migrated, zero keys lost, zero
+/// non-typed errors, and throughput under rebalance stayed within an order
+/// of magnitude of steady state (availability, not a perf cliff).
+fn validate(path: &str) {
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("cannot read {path}: {e} (run `cargo run --release -p hcl-bench --bin pr9` first)")
+    });
+    for key in [
+        "\"bench\"",
+        "\"pr9_live_rebalance\"",
+        "\"steady\"",
+        "\"rebalance\"",
+        "\"membership\"",
+        "\"summary\"",
+        "\"throughput_ratio_rebalance_vs_steady\"",
+    ] {
+        assert!(body.contains(key), "{path}: missing required key {key}");
+    }
+    for chunk in body.split("\"gets_per_sec\": ").skip(1) {
+        let rate: f64 = chunk
+            .split(|c: char| c == ',' || c == '}')
+            .next()
+            .unwrap()
+            .trim()
+            .parse()
+            .expect("parsable gets_per_sec");
+        assert!(rate > 0.0, "{path}: non-positive gets_per_sec");
+    }
+    let migrated = field_f64(&body, "migrated_keys");
+    assert!(migrated > 0.0, "{path}: rebalance cycles migrated zero keys");
+    let lost = field_f64(&body, "lost_keys");
+    assert!(lost == 0.0, "{path}: {lost} keys lost across live rebalances");
+    let ratio = field_f64(&body, "throughput_ratio_rebalance_vs_steady");
+    assert!(
+        ratio >= 0.1,
+        "{path}: throughput collapsed to {ratio:.3}x of steady state during rebalance"
+    );
+    let commits = field_f64(&body, "commits");
+    assert!(commits >= 2.0, "{path}: fewer than two membership commits recorded");
+    println!(
+        "{path}: schema OK, {migrated:.0} keys migrated, 0 lost, rebalance throughput {ratio:.3}x of steady"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let validate_only = args.iter().any(|a| a == "--validate");
+    let path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_pr9.json".to_string());
+
+    if validate_only {
+        validate(&path);
+        return;
+    }
+
+    let (steady_gets, cycles) = if smoke { (4_000, 2) } else { (20_000, 8) };
+    let (steady, during, snap, lost) = run_bench(steady_gets, cycles);
+    for r in [&steady, &during] {
+        println!(
+            "{:<10} {:>12.0} gets/s  p50 {:>7} ns  p99 {:>8} ns  typed-errs {}",
+            r.phase, r.gets_per_sec, r.p50_ns, r.p99_ns, r.typed_errors
+        );
+    }
+    println!(
+        "membership: commits {} migrated_keys {} wrong_epoch {} forwarded {} lost {}",
+        snap.commits, snap.migrated_keys, snap.wrong_epoch_rejects, snap.forwarded_writes, lost
+    );
+
+    // The invariants hold for the fresh run regardless of mode.
+    assert_eq!(lost, 0, "live rebalance lost {lost} keys");
+    assert!(snap.migrated_keys > 0, "rebalance cycles migrated zero keys");
+    assert!(snap.commits >= 2 * cycles as u64, "missing membership commits");
+
+    if smoke {
+        validate(&path);
+    } else {
+        write_json(&steady, &during, &snap, lost, cycles, &path);
+        validate(&path);
+    }
+}

@@ -114,7 +114,9 @@ where
 
     /// Bulk pop of up to `max` elements, in priority order.
     pub fn pop_bulk(&self, max: usize) -> Vec<T> {
-        let mut out = Vec::with_capacity(max);
+        // `max` may be usize::MAX ("drain everything"); clamp the
+        // preallocation to what is actually queued.
+        let mut out = Vec::with_capacity(max.min(self.len()));
         for _ in 0..max {
             match self.pop() {
                 Some(v) => out.push(v),

@@ -188,7 +188,9 @@ impl<T> LockFreeQueue<T> {
 
     /// Pop up to `max` elements (the paper's bulk pop form).
     pub fn pop_bulk(&self, max: usize) -> Vec<T> {
-        let mut out = Vec::with_capacity(max);
+        // `max` may be usize::MAX ("drain everything"); clamp the
+        // preallocation to what is actually queued.
+        let mut out = Vec::with_capacity(max.min(self.len()));
         for _ in 0..max {
             match self.pop() {
                 Some(v) => out.push(v),

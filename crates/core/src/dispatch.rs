@@ -8,8 +8,12 @@
 //! cost braid per operation — they declare a table of [`OpDescriptor`]s and
 //! call the [`Dispatcher`], which owns:
 //!
-//! * owner resolution (the stable first-level hash) and cached endpoint
-//!   lookup ([`EpCache`] — no per-op `ep_of` recomputation);
+//! * owner resolution through the world's epoch-versioned
+//!   [`hcl_runtime::PartitionMap`] (or a pinned map for containers with an
+//!   explicit placement) and cached endpoint lookup ([`EpCache`] — no per-op
+//!   `ep_of` recomputation); keyed sync ops tag their RPC with the resolved
+//!   epoch and transparently re-resolve on a typed
+//!   [`RpcError::WrongEpoch`] rejection (see [`Dispatcher::sync_keyed`]);
 //! * the hybrid local bypass decision;
 //! * sync, async (coalesced, §III-B) and bulk (`FLAG_BATCH` aggregated)
 //!   issue, with flush-before-sync program ordering preserved;
@@ -37,7 +41,7 @@ use hcl_fabric::EpId;
 use hcl_rpc::batch::BatchArena;
 use hcl_rpc::client::{BatchFuture, RawFuture, RpcClient};
 use hcl_rpc::{FnId, RpcError, RpcResult};
-use hcl_runtime::{DownedRegistry, EpCache, Rank, WorldShared};
+use hcl_runtime::{DownedRegistry, EpCache, Membership, PartitionMap, Rank, WorldShared};
 use parking_lot::Mutex;
 
 use crate::cost::{CostObserver, CostSnapshot};
@@ -268,6 +272,7 @@ pub struct Dispatcher<'a> {
     fn_base: FnId,
     hybrid: bool,
     eps: EpCache,
+    owners: OwnerMap,
     downed: DownedRegistry,
     cost: Arc<CostObserver>,
     observers: Vec<Arc<dyn OpObserver>>,
@@ -285,19 +290,54 @@ pub struct Dispatcher<'a> {
 /// ([`Dispatcher::set_version_sink`]).
 pub type VersionSink = Arc<dyn Fn(u32, u64) + Send + Sync>;
 
+/// How a dispatcher maps key hashes to owner ranks.
+#[derive(Clone)]
+pub enum OwnerMap {
+    /// Follow the world's epoch-versioned membership view: owners can move
+    /// at runtime (join/leave/drain), and keyed sync ops are epoch-tagged so
+    /// stale routing is rejected typed instead of served by the wrong rank.
+    Live(Arc<Membership>),
+    /// A fixed placement (containers constructed with explicit `servers`):
+    /// owners never move, ops travel untagged — exactly the pre-membership
+    /// static behavior.
+    Pinned(Arc<PartitionMap>),
+}
+
+impl OwnerMap {
+    /// The current map revision.
+    pub fn current(&self) -> Arc<PartitionMap> {
+        match self {
+            OwnerMap::Live(m) => m.current(),
+            OwnerMap::Pinned(p) => Arc::clone(p),
+        }
+    }
+}
+
+/// Bound on owner re-resolutions after [`RpcError::WrongEpoch`] rejections
+/// before the op gives up with [`HclError::WrongEpoch`]. One rejection per
+/// committed epoch bump is the expected steady state; chains longer than
+/// this mean the membership is churning faster than a client round trip.
+const EPOCH_RETRY_MAX: u32 = 4;
+
 impl<'a> Dispatcher<'a> {
     /// Build the engine for one container handle. `hybrid` enables the
     /// shared-memory bypass for node-local owners (§III-C5).
     pub fn new(rank: &'a Rank, container: &'static str, fn_base: FnId, hybrid: bool) -> Self {
         let eps = EpCache::new(rank.world().config());
         let cost = Arc::new(CostObserver::default());
+        let membership = Arc::clone(rank.world().membership());
+        // One source of truth for epochs: the downed registry shares the
+        // membership's cell, so lease grants snapshot the same counter that
+        // membership commits bump.
+        let downed = DownedRegistry::with_epoch_cell(membership.epoch_cell());
         let mut d = Dispatcher {
             rank,
             container,
             fn_base,
             hybrid,
             eps,
-            downed: DownedRegistry::new(),
+            owners: OwnerMap::Live(membership),
+            downed,
             observers: vec![Arc::clone(&cost) as Arc<dyn OpObserver>],
             cost,
             timed: false,
@@ -332,9 +372,39 @@ impl<'a> Dispatcher<'a> {
         self.cost.snapshot()
     }
 
-    /// First-level hash: the partition index of `key` among `nparts`.
-    pub fn partition_for<K: std::hash::Hash + ?Sized>(&self, key: &K, nparts: usize) -> usize {
-        (crate::stable_hash(key) as usize) % nparts
+    /// Pin this handle's owner resolution to a fixed placement (containers
+    /// constructed with explicit `servers`). Pinned dispatches travel
+    /// untagged: a static map has no epochs to go stale against.
+    pub fn set_owner_map(&mut self, owners: OwnerMap) {
+        self.owners = owners;
+    }
+
+    /// The handle's owner map.
+    pub fn owner_map(&self) -> &OwnerMap {
+        &self.owners
+    }
+
+    /// Resolve a key hash to `(owner_rank, tag)`: `tag` is the membership
+    /// epoch the RPC must carry (`None` for pinned maps — no tagging).
+    ///
+    /// Ordering matters for live maps: the epoch is read *before* the map.
+    /// Commits publish the new map first and bump the epoch second, so a new
+    /// epoch here implies the new map; the benign race (old epoch + new map)
+    /// is rejected by the owner's gate and re-resolved, never misrouted.
+    pub fn resolve(&self, key_hash: u64) -> (u32, Option<u64>) {
+        match &self.owners {
+            OwnerMap::Live(m) => {
+                let epoch = m.epoch();
+                (m.current().owner_of_hash(key_hash), Some(epoch))
+            }
+            OwnerMap::Pinned(p) => (p.owner_of_hash(key_hash), None),
+        }
+    }
+
+    /// The owner's position among the current map's members — the public
+    /// `partition_of` index the containers expose.
+    pub fn member_index_for(&self, key_hash: u64) -> usize {
+        self.owners.current().member_index_of_hash(key_hash)
     }
 
     /// True when `owner` is served by the hybrid shared-memory bypass.
@@ -470,6 +540,132 @@ impl<'a> Dispatcher<'a> {
                 })
             }
             None => self.rank.invoke(self.ep(owner), fn_id, args),
+        }
+    }
+
+    /// One synchronous remote invocation carrying an ownership-epoch tag
+    /// ([`hcl_rpc::FLAG_EPOCH`]); stamped when a version sink is installed.
+    /// The sink only sees stamps of *executed* requests — a rejection moved
+    /// no partition version.
+    fn invoke_sync_tagged<A, R>(
+        &self,
+        owner: u32,
+        fn_id: FnId,
+        tag: Option<u64>,
+        args: &A,
+    ) -> RpcResult<R>
+    where
+        A: DataBox,
+        R: DataBox,
+    {
+        let Some(epoch) = tag else {
+            return self.invoke_sync(owner, fn_id, args);
+        };
+        let stamped = self.version_sink.is_some();
+        self.rank.invoke_epoch(self.ep(owner), fn_id, epoch, stamped, args).map(|(stamp, v)| {
+            if stamp != 0 {
+                if let Some(sink) = &self.version_sink {
+                    sink(owner, stamp);
+                }
+            }
+            v
+        })
+    }
+
+    /// Count a wrong-epoch rejection against the membership counters (live
+    /// maps only; pinned maps cannot be rejected).
+    fn note_wrong_epoch(&self) {
+        if let OwnerMap::Live(m) = &self.owners {
+            m.counters().wrong_epoch_rejects.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Synchronous dispatch of a keyed op whose arguments are consumed by
+    /// the local apply (`put(key, value)`-shaped ops): the engine resolves
+    /// the owner from the owner map, tags the RPC with the resolved epoch
+    /// (live maps), and on a [`RpcError::WrongEpoch`] rejection re-resolves
+    /// and retries up to [`EPOCH_RETRY_MAX`] times before giving up typed
+    /// ([`HclError::WrongEpoch`]). `local` receives the resolved owner rank
+    /// so the container can pick its co-located partition.
+    pub fn sync_keyed<A, R>(
+        &self,
+        op: &'static OpDescriptor,
+        key_hash: u64,
+        args: A,
+        local: impl FnOnce(u32, A) -> R,
+    ) -> HclResult<R>
+    where
+        A: DataBox,
+        R: DataBox,
+    {
+        // Option-wrapped so the borrow checker accepts the FnOnce/owned-args
+        // consumption inside the retry loop: the local arm (the only
+        // consumer) is terminal.
+        let mut slot = Some((args, local));
+        let mut rejects = 0u32;
+        loop {
+            let (owner, tag) = self.resolve(key_hash);
+            let ev = OpEvent { container: self.container, op, owner, n: 1, key_hash };
+            self.gate(&ev)?;
+            if self.is_local(owner) {
+                let (args, local) = slot.take().expect("local arm is terminal");
+                return Ok(self.run_local(&ev, || local(owner, args)));
+            }
+            let t0 = self.now();
+            self.each(|o| o.on_issue(&ev, IssueMode::Sync));
+            let args = &slot.as_ref().expect("args retained across retries").0;
+            let res = self.invoke_sync_tagged(owner, self.fn_base + op.fn_off, tag, args);
+            match res {
+                Err(RpcError::WrongEpoch { sent, current }) => {
+                    self.note_wrong_epoch();
+                    self.each(|o| o.on_complete(&ev, Locality::Remote, Self::elapsed(t0), false));
+                    rejects += 1;
+                    if rejects > EPOCH_RETRY_MAX {
+                        return Err(HclError::WrongEpoch { sent, current });
+                    }
+                }
+                res => return self.finish_remote(&ev, t0, res),
+            }
+        }
+    }
+
+    /// [`Dispatcher::sync_keyed`] with borrowed arguments (`get(&key)`-
+    /// shaped ops).
+    pub fn sync_keyed_ref<A, R>(
+        &self,
+        op: &'static OpDescriptor,
+        key_hash: u64,
+        args: &A,
+        local: impl FnOnce(u32) -> R,
+    ) -> HclResult<R>
+    where
+        A: DataBox,
+        R: DataBox,
+    {
+        let mut local = Some(local);
+        let mut rejects = 0u32;
+        loop {
+            let (owner, tag) = self.resolve(key_hash);
+            let ev = OpEvent { container: self.container, op, owner, n: 1, key_hash };
+            self.gate(&ev)?;
+            if self.is_local(owner) {
+                let local = local.take().expect("local arm is terminal");
+                return Ok(self.run_local(&ev, || local(owner)));
+            }
+            let t0 = self.now();
+            self.each(|o| o.on_issue(&ev, IssueMode::Sync));
+            let res = self.invoke_sync_tagged(owner, self.fn_base + op.fn_off, tag, args);
+            match res {
+                Err(RpcError::WrongEpoch { sent, current }) => {
+                    self.note_wrong_epoch();
+                    self.each(|o| o.on_complete(&ev, Locality::Remote, Self::elapsed(t0), false));
+                    rejects += 1;
+                    if rejects > EPOCH_RETRY_MAX {
+                        return Err(HclError::WrongEpoch { sent, current });
+                    }
+                }
+                res => return self.finish_remote(&ev, t0, res),
+            }
         }
     }
 
@@ -749,6 +945,9 @@ impl<'a> Dispatcher<'a> {
 /// Lives here so container modules contain no direct RPC-client calls (the
 /// `xtask lint` DISPATCH rule enforces that).
 pub(crate) struct ReplForwarder {
+    /// The partition's owner rank: fixes the forwarder's auxiliary endpoint
+    /// (`world_size + home` — unique per rank, co-located with the owner).
+    home: u32,
     client: std::sync::OnceLock<RpcClient>,
     outstanding: Mutex<Vec<RawFuture>>,
 }
@@ -760,8 +959,46 @@ pub(crate) struct ReplForwarder {
 const REPL_OUTSTANDING_CAP: usize = 1024;
 
 impl ReplForwarder {
-    pub(crate) fn new() -> Self {
-        ReplForwarder { client: std::sync::OnceLock::new(), outstanding: Mutex::new(Vec::new()) }
+    pub(crate) fn new(home: u32) -> Self {
+        ReplForwarder {
+            home,
+            client: std::sync::OnceLock::new(),
+            outstanding: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The forwarder's lazily-created auxiliary client: endpoint past the
+    /// world's rank range (the servers' slot tables reserve room for one
+    /// auxiliary client per rank).
+    fn client(&self, world: &Arc<WorldShared>) -> &RpcClient {
+        self.client.get_or_init(|| {
+            let cfg = world.config();
+            let ep = EpId {
+                node: self.home / cfg.ranks_per_node,
+                rank: cfg.world_size() + self.home,
+            };
+            RpcClient::new(ep, Arc::clone(world.fabric()), cfg.slot_cap)
+        })
+    }
+
+    /// Drain completed forwards (consume, not drop, so responses and client
+    /// slots are reclaimed) and block past the outstanding cap.
+    fn reclaim(outstanding: &mut Vec<RawFuture>) {
+        let mut i = 0;
+        while i < outstanding.len() {
+            if outstanding[i].is_ready() {
+                let f = outstanding.swap_remove(i);
+                let _ = f.wait();
+            } else {
+                i += 1;
+            }
+        }
+        // Backpressure: past the cap, retire the oldest in-flight forward
+        // before adding more.
+        while outstanding.len() >= REPL_OUTSTANDING_CAP {
+            let f = outstanding.remove(0);
+            let _ = f.wait();
+        }
     }
 
     /// Forward one encoded mutation to the next `replicas` partitions after
@@ -779,41 +1016,40 @@ impl ReplForwarder {
         if nparts <= 1 || replicas == 0 {
             return;
         }
-        let client = self.client.get_or_init(|| {
-            let cfg = world.config();
-            // Replication clients use ranks past the world: the servers'
-            // slot tables reserve room for them.
-            let ep = EpId {
-                node: servers[index] / cfg.ranks_per_node,
-                rank: cfg.world_size() + index as u32,
-            };
-            RpcClient::new(ep, Arc::clone(world.fabric()), cfg.slot_cap)
-        });
+        let client = self.client(world);
         let mut outstanding = self.outstanding.lock();
-        // Opportunistically drain completed forwards: consume (not just
-        // drop) every ready future so its response and client slot are
-        // reclaimed here instead of piling up until the next flush.
-        let mut i = 0;
-        while i < outstanding.len() {
-            if outstanding[i].is_ready() {
-                let f = outstanding.swap_remove(i);
-                let _ = f.wait();
-            } else {
-                i += 1;
-            }
-        }
-        // Backpressure: past the cap, retire the oldest in-flight forward
-        // before adding more.
-        while outstanding.len() >= REPL_OUTSTANDING_CAP {
-            let f = outstanding.remove(0);
-            let _ = f.wait();
-        }
+        Self::reclaim(&mut outstanding);
         for i in 1..=replicas.min(nparts - 1) {
-            let target = servers[(index + i) % nparts];
+            // Ring successor by conditional subtraction: `index + i` is at
+            // most `2 * nparts - 2`, so one wrap suffices (and no owner math
+            // outside the partition map uses `%` — the MEMBERSHIP lint).
+            let succ = index + i;
+            let succ = if succ >= nparts { succ - nparts } else { succ };
+            let target = servers[succ];
             let target_ep = world.config().ep_of(target);
             if let Ok(f) = client.invoke_raw(target_ep, fn_id, encoded) {
                 outstanding.push(f);
             }
+        }
+    }
+
+    /// Forward one encoded mutation to a single explicit `target` rank — the
+    /// live-migration write-forwarding window: while a shard drains to its
+    /// new owner, the old owner dual-applies incoming mutations so neither
+    /// side misses writes racing the copy (see [`crate::rebalance`]).
+    pub(crate) fn forward_to(
+        &self,
+        world: &Arc<WorldShared>,
+        target: u32,
+        fn_id: FnId,
+        encoded: &[u8],
+    ) {
+        let client = self.client(world);
+        let mut outstanding = self.outstanding.lock();
+        Self::reclaim(&mut outstanding);
+        let target_ep = world.config().ep_of(target);
+        if let Ok(f) = client.invoke_raw(target_ep, fn_id, encoded) {
+            outstanding.push(f);
         }
     }
 

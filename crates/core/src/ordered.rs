@@ -13,18 +13,21 @@
 //! Every operation is one [`Dispatcher`] call against the table in [`ops`];
 //! the global views are per-partition fan-outs of the same dispatch calls.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use hcl_containers::SkipListMap;
 use hcl_databox::DataBox;
 use hcl_fabric::EpId;
 use hcl_rpc::FnId;
-use hcl_runtime::{Rank, WorldShared};
+use hcl_runtime::{Membership, PartitionMap, Rank, ShardMove, WorldShared};
+use parking_lot::{Mutex, RwLock};
 
 use crate::cost::CostSnapshot;
-use crate::dispatch::{hist_invoke, hist_return, Dispatcher, ReplForwarder};
+use crate::dispatch::{hist_invoke, hist_return, Dispatcher, OwnerMap, ReplForwarder};
+use crate::rebalance::{MigratorRegistry, ShardMigrator};
 use crate::{default_servers, HclError, HclFuture, HclResult};
 
 const FN_PUT: u32 = 0;
@@ -38,7 +41,15 @@ const FN_RESIZE: u32 = 7;
 const FN_REPL_PUT: u32 = 8;
 const FN_REPL_GET: u32 = 9;
 const FN_REPL_FLUSH: u32 = 10;
-const N_FNS: u32 = 11;
+// Live-migration control plane (see [`crate::rebalance`]); mirrors the
+// unordered map's fn-id layout and semantics.
+const FN_MIG_ARM: u32 = 11;
+const FN_MIG_BEGIN: u32 = 12;
+const FN_MIG_EXTRACT: u32 = 13;
+const FN_MIG_INSTALL: u32 = 14;
+const FN_MIG_APPLY: u32 = 15;
+const FN_MIG_END: u32 = 16;
+const N_FNS: u32 = 17;
 
 /// Table I op descriptors for the ordered map.
 mod ops {
@@ -127,6 +138,49 @@ mod ops {
         idempotent: true,
         degradable: false,
     };
+    // Migration control ops: issued by the rebalance driver at explicit
+    // ranks, never epoch-tagged (the map mid-transition is exactly what
+    // they operate on).
+    pub const MIG_ARM: OpDescriptor = OpDescriptor {
+        name: "omap.mig_arm",
+        class: OpClass::Admin,
+        fn_off: super::FN_MIG_ARM,
+        cost: CostSig::ZERO,
+        idempotent: true,
+        degradable: true,
+    };
+    pub const MIG_BEGIN: OpDescriptor = OpDescriptor {
+        name: "omap.mig_begin",
+        class: OpClass::Admin,
+        fn_off: super::FN_MIG_BEGIN,
+        cost: CostSig::ZERO,
+        idempotent: true,
+        degradable: true,
+    };
+    pub const MIG_EXTRACT: OpDescriptor = OpDescriptor {
+        name: "omap.mig_extract",
+        class: OpClass::Admin,
+        fn_off: super::FN_MIG_EXTRACT,
+        cost: CostSig::ZERO,
+        idempotent: true,
+        degradable: true,
+    };
+    pub const MIG_INSTALL: OpDescriptor = OpDescriptor {
+        name: "omap.mig_install",
+        class: OpClass::Write,
+        fn_off: super::FN_MIG_INSTALL,
+        cost: CostSig::lrw(1, 0, 1),
+        idempotent: true,
+        degradable: true,
+    };
+    pub const MIG_END: OpDescriptor = OpDescriptor {
+        name: "omap.mig_end",
+        class: OpClass::Admin,
+        fn_off: super::FN_MIG_END,
+        cost: CostSig::ZERO,
+        idempotent: true,
+        degradable: true,
+    };
 }
 
 /// Configuration for ordered containers.
@@ -156,6 +210,8 @@ where
     V: DataBox + Clone + Send + Sync + 'static,
 {
     index: usize,
+    /// The rank hosting this part (the key of `Core::parts`).
+    home: u32,
     map: SkipListMap<K, V>,
     /// Entries replicated *to* this partition from others.
     replica: SkipListMap<K, V>,
@@ -164,6 +220,18 @@ where
     fn_base: FnId,
     servers: Vec<u32>,
     replicas: usize,
+    /// The world's membership view — `Some` for elastic containers (no
+    /// explicit `servers`), whose shards can move between ranks.
+    membership: Option<Arc<Membership>>,
+    /// Old-owner side of live migration: vparts in a write-forwarding
+    /// window, mapped to their new owner.
+    forwarding: RwLock<HashMap<usize, u32>>,
+    /// New-owner side: keys erased by a forwarded write during the window.
+    tombstones: Mutex<HashSet<K>>,
+    /// New-owner side: keys the migration wrote during the window (also the
+    /// window's write lock — installs and forwarded applies serialize on it
+    /// because the skiplist has no atomic insert-if-absent).
+    installed: Mutex<Vec<K>>,
 }
 
 impl<K, V> Part<K, V>
@@ -173,6 +241,7 @@ where
 {
     fn apply_put(&self, key: K, value: V) -> bool {
         let newly = self.map.insert(key.clone(), value.clone()).is_none();
+        self.forward_migration(&key, Some(&value));
         if self.replicas > 0 {
             self.replicate((key, Some(value)));
         }
@@ -181,6 +250,7 @@ where
 
     fn apply_erase(&self, key: &K) -> Option<V> {
         let prev = self.map.remove(key);
+        self.forward_migration(key, None);
         if self.replicas > 0 {
             self.replicate((key.clone(), None::<V>));
         }
@@ -203,6 +273,122 @@ where
     fn flush_replication(&self) {
         self.repl.flush();
     }
+
+    /// The virtual partition `key` hashes into (`usize::MAX` for pinned
+    /// parts, which never match a window).
+    fn vpart_of(&self, key: &K) -> usize {
+        self.membership
+            .as_ref()
+            .map_or(usize::MAX, |m| m.current().vpart_of_hash(crate::stable_hash(key)))
+    }
+
+    /// Old-owner side of the write-forwarding window (see the unordered
+    /// map's twin for the full race matrix).
+    /// See the unordered map's `forward_migration`: dual-apply at the new
+    /// owner during the window, and — because the hybrid bypass is not
+    /// epoch-gated — also when this part no longer owns the key's vpart
+    /// (a bypass that raced the commit), so the write is never stranded.
+    fn forward_migration(&self, key: &K, value: Option<&V>) {
+        let Some(m) = &self.membership else { return };
+        let map = m.current();
+        let vp = map.vpart_of_hash(crate::stable_hash(key));
+        let target = match self.forwarding.read().get(&vp) {
+            Some(&t) => t,
+            None => {
+                let owner = map.owner_of_vpart(vp);
+                if owner == self.home {
+                    return;
+                }
+                owner
+            }
+        };
+        self.repl.forward_to(
+            &self.world,
+            target,
+            self.fn_base + FN_MIG_APPLY,
+            &(key.clone(), value.cloned()).to_bytes(),
+        );
+        m.counters().forwarded_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// New-owner side: clear window bookkeeping left by an aborted attempt.
+    fn mig_arm(&self, vpart: usize) {
+        self.tombstones.lock().retain(|k| self.vpart_of(k) != vpart);
+        self.installed.lock().retain(|k| self.vpart_of(k) != vpart);
+    }
+
+    /// Old-owner side: open the forwarding window for `vpart` toward `to`.
+    fn mig_begin(&self, vpart: usize, to: u32) {
+        self.forwarding.write().insert(vpart, to);
+    }
+
+    /// Old-owner side: copy (do not remove) every entry of `vpart`.
+    fn mig_extract(&self, vpart: usize) -> Vec<(K, V)> {
+        self.map.iter_snapshot().into_iter().filter(|(k, _)| self.vpart_of(k) == vpart).collect()
+    }
+
+    /// New-owner side: install one copied entry — insert-if-absent under
+    /// the window lock, so a fresher forwarded put is never overwritten by
+    /// the older copy and tombstoned keys stay dead.
+    fn mig_install(&self, key: K, value: V) -> bool {
+        let mut installed = self.installed.lock();
+        if self.tombstones.lock().contains(&key) {
+            return false;
+        }
+        if self.map.get(&key).is_some() {
+            return false;
+        }
+        self.map.insert(key.clone(), value);
+        installed.push(key);
+        true
+    }
+
+    /// New-owner side: apply one forwarded write (fresher than any copy).
+    fn mig_apply(&self, key: K, value: Option<V>) {
+        let mut installed = self.installed.lock();
+        match value {
+            Some(v) => {
+                self.tombstones.lock().remove(&key);
+                self.map.insert(key.clone(), v);
+                installed.push(key);
+            }
+            None => {
+                self.map.remove(&key);
+                self.tombstones.lock().insert(key);
+            }
+        }
+    }
+
+    /// Close the window for `vpart` (same contract as the unordered twin).
+    fn mig_end(&self, vpart: usize, committed: bool, source: bool) {
+        if source {
+            self.forwarding.write().remove(&vpart);
+            if committed {
+                self.repl.flush();
+                for (k, _) in self.map.iter_snapshot() {
+                    if self.vpart_of(&k) == vpart {
+                        self.map.remove(&k);
+                    }
+                }
+            }
+        } else {
+            if !committed {
+                let mut installed = self.installed.lock();
+                let mut i = 0;
+                while i < installed.len() {
+                    if self.vpart_of(&installed[i]) == vpart {
+                        let k = installed.swap_remove(i);
+                        self.map.remove(&k);
+                    } else {
+                        i += 1;
+                    }
+                }
+            } else {
+                self.installed.lock().retain(|k| self.vpart_of(k) != vpart);
+            }
+            self.tombstones.lock().retain(|k| self.vpart_of(k) != vpart);
+        }
+    }
 }
 
 struct Core<K, V>
@@ -212,6 +398,9 @@ where
 {
     fn_base: FnId,
     servers: Vec<u32>,
+    /// Static replica ring over `servers`; doubles as the owner map for
+    /// pinned containers (bit-identical to `servers[hash % len]`).
+    repl_map: Arc<PartitionMap>,
     parts: HashMap<u32, Arc<Part<K, V>>>,
     cfg: OrderedConfig,
 }
@@ -277,6 +466,37 @@ fn bind_handlers<K, V>(
         p[&server.rank].flush_replication();
         true
     });
+    let p = parts.clone();
+    reg.bind_typed(fn_base + FN_MIG_ARM, move |server: EpId, _, vpart: u64| {
+        p[&server.rank].mig_arm(vpart as usize);
+        true
+    });
+    let p = parts.clone();
+    reg.bind_typed(fn_base + FN_MIG_BEGIN, move |server: EpId, _, (vpart, to): (u64, u32)| {
+        p[&server.rank].mig_begin(vpart as usize, to);
+        true
+    });
+    let p = parts.clone();
+    reg.bind_typed(fn_base + FN_MIG_EXTRACT, move |server: EpId, _, vpart: u64| {
+        p[&server.rank].mig_extract(vpart as usize)
+    });
+    let p = parts.clone();
+    reg.bind_typed(fn_base + FN_MIG_INSTALL, move |server: EpId, _, (k, v): (K, V)| {
+        p[&server.rank].mig_install(k, v)
+    });
+    let p = parts.clone();
+    reg.bind_typed(fn_base + FN_MIG_APPLY, move |server: EpId, _, (k, v): (K, Option<V>)| {
+        p[&server.rank].mig_apply(k, v);
+        true
+    });
+    let p = parts.clone();
+    reg.bind_typed(
+        fn_base + FN_MIG_END,
+        move |server: EpId, _, (vpart, committed, source): (u64, bool, bool)| {
+            p[&server.rank].mig_end(vpart as usize, committed, source);
+            true
+        },
+    );
 }
 
 /// A distributed ordered map.
@@ -304,28 +524,61 @@ where
         let world = Arc::clone(rank.world());
         let cfg2 = cfg.clone();
         let core = rank.get_or_create_shared(&format!("hcl.omap.{name}"), move || {
+            // Elastic (no explicit `servers`): every rank hosts a Part so
+            // any rank can be admitted as an owner later. Pinned: exactly
+            // the historical static placement.
+            let elastic = cfg2.servers.is_none();
             let servers = cfg2.servers.clone().unwrap_or_else(|| default_servers(&world));
             let fn_base = world.alloc_fn_ids(N_FNS);
+            let repl_map = Arc::new(PartitionMap::round_robin(&servers, 1));
+            let hosts: Vec<u32> = if elastic {
+                (0..world.config().world_size()).collect()
+            } else {
+                servers.clone()
+            };
             let mut parts = HashMap::new();
-            for (i, &owner) in servers.iter().enumerate() {
+            for &owner in &hosts {
+                let leader = servers.iter().position(|&s| s == owner);
                 parts.insert(
                     owner,
                     Arc::new(Part {
-                        index: i,
+                        index: leader.unwrap_or(0),
+                        home: owner,
                         map: SkipListMap::new(),
                         replica: SkipListMap::new(),
-                        repl: ReplForwarder::new(),
+                        repl: ReplForwarder::new(owner),
                         world: Arc::clone(&world),
                         fn_base,
                         servers: servers.clone(),
-                        replicas: cfg2.replicas,
+                        replicas: if leader.is_some() { cfg2.replicas } else { 0 },
+                        membership: elastic.then(|| Arc::clone(world.membership())),
+                        forwarding: RwLock::new(HashMap::new()),
+                        tombstones: Mutex::new(HashSet::new()),
+                        installed: Mutex::new(Vec::new()),
                     }),
                 );
             }
             bind_handlers(&world, fn_base, &parts);
-            Core { fn_base, servers, parts, cfg: cfg2 }
+            if elastic {
+                let cell = world.membership().epoch_cell();
+                world
+                    .registry()
+                    .set_epoch_gate(fn_base, N_FNS, move || cell.load(Ordering::Acquire));
+            }
+            Core { fn_base, servers, repl_map, parts, cfg: cfg2 }
         });
-        let d = Dispatcher::new(rank, "omap", core.fn_base, core.cfg.hybrid);
+        let mut d = Dispatcher::new(rank, "omap", core.fn_base, core.cfg.hybrid);
+        if core.cfg.servers.is_some() {
+            d.set_owner_map(OwnerMap::Pinned(Arc::clone(&core.repl_map)));
+        } else {
+            // Registered outside the create closure — `get_or_create_shared`
+            // holds the objects lock, and `MigratorRegistry::shared` needs
+            // it too.
+            MigratorRegistry::shared(rank).register_once(
+                &format!("omap:{name}"),
+                Arc::new(OmapMigrator { core: Arc::clone(&core) }),
+            );
+        }
         OrderedMap { core, d }
     }
 
@@ -338,18 +591,21 @@ where
         self.d.set_recorder(rec);
     }
 
-    /// Which partition owns `key`.
+    /// Which partition (member index in the current ownership map) owns
+    /// `key`.
     pub fn partition_of(&self, key: &K) -> usize {
-        self.d.partition_for(key, self.core.servers.len())
+        self.d.member_index_for(crate::stable_hash(key))
     }
 
-    /// Number of partitions.
+    /// Number of partitions (owning members of the current map).
     pub fn partitions(&self) -> usize {
-        self.core.servers.len()
+        self.d.owner_map().current().members().len()
     }
 
-    fn owner_of(&self, key: &K) -> u32 {
-        self.core.servers[self.partition_of(key)]
+    /// Current owner of a key hash — a snapshot for async paths; keyed sync
+    /// ops resolve inside the dispatcher so `WrongEpoch` re-routes.
+    fn owner_now(&self, hash: u64) -> u32 {
+        self.d.resolve(hash).0
     }
 
     /// Mark a partition-owner rank failed: subsequent ops targeting it
@@ -372,8 +628,8 @@ where
                 value: crate::history_enc(&value),
             }
         );
-        let owner = self.owner_of(&key);
-        let result = self.d.sync(&ops::PUT, owner, (key, value), |(k, v)| {
+        let hash = crate::stable_hash(&key);
+        let result = self.d.sync_keyed(&ops::PUT, hash, (key, value), |owner, (k, v)| {
             self.core.parts[&owner].apply_put(k, v)
         });
         hist_return!(self.d, tok, &result, |newly| crate::DsRet::Inserted(*newly));
@@ -383,7 +639,7 @@ where
     /// Asynchronous insert. Remote inserts stage on the rank's op coalescer
     /// and may ride a batched message with neighbouring async ops.
     pub fn put_async(&self, key: K, value: V) -> HclResult<HclFuture<bool>> {
-        let owner = self.owner_of(&key);
+        let owner = self.owner_now(crate::stable_hash(&key));
         self.d.dispatch_async(&ops::PUT, owner, (key, value), |(k, v)| {
             self.core.parts[&owner].apply_put(k, v)
         })
@@ -394,14 +650,16 @@ where
     /// degraded-read contract as the unordered map.
     pub fn get(&self, key: &K) -> HclResult<Option<V>> {
         let tok = hist_invoke!(self.d, crate::DsOp::MapGet { key: crate::history_enc(key) });
-        let p = self.partition_of(key);
-        let owner = self.core.servers[p];
+        let hash = crate::stable_hash(key);
+        let owner = self.owner_now(hash);
         // Without replicas there is nowhere to degrade to: dispatch normally
         // so the gate rejects the downed owner with `OwnerDown` immediately.
         let result = if self.d.is_down(owner) && self.core.cfg.replicas >= 1 {
-            self.get_from_replica(p, key)
+            self.get_from_replica(hash, key)
         } else {
-            self.d.sync_ref(&ops::GET, owner, key, || self.core.parts[&owner].map.get(key))
+            self.d.sync_keyed_ref(&ops::GET, hash, key, |owner| {
+                self.core.parts[&owner].map.get(key)
+            })
         };
         hist_return!(self.d, tok, &result, |v| crate::DsRet::Value(
             v.as_ref().map(crate::history_enc)
@@ -409,9 +667,14 @@ where
         result
     }
 
-    fn get_from_replica(&self, partition: usize, key: &K) -> HclResult<Option<V>> {
+    fn get_from_replica(&self, hash: u64, key: &K) -> HclResult<Option<V>> {
+        // Replicas live on the *static* ring regardless of membership: the
+        // ring successor of the key's home server backs it.
         let nparts = self.core.servers.len();
-        let replica_owner = self.core.servers[(partition + 1) % nparts];
+        let p = self.core.repl_map.member_index_of_hash(hash);
+        let succ = p + 1;
+        let succ = if succ >= nparts { succ - nparts } else { succ };
+        let replica_owner = self.core.servers[succ];
         self.d.sync_ref(&ops::REPL_GET, replica_owner, key, || {
             self.core.parts[&replica_owner].replica.get(key)
         })
@@ -432,8 +695,8 @@ where
     /// Remove `key`.
     pub fn erase(&self, key: &K) -> HclResult<Option<V>> {
         let tok = hist_invoke!(self.d, crate::DsOp::MapErase { key: crate::history_enc(key) });
-        let owner = self.owner_of(key);
-        let result = self.d.sync_ref(&ops::ERASE, owner, key, || {
+        let hash = crate::stable_hash(key);
+        let result = self.d.sync_keyed_ref(&ops::ERASE, hash, key, |owner| {
             self.core.parts[&owner].apply_erase(key)
         });
         hist_return!(self.d, tok, &result, |v| crate::DsRet::Value(
@@ -449,8 +712,9 @@ where
 
     /// Total entries.
     pub fn len(&self) -> HclResult<u64> {
+        let map = self.d.owner_map().current();
         let mut total = 0;
-        for &owner in &self.core.servers {
+        for &owner in map.members() {
             total += self.d.sync_ref(&ops::LEN, owner, &(), || {
                 self.core.parts[&owner].map.len() as u64
             })?;
@@ -465,8 +729,9 @@ where
 
     /// Global minimum entry: the minimum of every partition's first.
     pub fn first(&self) -> HclResult<Option<(K, V)>> {
+        let map = self.d.owner_map().current();
         let mut best: Option<(K, V)> = None;
-        for &owner in &self.core.servers {
+        for &owner in map.members() {
             let cand: Option<(K, V)> =
                 self.d.sync_ref(&ops::FIRST, owner, &(), || self.core.parts[&owner].map.first())?;
             if let Some((k, v)) = cand {
@@ -480,9 +745,10 @@ where
 
     /// All entries with keys in `[lo, hi)`, globally sorted.
     pub fn range(&self, lo: &K, hi: &K) -> HclResult<Vec<(K, V)>> {
+        let map = self.d.owner_map().current();
         let args = (lo.clone(), hi.clone());
         let mut out = Vec::new();
-        for &owner in &self.core.servers {
+        for &owner in map.members() {
             let part: Vec<(K, V)> = self.d.sync_ref(&ops::RANGE, owner, &args, || {
                 self.core.parts[&owner].map.range_snapshot(lo, hi)
             })?;
@@ -494,8 +760,9 @@ where
 
     /// Every entry, globally sorted (merging the per-partition orders).
     pub fn snapshot_sorted(&self) -> HclResult<Vec<(K, V)>> {
+        let map = self.d.owner_map().current();
         let mut out = Vec::new();
-        for &owner in &self.core.servers {
+        for &owner in map.members() {
             let part: Vec<(K, V)> = self.d.sync_ref(&ops::SNAPSHOT, owner, &(), || {
                 self.core.parts[&owner].map.iter_snapshot()
             })?;
@@ -508,9 +775,9 @@ where
     /// Partition resize surface (Table I parity; skiplist partitions grow
     /// node-by-node so this is trivially satisfied).
     pub fn resize(&self, partition_id: usize, new_size: usize) -> HclResult<bool> {
-        let owner = *self
-            .core
-            .servers
+        let map = self.d.owner_map().current();
+        let owner = *map
+            .members()
             .get(partition_id)
             .ok_or(HclError::BadPartition(partition_id))?;
         self.d.sync_ref(&ops::RESIZE, owner, &(new_size as u64), || true)
@@ -542,6 +809,72 @@ where
     /// Client-side cost counters.
     pub fn costs(&self) -> CostSnapshot {
         self.d.costs()
+    }
+}
+
+/// Live-migration adapter for one elastic [`OrderedMap`] instance (the
+/// ordered twin of the unordered map's adapter — same five-phase window).
+struct OmapMigrator<K, V>
+where
+    K: DataBox + Ord + Hash + Clone + Send + Sync + 'static,
+    V: DataBox + Clone + Send + Sync + 'static,
+{
+    core: Arc<Core<K, V>>,
+}
+
+impl<K, V> ShardMigrator for OmapMigrator<K, V>
+where
+    K: DataBox + Ord + Hash + Clone + Send + Sync + 'static,
+    V: DataBox + Clone + Send + Sync + 'static,
+{
+    fn name(&self) -> &str {
+        "omap"
+    }
+
+    fn begin(&self, rank: &Rank, mv: &ShardMove) -> HclResult<()> {
+        let d = Dispatcher::new(rank, "omap", self.core.fn_base, self.core.cfg.hybrid);
+        let vp = mv.vpart as u64;
+        let _: bool = d.sync_ref(&ops::MIG_ARM, mv.to, &vp, || {
+            self.core.parts[&mv.to].mig_arm(mv.vpart);
+            true
+        })?;
+        let _: bool = d.sync_ref(&ops::MIG_BEGIN, mv.from, &(vp, mv.to), || {
+            self.core.parts[&mv.from].mig_begin(mv.vpart, mv.to);
+            true
+        })?;
+        Ok(())
+    }
+
+    fn transfer(&self, rank: &Rank, mv: &ShardMove) -> HclResult<(u64, u64)> {
+        let d = Dispatcher::new(rank, "omap", self.core.fn_base, self.core.cfg.hybrid);
+        let vp = mv.vpart as u64;
+        let entries: Vec<(K, V)> = d.sync_ref(&ops::MIG_EXTRACT, mv.from, &vp, || {
+            self.core.parts[&mv.from].mig_extract(mv.vpart)
+        })?;
+        let keys = entries.len() as u64;
+        let bytes: u64 = entries.iter().map(|e| e.to_bytes().len() as u64).sum();
+        if !entries.is_empty() {
+            let to = mv.to;
+            let reply = d.bulk(&ops::MIG_INSTALL, to, entries, |(k, v)| {
+                self.core.parts[&to].mig_install(k, v)
+            })?;
+            let _: Vec<bool> = reply.wait()?;
+        }
+        Ok((keys, bytes))
+    }
+
+    fn end(&self, rank: &Rank, mv: &ShardMove, committed: bool) -> HclResult<()> {
+        let d = Dispatcher::new(rank, "omap", self.core.fn_base, self.core.cfg.hybrid);
+        let vp = mv.vpart as u64;
+        let _: bool = d.sync_ref(&ops::MIG_END, mv.from, &(vp, committed, true), || {
+            self.core.parts[&mv.from].mig_end(mv.vpart, committed, true);
+            true
+        })?;
+        let _: bool = d.sync_ref(&ops::MIG_END, mv.to, &(vp, committed, false), || {
+            self.core.parts[&mv.to].mig_end(mv.vpart, committed, false);
+            true
+        })?;
+        Ok(())
     }
 }
 

@@ -33,7 +33,10 @@ const FN_POP_BULK: u32 = 4;
 const FN_LEN: u32 = 5;
 const FN_PURGE: u32 = 6;
 const FN_SNAPSHOT: u32 = 7;
-const N_FNS: u32 = 8;
+// Migration seam (host move): drain every element in one invocation. The
+// install half reuses `push_bulk` — order is recovered by the skiplist.
+const FN_MIG_EXTRACT: u32 = 8;
+const N_FNS: u32 = 9;
 
 /// Table I op descriptors for the priority queue.
 mod ops {
@@ -103,6 +106,14 @@ mod ops {
         idempotent: true,
         degradable: true,
     };
+    pub const MIG_EXTRACT: OpDescriptor = OpDescriptor {
+        name: "pq.mig_extract",
+        class: OpClass::ReadWrite,
+        fn_off: super::FN_MIG_EXTRACT,
+        cost: CostSig::ZERO,
+        idempotent: false,
+        degradable: true,
+    };
 }
 
 struct Core<T>
@@ -163,6 +174,10 @@ where
             reg.bind_typed(fn_base + FN_PURGE, move |_: EpId, _, ()| q.purge() as u64);
             let q = Arc::clone(&pq);
             reg.bind_typed(fn_base + FN_SNAPSHOT, move |_: EpId, _, ()| q.iter_snapshot());
+            let q = Arc::clone(&pq);
+            reg.bind_typed(fn_base + FN_MIG_EXTRACT, move |_: EpId, _, ()| {
+                q.pop_bulk(usize::MAX)
+            });
             Core { fn_base, owner: cfg.owner, pq, cfg }
         });
         let d = Dispatcher::new(rank, "pq", core.fn_base, core.cfg.hybrid);
@@ -268,6 +283,22 @@ where
     /// Clone out the live elements in priority order without popping.
     pub fn snapshot(&self) -> HclResult<Vec<T>> {
         self.d.sync_ref(&ops::SNAPSHOT, self.core.owner, &(), || self.core.pq.iter_snapshot())
+    }
+
+    /// Migration seam, extract half: drain *every* live element from the
+    /// hosting partition in one invocation, in priority order. Pair with
+    /// [`PriorityQueue::install_bulk`] against a twin hosted elsewhere to
+    /// move the shard (the single-partition analogue of the maps'
+    /// live-migration extract/install; see [`crate::rebalance`]).
+    pub fn extract_all(&self) -> HclResult<Vec<T>> {
+        self.d.sync_ref(&ops::MIG_EXTRACT, self.core.owner, &(), || {
+            self.core.pq.pop_bulk(usize::MAX)
+        })
+    }
+
+    /// Migration seam, install half: re-insert extracted elements.
+    pub fn install_bulk(&self, values: Vec<T>) -> HclResult<u64> {
+        self.push_bulk(values)
     }
 
     /// Persist the current contents to `path` (§III-C6).

@@ -30,7 +30,10 @@ const FN_PUSH_BULK: u32 = 2;
 const FN_POP_BULK: u32 = 3;
 const FN_LEN: u32 = 4;
 const FN_SNAPSHOT: u32 = 5;
-const N_FNS: u32 = 6;
+// Migration seam (host move): drain every element in one invocation. The
+// install half reuses `push_bulk` — a queue shard is just its elements.
+const FN_MIG_EXTRACT: u32 = 6;
+const N_FNS: u32 = 7;
 
 /// Table I op descriptors for the queue.
 mod ops {
@@ -82,6 +85,14 @@ mod ops {
         fn_off: super::FN_SNAPSHOT,
         cost: CostSig::ZERO,
         idempotent: true,
+        degradable: true,
+    };
+    pub const MIG_EXTRACT: OpDescriptor = OpDescriptor {
+        name: "queue.mig_extract",
+        class: OpClass::ReadWrite,
+        fn_off: super::FN_MIG_EXTRACT,
+        cost: CostSig::ZERO,
+        idempotent: false,
         degradable: true,
     };
 }
@@ -156,6 +167,10 @@ where
             reg.bind_typed(fn_base + FN_LEN, move |_: EpId, _, ()| q2.len() as u64);
             let q2 = Arc::clone(&q);
             reg.bind_typed(fn_base + FN_SNAPSHOT, move |_: EpId, _, ()| q2.iter_snapshot());
+            let q2 = Arc::clone(&q);
+            reg.bind_typed(fn_base + FN_MIG_EXTRACT, move |_: EpId, _, ()| {
+                q2.pop_bulk(usize::MAX)
+            });
             Core { fn_base, owner, q, cfg }
         });
         let d = Dispatcher::new(rank, "queue", core.fn_base, core.cfg.hybrid);
@@ -250,6 +265,22 @@ where
     /// Clone out the queued elements front-to-back without consuming them.
     pub fn snapshot(&self) -> HclResult<Vec<T>> {
         self.d.sync_ref(&ops::SNAPSHOT, self.core.owner, &(), || self.core.q.iter_snapshot())
+    }
+
+    /// Migration seam, extract half: drain *every* queued element from the
+    /// hosting partition in one invocation, front-to-back. Pair with
+    /// [`Queue::install_bulk`] against a twin queue hosted elsewhere to move
+    /// the shard (the single-partition analogue of the maps' live-migration
+    /// extract/install; see [`crate::rebalance`]).
+    pub fn extract_all(&self) -> HclResult<Vec<T>> {
+        self.d.sync_ref(&ops::MIG_EXTRACT, self.core.owner, &(), || {
+            self.core.q.pop_bulk(usize::MAX)
+        })
+    }
+
+    /// Migration seam, install half: append extracted elements in order.
+    pub fn install_bulk(&self, values: Vec<T>) -> HclResult<u64> {
+        self.push_bulk(values)
     }
 
     /// Persist the current contents to `path` as a DataBox-encoded snapshot

@@ -21,7 +21,7 @@
 //! "Replication occurs asynchronously at the server side, where the target
 //! process will further hash an operation to more servers").
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -31,13 +31,17 @@ use hcl_containers::CuckooMap;
 use hcl_databox::DataBox;
 use hcl_fabric::EpId;
 use hcl_rpc::FnId;
-use hcl_runtime::{Rank, WorldShared};
+use hcl_runtime::{Membership, PartitionMap, Rank, ShardMove, WorldShared};
 use hcl_telemetry::CacheMetrics;
+use parking_lot::{Mutex, RwLock};
 
 use crate::cache::{CacheStats, LeaseCache, LeaseConfig};
 use crate::cost::{CostCounters, CostSnapshot};
-use crate::dispatch::{hist_invoke, hist_return, BulkReply, Dispatcher, ReplForwarder};
+use crate::dispatch::{
+    hist_invoke, hist_return, BulkReply, Dispatcher, OwnerMap, ReplForwarder,
+};
 use crate::persist::{OpLog, PersistConfig};
+use crate::rebalance::{MigratorRegistry, ShardMigrator};
 use crate::{default_servers, HclError, HclFuture, HclResult};
 
 const FN_PUT: u32 = 0;
@@ -52,7 +56,15 @@ const FN_REPL_GET: u32 = 8;
 const FN_REPL_FLUSH: u32 = 9;
 const FN_MERGE: u32 = 10;
 const FN_GET_LEASED: u32 = 11;
-const N_FNS: u32 = 12;
+// Live-migration control plane (see [`crate::rebalance`]). These travel
+// untagged (the driver addresses explicit ranks, not hashed owners).
+const FN_MIG_ARM: u32 = 12;
+const FN_MIG_BEGIN: u32 = 13;
+const FN_MIG_EXTRACT: u32 = 14;
+const FN_MIG_INSTALL: u32 = 15;
+const FN_MIG_APPLY: u32 = 16;
+const FN_MIG_END: u32 = 17;
+const N_FNS: u32 = 18;
 
 /// Table I op descriptors for the unordered map. Replica ops are
 /// non-degradable: they are the failover path, so they must still reach
@@ -140,6 +152,49 @@ mod ops {
         idempotent: true,
         degradable: false,
     };
+    // Migration control ops: issued by the rebalance driver at explicit
+    // ranks, never epoch-tagged (the map mid-transition is exactly what
+    // they operate on).
+    pub const MIG_ARM: OpDescriptor = OpDescriptor {
+        name: "umap.mig_arm",
+        class: OpClass::Admin,
+        fn_off: super::FN_MIG_ARM,
+        cost: CostSig::ZERO,
+        idempotent: true,
+        degradable: true,
+    };
+    pub const MIG_BEGIN: OpDescriptor = OpDescriptor {
+        name: "umap.mig_begin",
+        class: OpClass::Admin,
+        fn_off: super::FN_MIG_BEGIN,
+        cost: CostSig::ZERO,
+        idempotent: true,
+        degradable: true,
+    };
+    pub const MIG_EXTRACT: OpDescriptor = OpDescriptor {
+        name: "umap.mig_extract",
+        class: OpClass::Admin,
+        fn_off: super::FN_MIG_EXTRACT,
+        cost: CostSig::ZERO,
+        idempotent: true,
+        degradable: true,
+    };
+    pub const MIG_INSTALL: OpDescriptor = OpDescriptor {
+        name: "umap.mig_install",
+        class: OpClass::Write,
+        fn_off: super::FN_MIG_INSTALL,
+        cost: CostSig::lrw(1, 0, 1),
+        idempotent: true,
+        degradable: true,
+    };
+    pub const MIG_END: OpDescriptor = OpDescriptor {
+        name: "umap.mig_end",
+        class: OpClass::Admin,
+        fn_off: super::FN_MIG_END,
+        cost: CostSig::ZERO,
+        idempotent: true,
+        degradable: true,
+    };
 }
 
 /// Op-log record: `(tag, key, value)`; tag 0 = put, 1 = erase.
@@ -193,6 +248,8 @@ where
     V: DataBox + Clone + Send + Sync + 'static,
 {
     index: usize,
+    /// The rank hosting this part (the key of `Core::parts`).
+    home: u32,
     map: CuckooMap<K, V>,
     /// Entries replicated *to* this partition from others.
     replica: CuckooMap<K, V>,
@@ -212,6 +269,22 @@ where
     version: AtomicU64,
     /// Lease TTL granted to clients, microseconds (0 = never grant).
     lease_ttl_micros: u64,
+    /// The world's membership view — `Some` for elastic containers (no
+    /// explicit `servers`), whose shards can move between ranks. `None`
+    /// pins the partition forever (static placement).
+    membership: Option<Arc<Membership>>,
+    /// Old-owner side of live migration: virtual partitions currently in a
+    /// write-forwarding window, mapped to their new owner. Mutations whose
+    /// key hashes into a forwarding vpart are dual-applied at the target.
+    forwarding: RwLock<HashMap<usize, u32>>,
+    /// New-owner side: keys erased by a forwarded write during the window.
+    /// A tombstoned key must not be resurrected by a racing copy-install
+    /// whose snapshot predates the erase.
+    tombstones: Mutex<HashSet<K>>,
+    /// New-owner side: keys installed during the window (copy or forwarded
+    /// put), retained so an aborted rebalance can purge exactly what the
+    /// migration wrote.
+    installed: Mutex<Vec<K>>,
 }
 
 impl<K, V> Part<K, V>
@@ -227,6 +300,7 @@ where
         }
         let existed = self.map.insert(key.clone(), value.clone()).is_some();
         self.version.fetch_add(1, Ordering::Release);
+        self.forward_migration(&key, Some(&value));
         if self.replicas > 0 {
             self.replicate(FN_REPL_PUT, (key, Some(value)));
         }
@@ -241,6 +315,7 @@ where
         }
         let prev = self.map.remove(key);
         self.version.fetch_add(1, Ordering::Release);
+        self.forward_migration(key, None);
         if self.replicas > 0 {
             self.replicate(FN_REPL_PUT, (key.clone(), None::<V>));
         }
@@ -271,6 +346,7 @@ where
         let merger = self.merger.as_ref().expect("container built without a merger");
         let merged = self.map.upsert(key.clone(), |old| merger(old, &value));
         self.version.fetch_add(1, Ordering::Release);
+        self.forward_migration(&key, Some(&merged));
         if let Some(log) = &self.log {
             let _ = log.append(&(0, key.clone(), Some(merged.clone())));
         }
@@ -297,6 +373,144 @@ where
     fn flush_replication(&self) {
         self.repl.flush();
     }
+
+    /// The virtual partition `key` hashes into (elastic containers only;
+    /// `usize::MAX` for pinned parts, which never match a window).
+    fn vpart_of(&self, key: &K) -> usize {
+        self.membership
+            .as_ref()
+            .map_or(usize::MAX, |m| m.current().vpart_of_hash(crate::stable_hash(key)))
+    }
+
+    /// Old-owner side of the write-forwarding window: a mutation whose key
+    /// hashes into a moving vpart is dual-applied at the new owner, so
+    /// writes racing the copy are not lost when the old shard is purged.
+    ///
+    /// Remote mutations are epoch-gated at the server, but the hybrid
+    /// shared-memory bypass is not: a bypass that resolved the owner just
+    /// before a commit can apply here after the window already closed. The
+    /// fallback arm catches that — if this part no longer owns the key's
+    /// vpart it dual-applies at the current map owner, so the write is never
+    /// stranded in the purged shard.
+    fn forward_migration(&self, key: &K, value: Option<&V>) {
+        let Some(m) = &self.membership else { return };
+        let map = m.current();
+        let vp = map.vpart_of_hash(crate::stable_hash(key));
+        let target = match self.forwarding.read().get(&vp) {
+            Some(&t) => t,
+            None => {
+                let owner = map.owner_of_vpart(vp);
+                if owner == self.home {
+                    return;
+                }
+                owner
+            }
+        };
+        self.repl.forward_to(
+            &self.world,
+            target,
+            self.fn_base + FN_MIG_APPLY,
+            &(key.clone(), value.cloned()).to_bytes(),
+        );
+        m.counters().forwarded_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// New-owner side: clear window bookkeeping for `vpart` left by a
+    /// previously aborted attempt, so this window starts clean.
+    fn mig_arm(&self, vpart: usize) {
+        self.tombstones.lock().retain(|k| self.vpart_of(k) != vpart);
+        self.installed.lock().retain(|k| self.vpart_of(k) != vpart);
+    }
+
+    /// Old-owner side: open the forwarding window for `vpart` toward `to`.
+    fn mig_begin(&self, vpart: usize, to: u32) {
+        self.forwarding.write().insert(vpart, to);
+    }
+
+    /// Old-owner side: copy (do not remove) every entry of `vpart`. The
+    /// shard stays fully served here until the transition commits.
+    fn mig_extract(&self, vpart: usize) -> Vec<(K, V)> {
+        self.map.iter_snapshot().into_iter().filter(|(k, _)| self.vpart_of(k) == vpart).collect()
+    }
+
+    /// New-owner side: install one copied entry — insert-if-absent, so a
+    /// fresher forwarded put is never overwritten by the older copy, and
+    /// tombstoned keys (forwarded erases) stay dead.
+    fn mig_install(&self, key: K, value: V) -> bool {
+        if self.tombstones.lock().contains(&key) {
+            return false;
+        }
+        let was_absent = std::sync::atomic::AtomicBool::new(false);
+        self.map.upsert(key.clone(), |old| match old {
+            Some(v) => v.clone(),
+            None => {
+                was_absent.store(true, Ordering::Relaxed);
+                value.clone()
+            }
+        });
+        self.version.fetch_add(1, Ordering::Release);
+        let installed = was_absent.load(Ordering::Relaxed);
+        if installed {
+            self.installed.lock().push(key);
+        }
+        installed
+    }
+
+    /// New-owner side: apply one forwarded write. Puts overwrite (the
+    /// forward is fresher than any copy) and revive tombstones; erases
+    /// tombstone the key against late-arriving copies.
+    fn mig_apply(&self, key: K, value: Option<V>) {
+        match value {
+            Some(v) => {
+                self.tombstones.lock().remove(&key);
+                self.map.insert(key.clone(), v);
+                self.installed.lock().push(key);
+            }
+            None => {
+                self.map.remove(&key);
+                self.tombstones.lock().insert(key);
+            }
+        }
+        self.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// Close the window for `vpart`. At the source (old owner): stop
+    /// forwarding, and on commit flush in-flight forwards then purge the
+    /// moved entries. At the target (new owner): clear tombstones, and on
+    /// abort purge exactly the keys the migration installed.
+    fn mig_end(&self, vpart: usize, committed: bool, source: bool) {
+        if source {
+            self.forwarding.write().remove(&vpart);
+            if committed {
+                // Every dual-applied write must be acknowledged by the new
+                // owner before the authoritative copy disappears here.
+                self.repl.flush();
+                for (k, _) in self.map.iter_snapshot() {
+                    if self.vpart_of(&k) == vpart {
+                        self.map.remove(&k);
+                    }
+                }
+                self.version.fetch_add(1, Ordering::Release);
+            }
+        } else {
+            if !committed {
+                let mut installed = self.installed.lock();
+                let mut i = 0;
+                while i < installed.len() {
+                    if self.vpart_of(&installed[i]) == vpart {
+                        let k = installed.swap_remove(i);
+                        self.map.remove(&k);
+                    } else {
+                        i += 1;
+                    }
+                }
+            } else {
+                self.installed.lock().retain(|k| self.vpart_of(k) != vpart);
+            }
+            self.tombstones.lock().retain(|k| self.vpart_of(k) != vpart);
+            self.version.fetch_add(1, Ordering::Release);
+        }
+    }
 }
 
 /// World-shared core of one container.
@@ -307,6 +521,10 @@ where
 {
     fn_base: FnId,
     servers: Vec<u32>,
+    /// Static replica ring over `servers` (one slot per server). Doubles as
+    /// the owner map for pinned containers — `owner_of_hash` is bit-identical
+    /// to the historical `servers[hash % len]` placement.
+    repl_map: Arc<PartitionMap>,
     parts: HashMap<u32, Arc<Part<K, V>>>,
     cfg: UnorderedMapConfig,
 }
@@ -380,6 +598,37 @@ fn bind_handlers<K, V>(
     reg.bind_typed(fn_base + FN_GET_LEASED, move |server: EpId, _, k: K| {
         p[&server.rank].apply_get_leased(&k)
     });
+    let p = parts.clone();
+    reg.bind_typed(fn_base + FN_MIG_ARM, move |server: EpId, _, vpart: u64| {
+        p[&server.rank].mig_arm(vpart as usize);
+        true
+    });
+    let p = parts.clone();
+    reg.bind_typed(fn_base + FN_MIG_BEGIN, move |server: EpId, _, (vpart, to): (u64, u32)| {
+        p[&server.rank].mig_begin(vpart as usize, to);
+        true
+    });
+    let p = parts.clone();
+    reg.bind_typed(fn_base + FN_MIG_EXTRACT, move |server: EpId, _, vpart: u64| {
+        p[&server.rank].mig_extract(vpart as usize)
+    });
+    let p = parts.clone();
+    reg.bind_typed(fn_base + FN_MIG_INSTALL, move |server: EpId, _, (k, v): (K, V)| {
+        p[&server.rank].mig_install(k, v)
+    });
+    let p = parts.clone();
+    reg.bind_typed(fn_base + FN_MIG_APPLY, move |server: EpId, _, (k, v): (K, Option<V>)| {
+        p[&server.rank].mig_apply(k, v);
+        true
+    });
+    let p = parts.clone();
+    reg.bind_typed(
+        fn_base + FN_MIG_END,
+        move |server: EpId, _, (vpart, committed, source): (u64, bool, bool)| {
+            p[&server.rank].mig_end(vpart as usize, committed, source);
+            true
+        },
+    );
     // Every `FLAG_STAMPED` response from this container's fn-id range
     // piggybacks the serving partition's current mutation version — the
     // lease cache's third invalidation channel (after TTL and epoch).
@@ -439,68 +688,108 @@ where
         let cfg2 = cfg.clone();
         let name2 = name.to_string();
         let core = rank.get_or_create_shared(&format!("hcl.umap.{name}"), move || {
+            // Elastic (no explicit `servers`): ownership follows the world's
+            // membership, so every rank hosts a Part — any rank may be
+            // admitted as an owner later. Pinned (explicit `servers`):
+            // exactly the historical static placement.
+            let elastic = cfg2.servers.is_none();
             let servers = cfg2.servers.clone().unwrap_or_else(|| default_servers(&world));
             let fn_base = world.alloc_fn_ids(N_FNS);
+            let repl_map = Arc::new(PartitionMap::round_robin(&servers, 1));
+            let hosts: Vec<u32> = if elastic {
+                (0..world.config().world_size()).collect()
+            } else {
+                servers.clone()
+            };
             let mut parts = HashMap::new();
-            for (i, &owner) in servers.iter().enumerate() {
+            for &owner in &hosts {
+                // Non-leader elastic hosts start empty: no op log of their
+                // own and no spot in the static replica ring.
+                let leader = servers.iter().position(|&s| s == owner);
                 let map = CuckooMap::with_buckets(cfg2.initial_buckets);
-                let log = cfg2.persist.as_ref().map(|p| {
-                    let path = p.log_path(&name2, i);
-                    OpLog::open(path, p.mode_of(), |rec: LogRec<K, V>| match rec {
-                        (0, k, Some(v)) => {
-                            map.insert(k, v);
-                        }
-                        (1, k, None) => {
-                            map.remove(&k);
-                        }
-                        _ => {}
+                let log = leader.and_then(|i| {
+                    cfg2.persist.as_ref().map(|p| {
+                        let path = p.log_path(&name2, i);
+                        OpLog::open(path, p.mode_of(), |rec: LogRec<K, V>| match rec {
+                            (0, k, Some(v)) => {
+                                map.insert(k, v);
+                            }
+                            (1, k, None) => {
+                                map.remove(&k);
+                            }
+                            _ => {}
+                        })
+                        .expect("open partition op log")
                     })
-                    .expect("open partition op log")
                 });
                 parts.insert(
                     owner,
                     Arc::new(Part {
-                        index: i,
+                        index: leader.unwrap_or(0),
+                        home: owner,
                         map,
                         replica: CuckooMap::with_buckets(cfg2.initial_buckets),
                         log,
                         merger: merger.clone(),
-                        repl: ReplForwarder::new(),
+                        repl: ReplForwarder::new(owner),
                         world: Arc::clone(&world),
                         fn_base,
                         servers: servers.clone(),
-                        replicas: cfg2.replicas,
+                        replicas: if leader.is_some() { cfg2.replicas } else { 0 },
                         costs: CostCounters::default(),
                         version: AtomicU64::new(0),
                         lease_ttl_micros: cfg2
                             .lease
                             .as_ref()
                             .map_or(0, |l| l.ttl.as_micros().min(u64::MAX as u128) as u64),
+                        membership: elastic.then(|| Arc::clone(world.membership())),
+                        forwarding: RwLock::new(HashMap::new()),
+                        tombstones: Mutex::new(HashSet::new()),
+                        installed: Mutex::new(Vec::new()),
                     }),
                 );
             }
             bind_handlers(&world, fn_base, &parts);
-            Core { fn_base, servers, parts, cfg: cfg2 }
+            if elastic {
+                // Keyed mutations carry the client's membership epoch; the
+                // server rejects mismatches typed (`WrongEpoch`) so an op
+                // routed by a stale map is never served by the wrong rank.
+                let cell = world.membership().epoch_cell();
+                world
+                    .registry()
+                    .set_epoch_gate(fn_base, N_FNS, move || cell.load(Ordering::Acquire));
+            }
+            Core { fn_base, servers, repl_map, parts, cfg: cfg2 }
         });
         let mut d = Dispatcher::new(rank, "umap", core.fn_base, core.cfg.hybrid);
+        if core.cfg.servers.is_some() {
+            // Static placement: resolve through the fixed ring, untagged.
+            d.set_owner_map(OwnerMap::Pinned(Arc::clone(&core.repl_map)));
+        } else {
+            // Elastic containers take part in live rebalances. Registered
+            // outside the create closure — `get_or_create_shared` holds the
+            // objects lock, and `MigratorRegistry::shared` needs it too.
+            MigratorRegistry::shared(rank).register_once(
+                &format!("umap:{name}"),
+                Arc::new(UmapMigrator { core: Arc::clone(&core) }),
+            );
+        }
         let cache = core.cfg.lease.as_ref().map(|lease| {
             let metrics = if rank.telemetry().enabled() {
                 CacheMetrics::from_registry(rank.telemetry().registry())
             } else {
                 CacheMetrics::detached()
             };
-            Arc::new(LeaseCache::new(lease.clone(), core.servers.len(), metrics))
+            // Watermark slots are indexed by owner *rank* (ownership can
+            // move between ranks mid-run), so size for the whole world.
+            Arc::new(LeaseCache::new(lease.clone(), rank.world_size() as usize, metrics))
         });
         if let Some(cache) = &cache {
-            // Responses travel FLAG_STAMPED; fold each partition's
-            // piggybacked version into the cache's watermark.
-            let part_of: HashMap<u32, usize> =
-                core.servers.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+            // Responses travel FLAG_STAMPED; fold each owner's piggybacked
+            // version into the cache's watermark.
             let sink_cache = Arc::clone(cache);
             d.set_version_sink(Arc::new(move |owner, stamp| {
-                if let Some(&p) = part_of.get(&owner) {
-                    sink_cache.observe_version(p, stamp);
-                }
+                sink_cache.observe_version(owner as usize, stamp);
             }));
             // The hot-key sketch rides the observer seam: every keyed
             // remote read dispatch feeds it.
@@ -519,23 +808,27 @@ where
         self.d.set_recorder(rec);
     }
 
-    /// First-level hash: which partition owns `key`.
+    /// First-level hash: which partition (member index in the current
+    /// ownership map) owns `key`.
     pub fn partition_of(&self, key: &K) -> usize {
-        self.d.partition_for(key, self.core.servers.len())
+        self.d.member_index_for(crate::stable_hash(key))
     }
 
-    /// Number of partitions.
+    /// Number of partitions (owning members of the current map).
     pub fn partitions(&self) -> usize {
-        self.core.servers.len()
+        self.d.owner_map().current().members().len()
     }
 
     /// The owner rank of partition `p`.
     pub fn server_of(&self, p: usize) -> u32 {
-        self.core.servers[p]
+        self.d.owner_map().current().members()[p]
     }
 
-    fn owner_of(&self, key: &K) -> u32 {
-        self.core.servers[self.partition_of(key)]
+    /// Current owner of a key hash — a snapshot for async/batch paths,
+    /// which stage work addressed at a fixed rank. Keyed sync ops instead
+    /// resolve inside the dispatcher so `WrongEpoch` rejections re-route.
+    fn owner_now(&self, hash: u64) -> u32 {
+        self.d.resolve(hash).0
     }
 
     /// Insert `key -> value`; returns `true` when the key was newly
@@ -549,8 +842,8 @@ where
                 value: crate::history_enc(&value),
             }
         );
-        let owner = self.owner_of(&key);
-        let result = self.d.sync(&ops::PUT, owner, (key, value), |(k, v)| {
+        let hash = crate::stable_hash(&key);
+        let result = self.d.sync_keyed(&ops::PUT, hash, (key, value), |owner, (k, v)| {
             self.core.parts[&owner].apply_put(k, v)
         });
         hist_return!(self.d, tok, &result, |newly| crate::DsRet::Inserted(*newly));
@@ -561,7 +854,7 @@ where
     /// coalescer and may ride a batched message with neighbouring async ops
     /// to the same partition (§III-B request aggregation).
     pub fn put_async(&self, key: K, value: V) -> HclResult<HclFuture<bool>> {
-        let owner = self.owner_of(&key);
+        let owner = self.owner_now(crate::stable_hash(&key));
         self.d.dispatch_async(&ops::PUT, owner, (key, value), |(k, v)| {
             self.core.parts[&owner].apply_put(k, v)
         })
@@ -572,20 +865,19 @@ where
     /// keys are served from the local lease cache (`F` elided entirely).
     pub fn get(&self, key: &K) -> HclResult<Option<V>> {
         let hash = crate::stable_hash(key);
-        let p = (hash as usize) % self.core.servers.len();
-        let owner = self.core.servers[p];
+        let owner = self.owner_now(hash);
         if let Some(cache) = &self.cache {
             if !self.d.is_local(owner) && !self.d.is_down(owner) {
-                return self.get_cached(cache, hash, p, owner, key);
+                return self.get_cached(cache, hash, owner, key);
             }
         }
         let tok = hist_invoke!(self.d, crate::DsOp::MapGet { key: crate::history_enc(key) });
         // Without replicas there is nowhere to degrade to: dispatch normally
         // so the gate rejects the downed owner with `OwnerDown` immediately.
         let result = if self.d.is_down(owner) && self.core.cfg.replicas >= 1 {
-            self.get_from_replica(p, key)
+            self.get_from_replica(hash, key)
         } else {
-            self.d.sync_ref_keyed(&ops::GET, owner, hash, key, || {
+            self.d.sync_keyed_ref(&ops::GET, hash, key, |owner| {
                 self.core.parts[&owner].apply_get(key)
             })
         };
@@ -603,10 +895,14 @@ where
         &self,
         cache: &Arc<LeaseCache<K, V>>,
         hash: u64,
-        p: usize,
         owner: u32,
         key: &K,
     ) -> HclResult<Option<V>> {
+        // Watermark slot = owner rank (matches the version sink). The epoch
+        // is the unified membership/downed counter: a membership commit
+        // invalidates every outstanding lease, so no lease can outlive the
+        // map that granted it.
+        let p = owner as usize;
         let epoch = self.d.epoch();
         if let Some((value, valid_from)) = cache.lookup(key, hash, p, epoch) {
             // Served locally without touching the fabric. The history op
@@ -665,10 +961,10 @@ where
             // monotone-prefix (like owner-down degraded reads) and are not
             // recorded in linearizability histories.
             cache.metrics().steered_reads.inc();
-            return self.get_from_replica(p, key);
+            return self.get_from_replica(hash, key);
         }
         let tok = hist_invoke!(self.d, crate::DsOp::MapGet { key: crate::history_enc(key) });
-        let result = self.d.sync_ref_keyed(&ops::GET, owner, hash, key, || {
+        let result = self.d.sync_keyed_ref(&ops::GET, hash, key, |owner| {
             self.core.parts[&owner].apply_get(key)
         });
         hist_return!(self.d, tok, &result, |v| crate::DsRet::Value(
@@ -679,7 +975,7 @@ where
 
     /// Asynchronous lookup; remote lookups stage on the op coalescer.
     pub fn get_async(&self, key: &K) -> HclResult<HclFuture<Option<V>>> {
-        let owner = self.owner_of(key);
+        let owner = self.owner_now(crate::stable_hash(key));
         self.d.dispatch_async_ref(&ops::GET, owner, key, || {
             self.core.parts[&owner].apply_get(key)
         })
@@ -691,8 +987,8 @@ where
     /// exactly what BCL's client-side model cannot express without a CAS
     /// retry loop.
     pub fn put_merge(&self, key: K, value: V) -> HclResult<V> {
-        let owner = self.owner_of(&key);
-        self.d.sync(&ops::MERGE, owner, (key, value), |(k, v)| {
+        let hash = crate::stable_hash(&key);
+        self.d.sync_keyed(&ops::MERGE, hash, (key, value), |owner, (k, v)| {
             self.core.parts[&owner].apply_merge(k, v)
         })
     }
@@ -700,7 +996,7 @@ where
     /// Asynchronous [`UnorderedMap::put_merge`]; remote merges stage on the
     /// op coalescer.
     pub fn put_merge_async(&self, key: K, value: V) -> HclResult<HclFuture<V>> {
-        let owner = self.owner_of(&key);
+        let owner = self.owner_now(crate::stable_hash(&key));
         self.d.dispatch_async(&ops::MERGE, owner, (key, value), |(k, v)| {
             self.core.parts[&owner].apply_merge(k, v)
         })
@@ -715,7 +1011,7 @@ where
         use std::collections::HashMap as StdMap;
         let mut by_owner: StdMap<u32, Vec<(K, V)>> = StdMap::new();
         for (k, v) in entries {
-            by_owner.entry(self.owner_of(&k)).or_default().push((k, v));
+            by_owner.entry(self.owner_now(crate::stable_hash(&k))).or_default().push((k, v));
         }
         let mut new_keys = 0u64;
         let mut pending = Vec::new();
@@ -743,7 +1039,7 @@ where
         use std::collections::HashMap as StdMap;
         let mut by_owner: StdMap<u32, Vec<usize>> = StdMap::new();
         for (i, k) in keys.iter().enumerate() {
-            by_owner.entry(self.owner_of(k)).or_default().push(i);
+            by_owner.entry(self.owner_now(crate::stable_hash(k))).or_default().push(i);
         }
         let mut out: Vec<Option<V>> = (0..keys.len()).map(|_| None).collect();
         let mut pending = Vec::new();
@@ -773,8 +1069,8 @@ where
     /// Remove `key`, returning its value.
     pub fn erase(&self, key: &K) -> HclResult<Option<V>> {
         let tok = hist_invoke!(self.d, crate::DsOp::MapErase { key: crate::history_enc(key) });
-        let owner = self.owner_of(key);
-        let result = self.d.sync_ref(&ops::ERASE, owner, key, || {
+        let hash = crate::stable_hash(key);
+        let result = self.d.sync_keyed_ref(&ops::ERASE, hash, key, |owner| {
             self.core.parts[&owner].apply_erase(key)
         });
         hist_return!(self.d, tok, &result, |v| crate::DsRet::Value(
@@ -791,8 +1087,9 @@ where
     /// Total entries across all partitions (collective-free; issues one
     /// call per remote partition).
     pub fn len(&self) -> HclResult<u64> {
+        let map = self.d.owner_map().current();
         let mut total = 0u64;
-        for &owner in &self.core.servers {
+        for &owner in map.members() {
             total += self.d.sync_ref(&ops::LEN, owner, &(), || {
                 self.core.parts[&owner].map.len() as u64
             })?;
@@ -809,9 +1106,9 @@ where
     /// Table I: `F + N(R+W)`). "This operation is localized to the involved
     /// partition."
     pub fn resize(&self, partition_id: usize, new_buckets: usize) -> HclResult<bool> {
-        let owner = *self
-            .core
-            .servers
+        let map = self.d.owner_map().current();
+        let owner = *map
+            .members()
             .get(partition_id)
             .ok_or(HclError::BadPartition(partition_id))?;
         self.d.sync_ref(&ops::RESIZE, owner, &(new_buckets as u64), || {
@@ -822,14 +1119,15 @@ where
 
     /// Bucket count of a partition (diagnostics).
     pub fn partition_buckets(&self, partition_id: usize) -> usize {
-        let owner = self.core.servers[partition_id];
+        let owner = self.d.owner_map().current().members()[partition_id];
         self.core.parts[&owner].map.buckets()
     }
 
     /// Clone out every entry of every partition (not atomic).
     pub fn snapshot_all(&self) -> HclResult<Vec<(K, V)>> {
+        let map = self.d.owner_map().current();
         let mut out = Vec::new();
-        for &owner in &self.core.servers {
+        for &owner in map.members() {
             let part: Vec<(K, V)> = self.d.sync_ref(&ops::SNAPSHOT, owner, &(), || {
                 self.core.parts[&owner].map.iter_snapshot()
             })?;
@@ -851,9 +1149,14 @@ where
         self.d.mark_up(owner_rank);
     }
 
-    fn get_from_replica(&self, partition: usize, key: &K) -> HclResult<Option<V>> {
+    fn get_from_replica(&self, hash: u64, key: &K) -> HclResult<Option<V>> {
+        // Replicas live on the *static* ring regardless of membership: the
+        // ring successor of the key's home server backs it.
         let nparts = self.core.servers.len();
-        let replica_owner = self.core.servers[(partition + 1) % nparts];
+        let p = self.core.repl_map.member_index_of_hash(hash);
+        let succ = p + 1;
+        let succ = if succ >= nparts { succ - nparts } else { succ };
+        let replica_owner = self.core.servers[succ];
         self.d.sync_ref(&ops::REPL_GET, replica_owner, key, || {
             self.core.parts[&replica_owner].replica.get(key)
         })
@@ -920,6 +1223,79 @@ where
 impl PersistConfig {
     pub(crate) fn mode_of(&self) -> crate::persist::PersistMode {
         self.mode
+    }
+}
+
+/// Live-migration adapter for one elastic [`UnorderedMap`] instance:
+/// translates the rebalance driver's shard-move callbacks into this
+/// container's `MIG_*` control RPCs. All ops address explicit ranks (the
+/// map mid-transition is exactly what they operate on), so none are
+/// epoch-tagged; the copy itself rides the dispatcher's bulk path.
+struct UmapMigrator<K, V>
+where
+    K: DataBox + Hash + Eq + Clone + Send + Sync + 'static,
+    V: DataBox + Clone + Send + Sync + 'static,
+{
+    core: Arc<Core<K, V>>,
+}
+
+impl<K, V> ShardMigrator for UmapMigrator<K, V>
+where
+    K: DataBox + Hash + Eq + Clone + Send + Sync + 'static,
+    V: DataBox + Clone + Send + Sync + 'static,
+{
+    fn name(&self) -> &str {
+        "umap"
+    }
+
+    fn begin(&self, rank: &Rank, mv: &ShardMove) -> HclResult<()> {
+        let d = Dispatcher::new(rank, "umap", self.core.fn_base, self.core.cfg.hybrid);
+        let vp = mv.vpart as u64;
+        // Arm the target first: its window bookkeeping must be clean before
+        // the source starts forwarding writes into it.
+        let _: bool = d.sync_ref(&ops::MIG_ARM, mv.to, &vp, || {
+            self.core.parts[&mv.to].mig_arm(mv.vpart);
+            true
+        })?;
+        let _: bool = d.sync_ref(&ops::MIG_BEGIN, mv.from, &(vp, mv.to), || {
+            self.core.parts[&mv.from].mig_begin(mv.vpart, mv.to);
+            true
+        })?;
+        Ok(())
+    }
+
+    fn transfer(&self, rank: &Rank, mv: &ShardMove) -> HclResult<(u64, u64)> {
+        let d = Dispatcher::new(rank, "umap", self.core.fn_base, self.core.cfg.hybrid);
+        let vp = mv.vpart as u64;
+        let entries: Vec<(K, V)> = d.sync_ref(&ops::MIG_EXTRACT, mv.from, &vp, || {
+            self.core.parts[&mv.from].mig_extract(mv.vpart)
+        })?;
+        let keys = entries.len() as u64;
+        let bytes: u64 = entries.iter().map(|e| e.to_bytes().len() as u64).sum();
+        if !entries.is_empty() {
+            let to = mv.to;
+            let reply = d.bulk(&ops::MIG_INSTALL, to, entries, |(k, v)| {
+                self.core.parts[&to].mig_install(k, v)
+            })?;
+            let _: Vec<bool> = reply.wait()?;
+        }
+        Ok((keys, bytes))
+    }
+
+    fn end(&self, rank: &Rank, mv: &ShardMove, committed: bool) -> HclResult<()> {
+        let d = Dispatcher::new(rank, "umap", self.core.fn_base, self.core.cfg.hybrid);
+        let vp = mv.vpart as u64;
+        // Source first: it stops forwarding, flushes in-flight forwards to
+        // the target, then (on commit) purges the moved entries.
+        let _: bool = d.sync_ref(&ops::MIG_END, mv.from, &(vp, committed, true), || {
+            self.core.parts[&mv.from].mig_end(mv.vpart, committed, true);
+            true
+        })?;
+        let _: bool = d.sync_ref(&ops::MIG_END, mv.to, &(vp, committed, false), || {
+            self.core.parts[&mv.to].mig_end(mv.vpart, committed, false);
+            true
+        })?;
+        Ok(())
     }
 }
 

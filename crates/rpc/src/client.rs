@@ -17,7 +17,7 @@ use hcl_fabric::FabricError;
 
 use crate::{
     decode_batch_response, encode_batch_into, encode_request_header_into, resp_key, slot_offset,
-    FnId, RetryPolicy, RpcError, RpcResult, FLAG_BATCH, FLAG_IDEMPOTENT, FLAG_STAMPED,
+    FnId, RetryPolicy, RpcError, RpcResult, FLAG_BATCH, FLAG_EPOCH, FLAG_IDEMPOTENT, FLAG_STAMPED,
     SLOTS_PER_CLIENT, SLOT_HDR,
 };
 
@@ -478,31 +478,10 @@ impl RpcClient {
         // itself synchronizes via the fabric.
         let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
         let slot = (req_id % SLOTS_PER_CLIENT) as u32;
-        // Enforce slot reuse discipline: drain the previous occupant —
-        // non-blocking when it already completed — and drop it from the map
-        // so resolved futures (and their retained request buffers) are
-        // released instead of accumulating for the rest of the run.
-        let prev = self.slots.lock().remove(&(server, slot));
-        if let Some(prev) = prev {
-            if prev.try_get().is_none() {
-                if let Some(m) = &self.metrics {
-                    m.slot_waits.inc();
-                }
-                let _ = prev.wait();
-            }
-        }
         let mut buf = BytesMut::with_capacity(14 + 4 * chain.len() + size_hint);
         encode_request_header_into(req_id, slot, flags, chain, &mut buf);
         write_args(buf.vec_mut());
         let msg = buf.freeze();
-        match self.fabric.send(self.ep, server, msg.clone()) {
-            Ok(()) => {}
-            // A transiently failed first transmit is just a failed attempt
-            // when retransmission is allowed; the future's retry loop will
-            // resend it.
-            Err(FabricError::Injected(_)) if retrying => {}
-            Err(e) => return Err(e.into()),
-        }
         let fut = RawFuture::new(PendingResponse {
             fabric: Arc::clone(&self.fabric),
             client_ep: self.ep,
@@ -511,11 +490,41 @@ impl RpcClient {
             slot_cap: self.slot_cap,
             req_id,
             timeout: self.timeout,
-            msg,
+            msg: msg.clone(),
             retry: self.retry,
             metrics: self.metrics.clone(),
         });
-        self.slots.lock().insert((server, slot), fut.clone());
+        // Enforce slot reuse discipline: claim the slot by atomically
+        // swapping our future in, then drain the previous occupant — it was
+        // removed and drained in one step, so a concurrent issuer that lands
+        // on the same slot drains *us* instead of racing us for `prev` (the
+        // remove-then-insert window would let two requests share a live
+        // slot, and the later response would overwrite the earlier one
+        // before it was pulled). Draining before the send keeps the slot's
+        // previous response intact until its future has read it.
+        let prev = self.slots.lock().insert((server, slot), fut.clone());
+        if let Some(prev) = prev {
+            if prev.try_get().is_none() {
+                if let Some(m) = &self.metrics {
+                    m.slot_waits.inc();
+                }
+                let _ = prev.wait();
+            }
+        }
+        match self.fabric.send(self.ep, server, msg) {
+            Ok(()) => {}
+            // A transiently failed first transmit is just a failed attempt
+            // when retransmission is allowed; the future's retry loop will
+            // resend it.
+            Err(FabricError::Injected(_)) if retrying => {}
+            Err(e) => {
+                // The future already occupies the slot: resolve it in place
+                // so later occupants drain it without waiting out a timeout.
+                let err = RpcError::from(e);
+                let _ = fut.store(Err(err.clone()));
+                return Err(err);
+            }
+        }
         Ok(fut)
     }
 
@@ -561,6 +570,61 @@ impl RpcClient {
         let stamp = u64::from_le_bytes(bytes[..8].try_into().expect("8-byte stamp"));
         let v = R::from_bytes(&bytes[8..]).map_err(|e| RpcError::Decode(e.to_string()))?;
         Ok((stamp, v))
+    }
+
+    /// Synchronous invocation tagged with the caller's ownership epoch
+    /// ([`FLAG_EPOCH`]): the args travel behind an 8-byte LE epoch prefix,
+    /// and the server's gate executes the handler only when its current
+    /// epoch matches — a mismatch surfaces as [`RpcError::WrongEpoch`], a
+    /// *delivered* rejection the retry machinery never retransmits (callers
+    /// re-resolve the owner and issue a fresh request). `stamped` requests a
+    /// [`FLAG_STAMPED`] version stamp as well; the returned stamp is 0
+    /// otherwise (and meaningless on rejection).
+    pub fn invoke_epoch<A, R>(
+        &self,
+        server: EpId,
+        fn_id: FnId,
+        epoch: u64,
+        stamped: bool,
+        args: &A,
+    ) -> RpcResult<(u64, R)>
+    where
+        A: DataBox,
+        R: DataBox,
+    {
+        let hint = 8 + A::FIXED_SIZE.unwrap_or(16);
+        let flags = FLAG_EPOCH | if stamped { FLAG_STAMPED } else { 0 };
+        let raw = self.issue_with(server, &[fn_id], flags, hint, |out| {
+            out.extend_from_slice(&epoch.to_le_bytes());
+            args.pack(out);
+        })?;
+        let b = raw.wait()?;
+        let mut bytes = b.as_slice();
+        let mut stamp = 0u64;
+        if stamped {
+            if bytes.len() < 8 {
+                return Err(RpcError::Decode("stamped response shorter than its stamp".into()));
+            }
+            stamp = u64::from_le_bytes(bytes[..8].try_into().expect("8-byte stamp"));
+            bytes = &bytes[8..];
+        }
+        let Some((&status, rest)) = bytes.split_first() else {
+            return Err(RpcError::Decode("epoch-tagged response missing status byte".into()));
+        };
+        match status {
+            0 => {
+                let v = R::from_bytes(rest).map_err(|e| RpcError::Decode(e.to_string()))?;
+                Ok((stamp, v))
+            }
+            1 => {
+                if rest.len() < 8 {
+                    return Err(RpcError::Decode("epoch rejection missing current epoch".into()));
+                }
+                let current = u64::from_le_bytes(rest[..8].try_into().expect("8-byte epoch"));
+                Err(RpcError::WrongEpoch { sent: epoch, current })
+            }
+            other => Err(RpcError::Decode(format!("unknown epoch status byte {other}"))),
+        }
     }
 
     /// Invoke a *callback chain* (§III-C3): `chain[0]` receives `args`, each

@@ -86,6 +86,17 @@ pub enum RpcError {
         /// The final attempt's error.
         last: Box<RpcError>,
     },
+    /// The server rejected a [`FLAG_EPOCH`]-tagged request because the
+    /// caller's ownership epoch is stale: ownership may have moved since the
+    /// caller resolved the target. This is a *delivered* response — the
+    /// transport retry machinery never retransmits it; callers re-resolve
+    /// the owner against the current partition map and re-issue.
+    WrongEpoch {
+        /// The epoch the request was tagged with.
+        sent: u64,
+        /// The server's current epoch.
+        current: u64,
+    },
 }
 
 impl RpcError {
@@ -110,6 +121,9 @@ impl std::fmt::Display for RpcError {
             RpcError::RetriesExhausted { attempts, last } => {
                 write!(f, "rpc failed after {attempts} attempts: {last}")
             }
+            RpcError::WrongEpoch { sent, current } => {
+                write!(f, "rpc rejected: request epoch {sent} is stale (server at {current})")
+            }
         }
     }
 }
@@ -132,6 +146,11 @@ pub struct RpcRegistry {
     /// Version stampers by fn-id range: `[lo, hi)` → stamper. Containers
     /// register one range covering all their functions at bind time.
     stampers: RwLock<Vec<(FnId, FnId, Stamper)>>,
+    /// Ownership-epoch gates by fn-id range: `[lo, hi)` → gate. A
+    /// [`FLAG_EPOCH`]-tagged request whose epoch differs from the gate's
+    /// current value is rejected with [`RpcError::WrongEpoch`] instead of
+    /// executing.
+    epoch_gates: RwLock<Vec<(FnId, FnId, EpochGate)>>,
 }
 
 impl RpcRegistry {
@@ -202,6 +221,28 @@ impl RpcRegistry {
         None
     }
 
+    /// Register an ownership-epoch gate for the fn-id range `[base, base +
+    /// n)`. A [`FLAG_EPOCH`]-tagged request to any function in the range
+    /// executes only when its 8-byte epoch prefix equals `f()`'s current
+    /// value — otherwise the server answers with a [`RpcError::WrongEpoch`]
+    /// rejection carrying the current epoch, and the handler never runs.
+    /// Containers register one gate reading the world's unified ownership
+    /// epoch.
+    pub fn set_epoch_gate(&self, base: FnId, n: u32, f: impl Fn() -> u64 + Send + Sync + 'static) {
+        self.epoch_gates.write().push((base, base + n, Arc::new(f)));
+    }
+
+    /// The current gate epoch covering `id`, if any gate is registered.
+    pub fn gate_epoch_for(&self, id: FnId) -> Option<u64> {
+        let gates = self.epoch_gates.read();
+        for (lo, hi, f) in gates.iter() {
+            if id >= *lo && id < *hi {
+                return Some(f());
+            }
+        }
+        None
+    }
+
     /// Look up a handler.
     pub fn get(&self, id: FnId) -> Option<Handler> {
         self.fns.read().get(&id).cloned()
@@ -253,9 +294,23 @@ pub const FLAG_IDEMPOTENT: u8 = 2;
 /// (safe: clients fold stamps in with a monotone max).
 pub const FLAG_STAMPED: u8 = 4;
 
+/// Flag bit: the first 8 bytes of the args are an LE **ownership epoch**.
+/// The server checks it against the [`RpcRegistry`]'s epoch gate for the
+/// invoked function *before* executing: on mismatch the handler is skipped
+/// and the response is a rejection carrying the server's current epoch
+/// (surfaced to callers as [`RpcError::WrongEpoch`]); on match (or when no
+/// gate covers the function) the handler runs on the remaining args. Either
+/// way the response body is prefixed with a status byte (`0` = executed,
+/// `1` = rejected), inside any [`FLAG_STAMPED`] stamp prefix. Only
+/// non-batch, single-link requests are epoch-tagged.
+pub const FLAG_EPOCH: u8 = 8;
+
 /// A server-side version stamper: maps the serving endpoint to the current
 /// version of the partition it hosts.
 pub type Stamper = Arc<dyn Fn(EpId) -> u64 + Send + Sync>;
+
+/// A server-side ownership-epoch gate: reads the current unified epoch.
+pub type EpochGate = Arc<dyn Fn() -> u64 + Send + Sync>;
 
 /// Client-side retry policy: attempts, capped exponential backoff with
 /// deterministic jitter, and a per-attempt response timeout.

@@ -10,8 +10,8 @@ use hcl_mem::{Segment, SegmentAllocator};
 use parking_lot::Mutex;
 
 use crate::{
-    decode_batch, resp_key, slot_offset, RequestHeader, RpcRegistry, FLAG_BATCH, FLAG_IDEMPOTENT,
-    FLAG_STAMPED, SLOTS_PER_CLIENT, SLOT_HDR,
+    decode_batch, resp_key, slot_offset, RequestHeader, RpcRegistry, FLAG_BATCH, FLAG_EPOCH,
+    FLAG_IDEMPOTENT, FLAG_STAMPED, SLOTS_PER_CLIENT, SLOT_HDR,
 };
 
 /// Server configuration.
@@ -108,6 +108,9 @@ pub struct ServerStats {
     /// Retransmitted requests answered from the dedup window (or dropped as
     /// in-progress) instead of re-executing.
     pub deduped: AtomicU64,
+    /// Epoch-tagged requests rejected at the ownership gate (stale epoch):
+    /// the handler never ran; the caller re-resolves and re-issues.
+    pub wrong_epoch: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServerStats`].
@@ -121,6 +124,8 @@ pub struct ServerStatsSnapshot {
     pub overflow_responses: u64,
     /// Duplicate requests absorbed by the dedup window.
     pub deduped: u64,
+    /// Epoch-tagged requests rejected at the ownership gate.
+    pub wrong_epoch: u64,
 }
 
 /// The RPC server bound to one endpoint.
@@ -222,9 +227,51 @@ impl RpcServer {
                                     None => {}
                                 }
                             }
+                            // Ownership-epoch gate: an epoch-tagged request
+                            // carries its caller's resolved epoch as an
+                            // 8-byte LE args prefix. Check it against the
+                            // registered gate *before* executing — a stale
+                            // epoch means ownership may have moved since the
+                            // caller resolved this server, so the mutation
+                            // must not run here.
+                            let mut args_off = args_off;
+                            let epoch_tagged =
+                                hdr.flags & FLAG_EPOCH != 0 && hdr.flags & FLAG_BATCH == 0;
+                            let mut epoch_reject: Option<u64> = None;
+                            if epoch_tagged {
+                                if payload.len() < args_off + 8 {
+                                    continue;
+                                }
+                                let sent = u64::from_le_bytes(
+                                    payload[args_off..args_off + 8]
+                                        .try_into()
+                                        .expect("8-byte epoch prefix"),
+                                );
+                                args_off += 8;
+                                if let Some(cur) = hdr
+                                    .chain
+                                    .first()
+                                    .and_then(|id| registry.gate_epoch_for(*id))
+                                {
+                                    if cur != sent {
+                                        epoch_reject = Some(cur);
+                                    }
+                                }
+                            }
                             let t0 = Instant::now();
                             resp_buf.clear();
-                            if hdr.flags & FLAG_BATCH != 0 {
+                            if let Some(cur) = epoch_reject {
+                                // Rejection body: status 1 + current epoch.
+                                // Still published (and dedup-cached) like any
+                                // response — the request was *answered*, so
+                                // the transport never retransmits it; the
+                                // dispatch layer re-resolves and re-issues
+                                // under a fresh request id.
+                                // ORDERING: Relaxed statistic.
+                                stats.wrong_epoch.fetch_add(1, Ordering::Relaxed);
+                                resp_buf.push(1);
+                                resp_buf.extend_from_slice(&cur.to_le_bytes());
+                            } else if hdr.flags & FLAG_BATCH != 0 {
                                 // Aggregated request: run every bundled call,
                                 // assembling `[count][(len, resp)...]` in the
                                 // scratch buffer with length back-patching —
@@ -276,6 +323,16 @@ impl RpcServer {
                                         }
                                     }
                                 }
+                            }
+                            // Executed epoch-tagged request: status byte 0
+                            // ahead of the payload (the rejection arm wrote
+                            // its own status-1 body above). Sits *inside*
+                            // any FLAG_STAMPED stamp prefix.
+                            if epoch_tagged && epoch_reject.is_none() {
+                                chain_buf.clear();
+                                chain_buf.push(0);
+                                chain_buf.extend_from_slice(&resp_buf);
+                                std::mem::swap(&mut resp_buf, &mut chain_buf);
                             }
                             // ORDERING: Relaxed statistic.
                             stats
@@ -331,6 +388,7 @@ impl RpcServer {
             busy_ns: self.stats.busy_ns.load(Ordering::Relaxed),
             overflow_responses: self.stats.overflow_responses.load(Ordering::Relaxed),
             deduped: self.stats.deduped.load(Ordering::Relaxed),
+            wrong_epoch: self.stats.wrong_epoch.load(Ordering::Relaxed),
         }
     }
 
@@ -505,6 +563,55 @@ mod tests {
         let (execs, deduped) = run_duplicates(FLAG_IDEMPOTENT, 2, 0);
         assert_eq!(execs, 2);
         assert_eq!(deduped, 0);
+    }
+
+    #[test]
+    fn epoch_gate_rejects_stale_and_admits_current() {
+        use crate::client::RpcClient;
+        use crate::RpcError;
+        let fabric: Arc<dyn hcl_fabric::Fabric> = Arc::new(MemoryFabric::new());
+        let server_ep = hcl_fabric::EpId::new(0, 0);
+        let registry = Arc::new(RpcRegistry::new());
+        let epoch = Arc::new(AtomicU64::new(3));
+        registry.bind_typed(50, |_, _, x: u64| x + 1);
+        registry.bind_typed(60, |_, _, x: u64| x * 10); // outside the gated range
+        let e2 = Arc::clone(&epoch);
+        registry.set_epoch_gate(50, 2, move || e2.load(Ordering::Relaxed));
+        let server = RpcServer::start(
+            server_ep,
+            Arc::clone(&fabric),
+            Arc::clone(&registry),
+            ServerConfig { max_clients: 4, slot_cap: 256, nic_cores: 1, dedup_window: 64 },
+        );
+        let client = RpcClient::new(hcl_fabric::EpId::new(0, 1), Arc::clone(&fabric), 256);
+        // Matching epoch: executes.
+        let (stamp, r): (u64, u64) = client.invoke_epoch(server_ep, 50, 3, false, &1u64).unwrap();
+        assert_eq!((stamp, r), (0, 2));
+        assert_eq!(server.stats().wrong_epoch, 0);
+        // Stale epoch: typed rejection carrying the current epoch, handler
+        // skipped.
+        let err = client.invoke_epoch::<u64, u64>(server_ep, 50, 2, false, &1u64).unwrap_err();
+        assert_eq!(err, RpcError::WrongEpoch { sent: 2, current: 3 });
+        assert_eq!(server.stats().wrong_epoch, 1);
+        // Epoch moved: yesterday's epoch now rejects, today's admits.
+        epoch.store(4, Ordering::Relaxed);
+        let err = client.invoke_epoch::<u64, u64>(server_ep, 50, 3, false, &1u64).unwrap_err();
+        assert_eq!(err, RpcError::WrongEpoch { sent: 3, current: 4 });
+        let (_, r): (u64, u64) = client.invoke_epoch(server_ep, 50, 4, false, &1u64).unwrap();
+        assert_eq!(r, 2);
+        // FLAG_STAMPED composes: stamp is the outer prefix on both outcomes.
+        registry.set_stamper(50, 2, |_| 77);
+        let (stamp, r): (u64, u64) = client.invoke_epoch(server_ep, 50, 4, true, &5u64).unwrap();
+        assert_eq!((stamp, r), (77, 6));
+        let err = client.invoke_epoch::<u64, u64>(server_ep, 50, 9, true, &5u64).unwrap_err();
+        assert_eq!(err, RpcError::WrongEpoch { sent: 9, current: 4 });
+        // No gate over fn 60: the tag is stripped and the handler runs.
+        let (_, r): (u64, u64) = client.invoke_epoch(server_ep, 60, 999, false, &7u64).unwrap();
+        assert_eq!(r, 70);
+        // Plain invocations through the same server stay un-prefixed.
+        let plain: u64 = client.invoke(server_ep, 50, &10u64).unwrap();
+        assert_eq!(plain, 11);
+        server.shutdown();
     }
 
     #[test]

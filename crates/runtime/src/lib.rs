@@ -40,6 +40,13 @@ use hcl_rpc::{FnId, RetryPolicy, RpcRegistry, RpcResult};
 use hcl_telemetry::{CoalesceMetrics, RpcMetrics, Telemetry, TelemetryConfig, TelemetrySnapshot};
 use parking_lot::Mutex;
 
+pub mod membership;
+
+pub use membership::{
+    Membership, MembershipCounters, MembershipSnapshot, PartitionMap, ShardMove, Transition,
+    DEFAULT_VPARTS_PER_MEMBER,
+};
+
 /// Environment variable naming a directory where each rank writes its
 /// `telemetry-rank<N>.json` snapshot when its SPMD closure returns.
 pub const TELEMETRY_DIR_ENV: &str = "HCL_TELEMETRY_DIR";
@@ -73,6 +80,9 @@ pub struct WorldConfig {
     pub coalesce: CoalesceConfig,
     /// Telemetry policy: per-rank metrics registry + flight recorder.
     pub telemetry: TelemetryConfig,
+    /// Virtual partitions per membership member (the ownership map's
+    /// granularity; see [`membership::Membership`]).
+    pub vparts_per_member: u32,
 }
 
 impl WorldConfig {
@@ -87,6 +97,7 @@ impl WorldConfig {
             retry: RetryPolicy::none(),
             coalesce: CoalesceConfig::default(),
             telemetry: TelemetryConfig::default(),
+            vparts_per_member: DEFAULT_VPARTS_PER_MEMBER,
         }
     }
 
@@ -187,14 +198,25 @@ pub struct DownedRegistry {
     /// Ownership-coherence epoch: bumped on every effective down/up
     /// transition. Client-side lease caches snapshot it at grant time and
     /// treat any change as wholesale invalidation — a lease must never
-    /// survive an ownership change it did not witness.
-    epoch: AtomicU64,
+    /// survive an ownership change it did not witness. When built with
+    /// [`DownedRegistry::with_epoch_cell`], this is the world's *unified*
+    /// epoch cell ([`Membership::epoch_cell`]) — membership commits and
+    /// down/up marks then move one number.
+    epoch: Arc<AtomicU64>,
 }
 
 impl DownedRegistry {
-    /// An empty registry (nothing marked down).
+    /// An empty registry (nothing marked down) with a private epoch cell —
+    /// standalone use; dispatchers use [`DownedRegistry::with_epoch_cell`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty registry sharing `cell` as its epoch: every effective
+    /// down/up transition bumps the same counter that membership commits
+    /// bump, so clients watch one unified ownership epoch.
+    pub fn with_epoch_cell(cell: Arc<AtomicU64>) -> Self {
+        DownedRegistry { epoch: cell, ..Self::default() }
     }
 
     /// Mark `rank` as failed.
@@ -255,6 +277,7 @@ pub struct WorldShared {
     objects: Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>>,
     next_fn_id: AtomicU32,
     servers: Mutex<Vec<RpcServer>>,
+    membership: Arc<Membership>,
 }
 
 impl WorldShared {
@@ -290,6 +313,7 @@ impl WorldShared {
             out.busy_ns += st.busy_ns;
             out.overflow_responses += st.overflow_responses;
             out.deduped += st.deduped;
+            out.wrong_epoch += st.wrong_epoch;
         }
         out
     }
@@ -302,6 +326,13 @@ impl WorldShared {
     /// Fabric traffic counters.
     pub fn traffic(&self) -> TrafficSnapshot {
         self.fabric.stats()
+    }
+
+    /// The world's membership view: the epoch-versioned partition map plus
+    /// the unified ownership-epoch cell. Initial members are the node-leader
+    /// ranks (one per node), matching `hcl_core::default_servers`.
+    pub fn membership(&self) -> &Arc<Membership> {
+        &self.membership
     }
 }
 
@@ -389,6 +420,17 @@ impl Rank {
         reg.gauge("hcl_rpc_server_requests").set(s.requests);
         reg.gauge("hcl_rpc_server_deduped").set(s.deduped);
         reg.gauge("hcl_rpc_server_overflow_responses").set(s.overflow_responses);
+        reg.gauge("hcl_rpc_server_wrong_epoch").set(s.wrong_epoch);
+        let m = self.world.membership.snapshot();
+        reg.gauge("hcl_runtime_membership_epoch").set(m.epoch);
+        reg.gauge("hcl_runtime_membership_generation").set(m.generation);
+        reg.gauge("hcl_runtime_membership_members").set(m.members);
+        reg.gauge("hcl_runtime_membership_vparts").set(m.vparts);
+        reg.gauge("hcl_runtime_membership_commits").set(m.commits);
+        reg.gauge("hcl_runtime_membership_migrated_keys").set(m.migrated_keys);
+        reg.gauge("hcl_runtime_membership_migrated_bytes").set(m.migrated_bytes);
+        reg.gauge("hcl_runtime_membership_wrong_epoch_rejects").set(m.wrong_epoch_rejects);
+        reg.gauge("hcl_runtime_membership_forwarded_writes").set(m.forwarded_writes);
         let t = self.world.traffic();
         reg.gauge("hcl_fabric_sends").set(t.sends);
         reg.gauge("hcl_fabric_send_bytes").set(t.send_bytes);
@@ -441,6 +483,27 @@ impl Rank {
     {
         self.coalescer.flush(server);
         self.client.invoke_stamped(server, fn_id, args)
+    }
+
+    /// Synchronous remote invocation tagged with the caller's resolved
+    /// ownership epoch ([`hcl_rpc::FLAG_EPOCH`]); same flush-before-sync
+    /// semantics as [`Rank::invoke`]. Returns `(stamp, value)` (`stamp` is 0
+    /// unless `stamped`); a stale epoch surfaces as
+    /// [`hcl_rpc::RpcError::WrongEpoch`].
+    pub fn invoke_epoch<A, R>(
+        &self,
+        server: EpId,
+        fn_id: FnId,
+        epoch: u64,
+        stamped: bool,
+        args: &A,
+    ) -> RpcResult<(u64, R)>
+    where
+        A: DataBox,
+        R: DataBox,
+    {
+        self.coalescer.flush(server);
+        self.client.invoke_epoch(server, fn_id, epoch, stamped, args)
     }
 
     /// Stage an asynchronous remote invocation on the coalescer: it rides a
@@ -582,6 +645,10 @@ impl World {
             objects: Mutex::new(HashMap::new()),
             next_fn_id: AtomicU32::new(1_000),
             servers: Mutex::new(Vec::new()),
+            membership: Arc::new(Membership::new(
+                (0..cfg.nodes).map(|n| n * cfg.ranks_per_node).collect(),
+                cfg.vparts_per_member,
+            )),
         });
         // Every rank hosts a server (any rank may own partitions).
         {
@@ -593,8 +660,9 @@ impl World {
                     Arc::clone(&registry),
                     ServerConfig {
                         // Extra slots beyond the rank count serve auxiliary
-                        // clients (e.g. server-side replication forwarders).
-                        max_clients: cfg.world_size() + 64,
+                        // clients: one replication/migration forwarder per
+                        // rank (`world_size + rank`), plus headroom.
+                        max_clients: cfg.world_size() * 2 + 64,
                         slot_cap: cfg.slot_cap,
                         nic_cores: cfg.nic_cores,
                         ..ServerConfig::default()
@@ -822,6 +890,31 @@ mod tests {
         assert_eq!(d.epoch(), e0 + 2);
         d.mark_up(3); // no transition
         assert_eq!(d.epoch(), e0 + 2);
+    }
+
+    #[test]
+    fn shared_epoch_cell_unifies_membership_and_downed_registry() {
+        // One source of truth: a mark-down and a membership commit bump the
+        // same counter, so every epoch watcher (lease caches, servers) sees
+        // both kinds of ownership movement.
+        let m = Membership::new(vec![0, 2], 8);
+        let d = DownedRegistry::with_epoch_cell(m.epoch_cell());
+        let e0 = m.epoch();
+        d.mark_down(2);
+        assert_eq!(m.epoch(), e0 + 1, "mark_down moves the unified epoch");
+        assert_eq!(d.epoch(), m.epoch());
+        let t = m.plan_remove(2).unwrap();
+        assert!(m.commit(&t));
+        assert_eq!(d.epoch(), e0 + 2, "membership commit visible through the registry");
+    }
+
+    #[test]
+    fn world_membership_initial_members_are_node_leaders() {
+        let cfg = WorldConfig { nodes: 3, ranks_per_node: 4, ..WorldConfig::small() };
+        let shared = World::shared(cfg);
+        let map = shared.membership().current();
+        assert_eq!(map.members(), &[0, 4, 8]);
+        assert_eq!(map.vparts(), 3 * cfg.vparts_per_member as usize);
     }
 
     #[test]

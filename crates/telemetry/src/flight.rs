@@ -31,6 +31,12 @@ pub enum EventKind {
     OwnerDown,
     /// The coalescer flushed a batch (`n` = ops in the batch).
     BatchFlush,
+    /// A membership transition committed (`n` = new epoch, `dest` = the
+    /// rank joining/leaving).
+    EpochCommit,
+    /// A live shard migration step (`op` names the step, `dest` = the
+    /// receiving rank, `n` = keys moved, `bytes` = payload moved).
+    Migration,
 }
 
 impl EventKind {
@@ -43,6 +49,8 @@ impl EventKind {
             EventKind::Retransmit => "retransmit",
             EventKind::OwnerDown => "owner-down",
             EventKind::BatchFlush => "batch-flush",
+            EventKind::EpochCommit => "epoch-commit",
+            EventKind::Migration => "migration",
         }
     }
 }

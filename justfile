@@ -24,9 +24,29 @@ test-faults-soak:
             -- --ignored soak_lossy_workload_env_seed
     done
 
+# Membership + live-rebalance suite: epoch-versioned placement, drain/admit
+# key preservation, epoch-straddling ops, migration chaos twins, and the
+# cross-container key→owner agreement regression.
+test-membership:
+    cargo test --release --test membership
+    cargo test --release --test fault_injection -- drain_with_unreachable_victim
+
+# Seeded membership soak: the randomized join/leave/drain schedule and the
+# partitioned-victim drain, each across several env-pinned seeds.
+test-membership-soak:
+    #!/usr/bin/env bash
+    set -euo pipefail
+    for seed in 2 7 19 41 97; do
+        echo "== membership soak: seed $seed =="
+        HCL_MEMBERSHIP_SEED=$seed cargo test --release --test membership \
+            -- --ignored soak_membership_schedule_env_seed
+        HCL_MEMBERSHIP_SEED=$seed cargo test --release --test fault_injection \
+            -- --ignored soak_partitioned_victim_drain_env_seed
+    done
+
 # Concurrency-hygiene static pass: unsafe blocks need `// SAFETY:`, relaxed
 # atomics in containers/mem/rpc need `// ORDERING:`, raw epoch derefs need a
-# guard in scope.
+# guard in scope, no modulo owner math outside the partition map.
 lint:
     cargo run -p xtask -- lint
 
@@ -125,12 +145,19 @@ telemetry-smoke:
 scenario-smoke:
     cargo run --release -p hcl-bench --bin scenarios -- --smoke
 
+# Live-rebalance bench gate: a reduced 8-rank zipfian get sweep measuring
+# steady-state vs mid-migration throughput/p99, gating typed-only errors and
+# zero lost keys, then validating the committed BENCH_pr9.json. The full
+# regeneration is `cargo run --release -p hcl-bench --bin pr9`.
+bench-rebalance-smoke:
+    cargo run --release -p hcl-bench --bin pr9 -- --smoke
+
 # FIG artifact provenance: every committed FIG_*.json must record its seed,
 # measured rank counts, and per-cell workload mix.
 check-artifacts:
     cargo run -p xtask -- artifacts
 
 # Everything CI runs: build, tier-1 tests, hygiene lint, fault suite,
-# schedule exploration, linearizability histories, bench smoke-checks,
-# scenario-matrix gate, artifact provenance.
-ci: build test lint test-faults check-conc check-races check-lin bench-smoke bench-cache-smoke telemetry-smoke scenario-smoke check-artifacts
+# membership/rebalance suite, schedule exploration, linearizability
+# histories, bench smoke-checks, scenario-matrix gate, artifact provenance.
+ci: build test lint test-faults test-membership check-conc check-races check-lin bench-smoke bench-cache-smoke telemetry-smoke scenario-smoke bench-rebalance-smoke check-artifacts

@@ -666,3 +666,111 @@ fn delay_plan_scenario_has_bounded_p99_and_flush_events() {
     assert!(snap.delayed_ops > 0, "delay plan never fired: {snap:?}");
     assert_eq!(snap.drops, 0, "delay-only plan must not drop: {snap:?}");
 }
+
+/// Shared body for the mid-migration kill scenario: the driver (rank 0)
+/// cannot reach the drain victim (rank 2) — every request send on that
+/// pair is dropped — so the copy phase exhausts its retry budget. The
+/// rebalance must abort with the *same* typed [`HclError::Rebalance`] on
+/// every rank within the retry budget, leave the membership (and its
+/// epoch) untouched, and lose no data.
+fn run_partitioned_victim_drain(seed: u64) {
+    use hcl::drain_rank;
+
+    let cfg = retrying(
+        WorldConfig {
+            nodes: 2,
+            ranks_per_node: 2,
+            vparts_per_member: 2,
+            ..WorldConfig::small()
+        },
+        seed,
+    );
+    let cfg = WorldConfig {
+        retry: RetryPolicy { max_attempts: 3, ..cfg.retry }
+            .with_attempt_timeout(Duration::from_millis(150)),
+        ..cfg
+    };
+    // Kill exactly the driver -> victim direction: the shard copy cannot
+    // start, but every other path (including the victim serving reads)
+    // stays healthy.
+    let plan = FaultPlan::new(seed).for_pair_class(
+        cfg.ep_of(0),
+        cfg.ep_of(2),
+        OpClass::Send,
+        FaultRule::NONE.drop(1.0),
+    );
+    let (chaos, shared) = chaos_shared(cfg, plan);
+    World::run_on(shared, move |rank| {
+        let umap: UnorderedMap<u64, u64> = UnorderedMap::new(rank, "mig.kill.umap");
+        rank.barrier();
+        // Rank 1 seeds: its path to both owners (0 local-node, 2 remote)
+        // is healthy. Rank 0 must stay quiet — its sends to rank 2 vanish.
+        if rank.id() == 1 {
+            for k in 0..64u64 {
+                umap.put(k, k + 5).unwrap();
+            }
+        }
+        rank.barrier();
+        let membership = Arc::clone(rank.world().membership());
+        let e0 = membership.epoch();
+        let members0 = membership.current().members().to_vec();
+
+        let start = Instant::now();
+        let err = drain_rank(rank, 2)
+            .expect_err("drain across a partitioned driver->victim pair must abort");
+        let elapsed = start.elapsed();
+        match &err {
+            HclError::Rebalance(msg) => {
+                assert!(
+                    msg.contains("begin failed") || msg.contains("transfer failed"),
+                    "abort must name the failed copy step, got: {msg}"
+                );
+            }
+            other => panic!("expected HclError::Rebalance, got: {other}"),
+        }
+        assert!(
+            elapsed < Duration::from_secs(30),
+            "retry budget must bound the abort, took {elapsed:?}"
+        );
+        // Every rank observed the identical typed outcome.
+        let msgs = rank.allgather(format!("{err}"));
+        assert!(msgs.iter().all(|m| *m == msgs[0]), "ranks disagree on the abort: {msgs:?}");
+
+        // Nothing committed: same members, same epoch, no keys moved.
+        assert_eq!(membership.epoch(), e0, "an aborted rebalance must not bump the epoch");
+        assert_eq!(membership.current().members(), &members0[..]);
+        rank.barrier();
+        // Ranks 1 and 3 can reach both owners (the chaos pair is only
+        // 0 -> 2); every seeded key must still be there.
+        if rank.id() == 1 || rank.id() == 3 {
+            for k in 0..64u64 {
+                assert_eq!(umap.get(&k).unwrap(), Some(k + 5), "key {k} lost in aborted drain");
+            }
+        }
+        rank.barrier();
+    });
+    // The copy phase burned its whole budget against the dead pair.
+    assert!(chaos.chaos_stats().drops >= 3, "the drop rule never fired");
+}
+
+/// A rank "killed" mid-migration (all driver->victim sends dropped) must
+/// produce a typed, bounded, collective abort — not a hang, not a partial
+/// commit. See `run_partitioned_victim_drain` for the invariants.
+#[test]
+fn drain_with_unreachable_victim_aborts_typed_and_bounded() {
+    run_partitioned_victim_drain(0x9A7E);
+}
+
+/// Soak entry point for `just test-membership-soak`: sweep the kill
+/// scenario across environment-chosen seeds.
+#[test]
+#[ignore = "soak target; run via `just test-membership-soak`"]
+fn soak_partitioned_victim_drain_env_seed() {
+    let seed = std::env::var("HCL_MEMBERSHIP_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2u64);
+    for round in 0..4 {
+        run_partitioned_victim_drain(seed.wrapping_add(round * 0x9E37_79B9));
+    }
+}

@@ -10,7 +10,7 @@
 //! tracking, and `#[cfg(test)] mod` scopes are tracked by brace depth so
 //! exemptions end where the module ends.
 //!
-//! Five rules, tuned to the invariants the containers and shims rely on:
+//! Six rules, tuned to the invariants the containers and shims rely on:
 //!
 //! 1. **SAFETY** — every `unsafe { .. }` block and `unsafe impl` must carry a
 //!    `// SAFETY:` comment in the contiguous comment run directly above it
@@ -50,6 +50,15 @@
 //!    Test modules and integration-test trees are exempt (negative-control
 //!    tests register malformed names on purpose). This rule alone reads the
 //!    string-preserving view — the metric *name* lives inside the literal.
+//! 6. **MEMBERSHIP** — in `crates/core/src/` and `crates/runtime/src/`,
+//!    ownership may only be resolved through the epoch-versioned partition
+//!    map (`PartitionMap::owner_of_hash` / `owner_of_vpart`). Hand-rolled
+//!    modulo owner math — `% world_size()`, `% servers.len()`,
+//!    `% members.len()`, `% nparts`, `% n_ranks`, with any receiver path —
+//!    silently disagrees with the live map the moment a rank joins, leaves,
+//!    or drains (the exact bug class of the old per-container `owner_of`
+//!    copies). The map implementation itself (`membership.rs`) is the single
+//!    exemption, by name; `#[cfg(test)]` modules are exempt as usual.
 
 use std::collections::HashSet;
 use std::fmt;
@@ -114,6 +123,22 @@ const DISPATCH_TOKENS: &[&str] = &[
 /// rule validates the string literal that follows each of these.
 const METRIC_TOKENS: &[&str] = &[".counter(", ".gauge(", ".histogram("];
 
+/// Path fragments where the MEMBERSHIP rule applies: the ownership stack.
+const MEMBERSHIP_PATHS: &[&str] = &["crates/core/src/", "crates/runtime/src/"];
+
+/// Modulo denominators that constitute hand-rolled owner math. Matched as the
+/// trailing segment of the identifier path following a `%` operator, so
+/// `hash % self.core.servers.len()` and `k % world_size()` both trigger while
+/// `h % self.shards.len()` (local cache sharding) does not.
+const OWNER_MATH_DENOMS: &[&str] = &[
+    "world_size()",
+    "servers.len()",
+    "members.len()",
+    "nparts",
+    "n_ranks",
+    "num_servers",
+];
+
 /// One lint violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -131,6 +156,7 @@ pub enum Rule {
     Epoch,
     Dispatch,
     Metric,
+    Membership,
 }
 
 impl fmt::Display for Rule {
@@ -141,6 +167,7 @@ impl fmt::Display for Rule {
             Rule::Epoch => write!(f, "EPOCH"),
             Rule::Dispatch => write!(f, "DISPATCH"),
             Rule::Metric => write!(f, "METRIC"),
+            Rule::Membership => write!(f, "MEMBERSHIP"),
         }
     }
 }
@@ -585,6 +612,14 @@ pub fn check_file(rel: &str, content: &str) -> Vec<Finding> {
     if !in_test_tree {
         check_metric(rel, &model, &mut findings);
     }
+    // The partition map implements the one legal modulo; tests (which pin
+    // map-vs-modulo agreement as an invariant) are exempt like ORDERING.
+    if MEMBERSHIP_PATHS.iter().any(|p| rel.contains(p))
+        && !rel.ends_with("membership.rs")
+        && !in_test_tree
+    {
+        check_membership(rel, &model, &mut findings);
+    }
     findings.sort_by_key(|f| f.line);
     findings
 }
@@ -836,6 +871,60 @@ fn check_metric(rel: &str, model: &FileModel, findings: &mut Vec<Finding>) {
                         &lit[..close]
                     ),
                 });
+            }
+        }
+    }
+}
+
+/// True when `tail` (the code following a `%` operator, already trimmed)
+/// starts with an identifier path whose trailing segment is `denom`:
+/// `servers.len()`, `self.core.servers.len()` and `cfg.nparts` all match
+/// their denominators, `shards.len()` matches none.
+fn tail_is_owner_math(tail: &str, denom: &str) -> bool {
+    let Some(pos) = tail.find(denom) else {
+        return false;
+    };
+    // Everything before the denominator must be a receiver path (`a.b.`),
+    // and the denominator must sit on a path-segment boundary.
+    let prefix = &tail[..pos];
+    if !prefix.chars().all(|c| is_ident_char(c) || c == '.') {
+        return false;
+    }
+    if !(pos == 0 || prefix.ends_with('.')) {
+        return false;
+    }
+    // The denominator must end the term (`nparts` must not match `npartsx`).
+    !tail[pos + denom.len()..].chars().next().is_some_and(is_ident_char)
+}
+
+/// Rule 6: no hand-rolled modulo owner math in the ownership stack — every
+/// key→rank decision goes through the epoch-versioned `PartitionMap`.
+fn check_membership(rel: &str, model: &FileModel, findings: &mut Vec<Finding>) {
+    for idx in 0..model.len() {
+        if model.test_scope[idx] {
+            continue;
+        }
+        let line = &model.code[idx];
+        let mut from = 0;
+        while let Some(p) = line[from..].find('%') {
+            let at = from + p;
+            from = at + 1;
+            // Trim the optional `=` of `%=` and any whitespace after the
+            // operator before checking the denominator expression.
+            let tail = line[at + 1..].trim_start_matches('=').trim_start();
+            if let Some(denom) =
+                OWNER_MATH_DENOMS.iter().find(|d| tail_is_owner_math(tail, d))
+            {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    rule: Rule::Membership,
+                    message: format!(
+                        "hand-rolled owner math (`% {denom}`) outside the partition \
+                         map; resolve owners via `Membership`/`PartitionMap` instead"
+                    ),
+                });
+                break; // one finding per line
             }
         }
     }
@@ -1266,6 +1355,73 @@ mod tests {
         let raw = "fn f(rank: &Rank) {\n    let _ = rank.invoke(ep, 0, &());\n}\n";
         assert!(rules("crates/bench/src/bin/pr3.rs", raw).is_empty());
         assert!(rules("tests/end_to_end.rs", raw).is_empty());
+    }
+
+    #[test]
+    fn modulo_owner_math_in_ownership_stack_flagged() {
+        // The negative controls for the MEMBERSHIP acceptance criterion:
+        // each hand-rolled `hash % N` owner computation in the scoped crates
+        // must produce a finding. `% self.core.servers.len()` is the exact
+        // shape of the old unordered.rs partitioning bug.
+        let by_servers = concat!(
+            "fn owner(&self, hash: u64) -> usize {\n",
+            "    (hash as usize) % self.core.servers.len()\n",
+            "}\n"
+        );
+        assert_eq!(rules("crates/core/src/unordered.rs", by_servers), vec![Rule::Membership]);
+        let by_world = "fn owner(r: &Rank, h: u64) -> u32 {\n    (h % r.world_size()) as u32\n}\n";
+        assert_eq!(rules("crates/runtime/src/lib.rs", by_world), vec![Rule::Membership]);
+        let by_nparts = "fn vp(&self, h: u64) -> u32 {\n    (h % self.nparts) as u32\n}\n";
+        assert_eq!(rules("crates/core/src/ordered.rs", by_nparts), vec![Rule::Membership]);
+        let by_members = "fn f(h: usize, members: &[u32]) -> u32 {\n    members[h % members.len()]\n}\n";
+        assert_eq!(rules("crates/runtime/src/coalesce.rs", by_members), vec![Rule::Membership]);
+    }
+
+    #[test]
+    fn partition_map_file_is_exempt_from_membership() {
+        // The map implementation is the one place the modulo is the point.
+        let src = concat!(
+            "fn seed(vparts: u32, members: &[u32]) -> Vec<u32> {\n",
+            "    (0..vparts as usize).map(|i| members[i % members.len()]).collect()\n",
+            "}\n"
+        );
+        assert!(rules("crates/runtime/src/membership.rs", src).is_empty());
+    }
+
+    #[test]
+    fn non_owner_modulo_passes_membership() {
+        // Local cache sharding, arithmetic modulo, and format-string `%`
+        // lookalikes are all out of scope for the rule.
+        let shards = "fn s(&self, h: u64) -> usize {\n    (h as usize) % self.shards.len()\n}\n";
+        assert!(rules("crates/core/src/cache.rs", shards).is_empty());
+        let arith = "fn f(i: usize) -> usize {\n    i % 4\n}\n";
+        assert!(rules("crates/core/src/queue.rs", arith).is_empty());
+        let in_str = "fn f() -> &'static str {\n    \"hash % servers.len() is banned\"\n}\n";
+        assert!(rules("crates/core/src/queue.rs", in_str).is_empty());
+        let in_comment = "fn f() {\n    // the old code did `hash % world_size()` here\n    let _ = 1;\n}\n";
+        assert!(rules("crates/runtime/src/lib.rs", in_comment).is_empty());
+        let suffix = "fn f(npartsx: u64, h: u64) -> u64 {\n    h % npartsx\n}\n";
+        assert!(rules("crates/core/src/ordered.rs", suffix).is_empty());
+    }
+
+    #[test]
+    fn membership_rule_scoped_to_ownership_stack() {
+        // The same owner math outside core/runtime (and in test trees or
+        // `#[cfg(test)]` modules, which pin map-vs-modulo agreement) is not
+        // the rule's business.
+        let bad = "fn owner(h: u64, n: usize) -> usize {\n    (h as usize) % servers.len()\n}\n";
+        assert!(rules("crates/rpc/src/client.rs", bad).is_empty());
+        assert!(rules("tests/membership.rs", bad).is_empty());
+        assert!(rules("crates/runtime/tests/elastic.rs", bad).is_empty());
+        let in_mod = concat!(
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn owner(h: u64, members: &[u32]) -> u32 {\n",
+            "        members[h as usize % members.len()]\n",
+            "    }\n",
+            "}\n"
+        );
+        assert!(rules("crates/runtime/src/lib.rs", in_mod).is_empty());
     }
 
     #[test]
