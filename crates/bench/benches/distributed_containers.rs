@@ -145,7 +145,7 @@ fn bench_queue(c: &mut Criterion) {
                 let q: hcl::Queue<u64> = hcl::Queue::with_config(
                     rank,
                     "q.h",
-                    hcl::queue::QueueConfig { owner: 2, hybrid: true },
+                    hcl::queue::QueueConfig { owner: 2, hybrid: true, ..Default::default() },
                 );
                 let t0 = Instant::now();
                 for i in 0..iters {
@@ -164,7 +164,7 @@ fn bench_queue(c: &mut Criterion) {
                 let q: hcl::PriorityQueue<u64> = hcl::PriorityQueue::with_config(
                     rank,
                     "q.p",
-                    hcl::queue::QueueConfig { owner: 2, hybrid: true },
+                    hcl::queue::QueueConfig { owner: 2, hybrid: true, ..Default::default() },
                 );
                 let t0 = Instant::now();
                 for i in 0..iters {

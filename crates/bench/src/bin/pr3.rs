@@ -114,7 +114,7 @@ fn run_case(
             },
         );
         let q: Queue<Vec<u8>> =
-            Queue::with_config(rank, "pr3.q", QueueConfig { owner: 0, hybrid: false });
+            Queue::with_config(rank, "pr3.q", QueueConfig { owner: 0, hybrid: false, ..Default::default() });
         let me = rank.id() as u64;
         let val = vec![0x5Au8; value_bytes];
 

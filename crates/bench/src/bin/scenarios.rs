@@ -1,7 +1,10 @@
 //! Scenario-suite driver: runs the container × mix × distribution matrix
-//! (plus the ISx and Meraculous k-mer app kernels), each cell with a
-//! measured 1–8-rank series, a ChaosFabric-faulted twin, and a simulated
-//! 64–512-node series calibrated from the measured latency histograms.
+//! (plus the lease-cached and durable variant cells and the ISx and
+//! Meraculous k-mer app kernels), each cell with a measured 1–8-rank
+//! series, a ChaosFabric-faulted twin, and a simulated 64–512-node series
+//! calibrated from the measured latency histograms. The durable cell's
+//! twin is a crash-restart story: a second world replays the first's WALs
+//! under faults and loses/re-admits a rank mid-run.
 //!
 //! The full run (no args) writes `FIG_scenarios.json` into the repo root.
 //! `--smoke` runs the four-cell core plus both app kernels and *gates*
@@ -20,8 +23,8 @@
 //! without running measurements; `--out <path>` redirects the full run.
 
 use hcl_bench::scenario::{
-    self, matrix, run_app_cell, run_cached_cell, run_cell, simulate_cell, AppCell,
-    CachedCellResult, CellResult, SIM_NODES,
+    self, matrix, run_app_cell, run_cached_cell, run_cell, run_durable_cell, simulate_cell,
+    AppCell, CachedCellResult, CellResult, DurableCellResult, SIM_NODES,
 };
 use hcl_bench::workload::{KeyDist, Mix, WorkloadSpec};
 use hcl_cluster_sim::Calibration;
@@ -133,6 +136,60 @@ fn json_cached_cell(c: &CachedCellResult) -> String {
     s
 }
 
+/// The durable cell (PR 10): a driver-shaped entry — same sim regeneration
+/// contract as the plain cells — carrying the WAL counters of the largest
+/// measured run and, on the chaos twin, the crash-restart replay counters.
+fn json_durable_cell(c: &DurableCellResult) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "    {{\"cell\": \"{}\", \"container\": \"{}\", \"mix\": \"{}\", \"dist\": \"{}\", \"theta\": {:.2}, \"seed\": {}, \"ops_per_rank\": {}, \"key_space\": {}, \"value_bytes\": {}, \"ordered_factor\": {:.2}, \"read_fraction\": {:.4}, \"appended\": {}, \"fsyncs\": {},\n",
+        c.name(),
+        c.def.container.label(),
+        c.def.mix.name,
+        c.def.dist.name(),
+        c.def.dist.theta(),
+        c.spec.seed,
+        c.spec.ops_per_rank,
+        c.spec.key_space,
+        c.spec.value_bytes,
+        c.def.ordered_factor(),
+        c.def.mix.read_fraction(),
+        c.appended,
+        c.fsyncs,
+    ));
+    s.push_str("     \"measured\": [");
+    let meas: Vec<String> = c
+        .measured
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"ranks\": {}, \"ops_per_sec\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \"errors\": {}, \"elapsed_s\": {:.6}}}",
+                m.ranks, m.ops_per_sec, m.p50_ns, m.p99_ns, m.errors, m.elapsed_s
+            )
+        })
+        .collect();
+    s.push_str(&meas.join(", "));
+    s.push_str("],\n");
+    s.push_str(&format!(
+        "     \"chaos\": {{\"ranks\": {}, \"ops_per_sec\": {:.1}, \"p99_ns\": {}, \"errors\": {}, \"drops\": {}, \"delayed\": {}, \"replayed\": {}, \"recovered_ops\": {}}},\n",
+        c.chaos.ranks, c.chaos.ops_per_sec, c.chaos.p99_ns, c.chaos.errors, c.chaos.drops,
+        c.chaos.delayed, c.chaos_replayed, c.chaos_recovered
+    ));
+    s.push_str(&format!(
+        "     \"calibration\": {{\"measured_p50_ns\": {}, \"part_service_ns\": {}, \"client_ns\": {}}},\n",
+        c.cal.measured_p50_ns, c.cal.part_service_ns, c.cal.client_ns
+    ));
+    s.push_str("     \"sim\": [");
+    let sim: Vec<String> = c
+        .sim
+        .iter()
+        .map(|p| format!("{{\"nodes\": {}, \"ops_per_sec\": {:.1}}}", p.nodes, p.ops_per_sec))
+        .collect();
+    s.push_str(&sim.join(", "));
+    s.push_str("]}");
+    s
+}
+
 fn json_app_cell(a: &AppCell) -> String {
     let mut s = String::new();
     s.push_str(&format!(
@@ -176,7 +233,13 @@ fn json_app_cell(a: &AppCell) -> String {
     s
 }
 
-fn write_json(cells: &[CellResult], cached: &CachedCellResult, apps: &[AppCell], path: &str) {
+fn write_json(
+    cells: &[CellResult],
+    cached: &CachedCellResult,
+    durable: &DurableCellResult,
+    apps: &[AppCell],
+    path: &str,
+) {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"fig_scenarios\",\n");
@@ -190,6 +253,7 @@ fn write_json(cells: &[CellResult], cached: &CachedCellResult, apps: &[AppCell],
     out.push_str("  \"cells\": [\n");
     let mut rows: Vec<String> = cells.iter().map(json_driver_cell).collect();
     rows.push(json_cached_cell(cached));
+    rows.push(json_durable_cell(durable));
     rows.extend(apps.iter().map(json_app_cell));
     out.push_str(&rows.join(",\n"));
     out.push_str("\n  ]\n}\n");
@@ -305,6 +369,25 @@ fn validate(path: &str) {
             );
         }
 
+        if n.starts_with("durable/") {
+            // The durable cell must prove both halves of the recovery
+            // story: the measured runs really logged (with strict fsync
+            // barriers), and the chaos twin's restarted world really
+            // replayed state before surviving its mid-run kill-restart.
+            assert!(
+                field_f64(b, "appended").unwrap_or(0.0) > 0.0,
+                "{path}: cell {n} appended no WAL records"
+            );
+            assert!(
+                field_f64(b, "fsyncs").unwrap_or(0.0) > 0.0,
+                "{path}: cell {n} performed no fsync barriers"
+            );
+            assert!(
+                field_f64(b, "replayed").unwrap_or(0.0) > 0.0,
+                "{path}: cell {n}'s chaos twin replayed nothing on restart"
+            );
+        }
+
         if !n.starts_with("app_") {
             // Regenerate the sim series from the committed calibration: the
             // engine is deterministic, so this gates the queueing model.
@@ -391,6 +474,7 @@ fn sim_from_committed(body: &str, name: &str) -> Vec<f64> {
 fn smoke_gate(
     fresh_cells: &[CellResult],
     fresh_cached: &CachedCellResult,
+    fresh_durable: &DurableCellResult,
     fresh_apps: &[AppCell],
     path: &str,
 ) {
@@ -450,6 +534,35 @@ fn smoke_gate(
             fresh_cached.hits, fresh_cached.chaos_stale_epoch
         );
     }
+    {
+        let name = fresh_durable.name();
+        let com = find(&name);
+        let committed_top = field_f64_all(&com.body, "ops_per_sec").first().copied().unwrap_or(0.0);
+        let fresh_top = fresh_durable.measured[0].ops_per_sec;
+        let band = fresh_top / committed_top;
+        assert!(
+            (1.0 / 15.0..15.0).contains(&band),
+            "cell {name}: fresh {fresh_top:.0} op/s vs committed {committed_top:.0} op/s ({band:.2}x) — outside the 15x host band"
+        );
+        assert!(
+            fresh_durable.measured.iter().all(|m| m.errors == 0),
+            "cell {name}: errors on a clean fabric"
+        );
+        assert!(fresh_durable.appended > 0, "cell {name}: fresh run logged no WAL records");
+        assert!(
+            fresh_durable.chaos.drops + fresh_durable.chaos.delayed > 0,
+            "cell {name}: chaos twin saw no faults"
+        );
+        assert_eq!(fresh_durable.chaos.errors, 0, "cell {name}: chaos twin surfaced errors");
+        assert!(
+            fresh_durable.chaos_replayed > 0,
+            "cell {name}: fresh chaos restart replayed nothing"
+        );
+        println!(
+            "smoke {name}: fresh/committed {band:.2}x, {} appended, restart replayed {}",
+            fresh_durable.appended, fresh_durable.chaos_replayed
+        );
+    }
     for a in fresh_apps {
         let name = format!("app_{}", a.name);
         let _ = find(&name);
@@ -486,6 +599,10 @@ fn main() {
         println!("cell cached/{}", scenario::cached_def().name());
         run_cached_cell(smoke, |line| println!("{line}"))
     };
+    let durable = {
+        println!("cell durable/{}", scenario::durable_def().name());
+        run_durable_cell(smoke, |line| println!("{line}"))
+    };
     let apps: Vec<AppCell> = ["isx", "kmer"]
         .into_iter()
         .map(|name| {
@@ -495,9 +612,9 @@ fn main() {
         .collect();
 
     if smoke {
-        smoke_gate(&cells, &cached, &apps, &path);
+        smoke_gate(&cells, &cached, &durable, &apps, &path);
     } else {
-        write_json(&cells, &cached, &apps, &path);
+        write_json(&cells, &cached, &durable, &apps, &path);
         validate(&path);
     }
 }

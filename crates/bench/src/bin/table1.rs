@@ -117,7 +117,7 @@ fn main() {
         let q: hcl::Queue<u64> = hcl::Queue::with_config(
             rank,
             "t1.q",
-            hcl::queue::QueueConfig { owner: 2, hybrid: true },
+            hcl::queue::QueueConfig { owner: 2, hybrid: true, ..Default::default() },
         );
         let c0 = q.costs();
         for i in 0..ops_n {
@@ -142,7 +142,7 @@ fn main() {
         let pq: hcl::PriorityQueue<u64> = hcl::PriorityQueue::with_config(
             rank,
             "t1.pq",
-            hcl::queue::QueueConfig { owner: 2, hybrid: true },
+            hcl::queue::QueueConfig { owner: 2, hybrid: true, ..Default::default() },
         );
         let c0 = pq.costs();
         for i in 0..ops_n {

@@ -18,8 +18,11 @@ use hcl_fabric::Fabric;
 use hcl_rpc::RetryPolicy;
 use hcl_runtime::{World, WorldConfig, WorldShared};
 
+use hcl::{admit_rank, drain_rank};
+
 use crate::workload::{
-    run_on_unordered_map, run_scenario, ContainerKind, KeyDist, Mix, WorkloadSpec, WorkloadStats,
+    run_on_unordered_map, run_scenario, value_of, ContainerKind, KeyDist, Mix, WorkloadSpec,
+    WorkloadStats,
 };
 
 /// Artifact-wide base seed; every cell derives its streams from it.
@@ -515,6 +518,255 @@ pub fn run_cached_cell(smoke: bool, mut progress: impl FnMut(&str)) -> CachedCel
     }
 }
 
+// ------------------------------------------------------------ durable cell
+
+/// Probe keys of the durable chaos twin: a block far outside the workload
+/// key space, written before the "crash" and demanded back — bit-exact —
+/// after the replayed world drains and re-admits its victim rank.
+const DURABLE_PROBE_BASE: u64 = u64::MAX - 512;
+const DURABLE_PROBE_COUNT: u64 = 64;
+/// Op-index salt of the probe values (any fixed value distinct from the
+/// prefill's `u64::MAX` works; it only keys [`value_of`]).
+const DURABLE_PROBE_SALT: u64 = 0xD0;
+
+/// The durable cell (PR 10): the update-heavy zipfian unordered-map cell
+/// with strict sync epochs on, so every measured op prices a real fsync
+/// behind its ack (DESIGN.md §16).
+pub fn durable_def() -> CellDef {
+    CellDef { container: ContainerKind::UnorderedMap, mix: Mix::UPDATE_HEAVY, dist: ZIPF }
+}
+
+fn durable_map_config(dir: &std::path::Path) -> hcl::UnorderedMapConfig {
+    hcl::UnorderedMapConfig {
+        hybrid: false,
+        persist: Some(hcl::PersistConfig::strict(dir)),
+        ..hcl::UnorderedMapConfig::default()
+    }
+}
+
+fn durable_scratch(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("hcl-scen-durable-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A fully-run durable cell: the measured series carries the WAL counters,
+/// and the chaos twin is a crash-restart story — one world writes durably
+/// and exits, a second world over the same logs replays it under chaos
+/// faults, loses and re-admits a rank mid-run, and must finish error-free
+/// with every probe key intact.
+#[derive(Debug, Clone)]
+pub struct DurableCellResult {
+    /// Workload shape (same container/mix/dist as the plain cell).
+    pub def: CellDef,
+    /// The spec it ran under.
+    pub spec: WorkloadSpec,
+    /// Measured series over [`MEASURED_RANKS`] (or a prefix in smoke),
+    /// with strict persistence on.
+    pub measured: Vec<MeasuredPoint>,
+    /// WAL records appended in the largest measured run.
+    pub appended: u64,
+    /// fsync barriers in the largest measured run (strict: one per append).
+    pub fsyncs: u64,
+    /// The faulted restart twin.
+    pub chaos: ChaosTwin,
+    /// WAL records the twin's restarted world replayed.
+    pub chaos_replayed: u64,
+    /// Distinct ops recovered exactly-once in the twin's replay.
+    pub chaos_recovered: u64,
+    /// Calibration from the largest measured run (fsync-priced p50, so
+    /// the sim extrapolates the durable write path).
+    pub cal: Calibration,
+    /// Simulated series over [`SIM_NODES`].
+    pub sim: Vec<SimPoint>,
+}
+
+impl DurableCellResult {
+    /// Artifact cell id (distinct from the non-durable twin cell).
+    pub fn name(&self) -> String {
+        format!("durable/{}", self.def.name())
+    }
+}
+
+/// Sum a persist counter over every rank's registry (each WAL bumps
+/// exactly one rank's registry, so the sum is the world total).
+fn persist_counter(rank: &hcl_runtime::Rank, name: &str) -> u64 {
+    rank.telemetry().registry().counter(name).get()
+}
+
+/// Run the durable cell's workload at one rank count on a clean fabric.
+pub fn run_durable_measured(
+    spec: &WorkloadSpec,
+    ranks: u32,
+) -> (MeasuredPoint, WorkloadStats, u64, u64) {
+    let dir = durable_scratch(&format!("meas{ranks}"));
+    let spec = *spec;
+    let dir2 = dir.clone();
+    let per_rank = World::run(world_config(ranks), move |rank| {
+        let map: hcl::UnorderedMap<u64, Vec<u8>> =
+            hcl::UnorderedMap::with_config(rank, "scen.durable.umap", durable_map_config(&dir2));
+        let stats = run_on_unordered_map(rank, &map, &spec);
+        rank.barrier();
+        (
+            stats,
+            persist_counter(rank, "hcl_persist_appended"),
+            persist_counter(rank, "hcl_persist_fsyncs"),
+        )
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    let appended: u64 = per_rank.iter().map(|(_, a, _)| a).sum();
+    let fsyncs: u64 = per_rank.iter().map(|(_, _, f)| f).sum();
+    let stats = merge_stats(per_rank.into_iter().map(|(s, _, _)| s).collect());
+    (measured_point(ranks, &stats), stats, appended, fsyncs)
+}
+
+/// The durable chaos twin: phase 1 writes durably on a clean fabric (the
+/// world "before the crash") and exits; phase 2 opens a fresh world over
+/// the same logs under the chaos plan, replays everything, then runs the
+/// workload in two halves with a `drain_rank`/`admit_rank` kill-restart
+/// cycle of a victim rank between them. Error-free completion and the
+/// bit-exact probe block are both demanded. Returns the twin, the replay
+/// counters, and the chaos snapshot.
+pub fn run_durable_chaos(
+    spec: &WorkloadSpec,
+    ranks: u32,
+) -> (ChaosTwin, u64, u64, ChaosSnapshot) {
+    let dir = durable_scratch("chaos");
+    let spec = *spec;
+
+    // Phase 1: the pre-crash world. Probe block + a full workload pass,
+    // all logged under strict sync epochs.
+    let dir1 = dir.clone();
+    World::run(world_config(ranks), move |rank| {
+        let map: hcl::UnorderedMap<u64, Vec<u8>> =
+            hcl::UnorderedMap::with_config(rank, "scen.durable.umap", durable_map_config(&dir1));
+        rank.barrier();
+        if rank.id() == 0 {
+            for i in 0..DURABLE_PROBE_COUNT {
+                let k = DURABLE_PROBE_BASE + i;
+                map.put(k, value_of(k, 0, DURABLE_PROBE_SALT, spec.value_bytes)).unwrap();
+            }
+        }
+        rank.barrier();
+        run_on_unordered_map(rank, &map, &spec);
+        rank.barrier();
+    });
+
+    // Phase 2: the restarted world, on a faulted fabric.
+    let (chaos, shared) = chaos_world(ranks, chaos_plan(SEED ^ 0xD07A), SEED);
+    let victim = ranks - 1;
+    let dir2 = dir.clone();
+    let per_rank = World::run_on(shared, move |rank| {
+        let map: hcl::UnorderedMap<u64, Vec<u8>> =
+            hcl::UnorderedMap::with_config(rank, "scen.durable.umap", durable_map_config(&dir2));
+        rank.barrier();
+        let replayed = persist_counter(rank, "hcl_persist_replayed");
+        let recovered = persist_counter(rank, "hcl_persist_recovered_ops");
+
+        // First half of the restarted run ...
+        let half = WorkloadSpec { ops_per_rank: spec.ops_per_rank / 2, ..spec };
+        let mut stats = run_on_unordered_map(rank, &map, &half);
+        // ... the victim "dies" and "restarts" mid-run (collective) ...
+        assert!(drain_rank(rank, victim).expect("drain durable victim").committed);
+        assert!(admit_rank(rank, victim).expect("re-admit durable victim").committed);
+        // ... and the second half runs against the restarted placement.
+        stats.merge(&run_on_unordered_map(rank, &map, &half));
+        rank.barrier();
+
+        // The probe block written before the crash must have survived the
+        // replay AND the mid-run kill-restart, bit-exact.
+        if rank.id() == 0 {
+            for i in 0..DURABLE_PROBE_COUNT {
+                let k = DURABLE_PROBE_BASE + i;
+                assert_eq!(
+                    map.get(&k).expect("probe get after restart"),
+                    Some(value_of(k, 0, DURABLE_PROBE_SALT, spec.value_bytes)),
+                    "durable probe key {k} lost or corrupted across crash-restart"
+                );
+            }
+        }
+        rank.barrier();
+        (stats, replayed, recovered)
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    let replayed: u64 = per_rank.iter().map(|(_, r, _)| r).sum();
+    let recovered: u64 = per_rank.iter().map(|(_, _, r)| r).sum();
+    let stats = merge_stats(per_rank.into_iter().map(|(s, _, _)| s).collect());
+    let snap = chaos.chaos_stats();
+    (
+        ChaosTwin {
+            ranks,
+            ops_per_sec: stats.ops_per_sec(),
+            p99_ns: stats.latency.p99(),
+            errors: stats.errors,
+            drops: snap.drops,
+            delayed: snap.delayed_ops,
+        },
+        replayed,
+        recovered,
+        snap,
+    )
+}
+
+/// Run the full durable cell: strict-persistence measured series,
+/// crash-restart chaos twin, calibration, simulated extrapolation.
+pub fn run_durable_cell(smoke: bool, mut progress: impl FnMut(&str)) -> DurableCellResult {
+    let def = durable_def();
+    let spec = spec_for(&def, smoke);
+    let rank_counts: &[u32] = if smoke { &MEASURED_RANKS[..3] } else { &MEASURED_RANKS };
+
+    let mut measured = Vec::new();
+    let mut top = None;
+    for &ranks in rank_counts {
+        let (pt, stats, appended, fsyncs) = run_durable_measured(&spec, ranks);
+        progress(&format!(
+            "  measured {:>2}r: {:>10.0} op/s  p50 {:>7} ns  p99 {:>8} ns  ({} appended, {} fsyncs)",
+            ranks, pt.ops_per_sec, pt.p50_ns, pt.p99_ns, appended, fsyncs
+        ));
+        measured.push(pt);
+        top = Some((stats, appended, fsyncs));
+    }
+    let (top_stats, appended, fsyncs) = top.expect("measured series non-empty");
+    assert!(appended > 0, "durable cell logged no WAL records");
+    assert!(fsyncs > 0, "strict sync epochs performed no fsync barriers");
+
+    let cal = Calibration::from_remote_p50(
+        &ClusterSpec::ares(64),
+        top_stats.latency.p50(),
+        spec.value_bytes as u64,
+    );
+
+    let chaos_ranks = *rank_counts.last().unwrap().min(&4);
+    let (chaos, replayed, recovered, _) = run_durable_chaos(&spec, chaos_ranks);
+    progress(&format!(
+        "  chaos    {:>2}r: {:>10.0} op/s  p99 {:>8} ns  ({} drops, {} delayed, {} replayed, {} recovered)",
+        chaos.ranks, chaos.ops_per_sec, chaos.p99_ns, chaos.drops, chaos.delayed, replayed,
+        recovered
+    ));
+    assert!(replayed > 0, "durable chaos twin replayed nothing — recovery is dead code");
+
+    let sim = simulate_cell(&def, &spec, &cal);
+    progress(&format!(
+        "  sim  64-512n: {:>10.0} -> {:.0} op/s (durable-path calibration)",
+        sim[0].ops_per_sec,
+        sim[sim.len() - 1].ops_per_sec,
+    ));
+
+    DurableCellResult {
+        def,
+        spec,
+        measured,
+        appended,
+        fsyncs,
+        chaos,
+        chaos_replayed: replayed,
+        chaos_recovered: recovered,
+        cal,
+        sim,
+    }
+}
+
 // ------------------------------------------------------------- app kernels
 
 /// One measured scale point of an application-kernel cell.
@@ -717,6 +969,24 @@ mod tests {
         // been killed by the epoch rule (the in-world assert already
         // proved the read observed the overwrite).
         assert!(stale_epoch >= 1, "epoch probe killed no leases");
+    }
+
+    #[test]
+    fn durable_cell_replays_and_survives_restart() {
+        let def = durable_def();
+        let spec = WorkloadSpec { ops_per_rank: 120, ..spec_for(&def, true) };
+        let (pt, _, appended, fsyncs) = run_durable_measured(&spec, 2);
+        assert_eq!(pt.errors, 0);
+        assert!(appended > 0, "durable workload logged nothing");
+        assert!(fsyncs >= appended, "strict epochs must fsync every flush barrier");
+
+        let (twin, replayed, recovered, snap) = run_durable_chaos(&spec, 2);
+        assert_eq!(twin.errors, 0, "retry policy must absorb the plan's faults");
+        assert!(snap.drops + snap.delayed_ops > 0, "chaos plan injected nothing");
+        // The restarted world must have rebuilt real state from the WALs
+        // (the in-world assert already proved the probe block survived).
+        assert!(replayed > 0, "restart replayed no WAL records");
+        assert!(recovered > 0, "restart recovered no distinct ops");
     }
 
     #[test]

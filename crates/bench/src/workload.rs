@@ -712,7 +712,7 @@ pub fn run_scenario(
     spec: &WorkloadSpec,
 ) -> WorkloadStats {
     let no_hybrid = UnorderedMapConfig { hybrid: false, ..UnorderedMapConfig::default() };
-    let queue_cfg = QueueConfig { owner: 0, hybrid: false };
+    let queue_cfg = QueueConfig { owner: 0, hybrid: false, ..Default::default() };
     match kind {
         ContainerKind::UnorderedMap => {
             let map: UnorderedMap<u64, Vec<u8>> = UnorderedMap::with_config(rank, name, no_hybrid);

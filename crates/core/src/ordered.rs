@@ -15,7 +15,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use hcl_containers::SkipListMap;
@@ -27,6 +27,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::cost::CostSnapshot;
 use crate::dispatch::{hist_invoke, hist_return, Dispatcher, OwnerMap, ReplForwarder};
+use crate::persist::{Flusher, OpLog, PersistConfig};
 use crate::rebalance::{MigratorRegistry, ShardMigrator};
 use crate::{default_servers, HclError, HclFuture, HclResult};
 
@@ -195,13 +196,22 @@ pub struct OrderedConfig {
     /// against a marked-down owner are served from the replica — the same
     /// degraded-read contract as [`crate::UnorderedMap`].
     pub replicas: usize,
+    /// Durability: when set, every partition appends its mutations to a
+    /// segmented write-ahead log under the config's directory and replays
+    /// it on (re)construction — same subsystem and guarantees as
+    /// [`crate::UnorderedMap`] (§III-C6, DESIGN.md §16).
+    pub persist: Option<PersistConfig>,
 }
 
 impl Default for OrderedConfig {
     fn default() -> Self {
-        OrderedConfig { servers: None, hybrid: true, replicas: 0 }
+        OrderedConfig { servers: None, hybrid: true, replicas: 0, persist: None }
     }
 }
+
+/// On-log record of one ordered-map mutation: `(0, k, Some(v))` = put,
+/// `(1, k, None)` = erase.
+type LogRec<K, V> = (u8, K, Option<V>);
 
 /// Server-side state of one ordered partition.
 struct Part<K, V>
@@ -215,6 +225,10 @@ where
     map: SkipListMap<K, V>,
     /// Entries replicated *to* this partition from others.
     replica: SkipListMap<K, V>,
+    log: Option<OpLog<LogRec<K, V>>>,
+    /// Recovery-descriptor sequence for mutations applied outside an RPC
+    /// worker (the hybrid local bypass); see [`crate::persist::op_identity`].
+    local_seq: AtomicU64,
     repl: ReplForwarder,
     world: Arc<WorldShared>,
     fn_base: FnId,
@@ -239,7 +253,16 @@ where
     K: DataBox + Ord + Hash + Clone + Send + Sync + 'static,
     V: DataBox + Clone + Send + Sync + 'static,
 {
+    /// Log one mutation with its dispatch op index and recovery descriptor.
+    fn log_op(&self, rec: &LogRec<K, V>, fn_off: u32) {
+        if let Some(log) = &self.log {
+            let ident = crate::persist::op_identity(self.home, &self.local_seq);
+            let _ = log.append_op(rec, fn_off as u16, ident);
+        }
+    }
+
     fn apply_put(&self, key: K, value: V) -> bool {
+        self.log_op(&(0, key.clone(), Some(value.clone())), FN_PUT);
         let newly = self.map.insert(key.clone(), value.clone()).is_none();
         self.forward_migration(&key, Some(&value));
         if self.replicas > 0 {
@@ -249,6 +272,7 @@ where
     }
 
     fn apply_erase(&self, key: &K) -> Option<V> {
+        self.log_op(&(1, key.clone(), None), FN_ERASE);
         let prev = self.map.remove(key);
         self.forward_migration(key, None);
         if self.replicas > 0 {
@@ -338,6 +362,9 @@ where
         if self.map.get(&key).is_some() {
             return false;
         }
+        // Durability follows the shard: the install is logged at its new
+        // owner under the delivering RPC's identity.
+        self.log_op(&(0, key.clone(), Some(value.clone())), FN_MIG_INSTALL);
         self.map.insert(key.clone(), value);
         installed.push(key);
         true
@@ -348,11 +375,13 @@ where
         let mut installed = self.installed.lock();
         match value {
             Some(v) => {
+                self.log_op(&(0, key.clone(), Some(v.clone())), FN_MIG_APPLY);
                 self.tombstones.lock().remove(&key);
                 self.map.insert(key.clone(), v);
                 installed.push(key);
             }
             None => {
+                self.log_op(&(1, key.clone(), None), FN_MIG_APPLY);
                 self.map.remove(&key);
                 self.tombstones.lock().insert(key);
             }
@@ -369,6 +398,17 @@ where
                     if self.vpart_of(&k) == vpart {
                         self.map.remove(&k);
                     }
+                }
+                // Compact the log down to the post-purge contents so a
+                // crash-restart never resurrects keys that migrated away.
+                if let Some(log) = &self.log {
+                    let snapshot: Vec<LogRec<K, V>> = self
+                        .map
+                        .iter_snapshot()
+                        .into_iter()
+                        .map(|(k, v)| (0, k, Some(v)))
+                        .collect();
+                    let _ = log.compact(snapshot.iter());
                 }
             }
         } else {
@@ -403,6 +443,10 @@ where
     repl_map: Arc<PartitionMap>,
     parts: HashMap<u32, Arc<Part<K, V>>>,
     cfg: OrderedConfig,
+    /// Background sync thread bounding the relaxed-policy flush gap across
+    /// all this container's partition logs (`None` for strict/manual).
+    #[allow(dead_code)]
+    flusher: Option<Flusher>,
 }
 
 fn bind_handlers<K, V>(
@@ -523,6 +567,12 @@ where
     pub fn with_config(rank: &'a Rank, name: &str, cfg: OrderedConfig) -> Self {
         let world = Arc::clone(rank.world());
         let cfg2 = cfg.clone();
+        let name2 = name.to_string();
+        let pmetrics = if rank.telemetry().enabled() {
+            crate::persist::PersistMetrics::from_registry(rank.telemetry().registry())
+        } else {
+            crate::persist::PersistMetrics::detached()
+        };
         let core = rank.get_or_create_shared(&format!("hcl.omap.{name}"), move || {
             // Elastic (no explicit `servers`): every rank hosts a Part so
             // any rank can be admitted as an owner later. Pinned: exactly
@@ -536,16 +586,50 @@ where
             } else {
                 servers.clone()
             };
+            // One relaxed-policy flusher bounds the flush gap of every
+            // partition log this container opens.
+            let flusher = cfg2.persist.as_ref().and_then(|p| p.policy.interval()).map(Flusher::spawn);
             let mut parts = HashMap::new();
             for &owner in &hosts {
                 let leader = servers.iter().position(|&s| s == owner);
+                let map = SkipListMap::new();
+                let log = cfg2
+                    .persist
+                    .as_ref()
+                    .filter(|_| leader.is_some() || elastic)
+                    .map(|p| {
+                        // Stems are keyed by owner rank: stable across a
+                        // restart of the same world shape, unique per host.
+                        let log = OpLog::open_with(
+                            p.stem(&name2, owner as usize),
+                            p.policy,
+                            p.segment_bytes,
+                            pmetrics.clone(),
+                            |rec: LogRec<K, V>| match rec {
+                                (0, k, Some(v)) => {
+                                    map.insert(k, v);
+                                }
+                                (1, k, None) => {
+                                    map.remove(&k);
+                                }
+                                _ => {}
+                            },
+                        )
+                        .expect("open partition op log");
+                        if let Some(f) = &flusher {
+                            f.register(log.wal());
+                        }
+                        log
+                    });
                 parts.insert(
                     owner,
                     Arc::new(Part {
                         index: leader.unwrap_or(0),
                         home: owner,
-                        map: SkipListMap::new(),
+                        map,
                         replica: SkipListMap::new(),
+                        log,
+                        local_seq: AtomicU64::new(0),
                         repl: ReplForwarder::new(owner),
                         world: Arc::clone(&world),
                         fn_base,
@@ -565,7 +649,7 @@ where
                     .registry()
                     .set_epoch_gate(fn_base, N_FNS, move || cell.load(Ordering::Acquire));
             }
-            Core { fn_base, servers, repl_map, parts, cfg: cfg2 }
+            Core { fn_base, servers, repl_map, parts, cfg: cfg2, flusher }
         });
         let mut d = Dispatcher::new(rank, "omap", core.fn_base, core.cfg.hybrid);
         if core.cfg.servers.is_some() {
@@ -804,6 +888,26 @@ where
             self.put(k, v)?;
         }
         Ok(n)
+    }
+
+    /// Flush and compact every *local* partition's op log to a snapshot.
+    pub fn compact_local_logs(&self) -> HclResult<()> {
+        for &owner in &self.core.servers {
+            if self.d.rank().same_node(owner) {
+                let part = &self.core.parts[&owner];
+                if let Some(log) = &part.log {
+                    let snapshot: Vec<LogRec<K, V>> = part
+                        .map
+                        .iter_snapshot()
+                        .into_iter()
+                        .map(|(k, v)| (0u8, k, Some(v)))
+                        .collect();
+                    log.compact(snapshot.iter())
+                        .map_err(|e| HclError::Persist(e.to_string()))?;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Client-side cost counters.

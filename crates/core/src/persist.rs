@@ -1,240 +1,306 @@
-//! Per-partition operation logs: the durability path (paper §III-C6).
+//! Container-facing durability: typed op logs over the `hcl-persist`
+//! write-ahead-log subsystem (paper §III-C6, DESIGN.md §16).
 //!
-//! The paper persists DDS partitions by memory-mapping them onto NVMe files,
-//! with per-operation ("strict") or background ("relaxed") synchronisation.
-//! We reproduce the same policy surface with an explicit write-ahead
-//! operation log per partition (DESIGN.md substitution #7): every mutating
-//! op appends one record; recovery replays the log into a fresh local
-//! structure. `compact()` replaces the log with a snapshot when it grows.
+//! The policy surface ([`SyncPolicy`], [`PersistConfig`]) and the segmented,
+//! checksummed log machinery live in `hcl-persist`; this module adds the
+//! [`DataBox`]-typed [`OpLog`] veneer the containers log through, and the
+//! recovery-descriptor stamping that ties each logged mutation to the RPC
+//! request (or local-bypass sequence) that produced it.
 
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::marker::PhantomData;
 use std::path::{Path, PathBuf};
-use std::time::{Duration, Instant};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use hcl_databox::{DataBox, Reader};
-use parking_lot::Mutex;
 
-/// When log records are pushed to the OS.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PersistMode {
-    /// Flush the log on every mutating operation.
-    Strict,
-    /// Flush at most once per interval; a crash may lose the tail.
-    Relaxed(Duration),
-}
+pub use hcl_persist::{
+    Flusher, PersistConfig, PersistMetrics, ReplayReport, SyncPolicy, Wal, WalRecord,
+    DEFAULT_SEGMENT_BYTES,
+};
 
-/// Container persistence configuration.
-#[derive(Debug, Clone)]
-pub struct PersistConfig {
-    /// Directory holding one log file per partition.
-    pub dir: PathBuf,
-    /// Flush policy.
-    pub mode: PersistMode,
-}
+/// High bit marking a local-bypass sequence number, so it can never collide
+/// with an RPC identity (`req_id << 16 | batch_index`).
+const LOCAL_SEQ_BIT: u64 = 1 << 63;
 
-impl PersistConfig {
-    /// Strict persistence under `dir`.
-    pub fn strict(dir: impl Into<PathBuf>) -> Self {
-        PersistConfig { dir: dir.into(), mode: PersistMode::Strict }
-    }
-
-    /// Relaxed persistence under `dir` with the given flush interval.
-    pub fn relaxed(dir: impl Into<PathBuf>, interval: Duration) -> Self {
-        PersistConfig { dir: dir.into(), mode: PersistMode::Relaxed(interval) }
-    }
-
-    /// The log path for partition `p` of container `name`.
-    pub fn log_path(&self, name: &str, p: usize) -> PathBuf {
-        self.dir.join(format!("{name}.part{p}.hcllog"))
+/// The recovery descriptor of the mutation being applied on this thread:
+/// the RPC request identity when running under a NIC worker (the dedup
+/// window's `(caller rank, req_id)` scheme), or a `home`-ranked local
+/// sequence for the hybrid bypass and other rank-thread paths.
+pub(crate) fn op_identity(home: u32, local_seq: &AtomicU64) -> (u32, u64) {
+    match hcl_rpc::server::current_request_identity() {
+        Some(id) => id,
+        None => (home, local_seq.fetch_add(1, Ordering::Relaxed) | LOCAL_SEQ_BIT),
     }
 }
 
-struct LogInner {
-    writer: BufWriter<File>,
-    last_flush: Instant,
-    records: u64,
-}
-
-/// An append-only record log for one partition.
+/// A typed, per-partition operation log: [`DataBox`] records framed and
+/// checksummed by the segmented WAL underneath. Every mutating container op
+/// appends one record; recovery replays the log into a fresh structure,
+/// exactly-once by `(rank, seq)` descriptor.
 pub struct OpLog<Rec: DataBox> {
-    path: PathBuf,
-    mode: PersistMode,
-    inner: Mutex<LogInner>,
-    _rec: std::marker::PhantomData<fn(Rec)>,
+    wal: Arc<Wal>,
+    report: ReplayReport,
+    _rec: PhantomData<fn(Rec)>,
 }
 
 impl<Rec: DataBox> OpLog<Rec> {
-    /// Open (creating if needed) the log at `path`, first replaying any
-    /// existing records through `apply`.
+    /// Open (creating if needed) the log at `stem`, first replaying any
+    /// existing records through `apply`. A torn tail (partial final record
+    /// from a crash mid-append) is truncated off the file itself, so later
+    /// appends never land after garbage.
     pub fn open(
-        path: impl AsRef<Path>,
-        mode: PersistMode,
+        stem: impl Into<PathBuf>,
+        policy: SyncPolicy,
+        apply: impl FnMut(Rec),
+    ) -> std::io::Result<Self> {
+        Self::open_with(stem, policy, DEFAULT_SEGMENT_BYTES, PersistMetrics::detached(), apply)
+    }
+
+    /// [`OpLog::open`] with explicit segment sizing and a telemetry bundle.
+    pub fn open_with(
+        stem: impl Into<PathBuf>,
+        policy: SyncPolicy,
+        segment_bytes: u64,
+        metrics: PersistMetrics,
         mut apply: impl FnMut(Rec),
     ) -> std::io::Result<Self> {
-        let path = path.as_ref().to_path_buf();
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
-        let mut records = 0;
-        if path.exists() {
-            let mut buf = Vec::new();
-            File::open(&path)?.read_to_end(&mut buf)?;
-            let mut r = Reader::new(&buf);
-            // Replay until the buffer is exhausted; a torn tail (partial
-            // final record from a crash mid-append) is dropped.
-            while r.remaining() > 0 {
-                match Rec::unpack(&mut r) {
-                    Ok(rec) => {
-                        apply(rec);
-                        records += 1;
-                    }
-                    Err(_) => break,
-                }
+        let (wal, report) = Wal::open(stem, policy, segment_bytes, metrics, |raw| {
+            let mut r = Reader::new(raw.payload);
+            if let Ok(rec) = Rec::unpack(&mut r) {
+                apply(rec);
             }
-        }
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(OpLog {
-            path,
-            mode,
-            inner: Mutex::new(LogInner {
-                writer: BufWriter::new(file),
-                last_flush: Instant::now(),
-                records,
-            }),
-            _rec: std::marker::PhantomData,
-        })
+        })?;
+        Ok(OpLog { wal: Arc::new(wal), report, _rec: PhantomData })
     }
 
-    /// Append one record, flushing according to the mode.
+    /// Open partition `p` of container `name` under `cfg`.
+    pub fn open_in(
+        cfg: &PersistConfig,
+        name: &str,
+        p: usize,
+        metrics: PersistMetrics,
+        apply: impl FnMut(Rec),
+    ) -> std::io::Result<Self> {
+        Self::open_with(cfg.stem(name, p), cfg.policy, cfg.segment_bytes, metrics, apply)
+    }
+
+    /// Append one record with no client identity (exempt from replay dedup).
     pub fn append(&self, rec: &Rec) -> std::io::Result<()> {
-        let mut inner = self.inner.lock();
-        let mut buf = Vec::new();
+        self.append_op(rec, 0, hcl_persist::NO_IDENTITY)
+    }
+
+    /// Append one record stamped with its dispatch op index and `(rank,
+    /// seq)` recovery descriptor.
+    pub fn append_op(&self, rec: &Rec, op: u16, identity: (u32, u64)) -> std::io::Result<()> {
+        let mut buf = Vec::with_capacity(64);
         rec.pack(&mut buf);
-        inner.writer.write_all(&buf)?;
-        inner.records += 1;
-        match self.mode {
-            PersistMode::Strict => inner.writer.flush()?,
-            PersistMode::Relaxed(interval) => {
-                if inner.last_flush.elapsed() >= interval {
-                    inner.writer.flush()?;
-                    inner.last_flush = Instant::now();
-                }
-            }
-        }
-        Ok(())
+        self.wal.append(WalRecord { op, rank: identity.0, seq: identity.1, payload: &buf })
     }
 
-    /// Force everything to the OS.
+    /// Push buffered appends to the OS (no durability barrier).
     pub fn flush(&self) -> std::io::Result<()> {
-        self.inner.lock().writer.flush()
+        self.wal.flush()
     }
 
-    /// Records appended (including replayed ones).
+    /// Durable sync barrier: flush + fsync.
+    pub fn sync(&self) -> std::io::Result<()> {
+        self.wal.sync()
+    }
+
+    /// Live records (replayed + appended − compacted away).
     pub fn records(&self) -> u64 {
-        self.inner.lock().records
+        self.wal.records()
     }
 
-    /// Replace the log contents with the snapshot `records` (compaction:
+    /// Replace the log's history with the snapshot `records` (compaction:
     /// used after the live structure has absorbed the log).
     pub fn compact<'a>(&self, records: impl Iterator<Item = &'a Rec>) -> std::io::Result<()>
     where
         Rec: 'a,
     {
-        let mut inner = self.inner.lock();
-        inner.writer.flush()?;
-        let mut file = OpenOptions::new().write(true).open(&self.path)?;
-        file.set_len(0)?;
-        file.seek(SeekFrom::Start(0))?;
-        let mut w = BufWriter::new(file);
-        let mut n = 0;
-        for rec in records {
-            let mut buf = Vec::new();
+        self.wal.compact(records.map(|rec| {
+            let mut buf = Vec::with_capacity(64);
             rec.pack(&mut buf);
-            w.write_all(&buf)?;
-            n += 1;
-        }
-        w.flush()?;
-        inner.records = n;
-        // Reopen the append handle at the new end.
-        let file = OpenOptions::new().append(true).open(&self.path)?;
-        inner.writer = BufWriter::new(file);
-        Ok(())
+            (0u16, buf)
+        }))
     }
 
-    /// The log file path.
+    /// What replay found when this log was opened.
+    pub fn replay_report(&self) -> &ReplayReport {
+        &self.report
+    }
+
+    /// The untyped WAL underneath (for flusher registration).
+    pub fn wal(&self) -> &Arc<Wal> {
+        &self.wal
+    }
+
+    /// The log's path stem.
     pub fn path(&self) -> &Path {
-        &self.path
+        self.wal.stem()
+    }
+}
+
+/// Op log of a single-partition container (queue, priority queue): framed
+/// `(tag, element)` records, where tag 0 = push and tag 1 = pop. Wraps the
+/// identity bookkeeping both queue flavours share.
+pub(crate) struct SpLog<T: DataBox + Clone> {
+    log: OpLog<(u8, Option<T>)>,
+    home: u32,
+    local_seq: AtomicU64,
+}
+
+impl<T: DataBox + Clone> SpLog<T> {
+    /// Open the log of container `name` (partition = the owner rank),
+    /// replaying any history through `apply`.
+    pub(crate) fn open(
+        cfg: &PersistConfig,
+        name: &str,
+        owner: u32,
+        metrics: PersistMetrics,
+        mut apply: impl FnMut(u8, Option<T>),
+    ) -> std::io::Result<Self> {
+        let log = OpLog::open_with(
+            cfg.stem(name, owner as usize),
+            cfg.policy,
+            cfg.segment_bytes,
+            metrics,
+            move |(tag, v): (u8, Option<T>)| apply(tag, v),
+        )?;
+        Ok(SpLog { log, home: owner, local_seq: AtomicU64::new(0) })
+    }
+
+    /// Log one mutation under the ambient request identity (RPC worker) or
+    /// a fresh local sequence (hybrid bypass).
+    pub(crate) fn record(&self, tag: u8, value: Option<&T>, fn_off: u32) {
+        let ident = op_identity(self.home, &self.local_seq);
+        let _ = self.log.append_op(&(tag, value.cloned()), fn_off as u16, ident);
+    }
+
+    /// Log one mutation under a fresh local sequence unconditionally. Bulk
+    /// handlers log one record per element inside a single RPC; stamping
+    /// them all with that RPC's identity would make replay dedup collapse
+    /// them into one.
+    pub(crate) fn record_local(&self, tag: u8, value: Option<&T>, fn_off: u32) {
+        let ident =
+            (self.home, self.local_seq.fetch_add(1, Ordering::Relaxed) | LOCAL_SEQ_BIT);
+        let _ = self.log.append_op(&(tag, value.cloned()), fn_off as u16, ident);
+    }
+
+    /// Replace history with a push-per-element snapshot of the live contents.
+    pub(crate) fn compact_to(&self, live: &[T]) -> std::io::Result<()> {
+        let snapshot: Vec<(u8, Option<T>)> =
+            live.iter().map(|v| (0, Some(v.clone()))).collect();
+        self.log.compact(snapshot.iter())
+    }
+
+    /// The untyped WAL underneath (for flusher registration).
+    pub(crate) fn wal(&self) -> &Arc<Wal> {
+        self.log.wal()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
 
     fn tmp(name: &str) -> PathBuf {
-        let mut p = std::env::temp_dir();
-        p.push(format!("hcl-core-oplog-{}-{}", std::process::id(), name));
-        let _ = std::fs::remove_file(&p);
-        p
+        let dir = std::env::temp_dir().join(format!(
+            "hcl-core-oplog-{}-{}-{name}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("log")
+    }
+
+    fn cleanup(stem: &Path) {
+        let _ = std::fs::remove_dir_all(stem.parent().unwrap());
     }
 
     #[test]
     fn append_and_replay() {
-        let path = tmp("basic");
+        let stem = tmp("basic");
         {
             let log: OpLog<(u8, u64, String)> =
-                OpLog::open(&path, PersistMode::Strict, |_| panic!("fresh log")).unwrap();
+                OpLog::open(&stem, SyncPolicy::Strict, |_| panic!("fresh log")).unwrap();
             log.append(&(1, 10, "a".into())).unwrap();
             log.append(&(2, 20, "b".into())).unwrap();
             assert_eq!(log.records(), 2);
         }
         let mut seen = Vec::new();
         let log: OpLog<(u8, u64, String)> =
-            OpLog::open(&path, PersistMode::Strict, |r| seen.push(r)).unwrap();
+            OpLog::open(&stem, SyncPolicy::Strict, |r| seen.push(r)).unwrap();
         assert_eq!(seen, vec![(1, 10, "a".into()), (2, 20, "b".into())]);
         assert_eq!(log.records(), 2);
-        std::fs::remove_file(&path).unwrap();
+        cleanup(&stem);
     }
 
     #[test]
-    fn torn_tail_is_dropped() {
-        let path = tmp("torn");
+    fn torn_tail_is_dropped_and_file_truncated() {
+        let stem = tmp("torn");
         {
             let log: OpLog<(u64, String)> =
-                OpLog::open(&path, PersistMode::Strict, |_| {}).unwrap();
+                OpLog::open(&stem, SyncPolicy::Strict, |_| {}).unwrap();
             log.append(&(7, "intact".into())).unwrap();
             log.append(&(8, "will be torn".into())).unwrap();
         }
         // Chop the last few bytes, simulating a crash mid-append.
-        let len = std::fs::metadata(&path).unwrap().len();
-        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        let seg = {
+            let mut os = stem.as_os_str().to_os_string();
+            os.push(".000000.seg");
+            PathBuf::from(os)
+        };
+        let len = std::fs::metadata(&seg).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&seg).unwrap();
         f.set_len(len - 3).unwrap();
+        drop(f);
+        // Regression (the old sidecar's bug): the torn bytes must come off
+        // the *file*, not just be skipped in memory — otherwise the next
+        // append lands after garbage and is silently unrecoverable.
+        {
+            let mut seen = Vec::new();
+            let log: OpLog<(u64, String)> =
+                OpLog::open(&stem, SyncPolicy::Strict, |r| seen.push(r)).unwrap();
+            assert_eq!(seen, vec![(7, "intact".into())]);
+            assert!(log.replay_report().truncated_bytes > 0);
+            log.append(&(9, "after the tear".into())).unwrap();
+        }
         let mut seen = Vec::new();
-        let _log: OpLog<(u64, String)> =
-            OpLog::open(&path, PersistMode::Strict, |r| seen.push(r)).unwrap();
-        assert_eq!(seen, vec![(7, "intact".into())]);
-        std::fs::remove_file(&path).unwrap();
+        let _: OpLog<(u64, String)> =
+            OpLog::open(&stem, SyncPolicy::Strict, |r| seen.push(r)).unwrap();
+        assert_eq!(seen, vec![(7, "intact".into()), (9, "after the tear".into())]);
+        cleanup(&stem);
     }
 
     #[test]
     fn relaxed_mode_defers_flush() {
-        let path = tmp("relaxed");
-        let log: OpLog<u64> =
-            OpLog::open(&path, PersistMode::Relaxed(Duration::from_secs(3600)), |_| {}).unwrap();
+        let stem = tmp("relaxed");
+        let log: OpLog<u64> = OpLog::open(
+            &stem,
+            SyncPolicy::Relaxed { interval: Duration::from_secs(3600) },
+            |_| {},
+        )
+        .unwrap();
         log.append(&1).unwrap();
-        // Nothing guaranteed on disk yet (buffered); explicit flush works.
-        log.flush().unwrap();
+        // Nothing guaranteed on disk yet (buffered); explicit sync works.
+        log.sync().unwrap();
         let mut seen = Vec::new();
-        let _: OpLog<u64> = OpLog::open(&path, PersistMode::Strict, |r| seen.push(r)).unwrap();
+        let _: OpLog<u64> = OpLog::open(&stem, SyncPolicy::Strict, |r| seen.push(r)).unwrap();
         assert_eq!(seen, vec![1]);
-        std::fs::remove_file(&path).unwrap();
+        cleanup(&stem);
     }
 
     #[test]
     fn compaction_replaces_history() {
-        let path = tmp("compact");
-        let log: OpLog<(u8, u64)> = OpLog::open(&path, PersistMode::Strict, |_| {}).unwrap();
+        let stem = tmp("compact");
+        let log: OpLog<(u8, u64)> = OpLog::open(&stem, SyncPolicy::Strict, |_| {}).unwrap();
         for i in 0..100u64 {
             log.append(&(0, i)).unwrap();
         }
@@ -247,8 +313,37 @@ mod tests {
         log.append(&(0, 44)).unwrap();
         drop(log);
         let mut seen = Vec::new();
-        let _: OpLog<(u8, u64)> = OpLog::open(&path, PersistMode::Strict, |r| seen.push(r)).unwrap();
+        let _: OpLog<(u8, u64)> = OpLog::open(&stem, SyncPolicy::Strict, |r| seen.push(r)).unwrap();
         assert_eq!(seen, vec![(0, 42), (0, 43), (0, 44)]);
-        std::fs::remove_file(&path).unwrap();
+        cleanup(&stem);
+    }
+
+    #[test]
+    fn identity_stamped_appends_dedup_on_replay() {
+        let stem = tmp("ident");
+        {
+            let log: OpLog<(u8, u64)> = OpLog::open(&stem, SyncPolicy::Strict, |_| {}).unwrap();
+            // The same op double-logged under one recovery descriptor — a
+            // retransmit that slipped past the server dedup window.
+            log.append_op(&(0, 5), 1, (2, 0x70001)).unwrap();
+            log.append_op(&(0, 5), 1, (2, 0x70001)).unwrap();
+            log.append_op(&(0, 6), 1, (2, 0x80001)).unwrap();
+        }
+        let mut seen = Vec::new();
+        let log: OpLog<(u8, u64)> =
+            OpLog::open(&stem, SyncPolicy::Strict, |r| seen.push(r)).unwrap();
+        assert_eq!(seen, vec![(0, 5), (0, 6)], "duplicate identity replays once");
+        assert_eq!(log.replay_report().deduped, 1);
+        cleanup(&stem);
+    }
+
+    #[test]
+    fn local_identity_never_collides_with_rpc_identity() {
+        let seq = AtomicU64::new(0);
+        let (rank, s) = op_identity(3, &seq);
+        assert_eq!(rank, 3);
+        assert!(s & LOCAL_SEQ_BIT != 0, "local sequences carry the marker bit");
+        let (_, s2) = op_identity(3, &seq);
+        assert_ne!(s, s2);
     }
 }

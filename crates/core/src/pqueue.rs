@@ -22,6 +22,7 @@ use hcl_runtime::Rank;
 
 use crate::cost::CostSnapshot;
 use crate::dispatch::{hist_invoke, hist_return, Dispatcher};
+use crate::persist::{Flusher, SpLog};
 use crate::queue::QueueConfig;
 use crate::{HclFuture, HclResult};
 
@@ -123,6 +124,10 @@ where
     fn_base: FnId,
     owner: u32,
     pq: Arc<SkipListPq<T>>,
+    log: Option<Arc<SpLog<T>>>,
+    /// Background sync thread bounding the relaxed-policy flush gap.
+    #[allow(dead_code)]
+    flusher: Option<Flusher>,
     cfg: QueueConfig,
 }
 
@@ -147,26 +152,76 @@ where
     /// Collective constructor with configuration.
     pub fn with_config(rank: &'a Rank, name: &str, cfg: QueueConfig) -> Self {
         let world = Arc::clone(rank.world());
+        let name2 = name.to_string();
+        let pmetrics = if rank.telemetry().enabled() {
+            crate::persist::PersistMetrics::from_registry(rank.telemetry().registry())
+        } else {
+            crate::persist::PersistMetrics::detached()
+        };
         let core = rank.get_or_create_shared(&format!("hcl.pq.{name}"), move || {
             let fn_base = world.alloc_fn_ids(N_FNS);
             let pq = Arc::new(SkipListPq::new());
+            let flusher =
+                cfg.persist.as_ref().and_then(|p| p.policy.interval()).map(Flusher::spawn);
+            let log = cfg.persist.as_ref().map(|p| {
+                let log = Arc::new(
+                    SpLog::open(p, &name2, cfg.owner, pmetrics, |tag, v: Option<T>| {
+                        match (tag, v) {
+                            (0, Some(v)) => pq.push(v),
+                            (1, _) => {
+                                pq.pop();
+                            }
+                            _ => {}
+                        }
+                    })
+                    .expect("open priority-queue op log"),
+                );
+                if let Some(f) = &flusher {
+                    f.register(log.wal());
+                }
+                log
+            });
             let reg = world.registry();
             let q = Arc::clone(&pq);
+            let l = log.clone();
             reg.bind_typed(fn_base + FN_PUSH, move |_: EpId, _, v: T| {
+                if let Some(l) = &l {
+                    l.record(0, Some(&v), FN_PUSH);
+                }
                 q.push(v);
                 true
             });
             let q = Arc::clone(&pq);
-            reg.bind_typed(fn_base + FN_POP, move |_: EpId, _, ()| q.pop());
+            let l = log.clone();
+            reg.bind_typed(fn_base + FN_POP, move |_: EpId, _, ()| {
+                let v = q.pop();
+                if let (Some(l), Some(_)) = (&l, &v) {
+                    l.record(1, None, FN_POP);
+                }
+                v
+            });
             let q = Arc::clone(&pq);
             reg.bind_typed(fn_base + FN_PEEK, move |_: EpId, _, ()| q.peek());
             let q = Arc::clone(&pq);
+            let l = log.clone();
             reg.bind_typed(fn_base + FN_PUSH_BULK, move |_: EpId, _, vs: Vec<T>| {
+                if let Some(l) = &l {
+                    for v in &vs {
+                        l.record_local(0, Some(v), FN_PUSH_BULK);
+                    }
+                }
                 q.push_bulk(vs) as u64
             });
             let q = Arc::clone(&pq);
+            let l = log.clone();
             reg.bind_typed(fn_base + FN_POP_BULK, move |_: EpId, _, max: u64| {
-                q.pop_bulk(max as usize)
+                let vs = q.pop_bulk(max as usize);
+                if let Some(l) = &l {
+                    for _ in &vs {
+                        l.record_local(1, None, FN_POP_BULK);
+                    }
+                }
+                vs
             });
             let q = Arc::clone(&pq);
             reg.bind_typed(fn_base + FN_LEN, move |_: EpId, _, ()| q.len() as u64);
@@ -175,10 +230,15 @@ where
             let q = Arc::clone(&pq);
             reg.bind_typed(fn_base + FN_SNAPSHOT, move |_: EpId, _, ()| q.iter_snapshot());
             let q = Arc::clone(&pq);
+            let l = log.clone();
             reg.bind_typed(fn_base + FN_MIG_EXTRACT, move |_: EpId, _, ()| {
-                q.pop_bulk(usize::MAX)
+                let vs = q.pop_bulk(usize::MAX);
+                if let Some(l) = &l {
+                    let _ = l.compact_to(&[]);
+                }
+                vs
             });
-            Core { fn_base, owner: cfg.owner, pq, cfg }
+            Core { fn_base, owner: cfg.owner, pq, log, flusher, cfg }
         });
         let d = Dispatcher::new(rank, "pq", core.fn_base, core.cfg.hybrid);
         PriorityQueue { core, d }
@@ -218,6 +278,7 @@ where
             crate::DsOp::PqPush { value: crate::history_enc(&value) }
         );
         let result = self.d.sync(&ops::PUSH, self.core.owner, value, |v| {
+            self.log_push(&v, FN_PUSH);
             self.core.pq.push(v);
             true
         });
@@ -229,15 +290,29 @@ where
     /// and may ride a batched message with neighbouring async ops.
     pub fn push_async(&self, value: T) -> HclResult<HclFuture<bool>> {
         self.d.dispatch_async(&ops::PUSH, self.core.owner, value, |v| {
+            self.log_push(&v, FN_PUSH);
             self.core.pq.push(v);
             true
         })
     }
 
+    /// Log one hybrid-bypass push (the remote path logs in the handler).
+    fn log_push(&self, v: &T, fn_off: u32) {
+        if let Some(l) = &self.core.log {
+            l.record(0, Some(v), fn_off);
+        }
+    }
+
     /// Pop the minimum element (Table I: `F + L + R`).
     pub fn pop(&self) -> HclResult<Option<T>> {
         let tok = hist_invoke!(self.d, crate::DsOp::PqPop);
-        let result = self.d.sync_ref(&ops::POP, self.core.owner, &(), || self.core.pq.pop());
+        let result = self.d.sync_ref(&ops::POP, self.core.owner, &(), || {
+            let v = self.core.pq.pop();
+            if let (Some(l), Some(_)) = (&self.core.log, &v) {
+                l.record(1, None, FN_POP);
+            }
+            v
+        });
         hist_return!(self.d, tok, &result, |v| crate::DsRet::Popped(
             v.as_ref().map(crate::history_enc)
         ));
@@ -253,6 +328,11 @@ where
     pub fn push_bulk(&self, values: Vec<T>) -> HclResult<u64> {
         let n = values.len() as u64;
         self.d.sync_scaled(&ops::PUSH_BULK, self.core.owner, n, values, |vs| {
+            if let Some(l) = &self.core.log {
+                for v in &vs {
+                    l.record_local(0, Some(v), FN_PUSH_BULK);
+                }
+            }
             self.core.pq.push_bulk(vs) as u64
         })
     }
@@ -260,7 +340,13 @@ where
     /// Bulk pop of up to `max` elements, in priority order.
     pub fn pop_bulk(&self, max: u64) -> HclResult<Vec<T>> {
         self.d.sync_scaled(&ops::POP_BULK, self.core.owner, max, max, |m| {
-            self.core.pq.pop_bulk(m as usize)
+            let vs = self.core.pq.pop_bulk(m as usize);
+            if let Some(l) = &self.core.log {
+                for _ in &vs {
+                    l.record_local(1, None, FN_POP_BULK);
+                }
+            }
+            vs
         })
     }
 
@@ -292,8 +378,22 @@ where
     /// live-migration extract/install; see [`crate::rebalance`]).
     pub fn extract_all(&self) -> HclResult<Vec<T>> {
         self.d.sync_ref(&ops::MIG_EXTRACT, self.core.owner, &(), || {
-            self.core.pq.pop_bulk(usize::MAX)
+            let vs = self.core.pq.pop_bulk(usize::MAX);
+            if let Some(l) = &self.core.log {
+                let _ = l.compact_to(&[]);
+            }
+            vs
         })
+    }
+
+    /// Compact the op log down to a push-per-element snapshot of the live
+    /// contents (no-op when persistence is off). Call from the owner rank.
+    pub fn compact_log(&self) -> HclResult<()> {
+        if let Some(l) = &self.core.log {
+            let snap = self.core.pq.iter_snapshot();
+            l.compact_to(&snap).map_err(|e| crate::HclError::Persist(e.to_string()))?;
+        }
+        Ok(())
     }
 
     /// Migration seam, install half: re-insert extracted elements.

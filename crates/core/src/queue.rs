@@ -22,6 +22,7 @@ use hcl_runtime::Rank;
 
 use crate::cost::CostSnapshot;
 use crate::dispatch::{hist_invoke, hist_return, Dispatcher};
+use crate::persist::{Flusher, PersistConfig, SpLog};
 use crate::{HclFuture, HclResult};
 
 const FN_PUSH: u32 = 0;
@@ -97,18 +98,23 @@ mod ops {
     };
 }
 
-/// Configuration for [`Queue`].
-#[derive(Debug, Clone, Copy)]
+/// Configuration for [`Queue`] (and [`crate::PriorityQueue`]).
+#[derive(Debug, Clone)]
 pub struct QueueConfig {
     /// The rank hosting the single partition (default: rank 0).
     pub owner: u32,
     /// Hybrid access model toggle.
     pub hybrid: bool,
+    /// Durability: when set, the hosting partition appends pushes and pops
+    /// to a segmented write-ahead log and replays it on (re)construction —
+    /// same subsystem and guarantees as [`crate::UnorderedMap`] (§III-C6,
+    /// DESIGN.md §16).
+    pub persist: Option<PersistConfig>,
 }
 
 impl Default for QueueConfig {
     fn default() -> Self {
-        QueueConfig { owner: 0, hybrid: true }
+        QueueConfig { owner: 0, hybrid: true, persist: None }
     }
 }
 
@@ -119,6 +125,10 @@ where
     fn_base: FnId,
     owner: u32,
     q: Arc<LockFreeQueue<T>>,
+    log: Option<Arc<SpLog<T>>>,
+    /// Background sync thread bounding the relaxed-policy flush gap.
+    #[allow(dead_code)]
+    flusher: Option<Flusher>,
     cfg: QueueConfig,
 }
 
@@ -143,35 +153,90 @@ where
     /// Collective constructor with configuration.
     pub fn with_config(rank: &'a Rank, name: &str, cfg: QueueConfig) -> Self {
         let world = Arc::clone(rank.world());
+        let name2 = name.to_string();
+        let pmetrics = if rank.telemetry().enabled() {
+            crate::persist::PersistMetrics::from_registry(rank.telemetry().registry())
+        } else {
+            crate::persist::PersistMetrics::detached()
+        };
         let core = rank.get_or_create_shared(&format!("hcl.queue.{name}"), move || {
             let fn_base = world.alloc_fn_ids(N_FNS);
             let q = Arc::new(LockFreeQueue::new());
             let owner = cfg.owner;
+            let flusher =
+                cfg.persist.as_ref().and_then(|p| p.policy.interval()).map(Flusher::spawn);
+            let log = cfg.persist.as_ref().map(|p| {
+                let log = Arc::new(
+                    SpLog::open(p, &name2, owner, pmetrics, |tag, v: Option<T>| match (tag, v) {
+                        (0, Some(v)) => q.push(v),
+                        (1, _) => {
+                            q.pop();
+                        }
+                        _ => {}
+                    })
+                    .expect("open queue op log"),
+                );
+                if let Some(f) = &flusher {
+                    f.register(log.wal());
+                }
+                log
+            });
             let reg = world.registry();
             let q2 = Arc::clone(&q);
+            let l = log.clone();
             reg.bind_typed(fn_base + FN_PUSH, move |_: EpId, _, v: T| {
+                if let Some(l) = &l {
+                    l.record(0, Some(&v), FN_PUSH);
+                }
                 q2.push(v);
                 true
             });
             let q2 = Arc::clone(&q);
-            reg.bind_typed(fn_base + FN_POP, move |_: EpId, _, ()| q2.pop());
+            let l = log.clone();
+            reg.bind_typed(fn_base + FN_POP, move |_: EpId, _, ()| {
+                let v = q2.pop();
+                if let (Some(l), Some(_)) = (&l, &v) {
+                    l.record(1, None, FN_POP);
+                }
+                v
+            });
             let q2 = Arc::clone(&q);
+            let l = log.clone();
             reg.bind_typed(fn_base + FN_PUSH_BULK, move |_: EpId, _, vs: Vec<T>| {
+                if let Some(l) = &l {
+                    for v in &vs {
+                        l.record_local(0, Some(v), FN_PUSH_BULK);
+                    }
+                }
                 q2.push_bulk(vs) as u64
             });
             let q2 = Arc::clone(&q);
+            let l = log.clone();
             reg.bind_typed(fn_base + FN_POP_BULK, move |_: EpId, _, max: u64| {
-                q2.pop_bulk(max as usize)
+                let vs = q2.pop_bulk(max as usize);
+                if let Some(l) = &l {
+                    for _ in &vs {
+                        l.record_local(1, None, FN_POP_BULK);
+                    }
+                }
+                vs
             });
             let q2 = Arc::clone(&q);
             reg.bind_typed(fn_base + FN_LEN, move |_: EpId, _, ()| q2.len() as u64);
             let q2 = Arc::clone(&q);
             reg.bind_typed(fn_base + FN_SNAPSHOT, move |_: EpId, _, ()| q2.iter_snapshot());
             let q2 = Arc::clone(&q);
+            let l = log.clone();
             reg.bind_typed(fn_base + FN_MIG_EXTRACT, move |_: EpId, _, ()| {
-                q2.pop_bulk(usize::MAX)
+                let vs = q2.pop_bulk(usize::MAX);
+                // The shard moved wholesale: compact to the (now empty)
+                // contents so a restart never resurrects migrated elements.
+                if let Some(l) = &l {
+                    let _ = l.compact_to(&[]);
+                }
+                vs
             });
-            Core { fn_base, owner, q, cfg }
+            Core { fn_base, owner, q, log, flusher, cfg }
         });
         let d = Dispatcher::new(rank, "queue", core.fn_base, core.cfg.hybrid);
         Queue { core, d }
@@ -210,6 +275,7 @@ where
             crate::DsOp::QueuePush { value: crate::history_enc(&value) }
         );
         let result = self.d.sync(&ops::PUSH, self.core.owner, value, |v| {
+            self.log_push(&v, FN_PUSH);
             self.core.q.push(v);
             true
         });
@@ -221,15 +287,29 @@ where
     /// and may ride a batched message with neighbouring async ops.
     pub fn push_async(&self, value: T) -> HclResult<HclFuture<bool>> {
         self.d.dispatch_async(&ops::PUSH, self.core.owner, value, |v| {
+            self.log_push(&v, FN_PUSH);
             self.core.q.push(v);
             true
         })
     }
 
+    /// Log one hybrid-bypass push (the remote path logs in the handler).
+    fn log_push(&self, v: &T, fn_off: u32) {
+        if let Some(l) = &self.core.log {
+            l.record(0, Some(v), fn_off);
+        }
+    }
+
     /// Pop one element (Table I: `F + L + R`).
     pub fn pop(&self) -> HclResult<Option<T>> {
         let tok = hist_invoke!(self.d, crate::DsOp::QueuePop);
-        let result = self.d.sync_ref(&ops::POP, self.core.owner, &(), || self.core.q.pop());
+        let result = self.d.sync_ref(&ops::POP, self.core.owner, &(), || {
+            let v = self.core.q.pop();
+            if let (Some(l), Some(_)) = (&self.core.log, &v) {
+                l.record(1, None, FN_POP);
+            }
+            v
+        });
         hist_return!(self.d, tok, &result, |v| crate::DsRet::Popped(
             v.as_ref().map(crate::history_enc)
         ));
@@ -241,6 +321,11 @@ where
     pub fn push_bulk(&self, values: Vec<T>) -> HclResult<u64> {
         let n = values.len() as u64;
         self.d.sync_scaled(&ops::PUSH_BULK, self.core.owner, n, values, |vs| {
+            if let Some(l) = &self.core.log {
+                for v in &vs {
+                    l.record_local(0, Some(v), FN_PUSH_BULK);
+                }
+            }
             self.core.q.push_bulk(vs) as u64
         })
     }
@@ -248,7 +333,13 @@ where
     /// Bulk pop of up to `max` elements (Table I: `F + L + E·R`).
     pub fn pop_bulk(&self, max: u64) -> HclResult<Vec<T>> {
         self.d.sync_scaled(&ops::POP_BULK, self.core.owner, max, max, |m| {
-            self.core.q.pop_bulk(m as usize)
+            let vs = self.core.q.pop_bulk(m as usize);
+            if let Some(l) = &self.core.log {
+                for _ in &vs {
+                    l.record_local(1, None, FN_POP_BULK);
+                }
+            }
+            vs
         })
     }
 
@@ -274,8 +365,22 @@ where
     /// extract/install; see [`crate::rebalance`]).
     pub fn extract_all(&self) -> HclResult<Vec<T>> {
         self.d.sync_ref(&ops::MIG_EXTRACT, self.core.owner, &(), || {
-            self.core.q.pop_bulk(usize::MAX)
+            let vs = self.core.q.pop_bulk(usize::MAX);
+            if let Some(l) = &self.core.log {
+                let _ = l.compact_to(&[]);
+            }
+            vs
         })
+    }
+
+    /// Compact the op log down to a push-per-element snapshot of the live
+    /// contents (no-op when persistence is off). Call from the owner rank.
+    pub fn compact_log(&self) -> HclResult<()> {
+        if let Some(l) = &self.core.log {
+            let snap = self.core.q.iter_snapshot();
+            l.compact_to(&snap).map_err(|e| crate::HclError::Persist(e.to_string()))?;
+        }
+        Ok(())
     }
 
     /// Migration seam, install half: append extracted elements in order.

@@ -40,7 +40,7 @@ use crate::cost::{CostCounters, CostSnapshot};
 use crate::dispatch::{
     hist_invoke, hist_return, BulkReply, Dispatcher, OwnerMap, ReplForwarder,
 };
-use crate::persist::{OpLog, PersistConfig};
+use crate::persist::{Flusher, OpLog, PersistConfig};
 use crate::rebalance::{MigratorRegistry, ShardMigrator};
 use crate::{default_servers, HclError, HclFuture, HclResult};
 
@@ -254,6 +254,9 @@ where
     /// Entries replicated *to* this partition from others.
     replica: CuckooMap<K, V>,
     log: Option<OpLog<LogRec<K, V>>>,
+    /// Recovery-descriptor sequence for mutations applied outside an RPC
+    /// worker (the hybrid local bypass); see [`crate::persist::op_identity`].
+    local_seq: AtomicU64,
     merger: Option<Merger<V>>,
     repl: ReplForwarder,
     world: Arc<WorldShared>,
@@ -292,12 +295,18 @@ where
     K: DataBox + Hash + Eq + Clone + Send + Sync + 'static,
     V: DataBox + Clone + Send + Sync + 'static,
 {
+    /// Log one mutation with its dispatch op index and recovery descriptor.
+    fn log_op(&self, rec: &LogRec<K, V>, fn_off: u32) {
+        if let Some(log) = &self.log {
+            let ident = crate::persist::op_identity(self.home, &self.local_seq);
+            let _ = log.append_op(rec, fn_off as u16, ident);
+        }
+    }
+
     fn apply_put(&self, key: K, value: V) -> bool {
         self.costs.l(1);
         self.costs.w(1);
-        if let Some(log) = &self.log {
-            let _ = log.append(&(0, key.clone(), Some(value.clone())));
-        }
+        self.log_op(&(0, key.clone(), Some(value.clone())), FN_PUT);
         let existed = self.map.insert(key.clone(), value.clone()).is_some();
         self.version.fetch_add(1, Ordering::Release);
         self.forward_migration(&key, Some(&value));
@@ -310,9 +319,7 @@ where
     fn apply_erase(&self, key: &K) -> Option<V> {
         self.costs.l(1);
         self.costs.w(1);
-        if let Some(log) = &self.log {
-            let _ = log.append(&(1, key.clone(), None));
-        }
+        self.log_op(&(1, key.clone(), None), FN_ERASE);
         let prev = self.map.remove(key);
         self.version.fetch_add(1, Ordering::Release);
         self.forward_migration(key, None);
@@ -347,9 +354,9 @@ where
         let merged = self.map.upsert(key.clone(), |old| merger(old, &value));
         self.version.fetch_add(1, Ordering::Release);
         self.forward_migration(&key, Some(&merged));
-        if let Some(log) = &self.log {
-            let _ = log.append(&(0, key.clone(), Some(merged.clone())));
-        }
+        // Logged as the *merged result*, not the merge argument: replay must
+        // not re-run the merger against recovered state.
+        self.log_op(&(0, key.clone(), Some(merged.clone())), FN_MERGE);
         if self.replicas > 0 {
             self.replicate(FN_REPL_PUT, (key, Some(merged.clone())));
         }
@@ -451,6 +458,9 @@ where
         self.version.fetch_add(1, Ordering::Release);
         let installed = was_absent.load(Ordering::Relaxed);
         if installed {
+            // Durability follows ownership: a migrated-in entry is logged at
+            // its new home so a crash after the commit replays it here.
+            self.log_op(&(0, key.clone(), Some(value)), FN_MIG_INSTALL);
             self.installed.lock().push(key);
         }
         installed
@@ -463,10 +473,12 @@ where
         match value {
             Some(v) => {
                 self.tombstones.lock().remove(&key);
+                self.log_op(&(0, key.clone(), Some(v.clone())), FN_MIG_APPLY);
                 self.map.insert(key.clone(), v);
                 self.installed.lock().push(key);
             }
             None => {
+                self.log_op(&(1, key.clone(), None), FN_MIG_APPLY);
                 self.map.remove(&key);
                 self.tombstones.lock().insert(key);
             }
@@ -491,6 +503,18 @@ where
                     }
                 }
                 self.version.fetch_add(1, Ordering::Release);
+                // The moved shard now lives (and logs) at the new owner;
+                // compact this side's log to the post-purge contents so a
+                // crash here never resurrects the migrated keys.
+                if let Some(log) = &self.log {
+                    let snapshot: Vec<LogRec<K, V>> = self
+                        .map
+                        .iter_snapshot()
+                        .into_iter()
+                        .map(|(k, v)| (0, k, Some(v)))
+                        .collect();
+                    let _ = log.compact(snapshot.iter());
+                }
             }
         } else {
             if !committed {
@@ -527,6 +551,10 @@ where
     repl_map: Arc<PartitionMap>,
     parts: HashMap<u32, Arc<Part<K, V>>>,
     cfg: UnorderedMapConfig,
+    /// Background sync thread bounding the relaxed-policy flush gap across
+    /// all this container's partition logs (`None` for strict/manual).
+    #[allow(dead_code)]
+    flusher: Option<Flusher>,
 }
 
 fn bind_handlers<K, V>(
@@ -687,6 +715,11 @@ where
         let world = Arc::clone(rank.world());
         let cfg2 = cfg.clone();
         let name2 = name.to_string();
+        let pmetrics = if rank.telemetry().enabled() {
+            crate::persist::PersistMetrics::from_registry(rank.telemetry().registry())
+        } else {
+            crate::persist::PersistMetrics::detached()
+        };
         let core = rank.get_or_create_shared(&format!("hcl.umap.{name}"), move || {
             // Elastic (no explicit `servers`): ownership follows the world's
             // membership, so every rank hosts a Part — any rank may be
@@ -701,27 +734,44 @@ where
             } else {
                 servers.clone()
             };
+            // One relaxed-policy flusher bounds the flush gap of every
+            // partition log this container opens.
+            let flusher = cfg2.persist.as_ref().and_then(|p| p.policy.interval()).map(Flusher::spawn);
             let mut parts = HashMap::new();
             for &owner in &hosts {
-                // Non-leader elastic hosts start empty: no op log of their
-                // own and no spot in the static replica ring.
+                // Non-leader elastic hosts start empty — but under a persist
+                // config they still open a log, because live rebalancing can
+                // migrate shards onto them; durability follows ownership.
                 let leader = servers.iter().position(|&s| s == owner);
                 let map = CuckooMap::with_buckets(cfg2.initial_buckets);
-                let log = leader.and_then(|i| {
-                    cfg2.persist.as_ref().map(|p| {
-                        let path = p.log_path(&name2, i);
-                        OpLog::open(path, p.mode_of(), |rec: LogRec<K, V>| match rec {
-                            (0, k, Some(v)) => {
-                                map.insert(k, v);
-                            }
-                            (1, k, None) => {
-                                map.remove(&k);
-                            }
-                            _ => {}
-                        })
-                        .expect("open partition op log")
-                    })
-                });
+                let log = cfg2
+                    .persist
+                    .as_ref()
+                    .filter(|_| leader.is_some() || elastic)
+                    .map(|p| {
+                        // Stems are keyed by owner rank: stable across a
+                        // restart of the same world shape, unique per host.
+                        let log = OpLog::open_with(
+                            p.stem(&name2, owner as usize),
+                            p.policy,
+                            p.segment_bytes,
+                            pmetrics.clone(),
+                            |rec: LogRec<K, V>| match rec {
+                                (0, k, Some(v)) => {
+                                    map.insert(k, v);
+                                }
+                                (1, k, None) => {
+                                    map.remove(&k);
+                                }
+                                _ => {}
+                            },
+                        )
+                        .expect("open partition op log");
+                        if let Some(f) = &flusher {
+                            f.register(log.wal());
+                        }
+                        log
+                    });
                 parts.insert(
                     owner,
                     Arc::new(Part {
@@ -730,6 +780,7 @@ where
                         map,
                         replica: CuckooMap::with_buckets(cfg2.initial_buckets),
                         log,
+                        local_seq: AtomicU64::new(0),
                         merger: merger.clone(),
                         repl: ReplForwarder::new(owner),
                         world: Arc::clone(&world),
@@ -759,7 +810,7 @@ where
                     .registry()
                     .set_epoch_gate(fn_base, N_FNS, move || cell.load(Ordering::Acquire));
             }
-            Core { fn_base, servers, repl_map, parts, cfg: cfg2 }
+            Core { fn_base, servers, repl_map, parts, cfg: cfg2, flusher }
         });
         let mut d = Dispatcher::new(rank, "umap", core.fn_base, core.cfg.hybrid);
         if core.cfg.servers.is_some() {
@@ -1217,12 +1268,6 @@ where
             out.fu += s.fu;
         }
         out
-    }
-}
-
-impl PersistConfig {
-    pub(crate) fn mode_of(&self) -> crate::persist::PersistMode {
-        self.mode
     }
 }
 

@@ -285,7 +285,7 @@ fn fifo_queue_bulk_ops_and_remote_owner() {
         let q: Queue<String> = Queue::with_config(
             rank,
             "q2",
-            hcl::queue::QueueConfig { owner: 3, hybrid: true },
+            hcl::queue::QueueConfig { owner: 3, hybrid: true, ..Default::default() },
         );
         if rank.id() == 0 {
             let n = q.push_bulk((0..10).map(|i| format!("e{i}")).collect()).unwrap();
@@ -680,12 +680,12 @@ fn async_variants_on_every_container() {
         let q: Queue<u64> = Queue::with_config(
             rank,
             "async.q",
-            hcl::queue::QueueConfig { owner: 2, hybrid: true },
+            hcl::queue::QueueConfig { owner: 2, hybrid: true, ..Default::default() },
         );
         let pq: PriorityQueue<u64> = PriorityQueue::with_config(
             rank,
             "async.pq",
-            hcl::queue::QueueConfig { owner: 2, hybrid: true },
+            hcl::queue::QueueConfig { owner: 2, hybrid: true, ..Default::default() },
         );
         let us: UnorderedSet<u64> = UnorderedSet::new(rank, "async.us");
         // Fire a wave of async ops and wait them all.

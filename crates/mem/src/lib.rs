@@ -25,7 +25,7 @@ pub mod persist;
 pub mod segment;
 
 pub use alloc::{AllocError, SegmentAllocator};
-pub use persist::{Backing, FlushMode};
+pub use persist::{Backing, SyncPolicy};
 pub use segment::{MemError, Segment};
 
 /// Round `n` up to the next multiple of 8 (the word size used by [`Segment`]).

@@ -3,13 +3,14 @@
 //! The paper (§III-C6) memory-maps each partition to a file on NVMe and lets
 //! the kernel flush the mapping, with a *strict* (per-operation) and a
 //! *relaxed* (background) synchronisation mode. We reproduce the same policy
-//! surface with explicit dirty-range write-back (DESIGN.md substitution #7):
+//! surface with explicit dirty-range write-back (DESIGN.md substitution #7),
+//! sharing the one [`SyncPolicy`] type of the `hcl-persist` subsystem:
 //!
-//! * [`FlushMode::Strict`] — every mutating segment operation writes its dirty
-//!   range through to the file before returning.
-//! * [`FlushMode::Relaxed`] — dirty ranges accumulate and are written back by
-//!   a background flusher (or opportunistically when `interval` has elapsed).
-//! * [`FlushMode::Manual`] — write-back only on explicit [`Segment::sync`].
+//! * [`SyncPolicy::Strict`] — every mutating segment operation writes its
+//!   dirty range through to the file before returning.
+//! * [`SyncPolicy::Relaxed`] — dirty ranges accumulate and are written back
+//!   by a background flusher (or opportunistically once `interval` elapsed).
+//! * [`SyncPolicy::Manual`] — write-back only on explicit [`Segment::sync`].
 //!
 //! [`Segment::sync`]: crate::segment::Segment::sync
 
@@ -25,26 +26,13 @@ use parking_lot::Mutex;
 
 use crate::segment::{MemError, Segment};
 
-/// When dirty segment ranges are written back to the backing file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FlushMode {
-    /// Write-through on every mutating operation (durable, slower).
-    Strict,
-    /// Opportunistic write-back once `interval` has elapsed since the last
-    /// flush; pair with [`Flusher`] for fully asynchronous write-back.
-    Relaxed {
-        /// Minimum delay between opportunistic flushes.
-        interval: Duration,
-    },
-    /// Only flush when explicitly asked to.
-    Manual,
-}
+pub use hcl_persist::SyncPolicy;
 
 /// A file backing for a [`Segment`], with dirty-range tracking.
 pub struct Backing {
     path: PathBuf,
     file: Mutex<File>,
-    mode: FlushMode,
+    mode: SyncPolicy,
     /// Merged dirty byte ranges: start -> end (exclusive).
     dirty: Mutex<BTreeMap<usize, usize>>,
     last_flush: Mutex<Instant>,
@@ -52,7 +40,7 @@ pub struct Backing {
 
 impl Backing {
     /// Open (or create) the backing file at `path`.
-    pub fn open(path: impl AsRef<Path>, mode: FlushMode) -> std::io::Result<Self> {
+    pub fn open(path: impl AsRef<Path>, mode: SyncPolicy) -> std::io::Result<Self> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&path)?;
         Ok(Backing {
@@ -70,7 +58,7 @@ impl Backing {
     }
 
     /// The configured flush mode.
-    pub fn mode(&self) -> FlushMode {
+    pub fn mode(&self) -> SyncPolicy {
         self.mode
     }
 
@@ -119,8 +107,8 @@ impl Backing {
     /// after each mutating operation.
     pub fn maybe_flush(&self, seg: &Segment) -> Result<(), MemError> {
         match self.mode {
-            FlushMode::Strict => self.flush_dirty(seg).map_err(|e| MemError::Io(e.to_string())),
-            FlushMode::Relaxed { interval } => {
+            SyncPolicy::Strict => self.flush_dirty(seg).map_err(|e| MemError::Io(e.to_string())),
+            SyncPolicy::Relaxed { interval } => {
                 let due = {
                     let last = self.last_flush.lock();
                     last.elapsed() >= interval
@@ -131,7 +119,7 @@ impl Backing {
                     Ok(())
                 }
             }
-            FlushMode::Manual => Ok(()),
+            SyncPolicy::Manual => Ok(()),
         }
     }
 
@@ -177,7 +165,7 @@ impl std::fmt::Debug for Backing {
     }
 }
 
-/// Background flusher thread for [`FlushMode::Relaxed`] segments: the
+/// Background flusher thread for [`SyncPolicy::Relaxed`] segments: the
 /// stand-in for the kernel writeback the paper's mmap approach relies on.
 pub struct Flusher {
     stop: Arc<AtomicBool>,
@@ -239,7 +227,7 @@ mod tests {
     #[test]
     fn dirty_range_merging() {
         let path = tmp("merge");
-        let b = Backing::open(&path, FlushMode::Manual).unwrap();
+        let b = Backing::open(&path, SyncPolicy::Manual).unwrap();
         b.mark_dirty(0, 8);
         b.mark_dirty(16, 8);
         assert_eq!(b.dirty_ranges(), 2);
@@ -255,12 +243,12 @@ mod tests {
     fn strict_mode_persists_every_write() {
         let path = tmp("strict");
         let seg =
-            Segment::with_backing(64, Backing::open(&path, FlushMode::Strict).unwrap()).unwrap();
+            Segment::with_backing(64, Backing::open(&path, SyncPolicy::Strict).unwrap()).unwrap();
         seg.write(0, b"hello world").unwrap();
         seg.store_u64(16, 0xdead_beef).unwrap();
         // Re-open without flushing explicitly: contents must be there.
         let seg2 =
-            Segment::with_backing(64, Backing::open(&path, FlushMode::Strict).unwrap()).unwrap();
+            Segment::with_backing(64, Backing::open(&path, SyncPolicy::Strict).unwrap()).unwrap();
         let mut buf = [0u8; 11];
         seg2.read(0, &mut buf).unwrap();
         assert_eq!(&buf, b"hello world");
@@ -272,15 +260,15 @@ mod tests {
     fn manual_mode_persists_only_on_sync() {
         let path = tmp("manual");
         let seg =
-            Segment::with_backing(64, Backing::open(&path, FlushMode::Manual).unwrap()).unwrap();
+            Segment::with_backing(64, Backing::open(&path, SyncPolicy::Manual).unwrap()).unwrap();
         seg.write(0, b"unsynced").unwrap();
         {
-            let b2 = Backing::open(&path, FlushMode::Manual).unwrap();
+            let b2 = Backing::open(&path, SyncPolicy::Manual).unwrap();
             assert!(b2.load_all().unwrap().iter().all(|&x| x == 0) || b2.load_all().unwrap().is_empty());
         }
         seg.sync().unwrap();
         let seg2 =
-            Segment::with_backing(64, Backing::open(&path, FlushMode::Manual).unwrap()).unwrap();
+            Segment::with_backing(64, Backing::open(&path, SyncPolicy::Manual).unwrap()).unwrap();
         let mut buf = [0u8; 8];
         seg2.read(0, &mut buf).unwrap();
         assert_eq!(&buf, b"unsynced");
@@ -291,12 +279,12 @@ mod tests {
     fn recovery_does_not_mark_dirty() {
         let path = tmp("recover");
         {
-            let seg = Segment::with_backing(32, Backing::open(&path, FlushMode::Strict).unwrap())
+            let seg = Segment::with_backing(32, Backing::open(&path, SyncPolicy::Strict).unwrap())
                 .unwrap();
             seg.write(0, &[7u8; 32]).unwrap();
         }
         let seg2 =
-            Segment::with_backing(32, Backing::open(&path, FlushMode::Manual).unwrap()).unwrap();
+            Segment::with_backing(32, Backing::open(&path, SyncPolicy::Manual).unwrap()).unwrap();
         assert_eq!(seg2.backing().unwrap().dirty_ranges(), 0);
         std::fs::remove_file(&path).unwrap();
     }
@@ -306,7 +294,7 @@ mod tests {
         let path = tmp("flusher");
         let seg = Segment::with_backing(
             64,
-            Backing::open(&path, FlushMode::Relaxed { interval: Duration::from_secs(3600) })
+            Backing::open(&path, SyncPolicy::Relaxed { interval: Duration::from_secs(3600) })
                 .unwrap(),
         )
         .unwrap();
@@ -318,7 +306,7 @@ mod tests {
         }
         flusher.stop();
         assert_eq!(seg.backing().unwrap().dirty_ranges(), 0);
-        let b2 = Backing::open(&path, FlushMode::Manual).unwrap();
+        let b2 = Backing::open(&path, SyncPolicy::Manual).unwrap();
         assert!(b2.load_all().unwrap().starts_with(b"async flush"));
         std::fs::remove_file(&path).unwrap();
     }
@@ -327,13 +315,13 @@ mod tests {
     fn recovery_grows_segment_to_file_size() {
         let path = tmp("growfile");
         {
-            let seg = Segment::with_backing(128, Backing::open(&path, FlushMode::Strict).unwrap())
+            let seg = Segment::with_backing(128, Backing::open(&path, SyncPolicy::Strict).unwrap())
                 .unwrap();
             seg.write(120, &[1u8; 8]).unwrap();
         }
         // Request a smaller segment: recovery must still fit the file.
         let seg2 =
-            Segment::with_backing(16, Backing::open(&path, FlushMode::Manual).unwrap()).unwrap();
+            Segment::with_backing(16, Backing::open(&path, SyncPolicy::Manual).unwrap()).unwrap();
         assert!(seg2.len() >= 128);
         let mut buf = [0u8; 8];
         seg2.read(120, &mut buf).unwrap();

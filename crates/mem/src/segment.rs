@@ -62,7 +62,7 @@ impl Storage {
 ///
 /// A segment may optionally carry a persistence [`Backing`]; mutating
 /// operations then record dirty ranges which are written back to the backing
-/// file according to its [`FlushMode`](crate::persist::FlushMode).
+/// file according to its [`SyncPolicy`](crate::persist::SyncPolicy).
 pub struct Segment {
     storage: RwLock<Storage>,
     backing: Option<Backing>,

@@ -1,0 +1,124 @@
+//! The relaxed-policy background flusher: one thread bounding the flush gap
+//! of every registered log.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::wal::Wal;
+
+/// Periodically runs a sync barrier over a set of [`Wal`]s, so a relaxed-
+/// policy log is never more than one interval behind stable storage.
+///
+/// Dropping the flusher stops the thread after a final barrier pass —
+/// clean shutdown loses nothing.
+pub struct Flusher {
+    stop: Arc<AtomicBool>,
+    logs: Arc<Mutex<Vec<Weak<Wal>>>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Flusher {
+    /// Spawn the flusher with the given gap bound.
+    pub fn spawn(interval: Duration) -> Flusher {
+        let stop = Arc::new(AtomicBool::new(false));
+        let logs: Arc<Mutex<Vec<Weak<Wal>>>> = Arc::new(Mutex::new(Vec::new()));
+        let t_stop = Arc::clone(&stop);
+        let t_logs = Arc::clone(&logs);
+        let handle = std::thread::Builder::new()
+            .name("hcl-persist-flusher".into())
+            .spawn(move || {
+                // Wake often enough that a stop request is honoured quickly,
+                // but only run barriers at the configured interval.
+                let tick = interval.min(Duration::from_millis(20)).max(Duration::from_millis(1));
+                let mut since_pass = Duration::ZERO;
+                // ORDERING: Acquire pairs with the Release store in stop();
+                // the final pass below covers any appends racing shutdown.
+                while !t_stop.load(Ordering::Acquire) {
+                    std::thread::sleep(tick);
+                    since_pass += tick;
+                    if since_pass >= interval {
+                        since_pass = Duration::ZERO;
+                        Self::pass(&t_logs);
+                    }
+                }
+                Self::pass(&t_logs);
+            })
+            .expect("spawn persist flusher");
+        Flusher { stop, logs, handle: Some(handle) }
+    }
+
+    /// One barrier pass over every live registered log, pruning dropped ones.
+    fn pass(logs: &Mutex<Vec<Weak<Wal>>>) {
+        let mut logs = logs.lock();
+        logs.retain(|w| match w.upgrade() {
+            Some(wal) => {
+                let _ = wal.sync_if_dirty();
+                true
+            }
+            None => false,
+        });
+    }
+
+    /// Put `wal` under the flusher's gap bound.
+    pub fn register(&self, wal: &Arc<Wal>) {
+        self.logs.lock().push(Arc::downgrade(wal));
+    }
+
+    /// Logs currently registered (live ones; pruning happens on passes).
+    pub fn registered(&self) -> usize {
+        self.logs.lock().len()
+    }
+}
+
+impl Drop for Flusher {
+    fn drop(&mut self) {
+        // ORDERING: Release pairs with the Acquire poll in the thread loop.
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SyncPolicy, WalRecord};
+    use hcl_telemetry::PersistMetrics;
+
+    #[test]
+    fn flusher_bounds_the_gap_and_final_pass_covers_shutdown() {
+        let dir = std::env::temp_dir()
+            .join(format!("hcl-persist-flusher-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = PersistMetrics::detached();
+        let (wal, _) = Wal::open(
+            dir.join("f.part0"),
+            // Manual: only the flusher ever syncs, so the fsync counter
+            // isolates its passes.
+            SyncPolicy::Manual,
+            crate::DEFAULT_SEGMENT_BYTES,
+            metrics.clone(),
+            |_| {},
+        )
+        .unwrap();
+        let wal = Arc::new(wal);
+        let flusher = Flusher::spawn(Duration::from_millis(5));
+        flusher.register(&wal);
+        wal.append(WalRecord::anonymous(0, b"gap-bounded")).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while metrics.fsyncs.get() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(metrics.fsyncs.get() >= 1, "flusher never synced the dirty log");
+        wal.append(WalRecord::anonymous(0, b"shutdown-raced")).unwrap();
+        drop(flusher); // final pass
+        assert!(!wal.sync_if_dirty().unwrap(), "final pass left the log dirty");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

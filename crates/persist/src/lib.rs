@@ -1,0 +1,103 @@
+//! Durability subsystem (paper §III-C6, DESIGN.md §16).
+//!
+//! The paper persists DDS partitions by memory-mapping them onto NVMe with
+//! per-operation ("strict") or background ("relaxed") synchronisation. This
+//! crate reproduces that policy surface as a first-class write-ahead-log
+//! subsystem instead of a sidecar:
+//!
+//! * **Segmented, checksummed logs** ([`Wal`]): fixed-size segment files,
+//!   a CRC-32 per record frame, torn-tail truncation on replay (the partial
+//!   final record a `kill -9` leaves behind is chopped off the file itself,
+//!   so later appends never land after garbage), and snapshot compaction
+//!   with an atomic rename.
+//! * **Sync epochs** ([`SyncPolicy`]): `Strict` fsyncs every append,
+//!   `Relaxed` bounds the flush gap with a background [`Flusher`], `Manual`
+//!   leaves scheduling to the caller. One policy type — the old
+//!   `core::persist::PersistMode` / `mem::persist::FlushMode` duplicates
+//!   both resolve here.
+//! * **Detectable recovery descriptors**: every record carries the dispatch
+//!   op id plus the client `(rank, seq)` identity — the same scheme as the
+//!   RPC server's dedup window — so replay after a crash is exactly-once
+//!   even when a retransmitted op was logged twice.
+
+mod flusher;
+mod wal;
+
+pub use flusher::Flusher;
+pub use wal::{ReplayReport, Wal, WalRecord, DEFAULT_SEGMENT_BYTES, NO_IDENTITY};
+
+pub use hcl_telemetry::PersistMetrics;
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// When (and how durably) log appends reach stable storage.
+///
+/// The single sync-policy type for the whole tree: container op logs,
+/// snapshot persistence, and `hcl-mem`'s file-backed segments all take this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// fsync on every append: an acknowledged mutation is durable.
+    Strict,
+    /// Appends buffer; a sync barrier runs at most `interval` behind the
+    /// latest append (enforced by a background [`Flusher`] or by the
+    /// append path itself). A crash may lose up to one flush gap of tail.
+    Relaxed {
+        /// The bounded flush gap.
+        interval: Duration,
+    },
+    /// No automatic syncing; the caller schedules `sync()` explicitly.
+    Manual,
+}
+
+impl SyncPolicy {
+    /// True for the per-append fsync policy.
+    pub fn is_strict(&self) -> bool {
+        matches!(self, SyncPolicy::Strict)
+    }
+
+    /// The relaxed flush gap, if any.
+    pub fn interval(&self) -> Option<Duration> {
+        match self {
+            SyncPolicy::Relaxed { interval } => Some(*interval),
+            _ => None,
+        }
+    }
+}
+
+/// Where and how a container persists its partitions.
+#[derive(Debug, Clone)]
+pub struct PersistConfig {
+    /// Directory holding the per-partition segment files and snapshots.
+    pub dir: PathBuf,
+    /// Sync policy for every partition log.
+    pub policy: SyncPolicy,
+    /// Segment rotation threshold, bytes.
+    pub segment_bytes: u64,
+}
+
+impl PersistConfig {
+    /// Strict persistence under `dir`.
+    pub fn strict(dir: impl Into<PathBuf>) -> Self {
+        PersistConfig {
+            dir: dir.into(),
+            policy: SyncPolicy::Strict,
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+        }
+    }
+
+    /// Relaxed persistence under `dir` with the given flush gap.
+    pub fn relaxed(dir: impl Into<PathBuf>, interval: Duration) -> Self {
+        PersistConfig {
+            dir: dir.into(),
+            policy: SyncPolicy::Relaxed { interval },
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+        }
+    }
+
+    /// The path stem for partition `p` of container `name`: segment files
+    /// are `{stem}.NNNNNN.seg`, the snapshot `{stem}.snap`.
+    pub fn stem(&self, name: &str, p: usize) -> PathBuf {
+        self.dir.join(format!("{name}.part{p}"))
+    }
+}

@@ -1,0 +1,738 @@
+//! The segmented, checksummed write-ahead log.
+//!
+//! On-disk layout for a log with stem `dir/name.part3`:
+//!
+//! ```text
+//! dir/name.part3.000000.seg      record frames, oldest segment
+//! dir/name.part3.000001.seg      ...
+//! dir/name.part3.000002.seg      append segment (tail)
+//! dir/name.part3.snap            compaction snapshot (optional)
+//! ```
+//!
+//! Each frame is `[len: u32][crc: u32][op: u16][rank: u32][seq: u64][payload]`
+//! with the CRC covering everything after it. Segment indices only ever grow
+//! (compaction rotates to a fresh index and deletes old files, it never
+//! renumbers), so a snapshot can record the segment it covers through and a
+//! crash between the snapshot rename and the old-segment sweep is harmless:
+//! replay ignores and deletes segments at or below the covered index.
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use hcl_telemetry::PersistMetrics;
+use parking_lot::Mutex;
+
+use crate::SyncPolicy;
+
+/// Default segment rotation threshold.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 4 * 1024 * 1024;
+
+/// The identity of a record with no client attached (snapshot entries,
+/// migration installs): exempt from replay dedup.
+pub const NO_IDENTITY: (u32, u64) = (0, 0);
+
+/// Frame header: `len + crc`.
+const FRAME_HDR: usize = 8;
+/// Record header inside the frame body: `op + rank + seq`.
+const REC_HDR: usize = 2 + 4 + 8;
+/// Upper bound on a single record body; larger lengths are treated as
+/// corruption (a garbage `len` field must not drive a huge allocation).
+const MAX_BODY: u32 = 256 * 1024 * 1024;
+
+/// Snapshot file magic: "HCLS".
+const SNAP_MAGIC: u32 = 0x484C_4353;
+/// Snapshot header: magic + version + covered segment index.
+const SNAP_HDR: usize = 4 + 4 + 8;
+
+// CRC-32 (IEEE 802.3, reflected), table-driven; no external crates in this
+// build environment.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// One logged mutation: the dispatch op id, the client `(rank, seq)`
+/// recovery descriptor, and the packed argument payload.
+#[derive(Debug, Clone, Copy)]
+pub struct WalRecord<'a> {
+    /// Container-local op index (the dispatch descriptor's function offset).
+    pub op: u16,
+    /// Issuing client rank (`NO_IDENTITY` when none).
+    pub rank: u32,
+    /// Client sequence number — the RPC request id composed with the batch
+    /// index, or a local-bypass counter with the top bit set.
+    pub seq: u64,
+    /// Packed op arguments.
+    pub payload: &'a [u8],
+}
+
+impl<'a> WalRecord<'a> {
+    /// A record with no client identity (exempt from replay dedup).
+    pub fn anonymous(op: u16, payload: &'a [u8]) -> Self {
+        WalRecord { op, rank: NO_IDENTITY.0, seq: NO_IDENTITY.1, payload }
+    }
+}
+
+/// What replay found when the log was opened.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayReport {
+    /// Record frames read back (snapshot + segments).
+    pub replayed: u64,
+    /// Frames applied after `(rank, seq)` dedup — the exactly-once count.
+    pub recovered: u64,
+    /// Frames skipped as duplicates of an already-replayed identity.
+    pub deduped: u64,
+    /// Bytes discarded by torn-tail truncation (including any segments
+    /// dropped wholesale past the tear).
+    pub truncated_bytes: u64,
+    /// Records loaded from the snapshot (subset of `replayed`).
+    pub snapshot_records: u64,
+}
+
+struct WalInner {
+    /// Index of the segment the append handle writes.
+    seg_index: u64,
+    writer: BufWriter<File>,
+    /// Bytes in the append segment.
+    seg_len: u64,
+    /// Live records (replayed + appended − compacted away).
+    records: u64,
+    last_sync: Instant,
+    /// Appends not yet covered by a sync barrier.
+    dirty: bool,
+    /// Scratch frame buffer, reused across appends.
+    scratch: Vec<u8>,
+}
+
+/// A segmented write-ahead log for one container partition.
+pub struct Wal {
+    stem: PathBuf,
+    policy: SyncPolicy,
+    segment_bytes: u64,
+    metrics: PersistMetrics,
+    inner: Mutex<WalInner>,
+}
+
+/// `{stem}.{idx:06}.seg`.
+fn seg_path(stem: &Path, idx: u64) -> PathBuf {
+    let mut os = stem.as_os_str().to_os_string();
+    os.push(format!(".{idx:06}.seg"));
+    PathBuf::from(os)
+}
+
+/// `{stem}.snap` / `{stem}.snap.tmp`.
+fn snap_path(stem: &Path, tmp: bool) -> PathBuf {
+    let mut os = stem.as_os_str().to_os_string();
+    os.push(if tmp { ".snap.tmp" } else { ".snap" });
+    PathBuf::from(os)
+}
+
+/// All existing segment indices for `stem`, sorted ascending.
+fn list_segments(stem: &Path) -> std::io::Result<Vec<u64>> {
+    let Some(dir) = stem.parent() else { return Ok(Vec::new()) };
+    let Some(base) = stem.file_name().and_then(|n| n.to_str()) else {
+        return Ok(Vec::new());
+    };
+    let prefix = format!("{base}.");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix(&prefix) else { continue };
+        let Some(idx) = rest.strip_suffix(".seg") else { continue };
+        if let Ok(idx) = idx.parse::<u64>() {
+            out.push(idx);
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// Encode one frame into `buf` (appended).
+fn push_frame(buf: &mut Vec<u8>, rec: WalRecord<'_>) {
+    let body_len = REC_HDR + rec.payload.len();
+    buf.reserve(FRAME_HDR + body_len);
+    buf.extend_from_slice(&(body_len as u32).to_le_bytes());
+    let crc_pos = buf.len();
+    buf.extend_from_slice(&[0; 4]);
+    let body_start = buf.len();
+    buf.extend_from_slice(&rec.op.to_le_bytes());
+    buf.extend_from_slice(&rec.rank.to_le_bytes());
+    buf.extend_from_slice(&rec.seq.to_le_bytes());
+    buf.extend_from_slice(rec.payload);
+    let crc = crc32(&buf[body_start..]);
+    buf[crc_pos..crc_pos + 4].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Decode the frame at `buf[off..]`. Returns `(record, next_offset)`, or
+/// `None` when the frame is short or fails its checksum — the torn tail.
+fn read_frame(buf: &[u8], off: usize) -> Option<(WalRecord<'_>, usize)> {
+    if buf.len() < off + FRAME_HDR {
+        return None;
+    }
+    let len = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+    if len < REC_HDR as u32 || len > MAX_BODY {
+        return None;
+    }
+    let crc = u32::from_le_bytes(buf[off + 4..off + 8].try_into().unwrap());
+    let body_start = off + FRAME_HDR;
+    let body_end = body_start + len as usize;
+    if buf.len() < body_end {
+        return None;
+    }
+    let body = &buf[body_start..body_end];
+    if crc32(body) != crc {
+        return None;
+    }
+    let op = u16::from_le_bytes(body[0..2].try_into().unwrap());
+    let rank = u32::from_le_bytes(body[2..6].try_into().unwrap());
+    let seq = u64::from_le_bytes(body[6..14].try_into().unwrap());
+    Some((WalRecord { op, rank, seq, payload: &body[REC_HDR..] }, body_end))
+}
+
+impl Wal {
+    /// Open (creating if needed) the log at `stem`, first replaying the
+    /// snapshot and every surviving segment through `apply`. Replay
+    /// truncates a torn tail off the segment file itself, deletes anything
+    /// past the tear, and skips records whose `(rank, seq)` identity was
+    /// already applied — exactly-once even for double-logged retransmits.
+    pub fn open(
+        stem: impl Into<PathBuf>,
+        policy: SyncPolicy,
+        segment_bytes: u64,
+        metrics: PersistMetrics,
+        mut apply: impl FnMut(WalRecord<'_>),
+    ) -> std::io::Result<(Self, ReplayReport)> {
+        let stem = stem.into();
+        if let Some(parent) = stem.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut report = ReplayReport::default();
+        let mut seen: HashSet<(u32, u64)> = HashSet::new();
+        let mut run = |rec: WalRecord<'_>, report: &mut ReplayReport| {
+            report.replayed += 1;
+            metrics.replayed.inc();
+            if (rec.rank, rec.seq) != NO_IDENTITY && !seen.insert((rec.rank, rec.seq)) {
+                report.deduped += 1;
+                return;
+            }
+            report.recovered += 1;
+            metrics.recovered_ops.inc();
+            apply(rec);
+        };
+
+        // A leftover snapshot tmp is a compaction that never committed.
+        let _ = std::fs::remove_file(snap_path(&stem, true));
+
+        // Snapshot first: it covers everything through `covered_seg`.
+        let mut covered_seg: Option<u64> = None;
+        let snap = snap_path(&stem, false);
+        if snap.exists() {
+            let mut buf = Vec::new();
+            File::open(&snap)?.read_to_end(&mut buf)?;
+            if buf.len() >= SNAP_HDR
+                && u32::from_le_bytes(buf[0..4].try_into().unwrap()) == SNAP_MAGIC
+            {
+                covered_seg = Some(u64::from_le_bytes(buf[8..16].try_into().unwrap()));
+                let mut off = SNAP_HDR;
+                while let Some((rec, next)) = read_frame(&buf, off) {
+                    run(rec, &mut report);
+                    report.snapshot_records += 1;
+                    off = next;
+                }
+            }
+            metrics.snapshot_bytes.set(buf.len() as u64);
+        }
+
+        // Sweep segments a crashed compaction left behind, then replay the
+        // rest oldest-first.
+        let mut segs = list_segments(&stem)?;
+        if let Some(cov) = covered_seg {
+            for &idx in segs.iter().filter(|&&i| i <= cov) {
+                let _ = std::fs::remove_file(seg_path(&stem, idx));
+            }
+            segs.retain(|&i| i > cov);
+        }
+        let mut torn_at: Option<usize> = None;
+        for (i, &idx) in segs.iter().enumerate() {
+            let path = seg_path(&stem, idx);
+            let mut buf = Vec::new();
+            File::open(&path)?.read_to_end(&mut buf)?;
+            let mut off = 0;
+            while let Some((rec, next)) = read_frame(&buf, off) {
+                run(rec, &mut report);
+                off = next;
+            }
+            if off < buf.len() {
+                // Torn tail: chop the partial/corrupt record off the file so
+                // future appends continue from the last good frame.
+                report.truncated_bytes += (buf.len() - off) as u64;
+                let f = OpenOptions::new().write(true).open(&path)?;
+                f.set_len(off as u64)?;
+                f.sync_data()?;
+                torn_at = Some(i);
+                break;
+            }
+        }
+        if let Some(i) = torn_at {
+            // Segments past the tear postdate the corruption; drop them.
+            for &idx in &segs[i + 1..] {
+                let path = seg_path(&stem, idx);
+                if let Ok(md) = std::fs::metadata(&path) {
+                    report.truncated_bytes += md.len();
+                }
+                let _ = std::fs::remove_file(&path);
+            }
+            segs.truncate(i + 1);
+        }
+        if report.truncated_bytes > 0 {
+            metrics.truncated_tail.add(report.truncated_bytes);
+        }
+
+        // Append handle: tail segment, or a fresh one past it / the snapshot.
+        let mut seg_index = match (segs.last(), covered_seg) {
+            (Some(&last), _) => last,
+            (None, Some(cov)) => cov + 1,
+            (None, None) => 0,
+        };
+        let mut seg_len = std::fs::metadata(seg_path(&stem, seg_index))
+            .map(|m| m.len())
+            .unwrap_or(0);
+        if seg_len >= segment_bytes {
+            seg_index += 1;
+            seg_len = 0;
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(seg_path(&stem, seg_index))?;
+        let wal = Wal {
+            stem,
+            policy,
+            segment_bytes: segment_bytes.max(1),
+            metrics,
+            inner: Mutex::new(WalInner {
+                seg_index,
+                writer: BufWriter::new(file),
+                seg_len,
+                records: report.recovered,
+                last_sync: Instant::now(),
+                dirty: false,
+                scratch: Vec::with_capacity(256),
+            }),
+        };
+        Ok((wal, report))
+    }
+
+    /// Append one record, syncing according to the policy.
+    pub fn append(&self, rec: WalRecord<'_>) -> std::io::Result<()> {
+        let mut inner = self.inner.lock();
+        let mut scratch = std::mem::take(&mut inner.scratch);
+        scratch.clear();
+        push_frame(&mut scratch, rec);
+        let res = inner.writer.write_all(&scratch);
+        let frame_len = scratch.len() as u64;
+        inner.scratch = scratch;
+        res?;
+        inner.seg_len += frame_len;
+        inner.records += 1;
+        inner.dirty = true;
+        self.metrics.appended.inc();
+        if inner.seg_len >= self.segment_bytes {
+            self.rotate(&mut inner)?;
+        }
+        match self.policy {
+            SyncPolicy::Strict => self.sync_locked(&mut inner)?,
+            SyncPolicy::Relaxed { interval } => {
+                // The background flusher owns the gap; this is the fallback
+                // bound when no flusher is attached.
+                if inner.last_sync.elapsed() >= interval {
+                    self.sync_locked(&mut inner)?;
+                }
+            }
+            SyncPolicy::Manual => {}
+        }
+        Ok(())
+    }
+
+    /// Seal the current segment (flushed + fsynced) and start the next.
+    fn rotate(&self, inner: &mut WalInner) -> std::io::Result<()> {
+        self.sync_locked(inner)?;
+        inner.seg_index += 1;
+        inner.seg_len = 0;
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(seg_path(&self.stem, inner.seg_index))?;
+        inner.writer = BufWriter::new(file);
+        Ok(())
+    }
+
+    fn sync_locked(&self, inner: &mut WalInner) -> std::io::Result<()> {
+        inner.writer.flush()?;
+        inner.writer.get_ref().sync_data()?;
+        inner.last_sync = Instant::now();
+        inner.dirty = false;
+        self.metrics.fsyncs.inc();
+        Ok(())
+    }
+
+    /// Push buffered appends to the OS (no durability barrier).
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.inner.lock().writer.flush()
+    }
+
+    /// Durable sync barrier: flush + fsync.
+    pub fn sync(&self) -> std::io::Result<()> {
+        self.sync_locked(&mut self.inner.lock())
+    }
+
+    /// Sync only if appends happened since the last barrier. Returns whether
+    /// a barrier ran (the flusher's periodic pass).
+    pub fn sync_if_dirty(&self) -> std::io::Result<bool> {
+        let mut inner = self.inner.lock();
+        if !inner.dirty {
+            return Ok(false);
+        }
+        self.sync_locked(&mut inner)?;
+        Ok(true)
+    }
+
+    /// Live records (replayed + appended − compacted away).
+    pub fn records(&self) -> u64 {
+        self.inner.lock().records
+    }
+
+    /// The segment index the append handle currently writes.
+    pub fn tail_segment(&self) -> u64 {
+        self.inner.lock().seg_index
+    }
+
+    /// The configured sync policy.
+    pub fn policy(&self) -> SyncPolicy {
+        self.policy
+    }
+
+    /// The log's path stem.
+    pub fn stem(&self) -> &Path {
+        &self.stem
+    }
+
+    /// Replace the log's history with the snapshot `records` (op tag +
+    /// packed payload; snapshot entries carry no client identity).
+    ///
+    /// Crash-safe ordering: seal the tail segment, write the snapshot to a
+    /// tmp file, fsync, atomically rename over any previous snapshot, then
+    /// delete the covered segments. A crash at any point leaves either the
+    /// old state (tmp never renamed — swept on next open) or the new one
+    /// (stale segments at or below the covered index — swept on next open).
+    pub fn compact(
+        &self,
+        records: impl Iterator<Item = (u16, Vec<u8>)>,
+    ) -> std::io::Result<()> {
+        let mut inner = self.inner.lock();
+        // Everything up to and including the current tail becomes immutable
+        // snapshot coverage; appends continue in a fresh segment.
+        let covered = inner.seg_index;
+        self.rotate(&mut inner)?;
+
+        let tmp = snap_path(&self.stem, true);
+        let mut n = 0u64;
+        let mut bytes;
+        {
+            let file = File::create(&tmp)?;
+            let mut w = BufWriter::new(file);
+            let mut hdr = Vec::with_capacity(SNAP_HDR);
+            hdr.extend_from_slice(&SNAP_MAGIC.to_le_bytes());
+            hdr.extend_from_slice(&1u32.to_le_bytes());
+            hdr.extend_from_slice(&covered.to_le_bytes());
+            w.write_all(&hdr)?;
+            bytes = hdr.len() as u64;
+            let mut frame = Vec::with_capacity(256);
+            for (op, payload) in records {
+                frame.clear();
+                push_frame(&mut frame, WalRecord::anonymous(op, &payload));
+                w.write_all(&frame)?;
+                bytes += frame.len() as u64;
+                n += 1;
+            }
+            w.flush()?;
+            w.get_ref().sync_data()?;
+        }
+        std::fs::rename(&tmp, snap_path(&self.stem, false))?;
+        // Make the rename itself durable before deleting the history it
+        // replaces.
+        if let Some(dir) = self.stem.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        for idx in list_segments(&self.stem)? {
+            if idx <= covered {
+                let _ = std::fs::remove_file(seg_path(&self.stem, idx));
+            }
+        }
+        inner.records = n;
+        self.metrics.snapshot_bytes.set(bytes);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn scratch_stem(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "hcl-persist-wal-{}-{}-{name}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("t.part0")
+    }
+
+    fn open(
+        stem: &Path,
+        policy: SyncPolicy,
+        seg_bytes: u64,
+        sink: &mut Vec<(u16, u32, u64, Vec<u8>)>,
+    ) -> (Wal, ReplayReport) {
+        Wal::open(stem, policy, seg_bytes, PersistMetrics::detached(), |r| {
+            sink.push((r.op, r.rank, r.seq, r.payload.to_vec()))
+        })
+        .unwrap()
+    }
+
+    fn cleanup(stem: &Path) {
+        let _ = std::fs::remove_dir_all(stem.parent().unwrap());
+    }
+
+    #[test]
+    fn append_and_replay_roundtrip() {
+        let stem = scratch_stem("basic");
+        {
+            let mut none = Vec::new();
+            let (wal, rep) = open(&stem, SyncPolicy::Strict, DEFAULT_SEGMENT_BYTES, &mut none);
+            assert_eq!(rep.replayed, 0);
+            wal.append(WalRecord { op: 1, rank: 3, seq: 10, payload: b"alpha" }).unwrap();
+            wal.append(WalRecord { op: 2, rank: 3, seq: 11, payload: b"beta" }).unwrap();
+            assert_eq!(wal.records(), 2);
+        }
+        let mut seen = Vec::new();
+        let (_, rep) = open(&stem, SyncPolicy::Strict, DEFAULT_SEGMENT_BYTES, &mut seen);
+        assert_eq!(rep.replayed, 2);
+        assert_eq!(rep.recovered, 2);
+        assert_eq!(
+            seen,
+            vec![(1, 3, 10, b"alpha".to_vec()), (2, 3, 11, b"beta".to_vec())]
+        );
+        cleanup(&stem);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_off_the_file() {
+        let stem = scratch_stem("torn");
+        {
+            let mut none = Vec::new();
+            let (wal, _) = open(&stem, SyncPolicy::Strict, DEFAULT_SEGMENT_BYTES, &mut none);
+            wal.append(WalRecord::anonymous(0, b"intact")).unwrap();
+            wal.append(WalRecord::anonymous(0, b"will be torn")).unwrap();
+        }
+        let seg = seg_path(&stem, 0);
+        let len = std::fs::metadata(&seg).unwrap().len();
+        OpenOptions::new().write(true).open(&seg).unwrap().set_len(len - 3).unwrap();
+        // First reopen: the tail is dropped AND the file is truncated, so
+        // appends land after the last good frame.
+        {
+            let mut seen = Vec::new();
+            let (wal, rep) = open(&stem, SyncPolicy::Strict, DEFAULT_SEGMENT_BYTES, &mut seen);
+            assert_eq!(seen.len(), 1);
+            assert_eq!(rep.truncated_bytes, (b"will be torn".len() + FRAME_HDR + REC_HDR - 3) as u64);
+            wal.append(WalRecord::anonymous(0, b"after the tear")).unwrap();
+        }
+        // Second reopen: the post-tear append must replay — the regression
+        // the old OpLog failed (garbage left in the file swallowed it).
+        let mut seen = Vec::new();
+        let (_, rep) = open(&stem, SyncPolicy::Strict, DEFAULT_SEGMENT_BYTES, &mut seen);
+        assert_eq!(rep.truncated_bytes, 0);
+        assert_eq!(
+            seen.iter().map(|(_, _, _, p)| p.as_slice()).collect::<Vec<_>>(),
+            vec![b"intact".as_slice(), b"after the tear".as_slice()]
+        );
+        cleanup(&stem);
+    }
+
+    #[test]
+    fn corrupt_record_drops_later_segments() {
+        let stem = scratch_stem("corrupt");
+        {
+            let mut none = Vec::new();
+            // Tiny segments: every append rotates.
+            let (wal, _) = open(&stem, SyncPolicy::Strict, 1, &mut none);
+            for i in 0..4u64 {
+                wal.append(WalRecord { op: 0, rank: 1, seq: i + 1, payload: &i.to_le_bytes() })
+                    .unwrap();
+            }
+        }
+        // Flip a payload byte in segment 1: its CRC fails, segment 1 is
+        // truncated at the tear and segments 2+ are dropped wholesale.
+        let seg1 = seg_path(&stem, 1);
+        let mut bytes = std::fs::read(&seg1).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&seg1, &bytes).unwrap();
+        let mut seen = Vec::new();
+        let (_, rep) = open(&stem, SyncPolicy::Strict, 1, &mut seen);
+        assert_eq!(seen.len(), 1, "only the record before the corruption survives");
+        assert!(rep.truncated_bytes > 0);
+        assert!(!seg_path(&stem, 2).exists());
+        assert!(!seg_path(&stem, 3).exists());
+        cleanup(&stem);
+    }
+
+    #[test]
+    fn segments_rotate_at_the_size_threshold() {
+        let stem = scratch_stem("rotate");
+        let mut none = Vec::new();
+        let (wal, _) = open(&stem, SyncPolicy::Strict, 64, &mut none);
+        for i in 0..10u64 {
+            wal.append(WalRecord { op: 0, rank: 1, seq: i + 1, payload: &[0u8; 48] }).unwrap();
+        }
+        assert!(wal.tail_segment() >= 5, "64-byte segments must rotate per append");
+        drop(wal);
+        let mut seen = Vec::new();
+        let (_, rep) = open(&stem, SyncPolicy::Strict, 64, &mut seen);
+        assert_eq!(rep.recovered, 10, "replay stitches all segments back together");
+        cleanup(&stem);
+    }
+
+    #[test]
+    fn replay_dedups_by_recovery_descriptor() {
+        let stem = scratch_stem("dedup");
+        {
+            let mut none = Vec::new();
+            let (wal, _) = open(&stem, SyncPolicy::Strict, DEFAULT_SEGMENT_BYTES, &mut none);
+            // A retransmitted op logged twice under the same (rank, seq).
+            wal.append(WalRecord { op: 1, rank: 2, seq: 7, payload: b"once" }).unwrap();
+            wal.append(WalRecord { op: 1, rank: 2, seq: 7, payload: b"once" }).unwrap();
+            // Anonymous records never dedup.
+            wal.append(WalRecord::anonymous(1, b"anon")).unwrap();
+            wal.append(WalRecord::anonymous(1, b"anon")).unwrap();
+        }
+        let mut seen = Vec::new();
+        let (_, rep) = open(&stem, SyncPolicy::Strict, DEFAULT_SEGMENT_BYTES, &mut seen);
+        assert_eq!(rep.replayed, 4);
+        assert_eq!(rep.deduped, 1);
+        assert_eq!(rep.recovered, 3);
+        cleanup(&stem);
+    }
+
+    #[test]
+    fn compaction_is_atomic_and_keeps_later_appends() {
+        let stem = scratch_stem("compact");
+        let mut none = Vec::new();
+        let (wal, _) = open(&stem, SyncPolicy::Strict, DEFAULT_SEGMENT_BYTES, &mut none);
+        for i in 0..100u64 {
+            wal.append(WalRecord { op: 0, rank: 1, seq: i + 1, payload: &i.to_le_bytes() })
+                .unwrap();
+        }
+        wal.compact(
+            [42u64, 43].iter().map(|v| (0u16, v.to_le_bytes().to_vec())),
+        )
+        .unwrap();
+        assert_eq!(wal.records(), 2);
+        wal.append(WalRecord { op: 0, rank: 1, seq: 200, payload: &44u64.to_le_bytes() })
+            .unwrap();
+        drop(wal);
+        assert!(snap_path(&stem, false).exists());
+        assert!(!snap_path(&stem, true).exists());
+        assert!(!seg_path(&stem, 0).exists(), "covered segment swept");
+        let mut seen = Vec::new();
+        let (_, rep) = open(&stem, SyncPolicy::Strict, DEFAULT_SEGMENT_BYTES, &mut seen);
+        assert_eq!(rep.snapshot_records, 2);
+        assert_eq!(rep.recovered, 3);
+        let vals: Vec<u64> = seen
+            .iter()
+            .map(|(_, _, _, p)| u64::from_le_bytes(p.as_slice().try_into().unwrap()))
+            .collect();
+        assert_eq!(vals, vec![42, 43, 44]);
+        cleanup(&stem);
+    }
+
+    #[test]
+    fn crashed_compaction_sweeps_stale_state_on_open() {
+        let stem = scratch_stem("crashed-compact");
+        {
+            let mut none = Vec::new();
+            let (wal, _) = open(&stem, SyncPolicy::Strict, DEFAULT_SEGMENT_BYTES, &mut none);
+            for i in 0..10u64 {
+                wal.append(WalRecord { op: 0, rank: 1, seq: i + 1, payload: &i.to_le_bytes() })
+                    .unwrap();
+            }
+            wal.compact([(0u16, 9u64.to_le_bytes().to_vec())].into_iter()).unwrap();
+        }
+        // Simulate the crash windows a torn compaction leaves behind: a
+        // dangling tmp, and a stale segment at the covered index.
+        std::fs::write(snap_path(&stem, true), b"half-written snapshot").unwrap();
+        let mut stale = Vec::new();
+        push_frame(&mut stale, WalRecord { op: 0, rank: 9, seq: 999, payload: b"stale" });
+        std::fs::write(seg_path(&stem, 0), &stale).unwrap();
+        let mut seen = Vec::new();
+        let (_, rep) = open(&stem, SyncPolicy::Strict, DEFAULT_SEGMENT_BYTES, &mut seen);
+        assert_eq!(rep.recovered, 1, "only the snapshot record survives");
+        assert!(!snap_path(&stem, true).exists(), "tmp swept");
+        assert!(!seg_path(&stem, 0).exists(), "stale covered segment swept");
+        assert!(!seen.iter().any(|(_, r, _, _)| *r == 9), "stale record not replayed");
+        cleanup(&stem);
+    }
+
+    #[test]
+    fn relaxed_appends_become_durable_within_the_gap() {
+        let stem = scratch_stem("relaxed");
+        let mut none = Vec::new();
+        let (wal, _) = open(
+            &stem,
+            SyncPolicy::Relaxed { interval: Duration::from_millis(5) },
+            DEFAULT_SEGMENT_BYTES,
+            &mut none,
+        );
+        wal.append(WalRecord::anonymous(0, b"buffered")).unwrap();
+        std::thread::sleep(Duration::from_millis(6));
+        // Past the gap, the next append carries the barrier.
+        wal.append(WalRecord::anonymous(0, b"barrier")).unwrap();
+        assert!(!wal.sync_if_dirty().unwrap(), "gap-elapsed append already synced");
+        cleanup(&stem);
+    }
+}

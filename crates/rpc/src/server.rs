@@ -45,6 +45,45 @@ impl Default for ServerConfig {
 /// Default [`ServerConfig::dedup_window`] capacity.
 pub const DEFAULT_DEDUP_WINDOW: usize = 1024;
 
+thread_local! {
+    /// The `(caller rank, composed seq)` identity of the request the current
+    /// NIC worker is executing — the durability layer's recovery descriptor,
+    /// sharing the dedup window's identity scheme.
+    static CURRENT_IDENTITY: std::cell::Cell<Option<(u32, u64)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// The identity of the in-flight request on this thread, if it is an RPC
+/// worker mid-handler: `(caller rank, req_id << 16 | batch_index)`, where a
+/// non-batched call uses batch index 0 and the `i`-th call of an aggregated
+/// request uses `i + 1`. `None` on rank threads (the hybrid local bypass) —
+/// durable containers then stamp a local sequence instead.
+pub fn current_request_identity() -> Option<(u32, u64)> {
+    CURRENT_IDENTITY.with(|c| c.get())
+}
+
+/// Compose the wire-level `(req_id, batch index)` pair into the one `seq`
+/// word a recovery descriptor carries.
+fn compose_seq(req_id: u64, batch_index: u64) -> u64 {
+    (req_id << 16) | (batch_index & 0xFFFF)
+}
+
+/// Scope guard: publishes `identity` for the extent of a handler run.
+struct IdentityScope;
+
+impl IdentityScope {
+    fn enter(rank: u32, req_id: u64, batch_index: u64) -> IdentityScope {
+        CURRENT_IDENTITY.with(|c| c.set(Some((rank, compose_seq(req_id, batch_index)))));
+        IdentityScope
+    }
+}
+
+impl Drop for IdentityScope {
+    fn drop(&mut self) {
+        CURRENT_IDENTITY.with(|c| c.set(None));
+    }
+}
+
 /// Dedup state for one retransmittable request id.
 enum DedupEntry {
     /// A NIC core is executing it right now; duplicates are dropped (the
@@ -280,13 +319,15 @@ impl RpcServer {
                                     .unwrap_or_default();
                                 resp_buf
                                     .extend_from_slice(&(calls.len() as u32).to_le_bytes());
-                                for (id, args) in calls {
+                                for (i, (id, args)) in calls.into_iter().enumerate() {
                                     // ORDERING: Relaxed statistic.
                                     stats.requests.fetch_add(1, Ordering::Relaxed);
                                     let len_pos = resp_buf.len();
                                     resp_buf.extend_from_slice(&0u32.to_le_bytes());
                                     let start = resp_buf.len();
                                     if let Some(h) = registry.get(id) {
+                                        let _id =
+                                            IdentityScope::enter(caller.rank, hdr.req_id, i as u64 + 1);
                                         h(ep, caller, args, &mut resp_buf);
                                     }
                                     let n = (resp_buf.len() - start) as u32;
@@ -309,6 +350,8 @@ impl RpcServer {
                                     match registry.get(*id) {
                                         Some(h) => {
                                             chain_buf.clear();
+                                            let _id =
+                                                IdentityScope::enter(caller.rank, hdr.req_id, 0);
                                             if first {
                                                 h(ep, caller, &payload[args_off..], &mut chain_buf);
                                                 first = false;
@@ -466,6 +509,27 @@ mod tests {
     use super::*;
     use crate::RequestHeader;
     use hcl_fabric::memory::MemoryFabric;
+
+    #[test]
+    fn request_identity_scopes_to_the_handler_run() {
+        assert_eq!(current_request_identity(), None);
+        {
+            let _id = IdentityScope::enter(3, 41, 0);
+            assert_eq!(current_request_identity(), Some((3, 41 << 16)));
+        }
+        assert_eq!(current_request_identity(), None, "scope exit clears the identity");
+        // Batched calls compose the batch index so each bundled op has a
+        // distinct recovery descriptor under the one wire req_id.
+        let a = {
+            let _id = IdentityScope::enter(3, 41, 1);
+            current_request_identity().unwrap()
+        };
+        let b = {
+            let _id = IdentityScope::enter(3, 41, 2);
+            current_request_identity().unwrap()
+        };
+        assert_ne!(a, b);
+    }
 
     #[test]
     fn dedup_window_claims_then_answers_from_cache() {

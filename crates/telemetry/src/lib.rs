@@ -566,6 +566,48 @@ impl CacheMetrics {
     }
 }
 
+/// The durability subsystem's metric bundle (`hcl-persist`): write-ahead-log
+/// appends, sync barriers, and the crash-recovery replay counters.
+#[derive(Clone)]
+pub struct PersistMetrics {
+    /// Records appended to a write-ahead log.
+    pub appended: Arc<Counter>,
+    /// Durable sync barriers (fsync) issued — per append under the strict
+    /// policy, per flush-gap interval under the relaxed policy.
+    pub fsyncs: Arc<Counter>,
+    /// Record frames read back (snapshot + segments) during replay.
+    pub replayed: Arc<Counter>,
+    /// Bytes discarded by torn-tail truncation on replay (a crash artifact:
+    /// a partial final record, chopped off the segment file itself).
+    pub truncated_tail: Arc<Counter>,
+    /// Replayed ops actually re-applied after `(rank, seq)` recovery-
+    /// descriptor dedup — the exactly-once count.
+    pub recovered_ops: Arc<Counter>,
+    /// Size of the last snapshot written or loaded, bytes.
+    pub snapshot_bytes: Arc<Gauge>,
+}
+
+impl PersistMetrics {
+    /// Resolve the bundle's metrics from `reg`.
+    pub fn from_registry(reg: &Registry) -> Self {
+        PersistMetrics {
+            appended: reg.counter("hcl_persist_appended"),
+            fsyncs: reg.counter("hcl_persist_fsyncs"),
+            replayed: reg.counter("hcl_persist_replayed"),
+            truncated_tail: reg.counter("hcl_persist_truncated_tail"),
+            recovered_ops: reg.counter("hcl_persist_recovered_ops"),
+            snapshot_bytes: reg.gauge("hcl_persist_snapshot_bytes"),
+        }
+    }
+
+    /// A bundle backed by a private registry — used when a durable container
+    /// runs without telemetry; counters still accumulate for programmatic
+    /// snapshots, nothing is exported.
+    pub fn detached() -> Self {
+        Self::from_registry(&Registry::new())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -587,6 +629,27 @@ mod tests {
     #[should_panic(expected = "hcl_<crate>_<name>")]
     fn registry_rejects_malformed_names() {
         Registry::new().counter("bogus_metric");
+    }
+
+    #[test]
+    fn persist_bundle_resolves_and_names_pass_convention() {
+        let reg = Registry::new();
+        let m = PersistMetrics::from_registry(&reg);
+        m.appended.inc();
+        m.fsyncs.inc();
+        m.replayed.add(3);
+        m.truncated_tail.add(7);
+        m.recovered_ops.add(2);
+        m.snapshot_bytes.set(4096);
+        let (counters, gauges, _) = reg.snapshot();
+        for (name, _) in counters.iter().chain(gauges.iter()) {
+            assert!(valid_metric_name(name), "persist metric breaks convention: {name}");
+        }
+        assert_eq!(counters.len(), 5);
+        assert_eq!(gauges.len(), 1);
+        // Shared handles: a second resolve sees the same counters.
+        let again = PersistMetrics::from_registry(&reg);
+        assert_eq!(again.appended.get(), 1);
     }
 
     #[test]

@@ -42,7 +42,7 @@ fn lossy_run(seed: u64) -> ChaosSnapshot {
         let q: Queue<u64> = Queue::with_config(
             rank,
             "chaos.q",
-            QueueConfig { owner: 0, hybrid: false },
+            QueueConfig { owner: 0, hybrid: false, ..Default::default() },
         );
         rank.barrier();
         let me = rank.id() as u64;
@@ -115,7 +115,7 @@ fn main() {
         let q: Queue<u64> = Queue::with_config(
             rank,
             "part.q",
-            QueueConfig { owner: 0, hybrid: false },
+            QueueConfig { owner: 0, hybrid: false, ..Default::default() },
         );
         rank.barrier();
         if rank.id() == 1 {

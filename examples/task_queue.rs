@@ -30,12 +30,12 @@ fn main() {
         let urgent: PriorityQueue<(u32, Job)> = PriorityQueue::with_config(
             rank,
             "urgent",
-            hcl::queue::QueueConfig { owner: 3, hybrid: true },
+            hcl::queue::QueueConfig { owner: 3, hybrid: true, ..Default::default() },
         );
         let done: Queue<u64> = Queue::with_config(
             rank,
             "done",
-            hcl::queue::QueueConfig { owner: 3, hybrid: true },
+            hcl::queue::QueueConfig { owner: 3, hybrid: true, ..Default::default() },
         );
         rank.barrier();
 

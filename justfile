@@ -152,12 +152,39 @@ scenario-smoke:
 bench-rebalance-smoke:
     cargo run --release -p hcl-bench --bin pr9 -- --smoke
 
+# Durability suite: the WAL crate's unit tests (CRC, torn-tail truncation,
+# snapshot compaction, replay dedup), the per-container live-vs-recovered
+# byte-identity proptests, and the subprocess crash harness (kill -9
+# mid-write, then recover; strict = zero acknowledged-write loss, relaxed =
+# bounded suffix-only tail loss, plus the drain/admit rejoin).
+test-persist:
+    cargo test --release -p hcl-persist
+    cargo test --release --test persist_property
+    cargo test --release --test crash_recovery
+
+# Seeded multi-generation crash soak: repeated kill -9/recover cycles over
+# ONE log directory, each child replaying, compacting and appending over
+# everything its predecessors survived. `iters`/`seed` pin the sweep.
+crash-soak iters="3" seed="12648430":
+    HCL_SOAK_ITERS={{iters}} HCL_SOAK_SEED={{seed}} \
+        cargo test --release --test crash_recovery -- --ignored --exact crash_soak --nocapture
+
+# Sync-epoch bench gate: a reduced 8-rank zipfian durable-put sweep (no
+# persistence vs strict vs relaxed), gating the flush-gap signature —
+# every durable put logged, strict fsyncs per append, relaxed fsyncs >= 10x
+# rarer, relaxed throughput not collapsed — then validating the committed
+# BENCH_pr10.json. The full regeneration is `cargo run --release -p
+# hcl-bench --bin pr10`.
+bench-persist-smoke:
+    cargo run --release -p hcl-bench --bin pr10 -- --smoke
+
 # FIG artifact provenance: every committed FIG_*.json must record its seed,
 # measured rank counts, and per-cell workload mix.
 check-artifacts:
     cargo run -p xtask -- artifacts
 
 # Everything CI runs: build, tier-1 tests, hygiene lint, fault suite,
-# membership/rebalance suite, schedule exploration, linearizability
-# histories, bench smoke-checks, scenario-matrix gate, artifact provenance.
-ci: build test lint test-faults test-membership check-conc check-races check-lin bench-smoke bench-cache-smoke telemetry-smoke scenario-smoke bench-rebalance-smoke check-artifacts
+# membership/rebalance suite, durability suite + crash soak, schedule
+# exploration, linearizability histories, bench smoke-checks,
+# scenario-matrix gate, artifact provenance.
+ci: build test lint test-faults test-membership test-persist crash-soak check-conc check-races check-lin bench-smoke bench-cache-smoke telemetry-smoke scenario-smoke bench-rebalance-smoke bench-persist-smoke check-artifacts

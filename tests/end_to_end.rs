@@ -144,7 +144,7 @@ fn async_ops_coalesce_and_bulk_paths_report_batch_hit_rate() {
         let q: hcl::Queue<u64> = hcl::Queue::with_config(
             rank,
             "coal.q",
-            hcl::queue::QueueConfig { owner: 0, hybrid: false },
+            hcl::queue::QueueConfig { owner: 0, hybrid: false, ..Default::default() },
         );
         rank.barrier();
         let me = rank.id() as u64;

@@ -70,13 +70,13 @@ fn run_lossy_workload(seed: u64) -> ChaosSnapshot {
     World::run_on(shared, move |rank| {
         let me = rank.id() as u64;
         let ws = rank.world_size() as u64;
-        let no_hybrid = QueueConfig { owner: 0, hybrid: false };
+        let no_hybrid = QueueConfig { owner: 0, hybrid: false, ..Default::default() };
 
         let umap: UnorderedMap<u64, u64> = UnorderedMap::new(rank, "faults.umap");
         let uset = hcl::UnorderedSet::<u64>::new(rank, "faults.uset");
         let omap: OrderedMap<u64, u64> = OrderedMap::new(rank, "faults.omap");
         let oset: OrderedSet<u64> = OrderedSet::new(rank, "faults.oset");
-        let q: Queue<u64> = Queue::with_config(rank, "faults.q", no_hybrid);
+        let q: Queue<u64> = Queue::with_config(rank, "faults.q", no_hybrid.clone());
         let pq: PriorityQueue<u64> = PriorityQueue::with_config(rank, "faults.pq", no_hybrid);
         rank.barrier();
 
@@ -218,7 +218,7 @@ fn full_partition_exhausts_retries_without_hanging() {
         let q: Queue<u64> = Queue::with_config(
             rank,
             "part.q",
-            QueueConfig { owner: 0, hybrid: false },
+            QueueConfig { owner: 0, hybrid: false, ..Default::default() },
         );
         rank.barrier();
         if rank.id() == 1 {
@@ -268,7 +268,7 @@ fn coalesced_batches_retry_as_one_idempotent_unit() {
         let me = rank.id() as u64;
         let ws = rank.world_size() as u64;
         let q: Queue<u64> =
-            Queue::with_config(rank, "chaos.coal.q", QueueConfig { owner: 0, hybrid: false });
+            Queue::with_config(rank, "chaos.coal.q", QueueConfig { owner: 0, hybrid: false, ..Default::default() });
         let umap: UnorderedMap<u64, u64> = UnorderedMap::with_config(
             rank,
             "chaos.coal.umap",
@@ -462,7 +462,7 @@ fn flight_recorder_captures_partition_failure_and_owner_down() {
         let q: Queue<u64> = Queue::with_config(
             rank,
             "flight.q",
-            QueueConfig { owner: 0, hybrid: false },
+            QueueConfig { owner: 0, hybrid: false, ..Default::default() },
         );
         rank.barrier();
         if rank.id() == 1 {

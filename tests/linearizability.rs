@@ -238,7 +238,7 @@ fn queue_mix_history_is_linearizable() {
     let rec2 = Arc::clone(&rec);
     World::run(mem_world(2, 2), move |rank| {
         let mut q: Queue<Vec<u8>> =
-            Queue::with_config(rank, "lin.drv.q", QueueConfig { owner: 0, hybrid: false });
+            Queue::with_config(rank, "lin.drv.q", QueueConfig { owner: 0, hybrid: false, ..Default::default() });
         q.set_recorder(Arc::clone(&rec2));
         rank.barrier();
         let spec = WorkloadSpec {

@@ -326,13 +326,13 @@ fn epoch_bump_invalidates_live_leases() {
 fn queue_and_pqueue_host_move_preserves_contents() {
     World::run(ww(2, 2), |rank| {
         let old_q: Queue<u64> =
-            Queue::with_config(rank, "mem.q.old", QueueConfig { owner: 0, hybrid: true });
+            Queue::with_config(rank, "mem.q.old", QueueConfig { owner: 0, hybrid: true, ..Default::default() });
         let new_q: Queue<u64> =
-            Queue::with_config(rank, "mem.q.new", QueueConfig { owner: 2, hybrid: true });
+            Queue::with_config(rank, "mem.q.new", QueueConfig { owner: 2, hybrid: true, ..Default::default() });
         let old_pq: PriorityQueue<u64> =
-            PriorityQueue::with_config(rank, "mem.pq.old", QueueConfig { owner: 0, hybrid: true });
+            PriorityQueue::with_config(rank, "mem.pq.old", QueueConfig { owner: 0, hybrid: true, ..Default::default() });
         let new_pq: PriorityQueue<u64> =
-            PriorityQueue::with_config(rank, "mem.pq.new", QueueConfig { owner: 2, hybrid: true });
+            PriorityQueue::with_config(rank, "mem.pq.new", QueueConfig { owner: 2, hybrid: true, ..Default::default() });
         rank.barrier();
         if rank.id() == 0 {
             for i in 0..20u64 {

@@ -107,7 +107,7 @@ proptest! {
         let mut model: HashMap<u64, u64> = HashMap::new();
         {
             let log: hcl::OpLog<(u8, u64, Option<u64>)> =
-                hcl::OpLog::open(&path, hcl::PersistMode::Strict, |_| {}).unwrap();
+                hcl::OpLog::open(&path, hcl::SyncPolicy::Strict, |_| {}).unwrap();
             for (op, k, v) in ops {
                 if op == 0 {
                     log.append(&(0, k, Some(v))).unwrap();
@@ -120,7 +120,7 @@ proptest! {
         }
         let mut replayed: HashMap<u64, u64> = HashMap::new();
         let _: hcl::OpLog<(u8, u64, Option<u64>)> =
-            hcl::OpLog::open(&path, hcl::PersistMode::Strict, |(op, k, v): (u8, u64, Option<u64>)| {
+            hcl::OpLog::open(&path, hcl::SyncPolicy::Strict, |(op, k, v): (u8, u64, Option<u64>)| {
                 if op == 0 {
                     replayed.insert(k, v.unwrap());
                 } else {

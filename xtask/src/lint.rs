@@ -1324,6 +1324,39 @@ mod tests {
     }
 
     #[test]
+    fn persist_metric_names_pass_the_convention() {
+        // The durability counter family registered by `PersistMetrics`
+        // (crates/telemetry) for the WAL subsystem: every name the persist
+        // path emits must satisfy the `hcl_<crate>_<name>` shape.
+        let src = concat!(
+            "fn f(reg: &Registry) {\n",
+            "    let a = reg.counter(\"hcl_persist_appended\");\n",
+            "    let b = reg.counter(\"hcl_persist_fsyncs\");\n",
+            "    let c = reg.counter(\"hcl_persist_replayed\");\n",
+            "    let d = reg.counter(\"hcl_persist_truncated_tail\");\n",
+            "    let e = reg.counter(\"hcl_persist_recovered_ops\");\n",
+            "    let g = reg.gauge(\"hcl_persist_snapshot_bytes\");\n",
+            "    drop((a, b, c, d, e, g));\n",
+            "}\n"
+        );
+        assert!(rules("crates/telemetry/src/persist.rs", src).is_empty());
+    }
+
+    #[test]
+    fn malformed_persist_metric_names_flagged() {
+        // Negative controls for the persist family: dropped `hcl_` prefix,
+        // a bare `hcl_persist` with no metric segment, and uppercase/hyphen
+        // characters must each produce a METRIC finding.
+        let no_prefix = "fn f(r: &Registry) {\n    let _ = r.counter(\"persist_fsyncs\");\n}\n";
+        assert_eq!(rules("crates/telemetry/src/persist.rs", no_prefix), vec![Rule::Metric]);
+        let no_metric = "fn f(r: &Registry) {\n    let _ = r.counter(\"hcl_persist\");\n}\n";
+        assert_eq!(rules("crates/telemetry/src/persist.rs", no_metric), vec![Rule::Metric]);
+        let bad_chars =
+            "fn f(r: &Registry) {\n    let _ = r.gauge(\"hcl_persist_Snapshot-Bytes\");\n}\n";
+        assert_eq!(rules("crates/telemetry/src/persist.rs", bad_chars), vec![Rule::Metric]);
+    }
+
+    #[test]
     fn metric_rule_exempts_test_modules_and_test_trees() {
         let in_mod = concat!(
             "#[cfg(test)]\n",
